@@ -1,0 +1,67 @@
+// Ablation A4: the legalizer window size (paper §IV.B.2 — N_site = 20,
+// N_row = 5, |cells| = 3 "achieved experimentally ... a trade-off
+// between runtime and a number of candidates for each cell").
+// Sweeps the window across smaller and larger settings on a congested
+// design and reports quality vs CR&P runtime — regenerating the
+// trade-off the paper describes.
+//
+// Environment: CRP_SCALE (default 140).
+#include <iostream>
+
+#include "flow_common.hpp"
+
+int main() {
+  using namespace crp;
+  using bench::FlowKind;
+  using util::padLeft;
+  using util::padRight;
+
+  const double scale = bench::envDouble("CRP_SCALE", 140.0);
+  auto suite = bmgen::ispdLikeSuite(scale);
+  // One representative congested design (test7-equivalent).
+  const auto& entry = suite[6];
+
+  struct Setting {
+    const char* label;
+    int sites, rows, cells;
+  };
+  const Setting settings[] = {
+      {"8x3 window, 2 cells", 8, 3, 2},
+      {"12x3 window, 3 cells", 12, 3, 3},
+      {"20x5 window, 3 cells (paper)", 20, 5, 3},
+      {"32x7 window, 3 cells", 32, 7, 3},
+  };
+
+  std::cout << "=== Ablation A4: legalizer window size on " << entry.name
+            << " (k=10, scale 1/" << scale << ") ===\n";
+  const auto design = bmgen::generateBenchmark(entry.spec);
+  const auto base =
+      bench::runFlow(entry, FlowKind::kBaseline, 1, {}, 1e9, &design);
+  std::cout << padRight("Setting", 30) << padLeft("vias%", 8)
+            << padLeft("wl%", 8) << padLeft("CR&P s", 9)
+            << padLeft("moves", 7) << "\n";
+
+  for (const Setting& setting : settings) {
+    core::CrpOptions options;
+    options.legalizer.numSites = setting.sites;
+    options.legalizer.numRows = setting.rows;
+    options.legalizer.maxCellsPerIlp = setting.cells;
+    const auto run =
+        bench::runFlow(entry, FlowKind::kCrp, 10, options, 1e9, &design);
+    std::cout << padRight(setting.label, 30)
+              << padLeft(bench::pct(eval::improvementPercent(
+                             static_cast<double>(base.metrics.viaCount),
+                             static_cast<double>(run.metrics.viaCount))),
+                         8)
+              << padLeft(
+                     bench::pct(eval::improvementPercent(
+                         static_cast<double>(base.metrics.wirelengthDbu),
+                         static_cast<double>(run.metrics.wirelengthDbu))),
+                     8)
+              << padLeft(util::formatDouble(run.optSeconds, 2), 9)
+              << padLeft(std::to_string(run.moves), 7) << "\n";
+  }
+  std::cout << "expectation: larger windows buy quality at CR&P runtime "
+               "cost, saturating around the paper's 20x5 setting.\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Reproduces Fig. 2: runtime comparison between Baseline, [18],
+// CR&P k=1 and k=10 across the suite.
+//
+// The reproduction target is the SHAPE: CR&P k=1 adds a small margin
+// over baseline, k=10 adds a roughly constant (not exponential)
+// increment, and [18]'s single shot is the most expensive optimizer.
+// Runtimes are wall-clock on the host; the paper's absolute seconds
+// belong to an i7-8700 at contest scale.
+//
+// Environment: CRP_SCALE (default 140), CRP_MAX_DESIGNS (default 10).
+#include <iostream>
+
+#include "flow_common.hpp"
+
+int main() {
+  using namespace crp;
+  using bench::FlowKind;
+  using util::padLeft;
+  using util::padRight;
+
+  const double scale = bench::envDouble("CRP_SCALE", 140.0);
+  const int maxDesigns = bench::envInt("CRP_MAX_DESIGNS", 10);
+  auto suite = bmgen::ispdLikeSuite(scale);
+  if (static_cast<int>(suite.size()) > maxDesigns) suite.resize(maxDesigns);
+
+  std::cout << "=== Fig. 2: runtime (seconds, full flow GR+opt+DR; scale 1/"
+            << scale << ") ===\n";
+  std::cout << padRight("Benchmark", 12) << padLeft("Baseline", 10)
+            << padLeft("[18]", 10) << padLeft("Ours k=1", 10)
+            << padLeft("Ours k=10", 10) << padLeft("k1/BL", 8)
+            << padLeft("k10/BL", 8) << "\n";
+
+  for (const auto& entry : suite) {
+    const auto design = bmgen::generateBenchmark(entry.spec);
+    const auto base =
+        bench::runFlow(entry, FlowKind::kBaseline, 1, {}, 1e9, &design);
+    const auto m18 =
+        bench::runFlow(entry, FlowKind::kMedian18, 1, {}, 1e9, &design);
+    const auto k1 =
+        bench::runFlow(entry, FlowKind::kCrp, 1, {}, 1e9, &design);
+    const auto k10 =
+        bench::runFlow(entry, FlowKind::kCrp, 10, {}, 1e9, &design);
+    std::cout << padRight(entry.name, 12)
+              << padLeft(util::formatDouble(base.totalSeconds(), 2), 10)
+              << padLeft(m18.failed
+                             ? "Failed"
+                             : util::formatDouble(m18.totalSeconds(), 2),
+                         10)
+              << padLeft(util::formatDouble(k1.totalSeconds(), 2), 10)
+              << padLeft(util::formatDouble(k10.totalSeconds(), 2), 10)
+              << padLeft(util::formatDouble(
+                             k1.totalSeconds() / base.totalSeconds(), 2),
+                         8)
+              << padLeft(util::formatDouble(
+                             k10.totalSeconds() / base.totalSeconds(), 2),
+                         8)
+              << "\n";
+  }
+  std::cout << "paper shape: k=1 adds a small margin over baseline; k=10 "
+               "adds a roughly constant increment; [18] is slower and "
+               "failed on test10.\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Reproduces Fig. 3: runtime breakdown of the CUGR + CR&P + DetailedRoute
+// flow — GR / GCP (generate candidate positions) / ECC (estimate
+// candidates cost) / UD (update database) / Misc (labeling + selection
+// ILP) / DR, in percent per design.
+//
+// Reproduction targets from the paper: ECC is the largest CR&P phase
+// ("the estimation of candidates costs has the highest overhead"), and
+// CR&P in total costs less than global routing on most designs (in our
+// substrate, DR dominates both, as it does for TritonRoute).
+//
+// Environment: CRP_SCALE (default 120), CRP_MAX_DESIGNS (default 10),
+// CRP_K (iterations, default 10).
+#include <iostream>
+
+#include "flow_common.hpp"
+
+int main() {
+  using namespace crp;
+  using bench::FlowKind;
+  using util::padLeft;
+  using util::padRight;
+
+  const double scale = bench::envDouble("CRP_SCALE", 120.0);
+  const int maxDesigns = bench::envInt("CRP_MAX_DESIGNS", 10);
+  const int k = bench::envInt("CRP_K", 10);
+  auto suite = bmgen::ispdLikeSuite(scale);
+  if (static_cast<int>(suite.size()) > maxDesigns) suite.resize(maxDesigns);
+
+  std::cout << "=== Fig. 3: runtime breakdown % of GR+CR&P(k=" << k
+            << ")+DR (scale 1/" << scale << ") ===\n";
+  std::cout << padRight("Benchmark", 12) << padLeft("GR", 8)
+            << padLeft("GCP", 8) << padLeft("ECC", 8) << padLeft("UD", 8)
+            << padLeft("Misc", 8) << padLeft("DR", 8)
+            << padLeft("ECC/CRP%", 10) << "\n";
+
+  for (const auto& entry : suite) {
+    const auto run = bench::runFlow(entry, FlowKind::kCrp, k);
+    const auto& phases = run.crpPhases;
+    const double gcp = phases.total(core::kPhaseGcp);
+    const double ecc = phases.total(core::kPhaseEcc);
+    const double ud = phases.total(core::kPhaseUd);
+    const double misc =
+        phases.total(core::kPhaseLcc) + phases.total(core::kPhaseSel);
+    const double total = run.grSeconds + gcp + ecc + ud + misc +
+                         run.drSeconds;
+    auto share = [total](double seconds) {
+      return util::formatDouble(total > 0 ? 100.0 * seconds / total : 0.0,
+                                1);
+    };
+    const double crpTotal = gcp + ecc + ud + misc;
+    std::cout << padRight(entry.name, 12) << padLeft(share(run.grSeconds), 8)
+              << padLeft(share(gcp), 8) << padLeft(share(ecc), 8)
+              << padLeft(share(ud), 8) << padLeft(share(misc), 8)
+              << padLeft(share(run.drSeconds), 8)
+              << padLeft(util::formatDouble(
+                             crpTotal > 0 ? 100.0 * ecc / crpTotal : 0.0, 1),
+                         10)
+              << "\n";
+  }
+  std::cout << "paper shape: ECC dominates the CR&P phases; CR&P total "
+               "stays below the routing engines.\n";
+  return 0;
+}

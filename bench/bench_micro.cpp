@@ -1,0 +1,179 @@
+// Micro-benchmarks (google-benchmark) for the computational kernels:
+// RSMT construction, LP/ILP solves, pattern routing, maze routing,
+// legalizer candidate generation and LEF/DEF parsing.  These document
+// component throughput and guard against performance regressions.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "bmgen/generator.hpp"
+#include "groute/global_router.hpp"
+#include "groute/maze_route.hpp"
+#include "groute/pattern_route.hpp"
+#include "ilp/solver.hpp"
+#include "lefdef/def_parser.hpp"
+#include "lefdef/def_writer.hpp"
+#include "lefdef/lef_parser.hpp"
+#include "lefdef/lef_writer.hpp"
+#include "legalizer/ilp_legalizer.hpp"
+#include "rsmt/steiner.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace crp;
+
+// ---- RSMT ------------------------------------------------------------------
+
+void BM_RsmtBuild(benchmark::State& state) {
+  const int numPins = static_cast<int>(state.range(0));
+  util::Rng rng(7);
+  std::vector<geom::Point> pins;
+  for (int i = 0; i < numPins; ++i) {
+    pins.push_back({rng.uniformInt(0, 10000), rng.uniformInt(0, 10000)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rsmt::buildSteinerTree(pins));
+  }
+}
+BENCHMARK(BM_RsmtBuild)->Arg(3)->Arg(5)->Arg(10)->Arg(20)->Arg(40);
+
+// ---- ILP -------------------------------------------------------------------
+
+void BM_IlpLegalizerShaped(benchmark::State& state) {
+  const int slots = static_cast<int>(state.range(0));
+  util::Rng rng(11);
+  ilp::Model model;
+  std::vector<std::vector<int>> vars(3, std::vector<int>(slots));
+  for (int c = 0; c < 3; ++c) {
+    for (int s = 0; s < slots; ++s) {
+      vars[c][s] = model.addBinary(rng.uniform(0.0, 100.0));
+    }
+  }
+  for (int c = 0; c < 3; ++c) model.addOneHot(vars[c]);
+  for (int s = 0; s < slots; ++s) {
+    model.addPacking({vars[0][s], vars[1][s], vars[2][s]});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ilp::solveIlp(model));
+  }
+}
+BENCHMARK(BM_IlpLegalizerShaped)->Arg(20)->Arg(50)->Arg(100);
+
+// ---- routing fixtures ----------------------------------------------------------
+
+struct RoutingFixture {
+  RoutingFixture()
+      : db([] {
+          bmgen::BenchmarkSpec spec;
+          spec.name = "micro";
+          spec.targetCells = 600;
+          spec.hotspots = 1;
+          spec.seed = 3;
+          return bmgen::generateBenchmark(spec);
+        }()),
+        graph(db) {}
+  db::Database db;
+  groute::RoutingGraph graph;
+};
+
+RoutingFixture& fixture() {
+  static RoutingFixture instance;
+  return instance;
+}
+
+void BM_PatternRouteTwoPin(benchmark::State& state) {
+  auto& f = fixture();
+  groute::PatternRouter router(f.graph);
+  const int spanX = f.graph.grid().countX() - 2;
+  const int spanY = f.graph.grid().countY() - 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.routeTwoPin(
+        groute::GPoint{0, 1, 1}, groute::GPoint{0, spanX, spanY}));
+  }
+}
+BENCHMARK(BM_PatternRouteTwoPin);
+
+void BM_PatternRouteTree(benchmark::State& state) {
+  auto& f = fixture();
+  groute::PatternRouter router(f.graph);
+  util::Rng rng(9);
+  std::vector<groute::GPoint> terminals;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    terminals.push_back(groute::GPoint{
+        0, static_cast<int>(rng.uniformInt(0, f.graph.grid().countX() - 1)),
+        static_cast<int>(rng.uniformInt(0, f.graph.grid().countY() - 1))});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.routeTree(terminals));
+  }
+}
+BENCHMARK(BM_PatternRouteTree)->Arg(3)->Arg(8)->Arg(16);
+
+void BM_MazeRouteTwoPin(benchmark::State& state) {
+  auto& f = fixture();
+  groute::MazeRouter maze(f.graph);
+  const int spanX = f.graph.grid().countX() - 2;
+  const int spanY = f.graph.grid().countY() - 2;
+  const std::vector<groute::GPoint> terminals{
+      groute::GPoint{0, 1, 1}, groute::GPoint{0, spanX, spanY}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(maze.routeTree(terminals));
+  }
+}
+BENCHMARK(BM_MazeRouteTwoPin);
+
+void BM_GlobalRouteFull(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    groute::GlobalRouter router(f.db);
+    benchmark::DoNotOptimize(router.run());
+  }
+}
+BENCHMARK(BM_GlobalRouteFull)->Unit(benchmark::kMillisecond);
+
+// ---- legalizer -------------------------------------------------------------
+
+void BM_LegalizerGenerate(benchmark::State& state) {
+  auto& f = fixture();
+  legalizer::IlpLegalizer legalizer(f.db);
+  int cell = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(legalizer.generate(cell));
+    cell = (cell + 7) % f.db.numCells();
+  }
+}
+BENCHMARK(BM_LegalizerGenerate);
+
+// ---- LEF/DEF ---------------------------------------------------------------
+
+void BM_DefParse(benchmark::State& state) {
+  auto& f = fixture();
+  std::ostringstream out;
+  lefdef::writeDef(out, f.db);
+  const std::string text = out.str();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        lefdef::parseDef(text, f.db.tech(), f.db.library()));
+  }
+  state.SetBytesProcessed(static_cast<long>(state.iterations()) *
+                          static_cast<long>(text.size()));
+}
+BENCHMARK(BM_DefParse)->Unit(benchmark::kMillisecond);
+
+void BM_LefParse(benchmark::State& state) {
+  auto& f = fixture();
+  std::ostringstream out;
+  lefdef::writeLef(out, f.db.tech(), f.db.library());
+  const std::string text = out.str();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lefdef::parseLef(text));
+  }
+  state.SetBytesProcessed(static_cast<long>(state.iterations()) *
+                          static_cast<long>(text.size()));
+}
+BENCHMARK(BM_LefParse);
+
+}  // namespace
+
+BENCHMARK_MAIN();

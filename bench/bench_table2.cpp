@@ -1,0 +1,43 @@
+// Reproduces Table II: "ISPD-2018 Contest Benchmarks Statistics".
+//
+// Prints the paper's contest-scale numbers next to the generated
+// scaled suite's actual statistics (cells, nets, utilization), so the
+// size ladder and cells/nets ratios can be compared at a glance.
+//
+// Environment: CRP_SCALE (suite scale divisor, default 40).
+#include <iostream>
+
+#include "bmgen/generator.hpp"
+#include "bmgen/suite.hpp"
+#include "flow_common.hpp"
+#include "util/string_util.hpp"
+
+int main() {
+  using namespace crp;
+  using util::padLeft;
+  using util::padRight;
+
+  const double scale = bench::envDouble("CRP_SCALE", 40.0);
+  const auto suite = bmgen::ispdLikeSuite(scale);
+
+  std::cout << "=== Table II: benchmark statistics (paper vs generated, "
+               "scale 1/"
+            << scale << ") ===\n";
+  std::cout << padRight("Circuit", 12) << padLeft("paper #nets", 12)
+            << padLeft("paper #cells", 13) << padLeft("node", 6)
+            << padLeft("gen #nets", 11) << padLeft("gen #cells", 12)
+            << padLeft("util%", 7) << padLeft("hotspots", 9) << "\n";
+
+  for (const auto& entry : suite) {
+    const auto db = bmgen::generateBenchmark(entry.spec);
+    std::cout << padRight(entry.name, 12)
+              << padLeft(std::to_string(entry.paperNets / 1000) + "K", 12)
+              << padLeft(std::to_string(entry.paperCells / 1000) + "K", 13)
+              << padLeft(std::to_string(entry.techNode) + "nm", 6)
+              << padLeft(std::to_string(db.numNets()), 11)
+              << padLeft(std::to_string(db.numCells()), 12)
+              << padLeft(util::formatDouble(100.0 * db.utilization(), 1), 7)
+              << padLeft(std::to_string(entry.hotspots), 9) << "\n";
+  }
+  return 0;
+}

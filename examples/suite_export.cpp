@@ -1,0 +1,32 @@
+// Exports the crp_test1..10 suite as LEF/DEF file pairs so external
+// tools (or a real TritonRoute build) can consume the benchmarks.
+//
+// Usage: suite_export [outputDir] [scaleDivisor]
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+
+#include "bmgen/generator.hpp"
+#include "bmgen/suite.hpp"
+#include "lefdef/def_writer.hpp"
+#include "lefdef/lef_writer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace crp;
+
+  const std::string outDir = argc > 1 ? argv[1] : "suite";
+  const double scale = argc > 2 ? std::atof(argv[2]) : 40.0;
+  std::filesystem::create_directories(outDir);
+
+  for (const auto& entry : bmgen::ispdLikeSuite(scale)) {
+    const auto db = bmgen::generateBenchmark(entry.spec);
+    const std::string lefPath = outDir + "/" + entry.name + ".lef";
+    const std::string defPath = outDir + "/" + entry.name + ".def";
+    lefdef::writeLefFile(lefPath, db.tech(), db.library());
+    lefdef::writeDefFile(defPath, db);
+    std::cout << entry.name << ": " << db.numCells() << " cells, "
+              << db.numNets() << " nets -> " << lefPath << ", " << defPath
+              << "\n";
+  }
+  return 0;
+}

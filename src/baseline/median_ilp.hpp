@@ -1,0 +1,44 @@
+// Re-implementation of the paper's state-of-the-art comparator [18]:
+// Fontana et al., "ILP-based global routing optimization with cell
+// movements" (ISVLSI 2021), as characterized in §II and §V.B:
+//
+//  * every movable cell is considered, with no criticality priority;
+//  * each cell's move target is its median position (cluster median);
+//  * the cost model is route length / detours only — no congestion
+//    penalty ("the cost function is only modeled by the length and a
+//    number of detours in each route");
+//  * one ILP selects the moves jointly;
+//  * runtime scales poorly, and the original binary failed on
+//    ispd18_test10 — reproduced here with a wall-clock budget that
+//    aborts the optimizer the way the binary died (reported "Failed").
+#pragma once
+
+#include <limits>
+
+#include "db/database.hpp"
+#include "groute/global_router.hpp"
+
+namespace crp::baseline {
+
+struct BaselineOptions {
+  int searchRadiusSites = 20;  ///< slot search window around the median
+  int searchRows = 5;
+  double timeBudgetSeconds = std::numeric_limits<double>::infinity();
+  std::uint64_t seed = 1;
+};
+
+struct BaselineResult {
+  bool failed = false;  ///< exceeded the budget (the paper's "Failed")
+  int consideredCells = 0;
+  int movedCells = 0;
+  int reroutedNets = 0;
+  double seconds = 0.0;
+};
+
+/// Runs the median-move ILP optimization on top of an existing global
+/// routing solution; mutates `db` and `router` like CR&P's UD phase.
+BaselineResult runMedianIlpOptimizer(db::Database& db,
+                                     groute::GlobalRouter& router,
+                                     const BaselineOptions& options = {});
+
+}  // namespace crp::baseline

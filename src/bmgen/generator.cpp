@@ -1,0 +1,368 @@
+#include "bmgen/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "dplace/detailed_placer.hpp"
+#include "util/rng.hpp"
+
+namespace crp::bmgen {
+
+namespace {
+
+using db::Component;
+using db::Coord;
+using db::Design;
+using db::Library;
+using db::Macro;
+using db::Net;
+using db::NetPin;
+using db::Row;
+using db::Tech;
+using geom::Point;
+using geom::Rect;
+
+void addTracks(Design& design, const Tech& tech) {
+  for (int l = 0; l < tech.numLayers(); ++l) {
+    const auto& layer = tech.layer(l);
+    db::TrackGrid grid;
+    grid.layer = l;
+    grid.dir = layer.dir;
+    grid.step = layer.pitch;
+    if (layer.dir == db::LayerDir::kHorizontal) {
+      grid.start = design.dieArea.ylo + layer.offset;
+      grid.count = static_cast<int>(
+          (design.dieArea.height() - layer.offset) / layer.pitch);
+    } else {
+      grid.start = design.dieArea.xlo + layer.offset;
+      grid.count = static_cast<int>(
+          (design.dieArea.width() - layer.offset) / layer.pitch);
+    }
+    design.tracks.push_back(grid);
+  }
+}
+
+/// Benchmark cell: like Library::makeDefault's cells but wide enough
+/// that every pin gets its own track column (width in sites >= number
+/// of pins when pitch == site width), which is how real libraries
+/// avoid same-cell pin-access contention in detailed routing.
+Macro makeBenchCell(const std::string& name, int widthSites, int nInputs,
+                    Coord siteWidth, Coord rowHeight, int pinLayer) {
+  Macro macro;
+  macro.name = name;
+  macro.width = widthSites * siteWidth;
+  macro.height = rowHeight;
+  const int nPins = nInputs + 1;
+  const Coord pinSize = std::max<Coord>(2, siteWidth / 5);
+  for (int i = 0; i < nPins; ++i) {
+    db::MacroPin pin;
+    const bool isOutput = (i == nPins - 1);
+    pin.name = isOutput ? "Y" : std::string(1, static_cast<char>('A' + i));
+    pin.dir = isOutput ? db::PinDir::kOutput : db::PinDir::kInput;
+    const Coord cx = macro.width * (2 * i + 1) / (2 * nPins);
+    const Coord cy = rowHeight * (1 + (i % 3)) / 4;
+    pin.shapes.push_back(
+        db::PinShape{pinLayer, Rect{cx - pinSize / 2, cy - pinSize / 2,
+                                    cx + pinSize / 2, cy + pinSize / 2}});
+    macro.pins.push_back(std::move(pin));
+  }
+  return macro;
+}
+
+Library makeBenchLibrary(Coord siteWidth, Coord rowHeight, int pinLayer) {
+  Library lib;
+  lib.addMacro(makeBenchCell("INV_X1", 2, 1, siteWidth, rowHeight, pinLayer));
+  lib.addMacro(makeBenchCell("BUF_X2", 2, 1, siteWidth, rowHeight, pinLayer));
+  lib.addMacro(
+      makeBenchCell("NAND2_X1", 3, 2, siteWidth, rowHeight, pinLayer));
+  lib.addMacro(
+      makeBenchCell("NOR2_X1", 3, 2, siteWidth, rowHeight, pinLayer));
+  lib.addMacro(
+      makeBenchCell("AOI21_X1", 4, 3, siteWidth, rowHeight, pinLayer));
+  lib.addMacro(
+      makeBenchCell("OAI22_X1", 5, 4, siteWidth, rowHeight, pinLayer));
+  lib.addMacro(
+      makeBenchCell("MUX2_X1", 4, 3, siteWidth, rowHeight, pinLayer));
+  lib.addMacro(makeBenchCell("DFF_X1", 6, 2, siteWidth, rowHeight, pinLayer));
+  lib.addMacro(
+      makeBenchCell("DFFR_X2", 8, 3, siteWidth, rowHeight, pinLayer));
+  return lib;
+}
+
+}  // namespace
+
+db::Database generateBenchmark(const BenchmarkSpec& spec) {
+  util::Rng rng(spec.seed);
+
+  Tech tech = Tech::makeDefault(spec.numLayers, spec.pitch, spec.wireWidth,
+                                spec.wireSpacing, spec.minArea,
+                                spec.siteWidth, spec.rowHeight);
+  Library lib = makeBenchLibrary(spec.siteWidth, spec.rowHeight,
+                                 /*pinLayer=*/0);
+
+  // ---- pick macros for every cell -------------------------------------------
+  // Weighted toward small cells, like real standard-cell mixes.
+  std::vector<int> macroOf(spec.targetCells);
+  Coord totalCellWidth = 0;
+  for (int i = 0; i < spec.targetCells; ++i) {
+    const double draw = rng.uniform();
+    const char* name = draw < 0.30   ? "INV_X1"
+                       : draw < 0.50 ? "NAND2_X1"
+                       : draw < 0.65 ? "NOR2_X1"
+                       : draw < 0.75 ? "BUF_X2"
+                       : draw < 0.85 ? "AOI21_X1"
+                       : draw < 0.92 ? "MUX2_X1"
+                       : draw < 0.97 ? "DFF_X1"
+                                     : "DFFR_X2";
+    macroOf[i] = *lib.findMacro(name);
+    totalCellWidth += lib.macro(macroOf[i]).width;
+  }
+
+  // ---- floorplan: near-square core at the target utilization ----------------
+  const double cellArea =
+      static_cast<double>(totalCellWidth) * spec.rowHeight;
+  const double coreArea = cellArea / std::max(0.05, spec.utilization);
+  int numRows = std::max(
+      2, static_cast<int>(std::lround(std::sqrt(coreArea) / spec.rowHeight)));
+  Coord rowWidth = static_cast<Coord>(coreArea / numRows / spec.rowHeight);
+  rowWidth = ((rowWidth + spec.siteWidth - 1) / spec.siteWidth) *
+             spec.siteWidth;
+  const int sitesPerRow = static_cast<int>(rowWidth / spec.siteWidth);
+
+  Design design;
+  design.name = spec.name;
+  design.dieArea = Rect{0, 0, rowWidth, numRows * spec.rowHeight};
+  for (int r = 0; r < numRows; ++r) {
+    design.rows.push_back(Row{"row_" + std::to_string(r),
+                              Point{0, r * spec.rowHeight}, sitesPerRow,
+                              geom::Orientation::kN});
+  }
+  design.gcellCountX = std::max<int>(
+      3, static_cast<int>(design.dieArea.width() / spec.gcellSize));
+  design.gcellCountY = std::max<int>(
+      3, static_cast<int>(design.dieArea.height() / spec.gcellSize));
+  addTracks(design, tech);
+
+  // ---- placement: row-fill with randomized gaps ------------------------------
+  // Shuffle the cell order, then deal cells into rows left to right,
+  // inserting gap sites so the total fill matches the utilization.
+  std::vector<int> order(spec.targetCells);
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1],
+              order[static_cast<std::size_t>(rng.uniformInt(0, i - 1))]);
+  }
+  const Coord totalRowWidth = static_cast<Coord>(numRows) * rowWidth;
+  const Coord totalGap = std::max<Coord>(0, totalRowWidth - totalCellWidth);
+  const double gapPerCell =
+      static_cast<double>(totalGap) / std::max(1, spec.targetCells);
+
+  int rowIdx = 0;
+  Coord x = 0;
+  double gapCredit = 0.0;
+  design.components.reserve(spec.targetCells);
+  for (const int cellIdx : order) {
+    const auto& macro = lib.macro(macroOf[cellIdx]);
+    // Random gap (exponential-ish around the average).
+    gapCredit += gapPerCell * rng.uniform(0.0, 2.0);
+    Coord gap = (static_cast<Coord>(gapCredit) / spec.siteWidth) *
+                spec.siteWidth;
+    gapCredit -= static_cast<double>(gap);
+    while (rowIdx < numRows && x + gap + macro.width > rowWidth) {
+      // Close this row; spill remaining gap.
+      ++rowIdx;
+      x = 0;
+      gap = 0;
+    }
+    if (rowIdx >= numRows) {
+      // Extremely unlikely (rounding): place in the last row flush left
+      // is impossible, so grow rows pessimistically instead of failing.
+      break;
+    }
+    x += gap;
+    Component comp;
+    comp.name = "inst_" + std::to_string(cellIdx);
+    comp.macro = macroOf[cellIdx];
+    comp.pos = Point{x, static_cast<Coord>(rowIdx) * spec.rowHeight};
+    design.components.push_back(comp);
+    x += macro.width;
+  }
+  const int placedCells = static_cast<int>(design.components.size());
+
+  // ---- netlist: single-driver nets with locality bias ------------------------
+  // Free input pins per cell (never reuse an input).
+  std::vector<std::vector<int>> freeInputs(placedCells);
+  std::vector<int> outputPin(placedCells, -1);
+  for (int i = 0; i < placedCells; ++i) {
+    const auto& macro = lib.macro(design.components[i].macro);
+    for (int p = 0; p < static_cast<int>(macro.pins.size()); ++p) {
+      if (macro.pins[p].dir == db::PinDir::kInput) {
+        freeInputs[i].push_back(p);
+      } else if (outputPin[i] < 0) {
+        outputPin[i] = p;
+      }
+    }
+  }
+  // Spatial buckets for locality: tiles sized relative to the die so
+  // "local" keeps meaning the same die fraction at every scale.
+  const Coord tile = std::max<Coord>(
+      {spec.rowHeight, spec.gcellSize,
+       std::min(design.dieArea.width(), design.dieArea.height()) / 10});
+  const int tilesX =
+      std::max<int>(1, static_cast<int>(design.dieArea.width() / tile));
+  const int tilesY =
+      std::max<int>(1, static_cast<int>(design.dieArea.height() / tile));
+  std::vector<std::vector<int>> tileCells(
+      static_cast<std::size_t>(tilesX) * tilesY);
+  auto tileOf = [&](const Point& p) {
+    const int tx = std::clamp<int>(static_cast<int>(p.x / tile), 0,
+                                   tilesX - 1);
+    const int ty = std::clamp<int>(static_cast<int>(p.y / tile), 0,
+                                   tilesY - 1);
+    return ty * tilesX + tx;
+  };
+  for (int i = 0; i < placedCells; ++i) {
+    tileCells[tileOf(design.components[i].pos)].push_back(i);
+  }
+
+  const int targetNets = static_cast<int>(
+      std::lround(spec.netsPerCell * placedCells));
+  // Drivers in shuffled order; wrap around if more nets than drivers.
+  std::vector<int> drivers;
+  for (int i = 0; i < placedCells; ++i) {
+    if (outputPin[i] >= 0) drivers.push_back(i);
+  }
+  for (std::size_t i = drivers.size(); i > 1; --i) {
+    std::swap(drivers[i - 1],
+              drivers[static_cast<std::size_t>(rng.uniformInt(0, i - 1))]);
+  }
+
+  const Coord localRadius = 3 * tile / 2;
+  auto pickSink = [&](int driver) -> int {
+    const Point dp = design.components[driver].pos;
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      int candidate;
+      const bool wantLocal = rng.bernoulli(spec.localityBias);
+      if (wantLocal) {
+        // Local: a random cell from the driver's tile neighbourhood,
+        // accepted only within the local radius.
+        const int tx = std::clamp<int>(
+            static_cast<int>(dp.x / tile) +
+                static_cast<int>(rng.uniformInt(-1, 1)),
+            0, tilesX - 1);
+        const int ty = std::clamp<int>(
+            static_cast<int>(dp.y / tile) +
+                static_cast<int>(rng.uniformInt(-1, 1)),
+            0, tilesY - 1);
+        const auto& bucket = tileCells[ty * tilesX + tx];
+        if (bucket.empty()) continue;
+        candidate = bucket[static_cast<std::size_t>(
+            rng.uniformInt(0, bucket.size() - 1))];
+        if (geom::manhattan(design.components[candidate].pos, dp) >
+            localRadius) {
+          continue;
+        }
+      } else {
+        candidate = static_cast<int>(rng.uniformInt(0, placedCells - 1));
+      }
+      if (candidate != driver && !freeInputs[candidate].empty()) {
+        return candidate;
+      }
+    }
+    return -1;
+  };
+
+  int netId = 0;
+  for (int d = 0; d < targetNets && d < static_cast<int>(drivers.size());
+       ++d) {
+    const int driver = drivers[d];
+    // Fan-out: mostly 1-3 sinks, occasional larger nets.
+    const int fanout = static_cast<int>(rng.geometric(1, 0.45, 12));
+    Net net;
+    net.name = "net_" + std::to_string(netId);
+    net.pins.push_back(NetPin{db::CompPinRef{driver, outputPin[driver]}});
+    int sinks = 0;
+    for (int s = 0; s < fanout; ++s) {
+      const int sink = pickSink(driver);
+      if (sink < 0) break;
+      const int pin = freeInputs[sink].back();
+      freeInputs[sink].pop_back();
+      net.pins.push_back(NetPin{db::CompPinRef{sink, pin}});
+      ++sinks;
+    }
+    if (sinks == 0) continue;  // dangling driver: skip the net
+    design.nets.push_back(std::move(net));
+    ++netId;
+  }
+
+  // ---- IO pins: a few boundary pins attached to fresh nets -------------------
+  const int numIo = std::max(2, placedCells / 200);
+  for (int i = 0; i < numIo; ++i) {
+    db::IoPin pin;
+    pin.name = "io_" + std::to_string(i);
+    const bool onLeft = (i % 2 == 0);
+    const Coord y = geom::snapNearest(
+        static_cast<Coord>(rng.uniformInt(design.dieArea.ylo,
+                                          design.dieArea.yhi - 1)),
+        spec.pitch / 2, spec.pitch);
+    pin.pos = Point{onLeft ? design.dieArea.xlo : design.dieArea.xhi, y};
+    pin.layer = 0;
+    pin.shape = Rect{pin.pos.x - 5, pin.pos.y - 5, pin.pos.x + 5,
+                     pin.pos.y + 5};
+    const db::IoPinId ioId =
+        static_cast<db::IoPinId>(design.ioPins.size());
+    design.ioPins.push_back(pin);
+    // Connect to a random cell with a free input.
+    int sink = -1;
+    for (int attempt = 0; attempt < 20 && sink < 0; ++attempt) {
+      const int candidate =
+          static_cast<int>(rng.uniformInt(0, placedCells - 1));
+      if (!freeInputs[candidate].empty()) sink = candidate;
+    }
+    if (sink >= 0) {
+      Net net;
+      net.name = "io_net_" + std::to_string(i);
+      net.pins.push_back(NetPin{ioId});
+      const int pinIdx = freeInputs[sink].back();
+      freeInputs[sink].pop_back();
+      net.pins.push_back(NetPin{db::CompPinRef{sink, pinIdx}});
+      design.nets.push_back(std::move(net));
+    }
+  }
+
+  // ---- congestion hotspots: mid-layer routing blockages ----------------------
+  for (int h = 0; h < spec.hotspots; ++h) {
+    const Coord w = design.dieArea.width() / 6;
+    const Coord hgt = design.dieArea.height() / 6;
+    const Coord cx = static_cast<Coord>(rng.uniformInt(
+        design.dieArea.xlo + w, design.dieArea.xhi - w));
+    const Coord cy = static_cast<Coord>(rng.uniformInt(
+        design.dieArea.ylo + hgt, design.dieArea.yhi - hgt));
+    const Rect region{cx - w / 2, cy - hgt / 2, cx + w / 2, cy + hgt / 2};
+    // Block a strength-fraction of the mid layers over the region: a
+    // horizontal and a vertical layer lose capacity there.
+    const Coord blockedH =
+        static_cast<Coord>(region.height() * spec.hotspotStrength);
+    const Coord blockedW =
+        static_cast<Coord>(region.width() * spec.hotspotStrength);
+    design.blockages.push_back(db::Blockage{
+        2, Rect{region.xlo, region.ylo, region.xhi,
+                region.ylo + blockedH}});
+    design.blockages.push_back(db::Blockage{
+        3, Rect{region.xlo, region.ylo, region.xlo + blockedW,
+                region.yhi}});
+  }
+
+  db::Database db(std::move(tech), std::move(lib), std::move(design));
+  if (spec.refinePlacement) {
+    dplace::DetailedPlacerOptions options;
+    options.passes = 3;
+    options.seed = spec.seed;
+    dplace::DetailedPlacer placer(db, options);
+    placer.run();
+  }
+  return db;
+}
+
+}  // namespace crp::bmgen

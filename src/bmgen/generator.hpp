@@ -1,0 +1,56 @@
+// Synthetic benchmark generator — the ISPD-2018 suite substitute.
+//
+// Generates complete designs (tech + library + placed netlist + tracks
+// + gcell grid + optional congestion-hotspot blockages) that mirror the
+// structural properties CR&P's behaviour depends on: high row
+// utilization, local-with-occasional-global netlist connectivity
+// (Rent-style), mostly 2-4-pin nets with a fat tail, and congestion
+// hotspots.  Deterministic for a given spec (seeded xoshiro RNG).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "db/database.hpp"
+
+namespace crp::bmgen {
+
+struct BenchmarkSpec {
+  std::string name = "bench";
+  int targetCells = 1000;
+  double utilization = 0.85;  ///< row fill fraction (ISPD-2018-like)
+  int numLayers = 6;
+  int techNode = 32;  ///< cosmetic (Table II column)
+  /// Net count as a fraction of cell count (Table II ratios).
+  double netsPerCell = 1.0;
+  /// Fraction of sinks chosen locally (within ~2 gcells); the rest are
+  /// uniform over the die (the Rent-style global tail).
+  double localityBias = 0.8;
+  /// Number of congestion hotspots (routing blockages on mid layers).
+  int hotspots = 0;
+  /// Fraction of each hotspot's gcell capacity removed.
+  double hotspotStrength = 0.5;
+  /// Run an HPWL refinement pass (global swap + local reordering) on
+  /// the generated placement, mirroring the contest benchmarks whose
+  /// placements are already optimized — without it, a pure median-move
+  /// optimizer ([18]) gets artificial slack that real inputs lack.
+  bool refinePlacement = false;
+  std::uint64_t seed = 1;
+
+  // Physical parameters (DBU).  The track pitch equals the site width,
+  // matching real libraries where M1/M2 pitch tracks the site grid —
+  // a coarser pitch makes abutting cells' pins collide on tracks.
+  geom::Coord siteWidth = 10;
+  geom::Coord rowHeight = 100;
+  geom::Coord pitch = 10;
+  geom::Coord wireWidth = 4;
+  geom::Coord wireSpacing = 6;
+  geom::Coord minArea = 60;
+  geom::Coord gcellSize = 200;  ///< target gcell edge length
+};
+
+/// Generates the full design database for a spec.  The placement is
+/// legal by construction and the netlist is single-driver.
+db::Database generateBenchmark(const BenchmarkSpec& spec);
+
+}  // namespace crp::bmgen

@@ -1,0 +1,32 @@
+// The crp_test1..10 suite: a laptop-scale mirror of the ISPD-2018
+// contest benchmarks (paper Table II).  Cell/net counts follow the
+// contest's size ladder and cells/nets ratios, scaled down by a
+// configurable factor (default 1/40); congestion hotspots are placed
+// on the designs the paper identifies as congested (tests 5-9), and
+// tests 2-3 are generated with weaker locality/congestion so the
+// median-move baseline [18] can win there, as in Table III.
+#pragma once
+
+#include <vector>
+
+#include "bmgen/generator.hpp"
+
+namespace crp::bmgen {
+
+/// Table II row (paper side), used to derive the scaled spec and to
+/// print the bench_table2 reproduction.
+struct SuiteEntry {
+  std::string name;
+  int paperNets;   ///< Table II "# nets"
+  int paperCells;  ///< Table II "# cells"
+  int techNode;    ///< 45 or 32 (nm)
+  int hotspots;    ///< congestion hotspots in the scaled design
+  double utilization;
+  BenchmarkSpec spec;  ///< fully derived generator spec
+};
+
+/// Builds the suite specs.  `scale` divides the paper's cell counts
+/// (1.0 = full contest scale; default 40 yields ~200-7000 cells).
+std::vector<SuiteEntry> ispdLikeSuite(double scaleDivisor = 40.0);
+
+}  // namespace crp::bmgen

@@ -1,0 +1,134 @@
+#include "crp/candidate_generation.hpp"
+
+#include <algorithm>
+
+namespace crp::core {
+
+std::vector<groute::GPoint> terminalsWithOverrides(
+    const db::Database& db, const groute::RoutingGraph& graph, db::NetId net,
+    const std::unordered_map<db::CellId, geom::Point>& overrides) {
+  std::vector<groute::GPoint> terminals;
+  for (const db::NetPin& pin : db.net(net).pins) {
+    geom::Point pos;
+    int layer = 0;
+    if (pin.isIo()) {
+      pos = db.design().ioPins[pin.ioPin()].pos;
+      layer = db.design().ioPins[pin.ioPin()].layer;
+    } else {
+      const auto& ref = pin.compPin();
+      const auto& comp = db.cell(ref.cell);
+      const auto& macro = db.macroOf(ref.cell);
+      const auto it = overrides.find(ref.cell);
+      const geom::Point origin = it != overrides.end() ? it->second
+                                                       : comp.pos;
+      pos = geom::transformPoint(macro.pins[ref.pin].accessPoint(), origin,
+                                 macro.width, macro.height, comp.orient);
+      if (!macro.pins[ref.pin].shapes.empty()) {
+        layer = macro.pins[ref.pin].shapes.front().layer;
+      }
+    }
+    const db::GCell g = graph.grid().cellAt(pos);
+    terminals.push_back(groute::GPoint{layer, g.x, g.y});
+  }
+  std::sort(terminals.begin(), terminals.end());
+  terminals.erase(std::unique(terminals.begin(), terminals.end()),
+                  terminals.end());
+  return terminals;
+}
+
+double estimateCandidateCost(const db::Database& db,
+                             const groute::GlobalRouter& router,
+                             const groute::PatternRouter& pattern,
+                             db::CellId cell, const Candidate& candidate) {
+  std::unordered_map<db::CellId, geom::Point> overrides;
+  overrides.emplace(cell, candidate.position);
+  for (const auto& [id, pos] : candidate.displaced) {
+    overrides.emplace(id, pos);
+  }
+
+  // Affected nets: all nets of every moved cell, priced once.
+  std::vector<db::NetId> nets;
+  for (const auto& [id, pos] : overrides) {
+    for (const db::NetId n : db.netsOfCell(id)) nets.push_back(n);
+  }
+  std::sort(nets.begin(), nets.end());
+  nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
+
+  double total = 0.0;
+  for (const db::NetId n : nets) {
+    const auto terminals =
+        terminalsWithOverrides(db, router.graph(), n, overrides);
+    total += pattern.priceTree(terminals);
+  }
+  return total;
+}
+
+std::vector<CellCandidates> buildCandidates(
+    const db::Database& db, const legalizer::IlpLegalizer& legalizer,
+    const std::vector<db::CellId>& criticalSet, util::ThreadPool* pool) {
+  std::unordered_set<db::CellId> criticalLookup(criticalSet.begin(),
+                                                criticalSet.end());
+  std::vector<CellCandidates> result(criticalSet.size());
+
+  // Alg. 2 lines 1-6 (parallel): current position + legalizer output.
+  auto buildFor = [&](std::size_t i) {
+    const db::CellId cell = criticalSet[i];
+    CellCandidates& out = result[i];
+    out.cell = cell;
+    Candidate current;
+    current.position = db.cell(cell).pos;
+    current.isCurrent = true;
+    out.candidates.push_back(current);
+    for (const auto& legal : legalizer.generate(cell)) {
+      // Never displace another critical cell: the selection model
+      // treats critical assignments as independent one-hots.
+      bool displacesCritical = false;
+      for (const auto& [id, pos] : legal.displaced) {
+        if (criticalLookup.count(id) > 0) {
+          displacesCritical = true;
+          break;
+        }
+      }
+      if (displacesCritical) continue;
+      Candidate candidate;
+      candidate.position = legal.position;
+      candidate.displaced = legal.displaced;
+      out.candidates.push_back(std::move(candidate));
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallelFor(criticalSet.size(), buildFor);
+  } else {
+    for (std::size_t i = 0; i < criticalSet.size(); ++i) buildFor(i);
+  }
+  return result;
+}
+
+void priceCandidates(const db::Database& db,
+                     const groute::GlobalRouter& router,
+                     std::vector<CellCandidates>& candidates,
+                     util::ThreadPool* pool) {
+  const groute::PatternRouter pattern(router.graph());
+  auto priceFor = [&](std::size_t i) {
+    for (Candidate& candidate : candidates[i].candidates) {
+      candidate.routeCost = estimateCandidateCost(
+          db, router, pattern, candidates[i].cell, candidate);
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallelFor(candidates.size(), priceFor);
+  } else {
+    for (std::size_t i = 0; i < candidates.size(); ++i) priceFor(i);
+  }
+}
+
+std::vector<CellCandidates> generateCandidates(
+    const db::Database& db, const groute::GlobalRouter& router,
+    const legalizer::IlpLegalizer& legalizer,
+    const std::vector<db::CellId>& criticalSet, util::ThreadPool* pool) {
+  auto result = buildCandidates(db, legalizer, criticalSet, pool);
+  priceCandidates(db, router, result, pool);
+  return result;
+}
+
+}  // namespace crp::core

@@ -1,0 +1,71 @@
+// Alg. 2 (Generate Candidate Positions) + Alg. 3 (Cost Estimation).
+//
+// Each critical cell receives its current position plus the ILP
+// legalizer's proposals (Alg. 2 lines 1-6, run in parallel).  Every
+// candidate is then priced by re-building the Steiner topology of each
+// affected net and 3D-pattern-routing it against the live congestion
+// state (Alg. 3, run in parallel).  Nets of displaced conflict cells
+// are priced too, so a candidate pays for the collateral movement it
+// causes.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "db/database.hpp"
+#include "groute/global_router.hpp"
+#include "groute/pattern_route.hpp"
+#include "legalizer/ilp_legalizer.hpp"
+#include "util/thread_pool.hpp"
+
+namespace crp::core {
+
+/// One placement candidate of a critical cell, with its bundled
+/// conflict-cell displacement and the Alg. 3 estimated routing cost.
+struct Candidate {
+  geom::Point position;
+  std::vector<std::pair<db::CellId, geom::Point>> displaced;
+  double routeCost = 0.0;
+  bool isCurrent = false;
+};
+
+struct CellCandidates {
+  db::CellId cell = db::kInvalidId;
+  std::vector<Candidate> candidates;
+};
+
+/// Pin terminals of `net` with some cells hypothetically relocated.
+std::vector<groute::GPoint> terminalsWithOverrides(
+    const db::Database& db, const groute::RoutingGraph& graph, db::NetId net,
+    const std::unordered_map<db::CellId, geom::Point>& overrides);
+
+/// Alg. 3 for one candidate: total pattern-route price of every net
+/// touching the moved cells, at the hypothetical positions.
+double estimateCandidateCost(
+    const db::Database& db, const groute::GlobalRouter& router,
+    const groute::PatternRouter& pattern, db::CellId cell,
+    const Candidate& candidate);
+
+/// Alg. 2 (GCP phase): builds the candidate lists — current position
+/// plus the legalizer's proposals.  Candidates that would displace
+/// another critical cell are dropped (the selection ILP treats each
+/// critical cell's assignment as independent; see DESIGN.md §6).
+/// `pool` may be null for single-threaded execution.
+std::vector<CellCandidates> buildCandidates(
+    const db::Database& db, const legalizer::IlpLegalizer& legalizer,
+    const std::vector<db::CellId>& criticalSet, util::ThreadPool* pool);
+
+/// Alg. 3 (ECC phase): prices every candidate in place.
+void priceCandidates(const db::Database& db,
+                     const groute::GlobalRouter& router,
+                     std::vector<CellCandidates>& candidates,
+                     util::ThreadPool* pool);
+
+/// Convenience: buildCandidates + priceCandidates.
+std::vector<CellCandidates> generateCandidates(
+    const db::Database& db, const groute::GlobalRouter& router,
+    const legalizer::IlpLegalizer& legalizer,
+    const std::vector<db::CellId>& criticalSet, util::ThreadPool* pool);
+
+}  // namespace crp::core

@@ -1,0 +1,83 @@
+#include "crp/critical_cells.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace crp::core {
+
+std::vector<double> cellRouteCosts(const db::Database& db,
+                                   const groute::GlobalRouter& router) {
+  // Net costs are shared across cells; price each net once.
+  std::vector<double> netCost(db.numNets(), 0.0);
+  for (db::NetId n = 0; n < db.numNets(); ++n) {
+    netCost[n] = router.netRouteCost(n);
+  }
+  std::vector<double> cellCost(db.numCells(), 0.0);
+  for (db::CellId c = 0; c < db.numCells(); ++c) {
+    for (const db::NetId n : db.netsOfCell(c)) {
+      cellCost[c] += netCost[n];
+    }
+  }
+  return cellCost;
+}
+
+std::vector<db::CellId> labelCriticalCells(
+    const db::Database& db, const groute::GlobalRouter& router,
+    const std::unordered_set<db::CellId>& historyCritical,
+    const std::unordered_set<db::CellId>& historyMoved, util::Rng& rng,
+    const CrpOptions& options) {
+  const std::vector<double> cost = cellRouteCosts(db, router);
+
+  std::vector<db::CellId> order(db.numCells());
+  std::iota(order.begin(), order.end(), 0);
+  if (options.prioritizeByCost) {
+    std::sort(order.begin(), order.end(), [&](db::CellId a, db::CellId b) {
+      if (cost[a] != cost[b]) return cost[a] > cost[b];
+      return a < b;
+    });
+  } else {
+    // Ablation A2: no criticality priority (the [18] behaviour).
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1],
+                order[static_cast<std::size_t>(rng.uniformInt(0, i - 1))]);
+    }
+  }
+
+  const std::size_t cap = std::min<std::size_t>(
+      static_cast<std::size_t>(options.gamma * db.numCells()),
+      static_cast<std::size_t>(options.maxCriticalCells));
+
+  std::unordered_set<db::CellId> selected;
+  std::vector<db::CellId> criticalSet;
+  for (const db::CellId c : order) {
+    if (criticalSet.size() >= cap) break;  // line 15
+    if (db.cell(c).fixed) continue;
+    if (cost[c] <= 0.0) continue;  // unconnected / unrouted cell
+
+    // Line 6: skip when any connected cell is already selected.
+    bool neighborSelected = false;
+    for (const db::CellId other : db.connectedCells(c)) {
+      if (selected.count(other) > 0) {
+        neighborSelected = true;
+        break;
+      }
+    }
+    if (neighborSelected) continue;
+
+    // Lines 9-12: history-damped acceptance.
+    if (options.historyDamping) {
+      const int histC = historyCritical.count(c) > 0 ? 1 : 0;
+      const int histM = historyMoved.count(c) > 0 ? 1 : 0;
+      const double acceptance =
+          std::exp(-(histC + histM) / options.temperature);
+      if (!(acceptance > rng.uniform())) continue;
+    }
+
+    selected.insert(c);
+    criticalSet.push_back(c);
+  }
+  return criticalSet;
+}
+
+}  // namespace crp::core

@@ -1,0 +1,33 @@
+// Alg. 1: Label Critical Cells.
+//
+// Cells are ranked by the cost of their nets' committed global routes
+// (live Eq. 10 prices), then greedily collected subject to:
+//   * no two selected cells share a net (line 6),
+//   * previously-critical / previously-moved cells are damped with the
+//     simulated-annealing probability exp(-(hist_c + hist_m)/T)
+//     (lines 9-12),
+//   * the selection stops at gamma * |C| cells (line 15).
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "crp/options.hpp"
+#include "db/database.hpp"
+#include "groute/global_router.hpp"
+#include "util/rng.hpp"
+
+namespace crp::core {
+
+/// Per-cell routing criticality: sum of the live route costs of the
+/// cell's nets (the sort key of Alg. 1 line 3).
+std::vector<double> cellRouteCosts(const db::Database& db,
+                                   const groute::GlobalRouter& router);
+
+std::vector<db::CellId> labelCriticalCells(
+    const db::Database& db, const groute::GlobalRouter& router,
+    const std::unordered_set<db::CellId>& historyCritical,
+    const std::unordered_set<db::CellId>& historyMoved, util::Rng& rng,
+    const CrpOptions& options);
+
+}  // namespace crp::core

@@ -1,0 +1,140 @@
+#include "crp/framework.hpp"
+
+#include <algorithm>
+
+#include "util/logger.hpp"
+
+namespace crp::core {
+
+CrpFramework::CrpFramework(db::Database& db, groute::GlobalRouter& router,
+                           CrpOptions options)
+    : db_(db),
+      router_(router),
+      options_(options),
+      rng_(options.seed),
+      pool_(options.threads == 0 ? 0
+                                 : static_cast<std::size_t>(options.threads)) {
+}
+
+IterationReport CrpFramework::runIteration() {
+  IterationReport report;
+
+  // ---- LCC: Alg. 1 -----------------------------------------------------------
+  std::vector<db::CellId> criticalSet;
+  {
+    util::ScopedTimer timer(timers_, kPhaseLcc);
+    criticalSet = labelCriticalCells(db_, router_, criticalHistory_, moved_,
+                                     rng_, options_);
+  }
+  report.criticalCells = static_cast<int>(criticalSet.size());
+  if (criticalSet.empty()) return report;
+
+  // ---- GCP + ECC: Alg. 2 / Alg. 3 ---------------------------------------------
+  std::vector<CellCandidates> candidates;
+  {
+    // The legalizer snapshot reads current positions; a fresh instance
+    // per iteration keeps it consistent after the previous UD phase.
+    util::ScopedTimer timer(timers_, kPhaseGcp);
+    const legalizer::IlpLegalizer legalizer(db_, options_.legalizer);
+    candidates = buildCandidates(db_, legalizer, criticalSet, &pool_);
+  }
+  {
+    util::ScopedTimer timer(timers_, kPhaseEcc);
+    priceCandidates(db_, router_, candidates, &pool_);
+  }
+
+  // ---- SEL: Eq. 12 -----------------------------------------------------------
+  SelectionResult selection;
+  {
+    util::ScopedTimer timer(timers_, kPhaseSel);
+    selection = selectCandidates(db_, candidates);
+  }
+  report.selectedCost = selection.totalCost;
+
+  // ---- UD: §IV.B.5 -----------------------------------------------------------
+  {
+    util::ScopedTimer timer(timers_, kPhaseUd);
+
+    // Move-budget enforcement (ICCAD-style contests): rank the selected
+    // moves by estimated gain and keep the best that fit.
+    std::vector<std::size_t> moveOrder;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (!candidates[i].candidates[selection.chosen[i]].isCurrent) {
+        moveOrder.push_back(i);
+      }
+    }
+    std::sort(moveOrder.begin(), moveOrder.end(),
+              [&](std::size_t a, std::size_t b) {
+                auto gain = [&](std::size_t i) {
+                  const auto& cc = candidates[i];
+                  return cc.candidates.front().routeCost -
+                         cc.candidates[selection.chosen[i]].routeCost;
+                };
+                return gain(a) > gain(b);
+              });
+    std::unordered_set<std::size_t> committed;
+    int budget = options_.maxMovesTotal - movesUsed_;
+    for (const std::size_t i : moveOrder) {
+      const int needed =
+          1 + static_cast<int>(
+                  candidates[i].candidates[selection.chosen[i]]
+                      .displaced.size());
+      if (needed > budget) continue;
+      budget -= needed;
+      committed.insert(i);
+    }
+
+    std::vector<db::NetId> affectedNets;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const Candidate& chosen =
+          candidates[i].candidates[selection.chosen[i]];
+      if (chosen.isCurrent) continue;
+      if (committed.count(i) == 0) continue;  // over the move budget
+      const db::CellId cell = candidates[i].cell;
+      db_.moveCell(cell, chosen.position);
+      moved_.insert(cell);
+      ++report.movedCells;
+      for (const db::NetId n : db_.netsOfCell(cell)) {
+        affectedNets.push_back(n);
+      }
+      for (const auto& [id, pos] : chosen.displaced) {
+        db_.moveCell(id, pos);
+        moved_.insert(id);
+        ++report.displacedCells;
+        for (const db::NetId n : db_.netsOfCell(id)) {
+          affectedNets.push_back(n);
+        }
+      }
+    }
+    std::sort(affectedNets.begin(), affectedNets.end());
+    affectedNets.erase(
+        std::unique(affectedNets.begin(), affectedNets.end()),
+        affectedNets.end());
+    for (const db::NetId n : affectedNets) {
+      router_.rerouteNet(n);
+    }
+    report.reroutedNets = static_cast<int>(affectedNets.size());
+    movesUsed_ += report.movedCells + report.displacedCells;
+  }
+
+  for (const db::CellId c : criticalSet) criticalHistory_.insert(c);
+
+  CRP_LOG_DEBUG(
+      "crp iteration: {} critical, {} moved (+{} displaced), {} rerouted",
+      report.criticalCells, report.movedCells, report.displacedCells,
+      report.reroutedNets);
+  return report;
+}
+
+CrpReport CrpFramework::run() {
+  CrpReport report;
+  for (int k = 0; k < options_.iterations; ++k) {
+    const IterationReport iteration = runIteration();
+    report.totalMoves += iteration.movedCells + iteration.displacedCells;
+    report.totalReroutes += iteration.reroutedNets;
+    report.iterations.push_back(iteration);
+  }
+  return report;
+}
+
+}  // namespace crp::core

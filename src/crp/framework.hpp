@@ -1,0 +1,79 @@
+// The CR&P framework driver (paper Fig. 1, step 2).
+//
+// Each iteration executes the five phases:
+//   LCC  Label Critical Cells            (Alg. 1)
+//   GCP  Generate Candidate Positions    (Alg. 2, ILP legalizer)
+//   ECC  Estimate Candidates Cost        (Alg. 3, 3D pattern route)
+//   SEL  Find Best Candidates            (Eq. 12 ILP)
+//   UD   Update Database                 (§IV.B.5: move + reroute)
+// and records per-phase wall-clock in a PhaseTimer (Fig. 2 / Fig. 3).
+#pragma once
+
+#include <unordered_set>
+
+#include "crp/candidate_generation.hpp"
+#include "crp/critical_cells.hpp"
+#include "crp/options.hpp"
+#include "crp/selection.hpp"
+#include "db/database.hpp"
+#include "groute/global_router.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace crp::core {
+
+/// Phase names used in the timer (Fig. 3 buckets GCP / ECC / UD; LCC
+/// and SEL fall into the figure's "Misc").
+inline constexpr const char* kPhaseLcc = "LCC";
+inline constexpr const char* kPhaseGcp = "GCP";
+inline constexpr const char* kPhaseEcc = "ECC";
+inline constexpr const char* kPhaseSel = "SEL";
+inline constexpr const char* kPhaseUd = "UD";
+
+struct IterationReport {
+  int criticalCells = 0;
+  int movedCells = 0;
+  int displacedCells = 0;  ///< conflict cells moved alongside
+  int reroutedNets = 0;
+  double selectedCost = 0.0;  ///< Eq. 12 objective of the selection
+};
+
+struct CrpReport {
+  std::vector<IterationReport> iterations;
+  int totalMoves = 0;
+  int totalReroutes = 0;
+};
+
+class CrpFramework {
+ public:
+  /// The framework mutates `db` (cell positions) and `router` (routes
+  /// and demand maps); both must outlive it.
+  CrpFramework(db::Database& db, groute::GlobalRouter& router,
+               CrpOptions options = {});
+
+  /// Runs options.iterations iterations (the paper's k).
+  CrpReport run();
+
+  /// Runs a single iteration (exposed for tests and custom loops).
+  IterationReport runIteration();
+
+  const util::PhaseTimer& timers() const { return timers_; }
+  const std::unordered_set<db::CellId>& movedSet() const { return moved_; }
+  const std::unordered_set<db::CellId>& criticalHistory() const {
+    return criticalHistory_;
+  }
+
+ private:
+  db::Database& db_;
+  groute::GlobalRouter& router_;
+  CrpOptions options_;
+  util::Rng rng_;
+  util::ThreadPool pool_;
+  util::PhaseTimer timers_;
+  std::unordered_set<db::CellId> criticalHistory_;  ///< db.critical_hist
+  std::unordered_set<db::CellId> moved_;            ///< db.moved_set
+  int movesUsed_ = 0;  ///< against options.maxMovesTotal
+};
+
+}  // namespace crp::core

@@ -1,0 +1,42 @@
+// Configuration of the CR&P framework.  Defaults are the paper's
+// values (§IV.B, §V); the boolean switches exist for the ablation
+// benches (DESIGN.md experiments A1-A3).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "legalizer/ilp_legalizer.hpp"
+
+namespace crp::core {
+
+struct CrpOptions {
+  int iterations = 1;        ///< k in the paper (Table III: 1 and 10)
+  double gamma = 0.6;        ///< max fraction of cells labeled critical
+  double temperature = 1.0;  ///< T in Alg. 1 line 11
+
+  /// Alg. 1 sorts cells by routing cost (paper) — false = random order
+  /// (ablation A2, the [18]-style no-priority selection).
+  bool prioritizeByCost = true;
+  /// Alg. 1 damps re-selection via exp(-(hist_c + hist_m)/T) — false =
+  /// always re-eligible (ablation A3).
+  bool historyDamping = true;
+
+  legalizer::LegalizerOptions legalizer;
+
+  std::uint64_t seed = 1;  ///< Alg. 1's annealing draw (reproducible)
+  int threads = 0;         ///< worker threads for Alg. 2/3; 0 = hardware
+
+  /// Safety cap on critical cells per iteration on top of gamma.
+  int maxCriticalCells = std::numeric_limits<int>::max();
+
+  /// Total cell-move budget across all iterations (critical + displaced
+  /// conflict cells).  Mirrors the ICCAD-2020/2021 "routing with cell
+  /// movement" contest constraint the paper cites ([3], [17]): those
+  /// contests allow a bounded number of cell moves.  When the budget
+  /// would be exceeded, the UD phase commits only the selected moves
+  /// with the best estimated cost gain.  Default: unlimited.
+  int maxMovesTotal = std::numeric_limits<int>::max();
+};
+
+}  // namespace crp::core

@@ -1,0 +1,203 @@
+#include "db/database.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace crp::db {
+
+Database::Database(Tech tech, Library library, Design design)
+    : tech_(std::move(tech)),
+      library_(std::move(library)),
+      design_(std::move(design)) {
+  buildIndices();
+}
+
+void Database::buildIndices() {
+  cellByName_.clear();
+  netByName_.clear();
+  cellByName_.reserve(design_.components.size());
+  netByName_.reserve(design_.nets.size());
+  for (CellId i = 0; i < numCells(); ++i) {
+    cellByName_.emplace(design_.components[i].name, i);
+  }
+  for (NetId i = 0; i < numNets(); ++i) {
+    netByName_.emplace(design_.nets[i].name, i);
+  }
+  cellNets_.assign(design_.components.size(), {});
+  for (NetId n = 0; n < numNets(); ++n) {
+    for (const NetPin& pin : design_.nets[n].pins) {
+      if (pin.isIo()) continue;
+      auto& nets = cellNets_[pin.compPin().cell];
+      if (nets.empty() || nets.back() != n) nets.push_back(n);
+    }
+  }
+  // Deduplicate (a net can touch the same cell via several pins in any
+  // order, so back-checking alone is not enough).
+  for (auto& nets : cellNets_) {
+    std::sort(nets.begin(), nets.end());
+    nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
+  }
+}
+
+CellId Database::findCell(const std::string& name) const {
+  const auto it = cellByName_.find(name);
+  return it == cellByName_.end() ? kInvalidId : it->second;
+}
+
+NetId Database::findNet(const std::string& name) const {
+  const auto it = netByName_.find(name);
+  return it == netByName_.end() ? kInvalidId : it->second;
+}
+
+geom::Rect Database::cellRect(CellId id) const {
+  const Component& comp = cell(id);
+  const Macro& macro = library_.macro(comp.macro);
+  return geom::Rect{comp.pos.x, comp.pos.y, comp.pos.x + macro.width,
+                    comp.pos.y + macro.height};
+}
+
+Point Database::pinPosition(const CompPinRef& ref) const {
+  const Component& comp = cell(ref.cell);
+  const Macro& macro = library_.macro(comp.macro);
+  const Point local = macro.pins.at(ref.pin).accessPoint();
+  return geom::transformPoint(local, comp.pos, macro.width, macro.height,
+                              comp.orient);
+}
+
+Point Database::pinPosition(const NetPin& pin) const {
+  if (pin.isIo()) return design_.ioPins.at(pin.ioPin()).pos;
+  return pinPosition(pin.compPin());
+}
+
+std::vector<PinShape> Database::pinShapes(const CompPinRef& ref) const {
+  const Component& comp = cell(ref.cell);
+  const Macro& macro = library_.macro(comp.macro);
+  std::vector<PinShape> shapes;
+  shapes.reserve(macro.pins.at(ref.pin).shapes.size());
+  for (const PinShape& shape : macro.pins.at(ref.pin).shapes) {
+    shapes.push_back(PinShape{
+        shape.layer, geom::transformRect(shape.rect, comp.pos, macro.width,
+                                         macro.height, comp.orient)});
+  }
+  return shapes;
+}
+
+geom::Rect Database::netBoundingBox(NetId id) const {
+  const Net& n = net(id);
+  if (n.pins.empty()) return {};
+  geom::Rect box;
+  bool first = true;
+  for (const NetPin& pin : n.pins) {
+    const Point p = pinPosition(pin);
+    if (first) {
+      box = geom::Rect{p.x, p.y, p.x, p.y};
+      first = false;
+    } else {
+      box.xlo = std::min(box.xlo, p.x);
+      box.ylo = std::min(box.ylo, p.y);
+      box.xhi = std::max(box.xhi, p.x);
+      box.yhi = std::max(box.yhi, p.y);
+    }
+  }
+  return box;
+}
+
+Coord Database::netHpwl(NetId id) const {
+  if (net(id).pins.size() < 2) return 0;
+  return netBoundingBox(id).halfPerimeter();
+}
+
+Coord Database::totalHpwl() const {
+  Coord sum = 0;
+  for (NetId n = 0; n < numNets(); ++n) sum += netHpwl(n);
+  return sum;
+}
+
+std::vector<CellId> Database::connectedCells(CellId id) const {
+  std::vector<CellId> cells;
+  for (const NetId n : netsOfCell(id)) {
+    for (const NetPin& pin : net(n).pins) {
+      if (pin.isIo()) continue;
+      const CellId other = pin.compPin().cell;
+      if (other != id) cells.push_back(other);
+    }
+  }
+  std::sort(cells.begin(), cells.end());
+  cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+  return cells;
+}
+
+std::vector<CellId> Database::cellsOfNet(NetId id) const {
+  std::vector<CellId> cells;
+  for (const NetPin& pin : net(id).pins) {
+    if (!pin.isIo()) cells.push_back(pin.compPin().cell);
+  }
+  std::sort(cells.begin(), cells.end());
+  cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+  return cells;
+}
+
+Point Database::medianPosition(CellId id) const {
+  std::vector<Coord> xs;
+  std::vector<Coord> ys;
+  for (const NetId n : netsOfCell(id)) {
+    for (const NetPin& pin : net(n).pins) {
+      if (!pin.isIo() && pin.compPin().cell == id) continue;
+      const Point p = pinPosition(pin);
+      xs.push_back(p.x);
+      ys.push_back(p.y);
+    }
+  }
+  if (xs.empty()) return cell(id).pos;
+  const auto mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + mid, xs.end());
+  std::nth_element(ys.begin(), ys.begin() + mid, ys.end());
+  return Point{xs[mid], ys[mid]};
+}
+
+int Database::rowAt(Coord y) const {
+  for (int i = 0; i < numRows(); ++i) {
+    const Row& r = design_.rows[i];
+    if (y >= r.origin.y && y < r.origin.y + rowHeight()) return i;
+  }
+  return kInvalidId;
+}
+
+Point Database::snapToSiteRow(Point p, int macroId) const {
+  const Macro& macro = library_.macro(macroId);
+  if (design_.rows.empty()) return p;
+  // Pick the nearest row by the y coordinate of the lower-left corner.
+  const Row* best = &design_.rows.front();
+  Coord bestDist = std::abs(p.y - best->origin.y);
+  for (const Row& r : design_.rows) {
+    const Coord dist = std::abs(p.y - r.origin.y);
+    if (dist < bestDist) {
+      best = &r;
+      bestDist = dist;
+    }
+  }
+  Coord x = geom::snapNearest(p.x, best->origin.x, siteWidth());
+  const Coord rowEnd = best->origin.x + best->numSites * siteWidth();
+  x = std::clamp(x, best->origin.x, rowEnd - macro.width);
+  return Point{x, best->origin.y};
+}
+
+void Database::moveCell(CellId id, Point newPos) {
+  design_.components.at(id).pos = newPos;
+}
+
+double Database::utilization() const {
+  Coord cellArea = 0;
+  for (const Component& comp : design_.components) {
+    const Macro& macro = library_.macro(comp.macro);
+    cellArea += macro.width * macro.height;
+  }
+  Coord rowArea = 0;
+  for (const Row& r : design_.rows) {
+    rowArea += static_cast<Coord>(r.numSites) * siteWidth() * rowHeight();
+  }
+  if (rowArea == 0) return 0.0;
+  return static_cast<double>(cellArea) / static_cast<double>(rowArea);
+}
+
+}  // namespace crp::db

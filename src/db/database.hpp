@@ -1,0 +1,119 @@
+// The central design database.
+//
+// Wraps {Tech, Library, Design} with connectivity indices and
+// invariant-preserving mutators.  All routers, the legalizer and the
+// CR&P framework operate on this object; the "Update Database" phase of
+// the paper (§IV.B.5) maps to moveCell() plus the router's demand-map
+// refresh.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/design.hpp"
+#include "db/library.hpp"
+#include "db/tech.hpp"
+
+namespace crp::db {
+
+class Database {
+ public:
+  Database(Tech tech, Library library, Design design);
+
+  const Tech& tech() const { return tech_; }
+  const Library& library() const { return library_; }
+  const Design& design() const { return design_; }
+  Design& mutableDesign() { return design_; }
+
+  // ---- basic lookups -----------------------------------------------------
+
+  int numCells() const { return static_cast<int>(design_.components.size()); }
+  int numNets() const { return static_cast<int>(design_.nets.size()); }
+
+  const Component& cell(CellId id) const { return design_.components.at(id); }
+  const Net& net(NetId id) const { return design_.nets.at(id); }
+  const Macro& macroOf(CellId id) const {
+    return library_.macro(cell(id).macro);
+  }
+
+  CellId findCell(const std::string& name) const;
+  NetId findNet(const std::string& name) const;
+
+  // ---- geometry ----------------------------------------------------------
+
+  /// Placed bounding box of a cell.
+  geom::Rect cellRect(CellId id) const;
+
+  /// Die-frame access point of a component pin.
+  Point pinPosition(const CompPinRef& ref) const;
+
+  /// Die-frame access point of any net terminal.
+  Point pinPosition(const NetPin& pin) const;
+
+  /// Die-frame physical shapes (rect + layer) of a component pin.
+  std::vector<PinShape> pinShapes(const CompPinRef& ref) const;
+
+  /// Bounding box over all terminals of a net.
+  geom::Rect netBoundingBox(NetId id) const;
+
+  /// Half-perimeter wirelength of a net.
+  Coord netHpwl(NetId id) const;
+
+  /// Total HPWL over all nets.
+  Coord totalHpwl() const;
+
+  // ---- connectivity ------------------------------------------------------
+
+  /// Nets attached to a cell (deduplicated, stable order).
+  const std::vector<NetId>& netsOfCell(CellId id) const {
+    return cellNets_.at(id);
+  }
+
+  /// Cells connected to `id` through any common net (excludes `id`).
+  std::vector<CellId> connectedCells(CellId id) const;
+
+  /// Cells on a net (deduplicated, excludes IO pins).
+  std::vector<CellId> cellsOfNet(NetId id) const;
+
+  /// Median of the positions of all terminals connected to `id` through
+  /// its nets, excluding `id`'s own pins.  This is the target position
+  /// the legalizer cost (Eq. 11) pulls toward.  Falls back to the cell's
+  /// current position when the cell has no external connections.
+  Point medianPosition(CellId id) const;
+
+  // ---- placement helpers / mutators ---------------------------------------
+
+  /// Row index whose y-span contains `y`, or kInvalidId.
+  int rowAt(Coord y) const;
+  const Row& row(int index) const { return design_.rows.at(index); }
+  int numRows() const { return static_cast<int>(design_.rows.size()); }
+
+  Coord rowHeight() const { return tech_.site.height; }
+  Coord siteWidth() const { return tech_.site.width; }
+
+  /// Snaps a point to the nearest legal (site, row) lower-left position
+  /// clamped inside the die for a cell of macro `macroId`.
+  Point snapToSiteRow(Point p, int macroId) const;
+
+  /// Moves a cell to a new lower-left position (no legality check; use
+  /// legality.hpp to validate).  Invalidates nothing: connectivity is
+  /// positional-independent.
+  void moveCell(CellId id, Point newPos);
+
+  /// Sum of cell areas / core row area (utilization in [0,1]).
+  double utilization() const;
+
+ private:
+  void buildIndices();
+
+  Tech tech_;
+  Library library_;
+  Design design_;
+
+  std::unordered_map<std::string, CellId> cellByName_;
+  std::unordered_map<std::string, NetId> netByName_;
+  std::vector<std::vector<NetId>> cellNets_;
+};
+
+}  // namespace crp::db

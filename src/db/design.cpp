@@ -1,0 +1,7 @@
+#include "db/design.hpp"
+
+// Design is plain data; all behaviour lives in Database.  This
+// translation unit exists so the target has a stable archive member
+// even if Design later grows out-of-line helpers.
+
+namespace crp::db {}  // namespace crp::db

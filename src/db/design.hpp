@@ -1,0 +1,104 @@
+// Design model (DEF side): die area, rows, routing tracks, placed
+// components, IO pins, nets and blockages.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "db/tech.hpp"
+#include "geom/geometry.hpp"
+
+namespace crp::db {
+
+using geom::Orientation;
+using geom::Point;
+
+using CellId = int;   ///< index into Design::components
+using NetId = int;    ///< index into Design::nets
+using IoPinId = int;  ///< index into Design::ioPins
+inline constexpr int kInvalidId = -1;
+
+/// A placed instance of a library macro.
+struct Component {
+  std::string name;
+  int macro = 0;  ///< Library macro id
+  Point pos;      ///< lower-left corner in DBU
+  Orientation orient = Orientation::kN;
+  bool fixed = false;
+};
+
+/// A top-level IO pin with a fixed physical location.
+struct IoPin {
+  std::string name;
+  Point pos;      ///< access point in DBU
+  int layer = 0;  ///< routing layer of the pin shape
+  geom::Rect shape;  ///< physical shape (die frame)
+};
+
+/// Reference to a component pin: (component id, macro-pin index).
+struct CompPinRef {
+  CellId cell = kInvalidId;
+  int pin = 0;
+
+  friend bool operator==(const CompPinRef&, const CompPinRef&) = default;
+};
+
+/// A net terminal: either a component pin or a top-level IO pin.
+struct NetPin {
+  // variant index 0: component pin, 1: io pin
+  std::variant<CompPinRef, IoPinId> ref;
+
+  bool isIo() const { return ref.index() == 1; }
+  const CompPinRef& compPin() const { return std::get<CompPinRef>(ref); }
+  IoPinId ioPin() const { return std::get<IoPinId>(ref); }
+};
+
+/// A signal net.
+struct Net {
+  std::string name;
+  std::vector<NetPin> pins;
+};
+
+/// A standard-cell row: `numSites` sites starting at `origin`.
+struct Row {
+  std::string name;
+  Point origin;
+  int numSites = 0;
+  Orientation orient = Orientation::kN;
+};
+
+/// Routing tracks for one layer along one direction.
+struct TrackGrid {
+  int layer = 0;
+  LayerDir dir = LayerDir::kHorizontal;  ///< direction wires run
+  Coord start = 0;   ///< coordinate of the first track line
+  Coord step = 0;    ///< pitch
+  int count = 0;
+};
+
+/// A placement/routing blockage.
+struct Blockage {
+  int layer = kInvalidId;  ///< kInvalidId means placement blockage
+  geom::Rect rect;
+};
+
+/// The design netlist + floorplan.  Plain data; the Database wraps it
+/// with connectivity indices and invariant-preserving mutators.
+struct Design {
+  std::string name;
+  geom::Rect dieArea;
+  std::vector<Row> rows;
+  std::vector<TrackGrid> tracks;
+  std::vector<Component> components;
+  std::vector<IoPin> ioPins;
+  std::vector<Net> nets;
+  std::vector<Blockage> blockages;
+
+  /// GCell grid dimensions requested for global routing (cells per axis).
+  int gcellCountX = 0;
+  int gcellCountY = 0;
+};
+
+}  // namespace crp::db

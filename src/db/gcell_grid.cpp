@@ -1,0 +1,48 @@
+#include "db/gcell_grid.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace crp::db {
+
+GCellGrid::GCellGrid(Rect die, int countX, int countY)
+    : die_(die), countX_(countX), countY_(countY) {
+  if (countX <= 0 || countY <= 0) {
+    throw std::invalid_argument("gcell grid needs positive dimensions");
+  }
+  if (die.empty()) throw std::invalid_argument("gcell grid on empty die");
+  xBounds_.resize(countX + 1);
+  yBounds_.resize(countY + 1);
+  for (int i = 0; i <= countX; ++i) {
+    xBounds_[i] = die.xlo + die.width() * i / countX;
+  }
+  for (int j = 0; j <= countY; ++j) {
+    yBounds_[j] = die.ylo + die.height() * j / countY;
+  }
+}
+
+GCell GCellGrid::cellAt(Point p) const {
+  // Binary search over the boundary arrays; upper_bound - 1 gives the
+  // cell whose [lo, hi) span contains p.
+  const auto xi = std::upper_bound(xBounds_.begin(), xBounds_.end(), p.x);
+  const auto yi = std::upper_bound(yBounds_.begin(), yBounds_.end(), p.y);
+  int gx = static_cast<int>(xi - xBounds_.begin()) - 1;
+  int gy = static_cast<int>(yi - yBounds_.begin()) - 1;
+  gx = std::clamp(gx, 0, countX_ - 1);
+  gy = std::clamp(gy, 0, countY_ - 1);
+  return GCell{gx, gy};
+}
+
+Rect GCellGrid::cellRect(GCell g) const {
+  if (!inside(g)) throw std::out_of_range("gcell outside grid");
+  return Rect{xBounds_[g.x], yBounds_[g.y], xBounds_[g.x + 1],
+              yBounds_[g.y + 1]};
+}
+
+Point GCellGrid::cellCenter(GCell g) const { return cellRect(g).center(); }
+
+Coord GCellGrid::centerDistance(GCell a, GCell b) const {
+  return geom::manhattan(cellCenter(a), cellCenter(b));
+}
+
+}  // namespace crp::db

@@ -1,0 +1,71 @@
+// GCell grid geometry: the partition of the die into global-routing
+// grid cells (paper §III).  Pure geometry — capacity/demand live in the
+// global router's RoutingGraph, which is built on top of this grid.
+#pragma once
+
+#include <vector>
+
+#include "geom/geometry.hpp"
+
+namespace crp::db {
+
+using geom::Coord;
+using geom::Point;
+using geom::Rect;
+
+/// Integer GCell coordinate.
+struct GCell {
+  int x = 0;
+  int y = 0;
+
+  friend bool operator==(const GCell&, const GCell&) = default;
+};
+
+class GCellGrid {
+ public:
+  GCellGrid() = default;
+
+  /// Partitions `die` into `countX` x `countY` cells.  The last
+  /// row/column absorbs the remainder when the die does not divide
+  /// evenly.
+  GCellGrid(Rect die, int countX, int countY);
+
+  int countX() const { return countX_; }
+  int countY() const { return countY_; }
+  const Rect& die() const { return die_; }
+
+  /// GCell containing point `p` (clamped into the grid).
+  GCell cellAt(Point p) const;
+
+  /// Geometric bounds of a gcell.
+  Rect cellRect(GCell g) const;
+
+  /// Center point of a gcell.
+  Point cellCenter(GCell g) const;
+
+  /// Manhattan distance between the centers of two gcells — the
+  /// Dist(e) term of the paper's edge cost (Eq. 10) for a wire edge
+  /// between adjacent gcells.
+  Coord centerDistance(GCell a, GCell b) const;
+
+  bool inside(GCell g) const {
+    return g.x >= 0 && g.x < countX_ && g.y >= 0 && g.y < countY_;
+  }
+
+  /// Flat index for dense arrays.
+  int flatIndex(GCell g) const { return g.y * countX_ + g.x; }
+  int numCells() const { return countX_ * countY_; }
+
+  /// Boundary coordinates (countX_+1 entries on x, countY_+1 on y).
+  const std::vector<Coord>& xBounds() const { return xBounds_; }
+  const std::vector<Coord>& yBounds() const { return yBounds_; }
+
+ private:
+  Rect die_;
+  int countX_ = 0;
+  int countY_ = 0;
+  std::vector<Coord> xBounds_;
+  std::vector<Coord> yBounds_;
+};
+
+}  // namespace crp::db

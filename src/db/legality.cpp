@@ -1,0 +1,100 @@
+#include "db/legality.hpp"
+
+#include <algorithm>
+
+namespace crp::db {
+
+std::string PlacementViolation::describe(const Database& db) const {
+  std::string name = cell == kInvalidId ? "?" : db.cell(cell).name;
+  switch (kind) {
+    case ViolationKind::kOutsideDie:
+      return "cell " + name + " outside die";
+    case ViolationKind::kOverlap:
+      return "cells " + name + " and " +
+             (other == kInvalidId ? "?" : db.cell(other).name) + " overlap";
+    case ViolationKind::kOffSite:
+      return "cell " + name + " not site-aligned";
+    case ViolationKind::kOffRow:
+      return "cell " + name + " not row-aligned";
+    case ViolationKind::kRowOverflow:
+      return "cell " + name + " extends past row end";
+  }
+  return "unknown violation";
+}
+
+namespace {
+
+/// Checks everything about one cell except pairwise overlap.
+void checkSingleCellRules(const Database& db, CellId id,
+                          std::vector<PlacementViolation>& out) {
+  const auto rect = db.cellRect(id);
+  const auto& die = db.design().dieArea;
+  if (!die.contains(rect)) {
+    out.push_back({ViolationKind::kOutsideDie, id, kInvalidId});
+  }
+  const int rowIdx = db.rowAt(rect.ylo);
+  if (rowIdx == kInvalidId || db.row(rowIdx).origin.y != rect.ylo) {
+    out.push_back({ViolationKind::kOffRow, id, kInvalidId});
+    return;  // site alignment is relative to the row origin
+  }
+  const Row& row = db.row(rowIdx);
+  if ((rect.xlo - row.origin.x) % db.siteWidth() != 0) {
+    out.push_back({ViolationKind::kOffSite, id, kInvalidId});
+  }
+  const Coord rowEnd = row.origin.x + row.numSites * db.siteWidth();
+  if (rect.xlo < row.origin.x || rect.xhi > rowEnd) {
+    out.push_back({ViolationKind::kRowOverflow, id, kInvalidId});
+  }
+}
+
+}  // namespace
+
+std::vector<PlacementViolation> checkPlacement(const Database& db) {
+  std::vector<PlacementViolation> out;
+  const int n = db.numCells();
+  for (CellId i = 0; i < n; ++i) checkSingleCellRules(db, i, out);
+
+  // Overlap detection: sort cells by row (ylo), sweep each row by xlo.
+  struct Entry {
+    Coord xlo, xhi, ylo;
+    CellId id;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(n);
+  for (CellId i = 0; i < n; ++i) {
+    const auto rect = db.cellRect(i);
+    entries.push_back({rect.xlo, rect.xhi, rect.ylo, i});
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.ylo != b.ylo) return a.ylo < b.ylo;
+    if (a.xlo != b.xlo) return a.xlo < b.xlo;
+    return a.id < b.id;
+  });
+  for (std::size_t i = 0; i + 1 < entries.size(); ++i) {
+    const Entry& a = entries[i];
+    const Entry& b = entries[i + 1];
+    // Cells are single-row-height, so only same-row neighbours can
+    // overlap; the sweep need only compare adjacent entries.
+    if (a.ylo == b.ylo && b.xlo < a.xhi) {
+      out.push_back({ViolationKind::kOverlap, a.id, b.id});
+    }
+  }
+  return out;
+}
+
+bool isPlacementLegal(const Database& db) { return checkPlacement(db).empty(); }
+
+std::vector<PlacementViolation> checkCell(const Database& db, CellId id) {
+  std::vector<PlacementViolation> out;
+  checkSingleCellRules(db, id, out);
+  const auto rect = db.cellRect(id);
+  for (CellId other = 0; other < db.numCells(); ++other) {
+    if (other == id) continue;
+    if (rect.overlaps(db.cellRect(other))) {
+      out.push_back({ViolationKind::kOverlap, id, other});
+    }
+  }
+  return out;
+}
+
+}  // namespace crp::db

@@ -1,0 +1,42 @@
+// Placement legality checking (paper Eq. 5-8): every cell inside the
+// die, no overlaps, x aligned to sites, y aligned to rows.  The CR&P
+// invariant — "for any new candidate position a legalized placement
+// solution for the entire circuit must be guaranteed" (§II) — is
+// enforced by running this checker after every framework iteration in
+// the integration tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "db/database.hpp"
+
+namespace crp::db {
+
+enum class ViolationKind {
+  kOutsideDie,
+  kOverlap,
+  kOffSite,
+  kOffRow,
+  kRowOverflow,  ///< cell extends past the end of its row
+};
+
+struct PlacementViolation {
+  ViolationKind kind;
+  CellId cell = kInvalidId;
+  CellId other = kInvalidId;  ///< second cell for overlaps
+  std::string describe(const Database& db) const;
+};
+
+/// Full legality scan; O(n log n) via per-row sweeps.
+std::vector<PlacementViolation> checkPlacement(const Database& db);
+
+/// True when checkPlacement(db) is empty.
+bool isPlacementLegal(const Database& db);
+
+/// Checks a single cell against the die/site/row rules and against all
+/// other cells intersecting its rect.  Used by unit tests and the
+/// legalizer's postconditions.
+std::vector<PlacementViolation> checkCell(const Database& db, CellId id);
+
+}  // namespace crp::db

@@ -1,0 +1,75 @@
+#include "db/library.hpp"
+
+#include <stdexcept>
+
+namespace crp::db {
+
+std::optional<int> Macro::findPin(const std::string& pinName) const {
+  for (int i = 0; i < static_cast<int>(pins.size()); ++i) {
+    if (pins[i].name == pinName) return i;
+  }
+  return std::nullopt;
+}
+
+int Library::addMacro(Macro macro) {
+  if (findMacro(macro.name).has_value()) {
+    throw std::invalid_argument("duplicate macro name: " + macro.name);
+  }
+  macros_.push_back(std::move(macro));
+  return static_cast<int>(macros_.size()) - 1;
+}
+
+std::optional<int> Library::findMacro(const std::string& name) const {
+  for (int i = 0; i < static_cast<int>(macros_.size()); ++i) {
+    if (macros_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Lays out `nPins` pins evenly across a macro of `widthSites` sites;
+/// input pins on the left portion, one output pin on the right.
+Macro makeCell(const std::string& name, int widthSites, int nInputs,
+               Coord siteWidth, Coord rowHeight, int pinLayer) {
+  Macro macro;
+  macro.name = name;
+  macro.width = widthSites * siteWidth;
+  macro.height = rowHeight;
+
+  const int nPins = nInputs + 1;
+  const Coord pinSize = std::max<Coord>(2, siteWidth / 5);
+  for (int i = 0; i < nPins; ++i) {
+    MacroPin pin;
+    const bool isOutput = (i == nPins - 1);
+    pin.name = isOutput ? "Y" : std::string(1, static_cast<char>('A' + i));
+    pin.dir = isOutput ? PinDir::kOutput : PinDir::kInput;
+    // Spread access points across the cell interior, vertically centered
+    // bandwise so pins of stacked cells do not coincide.
+    const Coord cx = macro.width * (2 * i + 1) / (2 * nPins);
+    const Coord cy = rowHeight * (1 + (i % 3)) / 4;
+    pin.shapes.push_back(
+        PinShape{pinLayer, Rect{cx - pinSize / 2, cy - pinSize / 2,
+                                cx + pinSize / 2, cy + pinSize / 2}});
+    macro.pins.push_back(std::move(pin));
+  }
+  return macro;
+}
+
+}  // namespace
+
+Library Library::makeDefault(Coord siteWidth, Coord rowHeight, int pinLayer) {
+  Library lib;
+  lib.addMacro(makeCell("INV_X1", 1, 1, siteWidth, rowHeight, pinLayer));
+  lib.addMacro(makeCell("BUF_X2", 2, 1, siteWidth, rowHeight, pinLayer));
+  lib.addMacro(makeCell("NAND2_X1", 2, 2, siteWidth, rowHeight, pinLayer));
+  lib.addMacro(makeCell("NOR2_X1", 2, 2, siteWidth, rowHeight, pinLayer));
+  lib.addMacro(makeCell("AOI21_X1", 3, 3, siteWidth, rowHeight, pinLayer));
+  lib.addMacro(makeCell("OAI22_X1", 4, 4, siteWidth, rowHeight, pinLayer));
+  lib.addMacro(makeCell("MUX2_X1", 4, 3, siteWidth, rowHeight, pinLayer));
+  lib.addMacro(makeCell("DFF_X1", 6, 2, siteWidth, rowHeight, pinLayer));
+  lib.addMacro(makeCell("DFFR_X2", 8, 3, siteWidth, rowHeight, pinLayer));
+  return lib;
+}
+
+}  // namespace crp::db

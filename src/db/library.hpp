@@ -1,0 +1,82 @@
+// Standard-cell library: macros with pins and obstructions, all in the
+// macro's local frame (origin at lower-left, N orientation).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geom/geometry.hpp"
+
+namespace crp::db {
+
+using geom::Coord;
+using geom::Rect;
+
+/// Signal direction of a macro pin.
+enum class PinDir : std::uint8_t { kInput, kOutput, kInout };
+
+/// One rectangle of a pin's physical port.
+struct PinShape {
+  int layer = 0;  ///< routing-layer index
+  Rect rect;      ///< local frame
+};
+
+/// Logical + physical pin of a macro.
+struct MacroPin {
+  std::string name;
+  PinDir dir = PinDir::kInput;
+  std::vector<PinShape> shapes;
+
+  /// Representative access point: center of the first shape.
+  geom::Point accessPoint() const {
+    if (shapes.empty()) return {};
+    return shapes.front().rect.center();
+  }
+};
+
+/// Routing obstruction inside a macro.
+struct Obstruction {
+  int layer = 0;
+  Rect rect;  ///< local frame
+};
+
+/// One library cell (LEF MACRO).
+struct Macro {
+  std::string name;
+  Coord width = 0;
+  Coord height = 0;
+  std::vector<MacroPin> pins;
+  std::vector<Obstruction> obstructions;
+
+  /// Width in sites for a given site width (rounded up).
+  Coord widthInSites(Coord siteWidth) const {
+    return (width + siteWidth - 1) / siteWidth;
+  }
+
+  std::optional<int> findPin(const std::string& pinName) const;
+};
+
+/// The set of macros available to a design.
+class Library {
+ public:
+  /// Adds a macro; returns its id.  Names must be unique.
+  int addMacro(Macro macro);
+
+  int numMacros() const { return static_cast<int>(macros_.size()); }
+  const Macro& macro(int id) const { return macros_.at(id); }
+  Macro& macro(int id) { return macros_.at(id); }
+  const std::vector<Macro>& macros() const { return macros_; }
+
+  std::optional<int> findMacro(const std::string& name) const;
+
+  /// Builds a small synthetic library (inverter/buffer/nand/nor/mux/
+  /// dff-like cells of 1..8 sites width) on the given site; used by the
+  /// benchmark generator and tests.
+  static Library makeDefault(Coord siteWidth, Coord rowHeight, int pinLayer);
+
+ private:
+  std::vector<Macro> macros_;
+};
+
+}  // namespace crp::db

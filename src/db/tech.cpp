@@ -1,0 +1,75 @@
+#include "db/tech.hpp"
+
+#include <stdexcept>
+
+namespace crp::db {
+
+int Tech::addLayer(RoutingLayer layer) {
+  layer.index = static_cast<int>(layers_.size());
+  layers_.push_back(std::move(layer));
+  return layers_.back().index;
+}
+
+void Tech::addCutLayer(CutLayer cut) {
+  if (cut.below < 0 || cut.below + 1 >= numLayers()) {
+    throw std::out_of_range("cut layer references missing routing layer");
+  }
+  cutLayers_.push_back(std::move(cut));
+}
+
+void Tech::addVia(ViaDef via) {
+  if (via.below < 0 || via.below + 1 >= numLayers()) {
+    throw std::out_of_range("via references missing routing layer");
+  }
+  vias_.push_back(std::move(via));
+}
+
+std::optional<int> Tech::findLayer(const std::string& name) const {
+  for (const auto& layer : layers_) {
+    if (layer.name == name) return layer.index;
+  }
+  return std::nullopt;
+}
+
+const ViaDef* Tech::defaultVia(int below) const {
+  for (const auto& via : vias_) {
+    if (via.below == below) return &via;
+  }
+  return nullptr;
+}
+
+Tech Tech::makeDefault(int numLayers, Coord pitch, Coord width, Coord spacing,
+                       Coord minArea, Coord siteWidth, Coord rowHeight) {
+  Tech tech;
+  tech.site = Site{"core", siteWidth, rowHeight};
+  for (int i = 0; i < numLayers; ++i) {
+    RoutingLayer layer;
+    layer.name = "Metal" + std::to_string(i + 1);
+    layer.dir = (i % 2 == 0) ? LayerDir::kHorizontal : LayerDir::kVertical;
+    layer.pitch = pitch;
+    layer.width = width;
+    layer.spacing = spacing;
+    layer.minArea = minArea;
+    layer.offset = pitch / 2;
+    tech.addLayer(layer);
+  }
+  const Coord half = width / 2;
+  for (int i = 0; i + 1 < numLayers; ++i) {
+    CutLayer cut;
+    cut.name = "Via" + std::to_string(i + 1);
+    cut.below = i;
+    cut.spacing = spacing;
+    tech.addCutLayer(cut);
+
+    ViaDef via;
+    via.name = "VIA" + std::to_string(i + 1) + "_" + std::to_string(i + 2);
+    via.below = i;
+    via.bottomShape = Rect{-half, -half, half, half};
+    via.cutShape = Rect{-half / 2, -half / 2, half / 2, half / 2};
+    via.topShape = Rect{-half, -half, half, half};
+    tech.addVia(via);
+  }
+  return tech;
+}
+
+}  // namespace crp::db

@@ -1,0 +1,107 @@
+// Technology model: routing/cut layers, via definitions and the
+// standard-cell site.  This mirrors the LEF subset used by the
+// ISPD-2018 benchmarks: alternating-direction routing metal stack with
+// per-layer pitch/width/spacing/min-area, single-cut via defs between
+// adjacent metals, and one CORE site.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geom/geometry.hpp"
+
+namespace crp::db {
+
+using geom::Coord;
+using geom::Rect;
+
+/// Preferred routing direction of a metal layer.
+enum class LayerDir : std::uint8_t { kHorizontal, kVertical };
+
+inline LayerDir otherDir(LayerDir d) {
+  return d == LayerDir::kHorizontal ? LayerDir::kVertical
+                                    : LayerDir::kHorizontal;
+}
+
+/// One metal (routing) layer.
+struct RoutingLayer {
+  std::string name;
+  int index = 0;        ///< 0-based position in the metal stack.
+  LayerDir dir = LayerDir::kHorizontal;
+  Coord pitch = 0;      ///< track pitch (DBU)
+  Coord width = 0;      ///< default wire width (DBU)
+  Coord spacing = 0;    ///< minimum same-layer spacing (DBU)
+  Coord minArea = 0;    ///< minimum metal area (DBU^2)
+  Coord offset = 0;     ///< track offset from die origin (DBU)
+};
+
+/// One cut layer between routing layers `below` and `below + 1`.
+struct CutLayer {
+  std::string name;
+  int below = 0;  ///< index of the routing layer underneath
+  Coord spacing = 0;
+};
+
+/// Via definition: a cut connecting routing layers `below` / `below+1`.
+/// Shapes are centered on the via point.
+struct ViaDef {
+  std::string name;
+  int below = 0;
+  Rect bottomShape;  ///< metal shape on layer `below`, centered at origin
+  Rect cutShape;     ///< cut shape, centered at origin
+  Rect topShape;     ///< metal shape on layer `below + 1`, centered at origin
+};
+
+/// Standard-cell placement site.
+struct Site {
+  std::string name;
+  Coord width = 0;
+  Coord height = 0;
+};
+
+/// Full technology description.
+class Tech {
+ public:
+  int dbuPerMicron = 1000;
+  Site site;
+
+  const std::vector<RoutingLayer>& layers() const { return layers_; }
+  const std::vector<CutLayer>& cutLayers() const { return cutLayers_; }
+  const std::vector<ViaDef>& vias() const { return vias_; }
+
+  int numLayers() const { return static_cast<int>(layers_.size()); }
+
+  RoutingLayer& layer(int index) { return layers_.at(index); }
+  const RoutingLayer& layer(int index) const { return layers_.at(index); }
+
+  /// Adds a routing layer at the top of the stack; returns its index.
+  int addLayer(RoutingLayer layer);
+  /// Adds a cut layer; `below` must reference an existing routing layer.
+  void addCutLayer(CutLayer cut);
+  /// Adds a via def; `below` must reference an existing routing layer.
+  void addVia(ViaDef via);
+
+  /// Finds a routing layer by name; nullopt when absent.
+  std::optional<int> findLayer(const std::string& name) const;
+
+  /// The default via def connecting `below` and `below + 1`; nullptr
+  /// when none was registered.
+  const ViaDef* defaultVia(int below) const;
+
+  /// Builds a canonical stack: `numLayers` metals, metal1 horizontal,
+  /// alternating direction, given pitch/width/spacing, with default
+  /// single-cut vias between all adjacent layers.  Used by the
+  /// benchmark generator and unit tests.
+  static Tech makeDefault(int numLayers, Coord pitch, Coord width,
+                          Coord spacing, Coord minArea, Coord siteWidth,
+                          Coord rowHeight);
+
+ private:
+  std::vector<RoutingLayer> layers_;
+  std::vector<CutLayer> cutLayers_;
+  std::vector<ViaDef> vias_;
+};
+
+}  // namespace crp::db

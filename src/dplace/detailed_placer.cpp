@@ -1,0 +1,259 @@
+#include "dplace/detailed_placer.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace crp::dplace {
+
+namespace {
+
+using db::CellId;
+using geom::Coord;
+using geom::Point;
+
+}  // namespace
+
+void DetailedPlacer::buildRowLists() {
+  rowCells_.assign(db_.numRows(), {});
+  for (CellId c = 0; c < db_.numCells(); ++c) {
+    const int row = db_.rowAt(db_.cell(c).pos.y);
+    if (row != db::kInvalidId) rowCells_[row].push_back(c);
+  }
+  for (auto& row : rowCells_) {
+    std::sort(row.begin(), row.end(), [&](CellId a, CellId b) {
+      return db_.cell(a).pos.x < db_.cell(b).pos.x;
+    });
+  }
+}
+
+geom::Coord DetailedPlacer::localHpwl(
+    const std::vector<CellId>& cells) const {
+  std::vector<db::NetId> nets;
+  for (const CellId c : cells) {
+    for (const db::NetId n : db_.netsOfCell(c)) nets.push_back(n);
+  }
+  std::sort(nets.begin(), nets.end());
+  nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
+  Coord sum = 0;
+  for (const db::NetId n : nets) sum += db_.netHpwl(n);
+  return sum;
+}
+
+bool DetailedPlacer::tryGlobalSwap(CellId cell,
+                                   DetailedPlacerReport& report) {
+  if (db_.cell(cell).fixed || db_.netsOfCell(cell).empty()) return false;
+  const auto& macro = db_.macroOf(cell);
+  const Point target = db_.medianPosition(cell);
+  const Point current = db_.cell(cell).pos;
+  if (geom::manhattan(target, current) <= db_.siteWidth()) return false;
+
+  const int targetRow = db_.rowAt(
+      std::clamp(target.y, db_.design().dieArea.ylo,
+                 db_.design().dieArea.yhi - 1));
+  if (targetRow == db::kInvalidId) return false;
+  const Coord siteW = db_.siteWidth();
+  const Coord radius = static_cast<Coord>(options_.swapWindowSites) * siteW;
+
+  struct Move {
+    bool isSwap;
+    CellId other;   // swap partner (isSwap)
+    Point gapPos;   // relocation target (!isSwap)
+    Coord distance; // to the median target, for ordering
+  };
+  std::vector<Move> moves;
+
+  const int rowLo = std::max(0, targetRow - options_.swapWindowRows / 2);
+  const int rowHi = std::min(db_.numRows() - 1,
+                             targetRow + options_.swapWindowRows / 2);
+  const int homeRow = db_.rowAt(current.y);
+  for (int rowIdx = rowLo; rowIdx <= rowHi; ++rowIdx) {
+    const auto& cellsInRow = rowCells_[rowIdx];
+    const db::Row& row = db_.row(rowIdx);
+    // Gap scan: gaps between consecutive cells (and the row ends).
+    Coord cursor = row.origin.x;
+    for (std::size_t i = 0; i <= cellsInRow.size(); ++i) {
+      const Coord gapEnd =
+          i < cellsInRow.size()
+              ? db_.cell(cellsInRow[i]).pos.x
+              : row.origin.x + static_cast<Coord>(row.numSites) * siteW;
+      // The moving cell's own slot is a usable gap too.
+      Coord gapStart = cursor;
+      if (i < cellsInRow.size()) {
+        cursor = db_.cellRect(cellsInRow[i]).xhi;
+        if (cellsInRow[i] == cell) {
+          // Skip the gap bookkeeping around itself; handled by accepting
+          // only strictly improving moves.
+        }
+      }
+      if (gapEnd - gapStart < macro.width) continue;
+      // Best site-aligned position inside the gap, closest to target.
+      Coord x = geom::snapNearest(target.x, row.origin.x, siteW);
+      x = std::clamp(x, gapStart, gapEnd - macro.width);
+      x = geom::snapDown(x, row.origin.x, siteW);
+      if (x < gapStart) x += siteW;
+      if (x + macro.width > gapEnd) continue;
+      const Point pos{x, row.origin.y};
+      if (std::abs(pos.x - target.x) > radius) continue;
+      if (pos == current) continue;
+      moves.push_back(Move{false, db::kInvalidId, pos,
+                           geom::manhattan(pos, target)});
+    }
+    // Equal-width swap partners near the target.
+    for (const CellId other : cellsInRow) {
+      if (other == cell || db_.cell(other).fixed) continue;
+      if (db_.macroOf(other).width != macro.width) continue;
+      if (rowIdx == homeRow && other == cell) continue;
+      const Point otherPos = db_.cell(other).pos;
+      if (std::abs(otherPos.x - target.x) > radius) continue;
+      moves.push_back(Move{true, other, {},
+                           geom::manhattan(otherPos, target)});
+    }
+  }
+  std::sort(moves.begin(), moves.end(), [](const Move& a, const Move& b) {
+    return a.distance < b.distance;
+  });
+  if (moves.size() > 8) moves.resize(8);  // bound evaluation work
+
+  // Incremental row-list maintenance (a full rebuild per accepted move
+  // makes refinement quadratic on large designs).
+  auto removeFromRow = [&](CellId c, Coord y) {
+    const int row = db_.rowAt(y);
+    auto& list = rowCells_[row];
+    list.erase(std::find(list.begin(), list.end(), c));
+  };
+  auto insertIntoRow = [&](CellId c) {
+    const int row = db_.rowAt(db_.cell(c).pos.y);
+    auto& list = rowCells_[row];
+    const Coord x = db_.cell(c).pos.x;
+    auto it = std::lower_bound(list.begin(), list.end(), x,
+                               [&](CellId lhs, Coord value) {
+                                 return db_.cell(lhs).pos.x < value;
+                               });
+    list.insert(it, c);
+  };
+
+  for (const Move& move : moves) {
+    if (move.isSwap) {
+      const CellId other = move.other;
+      const Coord before = localHpwl({cell, other});
+      const Point a = db_.cell(cell).pos;
+      const Point b = db_.cell(other).pos;
+      db_.moveCell(cell, b);
+      db_.moveCell(other, a);
+      if (localHpwl({cell, other}) < before) {
+        ++report.swaps;
+        removeFromRow(cell, a.y);
+        removeFromRow(other, b.y);
+        insertIntoRow(cell);
+        insertIntoRow(other);
+        return true;
+      }
+      db_.moveCell(cell, a);
+      db_.moveCell(other, b);
+    } else {
+      const Coord before = localHpwl({cell});
+      const Point a = db_.cell(cell).pos;
+      db_.moveCell(cell, move.gapPos);
+      // Verify the spot against the target row's neighbours only (the
+      // row lists are kept current, so prev/next suffice).
+      bool overlap = false;
+      const int gapRow = db_.rowAt(move.gapPos.y);
+      const auto rect = db_.cellRect(cell);
+      for (const CellId other : rowCells_[gapRow]) {
+        if (other != cell && rect.overlaps(db_.cellRect(other))) {
+          overlap = true;
+          break;
+        }
+      }
+      if (!overlap && localHpwl({cell}) < before) {
+        ++report.relocations;
+        removeFromRow(cell, a.y);
+        insertIntoRow(cell);
+        return true;
+      }
+      db_.moveCell(cell, a);
+    }
+  }
+  return false;
+}
+
+bool DetailedPlacer::tryReorder(int rowIdx, std::size_t windowStart,
+                                DetailedPlacerReport& report) {
+  const auto& cellsInRow = rowCells_[rowIdx];
+  const std::size_t k =
+      std::min<std::size_t>(options_.reorderWindow,
+                            cellsInRow.size() - windowStart);
+  if (k < 2) return false;
+  std::vector<CellId> window(cellsInRow.begin() + windowStart,
+                             cellsInRow.begin() + windowStart + k);
+  for (const CellId c : window) {
+    if (db_.cell(c).fixed) return false;
+  }
+  const Coord x0 = db_.cell(window.front()).pos.x;
+  const Coord y = db_.cell(window.front()).pos.y;
+
+  // Save originals.
+  std::vector<Point> original;
+  for (const CellId c : window) original.push_back(db_.cell(c).pos);
+
+  auto place = [&](const std::vector<CellId>& order) {
+    Coord x = x0;
+    for (const CellId c : order) {
+      db_.moveCell(c, Point{x, y});
+      x += db_.macroOf(c).width;
+    }
+  };
+
+  const Coord before = localHpwl(window);
+  std::vector<CellId> perm = window;
+  std::sort(perm.begin(), perm.end());
+  std::vector<CellId> best = window;
+  Coord bestHpwl = before;
+  do {
+    place(perm);
+    const Coord hpwl = localHpwl(window);
+    if (hpwl < bestHpwl) {
+      bestHpwl = hpwl;
+      best = perm;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+
+  if (bestHpwl < before && best != window) {
+    place(best);
+    ++report.reorders;
+    // Update the row list order in place.
+    for (std::size_t i = 0; i < k; ++i) {
+      rowCells_[rowIdx][windowStart + i] = best[i];
+    }
+    return true;
+  }
+  // Restore the original arrangement.
+  for (std::size_t i = 0; i < k; ++i) {
+    db_.moveCell(window[i], original[i]);
+  }
+  return false;
+}
+
+DetailedPlacerReport DetailedPlacer::run() {
+  DetailedPlacerReport report;
+  report.hpwlBefore = db_.totalHpwl();
+  buildRowLists();
+
+  for (int pass = 0; pass < options_.passes; ++pass) {
+    int accepted = 0;
+    for (CellId c = 0; c < db_.numCells(); ++c) {
+      if (tryGlobalSwap(c, report)) ++accepted;
+    }
+    for (int rowIdx = 0; rowIdx < db_.numRows(); ++rowIdx) {
+      for (std::size_t start = 0;
+           start + 2 <= rowCells_[rowIdx].size(); ++start) {
+        if (tryReorder(rowIdx, start, report)) ++accepted;
+      }
+    }
+    if (accepted == 0) break;  // converged
+  }
+  report.hpwlAfter = db_.totalHpwl();
+  return report;
+}
+
+}  // namespace crp::dplace

@@ -1,0 +1,486 @@
+#include "droute/detailed_router.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+#include "droute/drc.hpp"
+#include "util/logger.hpp"
+
+namespace crp::droute {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+DetailedRouter::DetailedRouter(const db::Database& db,
+                               const std::vector<lefdef::NetGuide>& guides,
+                               DetailedRouterOptions options)
+    : db_(db), options_(options), graph_(db), guides_(guides) {
+  for (const lefdef::NetGuide& guide : guides_) {
+    guideByName_.emplace(guide.net, &guide);
+  }
+  const std::size_t n = graph_.numNodes();
+  usage_.assign(n, 0);
+  fixedOwner_.assign(n, -1);
+  history_.assign(n, 0.0f);
+  allowedStamp_.assign(n, 0);
+  paths_.resize(db.numNets());
+  nodesOfNet_.resize(db.numNets());
+  open_.assign(db.numNets(), false);
+
+  // Cost scale: average pitch of the grid.
+  geom::Coord pitchSum = 0;
+  int pitchCount = 0;
+  for (std::size_t i = 1; i < graph_.xs().size(); ++i) {
+    pitchSum += graph_.xs()[i] - graph_.xs()[i - 1];
+    ++pitchCount;
+  }
+  for (std::size_t i = 1; i < graph_.ys().size(); ++i) {
+    pitchSum += graph_.ys()[i] - graph_.ys()[i - 1];
+    ++pitchCount;
+  }
+  const double avgPitch =
+      pitchCount > 0 ? static_cast<double>(pitchSum) / pitchCount : 1.0;
+  if (options_.viaUnit <= 0.0) {
+    // A via is worth 4 wire units in the contest metric; one wire unit
+    // corresponds to one pitch of wire here.
+    options_.viaUnit = 4.0 * options_.wireUnit * avgPitch;
+  }
+  avgStepCost_ = options_.wireUnit * avgPitch;
+
+  if (options_.guideInflation < 0) {
+    // Two track pitches: tight guide adherence.  The detailed router
+    // then inherits the global router's layer/corridor assignment, so
+    // GR-level improvements (what CR&P optimizes) survive into the
+    // detailed metrics; wide inflation lets the DR wander and washes
+    // them out.  Escape (allowGuideEscape) covers the rare boxed-in net.
+    options_.guideInflation = static_cast<geom::Coord>(2 * avgPitch);
+  }
+
+  assignPinNodes();
+  registerFixedShapes();
+}
+
+void DetailedRouter::assignPinNodes() {
+  // Each pin claims a grid node on its layer, nearest to its access
+  // point.  When the nearest node is already claimed by a different
+  // net (abutting cells share track columns), nearby alternates inside
+  // roughly one pitch are tried — the gridded equivalent of
+  // TritonRoute's multiple pin access points.
+  pinNodes_.assign(db_.numNets(), {});
+  for (db::NetId n = 0; n < db_.numNets(); ++n) {
+    for (const db::NetPin& pin : db_.net(n).pins) {
+      int layer = 0;
+      if (pin.isIo()) {
+        layer = db_.design().ioPins[pin.ioPin()].layer;
+      } else {
+        const auto shapes = db_.pinShapes(pin.compPin());
+        if (!shapes.empty()) layer = shapes.front().layer;
+      }
+      const DNode nearest = graph_.nearestNode(layer, db_.pinPosition(pin));
+      DNode chosen = nearest;
+      // Candidate order: exact, then the 4-neighbourhood on the grid.
+      const int offsets[5][2] = {{0, 0}, {1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+      for (const auto& [dx, dy] : offsets) {
+        const DNode alt{layer, nearest.xi + dx, nearest.yi + dy};
+        if (!graph_.valid(alt)) continue;
+        const std::int32_t owner = fixedOwner_[graph_.index(alt)];
+        if (owner == -1 || owner == n) {
+          chosen = alt;
+          break;
+        }
+      }
+      fixedOwner_[graph_.index(chosen)] = n;
+      pinNodes_[n].push_back(chosen);
+    }
+    auto& nodes = pinNodes_[n];
+    std::sort(nodes.begin(), nodes.end());
+    nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  }
+}
+
+void DetailedRouter::registerFixedShapes() {
+  auto blockRect = [&](int layer, const geom::Rect& rect) {
+    if (layer < 0 || layer >= graph_.numLayers()) return;
+    const int xiLo = graph_.nearestXi(rect.xlo);
+    const int xiHi = graph_.nearestXi(rect.xhi);
+    const int yiLo = graph_.nearestYi(rect.ylo);
+    const int yiHi = graph_.nearestYi(rect.yhi);
+    for (int yi = yiLo; yi <= yiHi; ++yi) {
+      for (int xi = xiLo; xi <= xiHi; ++xi) {
+        const DNode node{layer, xi, yi};
+        const geom::Point p = graph_.position(node);
+        if (!rect.containsClosed(p)) continue;
+        fixedOwner_[graph_.index(node)] = -2;
+      }
+    }
+  };
+  for (const db::Blockage& blockage : db_.design().blockages) {
+    if (blockage.layer != db::kInvalidId) {
+      blockRect(blockage.layer, blockage.rect);
+    }
+  }
+  for (db::CellId c = 0; c < db_.numCells(); ++c) {
+    const auto& comp = db_.cell(c);
+    const auto& macro = db_.macroOf(c);
+    for (const db::Obstruction& obs : macro.obstructions) {
+      blockRect(obs.layer,
+                geom::transformRect(obs.rect, comp.pos, macro.width,
+                                    macro.height, comp.orient));
+    }
+  }
+}
+
+void DetailedRouter::buildAllowedRegion(db::NetId net) {
+  ++stampValue_;
+  const auto it = guideByName_.find(db_.net(net).name);
+  if (it == guideByName_.end()) return;  // no guide: empty region
+  for (const lefdef::GuideRect& g : it->second->rects) {
+    const geom::Rect rect = g.rect.inflated(options_.guideInflation);
+    const int xiLo = graph_.nearestXi(rect.xlo);
+    const int xiHi = graph_.nearestXi(rect.xhi);
+    const int yiLo = graph_.nearestYi(rect.ylo);
+    const int yiHi = graph_.nearestYi(rect.yhi);
+    for (int yi = yiLo; yi <= yiHi; ++yi) {
+      for (int xi = xiLo; xi <= xiHi; ++xi) {
+        allowedStamp_[graph_.index(DNode{g.layer, xi, yi})] = stampValue_;
+      }
+    }
+  }
+  // Pin nodes (plus the layer above, for access) are always allowed.
+  for (const DNode& pinNode : netPinNodes(net)) {
+    allowedStamp_[graph_.index(pinNode)] = stampValue_;
+    if (pinNode.layer + 1 < graph_.numLayers()) {
+      allowedStamp_[graph_.index(
+          DNode{pinNode.layer + 1, pinNode.xi, pinNode.yi})] = stampValue_;
+    }
+  }
+}
+
+double DetailedRouter::nodeEntryCost(std::size_t idx, db::NetId net) const {
+  const std::int32_t owner = fixedOwner_[idx];
+  if (owner == -2) return kInf;
+  const bool foreignPin = owner >= 0 && owner != net;
+  const int sharing = usage_[idx];
+  if (hardExclusion_ && (foreignPin || sharing > 0)) return kInf;
+  double cost = history_[idx] * avgStepCost_;
+  if (foreignPin) {
+    // Another net's pin: strongly discouraged but not absolutely
+    // forbidden (a hard wall could make nets unroutable; crossing one
+    // becomes a short DRV).
+    cost += 50.0 * avgStepCost_;
+  }
+  if (sharing > 0) {
+    cost += presentFactor_ * sharing * avgStepCost_;
+  }
+  return cost;
+}
+
+bool DetailedRouter::routeNet(db::NetId net, bool useGuides) {
+  const std::vector<DNode> pins = netPinNodes(net);
+  if (pins.size() < 2) {
+    open_[net] = false;
+    return true;  // nothing to route
+  }
+
+  if (useGuides) buildAllowedRegion(net);
+
+  // A* state: flat arrays with generation stamps so resets are O(1).
+  if (dist_.size() != graph_.numNodes()) {
+    dist_.assign(graph_.numNodes(), 0.0);
+    parent_.assign(graph_.numNodes(), SIZE_MAX);
+    searchStamp_.assign(graph_.numNodes(), 0);
+  }
+  // Queue entries carry (f = g + h, g, node); staleness is detected by
+  // comparing g against the best-known g for the node.
+  using QueueEntry = std::tuple<double, double, std::size_t>;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
+      queue;
+
+  // Tree grows pin by pin (nearest remaining pin next).
+  std::vector<DNode> remaining(pins.begin() + 1, pins.end());
+  std::sort(remaining.begin(), remaining.end(),
+            [&](const DNode& a, const DNode& b) {
+              const auto pa = graph_.position(a);
+              const auto pb = graph_.position(b);
+              const auto p0 = graph_.position(pins[0]);
+              return geom::manhattan(pa, p0) < geom::manhattan(pb, p0);
+            });
+
+  std::vector<std::size_t> treeNodes{graph_.index(pins[0])};
+  std::vector<std::vector<DNode>> connections;
+
+  auto allowed = [&](std::size_t idx) {
+    return !useGuides || allowedStamp_[idx] == stampValue_;
+  };
+
+  for (const DNode& sink : remaining) {
+    ++searchGen_;
+    while (!queue.empty()) queue.pop();
+    for (const std::size_t idx : treeNodes) {
+      dist_[idx] = 0.0;
+      searchStamp_[idx] = searchGen_;
+      parent_[idx] = SIZE_MAX;
+      queue.push({0.0, 0.0, idx});
+    }
+    const std::size_t target = graph_.index(sink);
+    const geom::Point sinkPos = graph_.position(sink);
+    bool reached = false;
+
+    while (!queue.empty()) {
+      const auto [f, g, idx] = queue.top();
+      queue.pop();
+      if (searchStamp_[idx] != searchGen_ || g > dist_[idx] + 1e-12) {
+        continue;
+      }
+      if (idx == target) {
+        reached = true;
+        break;
+      }
+      const DNode node = graph_.nodeOf(idx);
+
+      auto relax = [&](const DNode& next, double moveCost) {
+        const std::size_t nidx = graph_.index(next);
+        if (!allowed(nidx)) return;
+        const double entry = nodeEntryCost(nidx, net);
+        if (entry == kInf) return;
+        const double nd = g + moveCost + entry;
+        if (searchStamp_[nidx] == searchGen_ && dist_[nidx] <= nd) return;
+        dist_[nidx] = nd;
+        searchStamp_[nidx] = searchGen_;
+        parent_[nidx] = idx;
+        // A* priority: admissible Manhattan heuristic.
+        const geom::Point p = graph_.position(next);
+        const double h =
+            options_.wireUnit * geom::manhattan(p, sinkPos);
+        queue.push({nd + h, nd, nidx});
+      };
+
+      const bool horizontal =
+          graph_.layerDir(node.layer) == db::LayerDir::kHorizontal;
+      for (const int sign : {-1, 1}) {
+        // Preferred-direction move.
+        DNode next = node;
+        if (horizontal) {
+          next.xi += sign;
+        } else {
+          next.yi += sign;
+        }
+        if (graph_.valid(next)) {
+          relax(next, options_.wireUnit * graph_.stepLength(node, sign));
+        }
+        // Wrong-way jog (TritonRoute-style pin-access escape), at a
+        // stiff multiplier so it is only taken when boxed in.
+        DNode jog = node;
+        geom::Coord jogStep;
+        if (horizontal) {
+          jog.yi += sign;
+          jogStep = jog.yi >= 0 && jog.yi < graph_.numY()
+                        ? std::abs(graph_.ys()[jog.yi] - graph_.ys()[node.yi])
+                        : 0;
+        } else {
+          jog.xi += sign;
+          jogStep = jog.xi >= 0 && jog.xi < graph_.numX()
+                        ? std::abs(graph_.xs()[jog.xi] - graph_.xs()[node.xi])
+                        : 0;
+        }
+        if (graph_.valid(jog) && jogStep > 0) {
+          relax(jog, options_.wrongWayPenalty * options_.wireUnit * jogStep);
+        }
+      }
+      for (const int sign : {-1, 1}) {
+        DNode next = node;
+        next.layer += sign;
+        if (!graph_.valid(next)) continue;
+        relax(next, options_.viaUnit);
+      }
+    }
+
+    if (!reached) {
+      if (useGuides && options_.allowGuideEscape) {
+        // Whole-net retry without guide restriction.
+        return routeNet(net, false);
+      }
+      open_[net] = true;
+      return false;
+    }
+
+    // Backtrack, growing the tree.
+    std::vector<DNode> path;
+    std::size_t cursor = target;
+    path.push_back(graph_.nodeOf(cursor));
+    while (parent_[cursor] != SIZE_MAX &&
+           searchStamp_[cursor] == searchGen_) {
+      cursor = parent_[cursor];
+      path.push_back(graph_.nodeOf(cursor));
+      treeNodes.push_back(cursor);
+    }
+    treeNodes.push_back(target);
+    connections.push_back(std::move(path));
+  }
+
+  // Commit: unique node set of the whole net.
+  std::vector<std::size_t> nodes;
+  for (const auto& path : connections) {
+    for (const DNode& node : path) nodes.push_back(graph_.index(node));
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  for (const std::size_t idx : nodes) ++usage_[idx];
+
+  paths_[net] = std::move(connections);
+  nodesOfNet_[net] = std::move(nodes);
+  open_[net] = false;
+  return true;
+}
+
+void DetailedRouter::ripUp(db::NetId net) {
+  for (const std::size_t idx : nodesOfNet_[net]) {
+    if (usage_[idx] > 0) --usage_[idx];
+  }
+  nodesOfNet_[net].clear();
+  paths_[net].clear();
+}
+
+DetailedRouteStats DetailedRouter::run() {
+  // Route order: few-pin, short nets first.
+  std::vector<db::NetId> order(db_.numNets());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](db::NetId a, db::NetId b) {
+    const auto ka = std::make_pair(db_.net(a).pins.size(), db_.netHpwl(a));
+    const auto kb = std::make_pair(db_.net(b).pins.size(), db_.netHpwl(b));
+    if (ka != kb) return ka < kb;
+    return a < b;
+  });
+
+  presentFactor_ = options_.presentFactor;
+  for (const db::NetId net : order) routeNet(net, true);
+
+  std::size_t previousVictims = std::numeric_limits<std::size_t>::max();
+  int stalledRounds = 0;
+  for (int round = 1; round < options_.negotiationRounds; ++round) {
+    // Find nets crossing overused nodes.  Foreign-pin crossings are
+    // not rip-up victims: when a net's only access shares another
+    // net's pin node, rerouting cannot fix it and only thrashes.
+    std::vector<db::NetId> victims;
+    for (const db::NetId net : order) {
+      bool conflicted = open_[net];
+      for (const std::size_t idx : nodesOfNet_[net]) {
+        if (usage_[idx] > 1) {
+          conflicted = true;
+          break;
+        }
+      }
+      if (conflicted) victims.push_back(net);
+    }
+    if (victims.empty()) break;
+    // Bail out when negotiation has stopped making progress.
+    if (victims.size() >= previousVictims) {
+      if (++stalledRounds >= 2) break;
+    } else {
+      stalledRounds = 0;
+    }
+    previousVictims = victims.size();
+    // History update on overused nodes.
+    for (std::size_t idx = 0; idx < usage_.size(); ++idx) {
+      if (usage_[idx] > 1) {
+        history_[idx] += static_cast<float>(options_.historyIncrement *
+                                            (usage_[idx] - 1));
+      }
+    }
+    presentFactor_ *= options_.presentGrowth;
+    CRP_LOG_DEBUG("droute round {}: {} conflicted nets", round,
+                  victims.size());
+    for (const db::NetId net : victims) {
+      // Re-check: an earlier reroute this round may have resolved the
+      // conflict already; ripping the second party too just oscillates
+      // the pair between equivalent corridors.
+      bool stillConflicted = open_[net];
+      for (const std::size_t idx : nodesOfNet_[net]) {
+        if (usage_[idx] > 1) {
+          stillConflicted = true;
+          break;
+        }
+      }
+      if (!stillConflicted) continue;
+      ripUp(net);
+      routeNet(net, true);
+    }
+  }
+
+  // DRC-fix cleanup: reroute remaining offenders with hard exclusion.
+  for (int round = 0; round < options_.cleanupRounds; ++round) {
+    std::vector<db::NetId> offenders;
+    for (const db::NetId net : order) {
+      for (const std::size_t idx : nodesOfNet_[net]) {
+        if (usage_[idx] > 1 ||
+            (fixedOwner_[idx] >= 0 && fixedOwner_[idx] != net)) {
+          offenders.push_back(net);
+          break;
+        }
+      }
+    }
+    if (offenders.empty()) break;
+    int repaired = 0;
+    for (const db::NetId net : offenders) {
+      bool stillConflicted = false;
+      for (const std::size_t idx : nodesOfNet_[net]) {
+        if (usage_[idx] > 1 ||
+            (fixedOwner_[idx] >= 0 && fixedOwner_[idx] != net)) {
+          stillConflicted = true;
+          break;
+        }
+      }
+      if (!stillConflicted) continue;
+      const auto savedPaths = paths_[net];
+      const auto savedNodes = nodesOfNet_[net];
+      ripUp(net);
+      hardExclusion_ = true;
+      const bool clean = routeNet(net, true);
+      hardExclusion_ = false;
+      if (clean) {
+        ++repaired;
+      } else {
+        // No conflict-free path: restore the previous (soft) route.
+        paths_[net] = savedPaths;
+        nodesOfNet_[net] = savedNodes;
+        for (const std::size_t idx : nodesOfNet_[net]) ++usage_[idx];
+        open_[net] = false;
+      }
+    }
+    CRP_LOG_DEBUG("droute cleanup round {}: {} offenders, {} repaired",
+                  round, offenders.size(), repaired);
+    if (repaired == 0) break;
+  }
+
+  // Final statistics + DRC.
+  DetailedRouteStats stats;
+  for (db::NetId net = 0; net < db_.numNets(); ++net) {
+    if (open_[net]) ++stats.openNets;
+    for (const auto& path : paths_[net]) {
+      for (std::size_t i = 1; i < path.size(); ++i) {
+        const DNode& a = path[i - 1];
+        const DNode& b = path[i];
+        if (a.layer != b.layer) {
+          ++stats.viaCount;
+        } else {
+          stats.wirelengthDbu +=
+              geom::manhattan(graph_.position(a), graph_.position(b));
+        }
+      }
+    }
+  }
+  const DrvReport drvs = checkDrvs(db_, graph_, paths_, usage_, fixedOwner_);
+  stats.shortViolations = drvs.shorts;
+  stats.spacingViolations = drvs.spacing;
+  stats.minAreaViolations = drvs.minArea;
+  stats.minAreaPatches = drvs.patches;
+  stats.patchedWireDbu = drvs.patchedWireDbu;
+  stats.wirelengthDbu += drvs.patchedWireDbu;
+  return stats;
+}
+
+}  // namespace crp::droute

@@ -1,0 +1,114 @@
+// Guide-driven gridded detailed router (TritonRoute substitute).
+//
+// PathFinder-style negotiated congestion routing on the track-crossing
+// grid: every net is A*-routed inside its (inflated) global-route
+// guides; nodes used by several nets accrue present + history cost and
+// the offenders are ripped up and rerouted until the overlap is gone
+// or the round budget is exhausted.  Whatever overlap remains is
+// reported as short DRVs by the DRC engine — this mirrors how the
+// paper's detailed-routing metrics (Table III) respond to a better
+// global-routing/placement handoff: fewer congested handoffs, fewer
+// detours and vias, fewer residual DRVs.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/database.hpp"
+#include "droute/track_graph.hpp"
+#include "lefdef/guide_io.hpp"
+
+namespace crp::droute {
+
+struct DetailedRouterOptions {
+  int negotiationRounds = 10;
+  double wireUnit = 0.5;    ///< cost per DBU of wire (contest weight)
+  double viaUnit = 0.0;     ///< cost per via; 0 = auto (4 pitches of wire)
+  double presentFactor = 2.0;    ///< first-round sharing penalty factor
+  double presentGrowth = 1.7;    ///< growth per negotiation round
+  double historyIncrement = 2.0;
+  /// Cost multiplier for wrong-way (non-preferred-direction) jogs;
+  /// they exist mainly so pin-access conflicts can resolve.
+  double wrongWayPenalty = 4.0;
+  geom::Coord guideInflation = -1;  ///< DBU; -1 = one gcell
+  bool allowGuideEscape = true;     ///< retry off-guide when boxed in
+  /// Final DRC-fix rounds: conflicted nets are rerouted with foreign
+  /// nodes strictly forbidden (falls back to the soft route when no
+  /// clean path exists) — the analogue of a production router's
+  /// violation-repair loop.
+  int cleanupRounds = 3;
+};
+
+struct DetailedRouteStats {
+  geom::Coord wirelengthDbu = 0;
+  long viaCount = 0;
+  int openNets = 0;
+  int shortViolations = 0;
+  int spacingViolations = 0;
+  int minAreaViolations = 0;
+  long minAreaPatches = 0;      ///< auto-patched pieces (adds wirelength)
+  geom::Coord patchedWireDbu = 0;
+
+  int totalDrvs() const {
+    return shortViolations + spacingViolations + minAreaViolations;
+  }
+};
+
+class DetailedRouter {
+ public:
+  DetailedRouter(const db::Database& db,
+                 const std::vector<lefdef::NetGuide>& guides,
+                 DetailedRouterOptions options = {});
+
+  /// Routes everything and returns the final metrics.
+  DetailedRouteStats run();
+
+  /// Per-net path node sequences (one per routed 2-pin connection).
+  const std::vector<std::vector<DNode>>& netPaths(db::NetId net) const {
+    return paths_.at(net);
+  }
+
+  const TrackGraph& graph() const { return graph_; }
+  const db::Database& database() const { return db_; }
+
+ private:
+  void assignPinNodes();
+  void registerFixedShapes();
+  void buildAllowedRegion(db::NetId net);
+  bool routeNet(db::NetId net, bool useGuides);
+  void ripUp(db::NetId net);
+  const std::vector<DNode>& netPinNodes(db::NetId net) const {
+    return pinNodes_.at(net);
+  }
+  double nodeEntryCost(std::size_t idx, db::NetId net) const;
+
+  const db::Database& db_;
+  DetailedRouterOptions options_;
+  TrackGraph graph_;
+  std::vector<lefdef::NetGuide> guides_;  ///< owned copy
+  std::unordered_map<std::string, const lefdef::NetGuide*> guideByName_;
+
+  // Node state.
+  std::vector<std::uint16_t> usage_;      ///< routed occupancy count
+  std::vector<std::int32_t> fixedOwner_;  ///< -1 free, -2 blocked, net id pin
+  std::vector<float> history_;
+  std::vector<std::uint32_t> allowedStamp_;
+  std::uint32_t stampValue_ = 0;
+  double presentFactor_ = 1.0;
+  double avgStepCost_ = 1.0;
+
+  std::vector<std::vector<DNode>> pinNodes_;  ///< per net, deduplicated
+  std::vector<std::vector<std::vector<DNode>>> paths_;  ///< per net
+  std::vector<std::vector<std::size_t>> nodesOfNet_;    ///< unique, sorted
+  std::vector<bool> open_;
+
+  // A* scratch, reused across waves via generation stamps (O(1) reset).
+  std::vector<double> dist_;
+  std::vector<std::size_t> parent_;
+  std::vector<std::uint32_t> searchStamp_;
+  std::uint32_t searchGen_ = 0;
+  bool hardExclusion_ = false;  ///< cleanup mode: foreign nodes forbidden
+};
+
+}  // namespace crp::droute

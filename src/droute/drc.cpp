@@ -1,0 +1,111 @@
+#include "droute/drc.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace crp::droute {
+
+DrvReport checkDrvs(const db::Database& db, const TrackGraph& graph,
+                    const std::vector<std::vector<std::vector<DNode>>>& paths,
+                    const std::vector<std::uint16_t>& usage,
+                    const std::vector<std::int32_t>& fixedOwner) {
+  DrvReport report;
+
+  // ---- shorts: node shared by >1 net, or a net crossing a foreign pin.
+  for (const std::uint16_t u : usage) {
+    if (u > 1) report.shorts += u - 1;
+  }
+  for (db::NetId net = 0; net < static_cast<db::NetId>(paths.size()); ++net) {
+    std::vector<std::size_t> nodes;
+    for (const auto& path : paths[net]) {
+      for (const DNode& node : path) nodes.push_back(graph.index(node));
+    }
+    std::sort(nodes.begin(), nodes.end());
+    nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+    for (const std::size_t idx : nodes) {
+      if (fixedOwner[idx] >= 0 && fixedOwner[idx] != net) ++report.shorts;
+    }
+  }
+
+  // ---- cut spacing: vias of different nets too close on a cut layer.
+  // Collect vias as (cutLayer, xi, yi) -> nets.
+  std::map<std::tuple<int, int, int>, std::vector<db::NetId>> vias;
+  for (db::NetId net = 0; net < static_cast<db::NetId>(paths.size()); ++net) {
+    for (const auto& path : paths[net]) {
+      for (std::size_t i = 1; i < path.size(); ++i) {
+        if (path[i].layer == path[i - 1].layer) continue;
+        const int cut = std::min(path[i].layer, path[i - 1].layer);
+        vias[{cut, path[i].xi, path[i].yi}].push_back(net);
+      }
+    }
+  }
+  // Spacing requirement per cut layer from the tech.
+  auto cutSpacing = [&](int below) -> geom::Coord {
+    for (const db::CutLayer& cut : db.tech().cutLayers()) {
+      if (cut.below == below) return cut.spacing;
+    }
+    return 0;
+  };
+  auto cutHalfWidth = [&](int below) -> geom::Coord {
+    const db::ViaDef* via = db.tech().defaultVia(below);
+    if (via == nullptr) return 0;
+    return via->cutShape.width() / 2;
+  };
+  for (const auto& [key, nets] : vias) {
+    const auto [cut, xi, yi] = key;
+    const geom::Coord spacing = cutSpacing(cut);
+    const geom::Coord size = 2 * cutHalfWidth(cut);
+    // Check the 4-neighbourhood for foreign vias.
+    for (const auto& [dx, dy] :
+         std::vector<std::pair<int, int>>{{1, 0}, {0, 1}}) {
+      const auto it = vias.find({cut, xi + dx, yi + dy});
+      if (it == vias.end()) continue;
+      const DNode a{cut, xi, yi};
+      const DNode b{cut, xi + dx, yi + dy};
+      const geom::Coord gap =
+          geom::manhattan(graph.position(a), graph.position(b)) - size;
+      if (gap >= spacing) continue;
+      for (const db::NetId na : nets) {
+        for (const db::NetId nb : it->second) {
+          if (na != nb) ++report.spacing;
+        }
+      }
+    }
+  }
+
+  // ---- min-area: every maximal same-layer run must meet the layer's
+  // minimum metal area; short stubs get patched (adds wirelength).
+  for (const auto& netPaths : paths) {
+    for (const auto& path : netPaths) {
+      std::size_t runStart = 0;
+      for (std::size_t i = 1; i <= path.size(); ++i) {
+        if (i < path.size() && path[i].layer == path[runStart].layer) {
+          continue;
+        }
+        // Run [runStart, i).
+        const int layer = path[runStart].layer;
+        const auto& tech = db.tech().layer(layer);
+        if (tech.minArea > 0 && i > runStart) {
+          geom::Coord length = 0;
+          for (std::size_t k = runStart + 1; k < i; ++k) {
+            length += geom::manhattan(graph.position(path[k - 1]),
+                                      graph.position(path[k]));
+          }
+          const geom::Coord width = std::max<geom::Coord>(1, tech.width);
+          const geom::Coord area = width * (length + width);  // end caps
+          if (area < tech.minArea) {
+            const geom::Coord deficit =
+                (tech.minArea - area + width - 1) / width;
+            ++report.patches;
+            report.patchedWireDbu += deficit;
+          }
+        }
+        runStart = i;
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace crp::droute

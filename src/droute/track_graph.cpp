@@ -1,0 +1,72 @@
+#include "droute/track_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace crp::droute {
+
+TrackGraph::TrackGraph(const db::Database& db)
+    : numLayers_(db.tech().numLayers()) {
+  dirs_.reserve(numLayers_);
+  for (int l = 0; l < numLayers_; ++l) {
+    dirs_.push_back(db.tech().layer(l).dir);
+  }
+  // Track coordinates: union over all track grids per axis.
+  for (const db::TrackGrid& grid : db.design().tracks) {
+    auto& coords =
+        (grid.dir == db::LayerDir::kVertical) ? xs_ : ys_;
+    for (int i = 0; i < grid.count; ++i) {
+      coords.push_back(grid.start + static_cast<Coord>(i) * grid.step);
+    }
+  }
+  std::sort(xs_.begin(), xs_.end());
+  xs_.erase(std::unique(xs_.begin(), xs_.end()), xs_.end());
+  std::sort(ys_.begin(), ys_.end());
+  ys_.erase(std::unique(ys_.begin(), ys_.end()), ys_.end());
+  if (xs_.empty() || ys_.empty()) {
+    throw std::invalid_argument("design has no tracks for detailed routing");
+  }
+}
+
+DNode TrackGraph::nodeOf(std::size_t index) const {
+  const std::size_t perLayer = xs_.size() * ys_.size();
+  DNode node;
+  node.layer = static_cast<int>(index / perLayer);
+  const std::size_t rem = index % perLayer;
+  node.yi = static_cast<int>(rem / xs_.size());
+  node.xi = static_cast<int>(rem % xs_.size());
+  return node;
+}
+
+namespace {
+
+int nearestIndex(const std::vector<Coord>& coords, Coord v) {
+  const auto it = std::lower_bound(coords.begin(), coords.end(), v);
+  if (it == coords.begin()) return 0;
+  if (it == coords.end()) return static_cast<int>(coords.size()) - 1;
+  const auto prev = it - 1;
+  const int idx = static_cast<int>(it - coords.begin());
+  return (v - *prev <= *it - v) ? idx - 1 : idx;
+}
+
+}  // namespace
+
+int TrackGraph::nearestXi(Coord x) const { return nearestIndex(xs_, x); }
+int TrackGraph::nearestYi(Coord y) const { return nearestIndex(ys_, y); }
+
+DNode TrackGraph::nearestNode(int layer, Point p) const {
+  return DNode{layer, nearestXi(p.x), nearestYi(p.y)};
+}
+
+Coord TrackGraph::stepLength(const DNode& node, int direction) const {
+  if (layerDir(node.layer) == db::LayerDir::kHorizontal) {
+    const int nxt = node.xi + direction;
+    if (nxt < 0 || nxt >= numX()) return 0;
+    return std::abs(xs_[nxt] - xs_[node.xi]);
+  }
+  const int nxt = node.yi + direction;
+  if (nxt < 0 || nxt >= numY()) return 0;
+  return std::abs(ys_[nxt] - ys_[node.yi]);
+}
+
+}  // namespace crp::droute

@@ -1,0 +1,88 @@
+// Gridded detailed-routing graph (TritonRoute substitute, model layer).
+//
+// Routing happens on the crossing grid of horizontal and vertical
+// tracks: node (layer, xi, yi) sits at (xs[xi], ys[yi]) where xs are
+// the vertical-track coordinates and ys the horizontal-track
+// coordinates.  Wires run along the layer's preferred direction
+// between adjacent grid points; vias connect vertically adjacent
+// layers at a grid point.
+//
+// Modeling note: the grid is shared across layers (coordinates taken
+// from the lowest layer of each direction).  The synthetic suites use
+// one pitch for the whole stack, so this is exact for them; for mixed
+// pitch stacks it is a conservative approximation (documented in
+// DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "db/database.hpp"
+
+namespace crp::droute {
+
+using geom::Coord;
+using geom::Point;
+
+/// A detailed-routing grid node.
+struct DNode {
+  int layer = 0;
+  int xi = 0;
+  int yi = 0;
+
+  friend bool operator==(const DNode&, const DNode&) = default;
+  friend auto operator<=>(const DNode&, const DNode&) = default;
+};
+
+class TrackGraph {
+ public:
+  explicit TrackGraph(const db::Database& db);
+
+  int numLayers() const { return numLayers_; }
+  int numX() const { return static_cast<int>(xs_.size()); }
+  int numY() const { return static_cast<int>(ys_.size()); }
+  std::size_t numNodes() const {
+    return static_cast<std::size_t>(numLayers_) * numX() * numY();
+  }
+
+  const std::vector<Coord>& xs() const { return xs_; }
+  const std::vector<Coord>& ys() const { return ys_; }
+
+  Point position(const DNode& node) const {
+    return Point{xs_[node.xi], ys_[node.yi]};
+  }
+
+  bool valid(const DNode& node) const {
+    return node.layer >= 0 && node.layer < numLayers_ && node.xi >= 0 &&
+           node.xi < numX() && node.yi >= 0 && node.yi < numY();
+  }
+
+  std::size_t index(const DNode& node) const {
+    return (static_cast<std::size_t>(node.layer) * ys_.size() + node.yi) *
+               xs_.size() +
+           node.xi;
+  }
+
+  DNode nodeOf(std::size_t index) const;
+
+  db::LayerDir layerDir(int layer) const { return dirs_.at(layer); }
+
+  /// Nearest grid indices to a die coordinate (clamped).
+  int nearestXi(Coord x) const;
+  int nearestYi(Coord y) const;
+
+  /// Nearest grid node to `p` on `layer`.
+  DNode nearestNode(int layer, Point p) const;
+
+  /// Wire step length from `node` to the next grid point along the
+  /// layer direction (0 when at the boundary).
+  Coord stepLength(const DNode& node, int direction) const;
+
+ private:
+  int numLayers_ = 0;
+  std::vector<db::LayerDir> dirs_;
+  std::vector<Coord> xs_;
+  std::vector<Coord> ys_;
+};
+
+}  // namespace crp::droute

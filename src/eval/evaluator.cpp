@@ -1,0 +1,52 @@
+#include "eval/evaluator.hpp"
+
+namespace crp::eval {
+
+Metrics collectMetrics(const droute::DetailedRouteStats& stats) {
+  Metrics metrics;
+  metrics.wirelengthDbu = stats.wirelengthDbu;
+  metrics.viaCount = stats.viaCount;
+  metrics.shorts = stats.shortViolations;
+  metrics.spacing = stats.spacingViolations;
+  metrics.minArea = stats.minAreaViolations;
+  metrics.openNets = stats.openNets;
+  return metrics;
+}
+
+double score(const Metrics& metrics, const db::Database& db,
+             const ScoreWeights& weights) {
+  // Wire unit: one pitch of the second routing layer (or the first when
+  // the stack is single-layer).
+  const int pitchLayer = db.tech().numLayers() > 1 ? 1 : 0;
+  const double pitch =
+      static_cast<double>(db.tech().layer(pitchLayer).pitch);
+  const double wireUnits =
+      pitch > 0 ? static_cast<double>(metrics.wirelengthDbu) / pitch : 0.0;
+  return weights.wireUnit * wireUnits +
+         weights.viaUnit * static_cast<double>(metrics.viaCount) +
+         weights.drvPenalty * metrics.totalDrvs() +
+         weights.openPenalty * metrics.openNets;
+}
+
+double improvementPercent(double baseline, double candidate) {
+  if (baseline == 0.0) return 0.0;
+  return 100.0 * (baseline - candidate) / baseline;
+}
+
+ComparisonRow compareRuns(const std::string& benchmark,
+                          const Metrics& baseline, const Metrics& candidate) {
+  ComparisonRow row;
+  row.benchmark = benchmark;
+  row.baseline = baseline;
+  row.candidate = candidate;
+  row.wirelengthImprovePct =
+      improvementPercent(static_cast<double>(baseline.wirelengthDbu),
+                         static_cast<double>(candidate.wirelengthDbu));
+  row.viaImprovePct =
+      improvementPercent(static_cast<double>(baseline.viaCount),
+                         static_cast<double>(candidate.viaCount));
+  row.drvDelta = candidate.totalDrvs() - baseline.totalDrvs();
+  return row;
+}
+
+}  // namespace crp::eval

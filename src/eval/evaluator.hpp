@@ -1,0 +1,59 @@
+// ISPD-2018-style evaluation (the contest's official-evaluator
+// substitute).  Metrics follow §V.A of the paper: detailed-routing
+// wirelength and via count, DRV counts, and the contest weighting of
+// 0.5 per wire unit and 2 per via ("via insertion is 4 times as
+// expensive as wire insertion").
+#pragma once
+
+#include <string>
+
+#include "db/database.hpp"
+#include "droute/detailed_router.hpp"
+
+namespace crp::eval {
+
+struct Metrics {
+  geom::Coord wirelengthDbu = 0;
+  long viaCount = 0;
+  int shorts = 0;
+  int spacing = 0;
+  int minArea = 0;
+  int openNets = 0;
+
+  int totalDrvs() const { return shorts + spacing + minArea; }
+};
+
+/// Contest weights.
+struct ScoreWeights {
+  double wireUnit = 0.5;  ///< per wire unit (one M2 pitch of wire)
+  double viaUnit = 2.0;   ///< per via
+  double drvPenalty = 500.0;
+  double openPenalty = 500.0;
+};
+
+/// Collapses detailed-route stats into evaluation metrics.
+Metrics collectMetrics(const droute::DetailedRouteStats& stats);
+
+/// Weighted contest score (lower is better).  Wirelength is expressed
+/// in M2-pitch units so the wire/via weights have the contest meaning.
+double score(const Metrics& metrics, const db::Database& db,
+             const ScoreWeights& weights = {});
+
+/// Improvement of `candidate` over `baseline` in percent (positive =
+/// candidate better), the quantity reported in Table III.
+double improvementPercent(double baseline, double candidate);
+
+/// One row of a Table III-style comparison.
+struct ComparisonRow {
+  std::string benchmark;
+  Metrics baseline;
+  Metrics candidate;
+  double wirelengthImprovePct = 0.0;
+  double viaImprovePct = 0.0;
+  int drvDelta = 0;  ///< candidate DRVs - baseline DRVs (0 = "no new DRVs")
+};
+
+ComparisonRow compareRuns(const std::string& benchmark,
+                          const Metrics& baseline, const Metrics& candidate);
+
+}  // namespace crp::eval

@@ -1,0 +1,57 @@
+#include "geom/geometry.hpp"
+
+namespace crp::geom {
+
+std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << '(' << p.x << ", " << p.y << ')';
+}
+
+std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << '[' << r.xlo << ", " << r.ylo << " .. " << r.xhi << ", "
+            << r.yhi << ']';
+}
+
+std::string orientationName(Orientation o) {
+  switch (o) {
+    case Orientation::kN:
+      return "N";
+    case Orientation::kS:
+      return "S";
+    case Orientation::kFN:
+      return "FN";
+    case Orientation::kFS:
+      return "FS";
+  }
+  return "N";
+}
+
+Point transformPoint(const Point& local, const Point& origin, Coord w, Coord h,
+                     Orientation orient) {
+  Point p;
+  switch (orient) {
+    case Orientation::kN:
+      p = local;
+      break;
+    case Orientation::kS:  // rotate 180
+      p = Point{w - local.x, h - local.y};
+      break;
+    case Orientation::kFN:  // flip about the y axis
+      p = Point{w - local.x, local.y};
+      break;
+    case Orientation::kFS:  // flip about the x axis
+      p = Point{local.x, h - local.y};
+      break;
+  }
+  return Point{p.x + origin.x, p.y + origin.y};
+}
+
+Rect transformRect(const Rect& local, const Point& origin, Coord w, Coord h,
+                   Orientation orient) {
+  const Point a = transformPoint(Point{local.xlo, local.ylo}, origin, w, h,
+                                 orient);
+  const Point b = transformPoint(Point{local.xhi, local.yhi}, origin, w, h,
+                                 orient);
+  return Rect::fromPoints(a, b);
+}
+
+}  // namespace crp::geom

@@ -1,0 +1,162 @@
+// Integer geometry primitives used across the database, routers and
+// legalizer.  All coordinates are in database units (DBU); int64
+// everywhere so intermediate products (e.g. HPWL sums over 100k nets)
+// cannot overflow.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <ostream>
+#include <string>
+
+namespace crp::geom {
+
+using Coord = std::int64_t;
+
+/// 2D point in DBU.
+struct Point {
+  Coord x = 0;
+  Coord y = 0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+  friend auto operator<=>(const Point&, const Point&) = default;
+};
+
+/// Manhattan distance between two points.
+inline Coord manhattan(const Point& a, const Point& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+std::ostream& operator<<(std::ostream& os, const Point& p);
+
+/// Closed-open 1D interval [lo, hi).
+struct Interval {
+  Coord lo = 0;
+  Coord hi = 0;
+
+  Coord length() const { return hi - lo; }
+  bool empty() const { return hi <= lo; }
+  bool contains(Coord v) const { return v >= lo && v < hi; }
+  bool overlaps(const Interval& other) const {
+    return lo < other.hi && other.lo < hi;
+  }
+  /// Length of the overlap with `other` (0 when disjoint).
+  Coord overlapLength(const Interval& other) const {
+    return std::max<Coord>(0, std::min(hi, other.hi) - std::max(lo, other.lo));
+  }
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// Axis-aligned rectangle, closed-open in both axes: [xlo,xhi) x [ylo,yhi).
+struct Rect {
+  Coord xlo = 0;
+  Coord ylo = 0;
+  Coord xhi = 0;
+  Coord yhi = 0;
+
+  static Rect fromPoints(const Point& a, const Point& b) {
+    return Rect{std::min(a.x, b.x), std::min(a.y, b.y), std::max(a.x, b.x),
+                std::max(a.y, b.y)};
+  }
+
+  Coord width() const { return xhi - xlo; }
+  Coord height() const { return yhi - ylo; }
+  Coord area() const { return width() * height(); }
+  Coord halfPerimeter() const { return width() + height(); }
+  bool empty() const { return xhi <= xlo || yhi <= ylo; }
+
+  Point center() const { return Point{(xlo + xhi) / 2, (ylo + yhi) / 2}; }
+  Interval xInterval() const { return Interval{xlo, xhi}; }
+  Interval yInterval() const { return Interval{ylo, yhi}; }
+
+  bool contains(const Point& p) const {
+    return p.x >= xlo && p.x < xhi && p.y >= ylo && p.y < yhi;
+  }
+  /// Containment that also accepts points on the closed upper edges;
+  /// useful for degenerate (zero-area) rects such as track endpoints.
+  bool containsClosed(const Point& p) const {
+    return p.x >= xlo && p.x <= xhi && p.y >= ylo && p.y <= yhi;
+  }
+  bool contains(const Rect& other) const {
+    return other.xlo >= xlo && other.xhi <= xhi && other.ylo >= ylo &&
+           other.yhi <= yhi;
+  }
+  bool overlaps(const Rect& other) const {
+    return xlo < other.xhi && other.xlo < xhi && ylo < other.yhi &&
+           other.ylo < yhi;
+  }
+
+  /// Intersection; empty Rect when disjoint.
+  Rect intersect(const Rect& other) const {
+    Rect r{std::max(xlo, other.xlo), std::max(ylo, other.ylo),
+           std::min(xhi, other.xhi), std::min(yhi, other.yhi)};
+    if (r.empty()) return Rect{};
+    return r;
+  }
+
+  /// Smallest rectangle containing both.
+  Rect unionWith(const Rect& other) const {
+    if (empty()) return other;
+    if (other.empty()) return *this;
+    return Rect{std::min(xlo, other.xlo), std::min(ylo, other.ylo),
+                std::max(xhi, other.xhi), std::max(yhi, other.yhi)};
+  }
+
+  /// Grows the rect by `margin` on all four sides (may be negative).
+  Rect inflated(Coord margin) const {
+    return Rect{xlo - margin, ylo - margin, xhi + margin, yhi + margin};
+  }
+
+  /// Translates by (dx, dy).
+  Rect shifted(Coord dx, Coord dy) const {
+    return Rect{xlo + dx, ylo + dy, xhi + dx, yhi + dy};
+  }
+
+  /// Euclidean-free Manhattan gap between two rects (0 when touching or
+  /// overlapping); used by the spacing checker.
+  Coord manhattanGap(const Rect& other) const {
+    const Coord dx = std::max<Coord>(
+        0, std::max(other.xlo - xhi, xlo - other.xhi));
+    const Coord dy = std::max<Coord>(
+        0, std::max(other.ylo - yhi, ylo - other.yhi));
+    return std::max(dx, dy);
+  }
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rect& r);
+
+/// DEF cell orientations (subset used by standard-cell rows).
+enum class Orientation : std::uint8_t { kN, kS, kFN, kFS };
+
+std::string orientationName(Orientation o);
+
+/// Transforms a rect given in a macro's local frame (origin at the
+/// macro's lower-left, size w x h) into the die frame for an instance
+/// placed at `origin` with orientation `orient`.
+Rect transformRect(const Rect& local, const Point& origin, Coord w, Coord h,
+                   Orientation orient);
+
+/// Same transform for a point.
+Point transformPoint(const Point& local, const Point& origin, Coord w, Coord h,
+                     Orientation orient);
+
+/// Snaps `v` down to the closest multiple of `step` offset by `origin`.
+inline Coord snapDown(Coord v, Coord origin, Coord step) {
+  Coord rel = v - origin;
+  Coord snapped = (rel >= 0) ? (rel / step) * step
+                             : -(((-rel) + step - 1) / step) * step;
+  return origin + snapped;
+}
+
+/// Snaps `v` to the nearest multiple of `step` offset by `origin`.
+inline Coord snapNearest(Coord v, Coord origin, Coord step) {
+  const Coord down = snapDown(v, origin, step);
+  const Coord up = down + step;
+  return (v - down <= up - v) ? down : up;
+}
+
+}  // namespace crp::geom

@@ -1,0 +1,41 @@
+// Congestion reporting utilities: per-layer utilisation maps and a
+// text heatmap of the GCell grid.  Used by the examples for flow
+// introspection and by CR&P users to locate the hotspots the framework
+// is expected to relieve.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "groute/routing_graph.hpp"
+
+namespace crp::groute {
+
+/// Demand / capacity ratio per gcell, aggregated over the edges
+/// incident to it on one layer (or all layers when layer < 0).
+struct CongestionMap {
+  int width = 0;
+  int height = 0;
+  std::vector<double> utilisation;  ///< row-major [y * width + x]
+
+  double at(int x, int y) const { return utilisation[y * width + x]; }
+
+  /// Gcells whose utilisation exceeds `threshold`.
+  int hotspotCount(double threshold = 1.0) const;
+
+  /// Highest utilisation in the map.
+  double peak() const;
+
+  /// Mean utilisation.
+  double mean() const;
+};
+
+/// Builds the congestion map from the live demand state.
+CongestionMap buildCongestionMap(const RoutingGraph& graph, int layer = -1);
+
+/// Renders the map as an ASCII heatmap ('.' empty .. '#' overflowed);
+/// one character per gcell, top row = highest y.
+void printHeatmap(std::ostream& os, const CongestionMap& map);
+
+}  // namespace crp::groute

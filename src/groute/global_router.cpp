@@ -1,0 +1,217 @@
+#include "groute/global_router.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "util/logger.hpp"
+
+namespace crp::groute {
+
+GlobalRouter::GlobalRouter(const db::Database& db,
+                           GlobalRouterOptions options)
+    : db_(db),
+      options_(options),
+      graph_(db, options.cost),
+      pattern_(graph_, options.maxZCandidates),
+      maze_(graph_, options.mazeMargin),
+      routes_(db.numNets()) {
+  for (db::NetId n = 0; n < db.numNets(); ++n) routes_[n].net = n;
+}
+
+std::vector<GPoint> GlobalRouter::netTerminals(db::NetId net) const {
+  std::vector<GPoint> terminals;
+  for (const db::NetPin& pin : db_.net(net).pins) {
+    const geom::Point pos = db_.pinPosition(pin);
+    const db::GCell g = graph_.grid().cellAt(pos);
+    int layer = 0;
+    if (pin.isIo()) {
+      layer = db_.design().ioPins[pin.ioPin()].layer;
+    } else {
+      const auto shapes = db_.pinShapes(pin.compPin());
+      if (!shapes.empty()) layer = shapes.front().layer;
+    }
+    terminals.push_back(GPoint{layer, g.x, g.y});
+  }
+  // Deduplicate identical terminals (multiple pins in one gcell column
+  // at the same layer).
+  std::sort(terminals.begin(), terminals.end());
+  terminals.erase(std::unique(terminals.begin(), terminals.end()),
+                  terminals.end());
+  return terminals;
+}
+
+void GlobalRouter::ripUp(db::NetId net) {
+  NetRoute& route = routes_.at(net);
+  if (!route.routed) return;
+  graph_.applyRoute(route, -1);
+  route.clear();
+}
+
+bool GlobalRouter::rerouteNet(db::NetId net, bool mazeFirst) {
+  ripUp(net);
+  const auto terminals = netTerminals(net);
+  NetRoute& route = routes_.at(net);
+  PatternResult result = mazeFirst ? maze_.routeTree(terminals)
+                                   : pattern_.routeTree(terminals);
+  if (!result.ok) {
+    result = mazeFirst ? pattern_.routeTree(terminals)
+                       : maze_.routeTree(terminals);
+  }
+  if (!result.ok) return false;
+  route.segments = std::move(result.segments);
+  route.routed = true;
+  graph_.applyRoute(route, +1);
+  return true;
+}
+
+double GlobalRouter::netRouteCost(db::NetId net) const {
+  const NetRoute& route = routes_.at(net);
+  if (!route.routed) return 0.0;
+  double cost = 0.0;
+  for (const RouteSegment& rawSeg : route.segments) {
+    const RouteSegment seg = normalized(rawSeg);
+    if (seg.isVia()) {
+      for (int l = seg.a.layer; l < seg.b.layer; ++l) {
+        cost += graph_.viaEdgeCost(ViaEdge{l, seg.a.x, seg.a.y});
+      }
+    } else if (seg.a.x != seg.b.x) {
+      for (int x = seg.a.x; x < seg.b.x; ++x) {
+        cost += graph_.wireEdgeCost(WireEdge{seg.a.layer, x, seg.a.y});
+      }
+    } else {
+      for (int y = seg.a.y; y < seg.b.y; ++y) {
+        cost += graph_.wireEdgeCost(WireEdge{seg.a.layer, seg.a.x, y});
+      }
+    }
+  }
+  return cost;
+}
+
+GlobalRouteStats GlobalRouter::run() {
+  // Initial routing order: cheapest (smallest HPWL) nets first, so
+  // large nets see the congestion the small ones created and detour.
+  std::vector<db::NetId> order(db_.numNets());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<geom::Coord> hpwl(db_.numNets());
+  for (db::NetId n = 0; n < db_.numNets(); ++n) hpwl[n] = db_.netHpwl(n);
+  std::sort(order.begin(), order.end(), [&](db::NetId a, db::NetId b) {
+    if (hpwl[a] != hpwl[b]) return hpwl[a] < hpwl[b];
+    return a < b;
+  });
+
+  for (const db::NetId net : order) {
+    rerouteNet(net, /*mazeFirst=*/false);  // pattern first: bulk speed
+  }
+
+  // Negotiated rip-up-and-reroute of overflowed nets.
+  for (int round = 0; round < options_.rrrRounds; ++round) {
+    std::vector<db::NetId> victims;
+    for (db::NetId net = 0; net < db_.numNets(); ++net) {
+      const NetRoute& route = routes_[net];
+      if (!route.routed) {
+        victims.push_back(net);
+        continue;
+      }
+      bool overflowed = false;
+      for (const RouteSegment& rawSeg : route.segments) {
+        const RouteSegment seg = normalized(rawSeg);
+        if (seg.isVia()) continue;
+        if (seg.a.x != seg.b.x) {
+          for (int x = seg.a.x; x < seg.b.x && !overflowed; ++x) {
+            overflowed =
+                graph_.overflow(WireEdge{seg.a.layer, x, seg.a.y}) > 0.0;
+          }
+        } else {
+          for (int y = seg.a.y; y < seg.b.y && !overflowed; ++y) {
+            overflowed =
+                graph_.overflow(WireEdge{seg.a.layer, seg.a.x, y}) > 0.0;
+          }
+        }
+        if (overflowed) break;
+      }
+      if (overflowed) victims.push_back(net);
+    }
+    if (victims.empty()) break;
+    CRP_LOG_DEBUG("groute RRR round {}: {} overflowed nets", round,
+                  victims.size());
+    for (const db::NetId net : victims) {
+      ripUp(net);
+      const auto terminals = netTerminals(net);
+      PatternResult result = maze_.routeTree(terminals);
+      if (!result.ok) result = pattern_.routeTree(terminals);
+      if (result.ok) {
+        routes_[net].segments = std::move(result.segments);
+        routes_[net].routed = true;
+        graph_.applyRoute(routes_[net], +1);
+      }
+      ++reroutedNets_;
+    }
+  }
+  return stats();
+}
+
+GlobalRouteStats GlobalRouter::stats() const {
+  GlobalRouteStats stats;
+  stats.wirelengthDbu = graph_.totalWireDbu();
+  stats.vias = graph_.totalVias();
+  const auto congestion = graph_.congestionStats();
+  stats.totalOverflow = congestion.totalOverflow;
+  stats.overflowedEdges = congestion.overflowedEdges;
+  stats.reroutedNets = reroutedNets_;
+  for (db::NetId net = 0; net < db_.numNets(); ++net) {
+    const auto terminals = netTerminals(net);
+    if (terminals.size() >= 2 && !routes_[net].routed) ++stats.openNets;
+  }
+  return stats;
+}
+
+std::vector<lefdef::NetGuide> GlobalRouter::buildGuides() const {
+  std::vector<lefdef::NetGuide> guides;
+  guides.reserve(routes_.size());
+  const auto& grid = graph_.grid();
+  for (db::NetId net = 0; net < db_.numNets(); ++net) {
+    const NetRoute& route = routes_[net];
+    lefdef::NetGuide guide;
+    guide.net = db_.net(net).name;
+    // One rect per (layer, gcell) covered; merged per segment span.
+    std::vector<lefdef::GuideRect> rects;
+    auto addSpan = [&](int layer, int x0, int y0, int x1, int y1) {
+      const auto lo = grid.cellRect(db::GCell{x0, y0});
+      const auto hi = grid.cellRect(db::GCell{x1, y1});
+      rects.push_back(lefdef::GuideRect{lo.unionWith(hi), layer});
+    };
+    for (const RouteSegment& rawSeg : route.segments) {
+      const RouteSegment seg = normalized(rawSeg);
+      if (seg.isVia()) {
+        for (int l = seg.a.layer; l <= seg.b.layer; ++l) {
+          addSpan(l, seg.a.x, seg.a.y, seg.a.x, seg.a.y);
+        }
+      } else {
+        addSpan(seg.a.layer, seg.a.x, seg.a.y, seg.b.x, seg.b.y);
+      }
+    }
+    // Always cover pin gcells on their access layers (TritonRoute
+    // requires pin coverage even for single-gcell nets).
+    for (const GPoint& t : netTerminals(net)) {
+      addSpan(t.layer, t.x, t.y, t.x, t.y);
+      if (t.layer + 1 < graph_.numLayers()) {
+        addSpan(t.layer + 1, t.x, t.y, t.x, t.y);
+      }
+    }
+    std::sort(rects.begin(), rects.end(),
+              [](const lefdef::GuideRect& a, const lefdef::GuideRect& b) {
+                if (a.layer != b.layer) return a.layer < b.layer;
+                if (a.rect.xlo != b.rect.xlo) return a.rect.xlo < b.rect.xlo;
+                if (a.rect.ylo != b.rect.ylo) return a.rect.ylo < b.rect.ylo;
+                if (a.rect.xhi != b.rect.xhi) return a.rect.xhi < b.rect.xhi;
+                return a.rect.yhi < b.rect.yhi;
+              });
+    rects.erase(std::unique(rects.begin(), rects.end()), rects.end());
+    guide.rects = std::move(rects);
+    guides.push_back(std::move(guide));
+  }
+  return guides;
+}
+
+}  // namespace crp::groute

@@ -1,0 +1,84 @@
+// The CUGR-substitute global router (paper Fig. 1 step 1).
+//
+// Flow: RSMT + 3D pattern route every net (cheapest first), then
+// negotiated rip-up-and-reroute rounds that re-route overflowed nets
+// with the 3D maze router.  The live Eq. 9/10 cost model steers both
+// phases away from congestion.
+//
+// The router is also the "Update Database" engine of CR&P (§IV.B.5):
+// rerouteNet() rips up and re-routes the nets of moved cells and keeps
+// the demand maps consistent.
+#pragma once
+
+#include <vector>
+
+#include "db/database.hpp"
+#include "groute/maze_route.hpp"
+#include "groute/pattern_route.hpp"
+#include "groute/routing_graph.hpp"
+#include "lefdef/guide_io.hpp"
+
+namespace crp::groute {
+
+struct GlobalRouterOptions {
+  CostConfig cost;
+  int rrrRounds = 3;      ///< negotiated reroute rounds after initial route
+  int mazeMargin = 6;     ///< gcell margin around the net bbox for maze
+  int maxZCandidates = 8; ///< Z-shape sampling in pattern routing
+};
+
+struct GlobalRouteStats {
+  geom::Coord wirelengthDbu = 0;
+  long vias = 0;
+  double totalOverflow = 0.0;
+  int overflowedEdges = 0;
+  int openNets = 0;
+  int reroutedNets = 0;  ///< nets touched by RRR rounds
+};
+
+class GlobalRouter {
+ public:
+  explicit GlobalRouter(const db::Database& db,
+                        GlobalRouterOptions options = {});
+
+  /// Routes every net from scratch: pattern route + RRR.
+  GlobalRouteStats run();
+
+  /// Pin terminals of a net at the current cell positions.
+  std::vector<GPoint> netTerminals(db::NetId net) const;
+
+  /// Removes a net's route from the demand maps (no-op when unrouted).
+  void ripUp(db::NetId net);
+
+  /// Rip up + reroute at current cell positions (maze search against
+  /// the live congestion state, pattern fallback — the same quality
+  /// class the initial RRR rounds produce, so CR&P's Update-Database
+  /// reroutes do not degrade the via discipline of the solution).
+  /// Returns false when the net could not be routed (stays open).
+  bool rerouteNet(db::NetId net, bool mazeFirst = true);
+
+  /// Cost of a net's committed route at the live edge prices; the
+  /// criticality metric of Alg. 1.  Zero for unrouted nets.
+  double netRouteCost(db::NetId net) const;
+
+  const NetRoute& route(db::NetId net) const { return routes_.at(net); }
+  RoutingGraph& graph() { return graph_; }
+  const RoutingGraph& graph() const { return graph_; }
+  const db::Database& database() const { return db_; }
+
+  GlobalRouteStats stats() const;
+
+  /// Guides for the detailed router, one entry per routed net.
+  std::vector<lefdef::NetGuide> buildGuides() const;
+
+ private:
+  const db::Database& db_;
+  GlobalRouterOptions options_;
+  RoutingGraph graph_;
+  PatternRouter pattern_;
+  MazeRouter maze_;
+  std::vector<NetRoute> routes_;
+  int reroutedNets_ = 0;
+};
+
+}  // namespace crp::groute

@@ -1,0 +1,204 @@
+#include "groute/maze_route.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace crp::groute {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct SearchBox {
+  int xlo, ylo, xhi, yhi;  // inclusive gcell bounds
+  int width() const { return xhi - xlo + 1; }
+  int height() const { return yhi - ylo + 1; }
+};
+
+}  // namespace
+
+PatternResult MazeRouter::routeTree(
+    const std::vector<GPoint>& terminals) const {
+  PatternResult result;
+  if (terminals.size() <= 1) {
+    result.ok = true;
+    return result;
+  }
+
+  // Search box around all terminals.
+  SearchBox box{terminals[0].x, terminals[0].y, terminals[0].x,
+                terminals[0].y};
+  for (const GPoint& t : terminals) {
+    box.xlo = std::min(box.xlo, t.x);
+    box.ylo = std::min(box.ylo, t.y);
+    box.xhi = std::max(box.xhi, t.x);
+    box.yhi = std::max(box.yhi, t.y);
+  }
+  box.xlo = std::max(0, box.xlo - boxMargin_);
+  box.ylo = std::max(0, box.ylo - boxMargin_);
+  box.xhi = std::min(graph_.grid().countX() - 1, box.xhi + boxMargin_);
+  box.yhi = std::min(graph_.grid().countY() - 1, box.yhi + boxMargin_);
+
+  const int bw = box.width();
+  const int bh = box.height();
+  const int numLayers = graph_.numLayers();
+  const std::size_t numNodes =
+      static_cast<std::size_t>(numLayers) * bw * bh;
+
+  auto indexOf = [&](const GPoint& p) {
+    return (static_cast<std::size_t>(p.layer) * bh + (p.y - box.ylo)) * bw +
+           (p.x - box.xlo);
+  };
+  auto inBox = [&](int x, int y) {
+    return x >= box.xlo && x <= box.xhi && y >= box.ylo && y <= box.yhi;
+  };
+
+  std::vector<double> dist(numNodes, kInf);
+  std::vector<int> parent(numNodes, -1);  // packed predecessor index
+  std::vector<GPoint> nodeOf(numNodes);
+  for (int l = 0; l < numLayers; ++l) {
+    for (int y = box.ylo; y <= box.yhi; ++y) {
+      for (int x = box.xlo; x <= box.xhi; ++x) {
+        nodeOf[indexOf(GPoint{l, x, y})] = GPoint{l, x, y};
+      }
+    }
+  }
+
+  using QueueEntry = std::pair<double, std::size_t>;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<>> queue;
+
+  // Tree node set (source of each wave).
+  std::vector<std::size_t> treeNodes;
+  auto seed = [&](std::size_t idx, double cost) {
+    if (cost < dist[idx]) {
+      dist[idx] = cost;
+      queue.push({cost, idx});
+    }
+  };
+
+  // Order sinks by Manhattan proximity to the first terminal to keep
+  // waves short.
+  std::vector<GPoint> sinks(terminals.begin() + 1, terminals.end());
+  std::sort(sinks.begin(), sinks.end(), [&](const GPoint& a, const GPoint& b) {
+    const int da = std::abs(a.x - terminals[0].x) +
+                   std::abs(a.y - terminals[0].y);
+    const int db = std::abs(b.x - terminals[0].x) +
+                   std::abs(b.y - terminals[0].y);
+    return da < db;
+  });
+
+  treeNodes.push_back(indexOf(terminals[0]));
+
+  std::vector<RouteSegment> unitSegments;
+
+  for (const GPoint& sink : sinks) {
+    // Reset wave state.
+    std::fill(dist.begin(), dist.end(), kInf);
+    std::fill(parent.begin(), parent.end(), -1);
+    while (!queue.empty()) queue.pop();
+    for (const std::size_t idx : treeNodes) seed(idx, 0.0);
+
+    const std::size_t target = indexOf(sink);
+    bool reached = false;
+    while (!queue.empty()) {
+      const auto [d, idx] = queue.top();
+      queue.pop();
+      if (d > dist[idx]) continue;
+      if (idx == target) {
+        reached = true;
+        break;
+      }
+      const GPoint p = nodeOf[idx];
+      // Wire moves along the layer's preferred direction.
+      const bool horizontal =
+          graph_.layerDir(p.layer) == db::LayerDir::kHorizontal;
+      const int dx = horizontal ? 1 : 0;
+      const int dy = horizontal ? 0 : 1;
+      for (const int sign : {-1, 1}) {
+        const int nxp = p.x + sign * dx;
+        const int nyp = p.y + sign * dy;
+        if (!inBox(nxp, nyp)) continue;
+        const WireEdge edge = horizontal
+                                  ? WireEdge{p.layer, std::min(p.x, nxp), p.y}
+                                  : WireEdge{p.layer, p.x, std::min(p.y, nyp)};
+        if (!graph_.validWireEdge(edge)) continue;
+        const double nd = d + graph_.wireEdgeCost(edge);
+        const std::size_t nidx = indexOf(GPoint{p.layer, nxp, nyp});
+        if (nd < dist[nidx]) {
+          dist[nidx] = nd;
+          parent[nidx] = static_cast<int>(idx);
+          queue.push({nd, nidx});
+        }
+      }
+      // Via moves.
+      for (const int sign : {-1, 1}) {
+        const int nl = p.layer + sign;
+        if (nl < 0 || nl >= numLayers) continue;
+        const ViaEdge edge{std::min(p.layer, nl), p.x, p.y};
+        const double nd = d + graph_.viaEdgeCost(edge);
+        const std::size_t nidx = indexOf(GPoint{nl, p.x, p.y});
+        if (nd < dist[nidx]) {
+          dist[nidx] = nd;
+          parent[nidx] = static_cast<int>(idx);
+          queue.push({nd, nidx});
+        }
+      }
+    }
+    if (!reached) return PatternResult{};
+
+    result.cost += dist[target];
+
+    // Backtrack, collecting unit segments and enlarging the tree.
+    std::size_t cursor = target;
+    while (parent[cursor] >= 0) {
+      const std::size_t prev = static_cast<std::size_t>(parent[cursor]);
+      unitSegments.push_back(RouteSegment{nodeOf[prev], nodeOf[cursor]});
+      treeNodes.push_back(cursor);
+      cursor = prev;
+    }
+    treeNodes.push_back(cursor);
+  }
+
+  // Merge collinear unit segments to keep routes compact.
+  std::vector<RouteSegment> merged;
+  for (RouteSegment seg : unitSegments) {
+    seg = normalized(seg);
+    bool fused = false;
+    if (!merged.empty()) {
+      RouteSegment& last = merged.back();
+      const bool bothVia = last.isVia() && seg.isVia();
+      const bool bothWire = !last.isVia() && !seg.isVia() &&
+                            last.a.layer == seg.a.layer;
+      if (bothVia && last.a.x == seg.a.x && last.a.y == seg.a.y) {
+        if (last.b.layer == seg.a.layer) {
+          last.b = seg.b;
+          fused = true;
+        } else if (seg.b.layer == last.a.layer) {
+          last.a = seg.a;
+          fused = true;
+        }
+      } else if (bothWire) {
+        const bool sameRow = last.a.y == seg.a.y && last.b.y == seg.b.y &&
+                             seg.a.y == seg.b.y && last.a.y == last.b.y;
+        const bool sameCol = last.a.x == seg.a.x && last.b.x == seg.b.x &&
+                             seg.a.x == seg.b.x && last.a.x == last.b.x;
+        if (sameRow && last.b.x == seg.a.x) {
+          last.b = seg.b;
+          fused = true;
+        } else if (sameCol && last.b.y == seg.a.y) {
+          last.b = seg.b;
+          fused = true;
+        }
+      }
+    }
+    if (!fused) merged.push_back(seg);
+  }
+  result.segments = std::move(merged);
+  result.ok = true;
+  return result;
+}
+
+}  // namespace crp::groute

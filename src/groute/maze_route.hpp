@@ -1,0 +1,28 @@
+// 3D maze (Dijkstra) routing on the GCell graph — the fallback that
+// rips up and reroutes overflowed nets during negotiated global
+// routing.  Searches inside a bounding box around the net's terminals
+// (expanded by a margin) using the live Eq. 10 edge costs.
+#pragma once
+
+#include <vector>
+
+#include "groute/pattern_route.hpp"
+#include "groute/routing_graph.hpp"
+
+namespace crp::groute {
+
+class MazeRouter {
+ public:
+  explicit MazeRouter(const RoutingGraph& graph, int boxMargin = 6)
+      : graph_(graph), boxMargin_(boxMargin) {}
+
+  /// Routes a net over its terminals with sequential multi-source
+  /// Dijkstra (the growing tree is the source set for the next sink).
+  PatternResult routeTree(const std::vector<GPoint>& terminals) const;
+
+ private:
+  const RoutingGraph& graph_;
+  int boxMargin_;
+};
+
+}  // namespace crp::groute

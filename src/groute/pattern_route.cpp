@@ -1,0 +1,306 @@
+#include "groute/pattern_route.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "rsmt/steiner.hpp"
+
+namespace crp::groute {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+std::vector<std::vector<PatternRouter::Run>> PatternRouter::candidatePaths(
+    int ax, int ay, int bx, int by) const {
+  std::vector<std::vector<Run>> paths;
+  if (ax == bx && ay == by) {
+    return paths;  // same column; pure via connection
+  }
+  if (ay == by) {
+    paths.push_back({Run{ax, ay, bx, by}});
+  } else if (ax == bx) {
+    paths.push_back({Run{ax, ay, bx, by}});
+  } else {
+    // L-shapes.
+    paths.push_back({Run{ax, ay, bx, ay}, Run{bx, ay, bx, by}});  // H then V
+    paths.push_back({Run{ax, ay, ax, by}, Run{ax, by, bx, by}});  // V then H
+    // Z-shapes: intermediate bend coordinates, sampled evenly when the
+    // span is wide to bound enumeration cost.
+    auto sampled = [&](int lo, int hi) {
+      std::vector<int> picks;
+      const int span = std::abs(hi - lo) - 1;
+      if (span <= 0) return picks;
+      const int count = std::min(span, maxZCandidates_);
+      for (int i = 1; i <= count; ++i) {
+        const int offset = span * i / (count + 1) + 1;
+        picks.push_back(lo < hi ? lo + offset : lo - offset);
+      }
+      std::sort(picks.begin(), picks.end());
+      picks.erase(std::unique(picks.begin(), picks.end()), picks.end());
+      return picks;
+    };
+    for (const int mx : sampled(ax, bx)) {
+      paths.push_back({Run{ax, ay, mx, ay}, Run{mx, ay, mx, by},
+                       Run{mx, by, bx, by}});
+    }
+    for (const int my : sampled(ay, by)) {
+      paths.push_back({Run{ax, ay, ax, my}, Run{ax, my, bx, my},
+                       Run{bx, my, bx, by}});
+    }
+  }
+  return paths;
+}
+
+double PatternRouter::runCost(const Run& run, int layer) const {
+  const bool horizontal = run.horizontal();
+  if ((graph_.layerDir(layer) == db::LayerDir::kHorizontal) != horizontal) {
+    return kInf;
+  }
+  double cost = 0.0;
+  if (horizontal) {
+    const int lo = std::min(run.x0, run.x1);
+    const int hi = std::max(run.x0, run.x1);
+    for (int x = lo; x < hi; ++x) {
+      cost += graph_.wireEdgeCost(WireEdge{layer, x, run.y0});
+    }
+  } else {
+    const int lo = std::min(run.y0, run.y1);
+    const int hi = std::max(run.y0, run.y1);
+    for (int y = lo; y < hi; ++y) {
+      cost += graph_.wireEdgeCost(WireEdge{layer, run.x0, y});
+    }
+  }
+  return cost;
+}
+
+double PatternRouter::viaStackCost(int x, int y, int lo, int hi) const {
+  if (lo > hi) std::swap(lo, hi);
+  double cost = 0.0;
+  for (int l = lo; l < hi; ++l) {
+    cost += graph_.viaEdgeCost(ViaEdge{l, x, y});
+  }
+  return cost;
+}
+
+bool PatternRouter::assignLayers(const std::vector<Run>& runs, int startLayer,
+                                 int endLayer, double& cost,
+                                 std::vector<int>& layers) const {
+  const int numLayers = graph_.numLayers();
+  const int numRuns = static_cast<int>(runs.size());
+  // dp[i][l]: best cost of placing runs[0..i] with run i on layer l.
+  std::vector<std::vector<double>> dp(
+      numRuns, std::vector<double>(numLayers, kInf));
+  std::vector<std::vector<int>> parent(numRuns,
+                                       std::vector<int>(numLayers, -1));
+
+  for (int l = 0; l < numLayers; ++l) {
+    const double wire = runCost(runs[0], l);
+    if (wire == kInf) continue;
+    const double access =
+        viaStackCost(runs[0].x0, runs[0].y0, startLayer, l);
+    dp[0][l] = wire + access;
+  }
+  for (int i = 1; i < numRuns; ++i) {
+    for (int l = 0; l < numLayers; ++l) {
+      const double wire = runCost(runs[i], l);
+      if (wire == kInf) continue;
+      for (int pl = 0; pl < numLayers; ++pl) {
+        if (dp[i - 1][pl] == kInf) continue;
+        // Bend at the shared gcell (start of run i).
+        const double bend = viaStackCost(runs[i].x0, runs[i].y0, pl, l);
+        const double total = dp[i - 1][pl] + bend + wire;
+        if (total < dp[i][l]) {
+          dp[i][l] = total;
+          parent[i][l] = pl;
+        }
+      }
+    }
+  }
+
+  double best = kInf;
+  int bestLayer = -1;
+  for (int l = 0; l < numLayers; ++l) {
+    if (dp[numRuns - 1][l] == kInf) continue;
+    const double total =
+        dp[numRuns - 1][l] +
+        viaStackCost(runs.back().x1, runs.back().y1, l, endLayer);
+    if (total < best) {
+      best = total;
+      bestLayer = l;
+    }
+  }
+  if (bestLayer < 0) return false;
+
+  layers.assign(numRuns, 0);
+  int l = bestLayer;
+  for (int i = numRuns - 1; i >= 0; --i) {
+    layers[i] = l;
+    l = parent[i][l] >= 0 ? parent[i][l] : l;
+  }
+  cost = best;
+  return true;
+}
+
+PatternResult PatternRouter::routeTwoPin(const GPoint& a,
+                                         const GPoint& b) const {
+  PatternResult result;
+  if (a.x == b.x && a.y == b.y) {
+    // Same column: pure via stack.
+    result.ok = true;
+    result.cost = viaStackCost(a.x, a.y, a.layer, b.layer);
+    if (a.layer != b.layer) {
+      result.segments.push_back(RouteSegment{a, b});
+    }
+    return result;
+  }
+
+  double bestCost = kInf;
+  std::vector<Run> bestRuns;
+  std::vector<int> bestLayers;
+  for (const auto& runs : candidatePaths(a.x, a.y, b.x, b.y)) {
+    double cost = 0.0;
+    std::vector<int> layers;
+    if (assignLayers(runs, a.layer, b.layer, cost, layers) &&
+        cost < bestCost) {
+      bestCost = cost;
+      bestRuns = runs;
+      bestLayers = std::move(layers);
+    }
+  }
+  if (bestRuns.empty()) return result;
+
+  result.ok = true;
+  result.cost = bestCost;
+  // Emit wire segments plus connecting via stacks.
+  int prevLayer = a.layer;
+  for (std::size_t i = 0; i < bestRuns.size(); ++i) {
+    const Run& run = bestRuns[i];
+    const int layer = bestLayers[i];
+    if (layer != prevLayer) {
+      result.segments.push_back(
+          RouteSegment{GPoint{prevLayer, run.x0, run.y0},
+                       GPoint{layer, run.x0, run.y0}});
+    }
+    result.segments.push_back(RouteSegment{GPoint{layer, run.x0, run.y0},
+                                           GPoint{layer, run.x1, run.y1}});
+    prevLayer = layer;
+  }
+  if (prevLayer != b.layer) {
+    result.segments.push_back(RouteSegment{GPoint{prevLayer, b.x, b.y},
+                                           GPoint{b.layer, b.x, b.y}});
+  }
+  return result;
+}
+
+PatternResult PatternRouter::routeTree(
+    const std::vector<GPoint>& terminals) const {
+  PatternResult result;
+  if (terminals.size() <= 1) {
+    result.ok = true;
+    return result;
+  }
+
+  // Steiner topology over gcell coordinates.
+  std::vector<geom::Point> pins;
+  pins.reserve(terminals.size());
+  for (const GPoint& t : terminals) {
+    pins.push_back(geom::Point{t.x, t.y});
+  }
+  const rsmt::SteinerTree tree = rsmt::buildSteinerTree(pins);
+
+  // Terminal layer lookup by column; Steiner nodes access at layer of
+  // the lowest routing layer above metal1 (cheap default, refined by
+  // the via-merge pass below).
+  std::map<std::pair<int, int>, int> pinLayer;
+  for (const GPoint& t : terminals) {
+    auto [it, inserted] = pinLayer.try_emplace({t.x, t.y}, t.layer);
+    if (!inserted) it->second = std::min(it->second, t.layer);
+  }
+  auto accessLayer = [&](const geom::Point& node) {
+    const auto it = pinLayer.find({static_cast<int>(node.x),
+                                   static_cast<int>(node.y)});
+    if (it != pinLayer.end()) return it->second;
+    return std::min(1, graph_.numLayers() - 1);
+  };
+
+  // Track the layer span touched at every tree-node column so the
+  // merge pass can stitch components with via stacks.
+  std::map<std::pair<int, int>, std::pair<int, int>> columnSpan;
+  auto touch = [&](int x, int y, int layer) {
+    auto [it, inserted] =
+        columnSpan.try_emplace({x, y}, std::pair<int, int>{layer, layer});
+    if (!inserted) {
+      it->second.first = std::min(it->second.first, layer);
+      it->second.second = std::max(it->second.second, layer);
+    }
+  };
+
+  for (const auto& [ia, ib] : tree.edges) {
+    const geom::Point pa = tree.nodes[ia];
+    const geom::Point pb = tree.nodes[ib];
+    const GPoint a{accessLayer(pa), static_cast<int>(pa.x),
+                   static_cast<int>(pa.y)};
+    const GPoint b{accessLayer(pb), static_cast<int>(pb.x),
+                   static_cast<int>(pb.y)};
+    PatternResult leg = routeTwoPin(a, b);
+    if (!leg.ok) return PatternResult{};
+    result.cost += leg.cost;
+    for (const RouteSegment& seg : leg.segments) {
+      result.segments.push_back(seg);
+    }
+    touch(a.x, a.y, a.layer);
+    touch(b.x, b.y, b.layer);
+  }
+
+  // Terminals sharing a column with different pin layers need a stack.
+  for (const GPoint& t : terminals) touch(t.x, t.y, t.layer);
+  for (const RouteSegment& seg : result.segments) {
+    touch(seg.a.x, seg.a.y, seg.a.layer);
+    touch(seg.b.x, seg.b.y, seg.b.layer);
+  }
+  for (const auto& [xy, span] : columnSpan) {
+    // Only stitch at columns that are tree nodes or terminals (segment
+    // interiors never change layer).
+    if (span.first == span.second) continue;
+    bool isNode = false;
+    for (const geom::Point& node : tree.nodes) {
+      if (node.x == xy.first && node.y == xy.second) {
+        isNode = true;
+        break;
+      }
+    }
+    if (!isNode) continue;
+    // A via stack across the span guarantees connectivity; avoid
+    // duplicating stacks already emitted by two-pin legs.
+    const RouteSegment stack{GPoint{span.first, xy.first, xy.second},
+                             GPoint{span.second, xy.first, xy.second}};
+    bool covered = false;
+    for (const RouteSegment& seg : result.segments) {
+      if (seg.isVia() && seg.a.x == stack.a.x && seg.a.y == stack.a.y) {
+        const int lo = std::min(seg.a.layer, seg.b.layer);
+        const int hi = std::max(seg.a.layer, seg.b.layer);
+        if (lo <= span.first && hi >= span.second) {
+          covered = true;
+          break;
+        }
+      }
+    }
+    if (!covered) {
+      result.segments.push_back(stack);
+      result.cost += viaStackCost(xy.first, xy.second, span.first,
+                                  span.second);
+    }
+  }
+
+  result.ok = true;
+  return result;
+}
+
+double PatternRouter::priceTree(const std::vector<GPoint>& terminals) const {
+  return routeTree(terminals).cost;
+}
+
+}  // namespace crp::groute

@@ -1,0 +1,74 @@
+// Fast 3D pattern routing (paper §IV.A / Alg. 3's getPatternRoute3D).
+//
+// For a 2-pin connection the router enumerates straight, L-shaped and
+// Z-shaped 2D paths, then assigns each straight run to a routing layer
+// of matching preferred direction with a dynamic program whose costs
+// are the live Eq. 10 edge costs (wire runs) and via-stack costs
+// (bends and pin access).  Multi-pin nets are decomposed through the
+// RSMT topology and stitched with via stacks at Steiner nodes.
+//
+// Pattern routing is read-only on the RoutingGraph: CR&P prices many
+// hypothetical cell positions against the same demand state (Alg. 3)
+// and only the winning candidate is committed.
+#pragma once
+
+#include <vector>
+
+#include "groute/routing_graph.hpp"
+
+namespace crp::groute {
+
+struct PatternResult {
+  bool ok = false;
+  double cost = 0.0;
+  std::vector<RouteSegment> segments;
+};
+
+class PatternRouter {
+ public:
+  explicit PatternRouter(const RoutingGraph& graph,
+                         int maxZCandidates = 8)
+      : graph_(graph), maxZCandidates_(maxZCandidates) {}
+
+  /// Routes between two gcell columns; `a.layer` / `b.layer` are the
+  /// access (pin) layers charged for via stacks at the endpoints.
+  PatternResult routeTwoPin(const GPoint& a, const GPoint& b) const;
+
+  /// Routes a whole net given its terminals (pin layer + gcell): builds
+  /// the Steiner topology, pattern-routes every tree edge and adds the
+  /// via stacks that make the 3D route a single connected component.
+  PatternResult routeTree(const std::vector<GPoint>& terminals) const;
+
+  /// Price of routeTree without building segments (same value, cheaper
+  /// call used in hot loops).
+  double priceTree(const std::vector<GPoint>& terminals) const;
+
+ private:
+  struct Run {
+    // 2D straight run from (x0,y0) to (x1,y1); horizontal when y0==y1.
+    int x0, y0, x1, y1;
+    bool horizontal() const { return y0 == y1; }
+  };
+
+  /// Enumerates candidate 2D paths (lists of runs) between two gcells.
+  std::vector<std::vector<Run>> candidatePaths(int ax, int ay, int bx,
+                                               int by) const;
+
+  /// Wire cost of a run on a specific layer (infinity when the layer
+  /// direction does not match).
+  double runCost(const Run& run, int layer) const;
+
+  /// Cost of a via stack at (x, y) spanning [lo, hi] layers.
+  double viaStackCost(int x, int y, int lo, int hi) const;
+
+  /// Layer-assignment DP over a candidate path; returns total cost and
+  /// chosen layers (empty on failure).
+  bool assignLayers(const std::vector<Run>& runs, int startLayer,
+                    int endLayer, double& cost,
+                    std::vector<int>& layers) const;
+
+  const RoutingGraph& graph_;
+  int maxZCandidates_;
+};
+
+}  // namespace crp::groute

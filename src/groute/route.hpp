@@ -1,0 +1,64 @@
+// Global-route geometry: 3D gcell points and per-net route trees.
+#pragma once
+
+#include <vector>
+
+#include "db/design.hpp"
+#include "db/gcell_grid.hpp"
+
+namespace crp::groute {
+
+/// A node of the 3D GCell graph: (routing layer, gcell x, gcell y).
+struct GPoint {
+  int layer = 0;
+  int x = 0;
+  int y = 0;
+
+  friend bool operator==(const GPoint&, const GPoint&) = default;
+  friend auto operator<=>(const GPoint&, const GPoint&) = default;
+};
+
+/// One straight piece of a route: either a wire run within one layer
+/// (a.layer == b.layer, aligned with that layer's direction) or a via
+/// stack (same x/y, a.layer != b.layer).
+struct RouteSegment {
+  GPoint a;
+  GPoint b;
+
+  bool isVia() const { return a.layer != b.layer; }
+
+  friend bool operator==(const RouteSegment&, const RouteSegment&) = default;
+};
+
+/// A net's committed global route.
+struct NetRoute {
+  db::NetId net = db::kInvalidId;
+  std::vector<RouteSegment> segments;
+  bool routed = false;
+
+  void clear() {
+    segments.clear();
+    routed = false;
+  }
+};
+
+/// Normalizes a segment so a <= b (lexicographic), making route
+/// comparison and demand bookkeeping order-independent.
+RouteSegment normalized(const RouteSegment& seg);
+
+/// True when the segments form a single connected component that
+/// covers every point of `terminals` (pin gcells at their pin layers
+/// count as connected if the route touches the same (x, y) column at
+/// any layer >= the terminal's layer reachable through segments; the
+/// strict check used here requires the exact terminal column (x,y) to
+/// appear in some segment).
+bool routeConnectsTerminals(const NetRoute& route,
+                            const std::vector<GPoint>& terminals);
+
+/// Sum of wire-edge hops (gcell-to-gcell steps within layers).
+int routeWireHops(const NetRoute& route);
+
+/// Number of via-edge hops (adjacent-layer steps).
+int routeViaHops(const NetRoute& route);
+
+}  // namespace crp::groute

@@ -1,0 +1,71 @@
+#include "ilp/model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace crp::ilp {
+
+int Model::addVariable(double lower, double upper, double objective,
+                       bool integer, std::string name) {
+  if (lower > upper) throw std::invalid_argument("variable lower > upper");
+  variables_.push_back(Variable{lower, upper, objective, integer,
+                                std::move(name)});
+  return static_cast<int>(variables_.size()) - 1;
+}
+
+void Model::addConstraint(LinearExpr expr, Sense sense, double rhs) {
+  for (const int v : expr.vars) {
+    if (v < 0 || v >= numVariables()) {
+      throw std::out_of_range("constraint references unknown variable");
+    }
+  }
+  constraints_.push_back(Constraint{std::move(expr), sense, rhs});
+}
+
+void Model::addOneHot(const std::vector<int>& vars) {
+  LinearExpr expr;
+  for (const int v : vars) expr.add(v, 1.0);
+  addConstraint(std::move(expr), Sense::kEqual, 1.0);
+}
+
+void Model::addPacking(const std::vector<int>& vars) {
+  LinearExpr expr;
+  for (const int v : vars) expr.add(v, 1.0);
+  addConstraint(std::move(expr), Sense::kLessEqual, 1.0);
+}
+
+double Model::objectiveValue(const std::vector<double>& x) const {
+  double value = 0.0;
+  for (int i = 0; i < numVariables(); ++i) {
+    value += variables_[i].objective * x.at(i);
+  }
+  return value;
+}
+
+bool Model::isFeasible(const std::vector<double>& x, double tol) const {
+  for (int i = 0; i < numVariables(); ++i) {
+    const Variable& v = variables_[i];
+    if (x[i] < v.lower - tol || x[i] > v.upper + tol) return false;
+    if (v.integer && std::abs(x[i] - std::round(x[i])) > tol) return false;
+  }
+  for (const Constraint& c : constraints_) {
+    double lhs = 0.0;
+    for (std::size_t t = 0; t < c.expr.size(); ++t) {
+      lhs += c.expr.coeffs[t] * x[c.expr.vars[t]];
+    }
+    switch (c.sense) {
+      case Sense::kLessEqual:
+        if (lhs > c.rhs + tol) return false;
+        break;
+      case Sense::kGreaterEqual:
+        if (lhs < c.rhs - tol) return false;
+        break;
+      case Sense::kEqual:
+        if (std::abs(lhs - c.rhs) > tol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace crp::ilp

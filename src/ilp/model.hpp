@@ -1,0 +1,81 @@
+// Linear / integer-linear model description.
+//
+// This is the CPLEX stand-in's modeling layer.  Both of the paper's
+// ILPs — the legalizer (Eq. 11) and the candidate-selection model
+// (Eq. 12) — are built on this API: binary variables, one-hot groups
+// and packing (<= 1) rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace crp::ilp {
+
+enum class Sense : int { kLessEqual, kGreaterEqual, kEqual };
+
+/// Sparse linear expression: sum of coeff * var.
+struct LinearExpr {
+  std::vector<int> vars;
+  std::vector<double> coeffs;
+
+  void add(int var, double coeff) {
+    vars.push_back(var);
+    coeffs.push_back(coeff);
+  }
+  std::size_t size() const { return vars.size(); }
+};
+
+struct Variable {
+  double lower = 0.0;
+  double upper = 1.0;
+  double objective = 0.0;
+  bool integer = false;
+  std::string name;
+};
+
+struct Constraint {
+  LinearExpr expr;
+  Sense sense = Sense::kLessEqual;
+  double rhs = 0.0;
+};
+
+/// Minimization model (the paper's objectives are all minimizations;
+/// negate coefficients to maximize).
+class Model {
+ public:
+  /// Adds a variable; returns its index.
+  int addVariable(double lower, double upper, double objective, bool integer,
+                  std::string name = {});
+
+  /// Shorthand for a binary decision variable.
+  int addBinary(double objective, std::string name = {}) {
+    return addVariable(0.0, 1.0, objective, true, std::move(name));
+  }
+
+  void addConstraint(LinearExpr expr, Sense sense, double rhs);
+
+  /// sum(vars) == 1 — the "exactly one route / position" rows (Eq. 2/3).
+  void addOneHot(const std::vector<int>& vars);
+
+  /// sum(vars) <= 1 — packing rows (site occupancy, conflicts).
+  void addPacking(const std::vector<int>& vars);
+
+  int numVariables() const { return static_cast<int>(variables_.size()); }
+  int numConstraints() const { return static_cast<int>(constraints_.size()); }
+  const std::vector<Variable>& variables() const { return variables_; }
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+  Variable& variable(int i) { return variables_.at(i); }
+  const Variable& variable(int i) const { return variables_.at(i); }
+
+  /// Objective value of an assignment (no feasibility check).
+  double objectiveValue(const std::vector<double>& x) const;
+
+  /// True when `x` satisfies every constraint and bound within `tol`.
+  bool isFeasible(const std::vector<double>& x, double tol = 1e-6) const;
+
+ private:
+  std::vector<Variable> variables_;
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace crp::ilp

@@ -1,0 +1,294 @@
+#include "ilp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace crp::ilp {
+
+namespace {
+
+constexpr double kTol = 1e-9;
+constexpr double kFeasTol = 1e-7;
+constexpr int kMaxIterations = 20000;
+
+/// One preprocessed row in standard (equality, rhs >= 0) form.
+struct StdRow {
+  std::vector<double> coeffs;  // dense over free (non-fixed) variables
+  double rhs = 0.0;
+  Sense sense = Sense::kLessEqual;
+};
+
+struct Tableau {
+  int rows = 0;
+  int cols = 0;  // total columns excluding rhs
+  std::vector<double> a;  // (rows) x (cols + 1), row-major; last col = rhs
+  std::vector<int> basis;
+
+  double& at(int r, int c) { return a[r * (cols + 1) + c]; }
+  double at(int r, int c) const { return a[r * (cols + 1) + c]; }
+  double& rhs(int r) { return a[r * (cols + 1) + cols]; }
+  double rhsVal(int r) const { return a[r * (cols + 1) + cols]; }
+
+  void pivot(int pr, int pc) {
+    const double pivotVal = at(pr, pc);
+    const double inv = 1.0 / pivotVal;
+    for (int c = 0; c <= cols; ++c) at(pr, c) *= inv;
+    for (int r = 0; r < rows; ++r) {
+      if (r == pr) continue;
+      const double factor = at(r, pc);
+      if (std::abs(factor) < kTol) continue;
+      for (int c = 0; c <= cols; ++c) {
+        at(r, c) -= factor * at(pr, c);
+      }
+      at(r, pc) = 0.0;  // exact zero to stop drift
+    }
+    basis[pr] = pc;
+  }
+};
+
+/// Runs simplex minimizing cost^T x over the tableau's current basis.
+/// Returns kOptimal or kUnbounded (phase feasibility handled by caller).
+LpStatus runSimplex(Tableau& t, const std::vector<double>& cost) {
+  // Reduced-cost row: z_j = c_B B^-1 A_j - c_j, recomputed incrementally.
+  std::vector<double> zrow(t.cols + 1, 0.0);
+  auto rebuildZ = [&] {
+    std::fill(zrow.begin(), zrow.end(), 0.0);
+    for (int r = 0; r < t.rows; ++r) {
+      const double cb = cost[t.basis[r]];
+      if (cb == 0.0) continue;
+      for (int c = 0; c <= t.cols; ++c) zrow[c] += cb * t.at(r, c);
+    }
+    for (int c = 0; c < t.cols; ++c) zrow[c] -= cost[c];
+  };
+  rebuildZ();
+
+  for (int iter = 0; iter < kMaxIterations; ++iter) {
+    // Entering column: most positive z_j (Dantzig); Bland's rule after a
+    // grace period to guarantee termination under degeneracy.
+    const bool bland = iter > kMaxIterations / 2;
+    int pc = -1;
+    double bestZ = kFeasTol;
+    for (int c = 0; c < t.cols; ++c) {
+      if (zrow[c] > bestZ) {
+        pc = c;
+        if (bland) break;
+        bestZ = zrow[c];
+      }
+    }
+    if (pc < 0) return LpStatus::kOptimal;
+
+    // Ratio test.
+    int pr = -1;
+    double bestRatio = std::numeric_limits<double>::max();
+    for (int r = 0; r < t.rows; ++r) {
+      const double arc = t.at(r, pc);
+      if (arc > kTol) {
+        const double ratio = t.rhsVal(r) / arc;
+        if (ratio < bestRatio - kTol ||
+            (ratio < bestRatio + kTol && pr >= 0 &&
+             t.basis[r] < t.basis[pr])) {
+          bestRatio = ratio;
+          pr = r;
+        }
+      }
+    }
+    if (pr < 0) return LpStatus::kUnbounded;
+
+    t.pivot(pr, pc);
+    // Update z-row by the same elimination.
+    const double factor = zrow[pc];
+    if (std::abs(factor) > kTol) {
+      for (int c = 0; c <= t.cols; ++c) zrow[c] -= factor * t.at(pr, c);
+      zrow[pc] = 0.0;
+    }
+  }
+  return LpStatus::kIterationLimit;
+}
+
+}  // namespace
+
+LpResult solveLp(const Model& model, const std::vector<double>& lowerOverride,
+                 const std::vector<double>& upperOverride) {
+  const int n = model.numVariables();
+  std::vector<double> lower(n), upper(n);
+  for (int i = 0; i < n; ++i) {
+    lower[i] =
+        lowerOverride.empty() ? model.variable(i).lower : lowerOverride[i];
+    upper[i] =
+        upperOverride.empty() ? model.variable(i).upper : upperOverride[i];
+    if (lower[i] > upper[i] + kFeasTol) {
+      return LpResult{LpStatus::kInfeasible, 0.0, {}};
+    }
+  }
+
+  // Variable mapping: fixed variables fold into the RHS; free variables
+  // are shifted to x' = x - lower >= 0.
+  std::vector<int> colOf(n, -1);
+  std::vector<int> varOf;
+  for (int i = 0; i < n; ++i) {
+    if (upper[i] - lower[i] > kFeasTol) {
+      colOf[i] = static_cast<int>(varOf.size());
+      varOf.push_back(i);
+    }
+  }
+  const int nf = static_cast<int>(varOf.size());
+
+  // Build shifted rows.
+  std::vector<StdRow> stdRows;
+  stdRows.reserve(model.numConstraints() + nf);
+  for (const Constraint& c : model.constraints()) {
+    StdRow row;
+    row.coeffs.assign(nf, 0.0);
+    row.rhs = c.rhs;
+    row.sense = c.sense;
+    for (std::size_t t = 0; t < c.expr.size(); ++t) {
+      const int v = c.expr.vars[t];
+      const double coeff = c.expr.coeffs[t];
+      row.rhs -= coeff * lower[v];  // shift (fixed vars fold in fully)
+      if (colOf[v] >= 0) row.coeffs[colOf[v]] += coeff;
+    }
+    stdRows.push_back(std::move(row));
+  }
+
+  // Upper bounds for free variables: x'_j <= upper - lower.  Skip rows
+  // that are implied by an all-nonnegative <=/== row (e.g. one-hot or
+  // packing rows), which covers every model in this codebase and keeps
+  // the tableau small.
+  for (int j = 0; j < nf; ++j) {
+    const double ub = upper[varOf[j]] - lower[varOf[j]];
+    if (!std::isfinite(ub)) continue;
+    bool implied = false;
+    for (const StdRow& row : stdRows) {
+      if (row.sense == Sense::kGreaterEqual) continue;
+      if (row.coeffs[j] < kTol) continue;
+      bool nonneg = true;
+      for (const double coeff : row.coeffs) {
+        if (coeff < -kTol) {
+          nonneg = false;
+          break;
+        }
+      }
+      if (nonneg && row.rhs / row.coeffs[j] <= ub + kFeasTol) {
+        implied = true;
+        break;
+      }
+    }
+    if (!implied) {
+      StdRow row;
+      row.coeffs.assign(nf, 0.0);
+      row.coeffs[j] = 1.0;
+      row.rhs = ub;
+      row.sense = Sense::kLessEqual;
+      stdRows.push_back(std::move(row));
+    }
+  }
+
+  // Normalize rhs >= 0.
+  for (StdRow& row : stdRows) {
+    if (row.rhs < 0.0) {
+      row.rhs = -row.rhs;
+      for (double& coeff : row.coeffs) coeff = -coeff;
+      if (row.sense == Sense::kLessEqual) {
+        row.sense = Sense::kGreaterEqual;
+      } else if (row.sense == Sense::kGreaterEqual) {
+        row.sense = Sense::kLessEqual;
+      }
+    }
+  }
+
+  // Column layout: [structural | slack/surplus | artificial].
+  const int m = static_cast<int>(stdRows.size());
+  int numSlack = 0, numArt = 0;
+  for (const StdRow& row : stdRows) {
+    if (row.sense != Sense::kEqual) ++numSlack;
+    if (row.sense != Sense::kLessEqual) ++numArt;
+  }
+  Tableau t;
+  t.rows = m;
+  t.cols = nf + numSlack + numArt;
+  t.a.assign(static_cast<std::size_t>(m) * (t.cols + 1), 0.0);
+  t.basis.assign(m, -1);
+
+  int slackCol = nf;
+  int artCol = nf + numSlack;
+  std::vector<bool> isArtificial(t.cols, false);
+  for (int r = 0; r < m; ++r) {
+    const StdRow& row = stdRows[r];
+    for (int j = 0; j < nf; ++j) t.at(r, j) = row.coeffs[j];
+    t.rhs(r) = row.rhs;
+    switch (row.sense) {
+      case Sense::kLessEqual:
+        t.at(r, slackCol) = 1.0;
+        t.basis[r] = slackCol++;
+        break;
+      case Sense::kGreaterEqual:
+        t.at(r, slackCol++) = -1.0;
+        t.at(r, artCol) = 1.0;
+        isArtificial[artCol] = true;
+        t.basis[r] = artCol++;
+        break;
+      case Sense::kEqual:
+        t.at(r, artCol) = 1.0;
+        isArtificial[artCol] = true;
+        t.basis[r] = artCol++;
+        break;
+    }
+  }
+
+  // Phase 1: minimize the artificial sum.
+  if (numArt > 0) {
+    std::vector<double> phase1Cost(t.cols, 0.0);
+    for (int c = 0; c < t.cols; ++c) {
+      if (isArtificial[c]) phase1Cost[c] = 1.0;
+    }
+    const LpStatus status = runSimplex(t, phase1Cost);
+    if (status == LpStatus::kIterationLimit) {
+      return LpResult{LpStatus::kIterationLimit, 0.0, {}};
+    }
+    double artSum = 0.0;
+    for (int r = 0; r < m; ++r) {
+      if (isArtificial[t.basis[r]]) artSum += t.rhsVal(r);
+    }
+    if (artSum > 1e-6) return LpResult{LpStatus::kInfeasible, 0.0, {}};
+    // Drive remaining zero-level artificials out of the basis.
+    for (int r = 0; r < m; ++r) {
+      if (!isArtificial[t.basis[r]]) continue;
+      int pc = -1;
+      for (int c = 0; c < nf + numSlack; ++c) {
+        if (std::abs(t.at(r, c)) > 1e-7) {
+          pc = c;
+          break;
+        }
+      }
+      if (pc >= 0) t.pivot(r, pc);
+      // Redundant row otherwise: the artificial stays basic at zero,
+      // which is harmless in phase 2 (its cost is zero there).
+    }
+  }
+
+  // Phase 2: the real objective over shifted variables.
+  std::vector<double> phase2Cost(t.cols, 0.0);
+  for (int j = 0; j < nf; ++j) {
+    phase2Cost[j] = model.variable(varOf[j]).objective;
+  }
+  // Forbid artificials from re-entering.
+  for (int c = 0; c < t.cols; ++c) {
+    if (isArtificial[c]) phase2Cost[c] = 1e12;
+  }
+  const LpStatus status = runSimplex(t, phase2Cost);
+  if (status != LpStatus::kOptimal) return LpResult{status, 0.0, {}};
+
+  LpResult result;
+  result.status = LpStatus::kOptimal;
+  result.x.assign(n, 0.0);
+  for (int i = 0; i < n; ++i) result.x[i] = lower[i];
+  for (int r = 0; r < m; ++r) {
+    const int b = t.basis[r];
+    if (b < nf) result.x[varOf[b]] += t.rhsVal(r);
+  }
+  result.objective = model.objectiveValue(result.x);
+  return result;
+}
+
+}  // namespace crp::ilp

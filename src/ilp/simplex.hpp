@@ -1,0 +1,33 @@
+// Dense two-phase primal simplex for the LP relaxations used by the
+// branch-and-bound solver.  Sized for the paper's models (hundreds of
+// variables / rows), not for general-purpose LP work.
+#pragma once
+
+#include <vector>
+
+#include "ilp/model.hpp"
+
+namespace crp::ilp {
+
+enum class LpStatus : int {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+struct LpResult {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> x;  ///< one value per model variable
+};
+
+/// Solves the continuous relaxation of `model` (integrality ignored).
+/// `fixedLower` / `fixedUpper`, when non-empty, override the model's
+/// variable bounds — this is how branch-and-bound fixes variables
+/// without copying the model.
+LpResult solveLp(const Model& model,
+                 const std::vector<double>& lowerOverride = {},
+                 const std::vector<double>& upperOverride = {});
+
+}  // namespace crp::ilp

@@ -1,0 +1,116 @@
+#include "ilp/solver.hpp"
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+namespace crp::ilp {
+
+namespace {
+
+struct Node {
+  std::vector<double> lower;
+  std::vector<double> upper;
+};
+
+/// Index of the integer variable whose LP value is most fractional;
+/// -1 when the point is integral on all integer variables.
+int mostFractional(const Model& model, const std::vector<double>& x,
+                   double tol) {
+  int best = -1;
+  double bestDist = tol;
+  for (int i = 0; i < model.numVariables(); ++i) {
+    if (!model.variable(i).integer) continue;
+    const double frac = x[i] - std::floor(x[i]);
+    const double dist = std::min(frac, 1.0 - frac);
+    if (dist > bestDist) {
+      bestDist = dist;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+IlpResult solveIlp(const Model& model, const IlpOptions& options) {
+  IlpResult result;
+  double incumbentObj = std::numeric_limits<double>::infinity();
+  std::vector<double> incumbent;
+  bool hasIncumbent = false;
+
+  std::vector<Node> stack;
+  {
+    Node root;
+    root.lower.resize(model.numVariables());
+    root.upper.resize(model.numVariables());
+    for (int i = 0; i < model.numVariables(); ++i) {
+      root.lower[i] = model.variable(i).lower;
+      root.upper[i] = model.variable(i).upper;
+    }
+    stack.push_back(std::move(root));
+  }
+
+  while (!stack.empty() && result.nodesExplored < options.maxNodes) {
+    const Node node = std::move(stack.back());
+    stack.pop_back();
+    ++result.nodesExplored;
+
+    const LpResult lp = solveLp(model, node.lower, node.upper);
+    if (lp.status == LpStatus::kInfeasible) continue;
+    if (lp.status == LpStatus::kUnbounded) {
+      // An unbounded relaxation of a bounded-variable integer model can
+      // only mean a continuous variable diverges; treat as no bound and
+      // branch anyway is unsafe — report aborted.
+      result.status = IlpStatus::kAborted;
+      return result;
+    }
+    if (lp.status == LpStatus::kIterationLimit) continue;
+    if (lp.objective >= incumbentObj - options.gapTol) continue;  // bound
+
+    const int branchVar = mostFractional(model, lp.x, options.integralityTol);
+    if (branchVar < 0) {
+      // Integral: new incumbent.
+      if (lp.objective < incumbentObj) {
+        incumbentObj = lp.objective;
+        incumbent = lp.x;
+        hasIncumbent = true;
+        // Snap integer variables exactly.
+        for (int i = 0; i < model.numVariables(); ++i) {
+          if (model.variable(i).integer) {
+            incumbent[i] = std::round(incumbent[i]);
+          }
+        }
+      }
+      continue;
+    }
+
+    // Branch floor / ceil; push the branch matching the LP rounding
+    // last so DFS explores it first (better incumbents earlier).
+    const double value = lp.x[branchVar];
+    Node down = node;
+    down.upper[branchVar] = std::floor(value);
+    Node up = node;
+    up.lower[branchVar] = std::ceil(value);
+    if (value - std::floor(value) < 0.5) {
+      stack.push_back(std::move(up));
+      stack.push_back(std::move(down));
+    } else {
+      stack.push_back(std::move(down));
+      stack.push_back(std::move(up));
+    }
+  }
+
+  if (!hasIncumbent) {
+    result.status = stack.empty() ? IlpStatus::kInfeasible
+                                  : IlpStatus::kAborted;
+    return result;
+  }
+  result.status = stack.empty() ? IlpStatus::kOptimal : IlpStatus::kFeasible;
+  result.objective = incumbentObj;
+  result.x = std::move(incumbent);
+  return result;
+}
+
+}  // namespace crp::ilp

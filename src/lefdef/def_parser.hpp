@@ -1,0 +1,20 @@
+// DEF reader covering the ISPD-2018 subset: DIEAREA, ROW, TRACKS,
+// GCELLGRID, COMPONENTS, PINS, NETS, BLOCKAGES.  Macro and pin names
+// are resolved against a previously parsed technology/library.
+#pragma once
+
+#include <string>
+
+#include "db/design.hpp"
+#include "db/library.hpp"
+#include "db/tech.hpp"
+
+namespace crp::lefdef {
+
+db::Design parseDef(const std::string& text, const db::Tech& tech,
+                    const db::Library& lib);
+
+db::Design parseDefFile(const std::string& path, const db::Tech& tech,
+                        const db::Library& lib);
+
+}  // namespace crp::lefdef

@@ -1,0 +1,16 @@
+// DEF writer: the framework's primary output (paper Fig. 1 — "the
+// output is a DEF file").  Emits the subset the parser reads back.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "db/database.hpp"
+
+namespace crp::lefdef {
+
+void writeDef(std::ostream& os, const db::Database& db);
+
+void writeDefFile(const std::string& path, const db::Database& db);
+
+}  // namespace crp::lefdef

@@ -1,0 +1,48 @@
+// Route-guide file I/O in the ISPD-2018 / TritonRoute format:
+//
+//   netname
+//   (
+//   xlo ylo xhi yhi LayerName
+//   ...
+//   )
+//
+// Guides are the contract between the global router (which emits them)
+// and the detailed router (which must stay inside them).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "db/database.hpp"
+#include "geom/geometry.hpp"
+
+namespace crp::lefdef {
+
+/// One guide rectangle on one routing layer.
+struct GuideRect {
+  geom::Rect rect;
+  int layer = 0;
+
+  friend bool operator==(const GuideRect&, const GuideRect&) = default;
+};
+
+/// All guides of one net.
+struct NetGuide {
+  std::string net;
+  std::vector<GuideRect> rects;
+};
+
+void writeGuides(std::ostream& os, const db::Database& db,
+                 const std::vector<NetGuide>& guides);
+
+void writeGuidesFile(const std::string& path, const db::Database& db,
+                     const std::vector<NetGuide>& guides);
+
+std::vector<NetGuide> parseGuides(const std::string& text,
+                                  const db::Tech& tech);
+
+std::vector<NetGuide> parseGuidesFile(const std::string& path,
+                                      const db::Tech& tech);
+
+}  // namespace crp::lefdef

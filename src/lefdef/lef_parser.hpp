@@ -1,0 +1,20 @@
+// LEF reader covering the ISPD-2018 subset: UNITS, SITE, routing/cut
+// LAYERs, fixed VIAs and MACROs (SIZE / PIN / PORT / OBS).
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "db/library.hpp"
+#include "db/tech.hpp"
+
+namespace crp::lefdef {
+
+/// Parses LEF text into a technology + cell library.
+/// Throws ParseError on malformed input.
+std::pair<db::Tech, db::Library> parseLef(const std::string& text);
+
+/// Convenience: reads a file and parses it.
+std::pair<db::Tech, db::Library> parseLefFile(const std::string& path);
+
+}  // namespace crp::lefdef

@@ -1,0 +1,19 @@
+// LEF writer: emits a technology + library in the subset the parser
+// reads back (round-trip tested).  Used by the benchmark generator to
+// materialize synthetic suites as real LEF files.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "db/library.hpp"
+#include "db/tech.hpp"
+
+namespace crp::lefdef {
+
+void writeLef(std::ostream& os, const db::Tech& tech, const db::Library& lib);
+
+void writeLefFile(const std::string& path, const db::Tech& tech,
+                  const db::Library& lib);
+
+}  // namespace crp::lefdef

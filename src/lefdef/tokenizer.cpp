@@ -1,0 +1,116 @@
+#include "lefdef/tokenizer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace crp::lefdef {
+
+Tokenizer::Tokenizer(std::string_view input) {
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = input.size();
+  while (i < n) {
+    const char c = input[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {  // comment to end of line
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '(' || c == ')' || c == ';') {
+      tokens_.push_back(Token{std::string(1, c), line});
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      std::size_t begin = ++i;
+      while (i < n && input[i] != '"') ++i;
+      tokens_.push_back(Token{std::string(input.substr(begin, i - begin)),
+                              line});
+      if (i < n) ++i;  // closing quote
+      continue;
+    }
+    std::size_t begin = i;
+    while (i < n && !std::isspace(static_cast<unsigned char>(input[i])) &&
+           input[i] != '(' && input[i] != ')' && input[i] != ';' &&
+           input[i] != '#') {
+      ++i;
+    }
+    tokens_.push_back(Token{std::string(input.substr(begin, i - begin)),
+                            line});
+  }
+}
+
+const Token& Tokenizer::peek() const { return peek(0); }
+
+const Token& Tokenizer::peek(std::size_t offset) const {
+  if (pos_ + offset >= tokens_.size()) {
+    static const Token kEof{"<eof>", -1};
+    return kEof;
+  }
+  return tokens_[pos_ + offset];
+}
+
+Token Tokenizer::next() {
+  if (atEnd()) throw ParseError("unexpected end of input", currentLine());
+  return tokens_[pos_++];
+}
+
+void Tokenizer::expect(std::string_view expected) {
+  const Token token = next();
+  if (token.text != expected) {
+    throw ParseError("expected '" + std::string(expected) + "', got '" +
+                         token.text + "'",
+                     token.line);
+  }
+}
+
+void Tokenizer::skipStatement() {
+  while (!atEnd()) {
+    if (next().text == ";") return;
+  }
+}
+
+bool Tokenizer::accept(std::string_view text) {
+  if (!atEnd() && peek().text == text) {
+    ++pos_;
+    return true;
+  }
+  return false;
+}
+
+double Tokenizer::nextDouble() {
+  const Token token = next();
+  char* end = nullptr;
+  const double value = std::strtod(token.text.c_str(), &end);
+  if (end == token.text.c_str() || *end != '\0') {
+    throw ParseError("expected number, got '" + token.text + "'", token.line);
+  }
+  return value;
+}
+
+long long Tokenizer::nextInt() {
+  const Token token = next();
+  char* end = nullptr;
+  const long long value = std::strtoll(token.text.c_str(), &end, 10);
+  if (end == token.text.c_str() || *end != '\0') {
+    throw ParseError("expected integer, got '" + token.text + "'",
+                     token.line);
+  }
+  return value;
+}
+
+int Tokenizer::currentLine() const {
+  if (tokens_.empty()) return 0;
+  if (pos_ >= tokens_.size()) return tokens_.back().line;
+  return tokens_[pos_].line;
+}
+
+}  // namespace crp::lefdef

@@ -1,0 +1,63 @@
+// Token stream shared by the LEF and DEF parsers.
+//
+// LEF/DEF are whitespace/semicolon-delimited keyword languages with
+// '#' end-of-line comments and quoted strings.  The tokenizer exposes
+// a cursor with peek/next/expect plus typed readers (numbers in
+// microns or DBU).  Parse errors throw ParseError with the 1-based
+// line number of the offending token.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace crp::lefdef {
+
+struct ParseError : std::runtime_error {
+  ParseError(const std::string& message, int line)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line(line) {}
+  int line;
+};
+
+struct Token {
+  std::string text;
+  int line = 0;
+};
+
+class Tokenizer {
+ public:
+  /// Tokenizes the full input.  '#' comments are stripped; '(' ')' ';'
+  /// are standalone tokens; quoted strings become single tokens without
+  /// the quotes.
+  explicit Tokenizer(std::string_view input);
+
+  bool atEnd() const { return pos_ >= tokens_.size(); }
+  const Token& peek() const;
+  /// Lookahead by `offset` tokens (0 == peek()).
+  const Token& peek(std::size_t offset) const;
+  Token next();
+
+  /// Consumes a token and checks it equals `expected`.
+  void expect(std::string_view expected);
+
+  /// Consumes tokens until (and including) the next ';'.
+  void skipStatement();
+
+  /// True and consumes when the next token equals `text`.
+  bool accept(std::string_view text);
+
+  /// Reads a token as double (LEF micron values).
+  double nextDouble();
+  /// Reads a token as int64 (DEF DBU values).
+  long long nextInt();
+
+  int currentLine() const;
+
+ private:
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace crp::lefdef

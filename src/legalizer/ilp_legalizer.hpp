@@ -1,0 +1,66 @@
+// The ILP-based legalizer of paper §IV.B.2 (Eq. 11).
+//
+// For a critical cell c, the legalizer works inside a local window of
+// N_site sites x N_row rows centered on c.  It proposes up to
+// `maxCandidates` legal positions for c; for every proposed position
+// that collides with neighbours, a small ILP (|cells| <= 3 including c)
+// relocates the colliding "conflict cells" inside the window,
+// minimizing the Eq. 11 displacement-toward-median cost:
+//
+//   cost_c^(i,j) = W_site * |X - X_med| + H_row * |Y - Y_med|
+//
+// Every returned candidate therefore carries a fully legal assignment
+// (the framework invariant: "for any new candidate position a
+// legalized placement solution for the entire circuit must be
+// guaranteed", §II).
+#pragma once
+
+#include <vector>
+
+#include "db/database.hpp"
+#include "ilp/solver.hpp"
+
+namespace crp::legalizer {
+
+/// One legal placement proposal for a critical cell.
+struct LegalizedCandidate {
+  geom::Point position;  ///< lower-left target for the critical cell
+  /// Conflict cells displaced to make the position legal (possibly
+  /// empty), with their new legal lower-left positions.
+  std::vector<std::pair<db::CellId, geom::Point>> displaced;
+  double legalizerCost = 0.0;  ///< Eq. 11 objective of this assignment
+};
+
+struct LegalizerOptions {
+  int numSites = 20;       ///< N_site (paper value)
+  int numRows = 5;         ///< N_row (paper value)
+  int maxCellsPerIlp = 3;  ///< |cells| per ILP execution (paper value)
+  int maxCandidates = 6;   ///< positions proposed per critical cell
+};
+
+class IlpLegalizer {
+ public:
+  IlpLegalizer(const db::Database& db, LegalizerOptions options = {})
+      : db_(db), options_(options) {}
+
+  /// Proposes legal candidates for `cell` (its current position is NOT
+  /// included — the framework adds it separately per Alg. 2 line 2).
+  /// Thread-safe: reads the database, never mutates it.
+  std::vector<LegalizedCandidate> generate(db::CellId cell) const;
+
+  const LegalizerOptions& options() const { return options_; }
+
+ private:
+  struct Window;
+
+  const db::Database& db_;
+  LegalizerOptions options_;
+};
+
+/// Verifies that applying `candidate` for `cell` yields a placement
+/// with no overlaps / boundary violations among the affected cells and
+/// their window neighbours.  Exposed for tests and debug assertions.
+bool candidateIsLegal(const db::Database& db, db::CellId cell,
+                      const LegalizedCandidate& candidate);
+
+}  // namespace crp::legalizer

@@ -1,0 +1,308 @@
+#include "rsmt/steiner.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace crp::rsmt {
+
+namespace {
+
+/// Union-find over node indices.
+class DisjointSet {
+ public:
+  explicit DisjointSet(int n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool unite(int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+/// Prim MST over `points` by Manhattan distance; returns edge list.
+std::vector<std::pair<int, int>> primEdges(const std::vector<Point>& points) {
+  const int n = static_cast<int>(points.size());
+  std::vector<std::pair<int, int>> edges;
+  if (n <= 1) return edges;
+  std::vector<bool> inTree(n, false);
+  std::vector<Coord> best(n, std::numeric_limits<Coord>::max());
+  std::vector<int> from(n, 0);
+  inTree[0] = true;
+  for (int i = 1; i < n; ++i) {
+    best[i] = geom::manhattan(points[0], points[i]);
+    from[i] = 0;
+  }
+  for (int added = 1; added < n; ++added) {
+    int pick = -1;
+    Coord pickDist = std::numeric_limits<Coord>::max();
+    for (int i = 0; i < n; ++i) {
+      if (!inTree[i] && best[i] < pickDist) {
+        pick = i;
+        pickDist = best[i];
+      }
+    }
+    inTree[pick] = true;
+    edges.emplace_back(from[pick], pick);
+    for (int i = 0; i < n; ++i) {
+      if (!inTree[i]) {
+        const Coord dist = geom::manhattan(points[pick], points[i]);
+        if (dist < best[i]) {
+          best[i] = dist;
+          from[i] = pick;
+        }
+      }
+    }
+  }
+  return edges;
+}
+
+Coord edgesLength(const std::vector<Point>& points,
+                  const std::vector<std::pair<int, int>>& edges) {
+  Coord total = 0;
+  for (const auto& [a, b] : edges) {
+    total += geom::manhattan(points[a], points[b]);
+  }
+  return total;
+}
+
+/// Removes degree-1 non-pin nodes (and their edges) repeatedly; the
+/// MST over pins + a candidate Steiner subset may leave some Steiner
+/// points dangling, and those never help.
+void pruneDanglingSteiner(std::vector<Point>& points,
+                          std::vector<std::pair<int, int>>& edges,
+                          int numPins) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<int> degree(points.size(), 0);
+    for (const auto& [a, b] : edges) {
+      ++degree[a];
+      ++degree[b];
+    }
+    for (int v = static_cast<int>(points.size()) - 1; v >= numPins; --v) {
+      if (degree[v] <= 1) {
+        // Drop node v and any incident edge; reindex the tail.
+        std::erase_if(edges, [v](const std::pair<int, int>& e) {
+          return e.first == v || e.second == v;
+        });
+        points.erase(points.begin() + v);
+        for (auto& [a, b] : edges) {
+          if (a > v) --a;
+          if (b > v) --b;
+        }
+        changed = true;
+        break;  // degrees are stale; recompute
+      }
+    }
+  }
+}
+
+/// Exact RSMT for <= 4 pins: enumerate Hanan-point subsets of size
+/// <= numPins - 2 and keep the cheapest pruned MST.
+SteinerTree exactSmall(const std::vector<Point>& pins) {
+  const int n = static_cast<int>(pins.size());
+  // Hanan grid: all (x_i, y_j) combinations that are not pins.
+  std::vector<Coord> xs, ys;
+  for (const Point& p : pins) {
+    xs.push_back(p.x);
+    ys.push_back(p.y);
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+  std::vector<Point> hanan;
+  for (const Coord x : xs) {
+    for (const Coord y : ys) {
+      const Point p{x, y};
+      if (std::find(pins.begin(), pins.end(), p) == pins.end()) {
+        hanan.push_back(p);
+      }
+    }
+  }
+
+  SteinerTree best;
+  best.nodes = pins;
+  best.numPins = n;
+  best.edges = primEdges(best.nodes);
+  Coord bestLen = edgesLength(best.nodes, best.edges);
+
+  const int maxSteiner = std::max(0, n - 2);
+  const int h = static_cast<int>(hanan.size());
+
+  // Enumerate subsets of sizes 1..maxSteiner (size 0 is the plain MST
+  // already evaluated).  For n <= 4 this is at most C(12,2) + 12 trees.
+  std::vector<int> pick;
+  auto evaluate = [&](const std::vector<int>& subset) {
+    std::vector<Point> points = pins;
+    for (const int idx : subset) points.push_back(hanan[idx]);
+    auto edges = primEdges(points);
+    pruneDanglingSteiner(points, edges, n);
+    const Coord len = edgesLength(points, edges);
+    if (len < bestLen) {
+      bestLen = len;
+      best.nodes = std::move(points);
+      best.edges = std::move(edges);
+    }
+  };
+  for (int i = 0; i < h && maxSteiner >= 1; ++i) {
+    evaluate({i});
+    for (int j = i + 1; j < h && maxSteiner >= 2; ++j) {
+      evaluate({i, j});
+    }
+  }
+  return best;
+}
+
+/// Steinerization pass: for every node u and pair of tree neighbours
+/// (a, b), the componentwise median m of {u, a, b} merges the two edges
+/// into a Y; apply the best gain until none remains.
+void steinerize(SteinerTree& tree) {
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    // Adjacency list (edge indices per node).
+    std::vector<std::vector<int>> adj(tree.nodes.size());
+    for (int e = 0; e < static_cast<int>(tree.edges.size()); ++e) {
+      adj[tree.edges[e].first].push_back(e);
+      adj[tree.edges[e].second].push_back(e);
+    }
+    Coord bestGain = 0;
+    int bestU = -1, bestEa = -1, bestEb = -1;
+    Point bestM;
+    for (int u = 0; u < static_cast<int>(tree.nodes.size()); ++u) {
+      const auto& incident = adj[u];
+      for (std::size_t i = 0; i < incident.size(); ++i) {
+        for (std::size_t j = i + 1; j < incident.size(); ++j) {
+          const auto& ea = tree.edges[incident[i]];
+          const auto& eb = tree.edges[incident[j]];
+          const int a = ea.first == u ? ea.second : ea.first;
+          const int b = eb.first == u ? eb.second : eb.first;
+          const Point& pu = tree.nodes[u];
+          const Point& pa = tree.nodes[a];
+          const Point& pb = tree.nodes[b];
+          Point m;
+          m.x = std::max(std::min(pa.x, pb.x),
+                         std::min(std::max(pa.x, pb.x), pu.x));
+          m.y = std::max(std::min(pa.y, pb.y),
+                         std::min(std::max(pa.y, pb.y), pu.y));
+          if (m == pu) continue;
+          const Coord before =
+              geom::manhattan(pu, pa) + geom::manhattan(pu, pb);
+          const Coord after = geom::manhattan(pu, m) +
+                              geom::manhattan(m, pa) + geom::manhattan(m, pb);
+          const Coord gain = before - after;
+          if (gain > bestGain) {
+            bestGain = gain;
+            bestU = u;
+            bestEa = incident[i];
+            bestEb = incident[j];
+            bestM = m;
+          }
+        }
+      }
+    }
+    if (bestU >= 0) {
+      const int a = tree.edges[bestEa].first == bestU
+                        ? tree.edges[bestEa].second
+                        : tree.edges[bestEa].first;
+      const int b = tree.edges[bestEb].first == bestU
+                        ? tree.edges[bestEb].second
+                        : tree.edges[bestEb].first;
+      const int s = static_cast<int>(tree.nodes.size());
+      tree.nodes.push_back(bestM);
+      // Replace the two edges; erase the higher index first.
+      const int hi = std::max(bestEa, bestEb);
+      const int lo = std::min(bestEa, bestEb);
+      tree.edges.erase(tree.edges.begin() + hi);
+      tree.edges.erase(tree.edges.begin() + lo);
+      tree.edges.emplace_back(bestU, s);
+      tree.edges.emplace_back(s, a);
+      tree.edges.emplace_back(s, b);
+      improved = true;
+    }
+  }
+}
+
+}  // namespace
+
+Coord SteinerTree::length() const {
+  Coord total = 0;
+  for (const auto& [a, b] : edges) {
+    total += geom::manhattan(nodes[a], nodes[b]);
+  }
+  return total;
+}
+
+bool SteinerTree::isConnected() const {
+  if (nodes.empty()) return true;
+  DisjointSet ds(static_cast<int>(nodes.size()));
+  int components = static_cast<int>(nodes.size());
+  for (const auto& [a, b] : edges) {
+    if (ds.unite(a, b)) --components;
+  }
+  return components == 1;
+}
+
+std::vector<std::pair<Point, Point>> SteinerTree::segments() const {
+  std::vector<std::pair<Point, Point>> out;
+  out.reserve(edges.size());
+  for (const auto& [a, b] : edges) {
+    out.emplace_back(nodes[a], nodes[b]);
+  }
+  return out;
+}
+
+Coord pinHpwl(std::span<const Point> pins) {
+  if (pins.size() < 2) return 0;
+  Coord xlo = pins[0].x, xhi = pins[0].x, ylo = pins[0].y, yhi = pins[0].y;
+  for (const Point& p : pins) {
+    xlo = std::min(xlo, p.x);
+    xhi = std::max(xhi, p.x);
+    ylo = std::min(ylo, p.y);
+    yhi = std::max(yhi, p.y);
+  }
+  return (xhi - xlo) + (yhi - ylo);
+}
+
+SteinerTree buildMst(std::span<const Point> pins) {
+  SteinerTree tree;
+  tree.nodes.assign(pins.begin(), pins.end());
+  // Deduplicate while preserving order of first occurrence.
+  std::vector<Point> unique;
+  for (const Point& p : tree.nodes) {
+    if (std::find(unique.begin(), unique.end(), p) == unique.end()) {
+      unique.push_back(p);
+    }
+  }
+  tree.nodes = std::move(unique);
+  tree.numPins = static_cast<int>(tree.nodes.size());
+  tree.edges = primEdges(tree.nodes);
+  return tree;
+}
+
+SteinerTree buildSteinerTree(std::span<const Point> pins) {
+  SteinerTree seed = buildMst(pins);
+  if (seed.numPins <= 2) return seed;
+  if (seed.numPins <= 4) {
+    return exactSmall(seed.nodes);
+  }
+  steinerize(seed);
+  return seed;
+}
+
+}  // namespace crp::rsmt

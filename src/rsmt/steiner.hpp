@@ -1,0 +1,54 @@
+// Rectilinear Steiner minimal tree construction — the FLUTE stand-in
+// used by Alg. 3 ("flute = getFlute(C_n, pl_cd)") to build the topology
+// that the 3D pattern router prices.
+//
+// Exactness contract:
+//  * <= 4 pins: optimal RSMT via Hanan-grid enumeration (Hanan's
+//    theorem guarantees an optimal tree using only Hanan points).
+//  * > 4 pins: Prim MST followed by iterative Steinerization and edge
+//    re-anchoring; always <= MST length and >= HPWL.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "geom/geometry.hpp"
+
+namespace crp::rsmt {
+
+using geom::Coord;
+using geom::Point;
+
+/// A tree over `nodes`; the first `numPins` nodes are the input pins
+/// (in input order, after deduplication the extras map to the first
+/// equal pin).  Edges connect node indices; each edge is realized
+/// rectilinearly (an L between its endpoints), so the tree length is
+/// the sum of Manhattan edge lengths.
+struct SteinerTree {
+  std::vector<Point> nodes;
+  std::vector<std::pair<int, int>> edges;
+  int numPins = 0;
+
+  /// Total rectilinear length.
+  Coord length() const;
+
+  /// True when the edge set connects all nodes.
+  bool isConnected() const;
+
+  /// The 2-pin segments (point pairs) the routers consume.
+  std::vector<std::pair<Point, Point>> segments() const;
+};
+
+/// Builds a rectilinear Steiner tree over `pins`.  Duplicated points
+/// are merged.  A single pin yields a tree with one node and no edges.
+SteinerTree buildSteinerTree(std::span<const Point> pins);
+
+/// Plain Prim MST over the pins (no Steiner points); exposed for
+/// benchmarking and as the upper bound in property tests.
+SteinerTree buildMst(std::span<const Point> pins);
+
+/// Half-perimeter of the pin bounding box — the classic lower bound.
+Coord pinHpwl(std::span<const Point> pins);
+
+}  // namespace crp::rsmt

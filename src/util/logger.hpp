@@ -1,0 +1,107 @@
+// Lightweight leveled logger for the CR&P toolkit.
+//
+// The logger is a process-wide singleton with a configurable severity
+// threshold.  Formatting uses iostreams under the hood but the public
+// interface is printf-like via a tiny variadic formatter, so call sites
+// stay compact:
+//
+//   CRP_LOG_INFO("routed {} nets, {} overflows", nNets, nOv);
+//
+// Placeholders are positional "{}"; any printable type works.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace crp::util {
+
+/// Severity levels, ordered from most to least verbose.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kSilent = 4,
+};
+
+/// Converts a level to its fixed-width display tag.
+std::string_view logLevelTag(LogLevel level);
+
+/// Process-wide logger.  Thread-safe: each emitted record is written
+/// under a mutex so concurrent messages never interleave.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void setLevel(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// Redirects output (default: std::clog).  The stream must outlive
+  /// all logging calls; pass nullptr to restore the default.
+  void setStream(std::ostream* os);
+
+  bool enabled(LogLevel level) const {
+    return static_cast<int>(level) >= static_cast<int>(level_);
+  }
+
+  void write(LogLevel level, std::string_view message);
+
+ private:
+  Logger() = default;
+
+  LogLevel level_ = LogLevel::kInfo;
+  std::ostream* os_ = nullptr;
+  std::mutex mutex_;
+};
+
+namespace detail {
+
+inline void formatNext(std::ostringstream& os, std::string_view& fmt) {
+  os << fmt;
+  fmt = {};
+}
+
+template <typename Arg, typename... Rest>
+void formatNext(std::ostringstream& os, std::string_view& fmt, Arg&& arg,
+                Rest&&... rest) {
+  const auto pos = fmt.find("{}");
+  if (pos == std::string_view::npos) {
+    os << fmt;
+    fmt = {};
+    return;
+  }
+  os << fmt.substr(0, pos) << arg;
+  fmt.remove_prefix(pos + 2);
+  formatNext(os, fmt, std::forward<Rest>(rest)...);
+}
+
+}  // namespace detail
+
+/// Formats `fmt` with positional "{}" placeholders.
+template <typename... Args>
+std::string formatMessage(std::string_view fmt, Args&&... args) {
+  std::ostringstream os;
+  detail::formatNext(os, fmt, std::forward<Args>(args)...);
+  return os.str();
+}
+
+template <typename... Args>
+void log(LogLevel level, std::string_view fmt, Args&&... args) {
+  Logger& logger = Logger::instance();
+  if (!logger.enabled(level)) return;
+  logger.write(level, formatMessage(fmt, std::forward<Args>(args)...));
+}
+
+}  // namespace crp::util
+
+#define CRP_LOG_DEBUG(...) \
+  ::crp::util::log(::crp::util::LogLevel::kDebug, __VA_ARGS__)
+#define CRP_LOG_INFO(...) \
+  ::crp::util::log(::crp::util::LogLevel::kInfo, __VA_ARGS__)
+#define CRP_LOG_WARN(...) \
+  ::crp::util::log(::crp::util::LogLevel::kWarn, __VA_ARGS__)
+#define CRP_LOG_ERROR(...) \
+  ::crp::util::log(::crp::util::LogLevel::kError, __VA_ARGS__)

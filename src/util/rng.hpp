@@ -1,0 +1,100 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything stochastic in the toolkit (benchmark generation, the
+// simulated-annealing-style acceptance test in Alg. 1, tie breaking)
+// draws from an explicitly seeded Rng so that runs are reproducible
+// bit-for-bit across platforms.  The core generator is SplitMix64 /
+// xoshiro256**, which is tiny, fast and has no libstdc++-version
+// dependence (std::mt19937 would be reproducible too, but the
+// distributions are not portable).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace crp::util {
+
+/// xoshiro256** seeded through SplitMix64.  Satisfies
+/// std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the four state words.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] (inclusive).  Unbiased via rejection.
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi) {
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
+    const std::uint64_t limit = max() - max() % span;
+    std::uint64_t draw = (*this)();
+    while (draw >= limit) draw = (*this)();
+    return lo + static_cast<std::int64_t>(draw % span);
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Approximately normal draw via the sum of 12 uniforms (Irwin-Hall);
+  /// portable and plenty for workload synthesis.
+  double normal(double mean, double stddev) {
+    double sum = 0.0;
+    for (int i = 0; i < 12; ++i) sum += uniform();
+    return mean + stddev * (sum - 6.0);
+  }
+
+  /// Geometric-ish pin-count style draw: returns k >= lo where each
+  /// increment succeeds with probability `continueProb`.
+  std::int64_t geometric(std::int64_t lo, double continueProb,
+                         std::int64_t cap) {
+    std::int64_t k = lo;
+    while (k < cap && bernoulli(continueProb)) ++k;
+    return k;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace crp::util

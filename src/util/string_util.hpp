@@ -1,0 +1,31 @@
+// Small string helpers shared by the LEF/DEF parsers and reporters.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace crp::util {
+
+/// Splits on any run of whitespace; no empty tokens.
+std::vector<std::string> splitWhitespace(std::string_view text);
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Removes leading and trailing whitespace.
+std::string_view trim(std::string_view text);
+
+bool startsWith(std::string_view text, std::string_view prefix);
+
+/// Case-sensitive keyword match on the first whitespace token.
+bool firstTokenIs(std::string_view line, std::string_view keyword);
+
+/// Formats `value` with `decimals` fraction digits (locale independent).
+std::string formatDouble(double value, int decimals);
+
+/// Left-pads/truncates to a fixed-width column for table printing.
+std::string padLeft(std::string_view text, std::size_t width);
+std::string padRight(std::string_view text, std::size_t width);
+
+}  // namespace crp::util

@@ -1,0 +1,57 @@
+// Fixed-size thread pool with a parallel-for helper.
+//
+// Alg. 2 of the paper runs candidate generation and candidate-cost
+// estimation "in parallel"; this pool provides that parallelism.  The
+// pool is deliberately minimal: a shared queue of std::function tasks
+// plus parallelFor, which blocks the caller until every index is
+// processed.  Determinism note: parallel loops in this codebase only
+// write to disjoint per-index slots, so results are identical to the
+// sequential execution regardless of scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace crp::util {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means hardware concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t threadCount() const { return workers_.size(); }
+
+  /// Enqueues a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished.
+  void waitIdle();
+
+  /// Runs body(i) for i in [0, n), partitioned into contiguous chunks
+  /// across the pool; blocks until complete.  Exceptions escaping
+  /// `body` terminate (tasks are noexcept boundaries by design — the
+  /// routing kernels do not throw).
+  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable taskReady_;
+  std::condition_variable idle_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace crp::util

@@ -1,0 +1,35 @@
+#include "util/timer.hpp"
+
+#include <algorithm>
+
+namespace crp::util {
+
+void PhaseTimer::charge(const std::string& phase, double seconds) {
+  auto [it, inserted] = totals_.try_emplace(phase, 0.0);
+  if (inserted) order_.push_back(phase);
+  it->second += seconds;
+}
+
+double PhaseTimer::total(const std::string& phase) const {
+  const auto it = totals_.find(phase);
+  return it == totals_.end() ? 0.0 : it->second;
+}
+
+double PhaseTimer::grandTotal() const {
+  double sum = 0.0;
+  for (const auto& [phase, seconds] : totals_) sum += seconds;
+  return sum;
+}
+
+double PhaseTimer::percent(const std::string& phase) const {
+  const double total = grandTotal();
+  if (total <= 0.0) return 0.0;
+  return 100.0 * this->total(phase) / total;
+}
+
+void PhaseTimer::clear() {
+  totals_.clear();
+  order_.clear();
+}
+
+}  // namespace crp::util

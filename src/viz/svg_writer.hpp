@@ -1,0 +1,38 @@
+// SVG visualisation of placements, global routes and congestion maps.
+// Produces self-contained .svg files for design inspection — the
+// quickest way to see what CR&P moved and which corridors it relieved.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "db/database.hpp"
+#include "groute/congestion_report.hpp"
+#include "groute/global_router.hpp"
+
+namespace crp::viz {
+
+struct SvgOptions {
+  double pixelsPerDbu = 0.0;  ///< 0 = auto (fit ~1200 px width)
+  bool drawCells = true;
+  bool drawPins = false;      ///< pin dots (dense; off by default)
+  bool drawRoutes = true;     ///< global-route wire segments per layer
+  bool drawCongestion = false;  ///< gcell congestion underlay
+  /// Highlight these cells (e.g. the cells CR&P moved).
+  std::vector<db::CellId> highlight;
+};
+
+/// Writes the design (and, when provided, its routes / congestion) as
+/// a standalone SVG document.
+void writeSvg(std::ostream& os, const db::Database& db,
+              const groute::GlobalRouter* router = nullptr,
+              const SvgOptions& options = {});
+
+void writeSvgFile(const std::string& path, const db::Database& db,
+                  const groute::GlobalRouter* router = nullptr,
+                  const SvgOptions& options = {});
+
+/// Layer display colour (stable palette, cycling above 8 layers).
+std::string layerColor(int layer);
+
+}  // namespace crp::viz

@@ -1,0 +1,94 @@
+// Tests for the [18] median-move comparator: legality preservation,
+// no-open-nets invariant, the time-budget "Failed" behaviour and its
+// characteristic differences from CR&P.
+#include <gtest/gtest.h>
+
+#include "baseline/median_ilp.hpp"
+#include "bmgen/generator.hpp"
+#include "db/legality.hpp"
+#include "test_helpers.hpp"
+
+namespace crp::baseline {
+namespace {
+
+struct Fixture {
+  Fixture() : db(crp::testing::makeGridDatabase(10, 6)), router(db) {
+    router.run();
+  }
+  db::Database db;
+  groute::GlobalRouter router;
+};
+
+TEST(Baseline, KeepsPlacementLegal) {
+  Fixture f;
+  ASSERT_TRUE(db::isPlacementLegal(f.db));
+  const auto result = runMedianIlpOptimizer(f.db, f.router);
+  EXPECT_FALSE(result.failed);
+  EXPECT_TRUE(db::isPlacementLegal(f.db));
+}
+
+TEST(Baseline, ConsidersEveryMovableCell) {
+  Fixture f;
+  const auto result = runMedianIlpOptimizer(f.db, f.router);
+  int movable = 0;
+  for (db::CellId c = 0; c < f.db.numCells(); ++c) {
+    if (!f.db.cell(c).fixed && !f.db.netsOfCell(c).empty()) ++movable;
+  }
+  EXPECT_EQ(result.consideredCells, movable);
+}
+
+TEST(Baseline, NoOpenNetsAfter) {
+  Fixture f;
+  runMedianIlpOptimizer(f.db, f.router);
+  EXPECT_EQ(f.router.stats().openNets, 0);
+  for (db::NetId n = 0; n < f.db.numNets(); ++n) {
+    const auto terminals = f.router.netTerminals(n);
+    if (terminals.size() < 2) continue;
+    EXPECT_TRUE(routeConnectsTerminals(f.router.route(n), terminals));
+  }
+}
+
+TEST(Baseline, TimeBudgetTriggersFailure) {
+  Fixture f;
+  BaselineOptions options;
+  options.timeBudgetSeconds = 0.0;  // immediate exhaustion
+  const auto result = runMedianIlpOptimizer(f.db, f.router, options);
+  EXPECT_TRUE(result.failed);
+  EXPECT_EQ(result.movedCells, 0);
+  // A failed run must not have mutated the placement.
+  EXPECT_TRUE(db::isPlacementLegal(f.db));
+}
+
+TEST(Baseline, RestoresCongestionPenaltyConfig) {
+  Fixture f;
+  ASSERT_TRUE(f.router.graph().config().congestionPenalty);
+  runMedianIlpOptimizer(f.db, f.router);
+  EXPECT_TRUE(f.router.graph().config().congestionPenalty);
+}
+
+TEST(Baseline, DemandMapsStayConsistent) {
+  Fixture f;
+  runMedianIlpOptimizer(f.db, f.router);
+  for (db::NetId n = 0; n < f.db.numNets(); ++n) f.router.ripUp(n);
+  EXPECT_EQ(f.router.graph().totalWireDbu(), 0);
+  EXPECT_EQ(f.router.graph().totalVias(), 0);
+}
+
+TEST(Baseline, MovesCellsTowardMedianOnPulledDesign) {
+  // Construct a design with one badly placed cell: the baseline should
+  // move it toward its median.
+  bmgen::BenchmarkSpec spec;
+  spec.targetCells = 300;
+  spec.seed = 5;
+  spec.utilization = 0.5;  // space to move into
+  auto db = bmgen::generateBenchmark(spec);
+  groute::GlobalRouter router(db);
+  router.run();
+  const auto result = runMedianIlpOptimizer(db, router);
+  EXPECT_FALSE(result.failed);
+  EXPECT_GT(result.movedCells, 0);
+  EXPECT_TRUE(db::isPlacementLegal(db));
+}
+
+}  // namespace
+}  // namespace crp::baseline

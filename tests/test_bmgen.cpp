@@ -1,0 +1,179 @@
+// Tests for the benchmark generator and suite: legality by
+// construction, single-driver netlists, determinism, utilization
+// targets, hotspot blockages, and round-trip through LEF/DEF.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+#include "bmgen/generator.hpp"
+#include "bmgen/suite.hpp"
+#include "db/legality.hpp"
+#include "lefdef/def_parser.hpp"
+#include "lefdef/def_writer.hpp"
+#include "lefdef/lef_parser.hpp"
+#include "lefdef/lef_writer.hpp"
+
+namespace crp::bmgen {
+namespace {
+
+BenchmarkSpec smallSpec() {
+  BenchmarkSpec spec;
+  spec.name = "unit";
+  spec.targetCells = 400;
+  spec.seed = 9;
+  spec.hotspots = 1;
+  return spec;
+}
+
+TEST(Generator, PlacementIsLegal) {
+  const auto db = generateBenchmark(smallSpec());
+  EXPECT_TRUE(db::isPlacementLegal(db));
+}
+
+TEST(Generator, CellCountNearTarget) {
+  const auto db = generateBenchmark(smallSpec());
+  EXPECT_GE(db.numCells(), 380);
+  EXPECT_LE(db.numCells(), 400);
+}
+
+TEST(Generator, UtilizationNearTarget) {
+  BenchmarkSpec spec = smallSpec();
+  spec.utilization = 0.85;
+  const auto db = generateBenchmark(spec);
+  EXPECT_NEAR(db.utilization(), 0.85, 0.08);
+}
+
+TEST(Generator, NetlistIsSingleDriverSingleLoad) {
+  const auto db = generateBenchmark(smallSpec());
+  // Every (cell, pin) pair appears in at most one net.
+  std::unordered_set<long> seen;
+  for (db::NetId n = 0; n < db.numNets(); ++n) {
+    for (const db::NetPin& pin : db.net(n).pins) {
+      if (pin.isIo()) continue;
+      const long key = static_cast<long>(pin.compPin().cell) * 1000 +
+                       pin.compPin().pin;
+      EXPECT_TRUE(seen.insert(key).second)
+          << "pin reused: cell " << pin.compPin().cell << " pin "
+          << pin.compPin().pin;
+    }
+  }
+}
+
+TEST(Generator, NetsHaveDriverAndSinks) {
+  const auto db = generateBenchmark(smallSpec());
+  EXPECT_GT(db.numNets(), 0);
+  for (db::NetId n = 0; n < db.numNets(); ++n) {
+    EXPECT_GE(db.net(n).pins.size(), 2u) << db.net(n).name;
+  }
+}
+
+TEST(Generator, DeterministicForSeed) {
+  const auto a = generateBenchmark(smallSpec());
+  const auto b = generateBenchmark(smallSpec());
+  ASSERT_EQ(a.numCells(), b.numCells());
+  ASSERT_EQ(a.numNets(), b.numNets());
+  for (db::CellId c = 0; c < a.numCells(); ++c) {
+    EXPECT_EQ(a.cell(c).pos, b.cell(c).pos);
+    EXPECT_EQ(a.cell(c).macro, b.cell(c).macro);
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  BenchmarkSpec specA = smallSpec();
+  BenchmarkSpec specB = smallSpec();
+  specB.seed = 77;
+  const auto a = generateBenchmark(specA);
+  const auto b = generateBenchmark(specB);
+  int samePos = 0;
+  const int n = std::min(a.numCells(), b.numCells());
+  for (db::CellId c = 0; c < n; ++c) {
+    samePos += (a.cell(c).pos == b.cell(c).pos);
+  }
+  EXPECT_LT(samePos, n / 2);
+}
+
+TEST(Generator, HotspotsEmitBlockages) {
+  BenchmarkSpec spec = smallSpec();
+  spec.hotspots = 2;
+  const auto db = generateBenchmark(spec);
+  EXPECT_EQ(db.design().blockages.size(), 4u);  // 2 layers per hotspot
+  spec.hotspots = 0;
+  const auto clean = generateBenchmark(spec);
+  EXPECT_TRUE(clean.design().blockages.empty());
+}
+
+TEST(Generator, TracksCoverAllLayers) {
+  const auto db = generateBenchmark(smallSpec());
+  EXPECT_EQ(db.design().tracks.size(),
+            static_cast<std::size_t>(db.tech().numLayers()));
+  EXPECT_GT(db.design().gcellCountX, 2);
+  EXPECT_GT(db.design().gcellCountY, 2);
+}
+
+TEST(Generator, MostNetsAreLocal) {
+  BenchmarkSpec spec = smallSpec();
+  spec.localityBias = 0.9;
+  const auto db = generateBenchmark(spec);
+  int local = 0;
+  int total = 0;
+  const geom::Coord radius = db.design().dieArea.width() / 3;
+  for (db::NetId n = 0; n < db.numNets(); ++n) {
+    if (db.net(n).pins.size() < 2) continue;
+    ++total;
+    if (db.netHpwl(n) < radius) ++local;
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_GT(static_cast<double>(local) / total, 0.5);
+}
+
+TEST(Generator, RoundTripsThroughLefDef) {
+  const auto db = generateBenchmark(smallSpec());
+  std::ostringstream lef, def;
+  lefdef::writeLef(lef, db.tech(), db.library());
+  lefdef::writeDef(def, db);
+  const auto [tech2, lib2] = lefdef::parseLef(lef.str());
+  const auto design2 = lefdef::parseDef(def.str(), tech2, lib2);
+  db::Database db2(tech2, lib2, design2);
+  EXPECT_EQ(db2.numCells(), db.numCells());
+  EXPECT_EQ(db2.numNets(), db.numNets());
+  EXPECT_EQ(db2.totalHpwl(), db.totalHpwl());
+  EXPECT_TRUE(db::isPlacementLegal(db2));
+}
+
+// ---- suite -----------------------------------------------------------------
+
+TEST(Suite, HasTenEntriesMatchingTable2) {
+  const auto suite = ispdLikeSuite();
+  ASSERT_EQ(suite.size(), 10u);
+  EXPECT_EQ(suite[0].name, "crp_test1");
+  EXPECT_EQ(suite[0].paperCells, 8000);
+  EXPECT_EQ(suite[0].paperNets, 3000);
+  EXPECT_EQ(suite[0].techNode, 45);
+  EXPECT_EQ(suite[9].name, "crp_test10");
+  EXPECT_EQ(suite[9].paperCells, 290000);
+  EXPECT_EQ(suite[9].techNode, 32);
+}
+
+TEST(Suite, ScaledSizesGrowMonotonically) {
+  const auto suite = ispdLikeSuite(40.0);
+  EXPECT_LT(suite[0].spec.targetCells, suite[4].spec.targetCells);
+  EXPECT_LT(suite[4].spec.targetCells, suite[9].spec.targetCells);
+}
+
+TEST(Suite, CongestedDesignsHaveHotspots) {
+  const auto suite = ispdLikeSuite();
+  EXPECT_EQ(suite[1].hotspots, 0);  // test2: less congested ([18] wins)
+  EXPECT_EQ(suite[2].hotspots, 0);  // test3
+  EXPECT_GT(suite[6].hotspots, 0);  // test7: congested
+}
+
+TEST(Suite, SmallestEntryGeneratesQuickly) {
+  const auto suite = ispdLikeSuite(40.0);
+  const auto db = generateBenchmark(suite[0].spec);
+  EXPECT_TRUE(db::isPlacementLegal(db));
+  EXPECT_GT(db.numNets(), 10);
+}
+
+}  // namespace
+}  // namespace crp::bmgen

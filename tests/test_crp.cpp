@@ -1,0 +1,473 @@
+// Tests for the CR&P core: Alg. 1 labeling, Alg. 2/3 candidate
+// generation and pricing, Eq. 12 selection, and the full framework
+// invariants (legality after every iteration, no open nets, demand-map
+// consistency).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "crp/critical_cells.hpp"
+#include "crp/framework.hpp"
+#include "crp/selection.hpp"
+#include "db/legality.hpp"
+#include "test_helpers.hpp"
+
+namespace crp::core {
+namespace {
+
+using db::CellId;
+
+struct Fixture {
+  Fixture() : db(crp::testing::makeGridDatabase(10, 6)), router(db) {
+    router.run();
+  }
+  db::Database db;
+  groute::GlobalRouter router;
+};
+
+// ---- Alg. 1 -----------------------------------------------------------------
+
+TEST(CriticalCells, CostsAreNetSums) {
+  Fixture f;
+  const auto costs = cellRouteCosts(f.db, f.router);
+  ASSERT_EQ(costs.size(), static_cast<std::size_t>(f.db.numCells()));
+  for (CellId c = 0; c < f.db.numCells(); ++c) {
+    double expected = 0.0;
+    for (const db::NetId n : f.db.netsOfCell(c)) {
+      expected += f.router.netRouteCost(n);
+    }
+    EXPECT_NEAR(costs[c], expected, 1e-9);
+  }
+}
+
+TEST(CriticalCells, NoConnectedPairSelected) {
+  Fixture f;
+  util::Rng rng(1);
+  CrpOptions options;
+  const auto critical = labelCriticalCells(f.db, f.router, {}, {}, rng,
+                                           options);
+  EXPECT_FALSE(critical.empty());
+  std::unordered_set<CellId> selected(critical.begin(), critical.end());
+  for (const CellId c : critical) {
+    for (const CellId other : f.db.connectedCells(c)) {
+      EXPECT_TRUE(selected.count(other) == 0 || other == c)
+          << "connected cells " << c << " and " << other
+          << " both selected";
+    }
+  }
+}
+
+TEST(CriticalCells, GammaBoundsSelection) {
+  Fixture f;
+  util::Rng rng(1);
+  CrpOptions options;
+  options.gamma = 0.1;
+  const auto critical = labelCriticalCells(f.db, f.router, {}, {}, rng,
+                                           options);
+  EXPECT_LE(critical.size(),
+            static_cast<std::size_t>(0.1 * f.db.numCells()) + 1);
+}
+
+TEST(CriticalCells, PrioritySelectsHighestCostFirst) {
+  Fixture f;
+  util::Rng rng(1);
+  CrpOptions options;
+  const auto costs = cellRouteCosts(f.db, f.router);
+  const auto critical = labelCriticalCells(f.db, f.router, {}, {}, rng,
+                                           options);
+  ASSERT_FALSE(critical.empty());
+  // First selected cell must be the globally most expensive one.
+  const CellId top = critical.front();
+  for (CellId c = 0; c < f.db.numCells(); ++c) {
+    EXPECT_LE(costs[c], costs[top] + 1e-9);
+  }
+}
+
+TEST(CriticalCells, HistoryDampingReducesReselection) {
+  Fixture f;
+  CrpOptions options;
+  // With every cell in both history sets, acceptance = exp(-2) ~ 13%.
+  std::unordered_set<CellId> all;
+  for (CellId c = 0; c < f.db.numCells(); ++c) all.insert(c);
+  int withHistory = 0;
+  int withoutHistory = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    util::Rng rng(100 + trial);
+    withHistory += static_cast<int>(
+        labelCriticalCells(f.db, f.router, all, all, rng, options).size());
+    util::Rng rng2(100 + trial);
+    withoutHistory += static_cast<int>(
+        labelCriticalCells(f.db, f.router, {}, {}, rng2, options).size());
+  }
+  EXPECT_LT(withHistory, withoutHistory / 2);
+}
+
+TEST(CriticalCells, DampingDisabledIgnoresHistory) {
+  Fixture f;
+  CrpOptions options;
+  options.historyDamping = false;
+  std::unordered_set<CellId> all;
+  for (CellId c = 0; c < f.db.numCells(); ++c) all.insert(c);
+  util::Rng rngA(7);
+  util::Rng rngB(7);
+  const auto withAll =
+      labelCriticalCells(f.db, f.router, all, all, rngA, options);
+  const auto withNone =
+      labelCriticalCells(f.db, f.router, {}, {}, rngB, options);
+  EXPECT_EQ(withAll.size(), withNone.size());
+}
+
+TEST(CriticalCells, FixedCellsNeverSelected) {
+  Fixture f;
+  f.db.mutableDesign().components[3].fixed = true;
+  util::Rng rng(1);
+  CrpOptions options;
+  const auto critical = labelCriticalCells(f.db, f.router, {}, {}, rng,
+                                           options);
+  EXPECT_EQ(std::count(critical.begin(), critical.end(), 3), 0);
+}
+
+// ---- Alg. 2 / Alg. 3 ---------------------------------------------------------
+
+TEST(CandidateGeneration, FirstCandidateIsCurrentPosition) {
+  Fixture f;
+  const legalizer::IlpLegalizer legalizer(f.db);
+  const auto result =
+      generateCandidates(f.db, f.router, legalizer, {0, 5, 11}, nullptr);
+  ASSERT_EQ(result.size(), 3u);
+  for (const auto& cc : result) {
+    ASSERT_FALSE(cc.candidates.empty());
+    EXPECT_TRUE(cc.candidates.front().isCurrent);
+    EXPECT_EQ(cc.candidates.front().position, f.db.cell(cc.cell).pos);
+  }
+}
+
+TEST(CandidateGeneration, PricesAreFiniteAndPositive) {
+  Fixture f;
+  const legalizer::IlpLegalizer legalizer(f.db);
+  const auto result =
+      generateCandidates(f.db, f.router, legalizer, {2, 7}, nullptr);
+  for (const auto& cc : result) {
+    for (const auto& candidate : cc.candidates) {
+      EXPECT_GT(candidate.routeCost, 0.0);
+      EXPECT_TRUE(std::isfinite(candidate.routeCost));
+    }
+  }
+}
+
+TEST(CandidateGeneration, ParallelMatchesSequential) {
+  Fixture f;
+  const legalizer::IlpLegalizer legalizer(f.db);
+  const std::vector<CellId> critical{1, 4, 9, 16};
+  util::ThreadPool pool(4);
+  const auto seq =
+      generateCandidates(f.db, f.router, legalizer, critical, nullptr);
+  const auto par =
+      generateCandidates(f.db, f.router, legalizer, critical, &pool);
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    ASSERT_EQ(seq[i].candidates.size(), par[i].candidates.size());
+    for (std::size_t k = 0; k < seq[i].candidates.size(); ++k) {
+      EXPECT_EQ(seq[i].candidates[k].position, par[i].candidates[k].position);
+      EXPECT_DOUBLE_EQ(seq[i].candidates[k].routeCost,
+                       par[i].candidates[k].routeCost);
+    }
+  }
+}
+
+TEST(CandidateGeneration, TerminalOverridesMovePins) {
+  Fixture f;
+  const db::NetId net = 0;
+  const auto base =
+      terminalsWithOverrides(f.db, f.router.graph(), net, {});
+  EXPECT_EQ(base, f.router.netTerminals(net));
+  // Move the first cell of the net far away; terminals must change.
+  const CellId cell = f.db.cellsOfNet(net).front();
+  std::unordered_map<CellId, geom::Point> overrides{
+      {cell, geom::Point{f.db.design().dieArea.xhi - 100,
+                         f.db.design().dieArea.yhi - 100}}};
+  const auto moved =
+      terminalsWithOverrides(f.db, f.router.graph(), net, overrides);
+  EXPECT_NE(base, moved);
+}
+
+// ---- Eq. 12 selection ----------------------------------------------------------
+
+TEST(Selection, PicksCheapestWhenIndependent) {
+  Fixture f;
+  std::vector<CellCandidates> cells(2);
+  cells[0].cell = 0;
+  cells[0].candidates.push_back(
+      Candidate{f.db.cell(0).pos, {}, 10.0, true});
+  cells[0].candidates.push_back(
+      Candidate{geom::Point{0, 100}, {}, 5.0, false});
+  cells[1].cell = 30;
+  cells[1].candidates.push_back(
+      Candidate{f.db.cell(30).pos, {}, 7.0, true});
+  cells[1].candidates.push_back(
+      Candidate{geom::Point{200, 500}, {}, 9.0, false});
+  const auto result = selectCandidates(f.db, cells);
+  EXPECT_EQ(result.chosen[0], 1);
+  EXPECT_EQ(result.chosen[1], 0);
+  EXPECT_NEAR(result.totalCost, 12.0, 1e-9);
+}
+
+TEST(Selection, ConflictingTargetsNotBothChosen) {
+  Fixture f;
+  // Two cells both want the same target rect; their costs make both
+  // moves attractive, but the packing constraint allows only one.
+  const geom::Point target{400, 300};
+  std::vector<CellCandidates> cells(2);
+  cells[0].cell = 0;
+  cells[0].candidates.push_back(
+      Candidate{f.db.cell(0).pos, {}, 100.0, true});
+  cells[0].candidates.push_back(Candidate{target, {}, 1.0, false});
+  cells[1].cell = 1;
+  cells[1].candidates.push_back(
+      Candidate{f.db.cell(1).pos, {}, 100.0, true});
+  cells[1].candidates.push_back(Candidate{target, {}, 2.0, false});
+  const auto result = selectCandidates(f.db, cells);
+  const bool bothMoved = result.chosen[0] == 1 && result.chosen[1] == 1;
+  EXPECT_FALSE(bothMoved);
+  // Optimal: cell 0 takes the slot (1.0), cell 1 stays (100.0).
+  EXPECT_EQ(result.chosen[0], 1);
+  EXPECT_EQ(result.chosen[1], 0);
+  EXPECT_GE(result.conflictPairs, 1);
+  EXPECT_GE(result.ilpComponents, 1);
+}
+
+TEST(Selection, SharedDisplacedCellConflicts) {
+  Fixture f;
+  std::vector<CellCandidates> cells(2);
+  const CellId sharedCell = 20;
+  cells[0].cell = 0;
+  cells[0].candidates.push_back(
+      Candidate{f.db.cell(0).pos, {}, 10.0, true});
+  cells[0].candidates.push_back(Candidate{
+      geom::Point{0, 100}, {{sharedCell, geom::Point{40, 100}}}, 1.0,
+      false});
+  cells[1].cell = 1;
+  cells[1].candidates.push_back(
+      Candidate{f.db.cell(1).pos, {}, 10.0, true});
+  cells[1].candidates.push_back(Candidate{
+      geom::Point{800, 100}, {{sharedCell, geom::Point{880, 100}}}, 1.0,
+      false});
+  const auto result = selectCandidates(f.db, cells);
+  const bool bothMoved = result.chosen[0] == 1 && result.chosen[1] == 1;
+  EXPECT_FALSE(bothMoved);
+}
+
+TEST(Selection, EmptyInput) {
+  Fixture f;
+  const auto result = selectCandidates(f.db, {});
+  EXPECT_TRUE(result.chosen.empty());
+  EXPECT_EQ(result.totalCost, 0.0);
+}
+
+
+TEST(Selection, OversizedComponentFallsBackToGreedy) {
+  Fixture f;
+  // Build a long chain of mutually conflicting candidates: every cell
+  // wants the same corridor, forcing one big component.
+  const int n = 20;
+  std::vector<CellCandidates> cells(n);
+  for (int i = 0; i < n; ++i) {
+    cells[i].cell = i;
+    cells[i].candidates.push_back(
+        Candidate{f.db.cell(i).pos, {}, 10.0, true});
+    // Overlapping targets chain the component together.
+    cells[i].candidates.push_back(Candidate{
+        geom::Point{100 + 20 * i, 100}, {}, 1.0 + 0.01 * i, false});
+    cells[i].candidates.push_back(Candidate{
+        geom::Point{100 + 20 * i + 10, 100}, {}, 2.0, false});
+  }
+  SelectionOptions options;
+  options.maxIlpComponentCells = 4;
+  const auto result = selectCandidates(f.db, cells, options);
+  EXPECT_GE(result.greedyComponents, 1);
+  // Feasibility: chosen non-stay candidates must be pairwise compatible
+  // (no two overlapping target footprints selected).
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const auto& ci = cells[i].candidates[result.chosen[i]];
+      const auto& cj = cells[j].candidates[result.chosen[j]];
+      if (ci.isCurrent || cj.isCurrent) continue;
+      const auto& mi = f.db.macroOf(cells[i].cell);
+      const auto& mj = f.db.macroOf(cells[j].cell);
+      const geom::Rect ri{ci.position.x, ci.position.y,
+                          ci.position.x + mi.width,
+                          ci.position.y + mi.height};
+      const geom::Rect rj{cj.position.x, cj.position.y,
+                          cj.position.x + mj.width,
+                          cj.position.y + mj.height};
+      EXPECT_FALSE(ri.overlaps(rj)) << i << " vs " << j;
+    }
+  }
+}
+
+TEST(Selection, GreedyStillImprovesOverAllStay) {
+  Fixture f;
+  const int n = 16;
+  std::vector<CellCandidates> cells(n);
+  double stayTotal = 0.0;
+  for (int i = 0; i < n; ++i) {
+    cells[i].cell = i;
+    cells[i].candidates.push_back(
+        Candidate{f.db.cell(i).pos, {}, 10.0, true});
+    cells[i].candidates.push_back(Candidate{
+        geom::Point{100 + 20 * i, 100}, {}, 1.0, false});
+    stayTotal += 10.0;
+  }
+  SelectionOptions options;
+  options.maxIlpComponentCells = 2;
+  const auto result = selectCandidates(f.db, cells, options);
+  EXPECT_LT(result.totalCost, stayTotal);
+}
+
+// ---- framework invariants --------------------------------------------------------
+
+TEST(Framework, IterationKeepsPlacementLegal) {
+  Fixture f;
+  ASSERT_TRUE(db::isPlacementLegal(f.db));
+  CrpOptions options;
+  options.iterations = 3;
+  options.seed = 7;
+  CrpFramework framework(f.db, f.router, options);
+  for (int k = 0; k < 3; ++k) {
+    framework.runIteration();
+    EXPECT_TRUE(db::isPlacementLegal(f.db)) << "iteration " << k;
+  }
+}
+
+TEST(Framework, NoOpenNetsAfterIterations) {
+  Fixture f;
+  CrpOptions options;
+  options.iterations = 2;
+  CrpFramework framework(f.db, f.router, options);
+  framework.run();
+  EXPECT_EQ(f.router.stats().openNets, 0);
+  for (db::NetId n = 0; n < f.db.numNets(); ++n) {
+    const auto terminals = f.router.netTerminals(n);
+    if (terminals.size() < 2) continue;
+    EXPECT_TRUE(routeConnectsTerminals(f.router.route(n), terminals))
+        << f.db.net(n).name;
+  }
+}
+
+TEST(Framework, DemandMapsStayConsistent) {
+  // After iterations, ripping everything up must return demand to zero:
+  // no leaked or double-counted demand from the UD phase.
+  Fixture f;
+  CrpOptions options;
+  options.iterations = 2;
+  CrpFramework framework(f.db, f.router, options);
+  framework.run();
+  for (db::NetId n = 0; n < f.db.numNets(); ++n) f.router.ripUp(n);
+  EXPECT_EQ(f.router.graph().totalWireDbu(), 0);
+  EXPECT_EQ(f.router.graph().totalVias(), 0);
+}
+
+TEST(Framework, ReportCountsAreConsistent) {
+  Fixture f;
+  CrpOptions options;
+  options.iterations = 2;
+  CrpFramework framework(f.db, f.router, options);
+  const CrpReport report = framework.run();
+  ASSERT_EQ(report.iterations.size(), 2u);
+  int moves = 0;
+  for (const auto& iteration : report.iterations) {
+    EXPECT_GE(iteration.criticalCells, 0);
+    EXPECT_LE(iteration.movedCells, iteration.criticalCells);
+    moves += iteration.movedCells + iteration.displacedCells;
+  }
+  EXPECT_EQ(report.totalMoves, moves);
+  EXPECT_EQ(framework.movedSet().empty(), report.totalMoves == 0);
+}
+
+TEST(Framework, TimersCoverAllPhases) {
+  Fixture f;
+  CrpOptions options;
+  CrpFramework framework(f.db, f.router, options);
+  framework.runIteration();
+  const auto& timers = framework.timers();
+  for (const char* phase :
+       {kPhaseLcc, kPhaseGcp, kPhaseEcc, kPhaseSel, kPhaseUd}) {
+    EXPECT_GE(timers.total(phase), 0.0);
+    EXPECT_TRUE(std::find(timers.phases().begin(), timers.phases().end(),
+                          phase) != timers.phases().end())
+        << phase;
+  }
+}
+
+TEST(Framework, DeterministicForFixedSeed) {
+  auto run = [] {
+    auto db = crp::testing::makeGridDatabase(10, 6);
+    groute::GlobalRouter router(db);
+    router.run();
+    CrpOptions options;
+    options.iterations = 2;
+    options.seed = 42;
+    options.threads = 1;
+    CrpFramework framework(db, router, options);
+    framework.run();
+    std::vector<geom::Point> positions;
+    for (db::CellId c = 0; c < db.numCells(); ++c) {
+      positions.push_back(db.cell(c).pos);
+    }
+    return positions;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Framework, ImprovesOrMaintainsEstimatedCost) {
+  // The selection never picks a candidate set more expensive than
+  // all-stay, so the committed route cost after UD should not blow up.
+  Fixture f;
+  double before = 0.0;
+  for (db::NetId n = 0; n < f.db.numNets(); ++n) {
+    before += f.router.netRouteCost(n);
+  }
+  CrpOptions options;
+  options.iterations = 1;
+  CrpFramework framework(f.db, f.router, options);
+  framework.runIteration();
+  double after = 0.0;
+  for (db::NetId n = 0; n < f.db.numNets(); ++n) {
+    after += f.router.netRouteCost(n);
+  }
+  // Allow slack: committed maze/pattern routes can differ from the
+  // pattern estimate, but a catastrophic regression indicates a bug.
+  EXPECT_LT(after, before * 1.25);
+}
+
+TEST(Framework, MoveBudgetEnforced) {
+  Fixture f;
+  CrpOptions options;
+  options.iterations = 5;
+  options.maxMovesTotal = 3;
+  CrpFramework framework(f.db, f.router, options);
+  const CrpReport report = framework.run();
+  EXPECT_LE(report.totalMoves, 3);
+  EXPECT_TRUE(db::isPlacementLegal(f.db));
+}
+
+TEST(Framework, ZeroMoveBudgetFreezesPlacement) {
+  Fixture f;
+  std::vector<geom::Point> before;
+  for (CellId c = 0; c < f.db.numCells(); ++c) {
+    before.push_back(f.db.cell(c).pos);
+  }
+  CrpOptions options;
+  options.iterations = 2;
+  options.maxMovesTotal = 0;
+  CrpFramework framework(f.db, f.router, options);
+  const CrpReport report = framework.run();
+  EXPECT_EQ(report.totalMoves, 0);
+  for (CellId c = 0; c < f.db.numCells(); ++c) {
+    EXPECT_EQ(f.db.cell(c).pos, before[c]);
+  }
+}
+
+}  // namespace
+}  // namespace crp::core
+

@@ -1,0 +1,380 @@
+// Unit tests for the design database: tech/library construction,
+// connectivity indices, geometry queries, median computation, GCell
+// grid mapping and placement legality checking.
+#include <gtest/gtest.h>
+
+#include "db/database.hpp"
+#include "db/gcell_grid.hpp"
+#include "db/legality.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace crp::db {
+namespace {
+
+using geom::Point;
+using geom::Rect;
+
+// ---- Tech -----------------------------------------------------------------
+
+TEST(Tech, MakeDefaultBuildsAlternatingStack) {
+  const Tech tech = Tech::makeDefault(6, 20, 6, 8, 120, 10, 100);
+  ASSERT_EQ(tech.numLayers(), 6);
+  EXPECT_EQ(tech.layer(0).dir, LayerDir::kHorizontal);
+  EXPECT_EQ(tech.layer(1).dir, LayerDir::kVertical);
+  EXPECT_EQ(tech.layer(5).dir, LayerDir::kVertical);
+  EXPECT_EQ(tech.cutLayers().size(), 5u);
+  EXPECT_EQ(tech.vias().size(), 5u);
+  for (int i = 0; i + 1 < 6; ++i) {
+    ASSERT_NE(tech.defaultVia(i), nullptr);
+    EXPECT_EQ(tech.defaultVia(i)->below, i);
+  }
+  EXPECT_EQ(tech.defaultVia(5), nullptr);
+}
+
+TEST(Tech, FindLayerByName) {
+  const Tech tech = Tech::makeDefault(3, 20, 6, 8, 120, 10, 100);
+  EXPECT_EQ(tech.findLayer("Metal2"), 1);
+  EXPECT_FALSE(tech.findLayer("Metal9").has_value());
+}
+
+TEST(Tech, AddViaValidatesLayerRange) {
+  Tech tech = Tech::makeDefault(2, 20, 6, 8, 120, 10, 100);
+  ViaDef bad;
+  bad.below = 1;  // layer 2 does not exist above
+  EXPECT_THROW(tech.addVia(bad), std::out_of_range);
+}
+
+TEST(Tech, OtherDirFlips) {
+  EXPECT_EQ(otherDir(LayerDir::kHorizontal), LayerDir::kVertical);
+  EXPECT_EQ(otherDir(LayerDir::kVertical), LayerDir::kHorizontal);
+}
+
+// ---- Library ----------------------------------------------------------------
+
+TEST(Library, MakeDefaultProvidesStandardCells) {
+  const Library lib = Library::makeDefault(10, 100, 0);
+  EXPECT_GE(lib.numMacros(), 8);
+  ASSERT_TRUE(lib.findMacro("INV_X1").has_value());
+  const Macro& inv = lib.macro(*lib.findMacro("INV_X1"));
+  EXPECT_EQ(inv.width, 10);
+  EXPECT_EQ(inv.height, 100);
+  ASSERT_EQ(inv.pins.size(), 2u);
+  EXPECT_EQ(inv.pins[0].dir, PinDir::kInput);
+  EXPECT_EQ(inv.pins[1].dir, PinDir::kOutput);
+  EXPECT_EQ(inv.pins[1].name, "Y");
+}
+
+TEST(Library, PinAccessPointsInsideMacro) {
+  const Library lib = Library::makeDefault(10, 100, 0);
+  for (const Macro& macro : lib.macros()) {
+    const Rect box{0, 0, macro.width, macro.height};
+    for (const MacroPin& pin : macro.pins) {
+      EXPECT_TRUE(box.contains(pin.accessPoint()))
+          << macro.name << "/" << pin.name;
+    }
+  }
+}
+
+TEST(Library, DuplicateMacroNameRejected) {
+  Library lib;
+  Macro m;
+  m.name = "X";
+  lib.addMacro(m);
+  EXPECT_THROW(lib.addMacro(m), std::invalid_argument);
+}
+
+TEST(Library, WidthInSitesRoundsUp) {
+  Macro m;
+  m.width = 25;
+  EXPECT_EQ(m.widthInSites(10), 3);
+  m.width = 30;
+  EXPECT_EQ(m.widthInSites(10), 3);
+}
+
+// ---- Database --------------------------------------------------------------
+
+TEST(Database, LookupByName) {
+  const auto db = crp::testing::makeTinyDatabase();
+  EXPECT_EQ(db.findCell("c2"), 2);
+  EXPECT_EQ(db.findCell("zz"), kInvalidId);
+  EXPECT_EQ(db.findNet("n1"), 1);
+  EXPECT_EQ(db.findNet("zz"), kInvalidId);
+}
+
+TEST(Database, CellRect) {
+  const auto db = crp::testing::makeTinyDatabase();
+  EXPECT_EQ(db.cellRect(0), (Rect{100, 0, 110, 100}));
+}
+
+TEST(Database, NetsOfCell) {
+  const auto db = crp::testing::makeTinyDatabase();
+  EXPECT_EQ(db.netsOfCell(0), (std::vector<NetId>{0, 2}));
+  EXPECT_EQ(db.netsOfCell(1), (std::vector<NetId>{0, 1}));
+  EXPECT_EQ(db.netsOfCell(3), (std::vector<NetId>{1}));
+}
+
+TEST(Database, ConnectedCells) {
+  const auto db = crp::testing::makeTinyDatabase();
+  EXPECT_EQ(db.connectedCells(0), (std::vector<CellId>{1}));
+  EXPECT_EQ(db.connectedCells(1), (std::vector<CellId>{0, 2, 3}));
+}
+
+TEST(Database, CellsOfNet) {
+  const auto db = crp::testing::makeTinyDatabase();
+  EXPECT_EQ(db.cellsOfNet(1), (std::vector<CellId>{1, 2, 3}));
+  EXPECT_EQ(db.cellsOfNet(2), (std::vector<CellId>{0}));
+}
+
+TEST(Database, PinPositionUsesTransform) {
+  const auto db = crp::testing::makeTinyDatabase();
+  // c0 at (100, 0), INV pin A access point is inside the cell rect.
+  const Point p = db.pinPosition(CompPinRef{0, 0});
+  EXPECT_TRUE(db.cellRect(0).contains(p));
+}
+
+TEST(Database, NetHpwlMatchesBoundingBox) {
+  const auto db = crp::testing::makeTinyDatabase();
+  const Rect box = db.netBoundingBox(1);
+  EXPECT_EQ(db.netHpwl(1), box.halfPerimeter());
+  EXPECT_GT(db.netHpwl(1), 0);
+}
+
+TEST(Database, TotalHpwlIsSum) {
+  const auto db = crp::testing::makeTinyDatabase();
+  Coord sum = 0;
+  for (NetId n = 0; n < db.numNets(); ++n) sum += db.netHpwl(n);
+  EXPECT_EQ(db.totalHpwl(), sum);
+}
+
+TEST(Database, MoveCellUpdatesGeometry) {
+  auto db = crp::testing::makeTinyDatabase();
+  const Coord before = db.netHpwl(0);
+  db.moveCell(0, Point{490, 100});  // move c0 next to c1
+  EXPECT_EQ(db.cellRect(0).xlo, 490);
+  EXPECT_LT(db.netHpwl(0), before);
+}
+
+TEST(Database, MedianPositionPullsTowardNeighbors) {
+  const auto db = crp::testing::makeTinyDatabase();
+  // c3 is connected only to net n1 (cells c1, c2); its median should be
+  // within the x-range spanned by c1/c2 pin positions.
+  const Point med = db.medianPosition(3);
+  EXPECT_GE(med.x, 500);
+  EXPECT_LE(med.x, 810);
+}
+
+TEST(Database, MedianOfIsolatedCellIsOwnPosition) {
+  using namespace crp::db;
+  Tech tech = Tech::makeDefault(2, 20, 6, 8, 120, 10, 100);
+  Library lib = Library::makeDefault(10, 100, 0);
+  Design design;
+  design.dieArea = Rect{0, 0, 100, 100};
+  design.rows.push_back(Row{"r0", Point{0, 0}, 10, geom::Orientation::kN});
+  Component c;
+  c.name = "lonely";
+  c.macro = *lib.findMacro("INV_X1");
+  c.pos = Point{30, 0};
+  design.components.push_back(c);
+  Database db(std::move(tech), std::move(lib), std::move(design));
+  EXPECT_EQ(db.medianPosition(0), (Point{30, 0}));
+}
+
+TEST(Database, RowAt) {
+  const auto db = crp::testing::makeTinyDatabase();
+  EXPECT_EQ(db.rowAt(0), 0);
+  EXPECT_EQ(db.rowAt(150), 1);
+  EXPECT_EQ(db.rowAt(499), 4);
+  EXPECT_EQ(db.rowAt(500), kInvalidId);
+  EXPECT_EQ(db.rowAt(-1), kInvalidId);
+}
+
+TEST(Database, SnapToSiteRow) {
+  const auto db = crp::testing::makeTinyDatabase();
+  const int inv = *db.library().findMacro("INV_X1");
+  const Point p = db.snapToSiteRow(Point{123, 147}, inv);
+  EXPECT_EQ(p.y, 100);
+  EXPECT_EQ(p.x % 10, 0);
+  EXPECT_EQ(p.x, 120);
+}
+
+TEST(Database, SnapClampsToRowEnds) {
+  const auto db = crp::testing::makeTinyDatabase();
+  const int inv = *db.library().findMacro("INV_X1");
+  const Point left = db.snapToSiteRow(Point{-50, 0}, inv);
+  EXPECT_EQ(left.x, 0);
+  const Point right = db.snapToSiteRow(Point{5000, 0}, inv);
+  EXPECT_EQ(right.x, 1000 - 10);
+}
+
+TEST(Database, UtilizationInUnitRange) {
+  const auto db = crp::testing::makeTinyDatabase();
+  EXPECT_GT(db.utilization(), 0.0);
+  EXPECT_LT(db.utilization(), 1.0);
+}
+
+
+TEST(Database, CopyIsIndependent) {
+  // The bench harness copies a prebuilt Database per flow; mutating the
+  // copy must not leak into the original.
+  const auto original = crp::testing::makeTinyDatabase();
+  auto copy = original;
+  copy.moveCell(0, geom::Point{900, 400});
+  EXPECT_EQ(original.cell(0).pos, (Point{100, 0}));
+  EXPECT_EQ(copy.cell(0).pos, (Point{900, 400}));
+  EXPECT_NE(original.totalHpwl(), copy.totalHpwl());
+  // Connectivity indices remain valid in both.
+  EXPECT_EQ(original.netsOfCell(0), copy.netsOfCell(0));
+}
+
+TEST(Database, PinShapesTransformToDieFrame) {
+  const auto db = crp::testing::makeTinyDatabase();
+  const auto shapes = db.pinShapes(CompPinRef{0, 0});
+  ASSERT_FALSE(shapes.empty());
+  // Every shape lies inside the placed cell rect.
+  for (const auto& shape : shapes) {
+    EXPECT_TRUE(db.cellRect(0).contains(shape.rect)) << shape.rect;
+  }
+}
+
+TEST(Database, UtilizationZeroWithoutRows) {
+  using namespace crp::db;
+  Tech tech = Tech::makeDefault(2, 20, 6, 8, 120, 10, 100);
+  Library lib = Library::makeDefault(10, 100, 0);
+  Design design;
+  design.dieArea = geom::Rect{0, 0, 100, 100};
+  Database db(std::move(tech), std::move(lib), std::move(design));
+  EXPECT_DOUBLE_EQ(db.utilization(), 0.0);
+}
+
+// ---- GCellGrid ---------------------------------------------------------------
+
+TEST(GCellGrid, PartitionCoversDieExactly) {
+  const GCellGrid grid(Rect{0, 0, 1000, 500}, 10, 5);
+  EXPECT_EQ(grid.xBounds().front(), 0);
+  EXPECT_EQ(grid.xBounds().back(), 1000);
+  EXPECT_EQ(grid.yBounds().front(), 0);
+  EXPECT_EQ(grid.yBounds().back(), 500);
+  Coord area = 0;
+  for (int x = 0; x < 10; ++x) {
+    for (int y = 0; y < 5; ++y) area += grid.cellRect(GCell{x, y}).area();
+  }
+  EXPECT_EQ(area, 1000 * 500);
+}
+
+TEST(GCellGrid, CellAtMapsPointsCorrectly) {
+  const GCellGrid grid(Rect{0, 0, 1000, 500}, 10, 5);
+  EXPECT_EQ(grid.cellAt(Point{0, 0}), (GCell{0, 0}));
+  EXPECT_EQ(grid.cellAt(Point{99, 99}), (GCell{0, 0}));
+  EXPECT_EQ(grid.cellAt(Point{100, 100}), (GCell{1, 1}));
+  EXPECT_EQ(grid.cellAt(Point{999, 499}), (GCell{9, 4}));
+  // Clamping outside the die.
+  EXPECT_EQ(grid.cellAt(Point{-5, -5}), (GCell{0, 0}));
+  EXPECT_EQ(grid.cellAt(Point{2000, 2000}), (GCell{9, 4}));
+}
+
+TEST(GCellGrid, UnevenDivisionAbsorbsRemainder) {
+  const GCellGrid grid(Rect{0, 0, 103, 50}, 10, 5);
+  Coord width = 0;
+  for (int x = 0; x < 10; ++x) width += grid.cellRect(GCell{x, 0}).width();
+  EXPECT_EQ(width, 103);
+}
+
+TEST(GCellGrid, CenterDistanceOfNeighbors) {
+  const GCellGrid grid(Rect{0, 0, 1000, 500}, 10, 5);
+  EXPECT_EQ(grid.centerDistance(GCell{0, 0}, GCell{1, 0}), 100);
+  EXPECT_EQ(grid.centerDistance(GCell{0, 0}, GCell{0, 1}), 100);
+}
+
+TEST(GCellGrid, FlatIndexIsBijective) {
+  const GCellGrid grid(Rect{0, 0, 100, 100}, 7, 3);
+  std::vector<bool> seen(grid.numCells(), false);
+  for (int x = 0; x < 7; ++x) {
+    for (int y = 0; y < 3; ++y) {
+      const int idx = grid.flatIndex(GCell{x, y});
+      ASSERT_GE(idx, 0);
+      ASSERT_LT(idx, grid.numCells());
+      EXPECT_FALSE(seen[idx]);
+      seen[idx] = true;
+    }
+  }
+}
+
+TEST(GCellGrid, RejectsDegenerateInput) {
+  EXPECT_THROW(GCellGrid(Rect{0, 0, 10, 10}, 0, 5), std::invalid_argument);
+  EXPECT_THROW(GCellGrid(Rect{}, 2, 2), std::invalid_argument);
+}
+
+// Property: every point maps to the gcell whose rect contains it.
+TEST(GCellGridProperty, CellAtConsistentWithCellRect) {
+  util::Rng rng(42);
+  const GCellGrid grid(Rect{13, 7, 1017, 511}, 9, 6);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const Point p{rng.uniformInt(13, 1016), rng.uniformInt(7, 510)};
+    const GCell g = grid.cellAt(p);
+    EXPECT_TRUE(grid.cellRect(g).contains(p));
+  }
+}
+
+// ---- legality -----------------------------------------------------------------
+
+TEST(Legality, TinyDatabaseIsLegal) {
+  const auto db = crp::testing::makeTinyDatabase();
+  EXPECT_TRUE(isPlacementLegal(db));
+}
+
+TEST(Legality, DetectsOverlap) {
+  auto db = crp::testing::makeTinyDatabase();
+  db.moveCell(0, db.cell(1).pos);  // stack c0 on c1
+  const auto violations = checkPlacement(db);
+  bool foundOverlap = false;
+  for (const auto& v : violations) {
+    if (v.kind == ViolationKind::kOverlap) foundOverlap = true;
+  }
+  EXPECT_TRUE(foundOverlap);
+}
+
+TEST(Legality, DetectsOffSite) {
+  auto db = crp::testing::makeTinyDatabase();
+  db.moveCell(0, geom::Point{103, 0});
+  const auto violations = checkCell(db, 0);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations.front().kind, ViolationKind::kOffSite);
+}
+
+TEST(Legality, DetectsOffRow) {
+  auto db = crp::testing::makeTinyDatabase();
+  db.moveCell(0, geom::Point{100, 50});
+  const auto violations = checkCell(db, 0);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations.front().kind, ViolationKind::kOffRow);
+}
+
+TEST(Legality, DetectsOutsideDie) {
+  auto db = crp::testing::makeTinyDatabase();
+  db.moveCell(0, geom::Point{995, 0});  // 10-wide cell, die ends at 1000
+  const auto violations = checkCell(db, 0);
+  bool outside = false;
+  for (const auto& v : violations) {
+    if (v.kind == ViolationKind::kOutsideDie) outside = true;
+  }
+  EXPECT_TRUE(outside);
+}
+
+TEST(Legality, TouchingCellsAreLegal) {
+  auto db = crp::testing::makeTinyDatabase();
+  db.moveCell(0, geom::Point{490, 100});  // c1 at 500, c0 is 10 wide
+  EXPECT_TRUE(checkCell(db, 0).empty());
+  EXPECT_TRUE(isPlacementLegal(db));
+}
+
+TEST(Legality, DescribeProducesText) {
+  auto db = crp::testing::makeTinyDatabase();
+  db.moveCell(0, db.cell(1).pos);
+  for (const auto& v : checkPlacement(db)) {
+    EXPECT_FALSE(v.describe(db).empty());
+  }
+}
+
+}  // namespace
+}  // namespace crp::db

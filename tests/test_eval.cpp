@@ -1,0 +1,65 @@
+// Tests for the ISPD-2018-style evaluator.
+#include <gtest/gtest.h>
+
+#include "eval/evaluator.hpp"
+#include "test_helpers.hpp"
+
+namespace crp::eval {
+namespace {
+
+TEST(Evaluator, CollectMetricsCopiesFields) {
+  droute::DetailedRouteStats stats;
+  stats.wirelengthDbu = 1000;
+  stats.viaCount = 42;
+  stats.shortViolations = 2;
+  stats.spacingViolations = 1;
+  stats.minAreaViolations = 0;
+  stats.openNets = 3;
+  const Metrics m = collectMetrics(stats);
+  EXPECT_EQ(m.wirelengthDbu, 1000);
+  EXPECT_EQ(m.viaCount, 42);
+  EXPECT_EQ(m.totalDrvs(), 3);
+  EXPECT_EQ(m.openNets, 3);
+}
+
+TEST(Evaluator, ScoreUsesContestWeights) {
+  const auto db = crp::testing::makeTinyDatabase();
+  Metrics m;
+  m.wirelengthDbu = 2000;  // pitch 20 -> 100 wire units
+  m.viaCount = 10;
+  const double s = score(m, db);
+  EXPECT_DOUBLE_EQ(s, 0.5 * 100 + 2.0 * 10);
+}
+
+TEST(Evaluator, ScorePenalizesDrvsAndOpens) {
+  const auto db = crp::testing::makeTinyDatabase();
+  Metrics m;
+  m.shorts = 1;
+  m.openNets = 2;
+  EXPECT_DOUBLE_EQ(score(m, db), 500.0 + 1000.0);
+}
+
+TEST(Evaluator, ImprovementPercent) {
+  EXPECT_DOUBLE_EQ(improvementPercent(100.0, 98.0), 2.0);
+  EXPECT_DOUBLE_EQ(improvementPercent(100.0, 102.0), -2.0);
+  EXPECT_DOUBLE_EQ(improvementPercent(0.0, 5.0), 0.0);
+}
+
+TEST(Evaluator, CompareRunsBuildsTableRow) {
+  Metrics base;
+  base.wirelengthDbu = 1000;
+  base.viaCount = 100;
+  base.shorts = 1;
+  Metrics ours;
+  ours.wirelengthDbu = 990;
+  ours.viaCount = 95;
+  ours.shorts = 1;
+  const ComparisonRow row = compareRuns("crp_test1", base, ours);
+  EXPECT_EQ(row.benchmark, "crp_test1");
+  EXPECT_NEAR(row.wirelengthImprovePct, 1.0, 1e-9);
+  EXPECT_NEAR(row.viaImprovePct, 5.0, 1e-9);
+  EXPECT_EQ(row.drvDelta, 0);
+}
+
+}  // namespace
+}  // namespace crp::eval

@@ -1,0 +1,236 @@
+// Unit + property tests for geometry primitives.
+#include <gtest/gtest.h>
+
+#include "geom/geometry.hpp"
+#include "util/rng.hpp"
+
+namespace crp::geom {
+namespace {
+
+TEST(Point, ManhattanDistance) {
+  EXPECT_EQ(manhattan({0, 0}, {3, 4}), 7);
+  EXPECT_EQ(manhattan({-2, 5}, {1, 1}), 7);
+  EXPECT_EQ(manhattan({5, 5}, {5, 5}), 0);
+}
+
+TEST(Interval, BasicPredicates) {
+  Interval iv{2, 6};
+  EXPECT_EQ(iv.length(), 4);
+  EXPECT_FALSE(iv.empty());
+  EXPECT_TRUE(iv.contains(2));
+  EXPECT_FALSE(iv.contains(6));
+  EXPECT_TRUE(iv.overlaps({5, 9}));
+  EXPECT_FALSE(iv.overlaps({6, 9}));
+  EXPECT_EQ(iv.overlapLength({4, 10}), 2);
+  EXPECT_EQ(iv.overlapLength({10, 12}), 0);
+}
+
+TEST(Rect, BasicMeasures) {
+  Rect r{0, 0, 10, 4};
+  EXPECT_EQ(r.width(), 10);
+  EXPECT_EQ(r.height(), 4);
+  EXPECT_EQ(r.area(), 40);
+  EXPECT_EQ(r.halfPerimeter(), 14);
+  EXPECT_EQ(r.center(), (Point{5, 2}));
+  EXPECT_FALSE(r.empty());
+  EXPECT_TRUE((Rect{3, 3, 3, 9}).empty());
+}
+
+TEST(Rect, FromPointsNormalizes) {
+  const Rect r = Rect::fromPoints({7, 1}, {2, 5});
+  EXPECT_EQ(r, (Rect{2, 1, 7, 5}));
+}
+
+TEST(Rect, ContainsAndOverlap) {
+  Rect r{0, 0, 10, 10};
+  EXPECT_TRUE(r.contains(Point{0, 0}));
+  EXPECT_FALSE(r.contains(Point{10, 0}));
+  EXPECT_TRUE(r.containsClosed(Point{10, 10}));
+  EXPECT_TRUE(r.contains(Rect{1, 1, 9, 9}));
+  EXPECT_FALSE(r.contains(Rect{1, 1, 11, 9}));
+  EXPECT_TRUE(r.overlaps(Rect{9, 9, 20, 20}));
+  EXPECT_FALSE(r.overlaps(Rect{10, 0, 20, 10}));  // touching, closed-open
+}
+
+TEST(Rect, IntersectAndUnion) {
+  Rect a{0, 0, 10, 10};
+  Rect b{5, 5, 15, 15};
+  EXPECT_EQ(a.intersect(b), (Rect{5, 5, 10, 10}));
+  EXPECT_TRUE(a.intersect(Rect{20, 20, 30, 30}).empty());
+  EXPECT_EQ(a.unionWith(b), (Rect{0, 0, 15, 15}));
+  EXPECT_EQ(Rect{}.unionWith(b), b);
+}
+
+TEST(Rect, InflateAndShift) {
+  Rect r{2, 2, 4, 4};
+  EXPECT_EQ(r.inflated(1), (Rect{1, 1, 5, 5}));
+  EXPECT_EQ(r.shifted(3, -2), (Rect{5, 0, 7, 2}));
+}
+
+TEST(Rect, ManhattanGap) {
+  Rect a{0, 0, 2, 2};
+  EXPECT_EQ(a.manhattanGap(Rect{5, 0, 7, 2}), 3);
+  EXPECT_EQ(a.manhattanGap(Rect{0, 4, 2, 6}), 2);
+  EXPECT_EQ(a.manhattanGap(Rect{1, 1, 3, 3}), 0);  // overlap
+  EXPECT_EQ(a.manhattanGap(Rect{2, 0, 4, 2}), 0);  // touching
+  EXPECT_EQ(a.manhattanGap(Rect{5, 5, 6, 6}), 3);  // diagonal: max(dx,dy)
+}
+
+TEST(Snap, SnapDown) {
+  EXPECT_EQ(snapDown(17, 0, 5), 15);
+  EXPECT_EQ(snapDown(15, 0, 5), 15);
+  EXPECT_EQ(snapDown(17, 2, 5), 17);
+  EXPECT_EQ(snapDown(-3, 0, 5), -5);
+}
+
+TEST(Snap, SnapNearest) {
+  EXPECT_EQ(snapNearest(17, 0, 5), 15);
+  EXPECT_EQ(snapNearest(18, 0, 5), 20);
+  EXPECT_EQ(snapNearest(-3, 0, 5), -5);
+}
+
+TEST(Orientation, Names) {
+  EXPECT_EQ(orientationName(Orientation::kN), "N");
+  EXPECT_EQ(orientationName(Orientation::kFS), "FS");
+}
+
+TEST(Transform, NorthIsIdentityPlusTranslate) {
+  const Rect local{1, 2, 3, 4};
+  const Rect r = transformRect(local, Point{10, 20}, 8, 6, Orientation::kN);
+  EXPECT_EQ(r, (Rect{11, 22, 13, 24}));
+}
+
+TEST(Transform, SouthRotates180) {
+  const Rect local{1, 2, 3, 4};
+  // w=8, h=6: x -> 8-x in [5,7], y -> 6-y in [2,4]
+  const Rect r = transformRect(local, Point{0, 0}, 8, 6, Orientation::kS);
+  EXPECT_EQ(r, (Rect{5, 2, 7, 4}));
+}
+
+TEST(Transform, FlippedNorthMirrorsX) {
+  const Rect local{1, 2, 3, 4};
+  const Rect r = transformRect(local, Point{0, 0}, 8, 6, Orientation::kFN);
+  EXPECT_EQ(r, (Rect{5, 2, 7, 4}).shifted(0, 0));
+  EXPECT_EQ(r.ylo, 2);
+  EXPECT_EQ(r.yhi, 4);
+}
+
+TEST(Transform, FlippedSouthMirrorsY) {
+  const Rect local{1, 2, 3, 4};
+  const Rect r = transformRect(local, Point{0, 0}, 8, 6, Orientation::kFS);
+  EXPECT_EQ(r, (Rect{1, 2, 3, 4}));
+}
+
+// Property: transforming a rect preserves its area and keeps it inside
+// the instance bounding box for any orientation.
+class TransformProperty : public ::testing::TestWithParam<Orientation> {};
+
+TEST_P(TransformProperty, PreservesAreaAndContainment) {
+  util::Rng rng(99);
+  const Orientation orient = GetParam();
+  for (int trial = 0; trial < 200; ++trial) {
+    const Coord w = rng.uniformInt(4, 40);
+    const Coord h = rng.uniformInt(4, 40);
+    const Coord x0 = rng.uniformInt(0, w - 2);
+    const Coord y0 = rng.uniformInt(0, h - 2);
+    const Coord x1 = rng.uniformInt(x0 + 1, w);
+    const Coord y1 = rng.uniformInt(y0 + 1, h);
+    const Rect local{x0, y0, x1, y1};
+    const Point origin{rng.uniformInt(-100, 100), rng.uniformInt(-100, 100)};
+    const Rect placed = transformRect(local, origin, w, h, orient);
+    EXPECT_EQ(placed.area(), local.area());
+    const Rect instBox{origin.x, origin.y, origin.x + w, origin.y + h};
+    EXPECT_TRUE(instBox.contains(placed));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrientations, TransformProperty,
+                         ::testing::Values(Orientation::kN, Orientation::kS,
+                                           Orientation::kFN,
+                                           Orientation::kFS));
+
+// Property: snapNearest always lands on the lattice and never moves
+// further than step/2 (+rounding).
+TEST(SnapProperty, NearestIsOnLatticeAndClose) {
+  util::Rng rng(123);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Coord step = rng.uniformInt(1, 50);
+    const Coord origin = rng.uniformInt(-100, 100);
+    const Coord v = rng.uniformInt(-10000, 10000);
+    const Coord snapped = snapNearest(v, origin, step);
+    EXPECT_EQ((snapped - origin) % step, 0);
+    EXPECT_LE(std::abs(snapped - v), (step + 1) / 2);
+  }
+}
+
+
+TEST(TransformProperty, SouthTwiceIsIdentity) {
+  util::Rng rng(314);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Coord w = rng.uniformInt(2, 50);
+    const Coord h = rng.uniformInt(2, 50);
+    const Point p{rng.uniformInt(0, w), rng.uniformInt(0, h)};
+    const Point once = transformPoint(p, Point{0, 0}, w, h, Orientation::kS);
+    const Point twice =
+        transformPoint(once, Point{0, 0}, w, h, Orientation::kS);
+    EXPECT_EQ(twice, p);
+  }
+}
+
+TEST(TransformProperty, FlipsAreInvolutions) {
+  util::Rng rng(315);
+  for (const Orientation o : {Orientation::kFN, Orientation::kFS}) {
+    for (int trial = 0; trial < 100; ++trial) {
+      const Coord w = rng.uniformInt(2, 50);
+      const Coord h = rng.uniformInt(2, 50);
+      const Point p{rng.uniformInt(0, w), rng.uniformInt(0, h)};
+      const Point once = transformPoint(p, Point{0, 0}, w, h, o);
+      const Point twice = transformPoint(once, Point{0, 0}, w, h, o);
+      EXPECT_EQ(twice, p);
+    }
+  }
+}
+
+TEST(RectProperty, IntersectIsCommutativeAndContained) {
+  util::Rng rng(316);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto randRect = [&] {
+      const Coord x0 = rng.uniformInt(-50, 50);
+      const Coord y0 = rng.uniformInt(-50, 50);
+      return Rect{x0, y0, x0 + rng.uniformInt(1, 40),
+                  y0 + rng.uniformInt(1, 40)};
+    };
+    const Rect a = randRect();
+    const Rect b = randRect();
+    const Rect ab = a.intersect(b);
+    const Rect ba = b.intersect(a);
+    EXPECT_EQ(ab, ba);
+    if (!ab.empty()) {
+      EXPECT_TRUE(a.contains(ab));
+      EXPECT_TRUE(b.contains(ab));
+      EXPECT_TRUE(a.overlaps(b));
+    } else {
+      EXPECT_FALSE(a.overlaps(b));
+    }
+  }
+}
+
+TEST(RectProperty, UnionContainsBoth) {
+  util::Rng rng(317);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto randRect = [&] {
+      const Coord x0 = rng.uniformInt(-50, 50);
+      const Coord y0 = rng.uniformInt(-50, 50);
+      return Rect{x0, y0, x0 + rng.uniformInt(1, 40),
+                  y0 + rng.uniformInt(1, 40)};
+    };
+    const Rect a = randRect();
+    const Rect b = randRect();
+    const Rect u = a.unionWith(b);
+    EXPECT_TRUE(u.contains(a));
+    EXPECT_TRUE(u.contains(b));
+  }
+}
+
+}  // namespace
+}  // namespace crp::geom

@@ -1,0 +1,522 @@
+// Tests for the global router stack: route geometry, routing graph
+// capacity/demand/cost bookkeeping (Eq. 9/10), pattern routing, maze
+// routing, and the full GlobalRouter driver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "groute/global_router.hpp"
+#include "groute/maze_route.hpp"
+#include "groute/pattern_route.hpp"
+#include "groute/route.hpp"
+#include "groute/routing_graph.hpp"
+#include "test_helpers.hpp"
+
+namespace crp::groute {
+namespace {
+
+// ---- route geometry -----------------------------------------------------------
+
+TEST(Route, NormalizedOrdersEndpoints) {
+  const RouteSegment seg{GPoint{2, 5, 5}, GPoint{0, 5, 5}};
+  const RouteSegment norm = normalized(seg);
+  EXPECT_EQ(norm.a.layer, 0);
+  EXPECT_EQ(norm.b.layer, 2);
+}
+
+TEST(Route, HopCounts) {
+  NetRoute route;
+  route.segments.push_back({GPoint{0, 0, 0}, GPoint{0, 3, 0}});
+  route.segments.push_back({GPoint{0, 3, 0}, GPoint{2, 3, 0}});
+  route.segments.push_back({GPoint{1, 3, 0}, GPoint{1, 3, 4}});
+  EXPECT_EQ(routeWireHops(route), 7);
+  EXPECT_EQ(routeViaHops(route), 2);
+}
+
+TEST(Route, ConnectivityPositive) {
+  NetRoute route;
+  route.routed = true;
+  route.segments.push_back({GPoint{0, 0, 0}, GPoint{0, 3, 0}});
+  route.segments.push_back({GPoint{0, 3, 0}, GPoint{1, 3, 0}});
+  route.segments.push_back({GPoint{1, 3, 0}, GPoint{1, 3, 2}});
+  EXPECT_TRUE(routeConnectsTerminals(
+      route, {GPoint{0, 0, 0}, GPoint{0, 3, 2}}));
+}
+
+TEST(Route, ConnectivityDetectsOpen) {
+  NetRoute route;
+  route.routed = true;
+  route.segments.push_back({GPoint{0, 0, 0}, GPoint{0, 3, 0}});
+  // Terminal at (5, 5) is never touched.
+  EXPECT_FALSE(routeConnectsTerminals(
+      route, {GPoint{0, 0, 0}, GPoint{0, 5, 5}}));
+}
+
+TEST(Route, ConnectivityDetectsDisconnectedPieces) {
+  NetRoute route;
+  route.routed = true;
+  route.segments.push_back({GPoint{0, 0, 0}, GPoint{0, 2, 0}});
+  route.segments.push_back({GPoint{0, 4, 0}, GPoint{0, 6, 0}});
+  EXPECT_FALSE(routeConnectsTerminals(
+      route, {GPoint{0, 0, 0}, GPoint{0, 6, 0}}));
+}
+
+// ---- RoutingGraph -----------------------------------------------------------
+
+class RoutingGraphTest : public ::testing::Test {
+ protected:
+  RoutingGraphTest() : db_(crp::testing::makeTinyDatabase()), graph_(db_) {}
+  db::Database db_;
+  RoutingGraph graph_;
+};
+
+TEST_F(RoutingGraphTest, DimensionsMatchDesign) {
+  EXPECT_EQ(graph_.numLayers(), 4);
+  EXPECT_EQ(graph_.grid().countX(), 10);
+  EXPECT_EQ(graph_.grid().countY(), 5);
+  EXPECT_EQ(graph_.layerDir(0), db::LayerDir::kHorizontal);
+  EXPECT_EQ(graph_.layerDir(1), db::LayerDir::kVertical);
+}
+
+TEST_F(RoutingGraphTest, CapacityFromTracks) {
+  // Tiny db: die 1000x500, gcell 100x100, pitch 20 -> 5 tracks per
+  // gcell span on every layer.
+  EXPECT_DOUBLE_EQ(graph_.capacity(WireEdge{0, 0, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(graph_.capacity(WireEdge{1, 0, 0}), 5.0);
+  EXPECT_GE(graph_.viaCapacity(ViaEdge{0, 3, 3}), 1.0);
+}
+
+TEST_F(RoutingGraphTest, ValidityChecks) {
+  EXPECT_TRUE(graph_.validWireEdge(WireEdge{0, 8, 4}));
+  EXPECT_FALSE(graph_.validWireEdge(WireEdge{0, 9, 0}));  // H: x < countX-1
+  EXPECT_TRUE(graph_.validWireEdge(WireEdge{1, 9, 3}));
+  EXPECT_FALSE(graph_.validWireEdge(WireEdge{1, 0, 4}));  // V: y < countY-1
+  EXPECT_FALSE(graph_.validWireEdge(WireEdge{7, 0, 0}));
+  EXPECT_TRUE(graph_.validNode(GPoint{3, 9, 4}));
+  EXPECT_FALSE(graph_.validNode(GPoint{4, 0, 0}));
+}
+
+TEST_F(RoutingGraphTest, ApplyRouteUpdatesDemandAndStats) {
+  NetRoute route;
+  route.net = 0;
+  route.routed = true;
+  route.segments.push_back({GPoint{0, 1, 0}, GPoint{0, 4, 0}});
+  route.segments.push_back({GPoint{0, 4, 0}, GPoint{1, 4, 0}});
+  route.segments.push_back({GPoint{1, 4, 0}, GPoint{1, 4, 2}});
+
+  graph_.applyRoute(route, +1);
+  EXPECT_DOUBLE_EQ(graph_.wireUsage(WireEdge{0, 1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(graph_.wireUsage(WireEdge{0, 3, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(graph_.wireUsage(WireEdge{1, 4, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(graph_.viaUsage(ViaEdge{0, 4, 0}), 1.0);
+  EXPECT_EQ(graph_.viaCount(GPoint{0, 4, 0}), 1);
+  EXPECT_EQ(graph_.viaCount(GPoint{1, 4, 0}), 1);
+  EXPECT_EQ(graph_.totalVias(), 1);
+  EXPECT_EQ(graph_.totalWireDbu(), 3 * 100 + 2 * 100);
+
+  graph_.applyRoute(route, -1);
+  EXPECT_DOUBLE_EQ(graph_.wireUsage(WireEdge{0, 1, 0}), 0.0);
+  EXPECT_EQ(graph_.totalVias(), 0);
+  EXPECT_EQ(graph_.totalWireDbu(), 0);
+  EXPECT_EQ(graph_.viaCount(GPoint{0, 4, 0}), 0);
+}
+
+TEST_F(RoutingGraphTest, DemandIncludesViaEstimate) {
+  // Eq. 9: with one via at each endpoint of an edge, D_e gains
+  // beta * sqrt((1+1)/2) = 1.5.
+  NetRoute route;
+  route.segments.push_back({GPoint{0, 2, 2}, GPoint{1, 2, 2}});
+  graph_.applyRoute(route, +1);
+  NetRoute route2;
+  route2.segments.push_back({GPoint{0, 3, 2}, GPoint{1, 3, 2}});
+  graph_.applyRoute(route2, +1);
+  const double demand = graph_.demand(WireEdge{0, 2, 2});
+  EXPECT_NEAR(demand, 1.5 * std::sqrt(1.0), 1e-9);
+}
+
+TEST_F(RoutingGraphTest, LogisticPenaltyAtCapacityIsHalf) {
+  // Saturate an edge to exactly its capacity and check the cost is
+  // Unit * Dist * 1.5 (penalty 0.5 at D == C).
+  const WireEdge e{2, 4, 2};
+  const double cap = graph_.capacity(e);
+  NetRoute route;
+  route.segments.push_back({GPoint{2, 4, 2}, GPoint{2, 5, 2}});
+  for (int i = 0; i < static_cast<int>(cap); ++i) {
+    graph_.applyRoute(route, +1);
+  }
+  const double dist = static_cast<double>(graph_.wireEdgeDist(e)) /
+                      static_cast<double>(graph_.pitchUnit());
+  EXPECT_NEAR(graph_.wireEdgeCost(e), 0.5 * dist * 1.5, 1e-9);
+}
+
+TEST_F(RoutingGraphTest, CostIncreasesWithCongestion) {
+  const WireEdge e{0, 5, 2};
+  const double before = graph_.wireEdgeCost(e);
+  NetRoute route;
+  route.segments.push_back({GPoint{0, 5, 2}, GPoint{0, 6, 2}});
+  for (int i = 0; i < 25; ++i) graph_.applyRoute(route, +1);
+  const double after = graph_.wireEdgeCost(e);
+  EXPECT_GT(after, before);
+  // Far above capacity the penalty saturates at 1 -> cost = 2x base.
+  const double distUnits = static_cast<double>(graph_.wireEdgeDist(e)) /
+                           static_cast<double>(graph_.pitchUnit());
+  EXPECT_NEAR(after, 2.0 * 0.5 * distUnits, 1e-4);
+}
+
+TEST_F(RoutingGraphTest, CongestionPenaltyCanBeDisabled) {
+  CostConfig config;
+  config.congestionPenalty = false;
+  graph_.setConfig(config);
+  const WireEdge e{0, 5, 2};
+  NetRoute route;
+  route.segments.push_back({GPoint{0, 5, 2}, GPoint{0, 6, 2}});
+  for (int i = 0; i < 20; ++i) graph_.applyRoute(route, +1);
+  EXPECT_DOUBLE_EQ(graph_.wireEdgeCost(e),
+                   0.5 * static_cast<double>(graph_.wireEdgeDist(e)) /
+                       static_cast<double>(graph_.pitchUnit()));
+}
+
+TEST_F(RoutingGraphTest, OverflowAndStats) {
+  const WireEdge e{0, 0, 0};
+  const double cap = graph_.capacity(e);
+  NetRoute route;
+  route.segments.push_back({GPoint{0, 0, 0}, GPoint{0, 1, 0}});
+  for (int i = 0; i < static_cast<int>(cap) + 3; ++i) {
+    graph_.applyRoute(route, +1);
+  }
+  EXPECT_NEAR(graph_.overflow(e), 3.0, 1e-9);
+  const auto stats = graph_.congestionStats();
+  EXPECT_EQ(stats.overflowedEdges, 1);
+  EXPECT_NEAR(stats.totalOverflow, 3.0, 1e-9);
+  EXPECT_NEAR(stats.maxOverflow, 3.0, 1e-9);
+  EXPECT_GT(stats.totalEdges, 100);
+}
+
+TEST_F(RoutingGraphTest, BlockagesChargeFixedUsage) {
+  auto db = crp::testing::makeTinyDatabase();
+  // Blockage covering gcell (0,0) fully on layer 0.
+  db.mutableDesign().blockages.push_back(
+      db::Blockage{0, geom::Rect{0, 0, 100, 100}});
+  RoutingGraph blocked(db);
+  EXPECT_GT(blocked.fixedUsage(WireEdge{0, 0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(blocked.fixedUsage(WireEdge{0, 5, 3}), 0.0);
+}
+
+// ---- PatternRouter -----------------------------------------------------------
+
+class PatternRouteTest : public ::testing::Test {
+ protected:
+  PatternRouteTest()
+      : db_(crp::testing::makeTinyDatabase()), graph_(db_),
+        router_(graph_) {}
+  db::Database db_;
+  RoutingGraph graph_;
+  PatternRouter router_;
+};
+
+TEST_F(PatternRouteTest, SameColumnIsViaStack) {
+  const auto result = router_.routeTwoPin(GPoint{0, 3, 3}, GPoint{2, 3, 3});
+  ASSERT_TRUE(result.ok);
+  ASSERT_EQ(result.segments.size(), 1u);
+  EXPECT_TRUE(result.segments[0].isVia());
+  EXPECT_NEAR(result.cost, 2 * 2.0 * 1.0, 1.0);  // 2 via edges, low congestion
+}
+
+TEST_F(PatternRouteTest, AlignedRouteUsesMatchingLayer) {
+  const auto result = router_.routeTwoPin(GPoint{0, 1, 2}, GPoint{0, 6, 2});
+  ASSERT_TRUE(result.ok);
+  // All wire segments must run horizontally on horizontal layers.
+  int wires = 0;
+  for (const auto& seg : result.segments) {
+    if (!seg.isVia()) {
+      ++wires;
+      EXPECT_EQ(graph_.layerDir(seg.a.layer), db::LayerDir::kHorizontal);
+      EXPECT_EQ(seg.a.y, seg.b.y);
+    }
+  }
+  EXPECT_GE(wires, 1);
+}
+
+TEST_F(PatternRouteTest, LShapeConnectsAndIsConnected) {
+  const auto result = router_.routeTwoPin(GPoint{0, 1, 1}, GPoint{0, 7, 4});
+  ASSERT_TRUE(result.ok);
+  NetRoute route;
+  route.routed = true;
+  route.segments = result.segments;
+  EXPECT_TRUE(routeConnectsTerminals(
+      route, {GPoint{0, 1, 1}, GPoint{0, 7, 4}}));
+  EXPECT_TRUE(graph_.routeInBounds(route));
+}
+
+TEST_F(PatternRouteTest, CostMatchesIndependentPricing) {
+  // The result cost must equal re-pricing the emitted segments on the
+  // same (uncommitted) graph.
+  const auto result = router_.routeTwoPin(GPoint{0, 0, 0}, GPoint{0, 8, 4});
+  ASSERT_TRUE(result.ok);
+  double priced = 0.0;
+  for (const auto& rawSeg : result.segments) {
+    const auto seg = normalized(rawSeg);
+    if (seg.isVia()) {
+      for (int l = seg.a.layer; l < seg.b.layer; ++l) {
+        priced += graph_.viaEdgeCost(ViaEdge{l, seg.a.x, seg.a.y});
+      }
+    } else if (seg.a.x != seg.b.x) {
+      for (int x = seg.a.x; x < seg.b.x; ++x) {
+        priced += graph_.wireEdgeCost(WireEdge{seg.a.layer, x, seg.a.y});
+      }
+    } else {
+      for (int y = seg.a.y; y < seg.b.y; ++y) {
+        priced += graph_.wireEdgeCost(WireEdge{seg.a.layer, seg.a.x, y});
+      }
+    }
+  }
+  EXPECT_NEAR(result.cost, priced, 1e-9);
+}
+
+TEST_F(PatternRouteTest, AvoidsCongestedCorridor) {
+  // Saturate the straight corridor on ALL horizontal layers at row 2;
+  // a Z/L detour must win.
+  for (int layer = 0; layer < 4; layer += 2) {
+    for (int x = 2; x < 6; ++x) {
+      NetRoute jam;
+      jam.segments.push_back(
+          {GPoint{layer, x, 2}, GPoint{layer, x + 1, 2}});
+      for (int i = 0; i < 12; ++i) graph_.applyRoute(jam, +1);
+    }
+  }
+  const auto result = router_.routeTwoPin(GPoint{0, 1, 2}, GPoint{0, 7, 2});
+  ASSERT_TRUE(result.ok);
+  // The straight path would cost >= 6 edges * (0.5*100*2) = 600 on the
+  // saturated rows; the detour must be cheaper than that.
+  EXPECT_LT(result.cost, 600.0);
+}
+
+TEST_F(PatternRouteTest, TreeRouteCoversAllTerminals) {
+  const std::vector<GPoint> terminals{
+      GPoint{0, 1, 1}, GPoint{0, 8, 1}, GPoint{0, 4, 4}, GPoint{0, 8, 4}};
+  const auto result = router_.routeTree(terminals);
+  ASSERT_TRUE(result.ok);
+  NetRoute route;
+  route.routed = true;
+  route.segments = result.segments;
+  EXPECT_TRUE(routeConnectsTerminals(route, terminals));
+  EXPECT_TRUE(graph_.routeInBounds(route));
+}
+
+TEST_F(PatternRouteTest, PriceTreeMatchesRouteTreeCost) {
+  const std::vector<GPoint> terminals{GPoint{0, 0, 0}, GPoint{0, 9, 4},
+                                      GPoint{0, 5, 2}};
+  EXPECT_NEAR(router_.priceTree(terminals),
+              router_.routeTree(terminals).cost, 1e-9);
+}
+
+// ---- MazeRouter -----------------------------------------------------------
+
+class MazeRouteTest : public ::testing::Test {
+ protected:
+  MazeRouteTest()
+      : db_(crp::testing::makeTinyDatabase()), graph_(db_), maze_(graph_) {}
+  db::Database db_;
+  RoutingGraph graph_;
+  MazeRouter maze_;
+};
+
+TEST_F(MazeRouteTest, FindsStraightRoute) {
+  const std::vector<GPoint> terminals{GPoint{0, 1, 2}, GPoint{0, 6, 2}};
+  const auto result = maze_.routeTree(terminals);
+  ASSERT_TRUE(result.ok);
+  NetRoute route;
+  route.routed = true;
+  route.segments = result.segments;
+  EXPECT_TRUE(routeConnectsTerminals(route, terminals));
+  EXPECT_TRUE(graph_.routeInBounds(route));
+}
+
+TEST_F(MazeRouteTest, MultiTerminalTreeIsConnected) {
+  const std::vector<GPoint> terminals{
+      GPoint{0, 0, 0}, GPoint{0, 9, 0}, GPoint{0, 0, 4}, GPoint{0, 9, 4},
+      GPoint{0, 5, 2}};
+  const auto result = maze_.routeTree(terminals);
+  ASSERT_TRUE(result.ok);
+  NetRoute route;
+  route.routed = true;
+  route.segments = result.segments;
+  EXPECT_TRUE(routeConnectsTerminals(route, terminals));
+}
+
+TEST_F(MazeRouteTest, MazeNeverBeatenByItselfAfterDetour) {
+  // Maze route must be at least as cheap as the pattern route on the
+  // same graph state (it searches a superset of the pattern paths,
+  // modulo box clipping).
+  PatternRouter pattern(graph_);
+  const std::vector<GPoint> terminals{GPoint{0, 1, 1}, GPoint{0, 8, 3}};
+  const auto mazeResult = maze_.routeTree(terminals);
+  const auto patternResult = pattern.routeTree(terminals);
+  ASSERT_TRUE(mazeResult.ok);
+  ASSERT_TRUE(patternResult.ok);
+  EXPECT_LE(mazeResult.cost, patternResult.cost + 1e-6);
+}
+
+TEST_F(MazeRouteTest, SingleTerminalTrivial) {
+  const auto result = maze_.routeTree({GPoint{0, 3, 3}});
+  EXPECT_TRUE(result.ok);
+  EXPECT_TRUE(result.segments.empty());
+}
+
+// ---- GlobalRouter -----------------------------------------------------------
+
+TEST(GlobalRouter, RoutesTinyDesignWithNoOpens) {
+  const auto db = crp::testing::makeTinyDatabase();
+  GlobalRouter router(db);
+  const auto stats = router.run();
+  EXPECT_EQ(stats.openNets, 0);
+  EXPECT_GT(stats.wirelengthDbu, 0);
+  for (db::NetId n = 0; n < db.numNets(); ++n) {
+    const auto terminals = router.netTerminals(n);
+    if (terminals.size() < 2) continue;
+    EXPECT_TRUE(router.route(n).routed);
+    EXPECT_TRUE(routeConnectsTerminals(router.route(n), terminals));
+  }
+}
+
+TEST(GlobalRouter, RoutesGridDesign) {
+  const auto db = crp::testing::makeGridDatabase(12, 6);
+  GlobalRouter router(db);
+  const auto stats = router.run();
+  EXPECT_EQ(stats.openNets, 0);
+  // Every multi-terminal net connected.
+  for (db::NetId n = 0; n < db.numNets(); ++n) {
+    const auto terminals = router.netTerminals(n);
+    if (terminals.size() < 2) continue;
+    EXPECT_TRUE(routeConnectsTerminals(router.route(n), terminals))
+        << db.net(n).name;
+  }
+}
+
+TEST(GlobalRouter, RipUpRemovesDemandExactly) {
+  const auto db = crp::testing::makeGridDatabase(8, 4);
+  GlobalRouter router(db);
+  router.run();
+  const auto wireBefore = router.graph().totalWireDbu();
+  const auto viasBefore = router.graph().totalVias();
+  // Rip up and restore every net; totals must return exactly.
+  for (db::NetId n = 0; n < db.numNets(); ++n) router.ripUp(n);
+  EXPECT_EQ(router.graph().totalWireDbu(), 0);
+  EXPECT_EQ(router.graph().totalVias(), 0);
+  for (db::NetId n = 0; n < db.numNets(); ++n) router.rerouteNet(n);
+  EXPECT_GT(router.graph().totalWireDbu(), 0);
+  // Not necessarily equal (order effects), but same magnitude.
+  EXPECT_NEAR(static_cast<double>(router.graph().totalWireDbu()),
+              static_cast<double>(wireBefore), 0.5 * wireBefore);
+  (void)viasBefore;
+}
+
+TEST(GlobalRouter, NetCostPositiveForRoutedNets) {
+  const auto db = crp::testing::makeTinyDatabase();
+  GlobalRouter router(db);
+  router.run();
+  for (db::NetId n = 0; n < db.numNets(); ++n) {
+    if (router.route(n).routed && !router.route(n).segments.empty()) {
+      EXPECT_GT(router.netRouteCost(n), 0.0);
+    }
+  }
+}
+
+TEST(GlobalRouter, GuidesCoverEveryRoutedNetAndItsPins) {
+  const auto db = crp::testing::makeTinyDatabase();
+  GlobalRouter router(db);
+  router.run();
+  const auto guides = router.buildGuides();
+  ASSERT_EQ(guides.size(), static_cast<std::size_t>(db.numNets()));
+  for (db::NetId n = 0; n < db.numNets(); ++n) {
+    EXPECT_EQ(guides[n].net, db.net(n).name);
+    for (const db::NetPin& pin : db.net(n).pins) {
+      const auto pos = db.pinPosition(pin);
+      bool covered = false;
+      for (const auto& rect : guides[n].rects) {
+        if (rect.rect.containsClosed(pos)) covered = true;
+      }
+      EXPECT_TRUE(covered) << "pin of " << db.net(n).name << " not covered";
+    }
+  }
+}
+
+TEST(GlobalRouter, RerouteAfterCellMoveTracksNewPosition) {
+  auto db = crp::testing::makeTinyDatabase();
+  GlobalRouter router(db);
+  router.run();
+  const auto before = router.netTerminals(0);
+  db.moveCell(0, geom::Point{900, 400});
+  router.rerouteNet(0);
+  router.rerouteNet(2);  // other net of c0
+  const auto after = router.netTerminals(0);
+  EXPECT_NE(before, after);
+  EXPECT_TRUE(routeConnectsTerminals(router.route(0), after));
+}
+
+TEST(GlobalRouter, DeterministicAcrossRuns) {
+  const auto db = crp::testing::makeGridDatabase(10, 5);
+  groute::GlobalRouter a(db);
+  groute::GlobalRouter b(db);
+  const auto sa = a.run();
+  const auto sb = b.run();
+  EXPECT_EQ(sa.wirelengthDbu, sb.wirelengthDbu);
+  EXPECT_EQ(sa.vias, sb.vias);
+  for (db::NetId n = 0; n < db.numNets(); ++n) {
+    EXPECT_EQ(a.route(n).segments, b.route(n).segments) << db.net(n).name;
+  }
+}
+
+TEST(GlobalRouter, TerminalsDeduplicated) {
+  const auto db = crp::testing::makeTinyDatabase();
+  GlobalRouter router(db);
+  for (db::NetId n = 0; n < db.numNets(); ++n) {
+    auto terminals = router.netTerminals(n);
+    auto sorted = terminals;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                sorted.end());
+    EXPECT_EQ(terminals, sorted);  // returned sorted
+  }
+}
+
+TEST(PatternRouteLayers, CongestionPushesRoutesUpward) {
+  // Saturate layer 0 along a row; the router must prefer layer 2 (the
+  // other horizontal layer) for a straight connection on that row.
+  const auto db = crp::testing::makeTinyDatabase();
+  RoutingGraph graph(db);
+  for (int x = 0; x < 9; ++x) {
+    NetRoute jam;
+    jam.segments.push_back({GPoint{0, x, 1}, GPoint{0, x + 1, 1}});
+    for (int i = 0; i < 15; ++i) graph.applyRoute(jam, +1);
+  }
+  PatternRouter router(graph);
+  const auto result = router.routeTwoPin(GPoint{0, 0, 1}, GPoint{0, 9, 1});
+  ASSERT_TRUE(result.ok);
+  bool usedUpperLayer = false;
+  for (const auto& seg : result.segments) {
+    if (!seg.isVia() && seg.a.layer >= 2) usedUpperLayer = true;
+    if (!seg.isVia() && seg.a.layer == 0) {
+      // Any layer-0 run must be short (access stubs), not the trunk.
+      EXPECT_LE(std::abs(seg.a.x - seg.b.x), 2);
+    }
+  }
+  EXPECT_TRUE(usedUpperLayer);
+}
+
+TEST(RoutingGraphTest2, RouteInBoundsRejectsWrongDirection) {
+  const auto db = crp::testing::makeTinyDatabase();
+  RoutingGraph graph(db);
+  NetRoute bad;
+  bad.segments.push_back({GPoint{0, 2, 0}, GPoint{0, 2, 3}});  // V on H layer
+  EXPECT_FALSE(graph.routeInBounds(bad));
+  NetRoute diagonal;
+  diagonal.segments.push_back({GPoint{0, 0, 0}, GPoint{0, 3, 3}});
+  EXPECT_FALSE(graph.routeInBounds(diagonal));
+  NetRoute viaMoved;
+  viaMoved.segments.push_back({GPoint{0, 0, 0}, GPoint{1, 1, 0}});
+  EXPECT_FALSE(graph.routeInBounds(viaMoved));
+}
+
+}  // namespace
+}  // namespace crp::groute\n

@@ -1,0 +1,149 @@
+// Shared builders for unit tests: a tiny hand-made design with known
+// geometry so expectations can be computed by hand.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "db/database.hpp"
+
+namespace crp::testing {
+
+/// Adds preferred-direction track grids covering the die for every
+/// routing layer of `tech`.
+inline void addDefaultTracks(crp::db::Design& design,
+                             const crp::db::Tech& tech) {
+  for (int l = 0; l < tech.numLayers(); ++l) {
+    const auto& layer = tech.layer(l);
+    crp::db::TrackGrid grid;
+    grid.layer = l;
+    grid.dir = layer.dir;
+    grid.step = layer.pitch;
+    if (layer.dir == crp::db::LayerDir::kHorizontal) {
+      grid.start = design.dieArea.ylo + layer.offset;
+      grid.count = static_cast<int>(
+          (design.dieArea.height() - layer.offset + layer.pitch - 1) /
+          layer.pitch);
+    } else {
+      grid.start = design.dieArea.xlo + layer.offset;
+      grid.count = static_cast<int>(
+          (design.dieArea.width() - layer.offset + layer.pitch - 1) /
+          layer.pitch);
+    }
+    design.tracks.push_back(grid);
+  }
+}
+
+/// Builds a database with:
+///  - default 4-layer tech, site 10 x 100, pitch 20
+///  - die 1000 x 500, 5 rows of 100 sites
+///  - 4 single-site cells (c0..c3) on known positions
+///  - nets: n0 = {c0, c1}, n1 = {c1, c2, c3}, n2 = {c0, io0}
+///  - one IO pin at (0, 250) on layer 0
+inline db::Database makeTinyDatabase() {
+  using namespace crp::db;
+  using geom::Point;
+  using geom::Rect;
+
+  Tech tech = Tech::makeDefault(/*numLayers=*/4, /*pitch=*/20, /*width=*/6,
+                                /*spacing=*/8, /*minArea=*/120,
+                                /*siteWidth=*/10, /*rowHeight=*/100);
+  Library lib = Library::makeDefault(10, 100, /*pinLayer=*/0);
+  const int inv = *lib.findMacro("INV_X1");
+
+  Design design;
+  design.name = "tiny";
+  design.dieArea = Rect{0, 0, 1000, 500};
+  for (int r = 0; r < 5; ++r) {
+    design.rows.push_back(Row{"row" + std::to_string(r), Point{0, 100 * r},
+                              100, geom::Orientation::kN});
+  }
+  design.gcellCountX = 10;
+  design.gcellCountY = 5;
+  addDefaultTracks(design, tech);
+
+  auto addCell = [&](const std::string& name, Point pos) {
+    Component c;
+    c.name = name;
+    c.macro = inv;
+    c.pos = pos;
+    design.components.push_back(c);
+  };
+  addCell("c0", Point{100, 0});
+  addCell("c1", Point{500, 100});
+  addCell("c2", Point{800, 300});
+  addCell("c3", Point{200, 400});
+
+  design.ioPins.push_back(IoPin{"io0", Point{0, 250}, 0,
+                                Rect{0, 245, 10, 255}});
+
+  auto addNet = [&](const std::string& name,
+                    std::vector<NetPin> pins) {
+    Net net;
+    net.name = name;
+    net.pins = std::move(pins);
+    design.nets.push_back(net);
+  };
+  // INV_X1 pins: 0 = A (input), 1 = Y (output)
+  addNet("n0", {NetPin{CompPinRef{0, 1}}, NetPin{CompPinRef{1, 0}}});
+  addNet("n1", {NetPin{CompPinRef{1, 1}}, NetPin{CompPinRef{2, 0}},
+                NetPin{CompPinRef{3, 0}}});
+  addNet("n2", {NetPin{CompPinRef{0, 0}}, NetPin{IoPinId{0}}});
+
+  return Database(std::move(tech), std::move(lib), std::move(design));
+}
+
+/// Builds a denser design for router tests: `cols` x `rows` grid of
+/// NAND2 cells on a 6-layer stack, a serpentine chain Y(i) -> A(i+1)
+/// plus periodic fan-out to the B pin one row up.  Every pin belongs to
+/// exactly one net (valid single-driver netlist); deterministic.
+inline db::Database makeGridDatabase(int cols, int rows) {
+  using namespace crp::db;
+  using geom::Point;
+  using geom::Rect;
+
+  const Coord siteW = 10;
+  const Coord rowH = 100;
+  const Coord cellPitchX = 40;  // 2-site cell per 4 sites: 50% utilization
+  Tech tech = Tech::makeDefault(/*numLayers=*/6, /*pitch=*/20, /*width=*/6,
+                                /*spacing=*/8, /*minArea=*/120, siteW, rowH);
+  Library lib = Library::makeDefault(siteW, rowH, /*pinLayer=*/0);
+  const int nand = *lib.findMacro("NAND2_X1");
+
+  Design design;
+  design.name = "grid";
+  design.dieArea = Rect{0, 0, cols * cellPitchX, rows * rowH};
+  for (int r = 0; r < rows; ++r) {
+    design.rows.push_back(Row{"row" + std::to_string(r), Point{0, rowH * r},
+                              static_cast<int>(cols * cellPitchX / siteW),
+                              geom::Orientation::kN});
+  }
+  design.gcellCountX = std::max(2, cols / 2);
+  design.gcellCountY = std::max(2, rows);
+  addDefaultTracks(design, tech);
+
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      Component comp;
+      comp.name = "g" + std::to_string(r) + "_" + std::to_string(c);
+      comp.macro = nand;
+      comp.pos = Point{c * cellPitchX, r * rowH};
+      design.components.push_back(comp);
+    }
+  }
+  // NAND2 pins: 0 = A, 1 = B, 2 = Y.
+  const int n = rows * cols;
+  for (int i = 0; i + 1 < n; ++i) {
+    Net net;
+    net.name = "net_" + std::to_string(i);
+    net.pins.push_back(NetPin{CompPinRef{i, 2}});      // Y(i)
+    net.pins.push_back(NetPin{CompPinRef{i + 1, 0}});  // A(i+1)
+    if (i % 5 == 0 && i + cols < n) {
+      net.pins.push_back(NetPin{CompPinRef{i + cols, 1}});  // B one row up
+    }
+    design.nets.push_back(net);
+  }
+  return Database(std::move(tech), std::move(lib), std::move(design));
+}
+
+}  // namespace crp::testing

@@ -1,0 +1,405 @@
+// Tests for the LP/ILP solver: hand-checked LPs, classic integer
+// instances, and a randomized brute-force equivalence sweep.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "ilp/model.hpp"
+#include "ilp/simplex.hpp"
+#include "ilp/solver.hpp"
+#include "util/rng.hpp"
+
+namespace crp::ilp {
+namespace {
+
+// ---- Model -----------------------------------------------------------------
+
+TEST(Model, RejectsBadBoundsAndUnknownVars) {
+  Model m;
+  EXPECT_THROW(m.addVariable(2.0, 1.0, 0.0, false), std::invalid_argument);
+  m.addBinary(1.0);
+  LinearExpr expr;
+  expr.add(5, 1.0);
+  EXPECT_THROW(m.addConstraint(expr, Sense::kLessEqual, 1.0),
+               std::out_of_range);
+}
+
+TEST(Model, FeasibilityCheck) {
+  Model m;
+  const int x = m.addBinary(1.0);
+  const int y = m.addBinary(1.0);
+  m.addPacking({x, y});
+  EXPECT_TRUE(m.isFeasible({1.0, 0.0}));
+  EXPECT_FALSE(m.isFeasible({1.0, 1.0}));
+  EXPECT_FALSE(m.isFeasible({0.5, 0.0}));  // integrality
+  EXPECT_FALSE(m.isFeasible({-1.0, 0.0}));
+}
+
+TEST(Model, ObjectiveValue) {
+  Model m;
+  m.addVariable(0, 10, 2.0, false);
+  m.addVariable(0, 10, -3.0, false);
+  EXPECT_DOUBLE_EQ(m.objectiveValue({4.0, 1.0}), 5.0);
+}
+
+// ---- simplex -----------------------------------------------------------------
+
+TEST(Simplex, SolvesTextbookLp) {
+  // min -3x - 5y  s.t. x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0.
+  // Optimum at (2, 6), objective -36.
+  Model m;
+  const int x = m.addVariable(0, 100, -3.0, false);
+  const int y = m.addVariable(0, 100, -5.0, false);
+  LinearExpr c1;
+  c1.add(x, 1.0);
+  m.addConstraint(c1, Sense::kLessEqual, 4.0);
+  LinearExpr c2;
+  c2.add(y, 2.0);
+  m.addConstraint(c2, Sense::kLessEqual, 12.0);
+  LinearExpr c3;
+  c3.add(x, 3.0);
+  c3.add(y, 2.0);
+  m.addConstraint(c3, Sense::kLessEqual, 18.0);
+
+  const LpResult result = solveLp(m);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.objective, -36.0, 1e-6);
+  EXPECT_NEAR(result.x[x], 2.0, 1e-6);
+  EXPECT_NEAR(result.x[y], 6.0, 1e-6);
+}
+
+TEST(Simplex, HandlesEqualityAndGreaterEqual) {
+  // min x + y  s.t. x + y >= 3, x - y == 1  =>  x = 2, y = 1.
+  Model m;
+  const int x = m.addVariable(0, 100, 1.0, false);
+  const int y = m.addVariable(0, 100, 1.0, false);
+  LinearExpr ge;
+  ge.add(x, 1.0);
+  ge.add(y, 1.0);
+  m.addConstraint(ge, Sense::kGreaterEqual, 3.0);
+  LinearExpr eq;
+  eq.add(x, 1.0);
+  eq.add(y, -1.0);
+  m.addConstraint(eq, Sense::kEqual, 1.0);
+
+  const LpResult result = solveLp(m);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.x[x], 2.0, 1e-6);
+  EXPECT_NEAR(result.x[y], 1.0, 1e-6);
+  EXPECT_NEAR(result.objective, 3.0, 1e-6);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  Model m;
+  const int x = m.addVariable(0, 10, 1.0, false);
+  LinearExpr c;
+  c.add(x, 1.0);
+  m.addConstraint(c, Sense::kGreaterEqual, 20.0);
+  EXPECT_EQ(solveLp(m).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  Model m;
+  const int x = m.addVariable(0, std::numeric_limits<double>::infinity(),
+                              -1.0, false);
+  LinearExpr c;
+  c.add(x, -1.0);
+  m.addConstraint(c, Sense::kLessEqual, 0.0);
+  EXPECT_EQ(solveLp(m).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, RespectsVariableUpperBounds) {
+  // min -x with x in [0, 7] and no constraints: x = 7.
+  Model m;
+  const int x = m.addVariable(0, 7, -1.0, false);
+  const LpResult result = solveLp(m);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.x[x], 7.0, 1e-6);
+}
+
+TEST(Simplex, RespectsNonzeroLowerBounds) {
+  // min x with x in [3, 10]: x = 3.
+  Model m;
+  const int x = m.addVariable(3, 10, 1.0, false);
+  const LpResult result = solveLp(m);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.x[x], 3.0, 1e-6);
+}
+
+TEST(Simplex, BoundOverridesFixVariables) {
+  Model m;
+  const int x = m.addBinary(-5.0);
+  const int y = m.addBinary(-3.0);
+  m.addPacking({x, y});
+  // Fix x = 0 via overrides; optimum should pick y.
+  const LpResult result = solveLp(m, {0.0, 0.0}, {0.0, 1.0});
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.x[x], 0.0, 1e-9);
+  EXPECT_NEAR(result.x[y], 1.0, 1e-6);
+}
+
+TEST(Simplex, DegenerateLpTerminates) {
+  // Multiple redundant constraints through the same vertex.
+  Model m;
+  const int x = m.addVariable(0, 100, -1.0, false);
+  const int y = m.addVariable(0, 100, -1.0, false);
+  for (int k = 1; k <= 6; ++k) {
+    LinearExpr c;
+    c.add(x, static_cast<double>(k));
+    c.add(y, static_cast<double>(k));
+    m.addConstraint(c, Sense::kLessEqual, 10.0 * k);
+  }
+  const LpResult result = solveLp(m);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.x[x] + result.x[y], 10.0, 1e-6);
+}
+
+// ---- ILP -----------------------------------------------------------------
+
+TEST(Ilp, SolvesKnapsack) {
+  // max 10a + 13b + 7c st 3a + 4b + 2c <= 6  (min of negated)
+  // best: a + c (17) vs b + c (20) -> b + c.
+  Model m;
+  const int a = m.addBinary(-10.0);
+  const int b = m.addBinary(-13.0);
+  const int c = m.addBinary(-7.0);
+  LinearExpr w;
+  w.add(a, 3.0);
+  w.add(b, 4.0);
+  w.add(c, 2.0);
+  m.addConstraint(w, Sense::kLessEqual, 6.0);
+
+  const IlpResult result = solveIlp(m);
+  ASSERT_EQ(result.status, IlpStatus::kOptimal);
+  EXPECT_NEAR(result.objective, -20.0, 1e-6);
+  EXPECT_NEAR(result.x[a], 0.0, 1e-9);
+  EXPECT_NEAR(result.x[b], 1.0, 1e-9);
+  EXPECT_NEAR(result.x[c], 1.0, 1e-9);
+}
+
+TEST(Ilp, SolvesAssignmentWithOneHots) {
+  // Two cells, two positions each, position conflicts: the classic
+  // shape of the paper's Eq. 12 model.
+  Model m;
+  const int c0p0 = m.addBinary(5.0);
+  const int c0p1 = m.addBinary(1.0);
+  const int c1p0 = m.addBinary(1.0);
+  const int c1p1 = m.addBinary(5.0);
+  m.addOneHot({c0p0, c0p1});
+  m.addOneHot({c1p0, c1p1});
+  // Both "cheap" choices collide on the same slot.
+  m.addPacking({c0p1, c1p0});
+
+  const IlpResult result = solveIlp(m);
+  ASSERT_EQ(result.status, IlpStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 6.0, 1e-6);
+  // Exactly one of the two cheap vars is chosen.
+  EXPECT_NEAR(result.x[c0p1] + result.x[c1p0], 1.0, 1e-9);
+}
+
+TEST(Ilp, InfeasibleModelDetected) {
+  Model m;
+  const int x = m.addBinary(1.0);
+  const int y = m.addBinary(1.0);
+  LinearExpr c;
+  c.add(x, 1.0);
+  c.add(y, 1.0);
+  m.addConstraint(c, Sense::kGreaterEqual, 3.0);  // impossible for binaries
+  EXPECT_EQ(solveIlp(m).status, IlpStatus::kInfeasible);
+}
+
+TEST(Ilp, GeneralIntegerVariables) {
+  // min -x - y st 2x + y <= 7, x + 3y <= 9, x,y integer in [0,5].
+  // LP optimum fractional; integer optimum: check exhaustively = 4
+  // at e.g. (3,1) or (2,2).
+  Model m;
+  const int x = m.addVariable(0, 5, -1.0, true);
+  const int y = m.addVariable(0, 5, -1.0, true);
+  LinearExpr c1;
+  c1.add(x, 2.0);
+  c1.add(y, 1.0);
+  m.addConstraint(c1, Sense::kLessEqual, 7.0);
+  LinearExpr c2;
+  c2.add(x, 1.0);
+  c2.add(y, 3.0);
+  m.addConstraint(c2, Sense::kLessEqual, 9.0);
+
+  const IlpResult result = solveIlp(m);
+  ASSERT_EQ(result.status, IlpStatus::kOptimal);
+  EXPECT_NEAR(result.objective, -4.0, 1e-6);
+  EXPECT_TRUE(m.isFeasible(result.x));
+}
+
+TEST(Ilp, MixedIntegerContinuous) {
+  // min x + 2b st x + b >= 1.5, x continuous >= 0, b binary.
+  // b=1 -> x=0.5 cost 2.5 ; b=0 -> x=1.5 cost 1.5.  Optimum 1.5.
+  Model m;
+  const int x = m.addVariable(0, 10, 1.0, false);
+  const int b = m.addBinary(2.0);
+  LinearExpr c;
+  c.add(x, 1.0);
+  c.add(b, 1.0);
+  m.addConstraint(c, Sense::kGreaterEqual, 1.5);
+
+  const IlpResult result = solveIlp(m);
+  ASSERT_EQ(result.status, IlpStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 1.5, 1e-6);
+  EXPECT_NEAR(result.x[b], 0.0, 1e-9);
+}
+
+// ---- randomized brute-force equivalence -------------------------------------
+
+/// Enumerates all binary assignments and returns the best feasible
+/// objective (infinity when none).
+double bruteForceBest(const Model& m) {
+  const int n = m.numVariables();
+  double best = std::numeric_limits<double>::infinity();
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    std::vector<double> x(n);
+    for (int i = 0; i < n; ++i) x[i] = (mask >> i) & 1;
+    if (m.isFeasible(x)) best = std::min(best, m.objectiveValue(x));
+  }
+  return best;
+}
+
+class IlpBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(IlpBruteForce, MatchesExhaustiveEnumeration) {
+  util::Rng rng(5000 + GetParam());
+  const int n = GetParam();
+  for (int trial = 0; trial < 30; ++trial) {
+    Model m;
+    for (int i = 0; i < n; ++i) {
+      m.addBinary(rng.uniform(-10.0, 10.0));
+    }
+    // Random packing / covering / equality rows over random subsets.
+    const int numRows = static_cast<int>(rng.uniformInt(1, 4));
+    for (int r = 0; r < numRows; ++r) {
+      LinearExpr expr;
+      for (int i = 0; i < n; ++i) {
+        if (rng.bernoulli(0.5)) expr.add(i, rng.uniform(0.5, 3.0));
+      }
+      if (expr.size() == 0) expr.add(0, 1.0);
+      const double kind = rng.uniform();
+      if (kind < 0.4) {
+        m.addConstraint(expr, Sense::kLessEqual, rng.uniform(0.5, 4.0));
+      } else if (kind < 0.8) {
+        m.addConstraint(expr, Sense::kGreaterEqual, rng.uniform(0.2, 2.0));
+      } else {
+        m.addConstraint(expr, Sense::kEqual, rng.uniform(0.5, 2.5));
+      }
+    }
+    const double expected = bruteForceBest(m);
+    const IlpResult result = solveIlp(m);
+    if (std::isinf(expected)) {
+      EXPECT_EQ(result.status, IlpStatus::kInfeasible) << "trial " << trial;
+    } else {
+      ASSERT_EQ(result.status, IlpStatus::kOptimal) << "trial " << trial;
+      EXPECT_NEAR(result.objective, expected, 1e-5) << "trial " << trial;
+      EXPECT_TRUE(m.isFeasible(result.x));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VarCounts, IlpBruteForce,
+                         ::testing::Values(3, 5, 8, 10, 12));
+
+// Scale smoke test shaped like the paper's legalizer ILP: 3 cells x 100
+// slots with one-hot + per-slot packing rows; must solve quickly and
+// exactly (each cell to its own zero-cost slot).
+TEST(IlpScale, LegalizerShapedModelSolvesFast) {
+  util::Rng rng(31337);
+  Model m;
+  const int cells = 3;
+  const int slots = 100;
+  std::vector<std::vector<int>> varOf(cells, std::vector<int>(slots));
+  for (int c = 0; c < cells; ++c) {
+    for (int s = 0; s < slots; ++s) {
+      // One known zero-cost slot per cell, distinct across cells.
+      const double cost = (s == c * 7) ? 0.0 : rng.uniform(1.0, 50.0);
+      varOf[c][s] = m.addBinary(cost);
+    }
+  }
+  for (int c = 0; c < cells; ++c) m.addOneHot(varOf[c]);
+  for (int s = 0; s < slots; ++s) {
+    m.addPacking({varOf[0][s], varOf[1][s], varOf[2][s]});
+  }
+  const IlpResult result = solveIlp(m);
+  ASSERT_EQ(result.status, IlpStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 0.0, 1e-6);
+  EXPECT_LT(result.nodesExplored, 50);
+}
+
+TEST(Ilp, NodeLimitReportsFeasibleOrAborted) {
+  // A model engineered to need branching, solved with maxNodes = 1.
+  util::Rng rng(777);
+  Model m;
+  const int n = 14;
+  for (int i = 0; i < n; ++i) m.addBinary(rng.uniform(-3.0, -1.0));
+  LinearExpr cap;
+  for (int i = 0; i < n; ++i) cap.add(i, rng.uniform(0.9, 1.8));
+  m.addConstraint(cap, Sense::kLessEqual, 3.7);
+  IlpOptions options;
+  options.maxNodes = 1;
+  const IlpResult result = solveIlp(m, options);
+  EXPECT_TRUE(result.status == IlpStatus::kFeasible ||
+              result.status == IlpStatus::kAborted ||
+              result.status == IlpStatus::kOptimal);
+  EXPECT_LE(result.nodesExplored, 1);
+}
+
+TEST(Ilp, PureEqualitySystem) {
+  // x + y == 1, y + z == 1, minimize x + 2y + 3z.
+  // Solutions: (1,0,1) cost 4; (0,1,0) cost 2.  Optimum 2.
+  Model m;
+  const int x = m.addBinary(1.0);
+  const int y = m.addBinary(2.0);
+  const int z = m.addBinary(3.0);
+  m.addOneHot({x, y});
+  m.addOneHot({y, z});
+  const IlpResult result = solveIlp(m);
+  ASSERT_EQ(result.status, IlpStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 2.0, 1e-9);
+  EXPECT_NEAR(result.x[y], 1.0, 1e-9);
+}
+
+TEST(Ilp, NegativeRhsNormalization) {
+  // -x - y <= -1  (i.e. x + y >= 1), minimize x + y: optimum 1.
+  Model m;
+  const int x = m.addBinary(1.0);
+  const int y = m.addBinary(1.0);
+  LinearExpr expr;
+  expr.add(x, -1.0);
+  expr.add(y, -1.0);
+  m.addConstraint(expr, Sense::kLessEqual, -1.0);
+  const IlpResult result = solveIlp(m);
+  ASSERT_EQ(result.status, IlpStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 1.0, 1e-9);
+}
+
+TEST(Ilp, ZeroVariableModel) {
+  Model m;
+  const IlpResult result = solveIlp(m);
+  EXPECT_EQ(result.status, IlpStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(result.objective, 0.0);
+}
+
+TEST(Ilp, FixedVariablesFoldIntoRhs) {
+  // x fixed at 1 by bounds; y free.  x + y <= 1 forces y = 0.
+  Model m;
+  const int x = m.addVariable(1.0, 1.0, -5.0, true);
+  const int y = m.addBinary(-3.0);
+  LinearExpr expr;
+  expr.add(x, 1.0);
+  expr.add(y, 1.0);
+  m.addConstraint(expr, Sense::kLessEqual, 1.0);
+  const IlpResult result = solveIlp(m);
+  ASSERT_EQ(result.status, IlpStatus::kOptimal);
+  EXPECT_NEAR(result.x[x], 1.0, 1e-9);
+  EXPECT_NEAR(result.x[y], 0.0, 1e-9);
+  EXPECT_NEAR(result.objective, -5.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace crp::ilp\n

@@ -1,0 +1,211 @@
+// Tests for the ILP-based legalizer: every produced candidate must be
+// legal, the displacement machinery must relocate conflict cells, and
+// options must bound the work done.
+#include <gtest/gtest.h>
+
+#include "db/legality.hpp"
+#include "legalizer/ilp_legalizer.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace crp::legalizer {
+namespace {
+
+using db::CellId;
+using geom::Point;
+
+TEST(Legalizer, ProducesCandidatesOnOpenDesign) {
+  const auto db = crp::testing::makeTinyDatabase();
+  IlpLegalizer legalizer(db);
+  const auto candidates = legalizer.generate(0);
+  EXPECT_FALSE(candidates.empty());
+  EXPECT_LE(candidates.size(),
+            static_cast<std::size_t>(legalizer.options().maxCandidates));
+}
+
+TEST(Legalizer, AllCandidatesAreLegal) {
+  const auto db = crp::testing::makeTinyDatabase();
+  IlpLegalizer legalizer(db);
+  for (CellId cell = 0; cell < db.numCells(); ++cell) {
+    for (const auto& candidate : legalizer.generate(cell)) {
+      EXPECT_TRUE(candidateIsLegal(db, cell, candidate))
+          << "cell " << cell << " at (" << candidate.position.x << ", "
+          << candidate.position.y << ")";
+    }
+  }
+}
+
+TEST(Legalizer, CandidatesExcludeCurrentPosition) {
+  const auto db = crp::testing::makeTinyDatabase();
+  IlpLegalizer legalizer(db);
+  for (const auto& candidate : legalizer.generate(1)) {
+    EXPECT_NE(candidate.position, db.cell(1).pos);
+  }
+}
+
+TEST(Legalizer, CandidatesSortedTowardMedian) {
+  const auto db = crp::testing::makeTinyDatabase();
+  IlpLegalizer legalizer(db);
+  const auto candidates = legalizer.generate(0);
+  ASSERT_GE(candidates.size(), 2u);
+  // Free-slot candidates are emitted in nondecreasing Eq. 11 cost.
+  const Point median = db.medianPosition(0);
+  double prev = -1.0;
+  for (const auto& candidate : candidates) {
+    if (!candidate.displaced.empty()) continue;
+    const double cost =
+        static_cast<double>(geom::manhattan(candidate.position, median));
+    EXPECT_GE(cost, prev);
+    prev = cost;
+  }
+}
+
+TEST(Legalizer, DisplacesConflictCellInPackedRow) {
+  // Build a dense packed row: cells shoulder to shoulder so any move
+  // must displace a neighbour.
+  using namespace crp::db;
+  Tech tech = Tech::makeDefault(4, 20, 6, 8, 120, 10, 100);
+  Library lib = Library::makeDefault(10, 100, 0);
+  const int inv = *lib.findMacro("INV_X1");
+  Design design;
+  design.name = "packed";
+  design.dieArea = geom::Rect{0, 0, 200, 100};
+  design.rows.push_back(Row{"r0", Point{0, 0}, 20, geom::Orientation::kN});
+  design.gcellCountX = 4;
+  design.gcellCountY = 1;
+  crp::testing::addDefaultTracks(design, tech);
+  // 20 sites; place 18 single-site cells at sites 0..17 (sites 18,19
+  // free at the right edge).
+  for (int i = 0; i < 18; ++i) {
+    Component c;
+    c.name = "p" + std::to_string(i);
+    c.macro = inv;
+    c.pos = Point{i * 10, 0};
+    design.components.push_back(c);
+  }
+  // A net pulling cell p0 to the right edge.
+  Net net;
+  net.name = "pull";
+  net.pins.push_back(NetPin{CompPinRef{0, 1}});
+  net.pins.push_back(NetPin{CompPinRef{17, 0}});
+  design.nets.push_back(net);
+  Database db(std::move(tech), std::move(lib), std::move(design));
+  ASSERT_TRUE(isPlacementLegal(db));
+
+  LegalizerOptions options;
+  options.numSites = 20;
+  options.numRows = 1;
+  IlpLegalizer legalizer(db, options);
+  const auto candidates = legalizer.generate(0);
+  ASSERT_FALSE(candidates.empty());
+  bool sawDisplacement = false;
+  for (const auto& candidate : candidates) {
+    EXPECT_TRUE(candidateIsLegal(db, 0, candidate));
+    if (!candidate.displaced.empty()) sawDisplacement = true;
+  }
+  EXPECT_TRUE(sawDisplacement);
+}
+
+TEST(Legalizer, RespectsFixedCells) {
+  auto db = crp::testing::makeTinyDatabase();
+  // Fix c1; candidates for c0 must never displace it.
+  db.mutableDesign().components[1].fixed = true;
+  IlpLegalizer legalizer(db);
+  for (const auto& candidate : legalizer.generate(0)) {
+    for (const auto& [id, pos] : candidate.displaced) {
+      EXPECT_NE(id, 1);
+    }
+  }
+}
+
+TEST(Legalizer, MaxCandidatesHonored) {
+  const auto db = crp::testing::makeTinyDatabase();
+  LegalizerOptions options;
+  options.maxCandidates = 2;
+  IlpLegalizer legalizer(db, options);
+  EXPECT_LE(legalizer.generate(2).size(), 2u);
+}
+
+TEST(Legalizer, WindowBoundsDisplacement) {
+  // Candidates (and displaced cells) stay inside the window around the
+  // cell: numSites * siteWidth wide, numRows rows tall.
+  const auto db = crp::testing::makeTinyDatabase();
+  LegalizerOptions options;
+  options.numSites = 8;
+  options.numRows = 3;
+  IlpLegalizer legalizer(db, options);
+  for (CellId cell = 0; cell < db.numCells(); ++cell) {
+    const auto center = db.cell(cell).pos;
+    for (const auto& candidate : legalizer.generate(cell)) {
+      EXPECT_LE(std::abs(candidate.position.x - center.x),
+                8 * db.siteWidth());
+      EXPECT_LE(std::abs(candidate.position.y - center.y),
+                3 * db.rowHeight());
+    }
+  }
+}
+
+// Property sweep: random dense rows; every candidate from every cell is
+// legal and inside the die.
+TEST(LegalizerProperty, RandomDenseRowsAlwaysLegal) {
+  util::Rng rng(2024);
+  for (int trial = 0; trial < 10; ++trial) {
+    using namespace crp::db;
+    Tech tech = Tech::makeDefault(4, 20, 6, 8, 120, 10, 100);
+    Library lib = Library::makeDefault(10, 100, 0);
+    Design design;
+    design.name = "rand";
+    design.dieArea = geom::Rect{0, 0, 400, 300};
+    for (int r = 0; r < 3; ++r) {
+      design.rows.push_back(Row{"r" + std::to_string(r), Point{0, 100 * r},
+                                40, geom::Orientation::kN});
+    }
+    design.gcellCountX = 4;
+    design.gcellCountY = 3;
+    crp::testing::addDefaultTracks(design, tech);
+    // Random non-overlapping placement, ~70% utilization.
+    int id = 0;
+    for (int r = 0; r < 3; ++r) {
+      Coord x = 0;
+      while (x < 400) {
+        const int macroId =
+            static_cast<int>(rng.uniformInt(0, lib.numMacros() - 1));
+        const auto& macro = lib.macro(macroId);
+        if (x + macro.width > 400) break;
+        if (rng.bernoulli(0.7)) {
+          Component c;
+          c.name = "c" + std::to_string(id++);
+          c.macro = macroId;
+          c.pos = Point{x, 100 * r};
+          design.components.push_back(c);
+          x += macro.width;
+        } else {
+          x += 10;
+        }
+      }
+    }
+    // A few random 2-pin nets to give cells medians.
+    const int numCells = static_cast<int>(design.components.size());
+    for (int i = 0; i + 1 < numCells; i += 3) {
+      Net net;
+      net.name = "n" + std::to_string(i);
+      net.pins.push_back(NetPin{CompPinRef{i, 0}});
+      net.pins.push_back(NetPin{
+          CompPinRef{static_cast<int>(rng.uniformInt(0, numCells - 1)), 1}});
+      design.nets.push_back(net);
+    }
+    Database db(std::move(tech), std::move(lib), std::move(design));
+    ASSERT_TRUE(isPlacementLegal(db)) << "trial " << trial;
+
+    IlpLegalizer legalizer(db);
+    for (CellId cell = 0; cell < std::min(db.numCells(), 12); ++cell) {
+      for (const auto& candidate : legalizer.generate(cell)) {
+        EXPECT_TRUE(candidateIsLegal(db, cell, candidate))
+            << "trial " << trial << " cell " << cell;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crp::legalizer

@@ -1,0 +1,261 @@
+// Unit tests for the util module: logger formatting, RNG determinism
+// and distribution sanity, timers, thread pool, string helpers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "util/logger.hpp"
+#include "util/rng.hpp"
+#include "util/string_util.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace crp::util {
+namespace {
+
+// ---- formatMessage -------------------------------------------------------
+
+TEST(FormatMessage, SubstitutesPositionalPlaceholders) {
+  EXPECT_EQ(formatMessage("a {} c {}", 1, "x"), "a 1 c x");
+}
+
+TEST(FormatMessage, NoPlaceholders) {
+  EXPECT_EQ(formatMessage("plain"), "plain");
+}
+
+TEST(FormatMessage, ExtraArgsIgnored) {
+  EXPECT_EQ(formatMessage("only {}", 1, 2, 3), "only 1");
+}
+
+TEST(FormatMessage, MissingArgsLeaveTail) {
+  EXPECT_EQ(formatMessage("{} and {}", 7), "7 and {}");
+}
+
+TEST(Logger, RespectsLevelThreshold) {
+  std::ostringstream sink;
+  Logger::instance().setStream(&sink);
+  Logger::instance().setLevel(LogLevel::kWarn);
+  CRP_LOG_INFO("hidden");
+  CRP_LOG_WARN("visible {}", 42);
+  Logger::instance().setStream(nullptr);
+  Logger::instance().setLevel(LogLevel::kInfo);
+  const std::string text = sink.str();
+  EXPECT_EQ(text.find("hidden"), std::string::npos);
+  EXPECT_NE(text.find("visible 42"), std::string::npos);
+}
+
+
+TEST(FormatMessage, AdjacentPlaceholders) {
+  EXPECT_EQ(formatMessage("{}{}", 1, 2), "12");
+}
+
+TEST(PhaseTimer, ClearResetsEverything) {
+  PhaseTimer timer;
+  timer.charge("a", 1.0);
+  timer.clear();
+  EXPECT_DOUBLE_EQ(timer.grandTotal(), 0.0);
+  EXPECT_TRUE(timer.phases().empty());
+}
+
+TEST(Logger, LevelRoundTrip) {
+  const auto saved = Logger::instance().level();
+  Logger::instance().setLevel(LogLevel::kError);
+  EXPECT_EQ(Logger::instance().level(), LogLevel::kError);
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kError));
+  Logger::instance().setLevel(saved);
+}
+
+// ---- Rng -----------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniformInt(3, 7));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 3);
+  EXPECT_EQ(*seen.rbegin(), 7);
+}
+
+TEST(Rng, UniformIntSingleValue) {
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniformInt(5, 5), 5);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, GeometricRespectsBounds) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const auto k = rng.geometric(2, 0.5, 10);
+    EXPECT_GE(k, 2);
+    EXPECT_LE(k, 10);
+  }
+}
+
+// ---- timers ----------------------------------------------------------------
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(watch.seconds(), 0.005);
+}
+
+TEST(PhaseTimer, AccumulatesPerPhase) {
+  PhaseTimer timer;
+  timer.charge("a", 1.0);
+  timer.charge("b", 3.0);
+  timer.charge("a", 1.0);
+  EXPECT_DOUBLE_EQ(timer.total("a"), 2.0);
+  EXPECT_DOUBLE_EQ(timer.total("b"), 3.0);
+  EXPECT_DOUBLE_EQ(timer.grandTotal(), 5.0);
+  EXPECT_DOUBLE_EQ(timer.percent("a"), 40.0);
+  EXPECT_EQ(timer.phases(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(PhaseTimer, UnknownPhaseIsZero) {
+  PhaseTimer timer;
+  EXPECT_DOUBLE_EQ(timer.total("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(timer.percent("missing"), 0.0);
+}
+
+TEST(ScopedTimer, ChargesOnDestruction) {
+  PhaseTimer timer;
+  {
+    ScopedTimer guard(timer, "scope");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(timer.total("scope"), 0.0);
+}
+
+// ---- ThreadPool ------------------------------------------------------------
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.waitIdle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<int> hits(1000, 0);
+  pool.parallelFor(hits.size(), [&hits](std::size_t i) { hits[i] += 1; });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ParallelForEmpty) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallelFor(0, [&called](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<long> sum{0};
+  pool.parallelFor(100, [&sum](std::size_t i) {
+    sum.fetch_add(static_cast<long>(i));
+  });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+// ---- string utils ------------------------------------------------------------
+
+TEST(StringUtil, SplitWhitespace) {
+  const auto tokens = splitWhitespace("  a\tbb \n ccc ");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "a");
+  EXPECT_EQ(tokens[1], "bb");
+  EXPECT_EQ(tokens[2], "ccc");
+}
+
+TEST(StringUtil, SplitWhitespaceEmpty) {
+  EXPECT_TRUE(splitWhitespace("   ").empty());
+  EXPECT_TRUE(splitWhitespace("").empty());
+}
+
+TEST(StringUtil, SplitKeepsEmptyFields) {
+  const auto fields = split("a,,b,", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringUtil, FirstTokenIs) {
+  EXPECT_TRUE(firstTokenIs("  MACRO foo", "MACRO"));
+  EXPECT_TRUE(firstTokenIs("MACRO", "MACRO"));
+  EXPECT_FALSE(firstTokenIs("MACROS foo", "MACRO"));
+  EXPECT_FALSE(firstTokenIs("x MACRO", "MACRO"));
+}
+
+TEST(StringUtil, FormatDouble) {
+  EXPECT_EQ(formatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(formatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(StringUtil, Padding) {
+  EXPECT_EQ(padLeft("ab", 4), "  ab");
+  EXPECT_EQ(padRight("ab", 4), "ab  ");
+  EXPECT_EQ(padLeft("abcdef", 4), "abcdef");
+}
+
+}  // namespace
+}  // namespace crp::util

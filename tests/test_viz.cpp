@@ -1,0 +1,109 @@
+// Tests for the SVG writer: well-formedness, element counts, options.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bmgen/generator.hpp"
+#include "groute/global_router.hpp"
+#include "test_helpers.hpp"
+#include "viz/svg_writer.hpp"
+
+namespace crp::viz {
+namespace {
+
+int countOccurrences(const std::string& text, const std::string& needle) {
+  int count = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+TEST(SvgWriter, ProducesWellFormedDocument) {
+  const auto db = crp::testing::makeTinyDatabase();
+  std::ostringstream out;
+  writeSvg(out, db);
+  const std::string svg = out.str();
+  EXPECT_NE(svg.find("<?xml"), std::string::npos);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_EQ(countOccurrences(svg, "<svg"), 1);
+}
+
+TEST(SvgWriter, DrawsOneRectPerCellPlusRowsAndFrame) {
+  const auto db = crp::testing::makeTinyDatabase();
+  std::ostringstream out;
+  writeSvg(out, db);
+  // frame + 5 rows + 4 cells.
+  EXPECT_EQ(countOccurrences(out.str(), "<rect"), 1 + 5 + 4);
+}
+
+TEST(SvgWriter, CellsCanBeDisabled) {
+  const auto db = crp::testing::makeTinyDatabase();
+  SvgOptions options;
+  options.drawCells = false;
+  std::ostringstream out;
+  writeSvg(out, db, nullptr, options);
+  EXPECT_EQ(countOccurrences(out.str(), "<rect"), 1 + 5);
+}
+
+TEST(SvgWriter, RoutesDrawnAsLines) {
+  const auto db = crp::testing::makeTinyDatabase();
+  groute::GlobalRouter router(db);
+  router.run();
+  std::ostringstream out;
+  writeSvg(out, db, &router);
+  EXPECT_GT(countOccurrences(out.str(), "<line"), 0);
+}
+
+TEST(SvgWriter, HighlightUsesDistinctFill) {
+  const auto db = crp::testing::makeTinyDatabase();
+  SvgOptions options;
+  options.highlight = {1};
+  std::ostringstream out;
+  writeSvg(out, db, nullptr, options);
+  EXPECT_NE(out.str().find("#d62728"), std::string::npos);
+}
+
+TEST(SvgWriter, PinDotsOptional) {
+  const auto db = crp::testing::makeTinyDatabase();
+  SvgOptions off;
+  std::ostringstream a;
+  writeSvg(a, db, nullptr, off);
+  EXPECT_EQ(countOccurrences(a.str(), "<circle"), 0);
+  SvgOptions on;
+  on.drawPins = true;
+  std::ostringstream b;
+  writeSvg(b, db, nullptr, on);
+  EXPECT_GT(countOccurrences(b.str(), "<circle"), 0);
+}
+
+TEST(SvgWriter, CongestionUnderlayAddsRects) {
+  bmgen::BenchmarkSpec spec;
+  spec.targetCells = 300;
+  spec.utilization = 0.85;
+  spec.hotspots = 2;
+  spec.seed = 9;
+  const auto db = bmgen::generateBenchmark(spec);
+  groute::GlobalRouter router(db);
+  router.run();
+  SvgOptions plain;
+  plain.drawCongestion = false;
+  SvgOptions heat;
+  heat.drawCongestion = true;
+  std::ostringstream a, b;
+  writeSvg(a, db, &router, plain);
+  writeSvg(b, db, &router, heat);
+  EXPECT_GE(countOccurrences(b.str(), "<rect"),
+            countOccurrences(a.str(), "<rect"));
+}
+
+TEST(SvgWriter, LayerPaletteCycles) {
+  EXPECT_EQ(layerColor(0), layerColor(8));
+  EXPECT_NE(layerColor(0), layerColor(1));
+}
+
+}  // namespace
+}  // namespace crp::viz

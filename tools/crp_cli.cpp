@@ -1,0 +1,318 @@
+// crp — command-line front end to the CR&P toolkit.
+//
+// Subcommands (all file formats are the LEF/DEF/guide subset the
+// library reads and writes):
+//
+//   crp generate out.lef out.def [--cells N] [--util U] [--hotspots H]
+//                [--seed S]
+//       Generate a synthetic ISPD-2018-style benchmark.
+//
+//   crp route in.lef in.def out.guide
+//       Global-route and write the route guides.
+//
+//   crp run in.lef in.def out.def out.guide [--k N] [--gamma G]
+//       Global route + CR&P iterations; writes the improved placement
+//       and guides (the paper's Fig. 1 interface).
+//
+//   crp detail in.lef in.def in.guide
+//       Detailed-route against existing guides and print the ISPD-2018
+//       metrics.
+//
+//   crp flow in.lef in.def [--k N]
+//       Full flow with before/after comparison (GR -> DR baseline,
+//       then GR -> CR&P -> DR).
+//
+//   crp congestion in.lef in.def [--layer L]
+//       Global-route and print an ASCII congestion heatmap.
+//
+//   crp suite outdir [--scale S]
+//       Export the crp_test1..10 suite as LEF/DEF pairs.
+#include <filesystem>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bmgen/generator.hpp"
+#include "bmgen/suite.hpp"
+#include "crp/framework.hpp"
+#include "db/legality.hpp"
+#include "dplace/detailed_placer.hpp"
+#include "droute/detailed_router.hpp"
+#include "eval/evaluator.hpp"
+#include "groute/congestion_report.hpp"
+#include "groute/global_router.hpp"
+#include "lefdef/def_parser.hpp"
+#include "lefdef/def_writer.hpp"
+#include "lefdef/guide_io.hpp"
+#include "lefdef/lef_parser.hpp"
+#include "lefdef/lef_writer.hpp"
+#include "viz/svg_writer.hpp"
+
+namespace {
+
+using namespace crp;
+
+/// Minimal --flag value parser: positional args + "--key value" pairs.
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  static Args parse(int argc, char** argv, int firstArg) {
+    Args args;
+    for (int i = firstArg; i < argc; ++i) {
+      const std::string token = argv[i];
+      if (token.rfind("--", 0) == 0 && i + 1 < argc) {
+        args.flags[token.substr(2)] = argv[++i];
+      } else {
+        args.positional.push_back(token);
+      }
+    }
+    return args;
+  }
+
+  double number(const std::string& key, double fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atof(it->second.c_str());
+  }
+};
+
+db::Database loadDesign(const std::string& lefPath,
+                        const std::string& defPath) {
+  auto [tech, lib] = lefdef::parseLefFile(lefPath);
+  db::Design design = lefdef::parseDefFile(defPath, tech, lib);
+  return db::Database(std::move(tech), std::move(lib), std::move(design));
+}
+
+void printMetrics(const droute::DetailedRouteStats& stats,
+                  const db::Database& db) {
+  const auto metrics = eval::collectMetrics(stats);
+  std::cout << "wirelength (dbu): " << metrics.wirelengthDbu << "\n"
+            << "vias:             " << metrics.viaCount << "\n"
+            << "shorts:           " << metrics.shorts << "\n"
+            << "spacing DRVs:     " << metrics.spacing << "\n"
+            << "min-area DRVs:    " << metrics.minArea << "\n"
+            << "open nets:        " << metrics.openNets << "\n"
+            << "contest score:    " << eval::score(metrics, db) << "\n";
+}
+
+int cmdGenerate(const Args& args) {
+  if (args.positional.size() < 2) {
+    std::cerr << "usage: crp generate out.lef out.def [--cells N] "
+                 "[--util U] [--hotspots H] [--seed S]\n";
+    return 2;
+  }
+  bmgen::BenchmarkSpec spec;
+  spec.name = std::filesystem::path(args.positional[1]).stem().string();
+  spec.targetCells = static_cast<int>(args.number("cells", 1000));
+  spec.utilization = args.number("util", 0.85);
+  spec.hotspots = static_cast<int>(args.number("hotspots", 2));
+  spec.seed = static_cast<std::uint64_t>(args.number("seed", 1));
+  const auto db = bmgen::generateBenchmark(spec);
+  lefdef::writeLefFile(args.positional[0], db.tech(), db.library());
+  lefdef::writeDefFile(args.positional[1], db);
+  std::cout << "generated " << db.numCells() << " cells / " << db.numNets()
+            << " nets -> " << args.positional[0] << ", "
+            << args.positional[1] << "\n";
+  return 0;
+}
+
+int cmdRoute(const Args& args) {
+  if (args.positional.size() < 3) {
+    std::cerr << "usage: crp route in.lef in.def out.guide\n";
+    return 2;
+  }
+  const auto db = loadDesign(args.positional[0], args.positional[1]);
+  groute::GlobalRouter router(db);
+  const auto stats = router.run();
+  lefdef::writeGuidesFile(args.positional[2], db, router.buildGuides());
+  std::cout << "global route: wl=" << stats.wirelengthDbu
+            << " dbu, vias=" << stats.vias << ", open nets=" << stats.openNets
+            << ", overflowed edges=" << stats.overflowedEdges << "\n"
+            << "guides -> " << args.positional[2] << "\n";
+  return 0;
+}
+
+int cmdRun(const Args& args) {
+  if (args.positional.size() < 4) {
+    std::cerr << "usage: crp run in.lef in.def out.def out.guide [--k N] "
+                 "[--gamma G] [--seed S]\n";
+    return 2;
+  }
+  auto db = loadDesign(args.positional[0], args.positional[1]);
+  if (!db::isPlacementLegal(db)) {
+    std::cerr << "error: input placement is not legal\n";
+    return 1;
+  }
+  groute::GlobalRouter router(db);
+  router.run();
+  core::CrpOptions options;
+  options.iterations = static_cast<int>(args.number("k", 10));
+  options.gamma = args.number("gamma", options.gamma);
+  options.seed = static_cast<std::uint64_t>(args.number("seed", 1));
+  core::CrpFramework framework(db, router, options);
+  const auto report = framework.run();
+  std::cout << "CR&P: " << options.iterations << " iterations, "
+            << report.totalMoves << " moves, " << report.totalReroutes
+            << " reroutes; placement legal: "
+            << (db::isPlacementLegal(db) ? "yes" : "NO") << "\n";
+  lefdef::writeDefFile(args.positional[2], db);
+  lefdef::writeGuidesFile(args.positional[3], db, router.buildGuides());
+  std::cout << "outputs -> " << args.positional[2] << ", "
+            << args.positional[3] << "\n";
+  return 0;
+}
+
+int cmdDetail(const Args& args) {
+  if (args.positional.size() < 3) {
+    std::cerr << "usage: crp detail in.lef in.def in.guide\n";
+    return 2;
+  }
+  const auto db = loadDesign(args.positional[0], args.positional[1]);
+  const auto guides = lefdef::parseGuidesFile(args.positional[2], db.tech());
+  droute::DetailedRouter detailed(db, guides);
+  printMetrics(detailed.run(), db);
+  return 0;
+}
+
+int cmdFlow(const Args& args) {
+  if (args.positional.size() < 2) {
+    std::cerr << "usage: crp flow in.lef in.def [--k N]\n";
+    return 2;
+  }
+  auto db = loadDesign(args.positional[0], args.positional[1]);
+  groute::GlobalRouter router(db);
+  router.run();
+  std::cout << "--- baseline (GR + DR) ---\n";
+  droute::DetailedRouter before(db, router.buildGuides());
+  const auto beforeStats = before.run();
+  printMetrics(beforeStats, db);
+
+  core::CrpOptions options;
+  options.iterations = static_cast<int>(args.number("k", 10));
+  core::CrpFramework framework(db, router, options);
+  framework.run();
+  std::cout << "--- after CR&P (k=" << options.iterations << ") ---\n";
+  droute::DetailedRouter after(db, router.buildGuides());
+  const auto afterStats = after.run();
+  printMetrics(afterStats, db);
+
+  std::cout << "--- improvement ---\n";
+  std::cout << "wirelength: "
+            << eval::improvementPercent(
+                   static_cast<double>(beforeStats.wirelengthDbu),
+                   static_cast<double>(afterStats.wirelengthDbu))
+            << "%\n"
+            << "vias:       "
+            << eval::improvementPercent(
+                   static_cast<double>(beforeStats.viaCount),
+                   static_cast<double>(afterStats.viaCount))
+            << "%\n";
+  return 0;
+}
+
+int cmdCongestion(const Args& args) {
+  if (args.positional.size() < 2) {
+    std::cerr << "usage: crp congestion in.lef in.def [--layer L]\n";
+    return 2;
+  }
+  const auto db = loadDesign(args.positional[0], args.positional[1]);
+  groute::GlobalRouter router(db);
+  router.run();
+  const int layer = static_cast<int>(args.number("layer", -1));
+  const auto map = groute::buildCongestionMap(router.graph(), layer);
+  std::cout << "congestion map (" << map.width << "x" << map.height
+            << "), mean=" << map.mean() << ", peak=" << map.peak()
+            << ", hotspots=" << map.hotspotCount() << "\n";
+  groute::printHeatmap(std::cout, map);
+  return 0;
+}
+
+int cmdPlace(const Args& args) {
+  if (args.positional.size() < 3) {
+    std::cerr << "usage: crp place in.lef in.def out.def [--passes N]\n";
+    return 2;
+  }
+  auto db = loadDesign(args.positional[0], args.positional[1]);
+  dplace::DetailedPlacerOptions options;
+  options.passes = static_cast<int>(args.number("passes", 2));
+  dplace::DetailedPlacer placer(db, options);
+  const auto report = placer.run();
+  std::cout << "HPWL " << report.hpwlBefore << " -> " << report.hpwlAfter
+            << " (" << report.improvementPercent() << "% better), "
+            << report.swaps << " swaps, " << report.relocations
+            << " relocations, " << report.reorders << " reorders\n";
+  if (!db::isPlacementLegal(db)) {
+    std::cerr << "internal error: placer broke legality\n";
+    return 1;
+  }
+  lefdef::writeDefFile(args.positional[2], db);
+  std::cout << "placement -> " << args.positional[2] << "\n";
+  return 0;
+}
+
+int cmdSvg(const Args& args) {
+  if (args.positional.size() < 3) {
+    std::cerr << "usage: crp svg in.lef in.def out.svg [--routes 1] "
+                 "[--congestion 1]\n";
+    return 2;
+  }
+  const auto db = loadDesign(args.positional[0], args.positional[1]);
+  viz::SvgOptions options;
+  options.drawRoutes = args.number("routes", 1) > 0;
+  options.drawCongestion = args.number("congestion", 0) > 0;
+  if (options.drawRoutes || options.drawCongestion) {
+    groute::GlobalRouter router(db);
+    router.run();
+    viz::writeSvgFile(args.positional[2], db, &router, options);
+  } else {
+    viz::writeSvgFile(args.positional[2], db, nullptr, options);
+  }
+  std::cout << "svg -> " << args.positional[2] << "\n";
+  return 0;
+}
+
+int cmdSuite(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "usage: crp suite outdir [--scale S]\n";
+    return 2;
+  }
+  const double scale = args.number("scale", 40.0);
+  std::filesystem::create_directories(args.positional[0]);
+  for (const auto& entry : bmgen::ispdLikeSuite(scale)) {
+    const auto db = bmgen::generateBenchmark(entry.spec);
+    lefdef::writeLefFile(args.positional[0] + "/" + entry.name + ".lef",
+                         db.tech(), db.library());
+    lefdef::writeDefFile(args.positional[0] + "/" + entry.name + ".def", db);
+    std::cout << entry.name << ": " << db.numCells() << " cells\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: crp <generate|route|run|detail|flow|place|svg|congestion|"
+                 "suite> ...\n";
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Args args = Args::parse(argc, argv, 2);
+  try {
+    if (command == "generate") return cmdGenerate(args);
+    if (command == "route") return cmdRoute(args);
+    if (command == "run") return cmdRun(args);
+    if (command == "detail") return cmdDetail(args);
+    if (command == "flow") return cmdFlow(args);
+    if (command == "congestion") return cmdCongestion(args);
+    if (command == "place") return cmdPlace(args);
+    if (command == "svg") return cmdSvg(args);
+    if (command == "suite") return cmdSuite(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  std::cerr << "unknown command '" << command << "'\n";
+  return 2;
+}
