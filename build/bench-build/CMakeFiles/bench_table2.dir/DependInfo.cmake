@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2.cpp" "bench-build/CMakeFiles/bench_table2.dir/bench_table2.cpp.o" "gcc" "bench-build/CMakeFiles/bench_table2.dir/bench_table2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crp/CMakeFiles/crp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/crp_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/bmgen/CMakeFiles/crp_bmgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/droute/CMakeFiles/crp_droute.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/crp_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/lefdef/CMakeFiles/crp_lefdef.dir/DependInfo.cmake"
+  "/root/repo/build/src/legalizer/CMakeFiles/crp_legalizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/crp_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dplace/CMakeFiles/crp_dplace.dir/DependInfo.cmake"
+  "/root/repo/build/src/groute/CMakeFiles/crp_groute.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsmt/CMakeFiles/crp_rsmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/crp_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/crp_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congestion_relief.dir/congestion_relief.cpp.o"
+  "CMakeFiles/congestion_relief.dir/congestion_relief.cpp.o.d"
+  "congestion_relief"
+  "congestion_relief.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congestion_relief.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

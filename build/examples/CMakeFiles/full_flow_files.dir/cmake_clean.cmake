@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_flow_files.dir/full_flow_files.cpp.o"
+  "CMakeFiles/full_flow_files.dir/full_flow_files.cpp.o.d"
+  "full_flow_files"
+  "full_flow_files.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_flow_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

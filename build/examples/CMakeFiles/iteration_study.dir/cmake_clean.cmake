@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iteration_study.dir/iteration_study.cpp.o"
+  "CMakeFiles/iteration_study.dir/iteration_study.cpp.o.d"
+  "iteration_study"
+  "iteration_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iteration_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placement_refinement.dir/placement_refinement.cpp.o"
+  "CMakeFiles/placement_refinement.dir/placement_refinement.cpp.o.d"
+  "placement_refinement"
+  "placement_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placement_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

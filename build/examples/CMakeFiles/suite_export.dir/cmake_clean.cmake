@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_export.dir/suite_export.cpp.o"
+  "CMakeFiles/suite_export.dir/suite_export.cpp.o.d"
+  "suite_export"
+  "suite_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("geom")
+subdirs("db")
+subdirs("lefdef")
+subdirs("rsmt")
+subdirs("ilp")
+subdirs("groute")
+subdirs("droute")
+subdirs("legalizer")
+subdirs("eval")
+subdirs("crp")
+subdirs("baseline")
+subdirs("bmgen")
+subdirs("dplace")
+subdirs("viz")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crp_baseline.dir/median_ilp.cpp.o"
+  "CMakeFiles/crp_baseline.dir/median_ilp.cpp.o.d"
+  "libcrp_baseline.a"
+  "libcrp_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crp_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bmgen/generator.cpp" "src/bmgen/CMakeFiles/crp_bmgen.dir/generator.cpp.o" "gcc" "src/bmgen/CMakeFiles/crp_bmgen.dir/generator.cpp.o.d"
+  "/root/repo/src/bmgen/suite.cpp" "src/bmgen/CMakeFiles/crp_bmgen.dir/suite.cpp.o" "gcc" "src/bmgen/CMakeFiles/crp_bmgen.dir/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/crp_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/dplace/CMakeFiles/crp_dplace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/crp_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

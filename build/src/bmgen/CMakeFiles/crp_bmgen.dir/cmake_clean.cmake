@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crp_bmgen.dir/generator.cpp.o"
+  "CMakeFiles/crp_bmgen.dir/generator.cpp.o.d"
+  "CMakeFiles/crp_bmgen.dir/suite.cpp.o"
+  "CMakeFiles/crp_bmgen.dir/suite.cpp.o.d"
+  "libcrp_bmgen.a"
+  "libcrp_bmgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crp_bmgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

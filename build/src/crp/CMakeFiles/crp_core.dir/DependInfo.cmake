@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crp/candidate_generation.cpp" "src/crp/CMakeFiles/crp_core.dir/candidate_generation.cpp.o" "gcc" "src/crp/CMakeFiles/crp_core.dir/candidate_generation.cpp.o.d"
+  "/root/repo/src/crp/critical_cells.cpp" "src/crp/CMakeFiles/crp_core.dir/critical_cells.cpp.o" "gcc" "src/crp/CMakeFiles/crp_core.dir/critical_cells.cpp.o.d"
+  "/root/repo/src/crp/framework.cpp" "src/crp/CMakeFiles/crp_core.dir/framework.cpp.o" "gcc" "src/crp/CMakeFiles/crp_core.dir/framework.cpp.o.d"
+  "/root/repo/src/crp/selection.cpp" "src/crp/CMakeFiles/crp_core.dir/selection.cpp.o" "gcc" "src/crp/CMakeFiles/crp_core.dir/selection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/crp_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/groute/CMakeFiles/crp_groute.dir/DependInfo.cmake"
+  "/root/repo/build/src/legalizer/CMakeFiles/crp_legalizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/crp_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsmt/CMakeFiles/crp_rsmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/lefdef/CMakeFiles/crp_lefdef.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/crp_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crp_core.dir/candidate_generation.cpp.o"
+  "CMakeFiles/crp_core.dir/candidate_generation.cpp.o.d"
+  "CMakeFiles/crp_core.dir/critical_cells.cpp.o"
+  "CMakeFiles/crp_core.dir/critical_cells.cpp.o.d"
+  "CMakeFiles/crp_core.dir/framework.cpp.o"
+  "CMakeFiles/crp_core.dir/framework.cpp.o.d"
+  "CMakeFiles/crp_core.dir/selection.cpp.o"
+  "CMakeFiles/crp_core.dir/selection.cpp.o.d"
+  "libcrp_core.a"
+  "libcrp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/database.cpp" "src/db/CMakeFiles/crp_db.dir/database.cpp.o" "gcc" "src/db/CMakeFiles/crp_db.dir/database.cpp.o.d"
+  "/root/repo/src/db/design.cpp" "src/db/CMakeFiles/crp_db.dir/design.cpp.o" "gcc" "src/db/CMakeFiles/crp_db.dir/design.cpp.o.d"
+  "/root/repo/src/db/gcell_grid.cpp" "src/db/CMakeFiles/crp_db.dir/gcell_grid.cpp.o" "gcc" "src/db/CMakeFiles/crp_db.dir/gcell_grid.cpp.o.d"
+  "/root/repo/src/db/legality.cpp" "src/db/CMakeFiles/crp_db.dir/legality.cpp.o" "gcc" "src/db/CMakeFiles/crp_db.dir/legality.cpp.o.d"
+  "/root/repo/src/db/library.cpp" "src/db/CMakeFiles/crp_db.dir/library.cpp.o" "gcc" "src/db/CMakeFiles/crp_db.dir/library.cpp.o.d"
+  "/root/repo/src/db/tech.cpp" "src/db/CMakeFiles/crp_db.dir/tech.cpp.o" "gcc" "src/db/CMakeFiles/crp_db.dir/tech.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/crp_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crp_db.dir/database.cpp.o"
+  "CMakeFiles/crp_db.dir/database.cpp.o.d"
+  "CMakeFiles/crp_db.dir/design.cpp.o"
+  "CMakeFiles/crp_db.dir/design.cpp.o.d"
+  "CMakeFiles/crp_db.dir/gcell_grid.cpp.o"
+  "CMakeFiles/crp_db.dir/gcell_grid.cpp.o.d"
+  "CMakeFiles/crp_db.dir/legality.cpp.o"
+  "CMakeFiles/crp_db.dir/legality.cpp.o.d"
+  "CMakeFiles/crp_db.dir/library.cpp.o"
+  "CMakeFiles/crp_db.dir/library.cpp.o.d"
+  "CMakeFiles/crp_db.dir/tech.cpp.o"
+  "CMakeFiles/crp_db.dir/tech.cpp.o.d"
+  "libcrp_db.a"
+  "libcrp_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crp_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crp_dplace.dir/detailed_placer.cpp.o"
+  "CMakeFiles/crp_dplace.dir/detailed_placer.cpp.o.d"
+  "libcrp_dplace.a"
+  "libcrp_dplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crp_dplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/droute/detailed_router.cpp" "src/droute/CMakeFiles/crp_droute.dir/detailed_router.cpp.o" "gcc" "src/droute/CMakeFiles/crp_droute.dir/detailed_router.cpp.o.d"
+  "/root/repo/src/droute/drc.cpp" "src/droute/CMakeFiles/crp_droute.dir/drc.cpp.o" "gcc" "src/droute/CMakeFiles/crp_droute.dir/drc.cpp.o.d"
+  "/root/repo/src/droute/track_graph.cpp" "src/droute/CMakeFiles/crp_droute.dir/track_graph.cpp.o" "gcc" "src/droute/CMakeFiles/crp_droute.dir/track_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/crp_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/groute/CMakeFiles/crp_groute.dir/DependInfo.cmake"
+  "/root/repo/build/src/lefdef/CMakeFiles/crp_lefdef.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsmt/CMakeFiles/crp_rsmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/crp_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

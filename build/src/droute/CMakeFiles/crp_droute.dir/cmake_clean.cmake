@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crp_droute.dir/detailed_router.cpp.o"
+  "CMakeFiles/crp_droute.dir/detailed_router.cpp.o.d"
+  "CMakeFiles/crp_droute.dir/drc.cpp.o"
+  "CMakeFiles/crp_droute.dir/drc.cpp.o.d"
+  "CMakeFiles/crp_droute.dir/track_graph.cpp.o"
+  "CMakeFiles/crp_droute.dir/track_graph.cpp.o.d"
+  "libcrp_droute.a"
+  "libcrp_droute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crp_droute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

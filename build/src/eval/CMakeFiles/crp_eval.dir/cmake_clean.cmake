@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crp_eval.dir/evaluator.cpp.o"
+  "CMakeFiles/crp_eval.dir/evaluator.cpp.o.d"
+  "libcrp_eval.a"
+  "libcrp_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crp_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crp_geom.dir/geometry.cpp.o"
+  "CMakeFiles/crp_geom.dir/geometry.cpp.o.d"
+  "libcrp_geom.a"
+  "libcrp_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crp_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

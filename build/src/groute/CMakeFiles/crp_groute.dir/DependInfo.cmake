@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/groute/congestion_report.cpp" "src/groute/CMakeFiles/crp_groute.dir/congestion_report.cpp.o" "gcc" "src/groute/CMakeFiles/crp_groute.dir/congestion_report.cpp.o.d"
+  "/root/repo/src/groute/global_router.cpp" "src/groute/CMakeFiles/crp_groute.dir/global_router.cpp.o" "gcc" "src/groute/CMakeFiles/crp_groute.dir/global_router.cpp.o.d"
+  "/root/repo/src/groute/maze_route.cpp" "src/groute/CMakeFiles/crp_groute.dir/maze_route.cpp.o" "gcc" "src/groute/CMakeFiles/crp_groute.dir/maze_route.cpp.o.d"
+  "/root/repo/src/groute/pattern_route.cpp" "src/groute/CMakeFiles/crp_groute.dir/pattern_route.cpp.o" "gcc" "src/groute/CMakeFiles/crp_groute.dir/pattern_route.cpp.o.d"
+  "/root/repo/src/groute/route.cpp" "src/groute/CMakeFiles/crp_groute.dir/route.cpp.o" "gcc" "src/groute/CMakeFiles/crp_groute.dir/route.cpp.o.d"
+  "/root/repo/src/groute/routing_graph.cpp" "src/groute/CMakeFiles/crp_groute.dir/routing_graph.cpp.o" "gcc" "src/groute/CMakeFiles/crp_groute.dir/routing_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/crp_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsmt/CMakeFiles/crp_rsmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/lefdef/CMakeFiles/crp_lefdef.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/crp_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

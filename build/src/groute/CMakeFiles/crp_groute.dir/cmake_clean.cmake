@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crp_groute.dir/congestion_report.cpp.o"
+  "CMakeFiles/crp_groute.dir/congestion_report.cpp.o.d"
+  "CMakeFiles/crp_groute.dir/global_router.cpp.o"
+  "CMakeFiles/crp_groute.dir/global_router.cpp.o.d"
+  "CMakeFiles/crp_groute.dir/maze_route.cpp.o"
+  "CMakeFiles/crp_groute.dir/maze_route.cpp.o.d"
+  "CMakeFiles/crp_groute.dir/pattern_route.cpp.o"
+  "CMakeFiles/crp_groute.dir/pattern_route.cpp.o.d"
+  "CMakeFiles/crp_groute.dir/route.cpp.o"
+  "CMakeFiles/crp_groute.dir/route.cpp.o.d"
+  "CMakeFiles/crp_groute.dir/routing_graph.cpp.o"
+  "CMakeFiles/crp_groute.dir/routing_graph.cpp.o.d"
+  "libcrp_groute.a"
+  "libcrp_groute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crp_groute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcrp_groute.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for crp_groute.
+# This may be replaced when dependencies are built.

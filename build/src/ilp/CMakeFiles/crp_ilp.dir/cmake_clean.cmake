@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crp_ilp.dir/model.cpp.o"
+  "CMakeFiles/crp_ilp.dir/model.cpp.o.d"
+  "CMakeFiles/crp_ilp.dir/simplex.cpp.o"
+  "CMakeFiles/crp_ilp.dir/simplex.cpp.o.d"
+  "CMakeFiles/crp_ilp.dir/solver.cpp.o"
+  "CMakeFiles/crp_ilp.dir/solver.cpp.o.d"
+  "libcrp_ilp.a"
+  "libcrp_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crp_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

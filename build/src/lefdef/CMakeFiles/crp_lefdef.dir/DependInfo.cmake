@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lefdef/def_parser.cpp" "src/lefdef/CMakeFiles/crp_lefdef.dir/def_parser.cpp.o" "gcc" "src/lefdef/CMakeFiles/crp_lefdef.dir/def_parser.cpp.o.d"
+  "/root/repo/src/lefdef/def_writer.cpp" "src/lefdef/CMakeFiles/crp_lefdef.dir/def_writer.cpp.o" "gcc" "src/lefdef/CMakeFiles/crp_lefdef.dir/def_writer.cpp.o.d"
+  "/root/repo/src/lefdef/guide_io.cpp" "src/lefdef/CMakeFiles/crp_lefdef.dir/guide_io.cpp.o" "gcc" "src/lefdef/CMakeFiles/crp_lefdef.dir/guide_io.cpp.o.d"
+  "/root/repo/src/lefdef/lef_parser.cpp" "src/lefdef/CMakeFiles/crp_lefdef.dir/lef_parser.cpp.o" "gcc" "src/lefdef/CMakeFiles/crp_lefdef.dir/lef_parser.cpp.o.d"
+  "/root/repo/src/lefdef/lef_writer.cpp" "src/lefdef/CMakeFiles/crp_lefdef.dir/lef_writer.cpp.o" "gcc" "src/lefdef/CMakeFiles/crp_lefdef.dir/lef_writer.cpp.o.d"
+  "/root/repo/src/lefdef/tokenizer.cpp" "src/lefdef/CMakeFiles/crp_lefdef.dir/tokenizer.cpp.o" "gcc" "src/lefdef/CMakeFiles/crp_lefdef.dir/tokenizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/crp_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/crp_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

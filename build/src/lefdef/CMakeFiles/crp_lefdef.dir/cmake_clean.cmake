@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crp_lefdef.dir/def_parser.cpp.o"
+  "CMakeFiles/crp_lefdef.dir/def_parser.cpp.o.d"
+  "CMakeFiles/crp_lefdef.dir/def_writer.cpp.o"
+  "CMakeFiles/crp_lefdef.dir/def_writer.cpp.o.d"
+  "CMakeFiles/crp_lefdef.dir/guide_io.cpp.o"
+  "CMakeFiles/crp_lefdef.dir/guide_io.cpp.o.d"
+  "CMakeFiles/crp_lefdef.dir/lef_parser.cpp.o"
+  "CMakeFiles/crp_lefdef.dir/lef_parser.cpp.o.d"
+  "CMakeFiles/crp_lefdef.dir/lef_writer.cpp.o"
+  "CMakeFiles/crp_lefdef.dir/lef_writer.cpp.o.d"
+  "CMakeFiles/crp_lefdef.dir/tokenizer.cpp.o"
+  "CMakeFiles/crp_lefdef.dir/tokenizer.cpp.o.d"
+  "libcrp_lefdef.a"
+  "libcrp_lefdef.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crp_lefdef.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crp_legalizer.dir/ilp_legalizer.cpp.o"
+  "CMakeFiles/crp_legalizer.dir/ilp_legalizer.cpp.o.d"
+  "libcrp_legalizer.a"
+  "libcrp_legalizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crp_legalizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

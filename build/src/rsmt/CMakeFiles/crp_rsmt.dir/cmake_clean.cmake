@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crp_rsmt.dir/steiner.cpp.o"
+  "CMakeFiles/crp_rsmt.dir/steiner.cpp.o.d"
+  "libcrp_rsmt.a"
+  "libcrp_rsmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crp_rsmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

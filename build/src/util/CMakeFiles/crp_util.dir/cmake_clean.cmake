@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crp_util.dir/logger.cpp.o"
+  "CMakeFiles/crp_util.dir/logger.cpp.o.d"
+  "CMakeFiles/crp_util.dir/string_util.cpp.o"
+  "CMakeFiles/crp_util.dir/string_util.cpp.o.d"
+  "CMakeFiles/crp_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/crp_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/crp_util.dir/timer.cpp.o"
+  "CMakeFiles/crp_util.dir/timer.cpp.o.d"
+  "libcrp_util.a"
+  "libcrp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crp_viz.dir/svg_writer.cpp.o"
+  "CMakeFiles/crp_viz.dir/svg_writer.cpp.o.d"
+  "libcrp_viz.a"
+  "libcrp_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crp_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bmgen.dir/test_bmgen.cpp.o"
+  "CMakeFiles/test_bmgen.dir/test_bmgen.cpp.o.d"
+  "test_bmgen"
+  "test_bmgen.pdb"
+  "test_bmgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bmgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

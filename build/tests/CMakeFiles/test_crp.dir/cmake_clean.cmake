@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crp.dir/test_crp.cpp.o"
+  "CMakeFiles/test_crp.dir/test_crp.cpp.o.d"
+  "test_crp"
+  "test_crp.pdb"
+  "test_crp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_dplace.cpp" "tests/CMakeFiles/test_dplace.dir/test_dplace.cpp.o" "gcc" "tests/CMakeFiles/test_dplace.dir/test_dplace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dplace/CMakeFiles/crp_dplace.dir/DependInfo.cmake"
+  "/root/repo/build/src/bmgen/CMakeFiles/crp_bmgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/crp_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/crp_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dplace.dir/test_dplace.cpp.o"
+  "CMakeFiles/test_dplace.dir/test_dplace.cpp.o.d"
+  "test_dplace"
+  "test_dplace.pdb"
+  "test_dplace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_droute.dir/test_droute.cpp.o"
+  "CMakeFiles/test_droute.dir/test_droute.cpp.o.d"
+  "test_droute"
+  "test_droute.pdb"
+  "test_droute[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_droute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_groute.dir/test_groute.cpp.o"
+  "CMakeFiles/test_groute.dir/test_groute.cpp.o.d"
+  "test_groute"
+  "test_groute.pdb"
+  "test_groute[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_groute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

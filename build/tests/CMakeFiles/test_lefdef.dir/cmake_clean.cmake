@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lefdef.dir/test_lefdef.cpp.o"
+  "CMakeFiles/test_lefdef.dir/test_lefdef.cpp.o.d"
+  "test_lefdef"
+  "test_lefdef.pdb"
+  "test_lefdef[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lefdef.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_legalizer.dir/test_legalizer.cpp.o"
+  "CMakeFiles/test_legalizer.dir/test_legalizer.cpp.o.d"
+  "test_legalizer"
+  "test_legalizer.pdb"
+  "test_legalizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_legalizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_geom[1]_include.cmake")
+include("/root/repo/build/tests/test_db[1]_include.cmake")
+include("/root/repo/build/tests/test_lefdef[1]_include.cmake")
+include("/root/repo/build/tests/test_rsmt[1]_include.cmake")
+include("/root/repo/build/tests/test_ilp[1]_include.cmake")
+include("/root/repo/build/tests/test_groute[1]_include.cmake")
+include("/root/repo/build/tests/test_droute[1]_include.cmake")
+include("/root/repo/build/tests/test_legalizer[1]_include.cmake")
+include("/root/repo/build/tests/test_eval[1]_include.cmake")
+include("/root/repo/build/tests/test_crp[1]_include.cmake")
+include("/root/repo/build/tests/test_bmgen[1]_include.cmake")
+include("/root/repo/build/tests/test_baseline[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
+include("/root/repo/build/tests/test_dplace[1]_include.cmake")
+include("/root/repo/build/tests/test_viz[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crp.dir/crp_cli.cpp.o"
+  "CMakeFiles/crp.dir/crp_cli.cpp.o.d"
+  "crp"
+  "crp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
