@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "bmgen/generator.hpp"
+#include "crp/candidate_generation.hpp"
 #include "groute/global_router.hpp"
 #include "groute/maze_route.hpp"
 #include "groute/pattern_route.hpp"
@@ -131,6 +132,65 @@ void BM_GlobalRouteFull(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GlobalRouteFull)->Unit(benchmark::kMillisecond);
+
+// ---- ECC pricing engine ----------------------------------------------------
+
+// One ECC phase over a fixed candidate set on the generated 600-cell
+// benchmark: every 3rd cell is treated as critical (the paper's gamma
+// defaults to 0.6, so dense critical sets are the common case).  Arg
+// encodes the engine mode; the acceptance target is cache+delta >= 3x
+// faster than the naive per-candidate pricing (see
+// scripts/run_bench.sh, which compares the "off" and "cache+delta"
+// rows into BENCH_micro.json).
+struct EccFixture {
+  EccFixture() : router(fixture().db) {
+    router.run();
+    std::vector<db::CellId> critical;
+    for (db::CellId c = 0; c < fixture().db.numCells(); c += 3) {
+      critical.push_back(c);
+    }
+    const legalizer::IlpLegalizer legalizer(fixture().db);
+    candidates =
+        core::buildCandidates(fixture().db, legalizer, critical, nullptr);
+  }
+  groute::GlobalRouter router;
+  std::vector<core::CellCandidates> candidates;
+};
+
+EccFixture& eccFixture() {
+  static EccFixture instance;
+  return instance;
+}
+
+void BM_EccPriceCandidates(benchmark::State& state) {
+  auto& f = eccFixture();
+  core::PricingOptions options;
+  options.cacheEnabled = state.range(0) != 0;
+  options.deltaEnabled = state.range(1) != 0;
+  core::PricingStats stats;
+  for (auto _ : state) {
+    stats = core::PricingStats{};
+    core::priceCandidates(fixture().db, f.router, f.candidates, nullptr,
+                          options, &stats);
+    benchmark::DoNotOptimize(f.candidates);
+  }
+  state.counters["nets_priced"] =
+      benchmark::Counter(static_cast<double>(stats.netsPriced()));
+  state.counters["pattern_routes"] =
+      benchmark::Counter(static_cast<double>(stats.cacheMisses));
+  state.counters["reuse_rate"] = benchmark::Counter(
+      stats.netsPriced() == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(stats.cacheMisses) /
+                      static_cast<double>(stats.netsPriced()));
+}
+BENCHMARK(BM_EccPriceCandidates)
+    ->ArgNames({"cache", "delta"})
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Unit(benchmark::kMillisecond);
 
 // ---- legalizer -------------------------------------------------------------
 

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# ECC pricing-engine benchmark driver (docs/pricing_cache.md).
+#
+#   1. Release build, run the bench_micro ECC benchmarks + bench_fig2,
+#      and distill BENCH_micro.json at the repo root: naive vs engine
+#      ECC wall time, the speedup, and the cache/delta reuse rate.
+#   2. ThreadPool + pricing tests under ThreadSanitizer (CRP_SANITIZE=thread,
+#      separate build tree), guarding the sharded cache and the dynamic
+#      parallelFor scheduling.  Skip with CRP_SKIP_TSAN=1.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=build
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD" -j "$(nproc)"
+
+# Repetitions + random interleaving: ECC phases are ~20 ms, so on a
+# shared machine run-to-run noise swamps a single measurement; medians
+# over interleaved repetitions keep the speedup stable.
+"$BUILD"/bench/bench_micro \
+  --benchmark_filter='BM_EccPriceCandidates' \
+  --benchmark_repetitions=5 \
+  --benchmark_enable_random_interleaving=true \
+  --benchmark_format=json \
+  --benchmark_out=ecc_bench_raw.json \
+  --benchmark_out_format=json
+
+python3 - <<'EOF'
+import json
+
+with open("ecc_bench_raw.json") as f:
+    raw = json.load(f)
+
+rows = {b["name"]: b for b in raw["benchmarks"]
+        if b.get("aggregate_name") == "median"}
+off = rows["BM_EccPriceCandidates/cache:0/delta:0_median"]
+on = rows["BM_EccPriceCandidates/cache:1/delta:1_median"]
+
+def ms(row):
+    assert row["time_unit"] == "ms", row["time_unit"]
+    return row["real_time"]
+
+reused = on["nets_priced"] - on["pattern_routes"]
+summary = {
+    "benchmark": "BM_EccPriceCandidates",
+    "suite": "bmgen micro (600 cells), every 3rd cell critical",
+    "ecc_naive_ms": round(ms(off), 3),
+    "ecc_engine_ms": round(ms(on), 3),
+    "speedup": round(ms(off) / ms(on), 2),
+    "nets_priced": int(on["nets_priced"]),
+    "pattern_routes": int(on["pattern_routes"]),
+    "cache_hit_rate": round(reused / on["nets_priced"], 4),
+    "context": raw["context"],
+}
+with open("BENCH_micro.json", "w") as f:
+    json.dump(summary, f, indent=2)
+    f.write("\n")
+
+print("BENCH_micro.json:")
+print(json.dumps({k: v for k, v in summary.items() if k != "context"},
+                 indent=2))
+assert summary["speedup"] >= 3.0, \
+    f"ECC engine speedup {summary['speedup']}x below the 3x target"
+EOF
+rm -f ecc_bench_raw.json
+
+"$BUILD"/bench/bench_fig2
+
+if [[ "${CRP_SKIP_TSAN:-0}" != "1" ]]; then
+  TSAN_BUILD=build-tsan
+  cmake -B "$TSAN_BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCRP_SANITIZE=thread
+  cmake --build "$TSAN_BUILD" -j "$(nproc)" --target test_util test_pricing
+  ctest --test-dir "$TSAN_BUILD" --output-on-failure \
+    -R 'ThreadPool|PricingCache|PricingEngine'
+fi

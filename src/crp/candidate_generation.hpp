@@ -7,12 +7,21 @@
 // state (Alg. 3, run in parallel).  Nets of displaced conflict cells
 // are priced too, so a candidate pays for the collateral movement it
 // causes.
+//
+// Pricing runs through the incremental candidate-cost engine
+// (docs/pricing_cache.md): each cell's baseline net prices are
+// computed once, non-current candidates re-price only the nets whose
+// terminal GCell set actually changed (delta pricing), and every
+// pattern route is memoized by canonical terminal set in a shared
+// PricingCache.  All three layers are value-exact: enabling or
+// disabling them changes wall time, never costs.
 #pragma once
 
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "crp/pricing_cache.hpp"
 #include "db/database.hpp"
 #include "groute/global_router.hpp"
 #include "groute/pattern_route.hpp"
@@ -35,13 +44,23 @@ struct CellCandidates {
   std::vector<Candidate> candidates;
 };
 
+/// Switches of the incremental pricing engine (CrpOptions mirrors
+/// these; the ablation bench toggles them independently).
+struct PricingOptions {
+  bool cacheEnabled = true;  ///< memoize priceTree by terminal set
+  bool deltaEnabled = true;  ///< skip nets whose terminals are unchanged
+  int cacheShards = 64;      ///< mutex stripes of the shared cache
+};
+
 /// Pin terminals of `net` with some cells hypothetically relocated.
 std::vector<groute::GPoint> terminalsWithOverrides(
     const db::Database& db, const groute::RoutingGraph& graph, db::NetId net,
     const std::unordered_map<db::CellId, geom::Point>& overrides);
 
 /// Alg. 3 for one candidate: total pattern-route price of every net
-/// touching the moved cells, at the hypothetical positions.
+/// touching the moved cells, at the hypothetical positions.  Reference
+/// implementation (no cache, no delta); the engine in priceCandidates
+/// computes the same per-net prices.
 double estimateCandidateCost(
     const db::Database& db, const groute::GlobalRouter& router,
     const groute::PatternRouter& pattern, db::CellId cell,
@@ -56,7 +75,15 @@ std::vector<CellCandidates> buildCandidates(
     const db::Database& db, const legalizer::IlpLegalizer& legalizer,
     const std::vector<db::CellId>& criticalSet, util::ThreadPool* pool);
 
-/// Alg. 3 (ECC phase): prices every candidate in place.
+/// Alg. 3 (ECC phase): prices every candidate in place through the
+/// incremental engine.  `stats`, when given, receives the phase's
+/// cache/delta counters.
+void priceCandidates(const db::Database& db,
+                     const groute::GlobalRouter& router,
+                     std::vector<CellCandidates>& candidates,
+                     util::ThreadPool* pool,
+                     const PricingOptions& pricing,
+                     PricingStats* stats = nullptr);
 void priceCandidates(const db::Database& db,
                      const groute::GlobalRouter& router,
                      std::vector<CellCandidates>& candidates,
@@ -66,6 +93,7 @@ void priceCandidates(const db::Database& db,
 std::vector<CellCandidates> generateCandidates(
     const db::Database& db, const groute::GlobalRouter& router,
     const legalizer::IlpLegalizer& legalizer,
-    const std::vector<db::CellId>& criticalSet, util::ThreadPool* pool);
+    const std::vector<db::CellId>& criticalSet, util::ThreadPool* pool,
+    const PricingOptions& pricing = {}, PricingStats* stats = nullptr);
 
 }  // namespace crp::core

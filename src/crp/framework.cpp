@@ -40,7 +40,14 @@ IterationReport CrpFramework::runIteration() {
   }
   {
     util::ScopedTimer timer(timers_, kPhaseEcc);
-    priceCandidates(db_, router_, candidates, &pool_);
+    util::Stopwatch watch;
+    PricingOptions pricing;
+    pricing.cacheEnabled = options_.pricingCache;
+    pricing.deltaEnabled = options_.deltaPricing;
+    pricing.cacheShards = options_.pricingShards;
+    priceCandidates(db_, router_, candidates, &pool_, pricing,
+                    &report.pricing);
+    report.eccSeconds = watch.seconds();
   }
 
   // ---- SEL: Eq. 12 -----------------------------------------------------------
@@ -132,6 +139,7 @@ CrpReport CrpFramework::run() {
     const IterationReport iteration = runIteration();
     report.totalMoves += iteration.movedCells + iteration.displacedCells;
     report.totalReroutes += iteration.reroutedNets;
+    report.pricing += iteration.pricing;
     report.iterations.push_back(iteration);
   }
   return report;

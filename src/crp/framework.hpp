@@ -37,12 +37,15 @@ struct IterationReport {
   int displacedCells = 0;  ///< conflict cells moved alongside
   int reroutedNets = 0;
   double selectedCost = 0.0;  ///< Eq. 12 objective of the selection
+  PricingStats pricing;       ///< ECC engine counters for this iteration
+  double eccSeconds = 0.0;    ///< wall time of the ECC phase
 };
 
 struct CrpReport {
   std::vector<IterationReport> iterations;
   int totalMoves = 0;
   int totalReroutes = 0;
+  PricingStats pricing;  ///< summed over iterations
 };
 
 class CrpFramework {

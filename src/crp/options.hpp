@@ -27,6 +27,13 @@ struct CrpOptions {
   std::uint64_t seed = 1;  ///< Alg. 1's annealing draw (reproducible)
   int threads = 0;         ///< worker threads for Alg. 2/3; 0 = hardware
 
+  /// ECC incremental pricing engine (docs/pricing_cache.md).  All three
+  /// knobs are value-exact: toggling them changes the ECC wall time,
+  /// never the candidate costs or the selection.
+  bool pricingCache = true;  ///< memoize priceTree by terminal set
+  bool deltaPricing = true;  ///< re-price only nets whose GCells changed
+  int pricingShards = 64;    ///< mutex stripes of the shared cache
+
   /// Safety cap on critical cells per iteration on top of gamma.
   int maxCriticalCells = std::numeric_limits<int>::max();
 

@@ -1,0 +1,95 @@
+#include "crp/pricing_cache.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace crp::core {
+
+namespace {
+
+/// splitmix64 finalizer: full-avalanche 64-bit mix.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void canonicalizeTerminals(std::vector<groute::GPoint>& terminals) {
+  std::sort(terminals.begin(), terminals.end());
+  terminals.erase(std::unique(terminals.begin(), terminals.end()),
+                  terminals.end());
+}
+
+std::uint64_t terminalSetHash(const std::vector<groute::GPoint>& terminals) {
+  // Seed with the size so {} and {origin} differ; chain mixes so the
+  // hash depends on position (canonical order makes that well-defined).
+  std::uint64_t h = mix64(0x7275746552435026ULL ^ terminals.size());
+  for (const groute::GPoint& t : terminals) {
+    const std::uint64_t packed =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(t.x)) << 32) |
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(t.y));
+    h = mix64(h ^ packed);
+    h = mix64(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                      t.layer)));
+  }
+  return h;
+}
+
+PricingCache::PricingCache(int shards) {
+  const auto count = std::bit_ceil(
+      static_cast<std::size_t>(std::max(1, shards)));
+  shards_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  shardMask_ = count - 1;
+}
+
+double PricingCache::price(const std::vector<groute::GPoint>& terminals,
+                           const groute::PatternRouter& pattern,
+                           groute::PatternRouter::Scratch& scratch) {
+  const std::uint64_t hash = terminalSetHash(terminals);
+  // The top bits pick the shard; unordered_map buckets use the low ones.
+  Shard& shard = *shards_[(hash >> 48) & shardMask_];
+  {
+    std::lock_guard lock(shard.mutex);
+    // Heterogeneous probe: no terminal-vector copy on the hit path.
+    const auto it = shard.entries.find(KeyView{&terminals, hash});
+    if (it != shard.entries.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  // Miss: route outside the lock so shard contention never serializes
+  // pattern routing.  A concurrent duplicate computes the same value
+  // (priceTree is deterministic), so try_emplace keeps the first.
+  const double price = pattern.priceTree(terminals, scratch);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(shard.mutex);
+    shard.entries.try_emplace(Key{terminals, hash}, price);
+  }
+  return price;
+}
+
+PricingStats PricingCache::stats() const {
+  PricingStats stats;
+  stats.cacheHits = hits_.load(std::memory_order_relaxed);
+  stats.cacheMisses = misses_.load(std::memory_order_relaxed);
+  stats.deltaSkips = deltaSkips_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+std::size_t PricingCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    total += shard->entries.size();
+  }
+  return total;
+}
+
+}  // namespace crp::core

@@ -1,0 +1,134 @@
+// Memoized net pricing for the ECC phase (Alg. 3).
+//
+// Candidate pricing re-routes the same terminal sets over and over:
+// every candidate of a cell that lands in the same GCell column
+// produces a byte-identical terminal set, and the baseline (stay)
+// price of a net is needed by every candidate that does not move its
+// pins.  The cache memoizes PatternRouter::priceTree by the canonical
+// (sorted, deduplicated) terminal set, sharded under mutex stripes so
+// all ThreadPool workers share hits.
+//
+// Lifetime/invalidation: demand maps are frozen during Alg. 3 (pattern
+// routing is read-only on the RoutingGraph), so a cache is valid for
+// exactly one ECC phase.  The framework constructs a fresh cache per
+// iteration; there is no mid-phase invalidation (docs/pricing_cache.md).
+//
+// Determinism: priceTree is a pure function of the terminal set and
+// the frozen graph, and entries compare the full terminal vector (the
+// hash only picks the shard/bucket), so a cached value is bit-identical
+// to a recomputed one regardless of thread schedule.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "groute/pattern_route.hpp"
+
+namespace crp::core {
+
+/// Sorts + deduplicates a terminal set in place (the canonical form
+/// terminalsWithOverrides produces; exposed for tests).
+void canonicalizeTerminals(std::vector<groute::GPoint>& terminals);
+
+/// 64-bit hash of a canonical terminal set.  Order-sensitive by design:
+/// canonicalize first.  Mixes each (layer, x, y) with a splitmix64-style
+/// finalizer so distinct small sets do not collide in practice (and a
+/// collision is harmless: entries compare the full key).
+std::uint64_t terminalSetHash(const std::vector<groute::GPoint>& terminals);
+
+/// Aggregated cache counters (one ECC phase, or summed over a run).
+struct PricingStats {
+  std::uint64_t cacheHits = 0;    ///< priced from the cache
+  std::uint64_t cacheMisses = 0;  ///< pattern routes actually executed
+  std::uint64_t deltaSkips = 0;   ///< nets skipped: terminals unchanged
+
+  std::uint64_t netsPriced() const {
+    return cacheHits + cacheMisses + deltaSkips;
+  }
+  double hitRate() const {
+    const std::uint64_t reused = cacheHits + deltaSkips;
+    const std::uint64_t total = reused + cacheMisses;
+    return total == 0 ? 0.0 : static_cast<double>(reused) / total;
+  }
+  PricingStats& operator+=(const PricingStats& other) {
+    cacheHits += other.cacheHits;
+    cacheMisses += other.cacheMisses;
+    deltaSkips += other.deltaSkips;
+    return *this;
+  }
+};
+
+class PricingCache {
+ public:
+  /// `shards` mutex stripes (clamped to >= 1, rounded to a power of 2).
+  explicit PricingCache(int shards = 64);
+
+  /// Returns priceTree(terminals), memoized.  `terminals` must be
+  /// canonical (terminalsWithOverrides output already is).  On a miss
+  /// the route runs outside the shard lock using `scratch`.
+  double price(const std::vector<groute::GPoint>& terminals,
+               const groute::PatternRouter& pattern,
+               groute::PatternRouter::Scratch& scratch);
+
+  /// Records nets skipped entirely by delta pricing.
+  void countDeltaSkip(std::uint64_t n = 1) {
+    deltaSkips_.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// Records prices computed without consulting the cache (cache-off
+  /// mode still reports how much work the ECC phase did).
+  void countBypass(std::uint64_t n = 1) {
+    misses_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  PricingStats stats() const;
+  std::size_t size() const;  ///< resident entries across all shards
+
+ private:
+  struct Key {
+    std::vector<groute::GPoint> terminals;
+    std::uint64_t hash = 0;
+  };
+  /// Borrowed key for the hit path: heterogeneous lookup avoids copying
+  /// the terminal vector just to probe.
+  struct KeyView {
+    const std::vector<groute::GPoint>* terminals;
+    std::uint64_t hash;
+  };
+  struct KeyHash {
+    using is_transparent = void;
+    std::size_t operator()(const Key& k) const {
+      return static_cast<std::size_t>(k.hash);
+    }
+    std::size_t operator()(const KeyView& k) const {
+      return static_cast<std::size_t>(k.hash);
+    }
+  };
+  struct KeyEq {
+    using is_transparent = void;
+    bool operator()(const Key& a, const Key& b) const {
+      return a.hash == b.hash && a.terminals == b.terminals;
+    }
+    bool operator()(const Key& a, const KeyView& b) const {
+      return a.hash == b.hash && a.terminals == *b.terminals;
+    }
+    bool operator()(const KeyView& a, const Key& b) const {
+      return a.hash == b.hash && *a.terminals == b.terminals;
+    }
+  };
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<Key, double, KeyHash, KeyEq> entries;
+  };
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::uint64_t shardMask_ = 0;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> deltaSkips_{0};
+};
+
+}  // namespace crp::core

@@ -2,56 +2,78 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
-#include <map>
-
-#include "rsmt/steiner.hpp"
+#include <tuple>
 
 namespace crp::groute {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::uint64_t mixLeg(std::uint64_t h) {
+  h += 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
 }
 
-std::vector<std::vector<PatternRouter::Run>> PatternRouter::candidatePaths(
-    int ax, int ay, int bx, int by) const {
-  std::vector<std::vector<Run>> paths;
+std::size_t PatternRouter::Scratch::TwoPinLegHash::operator()(
+    const TwoPinLeg& leg) const {
+  std::uint64_t h = mixLeg(
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(leg.a.x)) << 32) |
+      static_cast<std::uint32_t>(leg.a.y));
+  h = mixLeg(h ^ static_cast<std::uint32_t>(leg.a.layer));
+  h = mixLeg(
+      h ^
+      ((static_cast<std::uint64_t>(static_cast<std::uint32_t>(leg.b.x)) << 32) |
+       static_cast<std::uint32_t>(leg.b.y)));
+  h = mixLeg(h ^ static_cast<std::uint32_t>(leg.b.layer));
+  return static_cast<std::size_t>(h);
+}
+
+void PatternRouter::buildCandidatePaths(int ax, int ay, int bx, int by,
+                                        Scratch& s) const {
+  s.numPaths = 0;
+  auto addPath = [&](std::initializer_list<Run> runs) {
+    if (s.numPaths == s.paths.size()) s.paths.emplace_back();
+    s.paths[s.numPaths++].assign(runs.begin(), runs.end());
+  };
   if (ax == bx && ay == by) {
-    return paths;  // same column; pure via connection
+    return;  // same column; pure via connection
   }
-  if (ay == by) {
-    paths.push_back({Run{ax, ay, bx, by}});
-  } else if (ax == bx) {
-    paths.push_back({Run{ax, ay, bx, by}});
-  } else {
-    // L-shapes.
-    paths.push_back({Run{ax, ay, bx, ay}, Run{bx, ay, bx, by}});  // H then V
-    paths.push_back({Run{ax, ay, ax, by}, Run{ax, by, bx, by}});  // V then H
-    // Z-shapes: intermediate bend coordinates, sampled evenly when the
-    // span is wide to bound enumeration cost.
-    auto sampled = [&](int lo, int hi) {
-      std::vector<int> picks;
-      const int span = std::abs(hi - lo) - 1;
-      if (span <= 0) return picks;
-      const int count = std::min(span, maxZCandidates_);
-      for (int i = 1; i <= count; ++i) {
-        const int offset = span * i / (count + 1) + 1;
-        picks.push_back(lo < hi ? lo + offset : lo - offset);
-      }
-      std::sort(picks.begin(), picks.end());
-      picks.erase(std::unique(picks.begin(), picks.end()), picks.end());
-      return picks;
-    };
-    for (const int mx : sampled(ax, bx)) {
-      paths.push_back({Run{ax, ay, mx, ay}, Run{mx, ay, mx, by},
-                       Run{mx, by, bx, by}});
-    }
-    for (const int my : sampled(ay, by)) {
-      paths.push_back({Run{ax, ay, ax, my}, Run{ax, my, bx, my},
-                       Run{bx, my, bx, by}});
-    }
+  if (ay == by || ax == bx) {
+    addPath({Run{ax, ay, bx, by}});
+    return;
   }
-  return paths;
+  // L-shapes.
+  addPath({Run{ax, ay, bx, ay}, Run{bx, ay, bx, by}});  // H then V
+  addPath({Run{ax, ay, ax, by}, Run{ax, by, bx, by}});  // V then H
+  // Z-shapes: intermediate bend coordinates, sampled evenly when the
+  // span is wide to bound enumeration cost.
+  auto sampled = [&](int lo, int hi) -> const std::vector<int>& {
+    auto& picks = s.picks;
+    picks.clear();
+    const int span = std::abs(hi - lo) - 1;
+    if (span <= 0) return picks;
+    const int count = std::min(span, maxZCandidates_);
+    for (int i = 1; i <= count; ++i) {
+      const int offset = span * i / (count + 1) + 1;
+      picks.push_back(lo < hi ? lo + offset : lo - offset);
+    }
+    std::sort(picks.begin(), picks.end());
+    picks.erase(std::unique(picks.begin(), picks.end()), picks.end());
+    return picks;
+  };
+  for (const int mx : sampled(ax, bx)) {
+    addPath({Run{ax, ay, mx, ay}, Run{mx, ay, mx, by},
+             Run{mx, by, bx, by}});
+  }
+  for (const int my : sampled(ay, by)) {
+    addPath({Run{ax, ay, ax, my}, Run{ax, my, bx, my},
+             Run{bx, my, bx, by}});
+  }
 }
 
 double PatternRouter::runCost(const Run& run, int layer) const {
@@ -87,34 +109,39 @@ double PatternRouter::viaStackCost(int x, int y, int lo, int hi) const {
 
 bool PatternRouter::assignLayers(const std::vector<Run>& runs, int startLayer,
                                  int endLayer, double& cost,
-                                 std::vector<int>& layers) const {
+                                 std::vector<int>& layers,
+                                 Scratch& s) const {
   const int numLayers = graph_.numLayers();
   const int numRuns = static_cast<int>(runs.size());
-  // dp[i][l]: best cost of placing runs[0..i] with run i on layer l.
-  std::vector<std::vector<double>> dp(
-      numRuns, std::vector<double>(numLayers, kInf));
-  std::vector<std::vector<int>> parent(numRuns,
-                                       std::vector<int>(numLayers, -1));
+  // dp[i*numLayers + l]: best cost of runs[0..i] with run i on layer l.
+  s.dp.assign(static_cast<std::size_t>(numRuns) * numLayers, kInf);
+  s.parent.assign(static_cast<std::size_t>(numRuns) * numLayers, -1);
+  auto dp = [&](int i, int l) -> double& {
+    return s.dp[static_cast<std::size_t>(i) * numLayers + l];
+  };
+  auto parent = [&](int i, int l) -> int& {
+    return s.parent[static_cast<std::size_t>(i) * numLayers + l];
+  };
 
   for (int l = 0; l < numLayers; ++l) {
     const double wire = runCost(runs[0], l);
     if (wire == kInf) continue;
     const double access =
         viaStackCost(runs[0].x0, runs[0].y0, startLayer, l);
-    dp[0][l] = wire + access;
+    dp(0, l) = wire + access;
   }
   for (int i = 1; i < numRuns; ++i) {
     for (int l = 0; l < numLayers; ++l) {
       const double wire = runCost(runs[i], l);
       if (wire == kInf) continue;
       for (int pl = 0; pl < numLayers; ++pl) {
-        if (dp[i - 1][pl] == kInf) continue;
+        if (dp(i - 1, pl) == kInf) continue;
         // Bend at the shared gcell (start of run i).
         const double bend = viaStackCost(runs[i].x0, runs[i].y0, pl, l);
-        const double total = dp[i - 1][pl] + bend + wire;
-        if (total < dp[i][l]) {
-          dp[i][l] = total;
-          parent[i][l] = pl;
+        const double total = dp(i - 1, pl) + bend + wire;
+        if (total < dp(i, l)) {
+          dp(i, l) = total;
+          parent(i, l) = pl;
         }
       }
     }
@@ -123,9 +150,9 @@ bool PatternRouter::assignLayers(const std::vector<Run>& runs, int startLayer,
   double best = kInf;
   int bestLayer = -1;
   for (int l = 0; l < numLayers; ++l) {
-    if (dp[numRuns - 1][l] == kInf) continue;
+    if (dp(numRuns - 1, l) == kInf) continue;
     const double total =
-        dp[numRuns - 1][l] +
+        dp(numRuns - 1, l) +
         viaStackCost(runs.back().x1, runs.back().y1, l, endLayer);
     if (total < best) {
       best = total;
@@ -138,104 +165,123 @@ bool PatternRouter::assignLayers(const std::vector<Run>& runs, int startLayer,
   int l = bestLayer;
   for (int i = numRuns - 1; i >= 0; --i) {
     layers[i] = l;
-    l = parent[i][l] >= 0 ? parent[i][l] : l;
+    l = parent(i, l) >= 0 ? parent(i, l) : l;
   }
   cost = best;
   return true;
 }
 
-PatternResult PatternRouter::routeTwoPin(const GPoint& a,
-                                         const GPoint& b) const {
-  PatternResult result;
+double PatternRouter::routeTwoPinInto(const GPoint& a, const GPoint& b,
+                                      Scratch& s,
+                                      std::vector<RouteSegment>& out,
+                                      bool& ok) const {
+  ok = true;
   if (a.x == b.x && a.y == b.y) {
     // Same column: pure via stack.
-    result.ok = true;
-    result.cost = viaStackCost(a.x, a.y, a.layer, b.layer);
     if (a.layer != b.layer) {
-      result.segments.push_back(RouteSegment{a, b});
+      out.push_back(RouteSegment{a, b});
     }
-    return result;
+    return viaStackCost(a.x, a.y, a.layer, b.layer);
   }
 
+  buildCandidatePaths(a.x, a.y, b.x, b.y, s);
   double bestCost = kInf;
-  std::vector<Run> bestRuns;
-  std::vector<int> bestLayers;
-  for (const auto& runs : candidatePaths(a.x, a.y, b.x, b.y)) {
+  s.bestRuns.clear();
+  for (std::size_t k = 0; k < s.numPaths; ++k) {
+    const std::vector<Run>& runs = s.paths[k];
     double cost = 0.0;
-    std::vector<int> layers;
-    if (assignLayers(runs, a.layer, b.layer, cost, layers) &&
+    if (assignLayers(runs, a.layer, b.layer, cost, s.layers, s) &&
         cost < bestCost) {
       bestCost = cost;
-      bestRuns = runs;
-      bestLayers = std::move(layers);
+      s.bestRuns.assign(runs.begin(), runs.end());
+      s.bestLayers.assign(s.layers.begin(), s.layers.end());
     }
   }
-  if (bestRuns.empty()) return result;
+  if (s.bestRuns.empty()) {
+    ok = false;
+    return 0.0;
+  }
 
-  result.ok = true;
-  result.cost = bestCost;
   // Emit wire segments plus connecting via stacks.
   int prevLayer = a.layer;
-  for (std::size_t i = 0; i < bestRuns.size(); ++i) {
-    const Run& run = bestRuns[i];
-    const int layer = bestLayers[i];
+  for (std::size_t i = 0; i < s.bestRuns.size(); ++i) {
+    const Run& run = s.bestRuns[i];
+    const int layer = s.bestLayers[i];
     if (layer != prevLayer) {
-      result.segments.push_back(
-          RouteSegment{GPoint{prevLayer, run.x0, run.y0},
-                       GPoint{layer, run.x0, run.y0}});
+      out.push_back(RouteSegment{GPoint{prevLayer, run.x0, run.y0},
+                                 GPoint{layer, run.x0, run.y0}});
     }
-    result.segments.push_back(RouteSegment{GPoint{layer, run.x0, run.y0},
-                                           GPoint{layer, run.x1, run.y1}});
+    out.push_back(RouteSegment{GPoint{layer, run.x0, run.y0},
+                               GPoint{layer, run.x1, run.y1}});
     prevLayer = layer;
   }
   if (prevLayer != b.layer) {
-    result.segments.push_back(RouteSegment{GPoint{prevLayer, b.x, b.y},
-                                           GPoint{b.layer, b.x, b.y}});
+    out.push_back(RouteSegment{GPoint{prevLayer, b.x, b.y},
+                               GPoint{b.layer, b.x, b.y}});
   }
+  return bestCost;
+}
+
+PatternResult PatternRouter::routeTwoPin(const GPoint& a,
+                                         const GPoint& b) const {
+  Scratch scratch;
+  PatternResult result;
+  bool ok = false;
+  const double cost = routeTwoPinInto(a, b, scratch, result.segments, ok);
+  if (!ok) {
+    result.segments.clear();
+    return result;
+  }
+  result.ok = true;
+  result.cost = cost;
   return result;
 }
 
-PatternResult PatternRouter::routeTree(
-    const std::vector<GPoint>& terminals) const {
-  PatternResult result;
-  if (terminals.size() <= 1) {
-    result.ok = true;
-    return result;
-  }
+bool PatternRouter::routeTreeInto(const std::vector<GPoint>& terminals,
+                                  Scratch& s, double& cost) const {
+  cost = 0.0;
+  s.segments.clear();
+  if (terminals.size() <= 1) return true;
 
   // Steiner topology over gcell coordinates.
-  std::vector<geom::Point> pins;
-  pins.reserve(terminals.size());
+  s.pins.clear();
   for (const GPoint& t : terminals) {
-    pins.push_back(geom::Point{t.x, t.y});
+    s.pins.push_back(geom::Point{t.x, t.y});
   }
-  const rsmt::SteinerTree tree = rsmt::buildSteinerTree(pins);
+  rsmt::buildSteinerTree(s.pins, s.tree, s.rsmt);
+  const rsmt::SteinerTree& tree = s.tree;
 
-  // Terminal layer lookup by column; Steiner nodes access at layer of
-  // the lowest routing layer above metal1 (cheap default, refined by
-  // the via-merge pass below).
-  std::map<std::pair<int, int>, int> pinLayer;
+  // Terminal layer lookup by column (min pin layer per column); Steiner
+  // nodes access at the lowest routing layer above metal1 (cheap
+  // default, refined by the via-merge pass below).
+  s.pinLayer.clear();
   for (const GPoint& t : terminals) {
-    auto [it, inserted] = pinLayer.try_emplace({t.x, t.y}, t.layer);
-    if (!inserted) it->second = std::min(it->second, t.layer);
+    s.pinLayer.push_back({{t.x, t.y}, t.layer});
   }
+  std::sort(s.pinLayer.begin(), s.pinLayer.end());
+  s.pinLayer.erase(
+      std::unique(s.pinLayer.begin(), s.pinLayer.end(),
+                  [](const auto& a, const auto& b) {
+                    return a.first == b.first;
+                  }),
+      s.pinLayer.end());
   auto accessLayer = [&](const geom::Point& node) {
-    const auto it = pinLayer.find({static_cast<int>(node.x),
-                                   static_cast<int>(node.y)});
-    if (it != pinLayer.end()) return it->second;
+    const std::pair<int, int> key{static_cast<int>(node.x),
+                                  static_cast<int>(node.y)};
+    const auto it = std::lower_bound(
+        s.pinLayer.begin(), s.pinLayer.end(), key,
+        [](const auto& entry, const std::pair<int, int>& k) {
+          return entry.first < k;
+        });
+    if (it != s.pinLayer.end() && it->first == key) return it->second;
     return std::min(1, graph_.numLayers() - 1);
   };
 
   // Track the layer span touched at every tree-node column so the
   // merge pass can stitch components with via stacks.
-  std::map<std::pair<int, int>, std::pair<int, int>> columnSpan;
+  s.touches.clear();
   auto touch = [&](int x, int y, int layer) {
-    auto [it, inserted] =
-        columnSpan.try_emplace({x, y}, std::pair<int, int>{layer, layer});
-    if (!inserted) {
-      it->second.first = std::min(it->second.first, layer);
-      it->second.second = std::max(it->second.second, layer);
-    }
+    s.touches.push_back(Scratch::ColumnTouch{x, y, layer, layer});
   };
 
   for (const auto& [ia, ib] : tree.edges) {
@@ -245,11 +291,26 @@ PatternResult PatternRouter::routeTree(
                    static_cast<int>(pa.y)};
     const GPoint b{accessLayer(pb), static_cast<int>(pb.x),
                    static_cast<int>(pb.y)};
-    PatternResult leg = routeTwoPin(a, b);
-    if (!leg.ok) return PatternResult{};
-    result.cost += leg.cost;
-    for (const RouteSegment& seg : leg.segments) {
-      result.segments.push_back(seg);
+    bool ok = false;
+    if (s.useTwoPinMemo) {
+      // Replay memoized legs verbatim (cost and segments) so the
+      // via-merge pass below sees the exact segment stream the live
+      // route would have produced.
+      const auto [it, inserted] =
+          s.twoPinMemo.try_emplace(Scratch::TwoPinLeg{a, b});
+      if (inserted) {
+        s.legSegments.clear();
+        it->second.cost = routeTwoPinInto(a, b, s, s.legSegments, ok);
+        it->second.ok = ok;
+        it->second.segments = s.legSegments;
+      }
+      if (!it->second.ok) return false;
+      cost += it->second.cost;
+      s.segments.insert(s.segments.end(), it->second.segments.begin(),
+                        it->second.segments.end());
+    } else {
+      cost += routeTwoPinInto(a, b, s, s.segments, ok);
+      if (!ok) return false;
     }
     touch(a.x, a.y, a.layer);
     touch(b.x, b.y, b.layer);
@@ -257,17 +318,37 @@ PatternResult PatternRouter::routeTree(
 
   // Terminals sharing a column with different pin layers need a stack.
   for (const GPoint& t : terminals) touch(t.x, t.y, t.layer);
-  for (const RouteSegment& seg : result.segments) {
+  for (const RouteSegment& seg : s.segments) {
     touch(seg.a.x, seg.a.y, seg.a.layer);
     touch(seg.b.x, seg.b.y, seg.b.layer);
   }
-  for (const auto& [xy, span] : columnSpan) {
+
+  // Merge touches into per-column spans, ascending column order.
+  std::sort(s.touches.begin(), s.touches.end(),
+            [](const Scratch::ColumnTouch& a, const Scratch::ColumnTouch& b) {
+              return std::tie(a.x, a.y, a.lo) < std::tie(b.x, b.y, b.lo);
+            });
+  std::size_t spanCount = 0;
+  for (std::size_t i = 0; i < s.touches.size(); ++i) {
+    if (spanCount > 0 && s.touches[spanCount - 1].x == s.touches[i].x &&
+        s.touches[spanCount - 1].y == s.touches[i].y) {
+      s.touches[spanCount - 1].lo =
+          std::min(s.touches[spanCount - 1].lo, s.touches[i].lo);
+      s.touches[spanCount - 1].hi =
+          std::max(s.touches[spanCount - 1].hi, s.touches[i].hi);
+    } else {
+      s.touches[spanCount++] = s.touches[i];
+    }
+  }
+
+  for (std::size_t k = 0; k < spanCount; ++k) {
+    const Scratch::ColumnTouch& span = s.touches[k];
     // Only stitch at columns that are tree nodes or terminals (segment
     // interiors never change layer).
-    if (span.first == span.second) continue;
+    if (span.lo == span.hi) continue;
     bool isNode = false;
     for (const geom::Point& node : tree.nodes) {
-      if (node.x == xy.first && node.y == xy.second) {
+      if (node.x == span.x && node.y == span.y) {
         isNode = true;
         break;
       }
@@ -275,32 +356,54 @@ PatternResult PatternRouter::routeTree(
     if (!isNode) continue;
     // A via stack across the span guarantees connectivity; avoid
     // duplicating stacks already emitted by two-pin legs.
-    const RouteSegment stack{GPoint{span.first, xy.first, xy.second},
-                             GPoint{span.second, xy.first, xy.second}};
+    const RouteSegment stack{GPoint{span.lo, span.x, span.y},
+                             GPoint{span.hi, span.x, span.y}};
     bool covered = false;
-    for (const RouteSegment& seg : result.segments) {
+    for (const RouteSegment& seg : s.segments) {
       if (seg.isVia() && seg.a.x == stack.a.x && seg.a.y == stack.a.y) {
         const int lo = std::min(seg.a.layer, seg.b.layer);
         const int hi = std::max(seg.a.layer, seg.b.layer);
-        if (lo <= span.first && hi >= span.second) {
+        if (lo <= span.lo && hi >= span.hi) {
           covered = true;
           break;
         }
       }
     }
     if (!covered) {
-      result.segments.push_back(stack);
-      result.cost += viaStackCost(xy.first, xy.second, span.first,
-                                  span.second);
+      s.segments.push_back(stack);
+      cost += viaStackCost(span.x, span.y, span.lo, span.hi);
     }
   }
+  return true;
+}
 
+PatternResult PatternRouter::routeTree(
+    const std::vector<GPoint>& terminals) const {
+  Scratch scratch;
+  return routeTree(terminals, scratch);
+}
+
+PatternResult PatternRouter::routeTree(const std::vector<GPoint>& terminals,
+                                       Scratch& scratch) const {
+  PatternResult result;
+  double cost = 0.0;
+  if (!routeTreeInto(terminals, scratch, cost)) return result;
   result.ok = true;
+  result.cost = cost;
+  result.segments.assign(scratch.segments.begin(), scratch.segments.end());
   return result;
 }
 
 double PatternRouter::priceTree(const std::vector<GPoint>& terminals) const {
-  return routeTree(terminals).cost;
+  Scratch scratch;
+  return priceTree(terminals, scratch);
+}
+
+double PatternRouter::priceTree(const std::vector<GPoint>& terminals,
+                                Scratch& scratch) const {
+  double cost = 0.0;
+  if (!routeTreeInto(terminals, scratch, cost)) return 0.0;
+  return cost;
 }
 
 }  // namespace crp::groute

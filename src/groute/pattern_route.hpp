@@ -9,12 +9,18 @@
 //
 // Pattern routing is read-only on the RoutingGraph: CR&P prices many
 // hypothetical cell positions against the same demand state (Alg. 3)
-// and only the winning candidate is committed.
+// and only the winning candidate is committed.  The Scratch overloads
+// exist for that hot loop: one Scratch per thread keeps path
+// enumeration, the layer-assignment DP tables and the Steiner build
+// free of heap allocations in steady state.
 #pragma once
 
+#include <cstddef>
+#include <unordered_map>
 #include <vector>
 
 #include "groute/routing_graph.hpp"
+#include "rsmt/steiner.hpp"
 
 namespace crp::groute {
 
@@ -26,6 +32,59 @@ struct PatternResult {
 
 class PatternRouter {
  public:
+  struct Run {
+    // 2D straight run from (x0,y0) to (x1,y1); horizontal when y0==y1.
+    int x0, y0, x1, y1;
+    bool horizontal() const { return y0 == y1; }
+  };
+
+  /// Reusable work buffers.  Not thread-safe: use one per thread.
+  struct Scratch {
+    // candidate path enumeration (first numPaths entries are live)
+    std::vector<std::vector<Run>> paths;
+    std::size_t numPaths = 0;
+    std::vector<int> picks;
+    // layer-assignment DP, flattened numRuns x numLayers
+    std::vector<double> dp;
+    std::vector<int> parent;
+    std::vector<int> layers;
+    std::vector<int> bestLayers;
+    std::vector<Run> bestRuns;
+    // tree decomposition
+    std::vector<geom::Point> pins;
+    rsmt::SteinerTree tree;
+    rsmt::Scratch rsmt;
+    std::vector<std::pair<std::pair<int, int>, int>> pinLayer;
+    struct ColumnTouch {
+      int x, y, lo, hi;
+    };
+    std::vector<ColumnTouch> touches;
+    std::vector<RouteSegment> segments;
+    // Optional per-phase two-pin memo.  Terminal sets priced in one ECC
+    // phase share most Steiner legs (delta candidates move one pin), so
+    // each distinct (a, b) leg is routed once and its cost + segments
+    // replayed verbatim — the via-merge pass still sees the same
+    // segment stream, so tree costs stay bit-identical.  Valid only
+    // while the graph's demand maps are frozen: callers enable it per
+    // pricing phase and clear it when demand changes.  Off by default
+    // so routeTwoPin/routeTree stay memo-free.
+    bool useTwoPinMemo = false;
+    struct TwoPinLeg {
+      GPoint a, b;
+      bool operator==(const TwoPinLeg&) const = default;
+    };
+    struct TwoPinLegHash {
+      std::size_t operator()(const TwoPinLeg& leg) const;
+    };
+    struct TwoPinRoute {
+      double cost = 0.0;
+      bool ok = false;
+      std::vector<RouteSegment> segments;
+    };
+    std::unordered_map<TwoPinLeg, TwoPinRoute, TwoPinLegHash> twoPinMemo;
+    std::vector<RouteSegment> legSegments;  // single-leg staging buffer
+  };
+
   explicit PatternRouter(const RoutingGraph& graph,
                          int maxZCandidates = 8)
       : graph_(graph), maxZCandidates_(maxZCandidates) {}
@@ -38,21 +97,21 @@ class PatternRouter {
   /// the Steiner topology, pattern-routes every tree edge and adds the
   /// via stacks that make the 3D route a single connected component.
   PatternResult routeTree(const std::vector<GPoint>& terminals) const;
+  PatternResult routeTree(const std::vector<GPoint>& terminals,
+                          Scratch& scratch) const;
 
-  /// Price of routeTree without building segments (same value, cheaper
-  /// call used in hot loops).
+  /// Price of routeTree without building a result (same value, cheaper
+  /// call used in hot loops).  The Scratch overload is allocation-free
+  /// in steady state.
   double priceTree(const std::vector<GPoint>& terminals) const;
+  double priceTree(const std::vector<GPoint>& terminals,
+                   Scratch& scratch) const;
 
  private:
-  struct Run {
-    // 2D straight run from (x0,y0) to (x1,y1); horizontal when y0==y1.
-    int x0, y0, x1, y1;
-    bool horizontal() const { return y0 == y1; }
-  };
-
-  /// Enumerates candidate 2D paths (lists of runs) between two gcells.
-  std::vector<std::vector<Run>> candidatePaths(int ax, int ay, int bx,
-                                               int by) const;
+  /// Enumerates candidate 2D paths between two gcells into
+  /// scratch.paths[0..scratch.numPaths).
+  void buildCandidatePaths(int ax, int ay, int bx, int by,
+                           Scratch& scratch) const;
 
   /// Wire cost of a run on a specific layer (infinity when the layer
   /// direction does not match).
@@ -64,8 +123,17 @@ class PatternRouter {
   /// Layer-assignment DP over a candidate path; returns total cost and
   /// chosen layers (empty on failure).
   bool assignLayers(const std::vector<Run>& runs, int startLayer,
-                    int endLayer, double& cost,
-                    std::vector<int>& layers) const;
+                    int endLayer, double& cost, std::vector<int>& layers,
+                    Scratch& scratch) const;
+
+  /// Core two-pin route: appends segments to `out`, returns the cost;
+  /// `ok` is false when no path exists.
+  double routeTwoPinInto(const GPoint& a, const GPoint& b, Scratch& scratch,
+                         std::vector<RouteSegment>& out, bool& ok) const;
+
+  /// Core tree route: fills scratch.segments, accumulates `cost`.
+  bool routeTreeInto(const std::vector<GPoint>& terminals, Scratch& scratch,
+                     double& cost) const;
 
   const RoutingGraph& graph_;
   int maxZCandidates_;

@@ -33,15 +33,21 @@ class DisjointSet {
   std::vector<int> parent_;
 };
 
-/// Prim MST over `points` by Manhattan distance; returns edge list.
-std::vector<std::pair<int, int>> primEdges(const std::vector<Point>& points) {
+/// Prim MST over `points` by Manhattan distance into `edges`, reusing
+/// the scratch state vectors.
+void primEdgesInto(const std::vector<Point>& points,
+                   std::vector<std::pair<int, int>>& edges,
+                   Scratch& scratch) {
   const int n = static_cast<int>(points.size());
-  std::vector<std::pair<int, int>> edges;
-  if (n <= 1) return edges;
-  std::vector<bool> inTree(n, false);
-  std::vector<Coord> best(n, std::numeric_limits<Coord>::max());
-  std::vector<int> from(n, 0);
-  inTree[0] = true;
+  edges.clear();
+  if (n <= 1) return;
+  auto& inTree = scratch.inTree;
+  auto& best = scratch.best;
+  auto& from = scratch.from;
+  inTree.assign(n, 0);
+  best.assign(n, std::numeric_limits<Coord>::max());
+  from.assign(n, 0);
+  inTree[0] = 1;
   for (int i = 1; i < n; ++i) {
     best[i] = geom::manhattan(points[0], points[i]);
     from[i] = 0;
@@ -55,7 +61,7 @@ std::vector<std::pair<int, int>> primEdges(const std::vector<Point>& points) {
         pickDist = best[i];
       }
     }
-    inTree[pick] = true;
+    inTree[pick] = 1;
     edges.emplace_back(from[pick], pick);
     for (int i = 0; i < n; ++i) {
       if (!inTree[i]) {
@@ -67,6 +73,12 @@ std::vector<std::pair<int, int>> primEdges(const std::vector<Point>& points) {
       }
     }
   }
+}
+
+std::vector<std::pair<int, int>> primEdges(const std::vector<Point>& points) {
+  std::vector<std::pair<int, int>> edges;
+  Scratch scratch;
+  primEdgesInto(points, edges, scratch);
   return edges;
 }
 
@@ -296,13 +308,32 @@ SteinerTree buildMst(std::span<const Point> pins) {
 }
 
 SteinerTree buildSteinerTree(std::span<const Point> pins) {
-  SteinerTree seed = buildMst(pins);
-  if (seed.numPins <= 2) return seed;
-  if (seed.numPins <= 4) {
-    return exactSmall(seed.nodes);
+  SteinerTree tree;
+  Scratch scratch;
+  buildSteinerTree(pins, tree, scratch);
+  return tree;
+}
+
+void buildSteinerTree(std::span<const Point> pins, SteinerTree& out,
+                      Scratch& scratch) {
+  // Deduplicate while preserving order of first occurrence (same
+  // contract as buildMst).
+  auto& unique = scratch.pins;
+  unique.clear();
+  for (const Point& p : pins) {
+    if (std::find(unique.begin(), unique.end(), p) == unique.end()) {
+      unique.push_back(p);
+    }
   }
-  steinerize(seed);
-  return seed;
+  out.nodes.assign(unique.begin(), unique.end());
+  out.numPins = static_cast<int>(out.nodes.size());
+  primEdgesInto(out.nodes, out.edges, scratch);
+  if (out.numPins <= 2) return;
+  if (out.numPins <= 4) {
+    out = exactSmall(out.nodes);
+    return;
+  }
+  steinerize(out);
 }
 
 }  // namespace crp::rsmt

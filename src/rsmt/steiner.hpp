@@ -40,9 +40,25 @@ struct SteinerTree {
   std::vector<std::pair<Point, Point>> segments() const;
 };
 
+/// Reusable work buffers for tree construction.  Hot loops (ECC
+/// candidate pricing builds one tree per net per candidate) keep one
+/// Scratch per thread so repeated builds make no heap allocations on
+/// the common (<= 4 pin, and MST) paths.
+struct Scratch {
+  std::vector<Point> pins;      ///< deduplicated input pins
+  std::vector<char> inTree;     ///< Prim state
+  std::vector<Coord> best;
+  std::vector<int> from;
+};
+
 /// Builds a rectilinear Steiner tree over `pins`.  Duplicated points
 /// are merged.  A single pin yields a tree with one node and no edges.
 SteinerTree buildSteinerTree(std::span<const Point> pins);
+
+/// Allocation-conscious variant: builds into `out` reusing its and
+/// `scratch`'s buffers.  Same result as buildSteinerTree.
+void buildSteinerTree(std::span<const Point> pins, SteinerTree& out,
+                      Scratch& scratch);
 
 /// Plain Prim MST over the pins (no Steiner points); exposed for
 /// benchmarking and as the upper bound in property tests.

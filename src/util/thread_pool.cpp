@@ -1,6 +1,8 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <utility>
 
 namespace crp::util {
 
@@ -32,24 +34,54 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::waitIdle() {
-  std::unique_lock lock(mutex_);
-  idle_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+  std::exception_ptr error;
+  {
+    std::unique_lock lock(mutex_);
+    idle_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+    error = std::exchange(submitError_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::parallelFor(std::size_t n,
                              const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
   const std::size_t workers = workers_.size();
-  // Chunk so that each worker gets a few chunks for load balance.
-  const std::size_t chunk =
-      std::max<std::size_t>(1, n / (workers * 4 + 1));
-  for (std::size_t begin = 0; begin < n; begin += chunk) {
-    const std::size_t end = std::min(n, begin + chunk);
-    submit([begin, end, &body] {
-      for (std::size_t i = begin; i < end; ++i) body(i);
-    });
+  // Grain: small enough that skewed per-index costs balance across
+  // workers, large enough to amortize the atomic fetch.
+  const std::size_t grain =
+      std::max<std::size_t>(1, n / (workers * 16 + 1));
+  const std::size_t grains = (n + grain - 1) / grain;
+
+  // All state lives on this frame: waitIdle() below guarantees every
+  // puller finished before the frame unwinds.
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> aborted{false};
+  std::exception_ptr error;
+  std::mutex errorMutex;
+
+  auto puller = [&] {
+    for (;;) {
+      if (aborted.load(std::memory_order_relaxed)) return;
+      const std::size_t begin =
+          cursor.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= n) return;
+      const std::size_t end = std::min(n, begin + grain);
+      try {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      } catch (...) {
+        std::lock_guard lock(errorMutex);
+        if (!error) error = std::current_exception();
+        aborted.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+  for (std::size_t t = 0; t < std::min(workers, grains); ++t) {
+    submit(puller);
   }
   waitIdle();
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::workerLoop() {
@@ -63,9 +95,15 @@ void ThreadPool::workerLoop() {
       tasks_.pop();
       ++active_;
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::lock_guard lock(mutex_);
+      if (error && !submitError_) submitError_ = error;
       --active_;
       if (tasks_.empty() && active_ == 0) idle_.notify_all();
     }

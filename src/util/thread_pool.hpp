@@ -7,10 +7,22 @@
 // processed.  Determinism note: parallel loops in this codebase only
 // write to disjoint per-index slots, so results are identical to the
 // sequential execution regardless of scheduling.
+//
+// parallelFor uses dynamic (atomic-counter) chunk scheduling: workers
+// pull small index ranges off a shared counter, so skewed per-index
+// costs (candidate pricing varies heavily with net degree) cannot
+// leave the pool idle behind one fat statically-assigned chunk.
+//
+// Exceptions thrown by a task are captured and rethrown on the calling
+// thread: parallelFor rethrows the first exception its body threw;
+// waitIdle rethrows the first exception of a plain submit() task.  The
+// worker's active count is decremented on the throw path, so waitIdle
+// never hangs after a failure.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -30,16 +42,19 @@ class ThreadPool {
 
   std::size_t threadCount() const { return workers_.size(); }
 
-  /// Enqueues a task for asynchronous execution.
+  /// Enqueues a task for asynchronous execution.  If the task throws,
+  /// the first such exception is rethrown by the next waitIdle().
   void submit(std::function<void()> task);
 
-  /// Blocks until all submitted tasks have finished.
+  /// Blocks until all submitted tasks have finished, then rethrows the
+  /// first exception any of them threw (if any).
   void waitIdle();
 
-  /// Runs body(i) for i in [0, n), partitioned into contiguous chunks
-  /// across the pool; blocks until complete.  Exceptions escaping
-  /// `body` terminate (tasks are noexcept boundaries by design — the
-  /// routing kernels do not throw).
+  /// Runs body(i) for i in [0, n); blocks until complete.  Indices are
+  /// handed out in contiguous grains through a shared atomic cursor
+  /// (dynamic load balancing).  The first exception thrown by `body`
+  /// is rethrown here on the calling thread; remaining grains are
+  /// abandoned (already-started ones still finish their grain).
   void parallelFor(std::size_t n, const std::function<void(std::size_t)>& body);
 
  private:
@@ -52,6 +67,7 @@ class ThreadPool {
   std::condition_variable idle_;
   std::size_t active_ = 0;
   bool stop_ = false;
+  std::exception_ptr submitError_;  ///< first failure of a submit() task
 };
 
 }  // namespace crp::util

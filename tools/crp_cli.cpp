@@ -47,6 +47,7 @@
 #include "lefdef/guide_io.hpp"
 #include "lefdef/lef_parser.hpp"
 #include "lefdef/lef_writer.hpp"
+#include "util/string_util.hpp"
 #include "viz/svg_writer.hpp"
 
 namespace {
@@ -133,10 +134,31 @@ int cmdRoute(const Args& args) {
   return 0;
 }
 
+void printCrpTelemetry(const core::CrpFramework& framework,
+                       const core::CrpReport& report) {
+  const auto& timers = framework.timers();
+  std::cout << "phase times (s):";
+  for (const char* phase :
+       {core::kPhaseLcc, core::kPhaseGcp, core::kPhaseEcc, core::kPhaseSel,
+        core::kPhaseUd}) {
+    std::cout << " " << phase << "="
+              << crp::util::formatDouble(timers.total(phase), 3);
+  }
+  std::cout << "\n";
+  const auto& pricing = report.pricing;
+  std::cout << "ECC pricing: " << pricing.netsPriced() << " nets priced, "
+            << pricing.cacheMisses << " pattern routes, "
+            << pricing.cacheHits << " cache hits, " << pricing.deltaSkips
+            << " delta skips (reuse rate "
+            << crp::util::formatDouble(100.0 * pricing.hitRate(), 1)
+            << "%)\n";
+}
+
 int cmdRun(const Args& args) {
   if (args.positional.size() < 4) {
     std::cerr << "usage: crp run in.lef in.def out.def out.guide [--k N] "
-                 "[--gamma G] [--seed S]\n";
+                 "[--gamma G] [--seed S] [--threads N] [--cache 0|1] "
+                 "[--delta 0|1]\n";
     return 2;
   }
   auto db = loadDesign(args.positional[0], args.positional[1]);
@@ -150,12 +172,16 @@ int cmdRun(const Args& args) {
   options.iterations = static_cast<int>(args.number("k", 10));
   options.gamma = args.number("gamma", options.gamma);
   options.seed = static_cast<std::uint64_t>(args.number("seed", 1));
+  options.threads = static_cast<int>(args.number("threads", 0));
+  options.pricingCache = args.number("cache", 1) > 0;
+  options.deltaPricing = args.number("delta", 1) > 0;
   core::CrpFramework framework(db, router, options);
   const auto report = framework.run();
   std::cout << "CR&P: " << options.iterations << " iterations, "
             << report.totalMoves << " moves, " << report.totalReroutes
             << " reroutes; placement legal: "
             << (db::isPlacementLegal(db) ? "yes" : "NO") << "\n";
+  printCrpTelemetry(framework, report);
   lefdef::writeDefFile(args.positional[2], db);
   lefdef::writeGuidesFile(args.positional[3], db, router.buildGuides());
   std::cout << "outputs -> " << args.positional[2] << ", "
@@ -191,8 +217,9 @@ int cmdFlow(const Args& args) {
   core::CrpOptions options;
   options.iterations = static_cast<int>(args.number("k", 10));
   core::CrpFramework framework(db, router, options);
-  framework.run();
+  const auto crpReport = framework.run();
   std::cout << "--- after CR&P (k=" << options.iterations << ") ---\n";
+  printCrpTelemetry(framework, crpReport);
   droute::DetailedRouter after(db, router.buildGuides());
   const auto afterStats = after.run();
   printMetrics(afterStats, db);
