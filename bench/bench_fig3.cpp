@@ -35,12 +35,12 @@ int main() {
 
   for (const auto& entry : suite) {
     const auto run = bench::runFlow(entry, FlowKind::kCrp, k);
-    const auto& phases = run.crpPhases;
-    const double gcp = phases.total(core::kPhaseGcp);
-    const double ecc = phases.total(core::kPhaseEcc);
-    const double ud = phases.total(core::kPhaseUd);
-    const double misc =
-        phases.total(core::kPhaseLcc) + phases.total(core::kPhaseSel);
+    const auto& phases = run.crpReport;
+    const double gcp = phases.phaseSeconds(core::kPhaseGcp);
+    const double ecc = phases.phaseSeconds(core::kPhaseEcc);
+    const double ud = phases.phaseSeconds(core::kPhaseUd);
+    const double misc = phases.phaseSeconds(core::kPhaseLcc) +
+                        phases.phaseSeconds(core::kPhaseSel);
     const double total = run.grSeconds + gcp + ecc + ud + misc +
                          run.drSeconds;
     auto share = [total](double seconds) {

@@ -20,6 +20,7 @@
 #include "droute/detailed_router.hpp"
 #include "eval/evaluator.hpp"
 #include "groute/global_router.hpp"
+#include "obs/run_report.hpp"
 #include "util/string_util.hpp"
 #include "util/timer.hpp"
 
@@ -39,7 +40,7 @@ struct FlowOutcome {
   double drSeconds = 0.0;
   double totalSeconds() const { return grSeconds + optSeconds + drSeconds; }
   int moves = 0;
-  util::PhaseTimer crpPhases;  ///< populated for kCrp
+  obs::RunReport crpReport;  ///< populated for kCrp (phase seconds etc.)
 };
 
 /// Environment override helper.
@@ -101,7 +102,7 @@ inline FlowOutcome runFlow(const bmgen::SuiteEntry& entry, FlowKind kind,
       core::CrpFramework framework(db, router, options);
       const auto report = framework.run();
       outcome.moves = report.totalMoves;
-      outcome.crpPhases = framework.timers();
+      outcome.crpReport = framework.runReport();
       break;
     }
   }

@@ -8,4 +8,32 @@ cd "$(dirname "$0")/.."
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
+
+# Observability smoke: run the CLI flow on a tiny generated design and
+# validate that the emitted trace and report files load as JSON (the
+# trace must also be Chrome trace_event-shaped).
+OBS_TMP=$(mktemp -d)
+trap 'rm -rf "$OBS_TMP"' EXIT
+build/tools/crp generate "$OBS_TMP/tiny.lef" "$OBS_TMP/tiny.def" \
+  --cells 200 --seed 3
+build/tools/crp run "$OBS_TMP/tiny.lef" "$OBS_TMP/tiny.def" \
+  "$OBS_TMP/out.def" "$OBS_TMP/out.guide" --k 2 \
+  --trace-out "$OBS_TMP/trace.json" --report-out "$OBS_TMP/report.json"
+python3 - "$OBS_TMP/trace.json" "$OBS_TMP/report.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+assert isinstance(trace["traceEvents"], list) and trace["traceEvents"], \
+    "trace has no events"
+assert all(e["ph"] == "X" for e in trace["traceEvents"])
+
+with open(sys.argv[2]) as f:
+    report = json.load(f)
+assert report["schemaVersion"] == 1, report.get("schemaVersion")
+assert len(report["phases"]) == 5, report["phases"]
+print(f"obs smoke ok: {len(trace['traceEvents'])} trace events, "
+      f"{len(report['phases'])} phases")
+EOF
+
 for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt

@@ -4,9 +4,10 @@
 #   1. Release build, run the bench_micro ECC benchmarks + bench_fig2,
 #      and distill BENCH_micro.json at the repo root: naive vs engine
 #      ECC wall time, the speedup, and the cache/delta reuse rate.
-#   2. ThreadPool + pricing tests under ThreadSanitizer (CRP_SANITIZE=thread,
-#      separate build tree), guarding the sharded cache and the dynamic
-#      parallelFor scheduling.  Skip with CRP_SKIP_TSAN=1.
+#   2. ThreadPool + pricing + observability tests under ThreadSanitizer
+#      (CRP_SANITIZE=thread, separate build tree), guarding the sharded
+#      cache, the dynamic parallelFor scheduling, and the metrics
+#      registry / span tracer.  Skip with CRP_SKIP_TSAN=1.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -70,7 +71,8 @@ if [[ "${CRP_SKIP_TSAN:-0}" != "1" ]]; then
   TSAN_BUILD=build-tsan
   cmake -B "$TSAN_BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCRP_SANITIZE=thread
-  cmake --build "$TSAN_BUILD" -j "$(nproc)" --target test_util test_pricing
+  cmake --build "$TSAN_BUILD" -j "$(nproc)" \
+    --target test_util test_pricing test_obs
   ctest --test-dir "$TSAN_BUILD" --output-on-failure \
-    -R 'ThreadPool|PricingCache|PricingEngine'
+    -R 'ThreadPool|PricingCache|PricingEngine|Metrics|Tracer|ObsMacros'
 fi

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Regenerates the golden-regression fingerprints in tests/golden/.
+#
+# The golden test (tests/test_golden.cpp) first proves the fingerprint
+# is identical across --threads 1 and --threads 8; only then does
+# CRP_UPDATE_GOLDENS=1 overwrite the golden file.  Inspect the diff of
+# tests/golden/*.json before committing — a changed golden is a changed
+# flow result and needs a justification in the commit message.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=build
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD" -j "$(nproc)" --target test_golden
+
+CRP_UPDATE_GOLDENS=1 ctest --test-dir "$BUILD" --output-on-failure -L golden
+
+git -P diff --stat -- tests/golden || true

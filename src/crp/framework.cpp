@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/logger.hpp"
 
 namespace crp::core {
@@ -13,33 +14,55 @@ CrpFramework::CrpFramework(db::Database& db, groute::GlobalRouter& router,
       options_(options),
       rng_(options.seed),
       pool_(options.threads == 0 ? 0
-                                 : static_cast<std::size_t>(options.threads)) {
+                                 : static_cast<std::size_t>(options.threads)),
+      baseline_(obs::MetricsRegistry::instance().snapshot()) {
+  for (const char* phase : kPhases) {
+    runReport_.phases.push_back(obs::RunReport::PhaseStat{phase, 0.0});
+  }
+}
+
+void CrpFramework::chargePhase(const char* phase, double seconds) {
+  for (obs::RunReport::PhaseStat& stat : runReport_.phases) {
+    if (stat.name == phase) {
+      stat.seconds += seconds;
+      return;
+    }
+  }
 }
 
 IterationReport CrpFramework::runIteration() {
   IterationReport report;
+  CRP_OBS_SPAN_ARG("crp", "crp.iteration", runReport_.iterationStats.size());
 
   // ---- LCC: Alg. 1 -----------------------------------------------------------
   std::vector<db::CellId> criticalSet;
   {
-    util::ScopedTimer timer(timers_, kPhaseLcc);
+    CRP_OBS_SPAN("crp", "phase.LCC");
+    util::Stopwatch watch;
     criticalSet = labelCriticalCells(db_, router_, criticalHistory_, moved_,
                                      rng_, options_);
+    chargePhase(kPhaseLcc, watch.seconds());
   }
   report.criticalCells = static_cast<int>(criticalSet.size());
-  if (criticalSet.empty()) return report;
+  CRP_OBS_COUNT("crp.critical_cells", criticalSet.size());
+  if (criticalSet.empty()) {
+    runReport_.iterationStats.push_back(obs::RunReport::IterationStat{});
+    return report;
+  }
 
   // ---- GCP + ECC: Alg. 2 / Alg. 3 ---------------------------------------------
   std::vector<CellCandidates> candidates;
   {
     // The legalizer snapshot reads current positions; a fresh instance
     // per iteration keeps it consistent after the previous UD phase.
-    util::ScopedTimer timer(timers_, kPhaseGcp);
+    CRP_OBS_SPAN("crp", "phase.GCP");
+    util::Stopwatch watch;
     const legalizer::IlpLegalizer legalizer(db_, options_.legalizer);
     candidates = buildCandidates(db_, legalizer, criticalSet, &pool_);
+    chargePhase(kPhaseGcp, watch.seconds());
   }
   {
-    util::ScopedTimer timer(timers_, kPhaseEcc);
+    CRP_OBS_SPAN("crp", "phase.ECC");
     util::Stopwatch watch;
     PricingOptions pricing;
     pricing.cacheEnabled = options_.pricingCache;
@@ -48,19 +71,29 @@ IterationReport CrpFramework::runIteration() {
     priceCandidates(db_, router_, candidates, &pool_, pricing,
                     &report.pricing);
     report.eccSeconds = watch.seconds();
+    chargePhase(kPhaseEcc, report.eccSeconds);
+    // One aggregate publish per ECC phase (the pricing hot path keeps
+    // its own atomics in PricingCache; see obs.hpp on hot-path policy).
+    CRP_OBS_COUNT("pricing.cache_hits", report.pricing.cacheHits);
+    CRP_OBS_COUNT("pricing.cache_misses", report.pricing.cacheMisses);
+    CRP_OBS_COUNT("pricing.delta_skips", report.pricing.deltaSkips);
+    CRP_OBS_COUNT("pricing.nets_priced", report.pricing.netsPriced());
   }
 
   // ---- SEL: Eq. 12 -----------------------------------------------------------
   SelectionResult selection;
   {
-    util::ScopedTimer timer(timers_, kPhaseSel);
+    CRP_OBS_SPAN("crp", "phase.SEL");
+    util::Stopwatch watch;
     selection = selectCandidates(db_, candidates);
+    chargePhase(kPhaseSel, watch.seconds());
   }
   report.selectedCost = selection.totalCost;
 
   // ---- UD: §IV.B.5 -----------------------------------------------------------
   {
-    util::ScopedTimer timer(timers_, kPhaseUd);
+    CRP_OBS_SPAN("crp", "phase.UD");
+    util::Stopwatch watch;
 
     // Move-budget enforcement (ICCAD-style contests): rank the selected
     // moves by estimated gain and keep the best that fit.
@@ -122,9 +155,27 @@ IterationReport CrpFramework::runIteration() {
     }
     report.reroutedNets = static_cast<int>(affectedNets.size());
     movesUsed_ += report.movedCells + report.displacedCells;
+    chargePhase(kPhaseUd, watch.seconds());
   }
 
   for (const db::CellId c : criticalSet) criticalHistory_.insert(c);
+  CRP_OBS_COUNT("crp.moves", report.movedCells + report.displacedCells);
+  CRP_OBS_COUNT("crp.reroutes", report.reroutedNets);
+
+  // Mirror the iteration into the run report.
+  obs::RunReport::IterationStat stat;
+  stat.criticalCells = report.criticalCells;
+  stat.movedCells = report.movedCells;
+  stat.displacedCells = report.displacedCells;
+  stat.reroutedNets = report.reroutedNets;
+  stat.selectedCost = report.selectedCost;
+  stat.netsPriced = report.pricing.netsPriced();
+  runReport_.iterationStats.push_back(stat);
+  runReport_.pricing.cacheHits += report.pricing.cacheHits;
+  runReport_.pricing.cacheMisses += report.pricing.cacheMisses;
+  runReport_.pricing.deltaSkips += report.pricing.deltaSkips;
+  runReport_.totalMoves += report.movedCells + report.displacedCells;
+  runReport_.totalReroutes += report.reroutedNets;
 
   CRP_LOG_DEBUG(
       "crp iteration: {} critical, {} moved (+{} displaced), {} rerouted",
@@ -134,6 +185,7 @@ IterationReport CrpFramework::runIteration() {
 }
 
 CrpReport CrpFramework::run() {
+  CRP_OBS_SPAN("crp", "crp.run");
   CrpReport report;
   for (int k = 0; k < options_.iterations; ++k) {
     const IterationReport iteration = runIteration();
@@ -143,6 +195,36 @@ CrpReport CrpFramework::run() {
     report.iterations.push_back(iteration);
   }
   return report;
+}
+
+const obs::RunReport& CrpFramework::runReport() {
+  runReport_.iterations = static_cast<int>(runReport_.iterationStats.size());
+  runReport_.threads = static_cast<int>(pool_.threadCount());
+  runReport_.seed = options_.seed;
+
+  const groute::GlobalRouteStats stats = router_.stats();
+  runReport_.router.wirelengthDbu = stats.wirelengthDbu;
+  runReport_.router.vias = stats.vias;
+  runReport_.router.totalOverflow = stats.totalOverflow;
+  runReport_.router.overflowedEdges = stats.overflowedEdges;
+  runReport_.router.openNets = stats.openNets;
+  runReport_.router.reroutedNets = stats.reroutedNets;
+
+  const obs::MetricsSnapshot now = obs::MetricsRegistry::instance().snapshot();
+  const obs::MetricsSnapshot delta = now.deltaSince(baseline_);
+  runReport_.counters = delta.counters;
+  runReport_.ilp.solves = delta.counters.count("ilp.solves")
+                              ? delta.counters.at("ilp.solves")
+                              : 0;
+  runReport_.ilp.nodes =
+      delta.counters.count("ilp.nodes") ? delta.counters.at("ilp.nodes") : 0;
+  runReport_.ilp.lpCalls = delta.counters.count("ilp.lp_calls")
+                               ? delta.counters.at("ilp.lp_calls")
+                               : 0;
+  runReport_.ilp.lpPivots = delta.counters.count("ilp.pivots")
+                                ? delta.counters.at("ilp.pivots")
+                                : 0;
+  return runReport_;
 }
 
 }  // namespace crp::core

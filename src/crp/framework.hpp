@@ -6,7 +6,8 @@
 //   ECC  Estimate Candidates Cost        (Alg. 3, 3D pattern route)
 //   SEL  Find Best Candidates            (Eq. 12 ILP)
 //   UD   Update Database                 (§IV.B.5: move + reroute)
-// and records per-phase wall-clock in a PhaseTimer (Fig. 2 / Fig. 3).
+// and records per-phase wall-clock plus pricing/ILP counters into an
+// obs::RunReport (Fig. 2 / Fig. 3 and the --report-out JSON).
 #pragma once
 
 #include <unordered_set>
@@ -17,19 +18,28 @@
 #include "crp/selection.hpp"
 #include "db/database.hpp"
 #include "groute/global_router.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_report.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace crp::core {
 
-/// Phase names used in the timer (Fig. 3 buckets GCP / ECC / UD; LCC
-/// and SEL fall into the figure's "Misc").
+/// Phase names (Fig. 3 buckets GCP / ECC / UD; LCC and SEL fall into
+/// the figure's "Misc").
 inline constexpr const char* kPhaseLcc = "LCC";
 inline constexpr const char* kPhaseGcp = "GCP";
 inline constexpr const char* kPhaseEcc = "ECC";
 inline constexpr const char* kPhaseSel = "SEL";
 inline constexpr const char* kPhaseUd = "UD";
+
+/// The five phases in flow order — the single source of phase names.
+/// RunReport phases, telemetry output, and the schema test all iterate
+/// this array instead of re-typing the literals.
+inline constexpr const char* kPhases[] = {kPhaseLcc, kPhaseGcp, kPhaseEcc,
+                                          kPhaseSel, kPhaseUd};
+inline constexpr int kNumPhases = 5;
 
 struct IterationReport {
   int criticalCells = 0;
@@ -61,19 +71,28 @@ class CrpFramework {
   /// Runs a single iteration (exposed for tests and custom loops).
   IterationReport runIteration();
 
-  const util::PhaseTimer& timers() const { return timers_; }
+  /// The observability run report.  Phase wall times and per-iteration
+  /// stats accumulate as iterations execute; config, final router
+  /// stats, and metric-counter deltas (relative to the registry
+  /// snapshot taken at construction) are refreshed on each call.
+  const obs::RunReport& runReport();
+
   const std::unordered_set<db::CellId>& movedSet() const { return moved_; }
   const std::unordered_set<db::CellId>& criticalHistory() const {
     return criticalHistory_;
   }
 
  private:
+  /// Adds `seconds` to the named phase's RunReport bucket.
+  void chargePhase(const char* phase, double seconds);
+
   db::Database& db_;
   groute::GlobalRouter& router_;
   CrpOptions options_;
   util::Rng rng_;
   util::ThreadPool pool_;
-  util::PhaseTimer timers_;
+  obs::RunReport runReport_;
+  obs::MetricsSnapshot baseline_;  ///< registry state at construction
   std::unordered_set<db::CellId> criticalHistory_;  ///< db.critical_hist
   std::unordered_set<db::CellId> moved_;            ///< db.moved_set
   int movesUsed_ = 0;  ///< against options.maxMovesTotal

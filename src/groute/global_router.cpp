@@ -4,6 +4,7 @@
 #include <map>
 #include <numeric>
 
+#include "obs/obs.hpp"
 #include "util/logger.hpp"
 
 namespace crp::groute {
@@ -49,6 +50,7 @@ void GlobalRouter::ripUp(db::NetId net) {
 }
 
 bool GlobalRouter::rerouteNet(db::NetId net, bool mazeFirst) {
+  CRP_OBS_COUNT("gr.reroutes", 1);
   ripUp(net);
   const auto terminals = netTerminals(net);
   NetRoute& route = routes_.at(net);
@@ -100,12 +102,17 @@ GlobalRouteStats GlobalRouter::run() {
     return a < b;
   });
 
-  for (const db::NetId net : order) {
-    rerouteNet(net, /*mazeFirst=*/false);  // pattern first: bulk speed
+  {
+    CRP_OBS_SPAN("groute", "gr.initial");
+    for (const db::NetId net : order) {
+      rerouteNet(net, /*mazeFirst=*/false);  // pattern first: bulk speed
+    }
+    CRP_OBS_COUNT("gr.initial_nets", order.size());
   }
 
   // Negotiated rip-up-and-reroute of overflowed nets.
   for (int round = 0; round < options_.rrrRounds; ++round) {
+    CRP_OBS_SPAN_ARG("groute", "gr.rrr_round", round);
     std::vector<db::NetId> victims;
     for (db::NetId net = 0; net < db_.numNets(); ++net) {
       const NetRoute& route = routes_[net];
@@ -135,6 +142,7 @@ GlobalRouteStats GlobalRouter::run() {
     if (victims.empty()) break;
     CRP_LOG_DEBUG("groute RRR round {}: {} overflowed nets", round,
                   victims.size());
+    CRP_OBS_COUNT("gr.rrr_victims", victims.size());
     for (const db::NetId net : victims) {
       ripUp(net);
       const auto terminals = netTerminals(net);
@@ -148,7 +156,9 @@ GlobalRouteStats GlobalRouter::run() {
       ++reroutedNets_;
     }
   }
-  return stats();
+  const GlobalRouteStats result = stats();
+  CRP_OBS_GAUGE_SET("gr.total_overflow", result.totalOverflow);
+  return result;
 }
 
 GlobalRouteStats GlobalRouter::stats() const {

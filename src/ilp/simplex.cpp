@@ -49,7 +49,10 @@ struct Tableau {
 
 /// Runs simplex minimizing cost^T x over the tableau's current basis.
 /// Returns kOptimal or kUnbounded (phase feasibility handled by caller).
-LpStatus runSimplex(Tableau& t, const std::vector<double>& cost) {
+/// Pivots executed are added to `pivots` (a plain local in solveLp, so
+/// the hot loop never touches an atomic; see obs.hpp).
+LpStatus runSimplex(Tableau& t, const std::vector<double>& cost,
+                    int& pivots) {
   // Reduced-cost row: z_j = c_B B^-1 A_j - c_j, recomputed incrementally.
   std::vector<double> zrow(t.cols + 1, 0.0);
   auto rebuildZ = [&] {
@@ -96,6 +99,7 @@ LpStatus runSimplex(Tableau& t, const std::vector<double>& cost) {
     if (pr < 0) return LpStatus::kUnbounded;
 
     t.pivot(pr, pc);
+    ++pivots;
     // Update z-row by the same elimination.
     const double factor = zrow[pc];
     if (std::abs(factor) > kTol) {
@@ -111,6 +115,7 @@ LpStatus runSimplex(Tableau& t, const std::vector<double>& cost) {
 LpResult solveLp(const Model& model, const std::vector<double>& lowerOverride,
                  const std::vector<double>& upperOverride) {
   const int n = model.numVariables();
+  int pivots = 0;
   std::vector<double> lower(n), upper(n);
   for (int i = 0; i < n; ++i) {
     lower[i] =
@@ -118,7 +123,7 @@ LpResult solveLp(const Model& model, const std::vector<double>& lowerOverride,
     upper[i] =
         upperOverride.empty() ? model.variable(i).upper : upperOverride[i];
     if (lower[i] > upper[i] + kFeasTol) {
-      return LpResult{LpStatus::kInfeasible, 0.0, {}};
+      return LpResult{LpStatus::kInfeasible, 0.0, {}, pivots};
     }
   }
 
@@ -242,15 +247,17 @@ LpResult solveLp(const Model& model, const std::vector<double>& lowerOverride,
     for (int c = 0; c < t.cols; ++c) {
       if (isArtificial[c]) phase1Cost[c] = 1.0;
     }
-    const LpStatus status = runSimplex(t, phase1Cost);
+    const LpStatus status = runSimplex(t, phase1Cost, pivots);
     if (status == LpStatus::kIterationLimit) {
-      return LpResult{LpStatus::kIterationLimit, 0.0, {}};
+      return LpResult{LpStatus::kIterationLimit, 0.0, {}, pivots};
     }
     double artSum = 0.0;
     for (int r = 0; r < m; ++r) {
       if (isArtificial[t.basis[r]]) artSum += t.rhsVal(r);
     }
-    if (artSum > 1e-6) return LpResult{LpStatus::kInfeasible, 0.0, {}};
+    if (artSum > 1e-6) {
+      return LpResult{LpStatus::kInfeasible, 0.0, {}, pivots};
+    }
     // Drive remaining zero-level artificials out of the basis.
     for (int r = 0; r < m; ++r) {
       if (!isArtificial[t.basis[r]]) continue;
@@ -261,7 +268,10 @@ LpResult solveLp(const Model& model, const std::vector<double>& lowerOverride,
           break;
         }
       }
-      if (pc >= 0) t.pivot(r, pc);
+      if (pc >= 0) {
+        t.pivot(r, pc);
+        ++pivots;
+      }
       // Redundant row otherwise: the artificial stays basic at zero,
       // which is harmless in phase 2 (its cost is zero there).
     }
@@ -276,11 +286,12 @@ LpResult solveLp(const Model& model, const std::vector<double>& lowerOverride,
   for (int c = 0; c < t.cols; ++c) {
     if (isArtificial[c]) phase2Cost[c] = 1e12;
   }
-  const LpStatus status = runSimplex(t, phase2Cost);
-  if (status != LpStatus::kOptimal) return LpResult{status, 0.0, {}};
+  const LpStatus status = runSimplex(t, phase2Cost, pivots);
+  if (status != LpStatus::kOptimal) return LpResult{status, 0.0, {}, pivots};
 
   LpResult result;
   result.status = LpStatus::kOptimal;
+  result.pivots = pivots;
   result.x.assign(n, 0.0);
   for (int i = 0; i < n; ++i) result.x[i] = lower[i];
   for (int r = 0; r < m; ++r) {

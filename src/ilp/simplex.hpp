@@ -20,6 +20,7 @@ struct LpResult {
   LpStatus status = LpStatus::kInfeasible;
   double objective = 0.0;
   std::vector<double> x;  ///< one value per model variable
+  int pivots = 0;         ///< simplex pivots across both phases
 };
 
 /// Solves the continuous relaxation of `model` (integrality ignored).

@@ -5,9 +5,23 @@
 #include <memory>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace crp::ilp {
 
 namespace {
+
+/// Publishes one solve's totals to the metrics registry.  Per-pivot
+/// counts accumulate in plain ints inside the solve (see LpResult), so
+/// the simplex hot loop never touches an atomic; this runs once per
+/// solveIlp call.
+void publishSolveMetrics([[maybe_unused]] const IlpResult& result) {
+  CRP_OBS_COUNT("ilp.solves", 1);
+  CRP_OBS_COUNT("ilp.nodes", result.nodesExplored);
+  CRP_OBS_COUNT("ilp.lp_calls", result.lpCalls);
+  CRP_OBS_COUNT("ilp.pivots", result.lpPivots);
+  CRP_OBS_HISTOGRAM("ilp.nodes_per_solve", result.nodesExplored);
+}
 
 struct Node {
   std::vector<double> lower;
@@ -58,12 +72,15 @@ IlpResult solveIlp(const Model& model, const IlpOptions& options) {
     ++result.nodesExplored;
 
     const LpResult lp = solveLp(model, node.lower, node.upper);
+    ++result.lpCalls;
+    result.lpPivots += lp.pivots;
     if (lp.status == LpStatus::kInfeasible) continue;
     if (lp.status == LpStatus::kUnbounded) {
       // An unbounded relaxation of a bounded-variable integer model can
       // only mean a continuous variable diverges; treat as no bound and
       // branch anyway is unsafe — report aborted.
       result.status = IlpStatus::kAborted;
+      publishSolveMetrics(result);
       return result;
     }
     if (lp.status == LpStatus::kIterationLimit) continue;
@@ -105,11 +122,13 @@ IlpResult solveIlp(const Model& model, const IlpOptions& options) {
   if (!hasIncumbent) {
     result.status = stack.empty() ? IlpStatus::kInfeasible
                                   : IlpStatus::kAborted;
+    publishSolveMetrics(result);
     return result;
   }
   result.status = stack.empty() ? IlpStatus::kOptimal : IlpStatus::kFeasible;
   result.objective = incumbentObj;
   result.x = std::move(incumbent);
+  publishSolveMetrics(result);
   return result;
 }
 

@@ -26,6 +26,8 @@ struct IlpResult {
   double objective = 0.0;
   std::vector<double> x;
   int nodesExplored = 0;
+  int lpCalls = 0;   ///< LP relaxations solved across all nodes
+  int lpPivots = 0;  ///< simplex pivots summed over those LPs
 };
 
 struct IlpOptions {

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "ilp/model.hpp"
+#include "obs/obs.hpp"
 
 namespace crp::legalizer {
 
@@ -71,6 +72,8 @@ bool spanFree(const std::vector<Rect>& obstacles, Coord x, Coord w,
 }  // namespace
 
 std::vector<LegalizedCandidate> IlpLegalizer::generate(db::CellId cell) const {
+  CRP_OBS_SPAN("gcp", "legalizer.window");
+  CRP_OBS_COUNT("legalizer.windows", 1);
   std::vector<LegalizedCandidate> candidates;
   const auto& comp = db_.cell(cell);
   const auto& macro = db_.macroOf(cell);
@@ -216,6 +219,7 @@ std::vector<LegalizedCandidate> IlpLegalizer::generate(db::CellId cell) const {
       }
     }
 
+    CRP_OBS_COUNT("legalizer.ilp_solves", 1);
     const ilp::IlpResult solution = ilp::solveIlp(model);
     if (solution.status != ilp::IlpStatus::kOptimal &&
         solution.status != ilp::IlpStatus::kFeasible) {
@@ -232,6 +236,7 @@ std::vector<LegalizedCandidate> IlpLegalizer::generate(db::CellId cell) const {
     }
     candidates.push_back(std::move(candidate));
   }
+  CRP_OBS_COUNT("legalizer.candidates", candidates.size());
   return candidates;
 }
 

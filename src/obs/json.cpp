@@ -1,0 +1,419 @@
+#include "obs/json.hpp"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace crp::obs {
+
+namespace {
+
+[[noreturn]] void typeError(const char* expected, Json::Type got) {
+  static constexpr std::array<const char*, 7> kNames = {
+      "null", "bool", "int", "double", "string", "array", "object"};
+  throw JsonError(std::string("expected ") + expected + ", got " +
+                      kNames[static_cast<int>(got)],
+                  0);
+}
+
+void writeEscaped(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void writeDouble(std::ostream& os, double value) {
+  if (!std::isfinite(value)) {
+    // JSON has no inf/nan; null is the conventional substitute.
+    os << "null";
+    return;
+  }
+  // Shortest representation that round-trips exactly.
+  char buf[32];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), value);
+  std::string_view text(buf, result.ptr - buf);
+  os << text;
+  // Keep a double marker so the parser restores the same type.
+  if (text.find('.') == std::string_view::npos &&
+      text.find('e') == std::string_view::npos &&
+      text.find("inf") == std::string_view::npos &&
+      text.find("nan") == std::string_view::npos) {
+    os << ".0";
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parseDocument() {
+    Json value = parseValue();
+    skipWhitespace();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw JsonError(message, pos_);
+  }
+
+  void skipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Json parseValue() {
+    skipWhitespace();
+    const char c = peek();
+    switch (c) {
+      case '{': return parseObject();
+      case '[': return parseArray();
+      case '"': return Json(parseString());
+      case 't':
+        if (consumeLiteral("true")) return Json(true);
+        fail("invalid literal");
+      case 'f':
+        if (consumeLiteral("false")) return Json(false);
+        fail("invalid literal");
+      case 'n':
+        if (consumeLiteral("null")) return Json(nullptr);
+        fail("invalid literal");
+      default: return parseNumber();
+    }
+  }
+
+  Json parseObject() {
+    expect('{');
+    Json object = Json::object();
+    skipWhitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return object;
+    }
+    while (true) {
+      skipWhitespace();
+      std::string key = parseString();
+      skipWhitespace();
+      expect(':');
+      object.set(std::move(key), parseValue());
+      skipWhitespace();
+      const char next = peek();
+      if (next == ',') {
+        ++pos_;
+        continue;
+      }
+      if (next == '}') {
+        ++pos_;
+        return object;
+      }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  Json parseArray() {
+    expect('[');
+    Json array = Json::array();
+    skipWhitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return array;
+    }
+    while (true) {
+      array.append(parseValue());
+      skipWhitespace();
+      const char next = peek();
+      if (next == ',') {
+        ++pos_;
+        continue;
+      }
+      if (next == ']') {
+        ++pos_;
+        return array;
+      }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += h - '0';
+            else if (h >= 'a' && h <= 'f') code += 10 + h - 'a';
+            else if (h >= 'A' && h <= 'F') code += 10 + h - 'A';
+            else fail("invalid \\u escape digit");
+          }
+          // UTF-8 encode (no surrogate-pair handling: the writer only
+          // emits \u for control characters).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail("invalid escape character");
+      }
+    }
+  }
+
+  Json parseNumber() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool isDouble = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        isDouble = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") fail("invalid number");
+    if (!isDouble) {
+      std::int64_t value = 0;
+      const auto result =
+          std::from_chars(token.data(), token.data() + token.size(), value);
+      if (result.ec == std::errc() &&
+          result.ptr == token.data() + token.size()) {
+        return Json(static_cast<long long>(value));
+      }
+      // Out of int64 range: fall through to double.
+    }
+    double value = 0.0;
+    const auto result =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (result.ec != std::errc() ||
+        result.ptr != token.data() + token.size()) {
+      fail("invalid number");
+    }
+    return Json(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool Json::asBool() const {
+  if (type_ != Type::kBool) typeError("bool", type_);
+  return bool_;
+}
+
+std::int64_t Json::asInt() const {
+  if (type_ != Type::kInt) typeError("int", type_);
+  return int_;
+}
+
+std::uint64_t Json::asUint() const {
+  if (type_ != Type::kInt || int_ < 0) typeError("non-negative int", type_);
+  return static_cast<std::uint64_t>(int_);
+}
+
+double Json::asDouble() const {
+  if (type_ == Type::kInt) return static_cast<double>(int_);
+  if (type_ != Type::kDouble) typeError("number", type_);
+  return double_;
+}
+
+const std::string& Json::asString() const {
+  if (type_ != Type::kString) typeError("string", type_);
+  return string_;
+}
+
+const Json::Array& Json::asArray() const {
+  if (type_ != Type::kArray) typeError("array", type_);
+  return array_;
+}
+
+const Json::Object& Json::asObject() const {
+  if (type_ != Type::kObject) typeError("object", type_);
+  return object_;
+}
+
+Json& Json::append(Json value) {
+  if (type_ == Type::kNull) type_ = Type::kArray;
+  if (type_ != Type::kArray) typeError("array", type_);
+  array_.push_back(std::move(value));
+  return *this;
+}
+
+Json& Json::set(std::string key, Json value) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  if (type_ != Type::kObject) typeError("object", type_);
+  for (auto& [existing, slot] : object_) {
+    if (existing == key) {
+      slot = std::move(value);
+      return *this;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [existing, value] : object_) {
+    if (existing == key) return &value;
+  }
+  return nullptr;
+}
+
+const Json& Json::at(std::string_view key) const {
+  const Json* value = find(key);
+  if (value == nullptr) {
+    throw JsonError("missing key '" + std::string(key) + "'", 0);
+  }
+  return *value;
+}
+
+std::size_t Json::size() const {
+  switch (type_) {
+    case Type::kArray: return array_.size();
+    case Type::kObject: return object_.size();
+    default: return 0;
+  }
+}
+
+void Json::writeIndented(std::ostream& os, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent <= 0) return;
+    os << '\n';
+    for (int i = 0; i < indent * d; ++i) os << ' ';
+  };
+  switch (type_) {
+    case Type::kNull: os << "null"; break;
+    case Type::kBool: os << (bool_ ? "true" : "false"); break;
+    case Type::kInt: os << int_; break;
+    case Type::kDouble: writeDouble(os, double_); break;
+    case Type::kString: writeEscaped(os, string_); break;
+    case Type::kArray: {
+      os << '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) os << ',';
+        newline(depth + 1);
+        array_[i].writeIndented(os, indent, depth + 1);
+      }
+      if (!array_.empty()) newline(depth);
+      os << ']';
+      break;
+    }
+    case Type::kObject: {
+      os << '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) os << ',';
+        newline(depth + 1);
+        writeEscaped(os, object_[i].first);
+        os << (indent > 0 ? ": " : ":");
+        object_[i].second.writeIndented(os, indent, depth + 1);
+      }
+      if (!object_.empty()) newline(depth);
+      os << '}';
+      break;
+    }
+  }
+}
+
+void Json::write(std::ostream& os, int indent) const {
+  writeIndented(os, indent, 0);
+}
+
+std::string Json::dump(int indent) const {
+  std::ostringstream os;
+  write(os, indent);
+  return os.str();
+}
+
+Json Json::parse(std::string_view text) {
+  return Parser(text).parseDocument();
+}
+
+bool operator==(const Json& a, const Json& b) {
+  if (a.type_ != b.type_) return false;
+  switch (a.type_) {
+    case Json::Type::kNull: return true;
+    case Json::Type::kBool: return a.bool_ == b.bool_;
+    case Json::Type::kInt: return a.int_ == b.int_;
+    case Json::Type::kDouble: return a.double_ == b.double_;
+    case Json::Type::kString: return a.string_ == b.string_;
+    case Json::Type::kArray: return a.array_ == b.array_;
+    case Json::Type::kObject: return a.object_ == b.object_;
+  }
+  return false;
+}
+
+}  // namespace crp::obs

@@ -1,0 +1,134 @@
+// Minimal JSON value tree for the observability subsystem.
+//
+// The trace exporter and the RunReport serializer need a small,
+// dependency-free JSON layer: ordered objects (serialization is
+// deterministic and follows insertion order), exact 64-bit integers
+// (metric counters must round-trip bit-for-bit), and shortest
+// round-trip doubles via std::to_chars.  The parser accepts the full
+// JSON grammar the writer emits plus standard escapes; malformed input
+// throws JsonError with a byte offset, mirroring lefdef::ParseError.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace crp::obs {
+
+class JsonError : public std::runtime_error {
+ public:
+  JsonError(const std::string& message, std::size_t offset)
+      : std::runtime_error(message + " (at byte " + std::to_string(offset) +
+                           ")"),
+        offset_(offset) {}
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_ = 0;
+};
+
+class Json {
+ public:
+  enum class Type : int {
+    kNull,
+    kBool,
+    kInt,     ///< exact signed 64-bit (counters, ids)
+    kDouble,  ///< everything with a fraction or exponent
+    kString,
+    kArray,
+    kObject,
+  };
+
+  using Array = std::vector<Json>;
+  /// Insertion-ordered: serialization order equals build order, which
+  /// keeps report diffs and golden files stable.
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() = default;
+  Json(std::nullptr_t) {}
+  Json(bool value) : type_(Type::kBool), bool_(value) {}
+  Json(int value) : type_(Type::kInt), int_(value) {}
+  Json(long value) : type_(Type::kInt), int_(value) {}
+  Json(long long value) : type_(Type::kInt), int_(value) {}
+  Json(unsigned value) : type_(Type::kInt), int_(value) {}
+  Json(unsigned long value) : Json(static_cast<unsigned long long>(value)) {}
+  Json(unsigned long long value)
+      : type_(Type::kInt), int_(static_cast<std::int64_t>(value)) {}
+  Json(double value) : type_(Type::kDouble), double_(value) {}
+  Json(const char* value) : type_(Type::kString), string_(value) {}
+  Json(std::string value) : type_(Type::kString), string_(std::move(value)) {}
+  Json(std::string_view value) : type_(Type::kString), string_(value) {}
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool isNull() const { return type_ == Type::kNull; }
+  bool isNumber() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+  bool isArray() const { return type_ == Type::kArray; }
+  bool isObject() const { return type_ == Type::kObject; }
+  bool isString() const { return type_ == Type::kString; }
+
+  /// Typed accessors; throw JsonError on a type mismatch so schema
+  /// violations surface as parse-style errors, not UB.
+  bool asBool() const;
+  std::int64_t asInt() const;
+  std::uint64_t asUint() const;
+  double asDouble() const;  ///< accepts kInt too (widening)
+  const std::string& asString() const;
+  const Array& asArray() const;
+  const Object& asObject() const;
+
+  /// Appends to an array value (converts a null value to an array).
+  Json& append(Json value);
+
+  /// Sets `key` in an object value (converts a null value to an
+  /// object); replaces an existing key in place, keeping its position.
+  Json& set(std::string key, Json value);
+
+  /// Member lookup: nullptr when absent or not an object.
+  const Json* find(std::string_view key) const;
+  /// Member lookup that throws JsonError when the key is missing.
+  const Json& at(std::string_view key) const;
+
+  std::size_t size() const;
+
+  /// Serializes; indent > 0 pretty-prints with that many spaces.
+  void write(std::ostream& os, int indent = 0) const;
+  std::string dump(int indent = 0) const;
+
+  /// Parses a complete JSON document (trailing junk is an error).
+  static Json parse(std::string_view text);
+
+  /// Deep structural equality (exact for ints and doubles).
+  friend bool operator==(const Json& a, const Json& b);
+  friend bool operator!=(const Json& a, const Json& b) { return !(a == b); }
+
+ private:
+  void writeIndented(std::ostream& os, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace crp::obs

@@ -1,0 +1,126 @@
+// Flow observability facade: global enable switch + no-op-able macros.
+//
+// Instrumentation in hot paths (ILP solver, pricing, router) goes
+// through the CRP_OBS_* macros, which are
+//   * compile-time removable: building with -DCRP_OBS_DISABLED (CMake
+//     option CRP_OBS=OFF) expands every macro to nothing, and
+//   * runtime-gated: when compiled in, each macro first checks the
+//     process-wide enabled flag (one relaxed atomic load) and touches
+//     no instrument while observability is off.  This is the
+//     "zero-overhead-when-disabled" contract the benches rely on.
+//
+// Enabling is opt-in: the flag starts false; `crp run` and the
+// observability tests turn it on.  Counter macros cache the registry
+// pointer in a function-local static (instruments are never
+// deallocated, see metrics.hpp), so the steady-state cost of a counter
+// hit is one atomic load + one atomic add.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace crp::obs {
+
+namespace detail {
+inline std::atomic<bool> gEnabled{false};
+}  // namespace detail
+
+/// True when instruments should record (runtime switch).
+inline bool enabled() {
+  return detail::gEnabled.load(std::memory_order_relaxed);
+}
+
+inline void setEnabled(bool on) {
+  detail::gEnabled.store(on, std::memory_order_relaxed);
+}
+
+/// Clears the default registry and tracer (test isolation; per-run
+/// reports use snapshot deltas instead and never need this).
+inline void resetAll() {
+  MetricsRegistry::instance().reset();
+  Tracer::instance().clear();
+}
+
+/// RAII scope: enables observability for its lifetime, restoring the
+/// previous state on exit (used by tests).
+class EnabledScope {
+ public:
+  explicit EnabledScope(bool on = true) : previous_(enabled()) {
+    setEnabled(on);
+  }
+  ~EnabledScope() { setEnabled(previous_); }
+  EnabledScope(const EnabledScope&) = delete;
+  EnabledScope& operator=(const EnabledScope&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace crp::obs
+
+#if defined(CRP_OBS_DISABLED)
+
+#define CRP_OBS_SPAN(category, name) \
+  do {                               \
+  } while (0)
+#define CRP_OBS_SPAN_ARG(category, name, argValue) \
+  do {                                             \
+  } while (0)
+#define CRP_OBS_COUNT(counterName, delta) \
+  do {                                    \
+  } while (0)
+#define CRP_OBS_GAUGE_SET(gaugeName, value) \
+  do {                                      \
+  } while (0)
+#define CRP_OBS_HISTOGRAM(histName, value) \
+  do {                                     \
+  } while (0)
+
+#else  // observability compiled in
+
+#define CRP_OBS_CONCAT_IMPL(a, b) a##b
+#define CRP_OBS_CONCAT(a, b) CRP_OBS_CONCAT_IMPL(a, b)
+
+/// Opens a span covering the rest of the enclosing scope.
+#define CRP_OBS_SPAN(category, name)                             \
+  ::crp::obs::ScopedSpan CRP_OBS_CONCAT(crpObsSpan, __COUNTER__)( \
+      ::crp::obs::enabled() ? &::crp::obs::Tracer::instance() : nullptr, \
+      (name), (category))
+
+/// Span with a numeric payload (iteration index, net id, ...).
+#define CRP_OBS_SPAN_ARG(category, name, argValue)               \
+  ::crp::obs::ScopedSpan CRP_OBS_CONCAT(crpObsSpan, __COUNTER__)( \
+      ::crp::obs::enabled() ? &::crp::obs::Tracer::instance() : nullptr, \
+      (name), (category), static_cast<std::int64_t>(argValue))
+
+#define CRP_OBS_COUNT(counterName, delta)                                  \
+  do {                                                                     \
+    if (::crp::obs::enabled()) {                                           \
+      static ::crp::obs::Counter* const crpObsCounter =                    \
+          ::crp::obs::MetricsRegistry::instance().counter(counterName);    \
+      crpObsCounter->add(static_cast<std::uint64_t>(delta));               \
+    }                                                                      \
+  } while (0)
+
+#define CRP_OBS_GAUGE_SET(gaugeName, value)                                \
+  do {                                                                     \
+    if (::crp::obs::enabled()) {                                           \
+      static ::crp::obs::Gauge* const crpObsGauge =                        \
+          ::crp::obs::MetricsRegistry::instance().gauge(gaugeName);        \
+      crpObsGauge->set(static_cast<double>(value));                        \
+    }                                                                      \
+  } while (0)
+
+#define CRP_OBS_HISTOGRAM(histName, value)                                 \
+  do {                                                                     \
+    if (::crp::obs::enabled()) {                                           \
+      static ::crp::obs::Histogram* const crpObsHistogram =                \
+          ::crp::obs::MetricsRegistry::instance().histogram(histName);     \
+      crpObsHistogram->record(static_cast<std::uint64_t>(value));          \
+    }                                                                      \
+  } while (0)
+
+#endif  // CRP_OBS_DISABLED

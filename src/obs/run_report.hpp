@@ -1,0 +1,118 @@
+// Machine-readable per-run report for the CR&P flow.
+//
+// The framework fills a RunReport as it runs (phase wall times,
+// per-iteration stats, pricing-cache and ILP counter deltas, final
+// router stats); the CLI serializes it with toJson() and formats the
+// human-readable telemetry from the same object, so phase names exist
+// in exactly one place (core::kPhases) instead of being re-typed by
+// every consumer.
+//
+// The JSON document is versioned: fromJson() rejects any payload whose
+// "schemaVersion" differs from kSchemaVersion, so downstream tooling
+// fails loudly instead of misreading renamed fields.
+//
+// fingerprint() extracts the deterministic subset — values that are
+// identical across thread counts and schedules (moves, costs,
+// wirelength, schedule-independent event totals) — which is what the
+// golden regression test asserts.  Wall-clock fields and racy splits
+// (cache hit vs miss) are deliberately excluded; see metrics.hpp.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace crp::obs {
+
+struct RunReport {
+  static constexpr int kSchemaVersion = 1;
+
+  // ---- flow configuration ---------------------------------------------------
+  int iterations = 0;  ///< the paper's k
+  int threads = 0;
+  std::uint64_t seed = 0;
+
+  // ---- phase wall times (insertion order = flow order) ----------------------
+  struct PhaseStat {
+    std::string name;
+    double seconds = 0.0;
+  };
+  std::vector<PhaseStat> phases;
+
+  // ---- per-iteration stats --------------------------------------------------
+  struct IterationStat {
+    int criticalCells = 0;
+    int movedCells = 0;
+    int displacedCells = 0;
+    int reroutedNets = 0;
+    double selectedCost = 0.0;
+    std::uint64_t netsPriced = 0;  ///< hits + misses + delta skips
+  };
+  std::vector<IterationStat> iterationStats;
+
+  // ---- ECC pricing-cache totals (summed over iterations) --------------------
+  struct PricingTotals {
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t deltaSkips = 0;
+    std::uint64_t netsPriced() const {
+      return cacheHits + cacheMisses + deltaSkips;
+    }
+    double hitRate() const {
+      const std::uint64_t reused = cacheHits + deltaSkips;
+      const std::uint64_t total = reused + cacheMisses;
+      return total == 0 ? 0.0 : static_cast<double>(reused) / total;
+    }
+  };
+  PricingTotals pricing;
+
+  // ---- ILP solver totals (GCP legalizer + SEL selection) --------------------
+  struct IlpTotals {
+    std::uint64_t solves = 0;
+    std::uint64_t nodes = 0;     ///< branch-and-bound nodes explored
+    std::uint64_t lpCalls = 0;   ///< LP relaxations solved
+    std::uint64_t lpPivots = 0;  ///< simplex pivots across all LPs
+  };
+  IlpTotals ilp;
+
+  // ---- final router state ---------------------------------------------------
+  struct RouterStats {
+    std::int64_t wirelengthDbu = 0;
+    std::int64_t vias = 0;
+    double totalOverflow = 0.0;
+    int overflowedEdges = 0;
+    int openNets = 0;
+    int reroutedNets = 0;
+  };
+  RouterStats router;
+
+  // ---- flow totals ----------------------------------------------------------
+  int totalMoves = 0;
+  int totalReroutes = 0;
+
+  /// Raw counter deltas for this run (everything the registry saw),
+  /// exported verbatim under "counters" for ad-hoc analysis.
+  std::map<std::string, std::uint64_t> counters;
+
+  /// Wall time of the named phase; 0.0 when the phase never ran.
+  double phaseSeconds(const std::string& name) const;
+  /// Sum of all phase wall times.
+  double totalPhaseSeconds() const;
+
+  Json toJson() const;
+  /// Throws JsonError on malformed payloads or schema-version mismatch.
+  static RunReport fromJson(const Json& json);
+
+  /// Deterministic subset for golden assertions (no wall clock, no
+  /// racy counter splits).  Stable across --threads values.
+  Json fingerprint() const;
+};
+
+/// Human-readable telemetry (what `crp run` prints).  All phase names
+/// come from the report itself.
+std::string formatRunReport(const RunReport& report);
+
+}  // namespace crp::obs

@@ -1,6 +1,7 @@
 #include "util/timer.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 namespace crp::util {
 
@@ -12,7 +13,12 @@ void PhaseTimer::charge(const std::string& phase, double seconds) {
 
 double PhaseTimer::total(const std::string& phase) const {
   const auto it = totals_.find(phase);
+  assert(it != totals_.end() && "PhaseTimer::total: unknown phase");
   return it == totals_.end() ? 0.0 : it->second;
+}
+
+bool PhaseTimer::has(const std::string& phase) const {
+  return totals_.find(phase) != totals_.end();
 }
 
 double PhaseTimer::grandTotal() const {

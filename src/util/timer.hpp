@@ -36,8 +36,14 @@ class PhaseTimer {
   /// Adds `seconds` to `phase`'s total.
   void charge(const std::string& phase, double seconds);
 
-  /// Total accumulated seconds for `phase` (0 when never charged).
+  /// Total accumulated seconds for `phase`.  Asking for a phase that
+  /// was never charged is almost always a typo in the phase name:
+  /// debug builds assert; release builds return 0.  Use has() first
+  /// when the phase is genuinely optional.
   double total(const std::string& phase) const;
+
+  /// True when `phase` has been charged at least once.
+  bool has(const std::string& phase) const;
 
   /// Sum over all phases.
   double grandTotal() const;

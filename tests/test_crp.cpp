@@ -384,19 +384,19 @@ TEST(Framework, ReportCountsAreConsistent) {
   EXPECT_EQ(framework.movedSet().empty(), report.totalMoves == 0);
 }
 
-TEST(Framework, TimersCoverAllPhases) {
+TEST(Framework, RunReportCoversAllPhases) {
   Fixture f;
   CrpOptions options;
   CrpFramework framework(f.db, f.router, options);
   framework.runIteration();
-  const auto& timers = framework.timers();
-  for (const char* phase :
-       {kPhaseLcc, kPhaseGcp, kPhaseEcc, kPhaseSel, kPhaseUd}) {
-    EXPECT_GE(timers.total(phase), 0.0);
-    EXPECT_TRUE(std::find(timers.phases().begin(), timers.phases().end(),
-                          phase) != timers.phases().end())
-        << phase;
+  const auto& report = framework.runReport();
+  ASSERT_EQ(report.phases.size(), static_cast<std::size_t>(kNumPhases));
+  for (int i = 0; i < kNumPhases; ++i) {
+    EXPECT_EQ(report.phases[i].name, kPhases[i]);
+    EXPECT_GE(report.phases[i].seconds, 0.0);
   }
+  ASSERT_EQ(report.iterationStats.size(), 1u);
+  EXPECT_EQ(report.iterations, 1);
 }
 
 TEST(Framework, DeterministicForFixedSeed) {

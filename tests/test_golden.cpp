@@ -1,0 +1,101 @@
+// Golden end-to-end regression: the full CR&P flow on a small bmgen
+// design with a fixed seed, fingerprinted (moves, costs, wirelength,
+// schedule-independent counter totals — see RunReport::fingerprint)
+// and compared against a checked-in golden JSON.
+//
+// The fingerprint must be identical across thread counts: the test
+// runs the flow at --threads 1 and --threads 8 and requires equality
+// before diffing against the golden file, so a nondeterminism bug
+// fails here rather than silently updating a golden.
+//
+// Regenerate with scripts/update_goldens.sh (sets CRP_UPDATE_GOLDENS=1,
+// which makes this test write the golden instead of asserting it).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bmgen/generator.hpp"
+#include "crp/framework.hpp"
+#include "db/legality.hpp"
+#include "groute/global_router.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+#include "obs/run_report.hpp"
+
+#ifndef CRP_GOLDEN_DIR
+#error "CRP_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace crp {
+namespace {
+
+bmgen::BenchmarkSpec goldenSpec() {
+  bmgen::BenchmarkSpec spec;
+  spec.name = "golden_small";
+  spec.targetCells = 400;
+  spec.hotspots = 2;
+  spec.seed = 7;
+  spec.utilization = 0.8;
+  return spec;
+}
+
+/// Runs the full flow (generate -> GR -> CR&P k=2) and returns the
+/// deterministic fingerprint of the run report.
+obs::Json runFingerprint(int threads) {
+  obs::EnabledScope enabled(true);
+  auto db = bmgen::generateBenchmark(goldenSpec());
+  groute::GlobalRouter router(db);
+  router.run();
+  core::CrpOptions options;
+  options.iterations = 2;
+  options.seed = 11;
+  options.threads = threads;
+  core::CrpFramework framework(db, router, options);
+  framework.run();
+  EXPECT_TRUE(db::isPlacementLegal(db));
+  return framework.runReport().fingerprint();
+}
+
+std::string goldenPath() {
+  return std::string(CRP_GOLDEN_DIR) + "/crp_small_fingerprint.json";
+}
+
+TEST(Golden, CrpFlowFingerprintMatchesGolden) {
+#ifdef CRP_OBS_DISABLED
+  GTEST_SKIP() << "golden fingerprints need the observability counters "
+                  "(-DCRP_OBS=ON)";
+#endif
+  const obs::Json single = runFingerprint(1);
+  const obs::Json parallel = runFingerprint(8);
+  // Thread-count independence first: a scheduling leak would otherwise
+  // masquerade as a golden mismatch (or worse, get baked into one).
+  ASSERT_EQ(single, parallel)
+      << "--threads 1 vs --threads 8 fingerprints diverge:\n"
+      << single.dump(2) << "\nvs\n"
+      << parallel.dump(2);
+
+  if (std::getenv("CRP_UPDATE_GOLDENS") != nullptr) {
+    std::ofstream out(goldenPath());
+    ASSERT_TRUE(out) << "cannot write " << goldenPath();
+    out << single.dump(2) << "\n";
+    GTEST_SKIP() << "golden regenerated at " << goldenPath();
+  }
+
+  std::ifstream in(goldenPath());
+  ASSERT_TRUE(in) << "missing golden file " << goldenPath()
+                  << " — run scripts/update_goldens.sh";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const obs::Json golden = obs::Json::parse(buffer.str());
+  EXPECT_EQ(single, golden)
+      << "fingerprint drifted from golden.\ngolden:\n"
+      << golden.dump(2) << "\ncurrent:\n"
+      << single.dump(2)
+      << "\nIf the change is intentional, run scripts/update_goldens.sh";
+}
+
+}  // namespace
+}  // namespace crp

@@ -1,0 +1,401 @@
+// Observability subsystem tests: JSON layer, metrics registry under
+// concurrency, span tracer well-formedness, Chrome trace export, and
+// the versioned RunReport schema.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "crp/framework.hpp"  // core::kPhases for the schema test
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/run_report.hpp"
+#include "obs/trace.hpp"
+#include "util/thread_pool.hpp"
+
+namespace crp::obs {
+namespace {
+
+// ---- Json ------------------------------------------------------------------
+
+TEST(Json, IntRoundTripIsExact) {
+  // Counters must survive serialization bit-for-bit.
+  const std::int64_t big = 9007199254740993;  // not representable as double
+  Json j = Json::object();
+  j.set("v", big);
+  const Json parsed = Json::parse(j.dump());
+  EXPECT_EQ(parsed.at("v").asInt(), big);
+}
+
+TEST(Json, DoubleRoundTrips) {
+  Json j = Json::object();
+  j.set("a", 0.1);
+  j.set("b", 3.0);
+  j.set("c", -2.5e-7);
+  const Json parsed = Json::parse(j.dump(2));
+  EXPECT_DOUBLE_EQ(parsed.at("a").asDouble(), 0.1);
+  EXPECT_DOUBLE_EQ(parsed.at("b").asDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(parsed.at("c").asDouble(), -2.5e-7);
+  // A written double stays typed kDouble after parsing (".0" marker).
+  EXPECT_EQ(parsed.at("b").type(), Json::Type::kDouble);
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder) {
+  Json j = Json::object();
+  j.set("zulu", 1);
+  j.set("alpha", 2);
+  j.set("mike", 3);
+  const std::string text = j.dump();
+  EXPECT_LT(text.find("zulu"), text.find("alpha"));
+  EXPECT_LT(text.find("alpha"), text.find("mike"));
+}
+
+TEST(Json, StringEscapes) {
+  Json j = Json::object();
+  j.set("s", std::string("a\"b\\c\n\tx\x01y"));
+  const Json parsed = Json::parse(j.dump());
+  EXPECT_EQ(parsed.at("s").asString(), "a\"b\\c\n\tx\x01y");
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW(Json::parse("{"), JsonError);
+  EXPECT_THROW(Json::parse("[1, 2,]"), JsonError);
+  EXPECT_THROW(Json::parse("{\"a\": 1} trailing"), JsonError);
+  EXPECT_THROW(Json::parse("nul"), JsonError);
+  EXPECT_THROW(Json::parse(""), JsonError);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const Json j = Json::parse("{\"a\": \"text\"}");
+  EXPECT_THROW(j.at("a").asInt(), JsonError);
+  EXPECT_THROW(j.at("missing"), JsonError);
+  EXPECT_EQ(j.find("missing"), nullptr);
+}
+
+TEST(Json, StructuralEquality) {
+  const Json a = Json::parse("{\"x\": [1, 2.5, \"s\"], \"y\": null}");
+  const Json b = Json::parse("{\"x\": [1, 2.5, \"s\"], \"y\": null}");
+  const Json c = Json::parse("{\"x\": [1, 2.5, \"t\"], \"y\": null}");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+// ---- metrics ---------------------------------------------------------------
+
+TEST(Metrics, CounterConcurrentAddsAreExact) {
+  MetricsRegistry registry;
+  Counter* counter = registry.counter("test.hammer");
+  util::ThreadPool pool(8);
+  constexpr int kTasks = 10000;
+  pool.parallelFor(kTasks, [&](std::size_t) { counter->add(3); });
+  EXPECT_EQ(counter->value(), static_cast<std::uint64_t>(kTasks) * 3);
+}
+
+TEST(Metrics, HistogramConcurrentRecordsAreExact) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.histogram("test.hist", {10, 100, 1000});
+  util::ThreadPool pool(8);
+  constexpr int kTasks = 8000;
+  pool.parallelFor(kTasks, [&](std::size_t i) { hist->record(i % 2000); });
+  EXPECT_EQ(hist->count(), static_cast<std::uint64_t>(kTasks));
+  const auto buckets = hist->bucketCounts();
+  ASSERT_EQ(buckets.size(), 4u);  // three bounds + overflow
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : buckets) total += b;
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kTasks));
+  // i % 2000: values 0..10 land in bucket 0 (11 of each 2000-cycle).
+  EXPECT_EQ(buckets[0], static_cast<std::uint64_t>(kTasks / 2000) * 11);
+  // 1001..1999 overflow.
+  EXPECT_EQ(buckets[3], static_cast<std::uint64_t>(kTasks / 2000) * 999);
+}
+
+TEST(Metrics, InstrumentPointersAreStableAcrossReset) {
+  MetricsRegistry registry;
+  Counter* before = registry.counter("stable");
+  before->add(7);
+  registry.reset();
+  Counter* after = registry.counter("stable");
+  EXPECT_EQ(before, after);
+  EXPECT_EQ(after->value(), 0u);
+}
+
+TEST(Metrics, SnapshotDeltaSubtractsCounters) {
+  MetricsRegistry registry;
+  registry.counter("a")->add(5);
+  const MetricsSnapshot earlier = registry.snapshot();
+  registry.counter("a")->add(2);
+  registry.counter("b")->add(9);
+  const MetricsSnapshot delta = registry.snapshot().deltaSince(earlier);
+  EXPECT_EQ(delta.counters.at("a"), 2u);
+  EXPECT_EQ(delta.counters.at("b"), 9u);
+}
+
+TEST(Metrics, SnapshotToJsonIsParseable) {
+  MetricsRegistry registry;
+  registry.counter("c")->add(1);
+  registry.gauge("g")->set(2.5);
+  registry.histogram("h")->record(4);
+  const Json j = Json::parse(registry.snapshot().toJson().dump(2));
+  EXPECT_EQ(j.at("counters").at("c").asInt(), 1);
+  EXPECT_DOUBLE_EQ(j.at("gauges").at("g").asDouble(), 2.5);
+  EXPECT_EQ(j.at("histograms").at("h").at("count").asInt(), 1);
+}
+
+// ---- tracer ----------------------------------------------------------------
+
+/// Asserts the per-thread (beginSeq, endSeq) intervals form a balanced
+/// nesting: every sequence number used exactly once, and any two spans
+/// on one thread are either disjoint or fully nested.
+void expectWellFormedNesting(
+    const std::vector<std::pair<int, SpanRecord>>& records) {
+  std::map<int, std::vector<const SpanRecord*>> byThread;
+  for (const auto& [tid, span] : records) byThread[tid].push_back(&span);
+  for (const auto& [tid, spans] : byThread) {
+    std::set<std::uint64_t> seqs;
+    for (const SpanRecord* s : spans) {
+      EXPECT_LT(s->beginSeq, s->endSeq) << "tid " << tid;
+      EXPECT_TRUE(seqs.insert(s->beginSeq).second);
+      EXPECT_TRUE(seqs.insert(s->endSeq).second);
+    }
+    // Sequence numbers are dense: 0..2n-1.
+    EXPECT_EQ(seqs.size(), spans.size() * 2);
+    if (!seqs.empty()) {
+      EXPECT_EQ(*seqs.begin(), 0u);
+      EXPECT_EQ(*seqs.rbegin(), spans.size() * 2 - 1);
+    }
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      for (std::size_t j = i + 1; j < spans.size(); ++j) {
+        const SpanRecord* a = spans[i];
+        const SpanRecord* b = spans[j];
+        const bool disjoint =
+            a->endSeq < b->beginSeq || b->endSeq < a->beginSeq;
+        const bool aInB =
+            b->beginSeq < a->beginSeq && a->endSeq < b->endSeq;
+        const bool bInA =
+            a->beginSeq < b->beginSeq && b->endSeq < a->endSeq;
+        EXPECT_TRUE(disjoint || aInB || bInA)
+            << "crossing spans " << a->name << " and " << b->name;
+      }
+    }
+  }
+}
+
+TEST(Tracer, RecordsNestedSpans) {
+  Tracer tracer;
+  {
+    ScopedSpan outer(&tracer, "outer", "test");
+    {
+      ScopedSpan inner(&tracer, "inner", "test", 42);
+    }
+  }
+  const auto records = tracer.records();
+  ASSERT_EQ(records.size(), 2u);
+  expectWellFormedNesting(records);
+  // Inner closes first, so it is appended first.
+  EXPECT_EQ(records[0].second.name, "inner");
+  EXPECT_EQ(records[0].second.depth, 1);
+  EXPECT_EQ(records[0].second.arg, 42);
+  EXPECT_EQ(records[1].second.name, "outer");
+  EXPECT_EQ(records[1].second.depth, 0);
+  EXPECT_EQ(records[1].second.arg, -1);
+}
+
+TEST(Tracer, NullTracerSpanIsNoOp) {
+  ScopedSpan span(nullptr, "ignored", "test");
+  // Nothing to assert beyond "does not crash" — the disabled path.
+}
+
+TEST(Tracer, ConcurrentSpansStayPerThreadWellFormed) {
+  Tracer tracer;
+  util::ThreadPool pool(8);
+  constexpr int kTasks = 2000;
+  pool.parallelFor(kTasks, [&](std::size_t i) {
+    ScopedSpan outer(&tracer, "outer", "test",
+                     static_cast<std::int64_t>(i));
+    ScopedSpan inner(&tracer, "inner", "test");
+  });
+  const auto records = tracer.records();
+  EXPECT_EQ(records.size(), static_cast<std::size_t>(kTasks) * 2);
+  expectWellFormedNesting(records);
+}
+
+TEST(Tracer, ChromeTraceExportIsValidJson) {
+  Tracer tracer;
+  {
+    ScopedSpan a(&tracer, "phase", "crp", 3);
+    ScopedSpan b(&tracer, "net", "groute");
+  }
+  std::ostringstream os;
+  tracer.writeChromeTrace(os);
+  const Json doc = Json::parse(os.str());
+  const auto& events = doc.at("traceEvents").asArray();
+  ASSERT_EQ(events.size(), 2u);
+  for (const Json& event : events) {
+    EXPECT_EQ(event.at("ph").asString(), "X");
+    EXPECT_GE(event.at("dur").asDouble(), 0.0);
+    EXPECT_EQ(event.at("pid").asInt(), 1);
+  }
+  EXPECT_EQ(doc.at("displayTimeUnit").asString(), "ms");
+}
+
+TEST(Tracer, ClearDropsRecords) {
+  Tracer tracer;
+  { ScopedSpan s(&tracer, "x", "test"); }
+  EXPECT_EQ(tracer.records().size(), 1u);
+  tracer.clear();
+  EXPECT_TRUE(tracer.records().empty());
+}
+
+// ---- macros / runtime switch ----------------------------------------------
+
+#ifndef CRP_OBS_DISABLED
+TEST(ObsMacros, DisabledFlagSuppressesRecording) {
+  resetAll();
+  EnabledScope scope(false);
+  CRP_OBS_COUNT("macro.disabled", 1);
+  { CRP_OBS_SPAN("test", "macro.disabled.span"); }
+  const MetricsSnapshot snap = MetricsRegistry::instance().snapshot();
+  const auto it = snap.counters.find("macro.disabled");
+  EXPECT_TRUE(it == snap.counters.end() || it->second == 0);
+  EXPECT_TRUE(Tracer::instance().records().empty());
+}
+
+TEST(ObsMacros, EnabledFlagRecords) {
+  resetAll();
+  EnabledScope scope(true);
+  CRP_OBS_COUNT("macro.enabled", 2);
+  CRP_OBS_COUNT("macro.enabled", 3);
+  { CRP_OBS_SPAN_ARG("test", "macro.enabled.span", 7); }
+  const MetricsSnapshot snap = MetricsRegistry::instance().snapshot();
+  EXPECT_EQ(snap.counters.at("macro.enabled"), 5u);
+  const auto records = Tracer::instance().records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].second.name, "macro.enabled.span");
+  EXPECT_EQ(records[0].second.arg, 7);
+  resetAll();
+}
+
+TEST(ObsMacros, ConcurrentMacroCountsAreExact) {
+  resetAll();
+  EnabledScope scope(true);
+  util::ThreadPool pool(8);
+  constexpr int kTasks = 10000;
+  pool.parallelFor(kTasks, [&](std::size_t) {
+    CRP_OBS_COUNT("macro.concurrent", 1);
+  });
+  const MetricsSnapshot snap = MetricsRegistry::instance().snapshot();
+  EXPECT_EQ(snap.counters.at("macro.concurrent"),
+            static_cast<std::uint64_t>(kTasks));
+  resetAll();
+}
+#endif  // CRP_OBS_DISABLED
+
+// ---- RunReport schema ------------------------------------------------------
+
+RunReport sampleReport() {
+  RunReport report;
+  report.iterations = 2;
+  report.threads = 4;
+  report.seed = 11;
+  for (const char* phase : core::kPhases) {
+    report.phases.push_back(RunReport::PhaseStat{phase, 0.25});
+  }
+  RunReport::IterationStat it;
+  it.criticalCells = 10;
+  it.movedCells = 4;
+  it.displacedCells = 1;
+  it.reroutedNets = 9;
+  it.selectedCost = 123.5;
+  it.netsPriced = 777;
+  report.iterationStats.push_back(it);
+  report.pricing.cacheHits = 500;
+  report.pricing.cacheMisses = 200;
+  report.pricing.deltaSkips = 77;
+  report.ilp.solves = 12;
+  report.ilp.nodes = 340;
+  report.ilp.lpCalls = 350;
+  report.ilp.lpPivots = 4200;
+  report.router.wirelengthDbu = 987654321;
+  report.router.vias = 4321;
+  report.router.totalOverflow = 1.5;
+  report.router.overflowedEdges = 3;
+  report.router.openNets = 0;
+  report.router.reroutedNets = 17;
+  report.totalMoves = 5;
+  report.totalReroutes = 9;
+  report.counters["ilp.solves"] = 12;
+  return report;
+}
+
+TEST(RunReportSchema, RoundTripsThroughJson) {
+  const RunReport report = sampleReport();
+  const Json serialized = Json::parse(report.toJson().dump(2));
+  const RunReport parsed = RunReport::fromJson(serialized);
+  EXPECT_EQ(parsed.toJson(), report.toJson());
+  EXPECT_EQ(parsed.pricing.netsPriced(), report.pricing.netsPriced());
+  EXPECT_EQ(parsed.ilp.lpPivots, report.ilp.lpPivots);
+  EXPECT_EQ(parsed.router.wirelengthDbu, report.router.wirelengthDbu);
+  EXPECT_DOUBLE_EQ(parsed.phaseSeconds(core::kPhaseEcc), 0.25);
+}
+
+TEST(RunReportSchema, RejectsUnknownSchemaVersion) {
+  Json j = sampleReport().toJson();
+  j.set("schemaVersion", RunReport::kSchemaVersion + 1);
+  EXPECT_THROW(RunReport::fromJson(j), JsonError);
+  j.set("schemaVersion", 0);
+  EXPECT_THROW(RunReport::fromJson(j), JsonError);
+}
+
+TEST(RunReportSchema, RejectsMissingFields) {
+  Json j = Json::object();
+  j.set("schemaVersion", RunReport::kSchemaVersion);
+  EXPECT_THROW(RunReport::fromJson(j), JsonError);
+}
+
+TEST(RunReportSchema, EveryPhaseConstantAppearsExactlyOnce) {
+  // The report is the single source of phase names: each core phase
+  // constant appears exactly once, in flow order.
+  const RunReport report = sampleReport();
+  const Json j = report.toJson();
+  const auto& phases = j.at("phases").asArray();
+  ASSERT_EQ(phases.size(), static_cast<std::size_t>(core::kNumPhases));
+  for (int i = 0; i < core::kNumPhases; ++i) {
+    int count = 0;
+    for (const Json& p : phases) {
+      if (p.at("name").asString() == core::kPhases[i]) ++count;
+    }
+    EXPECT_EQ(count, 1) << core::kPhases[i];
+    EXPECT_EQ(phases[i].at("name").asString(), core::kPhases[i]);
+  }
+}
+
+TEST(RunReportSchema, FingerprintExcludesWallClockAndRacySplits) {
+  RunReport a = sampleReport();
+  RunReport b = sampleReport();
+  // Wall clock, thread count, and the hit/miss split differ between
+  // runs; the fingerprint must not.
+  b.threads = 1;
+  for (auto& phase : b.phases) phase.seconds *= 10.0;
+  b.pricing.cacheHits = a.pricing.cacheHits + 50;
+  b.pricing.cacheMisses = a.pricing.cacheMisses - 50;
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  // A real behavioral difference does change it.
+  b.totalMoves += 1;
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(RunReportSchema, FormatUsesReportPhaseNames) {
+  const std::string text = formatRunReport(sampleReport());
+  for (const char* phase : core::kPhases) {
+    EXPECT_NE(text.find(phase), std::string::npos) << phase;
+  }
+  EXPECT_NE(text.find("nets priced"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace crp::obs

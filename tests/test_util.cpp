@@ -162,10 +162,29 @@ TEST(PhaseTimer, AccumulatesPerPhase) {
   EXPECT_EQ(timer.phases(), (std::vector<std::string>{"a", "b"}));
 }
 
-TEST(PhaseTimer, UnknownPhaseIsZero) {
+TEST(PhaseTimer, HasReportsChargedPhases) {
   PhaseTimer timer;
+  EXPECT_FALSE(timer.has("missing"));
+  timer.charge("present", 1.0);
+  EXPECT_TRUE(timer.has("present"));
+  EXPECT_FALSE(timer.has("missing"));
+}
+
+TEST(PhaseTimerDeathTest, UnknownPhaseAssertsInDebug) {
+  PhaseTimer timer;
+  timer.charge("present", 1.0);
+  // Debug builds assert on a never-charged phase (catching phase-name
+  // typos); release builds keep the old return-zero behavior.  The
+  // EXPECT_DEBUG_DEATH statement body runs normally when NDEBUG is set.
+  EXPECT_DEBUG_DEATH(
+      {
+        const double value = timer.total("missing");
+        (void)value;
+      },
+      "unknown phase");
+#ifdef NDEBUG
   EXPECT_DOUBLE_EQ(timer.total("missing"), 0.0);
-  EXPECT_DOUBLE_EQ(timer.percent("missing"), 0.0);
+#endif
 }
 
 TEST(ScopedTimer, ChargesOnDestruction) {

@@ -11,8 +11,12 @@
 //       Global-route and write the route guides.
 //
 //   crp run in.lef in.def out.def out.guide [--k N] [--gamma G]
+//           [--trace-out trace.json] [--report-out report.json]
 //       Global route + CR&P iterations; writes the improved placement
-//       and guides (the paper's Fig. 1 interface).
+//       and guides (the paper's Fig. 1 interface).  --trace-out dumps
+//       a Chrome trace_event file (load in chrome://tracing or
+//       https://ui.perfetto.dev); --report-out dumps the versioned
+//       RunReport JSON (docs/observability.md).
 //
 //   crp detail in.lef in.def in.guide
 //       Detailed-route against existing guides and print the ISPD-2018
@@ -28,6 +32,7 @@
 //   crp suite outdir [--scale S]
 //       Export the crp_test1..10 suite as LEF/DEF pairs.
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -47,6 +52,8 @@
 #include "lefdef/guide_io.hpp"
 #include "lefdef/lef_parser.hpp"
 #include "lefdef/lef_writer.hpp"
+#include "obs/obs.hpp"
+#include "obs/run_report.hpp"
 #include "util/string_util.hpp"
 #include "viz/svg_writer.hpp"
 
@@ -134,33 +141,47 @@ int cmdRoute(const Args& args) {
   return 0;
 }
 
-void printCrpTelemetry(const core::CrpFramework& framework,
-                       const core::CrpReport& report) {
-  const auto& timers = framework.timers();
-  std::cout << "phase times (s):";
-  for (const char* phase :
-       {core::kPhaseLcc, core::kPhaseGcp, core::kPhaseEcc, core::kPhaseSel,
-        core::kPhaseUd}) {
-    std::cout << " " << phase << "="
-              << crp::util::formatDouble(timers.total(phase), 3);
+/// Prints the human-readable telemetry.  All phase names and counters
+/// come from the RunReport itself — no literals re-typed here.
+void printCrpTelemetry(core::CrpFramework& framework) {
+  std::cout << obs::formatRunReport(framework.runReport());
+}
+
+/// Writes the Chrome trace and/or RunReport JSON files when the
+/// corresponding --trace-out / --report-out flags were given.
+int writeObsArtifacts(const Args& args, core::CrpFramework& framework) {
+  const auto traceIt = args.flags.find("trace-out");
+  if (traceIt != args.flags.end()) {
+    std::ofstream out(traceIt->second);
+    if (!out) {
+      std::cerr << "error: cannot write " << traceIt->second << "\n";
+      return 1;
+    }
+    obs::Tracer::instance().writeChromeTrace(out);
+    std::cout << "trace -> " << traceIt->second << "\n";
   }
-  std::cout << "\n";
-  const auto& pricing = report.pricing;
-  std::cout << "ECC pricing: " << pricing.netsPriced() << " nets priced, "
-            << pricing.cacheMisses << " pattern routes, "
-            << pricing.cacheHits << " cache hits, " << pricing.deltaSkips
-            << " delta skips (reuse rate "
-            << crp::util::formatDouble(100.0 * pricing.hitRate(), 1)
-            << "%)\n";
+  const auto reportIt = args.flags.find("report-out");
+  if (reportIt != args.flags.end()) {
+    std::ofstream out(reportIt->second);
+    if (!out) {
+      std::cerr << "error: cannot write " << reportIt->second << "\n";
+      return 1;
+    }
+    out << framework.runReport().toJson().dump(2) << "\n";
+    std::cout << "report -> " << reportIt->second << "\n";
+  }
+  return 0;
 }
 
 int cmdRun(const Args& args) {
   if (args.positional.size() < 4) {
     std::cerr << "usage: crp run in.lef in.def out.def out.guide [--k N] "
                  "[--gamma G] [--seed S] [--threads N] [--cache 0|1] "
-                 "[--delta 0|1]\n";
+                 "[--delta 0|1] [--obs 0|1] [--trace-out trace.json] "
+                 "[--report-out report.json]\n";
     return 2;
   }
+  obs::setEnabled(args.number("obs", 1) > 0);
   auto db = loadDesign(args.positional[0], args.positional[1]);
   if (!db::isPlacementLegal(db)) {
     std::cerr << "error: input placement is not legal\n";
@@ -181,12 +202,12 @@ int cmdRun(const Args& args) {
             << report.totalMoves << " moves, " << report.totalReroutes
             << " reroutes; placement legal: "
             << (db::isPlacementLegal(db) ? "yes" : "NO") << "\n";
-  printCrpTelemetry(framework, report);
+  printCrpTelemetry(framework);
   lefdef::writeDefFile(args.positional[2], db);
   lefdef::writeGuidesFile(args.positional[3], db, router.buildGuides());
   std::cout << "outputs -> " << args.positional[2] << ", "
             << args.positional[3] << "\n";
-  return 0;
+  return writeObsArtifacts(args, framework);
 }
 
 int cmdDetail(const Args& args) {
@@ -203,9 +224,11 @@ int cmdDetail(const Args& args) {
 
 int cmdFlow(const Args& args) {
   if (args.positional.size() < 2) {
-    std::cerr << "usage: crp flow in.lef in.def [--k N]\n";
+    std::cerr << "usage: crp flow in.lef in.def [--k N] [--obs 0|1] "
+                 "[--trace-out trace.json] [--report-out report.json]\n";
     return 2;
   }
+  obs::setEnabled(args.number("obs", 1) > 0);
   auto db = loadDesign(args.positional[0], args.positional[1]);
   groute::GlobalRouter router(db);
   router.run();
@@ -217,9 +240,9 @@ int cmdFlow(const Args& args) {
   core::CrpOptions options;
   options.iterations = static_cast<int>(args.number("k", 10));
   core::CrpFramework framework(db, router, options);
-  const auto crpReport = framework.run();
+  framework.run();
   std::cout << "--- after CR&P (k=" << options.iterations << ") ---\n";
-  printCrpTelemetry(framework, crpReport);
+  printCrpTelemetry(framework);
   droute::DetailedRouter after(db, router.buildGuides());
   const auto afterStats = after.run();
   printMetrics(afterStats, db);
@@ -235,7 +258,7 @@ int cmdFlow(const Args& args) {
                    static_cast<double>(beforeStats.viaCount),
                    static_cast<double>(afterStats.viaCount))
             << "%\n";
-  return 0;
+  return writeObsArtifacts(args, framework);
 }
 
 int cmdCongestion(const Args& args) {
