@@ -4,6 +4,7 @@
 // component throughput and guard against performance regressions.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "bmgen/generator.hpp"
@@ -190,6 +191,96 @@ BENCHMARK(BM_EccPriceCandidates)
     ->Args({1, 0})
     ->Args({0, 1})
     ->Args({1, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// ---- UD batch reroute ------------------------------------------------------
+
+// One UD-phase reroute wave on a private 2400-cell design with a
+// fine gcell grid (~48x48 — the stock 600-cell spec only has ~5x5
+// gcells, where every conflict rect overlaps and no batch parallelism
+// can exist): shift every 9th cell a few gcells sideways — the local
+// moves the UD phase actually commits — then batch-reroute the
+// affected nets with Arg(0) router threads.  The shift alternates
+// sign, so the placement (and with it the workload) is stationary
+// across iteration pairs.  The batch plan and the resulting routes
+// are identical at every thread count (determinism contract); only
+// the wall clock may differ.  scripts/run_bench.sh distills the
+// threads:1 vs threads:8 rows into BENCH_parallel_rrr.json.
+struct UdRerouteFixture {
+  static constexpr geom::Coord kShift = 200;  // 4 gcells
+
+  UdRerouteFixture()
+      : db([] {
+          bmgen::BenchmarkSpec spec;
+          spec.name = "ud";
+          spec.targetCells = 2400;
+          spec.gcellSize = 50;
+          spec.hotspots = 1;
+          spec.seed = 3;
+          return bmgen::generateBenchmark(spec);
+        }()) {
+    const geom::Rect die = db.design().dieArea;
+    for (db::CellId c = 0; c < db.numCells(); c += 9) {
+      // Only cells with room to shift right, so +kShift / -kShift is
+      // an exact involution.
+      if (db.cell(c).pos.x + db.macroOf(c).width + kShift <= die.xhi) {
+        cells.push_back(c);
+      }
+    }
+    for (const db::CellId c : cells) {
+      for (const db::NetId n : db.netsOfCell(c)) affected.push_back(n);
+    }
+    std::sort(affected.begin(), affected.end());
+    affected.erase(std::unique(affected.begin(), affected.end()),
+                   affected.end());
+  }
+  void shiftCells() {
+    for (const db::CellId c : cells) {
+      geom::Point pos = db.cell(c).pos;
+      pos.x += shift;
+      db.moveCell(c, pos);
+    }
+    shift = -shift;
+  }
+  db::Database db;
+  std::vector<db::CellId> cells;
+  std::vector<db::NetId> affected;
+  geom::Coord shift = kShift;
+};
+
+UdRerouteFixture& udFixture() {
+  static UdRerouteFixture instance;
+  return instance;
+}
+
+void BM_UdBatchReroute(benchmark::State& state) {
+  auto& f = udFixture();
+  groute::GlobalRouterOptions options;
+  options.mazeMargin = 1;  // tight conflict rects: multi-net batches
+  options.routerThreads = static_cast<int>(state.range(0));
+  groute::GlobalRouter router(f.db, options);
+  router.run();
+  groute::RerouteBatchStats last;
+  for (auto _ : state) {
+    state.PauseTiming();
+    f.shiftCells();
+    state.ResumeTiming();
+    last = router.rerouteNets(f.affected);
+    benchmark::DoNotOptimize(last);
+  }
+  state.counters["nets"] =
+      benchmark::Counter(static_cast<double>(last.nets));
+  state.counters["batches"] =
+      benchmark::Counter(static_cast<double>(last.batches));
+  state.counters["conflicts"] =
+      benchmark::Counter(static_cast<double>(last.conflicts));
+  state.counters["failed"] =
+      benchmark::Counter(static_cast<double>(last.failed));
+}
+BENCHMARK(BM_UdBatchReroute)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
 // ---- legalizer -------------------------------------------------------------

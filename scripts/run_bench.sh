@@ -1,13 +1,21 @@
 #!/usr/bin/env bash
-# ECC pricing-engine benchmark driver (docs/pricing_cache.md).
+# ECC pricing-engine + parallel-RRR benchmark driver
+# (docs/pricing_cache.md, DESIGN.md "Parallel conflict-free RRR
+# batching").
 #
 #   1. Release build, run the bench_micro ECC benchmarks + bench_fig2,
 #      and distill BENCH_micro.json at the repo root: naive vs engine
 #      ECC wall time, the speedup, and the cache/delta reuse rate.
-#   2. ThreadPool + pricing + observability tests under ThreadSanitizer
-#      (CRP_SANITIZE=thread, separate build tree), guarding the sharded
-#      cache, the dynamic parallelFor scheduling, and the metrics
-#      registry / span tracer.  Skip with CRP_SKIP_TSAN=1.
+#   2. UD-phase batch reroute at 1 vs 8 router threads, distilled into
+#      BENCH_parallel_rrr.json.  The >= 2x speedup gate only applies
+#      when the machine exposes >= 4 CPUs — on fewer cores the wall
+#      clock is recorded honestly (parallelism cannot help there; the
+#      batch plan and routes are identical either way).
+#   3. ThreadPool + pricing + observability + parallel-reroute tests
+#      under ThreadSanitizer (CRP_SANITIZE=thread, separate build
+#      tree), guarding the sharded cache, the dynamic parallelFor
+#      scheduling, the metrics registry / span tracer, and the
+#      concurrent rerouteNet batches.  Skip with CRP_SKIP_TSAN=1.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -65,6 +73,61 @@ assert summary["speedup"] >= 3.0, \
 EOF
 rm -f ecc_bench_raw.json
 
+# ---- parallel UD batch reroute ---------------------------------------------
+"$BUILD"/bench/bench_micro \
+  --benchmark_filter='BM_UdBatchReroute' \
+  --benchmark_repetitions=5 \
+  --benchmark_enable_random_interleaving=true \
+  --benchmark_format=json \
+  --benchmark_out=rrr_bench_raw.json \
+  --benchmark_out_format=json
+
+python3 - <<'EOF'
+import json
+import os
+
+with open("rrr_bench_raw.json") as f:
+    raw = json.load(f)
+
+rows = {b["name"]: b for b in raw["benchmarks"]
+        if b.get("aggregate_name") == "median"}
+serial = rows["BM_UdBatchReroute/threads:1_median"]
+parallel = rows["BM_UdBatchReroute/threads:8_median"]
+
+def ms(row):
+    assert row["time_unit"] == "ms", row["time_unit"]
+    return row["real_time"]
+
+cpus = os.cpu_count() or 1
+summary = {
+    "benchmark": "BM_UdBatchReroute",
+    "suite": "bmgen 2400 cells, fine gcell grid, every 9th cell shifted 4 gcells",
+    "cpus": cpus,
+    "ud_reroute_serial_ms": round(ms(serial), 3),
+    "ud_reroute_threads8_ms": round(ms(parallel), 3),
+    "speedup": round(ms(serial) / ms(parallel), 2),
+    "nets": int(parallel["nets"]),
+    "batches": int(parallel["batches"]),
+    "context": raw["context"],
+}
+with open("BENCH_parallel_rrr.json", "w") as f:
+    json.dump(summary, f, indent=2)
+    f.write("\n")
+
+print("BENCH_parallel_rrr.json:")
+print(json.dumps({k: v for k, v in summary.items() if k != "context"},
+                 indent=2))
+# Wall-clock parallel speedup needs actual cores; on a small container
+# the run still guards correctness (the routes are bit-identical) but a
+# speedup assertion would only measure the machine, not the code.
+if cpus >= 4:
+    assert summary["speedup"] >= 2.0, \
+        f"parallel RRR speedup {summary['speedup']}x below the 2x target"
+else:
+    print(f"note: only {cpus} CPU(s) visible - skipping the 2x gate")
+EOF
+rm -f rrr_bench_raw.json
+
 "$BUILD"/bench/bench_fig2
 
 if [[ "${CRP_SKIP_TSAN:-0}" != "1" ]]; then
@@ -72,7 +135,7 @@ if [[ "${CRP_SKIP_TSAN:-0}" != "1" ]]; then
   cmake -B "$TSAN_BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCRP_SANITIZE=thread
   cmake --build "$TSAN_BUILD" -j "$(nproc)" \
-    --target test_util test_pricing test_obs
+    --target test_util test_pricing test_obs test_groute
   ctest --test-dir "$TSAN_BUILD" --output-on-failure \
-    -R 'ThreadPool|PricingCache|PricingEngine|Metrics|Tracer|ObsMacros'
+    -R 'ThreadPool|PricingCache|PricingEngine|Metrics|Tracer|ObsMacros|ParallelReroute'
 fi

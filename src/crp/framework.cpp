@@ -1,6 +1,8 @@
 #include "crp/framework.hpp"
 
 #include <algorithm>
+#include <set>
+#include <utility>
 
 #include "obs/obs.hpp"
 #include "util/logger.hpp"
@@ -16,9 +18,70 @@ CrpFramework::CrpFramework(db::Database& db, groute::GlobalRouter& router,
       pool_(options.threads == 0 ? 0
                                  : static_cast<std::size_t>(options.threads)),
       baseline_(obs::MetricsRegistry::instance().snapshot()) {
+  router_.setRouterThreads(options.routerThreads);
   for (const char* phase : kPhases) {
     runReport_.phases.push_back(obs::RunReport::PhaseStat{phase, 0.0});
   }
+}
+
+CommitPlan planMoveCommits(const std::vector<CellCandidates>& candidates,
+                           const std::vector<int>& chosen, int budget) {
+  CommitPlan plan;
+  std::vector<std::size_t> moveOrder;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (!candidates[i].candidates[chosen[i]].isCurrent) moveOrder.push_back(i);
+  }
+  // The "current" cost is the isCurrent entry's — not necessarily the
+  // front of the list (delta pricing and future reorderings make no
+  // placement promise about candidate order).
+  auto currentCost = [&](const CellCandidates& cc) {
+    for (const Candidate& candidate : cc.candidates) {
+      if (candidate.isCurrent) return candidate.routeCost;
+    }
+    return cc.candidates.front().routeCost;
+  };
+  auto gain = [&](std::size_t i) {
+    return currentCost(candidates[i]) -
+           candidates[i].candidates[chosen[i]].routeCost;
+  };
+  std::sort(moveOrder.begin(), moveOrder.end(),
+            [&](std::size_t a, std::size_t b) {
+              const double ga = gain(a), gb = gain(b);
+              if (ga != gb) return ga > gb;
+              return a < b;  // deterministic tie-break
+            });
+
+  std::unordered_set<db::CellId> claimedCells;
+  std::set<std::pair<geom::Coord, geom::Coord>> claimedSites;
+  auto site = [](const geom::Point& p) { return std::make_pair(p.x, p.y); };
+  for (const std::size_t i : moveOrder) {
+    const Candidate& candidate = candidates[i].candidates[chosen[i]];
+    bool clash = claimedCells.count(candidates[i].cell) != 0 ||
+                 claimedSites.count(site(candidate.position)) != 0;
+    for (const auto& [id, pos] : candidate.displaced) {
+      if (clash) break;
+      clash = claimedCells.count(id) != 0 ||
+              claimedSites.count(site(pos)) != 0;
+    }
+    if (clash) {
+      ++plan.conflictSkips;
+      continue;
+    }
+    const int needed = 1 + static_cast<int>(candidate.displaced.size());
+    if (needed > budget - plan.movesNeeded) {
+      ++plan.budgetSkips;
+      continue;
+    }
+    plan.movesNeeded += needed;
+    plan.committed.push_back(i);
+    claimedCells.insert(candidates[i].cell);
+    claimedSites.insert(site(candidate.position));
+    for (const auto& [id, pos] : candidate.displaced) {
+      claimedCells.insert(id);
+      claimedSites.insert(site(pos));
+    }
+  }
+  return plan;
 }
 
 void CrpFramework::chargePhase(const char* phase, double seconds) {
@@ -95,41 +158,17 @@ IterationReport CrpFramework::runIteration() {
     CRP_OBS_SPAN("crp", "phase.UD");
     util::Stopwatch watch;
 
-    // Move-budget enforcement (ICCAD-style contests): rank the selected
-    // moves by estimated gain and keep the best that fit.
-    std::vector<std::size_t> moveOrder;
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      if (!candidates[i].candidates[selection.chosen[i]].isCurrent) {
-        moveOrder.push_back(i);
-      }
-    }
-    std::sort(moveOrder.begin(), moveOrder.end(),
-              [&](std::size_t a, std::size_t b) {
-                auto gain = [&](std::size_t i) {
-                  const auto& cc = candidates[i];
-                  return cc.candidates.front().routeCost -
-                         cc.candidates[selection.chosen[i]].routeCost;
-                };
-                return gain(a) > gain(b);
-              });
-    std::unordered_set<std::size_t> committed;
-    int budget = options_.maxMovesTotal - movesUsed_;
-    for (const std::size_t i : moveOrder) {
-      const int needed =
-          1 + static_cast<int>(
-                  candidates[i].candidates[selection.chosen[i]]
-                      .displaced.size());
-      if (needed > budget) continue;
-      budget -= needed;
-      committed.insert(i);
-    }
+    // Plan the commit: gain-ranked moves, conflict claims (no
+    // double-moved cell, no doubly-claimed site) and the ICCAD-style
+    // move budget carried over across iterations.
+    const CommitPlan plan = planMoveCommits(
+        candidates, selection.chosen, options_.maxMovesTotal - movesUsed_);
+    CRP_OBS_COUNT("crp.commit_conflicts", plan.conflictSkips);
 
     std::vector<db::NetId> affectedNets;
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
+    for (const std::size_t i : plan.committed) {
       const Candidate& chosen =
           candidates[i].candidates[selection.chosen[i]];
-      if (chosen.isCurrent) continue;
-      if (committed.count(i) == 0) continue;  // over the move budget
       const db::CellId cell = candidates[i].cell;
       db_.moveCell(cell, chosen.position);
       moved_.insert(cell);
@@ -150,9 +189,7 @@ IterationReport CrpFramework::runIteration() {
     affectedNets.erase(
         std::unique(affectedNets.begin(), affectedNets.end()),
         affectedNets.end());
-    for (const db::NetId n : affectedNets) {
-      router_.rerouteNet(n);
-    }
+    router_.rerouteNets(affectedNets);
     report.reroutedNets = static_cast<int>(affectedNets.size());
     movesUsed_ += report.movedCells + report.displacedCells;
     chargePhase(kPhaseUd, watch.seconds());

@@ -58,6 +58,27 @@ struct CrpReport {
   PricingStats pricing;  ///< summed over iterations
 };
 
+/// The UD phase's move-commit plan: which selected moves to apply.
+struct CommitPlan {
+  /// Indices into the candidates vector, in commit (gain) order.
+  std::vector<std::size_t> committed;
+  int movesNeeded = 0;    ///< cells moved by the committed set
+  int conflictSkips = 0;  ///< moves dropped: cell or site already claimed
+  int budgetSkips = 0;    ///< moves dropped: over the remaining budget
+};
+
+/// Plans the UD commit for one iteration (§IV.B.5 plus the ICCAD-style
+/// move budget).  Ranks the non-current selected moves by estimated
+/// gain — the cost of the cell's *current* candidate (isCurrent entry)
+/// minus the chosen one — then walks them in rank order, skipping any
+/// move that (a) moves a cell another committed move already moves or
+/// displaces, (b) lands a cell on a site another committed move already
+/// claims, or (c) does not fit the remaining move budget.  Without the
+/// claim tracking two selected moves could double-move a shared
+/// displaced cell or stack two cells on one site.
+CommitPlan planMoveCommits(const std::vector<CellCandidates>& candidates,
+                           const std::vector<int>& chosen, int budget);
+
 class CrpFramework {
  public:
   /// The framework mutates `db` (cell positions) and `router` (routes

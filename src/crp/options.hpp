@@ -27,6 +27,13 @@ struct CrpOptions {
   std::uint64_t seed = 1;  ///< Alg. 1's annealing draw (reproducible)
   int threads = 0;         ///< worker threads for Alg. 2/3; 0 = hardware
 
+  /// Worker threads for the UD phase's conflict-free batch reroute
+  /// (applied to the GlobalRouter at framework construction): 1 =
+  /// serial, 0 = hardware.  Value-exact: routes, demand maps and the
+  /// run fingerprint are bit-identical for every setting (the batch
+  /// plan is deterministic and batch members touch disjoint regions).
+  int routerThreads = 0;
+
   /// ECC incremental pricing engine (docs/pricing_cache.md).  All three
   /// knobs are value-exact: toggling them changes the ECC wall time,
   /// never the candidate costs or the selection.

@@ -1,6 +1,7 @@
 #include "groute/global_router.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <numeric>
 
@@ -8,6 +9,39 @@
 #include "util/logger.hpp"
 
 namespace crp::groute {
+
+namespace {
+
+/// Inclusive gcell rectangle used for conflict planning.
+struct ConflictRect {
+  int xlo = 0, ylo = 0, xhi = -1, yhi = -1;  // empty by default
+
+  bool empty() const { return xhi < xlo || yhi < ylo; }
+
+  void cover(int x, int y) {
+    if (empty()) {
+      xlo = xhi = x;
+      ylo = yhi = y;
+      return;
+    }
+    xlo = std::min(xlo, x);
+    ylo = std::min(ylo, y);
+    xhi = std::max(xhi, x);
+    yhi = std::max(yhi, y);
+  }
+
+  bool overlaps(const ConflictRect& o) const {
+    if (empty() || o.empty()) return false;
+    return xlo <= o.xhi && o.xlo <= xhi && ylo <= o.yhi && o.ylo <= yhi;
+  }
+
+  long area() const {
+    if (empty()) return 0;
+    return static_cast<long>(xhi - xlo + 1) * (yhi - ylo + 1);
+  }
+};
+
+}  // namespace
 
 GlobalRouter::GlobalRouter(const db::Database& db,
                            GlobalRouterOptions options)
@@ -51,20 +85,168 @@ void GlobalRouter::ripUp(db::NetId net) {
 
 bool GlobalRouter::rerouteNet(db::NetId net, bool mazeFirst) {
   CRP_OBS_COUNT("gr.reroutes", 1);
-  ripUp(net);
-  const auto terminals = netTerminals(net);
   NetRoute& route = routes_.at(net);
+  // Rip up, keeping the old segments so a double routing failure can
+  // restore the previous route instead of silently dropping its demand.
+  NetRoute previous;
+  previous.net = net;
+  if (route.routed) {
+    graph_.applyRoute(route, -1);
+    previous.segments = std::move(route.segments);
+    previous.routed = true;
+    route.clear();
+  }
+  const auto terminals = netTerminals(net);
   PatternResult result = mazeFirst ? maze_.routeTree(terminals)
                                    : pattern_.routeTree(terminals);
   if (!result.ok) {
     result = mazeFirst ? pattern_.routeTree(terminals)
                        : maze_.routeTree(terminals);
   }
-  if (!result.ok) return false;
+  if (!result.ok) {
+    if (previous.routed) {
+      // The restored route may be stale relative to moved pins, but it
+      // keeps the demand maps exact and the net accounted for; the
+      // caller decides how to handle the failure.
+      route.segments = std::move(previous.segments);
+      route.routed = true;
+      graph_.applyRoute(route, +1);
+    }
+    CRP_OBS_COUNT("gr.reroute_failures", 1);
+    return false;
+  }
   route.segments = std::move(result.segments);
   route.routed = true;
   graph_.applyRoute(route, +1);
   return true;
+}
+
+util::ThreadPool* GlobalRouter::pool() {
+  if (options_.routerThreads == 1) return nullptr;
+  const std::size_t want =
+      options_.routerThreads == 0
+          ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+          : static_cast<std::size_t>(options_.routerThreads);
+  if (want <= 1) return nullptr;
+  if (!pool_ || pool_->threadCount() != want) {
+    pool_ = std::make_unique<util::ThreadPool>(want);
+  }
+  return pool_.get();
+}
+
+void GlobalRouter::setRouterThreads(int threads) {
+  if (threads == options_.routerThreads) return;
+  options_.routerThreads = threads;
+  pool_.reset();  // lazily rebuilt at the next rerouteNets call
+}
+
+std::vector<std::vector<db::NetId>> GlobalRouter::planRerouteBatches(
+    const std::vector<db::NetId>& nets, int* conflicts) const {
+  // Conflict bbox per net: everything its rip-up + reroute can read or
+  // write.  Writes stay within the old route extent and the new search
+  // region (terminal bbox + maze margin); cost reads additionally
+  // touch the via counts of edge endpoints, covered by one extra halo
+  // gcell.  First-fit coloring over the rects — largest first, so the
+  // few die-spanning nets claim batches before the many local nets
+  // pack around them — yields batches whose members are pairwise
+  // disjoint.  The plan depends only on the input order and the
+  // current routes/positions, so it is identical for every thread
+  // count.
+  const int margin = maze_.boxMargin() + 1;
+  const int maxX = graph_.grid().countX() - 1;
+  const int maxY = graph_.grid().countY() - 1;
+  int rejections = 0;
+
+  std::vector<ConflictRect> rects(nets.size());
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    ConflictRect& rect = rects[i];
+    for (const GPoint& t : netTerminals(nets[i])) rect.cover(t.x, t.y);
+    for (const RouteSegment& seg : routes_.at(nets[i]).segments) {
+      rect.cover(seg.a.x, seg.a.y);
+      rect.cover(seg.b.x, seg.b.y);
+    }
+    if (!rect.empty()) {
+      rect.xlo = std::max(0, rect.xlo - margin);
+      rect.ylo = std::max(0, rect.ylo - margin);
+      rect.xhi = std::min(maxX, rect.xhi + margin);
+      rect.yhi = std::min(maxY, rect.yhi + margin);
+    }
+  }
+  std::vector<std::size_t> order(nets.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&rects](std::size_t a, std::size_t b) {
+                     return rects[a].area() > rects[b].area();
+                   });
+
+  std::vector<std::vector<db::NetId>> batches;
+  std::vector<std::vector<ConflictRect>> batchRects;
+  for (const std::size_t i : order) {
+    const ConflictRect& rect = rects[i];
+    std::size_t color = 0;
+    for (; color < batches.size(); ++color) {
+      bool clash = false;
+      for (const ConflictRect& other : batchRects[color]) {
+        if (rect.overlaps(other)) {
+          clash = true;
+          break;
+        }
+      }
+      if (!clash) break;
+      ++rejections;
+    }
+    if (color == batches.size()) {
+      batches.emplace_back();
+      batchRects.emplace_back();
+    }
+    batches[color].push_back(nets[i]);
+    batchRects[color].push_back(rect);
+  }
+  if (conflicts != nullptr) *conflicts = rejections;
+  return batches;
+}
+
+RerouteBatchStats GlobalRouter::rerouteNets(const std::vector<db::NetId>& nets,
+                                            bool mazeFirst) {
+  RerouteBatchStats stats;
+  stats.nets = static_cast<int>(nets.size());
+  if (nets.empty()) return stats;
+  CRP_OBS_SPAN_ARG("groute", "gr.reroute_batch", nets.size());
+
+  const auto batches = planRerouteBatches(nets, &stats.conflicts);
+  stats.batches = static_cast<int>(batches.size());
+  util::ThreadPool* workers = pool();
+  std::atomic<int> failed{0};
+  for (const auto& batch : batches) {
+    CRP_OBS_HISTOGRAM("gr.par.batch_nets", batch.size());
+    if (workers == nullptr || batch.size() == 1) {
+      for (const db::NetId net : batch) {
+        if (!rerouteNet(net, mazeFirst)) {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    } else {
+      workers->parallelFor(batch.size(), [&](std::size_t i) {
+        if (!rerouteNet(batch[i], mazeFirst)) {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+  }
+  stats.failed = failed.load(std::memory_order_relaxed);
+
+  CRP_OBS_COUNT("gr.par.calls", 1);
+  CRP_OBS_COUNT("gr.par.nets", stats.nets);
+  CRP_OBS_COUNT("gr.par.batches", stats.batches);
+  CRP_OBS_COUNT("gr.par.conflicts", stats.conflicts);
+  // Parallel efficiency: fraction of batch thread-slots filled (1.0 =
+  // every worker busy in every batch, assuming uniform net cost).
+  const double slots = static_cast<double>(stats.batches) *
+                       static_cast<double>(
+                           workers != nullptr ? workers->threadCount() : 1);
+  CRP_OBS_GAUGE_SET("gr.par.efficiency",
+                    slots > 0.0 ? std::min(1.0, stats.nets / slots) : 1.0);
+  return stats;
 }
 
 double GlobalRouter::netRouteCost(db::NetId net) const {
@@ -143,18 +325,8 @@ GlobalRouteStats GlobalRouter::run() {
     CRP_LOG_DEBUG("groute RRR round {}: {} overflowed nets", round,
                   victims.size());
     CRP_OBS_COUNT("gr.rrr_victims", victims.size());
-    for (const db::NetId net : victims) {
-      ripUp(net);
-      const auto terminals = netTerminals(net);
-      PatternResult result = maze_.routeTree(terminals);
-      if (!result.ok) result = pattern_.routeTree(terminals);
-      if (result.ok) {
-        routes_[net].segments = std::move(result.segments);
-        routes_[net].routed = true;
-        graph_.applyRoute(routes_[net], +1);
-      }
-      ++reroutedNets_;
-    }
+    rerouteNets(victims, /*mazeFirst=*/true);
+    reroutedNets_ += static_cast<int>(victims.size());
   }
   const GlobalRouteStats result = stats();
   CRP_OBS_GAUGE_SET("gr.total_overflow", result.totalOverflow);

@@ -8,8 +8,18 @@
 // The router is also the "Update Database" engine of CR&P (§IV.B.5):
 // rerouteNet() rips up and re-routes the nets of moved cells and keeps
 // the demand maps consistent.
+//
+// Batch reroutes (the UD affected-net set and each RRR victim round)
+// run through rerouteNets(): the pending nets are partitioned into
+// conflict-free batches by greedy coloring over their expanded conflict
+// bboxes (old route extent + current terminals + maze margin + one
+// gcell of cost-read halo) and each batch is rerouted concurrently on
+// a thread pool.  Because batch members touch pairwise-disjoint graph
+// regions, the result is bit-identical at any thread count; see
+// DESIGN.md §6 "Parallel conflict-free RRR batching".
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "db/database.hpp"
@@ -17,6 +27,7 @@
 #include "groute/pattern_route.hpp"
 #include "groute/routing_graph.hpp"
 #include "lefdef/guide_io.hpp"
+#include "util/thread_pool.hpp"
 
 namespace crp::groute {
 
@@ -25,6 +36,10 @@ struct GlobalRouterOptions {
   int rrrRounds = 3;      ///< negotiated reroute rounds after initial route
   int mazeMargin = 6;     ///< gcell margin around the net bbox for maze
   int maxZCandidates = 8; ///< Z-shape sampling in pattern routing
+  /// Worker threads for batch reroutes (rerouteNets): 1 = serial,
+  /// 0 = hardware concurrency.  The route fingerprint and demand maps
+  /// are bit-identical across all values (determinism contract).
+  int routerThreads = 0;
 };
 
 struct GlobalRouteStats {
@@ -34,6 +49,15 @@ struct GlobalRouteStats {
   int overflowedEdges = 0;
   int openNets = 0;
   int reroutedNets = 0;  ///< nets touched by RRR rounds
+};
+
+/// Outcome of one rerouteNets() call (also published as gr.par.*
+/// observability counters).
+struct RerouteBatchStats {
+  int nets = 0;       ///< pending nets handed in
+  int batches = 0;    ///< conflict-free batches executed
+  int conflicts = 0;  ///< bbox-overlap rejections during greedy coloring
+  int failed = 0;     ///< nets whose reroute failed (old route restored)
 };
 
 class GlobalRouter {
@@ -54,8 +78,32 @@ class GlobalRouter {
   /// the live congestion state, pattern fallback — the same quality
   /// class the initial RRR rounds produce, so CR&P's Update-Database
   /// reroutes do not degrade the via discipline of the solution).
-  /// Returns false when the net could not be routed (stays open).
+  /// When both maze and pattern fail, the previous route (and its
+  /// demand) is restored so no demand ever vanishes silently; returns
+  /// false in that case.
   bool rerouteNet(db::NetId net, bool mazeFirst = true);
+
+  /// Rip up + reroute a set of nets through the conflict-free batch
+  /// engine: deterministic batch plan (planRerouteBatches), each batch
+  /// executed concurrently on options().routerThreads workers.  The
+  /// resulting routes and demand maps are bit-identical for every
+  /// thread count, including 1.
+  RerouteBatchStats rerouteNets(const std::vector<db::NetId>& nets,
+                                bool mazeFirst = true);
+
+  /// The deterministic conflict-free partition used by rerouteNets:
+  /// greedy coloring in input order over each net's conflict bbox (old
+  /// route extent + current terminal bbox, expanded by the maze margin
+  /// plus one halo gcell for edge-cost endpoint reads).  Nets within
+  /// one batch have pairwise-disjoint conflict bboxes.  Exposed for
+  /// tests; `conflicts`, when given, receives the number of overlap
+  /// rejections observed while coloring.
+  std::vector<std::vector<db::NetId>> planRerouteBatches(
+      const std::vector<db::NetId>& nets, int* conflicts = nullptr) const;
+
+  /// Reconfigures the batch-reroute worker count (1 = serial,
+  /// 0 = hardware); value-exact per the determinism contract.
+  void setRouterThreads(int threads);
 
   /// Cost of a net's committed route at the live edge prices; the
   /// criticality metric of Alg. 1.  Zero for unrouted nets.
@@ -71,13 +119,20 @@ class GlobalRouter {
   /// Guides for the detailed router, one entry per routed net.
   std::vector<lefdef::NetGuide> buildGuides() const;
 
+  const GlobalRouterOptions& options() const { return options_; }
+
  private:
+  /// Lazily created pool sized by options_.routerThreads; nullptr when
+  /// the configuration is serial.
+  util::ThreadPool* pool();
+
   const db::Database& db_;
   GlobalRouterOptions options_;
   RoutingGraph graph_;
   PatternRouter pattern_;
   MazeRouter maze_;
   std::vector<NetRoute> routes_;
+  std::unique_ptr<util::ThreadPool> pool_;
   int reroutedNets_ = 0;
 };
 

@@ -2,6 +2,13 @@
 // rips up and reroutes overflowed nets during negotiated global
 // routing.  Searches inside a bounding box around the net's terminals
 // (expanded by a margin) using the live Eq. 10 edge costs.
+//
+// Containment contract (relied on by the conflict-free parallel batch
+// reroute, DESIGN.md §6): the search relaxes only nodes inside the
+// expanded terminal bbox, so every edge read or written lies within
+// the terminal bbox expanded by boxMargin() gcells.  Edge-cost reads
+// additionally touch the via counts of edge endpoints, which is why
+// the batch planner adds one extra gcell of halo on top of the margin.
 #pragma once
 
 #include <vector>
@@ -18,7 +25,13 @@ class MazeRouter {
 
   /// Routes a net over its terminals with sequential multi-source
   /// Dijkstra (the growing tree is the source set for the next sink).
+  /// Read-only on the graph and allocation-local: concurrent calls on
+  /// one MazeRouter are safe.
   PatternResult routeTree(const std::vector<GPoint>& terminals) const;
+
+  /// GCell margin added around the terminal bbox; the spatial extent
+  /// of routeTree (single source of the batch-planner's halo).
+  int boxMargin() const { return boxMargin_; }
 
  private:
   const RoutingGraph& graph_;

@@ -13,6 +13,12 @@
 // exist for that hot loop: one Scratch per thread keeps path
 // enumeration, the layer-assignment DP tables and the Steiner build
 // free of heap allocations in steady state.
+//
+// Containment contract (relied on by the conflict-free parallel batch
+// reroute, DESIGN.md §6): straight, L and Z candidate paths, the RSMT
+// topology (Hanan grid) and all Steiner/pin via stacks lie within the
+// bounding box of the terminals, so a pattern route never reads or
+// produces an edge outside the terminal bbox.
 #pragma once
 
 #include <cstddef>

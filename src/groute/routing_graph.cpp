@@ -293,12 +293,17 @@ bool RoutingGraph::routeInBounds(const NetRoute& route) const {
 }
 
 void RoutingGraph::applyRoute(const NetRoute& route, int sign) {
+  // The scalar totals are accumulated locally and published with one
+  // relaxed fetch_add each: exact integer sums, so concurrent
+  // disjoint-route calls commute (see the header's contract).
+  geom::Coord wireDelta = 0;
+  long viaDelta = 0;
   for (const RouteSegment& rawSeg : route.segments) {
     const RouteSegment seg = normalized(rawSeg);
     if (seg.isVia()) {
       for (int l = seg.a.layer; l < seg.b.layer; ++l) {
         viaUse_[viaIndex(ViaEdge{l, seg.a.x, seg.a.y})] += sign;
-        totalVias_ += sign;
+        viaDelta += sign;
       }
       for (int l = seg.a.layer; l <= seg.b.layer; ++l) {
         viaCount_[nodeIndex(GPoint{l, seg.a.x, seg.a.y})] += sign;
@@ -307,16 +312,20 @@ void RoutingGraph::applyRoute(const NetRoute& route, int sign) {
       for (int x = seg.a.x; x < seg.b.x; ++x) {
         const WireEdge e{seg.a.layer, x, seg.a.y};
         wireUse_[wireIndex(e)] += sign;
-        totalWireDbu_ += sign * wireEdgeDist(e);
+        wireDelta += sign * wireEdgeDist(e);
       }
     } else if (seg.a.y != seg.b.y) {
       for (int y = seg.a.y; y < seg.b.y; ++y) {
         const WireEdge e{seg.a.layer, seg.a.x, y};
         wireUse_[wireIndex(e)] += sign;
-        totalWireDbu_ += sign * wireEdgeDist(e);
+        wireDelta += sign * wireEdgeDist(e);
       }
     }
   }
+  if (wireDelta != 0) {
+    totalWireDbu_.fetch_add(wireDelta, std::memory_order_relaxed);
+  }
+  if (viaDelta != 0) totalVias_.fetch_add(viaDelta, std::memory_order_relaxed);
 }
 
 RoutingGraph::CongestionStats RoutingGraph::congestionStats() const {

@@ -11,6 +11,7 @@
 // description that "increasing S causes faster overflow".
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -87,6 +88,13 @@ class RoutingGraph {
   // ---- demand bookkeeping ---------------------------------------------------
 
   /// Adds (sign=+1) or removes (sign=-1) a route's demand.
+  ///
+  /// Concurrency contract (parallel RRR batching, DESIGN.md §6):
+  /// concurrent applyRoute calls are safe iff the routes touch disjoint
+  /// wire/via edges and gcell columns — per-edge demand entries are
+  /// then distinct memory locations, and the scalar wire/via totals are
+  /// relaxed atomics whose integer sums are order-independent, so the
+  /// final state is bit-identical to any sequential interleaving.
   void applyRoute(const NetRoute& route, int sign);
 
   /// True when every wire edge the route crosses exists in the graph.
@@ -104,9 +112,11 @@ class RoutingGraph {
 
   /// Sum over all nets of wire hops weighted by gcell distance — the
   /// global-route wirelength in DBU (tracked incrementally).
-  geom::Coord totalWireDbu() const { return totalWireDbu_; }
+  geom::Coord totalWireDbu() const {
+    return totalWireDbu_.load(std::memory_order_relaxed);
+  }
   /// Total via edges in use (counted with multiplicity).
-  long totalVias() const { return totalVias_; }
+  long totalVias() const { return totalVias_.load(std::memory_order_relaxed); }
 
   // ---- geometry helpers ---------------------------------------------------
 
@@ -148,8 +158,10 @@ class RoutingGraph {
   std::vector<int> viaCount_;
   std::vector<std::size_t> wireLayerOffset_;  ///< offset per layer
 
-  geom::Coord totalWireDbu_ = 0;
-  long totalVias_ = 0;
+  // Relaxed atomics: the only cross-thread shared scalars under the
+  // conflict-free batch reroute (per-edge entries are disjoint there).
+  std::atomic<geom::Coord> totalWireDbu_{0};
+  std::atomic<long> totalVias_{0};
   geom::Coord pitchUnit_ = 1;
 };
 

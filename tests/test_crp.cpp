@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "crp/critical_cells.hpp"
 #include "crp/framework.hpp"
@@ -448,6 +449,110 @@ TEST(Framework, MoveBudgetEnforced) {
   CrpFramework framework(f.db, f.router, options);
   const CrpReport report = framework.run();
   EXPECT_LE(report.totalMoves, 3);
+  EXPECT_TRUE(db::isPlacementLegal(f.db));
+}
+
+// ---- UD commit plan ---------------------------------------------------------
+
+TEST(CommitPlan, GainRankUsesCurrentEntryNotFront) {
+  // Candidate lists make no ordering promise: here the move candidate
+  // sits in front and the isCurrent entry second.  Judged by front()
+  // both cells would tie at gain 0 and cell 0 would win the budget slot;
+  // the true gains are 2 (cell 0) vs 11 (cell 1).
+  std::vector<CellCandidates> cells(2);
+  cells[0].cell = 0;
+  cells[0].candidates = {Candidate{{100, 0}, {}, 8.0, false},
+                         Candidate{{0, 0}, {}, 10.0, true}};
+  cells[1].cell = 1;
+  cells[1].candidates = {Candidate{{200, 0}, {}, 9.0, false},
+                         Candidate{{40, 0}, {}, 20.0, true}};
+  const std::vector<int> chosen{0, 0};
+
+  const CommitPlan plan = planMoveCommits(cells, chosen, /*budget=*/1);
+  ASSERT_EQ(plan.committed.size(), 1u);
+  EXPECT_EQ(plan.committed[0], 1u);
+  EXPECT_EQ(plan.budgetSkips, 1);
+  EXPECT_EQ(plan.conflictSkips, 0);
+  EXPECT_EQ(plan.movesNeeded, 1);
+}
+
+TEST(CommitPlan, SharedDisplacedCellCommitsOnlyBest) {
+  // Both moves displace cell 7 — committing both would move it twice,
+  // the second time from a stale position.  Only the higher-gain move
+  // may commit.
+  std::vector<CellCandidates> cells(2);
+  cells[0].cell = 0;
+  cells[0].candidates = {Candidate{{0, 0}, {}, 10.0, true},
+                         Candidate{{100, 0}, {{7, {300, 0}}}, 4.0, false}};
+  cells[1].cell = 1;
+  cells[1].candidates = {Candidate{{40, 0}, {}, 10.0, true},
+                         Candidate{{200, 0}, {{7, {320, 0}}}, 8.0, false}};
+  const std::vector<int> chosen{1, 1};
+
+  const CommitPlan plan =
+      planMoveCommits(cells, chosen, std::numeric_limits<int>::max());
+  ASSERT_EQ(plan.committed.size(), 1u);
+  EXPECT_EQ(plan.committed[0], 0u);  // gain 6 beats gain 2
+  EXPECT_EQ(plan.conflictSkips, 1);
+  EXPECT_EQ(plan.movesNeeded, 2);  // cell 0 plus displaced cell 7
+}
+
+TEST(CommitPlan, SameTargetSiteCommitsOnlyBest) {
+  // Both moves land on site (100, 0): stacking two cells on one site
+  // would corrupt legality.  Only the higher-gain move may commit.
+  std::vector<CellCandidates> cells(2);
+  cells[0].cell = 0;
+  cells[0].candidates = {Candidate{{0, 0}, {}, 10.0, true},
+                         Candidate{{100, 0}, {}, 4.0, false}};
+  cells[1].cell = 1;
+  cells[1].candidates = {Candidate{{40, 0}, {}, 10.0, true},
+                         Candidate{{100, 0}, {}, 8.0, false}};
+  const std::vector<int> chosen{1, 1};
+
+  const CommitPlan plan =
+      planMoveCommits(cells, chosen, std::numeric_limits<int>::max());
+  ASSERT_EQ(plan.committed.size(), 1u);
+  EXPECT_EQ(plan.committed[0], 0u);
+  EXPECT_EQ(plan.conflictSkips, 1);
+}
+
+TEST(CommitPlan, CurrentSelectionsNeverCommitted) {
+  std::vector<CellCandidates> cells(1);
+  cells[0].cell = 0;
+  cells[0].candidates = {Candidate{{0, 0}, {}, 10.0, true},
+                         Candidate{{100, 0}, {}, 4.0, false}};
+  const CommitPlan plan = planMoveCommits(cells, {0},
+                                          std::numeric_limits<int>::max());
+  EXPECT_TRUE(plan.committed.empty());
+  EXPECT_EQ(plan.movesNeeded, 0);
+}
+
+TEST(Framework, MoveBudgetCarriesOverAcrossIterations) {
+  // Precondition: without a budget this flow makes more than 4 moves,
+  // otherwise the capped assertion below would be vacuous.
+  {
+    Fixture f;
+    CrpOptions options;
+    options.iterations = 4;
+    options.seed = 3;
+    CrpFramework framework(f.db, f.router, options);
+    ASSERT_GT(framework.run().totalMoves, 4);
+  }
+  // The budget is a *total* across iterations, not per-iteration: the
+  // running sum must respect it at every step.
+  Fixture f;
+  CrpOptions options;
+  options.iterations = 4;
+  options.seed = 3;
+  options.maxMovesTotal = 4;
+  CrpFramework framework(f.db, f.router, options);
+  int cumulative = 0;
+  for (int k = 0; k < options.iterations; ++k) {
+    const IterationReport report = framework.runIteration();
+    cumulative += report.movedCells + report.displacedCells;
+    EXPECT_LE(cumulative, options.maxMovesTotal) << "iteration " << k;
+  }
+  EXPECT_LE(cumulative, 4);
   EXPECT_TRUE(db::isPlacementLegal(f.db));
 }
 

@@ -43,16 +43,21 @@ bmgen::BenchmarkSpec goldenSpec() {
 }
 
 /// Runs the full flow (generate -> GR -> CR&P k=2) and returns the
-/// deterministic fingerprint of the run report.
-obs::Json runFingerprint(int threads) {
+/// deterministic fingerprint of the run report.  `routerThreads`
+/// drives the conflict-free batch reroute engine (GR RRR rounds and
+/// the UD phase); the determinism contract says it is value-exact.
+obs::Json runFingerprint(int threads, int routerThreads = 1) {
   obs::EnabledScope enabled(true);
   auto db = bmgen::generateBenchmark(goldenSpec());
-  groute::GlobalRouter router(db);
+  groute::GlobalRouterOptions routerOptions;
+  routerOptions.routerThreads = routerThreads;
+  groute::GlobalRouter router(db, routerOptions);
   router.run();
   core::CrpOptions options;
   options.iterations = 2;
   options.seed = 11;
   options.threads = threads;
+  options.routerThreads = routerThreads;
   core::CrpFramework framework(db, router, options);
   framework.run();
   EXPECT_TRUE(db::isPlacementLegal(db));
@@ -95,6 +100,38 @@ TEST(Golden, CrpFlowFingerprintMatchesGolden) {
       << golden.dump(2) << "\ncurrent:\n"
       << single.dump(2)
       << "\nIf the change is intentional, run scripts/update_goldens.sh";
+}
+
+// The router-thread knob must also be value-exact: the conflict-free
+// batch plan is computed sequentially and batch members touch disjoint
+// graph regions, so the whole-flow fingerprint — demand maps, routes,
+// moves — is bit-identical at 1 vs 8 router threads, and both match
+// the checked-in golden.
+TEST(Golden, RouterThreadCountIndependence) {
+#ifdef CRP_OBS_DISABLED
+  GTEST_SKIP() << "golden fingerprints need the observability counters "
+                  "(-DCRP_OBS=ON)";
+#endif
+  const obs::Json serial = runFingerprint(1, /*routerThreads=*/1);
+  const obs::Json parallel = runFingerprint(1, /*routerThreads=*/8);
+  ASSERT_EQ(serial, parallel)
+      << "--router-threads 1 vs 8 fingerprints diverge:\n"
+      << serial.dump(2) << "\nvs\n"
+      << parallel.dump(2);
+
+  if (std::getenv("CRP_UPDATE_GOLDENS") != nullptr) {
+    GTEST_SKIP() << "golden handled by CrpFlowFingerprintMatchesGolden";
+  }
+  std::ifstream in(goldenPath());
+  ASSERT_TRUE(in) << "missing golden file " << goldenPath()
+                  << " — run scripts/update_goldens.sh";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const obs::Json golden = obs::Json::parse(buffer.str());
+  EXPECT_EQ(parallel, golden)
+      << "parallel-reroute fingerprint drifted from golden.\ngolden:\n"
+      << golden.dump(2) << "\ncurrent:\n"
+      << parallel.dump(2);
 }
 
 }  // namespace

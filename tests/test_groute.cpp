@@ -3,7 +3,9 @@
 // routing, and the full GlobalRouter driver.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "groute/global_router.hpp"
 #include "groute/maze_route.hpp"
@@ -516,6 +518,202 @@ TEST(RoutingGraphTest2, RouteInBoundsRejectsWrongDirection) {
   NetRoute viaMoved;
   viaMoved.segments.push_back({GPoint{0, 0, 0}, GPoint{1, 1, 0}});
   EXPECT_FALSE(graph.routeInBounds(viaMoved));
+}
+
+// ---- parallel batch reroute -------------------------------------------------
+
+// Independent re-statement of the conflict-rect contract (route extent
+// + terminal bbox, expanded by mazeMargin plus one halo gcell) so the
+// batch-plan test pins the contract instead of checking the
+// implementation against itself.
+struct ConflictBox {
+  int xlo = 1 << 30, ylo = 1 << 30, xhi = -1, yhi = -1;
+  bool overlaps(const ConflictBox& o) const {
+    if (xhi < xlo || o.xhi < o.xlo) return false;  // empty never clashes
+    return xlo <= o.xhi && o.xlo <= xhi && ylo <= o.yhi && o.ylo <= yhi;
+  }
+};
+
+ConflictBox conflictBox(const GlobalRouter& router, db::NetId net) {
+  ConflictBox box;
+  auto cover = [&box](int x, int y) {
+    box.xlo = std::min(box.xlo, x);
+    box.ylo = std::min(box.ylo, y);
+    box.xhi = std::max(box.xhi, x);
+    box.yhi = std::max(box.yhi, y);
+  };
+  for (const GPoint& t : router.netTerminals(net)) cover(t.x, t.y);
+  for (const RouteSegment& seg : router.route(net).segments) {
+    cover(seg.a.x, seg.a.y);
+    cover(seg.b.x, seg.b.y);
+  }
+  if (box.xhi >= box.xlo) {
+    const int margin = router.options().mazeMargin + 1;
+    box.xlo = std::max(0, box.xlo - margin);
+    box.ylo = std::max(0, box.ylo - margin);
+    box.xhi = std::min(router.graph().grid().countX() - 1, box.xhi + margin);
+    box.yhi = std::min(router.graph().grid().countY() - 1, box.yhi + margin);
+  }
+  return box;
+}
+
+TEST(ParallelReroute, BatchPlanIsConflictFreeAndCoversInput) {
+  const auto db = crp::testing::makeGridDatabase(24, 12);
+  GlobalRouterOptions options;
+  options.mazeMargin = 1;  // small conflict rects: real multi-net batches
+  GlobalRouter router(db, options);
+  router.run();
+
+  std::vector<db::NetId> nets(db.numNets());
+  std::iota(nets.begin(), nets.end(), 0);
+  int conflicts = -1;
+  const auto batches = router.planRerouteBatches(nets, &conflicts);
+  EXPECT_GE(conflicts, 0);
+
+  // Every input net lands in exactly one batch; no batch is empty.
+  std::vector<db::NetId> flat;
+  for (const auto& batch : batches) {
+    EXPECT_FALSE(batch.empty());
+    flat.insert(flat.end(), batch.begin(), batch.end());
+  }
+  std::sort(flat.begin(), flat.end());
+  EXPECT_EQ(flat, nets);
+
+  // Members of one batch have pairwise-disjoint conflict boxes — the
+  // property that makes concurrent reroutes value-exact.
+  for (const auto& batch : batches) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      for (std::size_t j = i + 1; j < batch.size(); ++j) {
+        EXPECT_FALSE(
+            conflictBox(router, batch[i]).overlaps(conflictBox(router,
+                                                               batch[j])))
+            << "nets " << batch[i] << " and " << batch[j]
+            << " share a batch but their conflict boxes overlap";
+      }
+    }
+  }
+
+  // The plan must expose actual parallelism on this design (short
+  // chain nets spread over a 12x12 gcell grid).
+  EXPECT_LT(batches.size(), nets.size());
+}
+
+TEST(ParallelReroute, ThreadCountIsValueExact) {
+  struct Result {
+    std::vector<std::vector<RouteSegment>> segments;
+    geom::Coord wire = 0;
+    long vias = 0;
+  };
+  // Full UD-style scenario: initial route, move a spread of cells,
+  // batch-reroute the affected nets, snapshot every route.
+  auto runOnce = [](int routerThreads) {
+    auto db = crp::testing::makeGridDatabase(24, 12);
+    GlobalRouterOptions options;
+    options.mazeMargin = 1;  // multi-net batches (see plan test above)
+    options.routerThreads = routerThreads;
+    GlobalRouter router(db, options);
+    router.run();
+
+    std::vector<db::NetId> affected;
+    for (db::CellId c = 0; c < db.numCells(); c += 17) {
+      geom::Point pos = db.cell(c).pos;
+      pos.x = (pos.x + 400) % db.design().dieArea.width();
+      db.moveCell(c, pos);
+      for (const db::NetId n : db.netsOfCell(c)) affected.push_back(n);
+    }
+    std::sort(affected.begin(), affected.end());
+    affected.erase(std::unique(affected.begin(), affected.end()),
+                   affected.end());
+
+    const RerouteBatchStats stats = router.rerouteNets(affected);
+    EXPECT_EQ(stats.nets, static_cast<int>(affected.size()));
+    EXPECT_GT(stats.batches, 0);
+    EXPECT_EQ(stats.failed, 0);
+
+    Result result;
+    result.wire = router.graph().totalWireDbu();
+    result.vias = router.graph().totalVias();
+    for (db::NetId n = 0; n < db.numNets(); ++n) {
+      result.segments.push_back(router.route(n).segments);
+    }
+    return result;
+  };
+
+  const Result serial = runOnce(1);
+  const Result parallel = runOnce(8);
+  EXPECT_EQ(serial.wire, parallel.wire);
+  EXPECT_EQ(serial.vias, parallel.vias);
+  ASSERT_EQ(serial.segments.size(), parallel.segments.size());
+  for (std::size_t n = 0; n < serial.segments.size(); ++n) {
+    EXPECT_EQ(serial.segments[n], parallel.segments[n]) << "net " << n;
+  }
+}
+
+// ---- reroute failure restore ------------------------------------------------
+
+// A 1-layer database (layer 0 is horizontal in Tech::makeDefault):
+// routes cannot change gcell row, so moving a terminal to another row
+// makes its net unroutable — both maze and pattern must fail.
+db::Database makeSingleLayerDatabase() {
+  using namespace crp::db;
+  using geom::Point;
+  using geom::Rect;
+
+  Tech tech = Tech::makeDefault(/*numLayers=*/1, /*pitch=*/20, /*width=*/6,
+                                /*spacing=*/8, /*minArea=*/120,
+                                /*siteWidth=*/10, /*rowHeight=*/100);
+  Library lib = Library::makeDefault(10, 100, /*pinLayer=*/0);
+  const int inv = *lib.findMacro("INV_X1");
+
+  Design design;
+  design.name = "flat";
+  design.dieArea = Rect{0, 0, 400, 300};
+  for (int r = 0; r < 3; ++r) {
+    design.rows.push_back(Row{"row" + std::to_string(r), Point{0, 100 * r},
+                              40, geom::Orientation::kN});
+  }
+  design.gcellCountX = 10;
+  design.gcellCountY = 3;
+  crp::testing::addDefaultTracks(design, tech);
+
+  auto addCell = [&](const std::string& name, Point pos) {
+    Component c;
+    c.name = name;
+    c.macro = inv;
+    c.pos = pos;
+    design.components.push_back(c);
+  };
+  addCell("a", Point{20, 0});
+  addCell("b", Point{350, 0});
+
+  Net net;
+  net.name = "n0";
+  net.pins = {NetPin{CompPinRef{0, 1}}, NetPin{CompPinRef{1, 0}}};
+  design.nets.push_back(net);
+
+  return Database(std::move(tech), std::move(lib), std::move(design));
+}
+
+TEST(GlobalRouter, RerouteDoubleFailureRestoresOldRouteAndDemand) {
+  auto db = makeSingleLayerDatabase();
+  GlobalRouter router(db);
+  const auto stats = router.run();
+  ASSERT_EQ(stats.openNets, 0);
+  ASSERT_TRUE(router.route(0).routed);
+  const auto segmentsBefore = router.route(0).segments;
+  const auto wireBefore = router.graph().totalWireDbu();
+  const auto viasBefore = router.graph().totalVias();
+
+  // Two rows up: unreachable on a single horizontal layer.
+  db.moveCell(1, geom::Point{350, 200});
+  EXPECT_FALSE(router.rerouteNet(0));
+
+  // The old route and its demand are fully restored — no demand
+  // vanishes even though the reroute failed.
+  EXPECT_TRUE(router.route(0).routed);
+  EXPECT_EQ(router.route(0).segments, segmentsBefore);
+  EXPECT_EQ(router.graph().totalWireDbu(), wireBefore);
+  EXPECT_EQ(router.graph().totalVias(), viasBefore);
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 //       Global-route and write the route guides.
 //
 //   crp run in.lef in.def out.def out.guide [--k N] [--gamma G]
+//           [--router-threads N]
 //           [--trace-out trace.json] [--report-out report.json]
 //       Global route + CR&P iterations; writes the improved placement
 //       and guides (the paper's Fig. 1 interface).  --trace-out dumps
@@ -176,7 +177,8 @@ int writeObsArtifacts(const Args& args, core::CrpFramework& framework) {
 int cmdRun(const Args& args) {
   if (args.positional.size() < 4) {
     std::cerr << "usage: crp run in.lef in.def out.def out.guide [--k N] "
-                 "[--gamma G] [--seed S] [--threads N] [--cache 0|1] "
+                 "[--gamma G] [--seed S] [--threads N] "
+                 "[--router-threads N] [--cache 0|1] "
                  "[--delta 0|1] [--obs 0|1] [--trace-out trace.json] "
                  "[--report-out report.json]\n";
     return 2;
@@ -187,13 +189,20 @@ int cmdRun(const Args& args) {
     std::cerr << "error: input placement is not legal\n";
     return 1;
   }
-  groute::GlobalRouter router(db);
+  // --router-threads N parallelizes the RRR rounds and the UD-phase
+  // reroutes (1 = serial, 0 = hardware); value-exact, see DESIGN.md §6.
+  const int routerThreads =
+      static_cast<int>(args.number("router-threads", 0));
+  groute::GlobalRouterOptions routerOptions;
+  routerOptions.routerThreads = routerThreads;
+  groute::GlobalRouter router(db, routerOptions);
   router.run();
   core::CrpOptions options;
   options.iterations = static_cast<int>(args.number("k", 10));
   options.gamma = args.number("gamma", options.gamma);
   options.seed = static_cast<std::uint64_t>(args.number("seed", 1));
   options.threads = static_cast<int>(args.number("threads", 0));
+  options.routerThreads = routerThreads;
   options.pricingCache = args.number("cache", 1) > 0;
   options.deltaPricing = args.number("delta", 1) > 0;
   core::CrpFramework framework(db, router, options);
