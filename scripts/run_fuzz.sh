@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Invariant-audit fuzz driver (docs/checking.md).
+#
+#   1. Release build, then the fixed-seed smoke campaign: 25 seeds at
+#      k=2 with paranoid in-flow audits.  Every seed runs four paired
+#      configurations (serial / rt-4 / cache-off / obs-off) that must
+#      all finish with clean audits and a bit-identical state
+#      fingerprint.  Failing seeds are minimized and dumped under
+#      fuzz-artifacts/ with a one-line replay command.
+#   2. A shorter campaign in a separate ASan+UBSan build tree
+#      (CRP_SANITIZE=address), so memory errors on the audited paths
+#      surface even when every invariant holds.  Skip with
+#      CRP_SKIP_ASAN=1.
+#
+# Nightly use: raise the range via the environment, e.g.
+#   CRP_FUZZ_SEEDS=500 CRP_FUZZ_SEED_START=1000 scripts/run_fuzz.sh
+# (each night a fresh, disjoint seed window; see docs/checking.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEEDS="${CRP_FUZZ_SEEDS:-25}"
+SEED_START="${CRP_FUZZ_SEED_START:-1}"
+
+BUILD=build
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD" -j "$(nproc)" --target crp_fuzz
+
+"$BUILD"/tools/crp_fuzz --seeds "$SEEDS" --seed-start "$SEED_START" --k 2 \
+  --artifacts fuzz-artifacts
+
+if [[ "${CRP_SKIP_ASAN:-0}" != "1" ]]; then
+  ASAN_BUILD=build-asan
+  cmake -B "$ASAN_BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCRP_SANITIZE=address
+  cmake --build "$ASAN_BUILD" -j "$(nproc)" --target crp_fuzz
+  "$ASAN_BUILD"/tools/crp_fuzz --seeds 6 --seed-start "$SEED_START" --k 1 \
+    --artifacts fuzz-artifacts-asan
+fi

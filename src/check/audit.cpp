@@ -1,0 +1,532 @@
+#include "check/audit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "db/legality.hpp"
+#include "lefdef/def_parser.hpp"
+#include "lefdef/def_writer.hpp"
+#include "lefdef/guide_io.hpp"
+
+namespace crp::check {
+namespace {
+
+// Diagnosability beats completeness for a mass failure: a corrupted
+// demand map can dirty thousands of edges, and the first few localize
+// the bug as well as all of them.  Per-invariant cap with an explicit
+// suppression marker so a capped report never reads as exhaustive.
+constexpr int kMaxFailuresPerInvariant = 20;
+
+void record(AuditReport& report, AuditFailure failure) {
+  const int already = report.countFor(failure.invariant);
+  if (already > kMaxFailuresPerInvariant) return;
+  if (already == kMaxFailuresPerInvariant) {
+    failure.object = "(additional failures suppressed)";
+    failure.expected.clear();
+    failure.actual.clear();
+  }
+  report.failures.push_back(std::move(failure));
+}
+
+std::string formatDouble(double value) {
+  std::ostringstream os;
+  os.precision(17);
+  os << value;
+  return os.str();
+}
+
+std::string wireEdgeName(const groute::WireEdge& e) {
+  std::ostringstream os;
+  os << "wire edge L" << e.layer << " (" << e.x << "," << e.y << ")";
+  return os.str();
+}
+
+std::string viaEdgeName(const groute::ViaEdge& e) {
+  std::ostringstream os;
+  os << "via edge L" << e.layer << "->L" << e.layer + 1 << " (" << e.x << ","
+     << e.y << ")";
+  return os.str();
+}
+
+std::string nodeName(const groute::GPoint& p) {
+  std::ostringstream os;
+  os << "node L" << p.layer << " (" << p.x << "," << p.y << ")";
+  return os.str();
+}
+
+std::string segmentName(const groute::RouteSegment& seg) {
+  std::ostringstream os;
+  os << "segment (" << seg.a.layer << "," << seg.a.x << "," << seg.a.y
+     << ")-(" << seg.b.layer << "," << seg.b.x << "," << seg.b.y << ")";
+  return os.str();
+}
+
+std::string terminalName(const groute::GPoint& p) {
+  std::ostringstream os;
+  os << "terminal L" << p.layer << " (" << p.x << "," << p.y << ")";
+  return os.str();
+}
+
+/// First line number + content where two texts diverge, for the
+/// round-trip failure records.
+std::string firstTextDivergence(const std::string& a, const std::string& b) {
+  std::istringstream sa(a);
+  std::istringstream sb(b);
+  std::string la;
+  std::string lb;
+  int lineNo = 0;
+  while (true) {
+    ++lineNo;
+    const bool okA = static_cast<bool>(std::getline(sa, la));
+    const bool okB = static_cast<bool>(std::getline(sb, lb));
+    if (!okA && !okB) return "texts identical";
+    if (la != lb || okA != okB) {
+      std::ostringstream os;
+      os << "line " << lineNo << ": \"" << (okA ? la : std::string("<eof>"))
+         << "\" vs \"" << (okB ? lb : std::string("<eof>")) << "\"";
+      return os.str();
+    }
+  }
+}
+
+}  // namespace
+
+// ---- names / parsing --------------------------------------------------------
+
+const char* auditLevelName(AuditLevel level) {
+  switch (level) {
+    case AuditLevel::kOff:
+      return "off";
+    case AuditLevel::kPhaseBoundary:
+      return "phase-boundary";
+    case AuditLevel::kParanoid:
+      return "paranoid";
+  }
+  return "unknown";
+}
+
+std::optional<AuditLevel> auditLevelFromString(const std::string& text) {
+  if (text == "off" || text == "none") return AuditLevel::kOff;
+  if (text == "phase" || text == "phase-boundary")
+    return AuditLevel::kPhaseBoundary;
+  if (text == "paranoid" || text == "full") return AuditLevel::kParanoid;
+  return std::nullopt;
+}
+
+const char* invariantName(Invariant invariant) {
+  switch (invariant) {
+    case Invariant::kPlacementLegality:
+      return "placement-legality";
+    case Invariant::kDemandExactness:
+      return "demand-exactness";
+    case Invariant::kRouteValidity:
+      return "route-validity";
+    case Invariant::kPricingCoherence:
+      return "pricing-coherence";
+    case Invariant::kGuideRoundTrip:
+      return "guide-round-trip";
+    case Invariant::kDefRoundTrip:
+      return "def-round-trip";
+  }
+  return "unknown";
+}
+
+// ---- AuditFailure / AuditReport ---------------------------------------------
+
+std::string AuditFailure::describe() const {
+  std::ostringstream os;
+  os << "[" << invariantName(invariant) << "] " << object;
+  if (!expected.empty() || !actual.empty()) {
+    os << ": expected " << expected << ", actual " << actual;
+  }
+  return os.str();
+}
+
+int AuditReport::countFor(Invariant invariant) const {
+  int count = 0;
+  for (const AuditFailure& failure : failures) {
+    if (failure.invariant == invariant) ++count;
+  }
+  return count;
+}
+
+bool AuditReport::onlyFailure(Invariant invariant) const {
+  if (failures.empty()) return false;
+  return std::all_of(failures.begin(), failures.end(),
+                     [invariant](const AuditFailure& failure) {
+                       return failure.invariant == invariant;
+                     });
+}
+
+std::string AuditReport::summary() const {
+  if (clean()) return "";
+  std::ostringstream os;
+  os << failures.size() << " audit failure(s) across " << invariantsChecked
+     << " invariant(s) checked:\n";
+  for (const AuditFailure& failure : failures) {
+    os << "  " << failure.describe() << "\n";
+  }
+  return os.str();
+}
+
+// ---- standalone building blocks ---------------------------------------------
+
+void auditRoute(const groute::RoutingGraph& graph,
+                const groute::NetRoute& route,
+                const std::vector<groute::GPoint>& terminals,
+                const std::string& object, AuditReport& report) {
+  if (terminals.size() < 2) return;  // nothing to route; trivially valid
+
+  if (!route.routed) {
+    record(report, {Invariant::kRouteValidity, object,
+                    "routed net covering " + std::to_string(terminals.size()) +
+                        " terminals",
+                    "unrouted (open net)"});
+    return;
+  }
+
+  // Per-segment geometry: endpoints on the grid, wire runs straight and
+  // direction-legal on their layer, via stacks within the layer range.
+  bool geometryClean = true;
+  for (const groute::RouteSegment& seg : route.segments) {
+    if (!graph.validNode(seg.a) || !graph.validNode(seg.b)) {
+      record(report, {Invariant::kRouteValidity, object,
+                      "segment endpoints inside the gcell grid",
+                      segmentName(seg) + " out of bounds"});
+      geometryClean = false;
+      continue;
+    }
+    if (seg.isVia()) {
+      if (seg.a.x != seg.b.x || seg.a.y != seg.b.y) {
+        record(report, {Invariant::kRouteValidity, object,
+                        "via stack at a single (x,y) column",
+                        segmentName(seg) + " changes both layer and position"});
+        geometryClean = false;
+      }
+      continue;
+    }
+    if (seg.a.x != seg.b.x && seg.a.y != seg.b.y) {
+      record(report, {Invariant::kRouteValidity, object,
+                      "axis-aligned wire run",
+                      segmentName(seg) + " bends within one layer"});
+      geometryClean = false;
+      continue;
+    }
+    const db::LayerDir dir = graph.layerDir(seg.a.layer);
+    const bool horizontal = seg.a.y == seg.b.y && seg.a.x != seg.b.x;
+    const bool vertical = seg.a.x == seg.b.x && seg.a.y != seg.b.y;
+    if ((horizontal && dir != db::LayerDir::kHorizontal) ||
+        (vertical && dir != db::LayerDir::kVertical)) {
+      record(report, {Invariant::kRouteValidity, object,
+                      std::string("wire run along the layer's preferred "
+                                  "direction (") +
+                          (dir == db::LayerDir::kHorizontal ? "H" : "V") + ")",
+                      segmentName(seg) + " runs against it"});
+      geometryClean = false;
+      continue;
+    }
+    // Every wire edge the run crosses must exist (guards the grid's
+    // upper boundary, which validNode alone does not).
+    const groute::RouteSegment n = groute::normalized(seg);
+    for (int x = n.a.x, y = n.a.y; x < n.b.x || y < n.b.y;
+         horizontal ? ++x : ++y) {
+      const groute::WireEdge e{n.a.layer, x, y};
+      if (!graph.validWireEdge(e)) {
+        record(report, {Invariant::kRouteValidity, object,
+                        "wire edges inside the routing graph",
+                        segmentName(seg) + " crosses invalid " +
+                            wireEdgeName(e)});
+        geometryClean = false;
+        break;
+      }
+    }
+  }
+
+  // Terminal coverage, per terminal for diagnosability: the strict
+  // contract (route.hpp) requires the terminal's (x,y) column to appear
+  // in some segment.
+  for (const groute::GPoint& t : terminals) {
+    const bool covered = std::any_of(
+        route.segments.begin(), route.segments.end(),
+        [&t](const groute::RouteSegment& seg) {
+          if (seg.isVia() || seg.a.x == seg.b.x || seg.a.y == seg.b.y) {
+            const groute::RouteSegment n = groute::normalized(seg);
+            if (seg.isVia()) return n.a.x == t.x && n.a.y == t.y;
+            if (n.a.y == n.b.y)
+              return n.a.y == t.y && n.a.x <= t.x && t.x <= n.b.x;
+            if (n.a.x == n.b.x)
+              return n.a.x == t.x && n.a.y <= t.y && t.y <= n.b.y;
+          }
+          return false;
+        });
+    if (!covered) {
+      record(report, {Invariant::kRouteValidity, object,
+                      terminalName(t) + " covered by a segment column",
+                      "no segment touches the terminal's (x,y) column"});
+    }
+  }
+
+  // Single-component check through the canonical oracle, so the audit's
+  // notion of connectedness can never drift from the router's.
+  if (geometryClean && !groute::routeConnectsTerminals(route, terminals)) {
+    record(report, {Invariant::kRouteValidity, object,
+                    "one connected component covering all terminals",
+                    "segment graph is disconnected"});
+  }
+}
+
+void auditDemandAgainstRoutes(
+    const db::Database& db, const groute::RoutingGraph& graph,
+    const std::vector<const groute::NetRoute*>& routes, AuditReport& report) {
+  // From-scratch reference: a fresh graph with the same cost model,
+  // charged with exactly the committed routes.  Fixed usage (U_f) is a
+  // construction-time snapshot in both graphs and cells may have moved
+  // since `graph` was built, so the diff covers only route-induced
+  // state; the Eq. 9 demand comparison subtracts each graph's own U_f.
+  groute::RoutingGraph fresh(db, graph.config());
+  for (const groute::NetRoute* route : routes) {
+    if (route != nullptr && route->routed) fresh.applyRoute(*route, +1);
+  }
+
+  const db::GCellGrid& grid = graph.grid();
+  for (int layer = 0; layer < graph.numLayers(); ++layer) {
+    for (int y = 0; y < grid.countY(); ++y) {
+      for (int x = 0; x < grid.countX(); ++x) {
+        const groute::WireEdge e{layer, x, y};
+        if (graph.validWireEdge(e)) {
+          if (graph.wireUsage(e) != fresh.wireUsage(e)) {
+            record(report, {Invariant::kDemandExactness, wireEdgeName(e),
+                            "usage " + formatDouble(fresh.wireUsage(e)),
+                            "usage " + formatDouble(graph.wireUsage(e))});
+          } else {
+            // Eq. 9 demand net of the static fixed term: exposes a via
+            // bookkeeping break even when wire usage agrees.
+            const double expected = fresh.demand(e) - fresh.fixedUsage(e);
+            const double actual = graph.demand(e) - graph.fixedUsage(e);
+            if (expected != actual) {
+              record(report, {Invariant::kDemandExactness, wireEdgeName(e),
+                              "demand-U_f " + formatDouble(expected),
+                              "demand-U_f " + formatDouble(actual)});
+            }
+          }
+        }
+        const groute::GPoint node{layer, x, y};
+        if (graph.viaCount(node) != fresh.viaCount(node)) {
+          record(report,
+                 {Invariant::kDemandExactness, nodeName(node),
+                  "via count " + std::to_string(fresh.viaCount(node)),
+                  "via count " + std::to_string(graph.viaCount(node))});
+        }
+        if (layer + 1 < graph.numLayers()) {
+          const groute::ViaEdge v{layer, x, y};
+          if (graph.viaUsage(v) != fresh.viaUsage(v)) {
+            record(report, {Invariant::kDemandExactness, viaEdgeName(v),
+                            "usage " + formatDouble(fresh.viaUsage(v)),
+                            "usage " + formatDouble(graph.viaUsage(v))});
+          }
+        }
+      }
+    }
+  }
+
+  if (graph.totalWireDbu() != fresh.totalWireDbu()) {
+    record(report, {Invariant::kDemandExactness, "total wirelength",
+                    std::to_string(fresh.totalWireDbu()) + " dbu",
+                    std::to_string(graph.totalWireDbu()) + " dbu"});
+  }
+  if (graph.totalVias() != fresh.totalVias()) {
+    record(report, {Invariant::kDemandExactness, "total vias",
+                    std::to_string(fresh.totalVias()),
+                    std::to_string(graph.totalVias())});
+  }
+}
+
+void auditCachedPrices(
+    const groute::PatternRouter& pattern,
+    const std::vector<std::pair<std::vector<groute::GPoint>, double>>& entries,
+    AuditReport& report) {
+  groute::PatternRouter::Scratch scratch;
+  for (const auto& [terminals, cachedPrice] : entries) {
+    const double freshPrice = pattern.priceTree(terminals, scratch);
+    if (freshPrice != cachedPrice) {
+      std::ostringstream object;
+      object << "cached price for " << terminals.size() << " terminals {";
+      for (std::size_t i = 0; i < terminals.size(); ++i) {
+        if (i > 0) object << " ";
+        object << "(" << terminals[i].layer << "," << terminals[i].x << ","
+               << terminals[i].y << ")";
+      }
+      object << "}";
+      record(report, {Invariant::kPricingCoherence, object.str(),
+                      formatDouble(freshPrice), formatDouble(cachedPrice)});
+    }
+  }
+}
+
+// ---- DbAuditor --------------------------------------------------------------
+
+DbAuditor::DbAuditor(const db::Database& db, const groute::GlobalRouter* router)
+    : db_(db), router_(router) {}
+
+AuditReport DbAuditor::auditAll() const {
+  AuditReport report;
+  auditPlacement(report);
+  auditDefRoundTrip(report);
+  if (router_ != nullptr) {
+    auditRoutes(report);
+    auditDemand(report);
+    auditGuideRoundTrip(report);
+  }
+  return report;
+}
+
+void DbAuditor::auditPlacement(AuditReport& report) const {
+  ++report.invariantsChecked;
+  for (const db::PlacementViolation& v : db::checkPlacement(db_)) {
+    const std::string object =
+        v.cell != db::kInvalidId ? "cell " + db_.cell(v.cell).name : "die";
+    record(report, {Invariant::kPlacementLegality, object, "legal placement",
+                    v.describe(db_)});
+  }
+}
+
+void DbAuditor::auditDemand(AuditReport& report) const {
+  if (router_ == nullptr) return;
+  ++report.invariantsChecked;
+  std::vector<const groute::NetRoute*> routes;
+  routes.reserve(static_cast<std::size_t>(db_.numNets()));
+  for (db::NetId net = 0; net < db_.numNets(); ++net) {
+    routes.push_back(&router_->route(net));
+  }
+  auditDemandAgainstRoutes(db_, router_->graph(), routes, report);
+}
+
+void DbAuditor::auditRoutes(AuditReport& report) const {
+  if (router_ == nullptr) return;
+  ++report.invariantsChecked;
+  for (db::NetId net = 0; net < db_.numNets(); ++net) {
+    const std::vector<groute::GPoint> terminals = router_->netTerminals(net);
+    const groute::NetRoute& route = router_->route(net);
+    const std::string object = "net " + db_.net(net).name;
+    if (route.routed && route.net != net) {
+      record(report, {Invariant::kRouteValidity, object,
+                      "route tagged with net id " + std::to_string(net),
+                      "tagged " + std::to_string(route.net)});
+    }
+    auditRoute(router_->graph(), route, terminals, object, report);
+  }
+}
+
+void DbAuditor::auditGuideRoundTrip(AuditReport& report) const {
+  if (router_ == nullptr) return;
+  ++report.invariantsChecked;
+  const std::vector<lefdef::NetGuide> guides = router_->buildGuides();
+  std::ostringstream first;
+  lefdef::writeGuides(first, db_, guides);
+  const std::vector<lefdef::NetGuide> parsed =
+      lefdef::parseGuides(first.str(), db_.tech());
+
+  if (parsed.size() != guides.size()) {
+    record(report, {Invariant::kGuideRoundTrip, "guide file",
+                    std::to_string(guides.size()) + " nets",
+                    std::to_string(parsed.size()) + " nets after parse"});
+    return;
+  }
+  for (std::size_t i = 0; i < guides.size(); ++i) {
+    const std::string object = "guides of net " + guides[i].net;
+    if (parsed[i].net != guides[i].net) {
+      record(report, {Invariant::kGuideRoundTrip, object, guides[i].net,
+                      parsed[i].net});
+      continue;
+    }
+    if (parsed[i].rects != guides[i].rects) {
+      record(report,
+             {Invariant::kGuideRoundTrip, object,
+              std::to_string(guides[i].rects.size()) + " rects (verbatim)",
+              std::to_string(parsed[i].rects.size()) + " rects, content "
+                                                       "differs"});
+    }
+  }
+  // Belt and suspenders: write-again must reproduce the bytes, so a
+  // writer/parser asymmetry the structural diff misses still fails.
+  std::ostringstream second;
+  lefdef::writeGuides(second, db_, parsed);
+  if (first.str() != second.str()) {
+    record(report, {Invariant::kGuideRoundTrip, "guide file text",
+                    "write(parse(write)) byte-identical",
+                    firstTextDivergence(first.str(), second.str())});
+  }
+}
+
+void DbAuditor::auditDefRoundTrip(AuditReport& report) const {
+  ++report.invariantsChecked;
+  std::ostringstream first;
+  lefdef::writeDef(first, db_);
+  db::Design reparsed;
+  try {
+    reparsed = lefdef::parseDef(first.str(), db_.tech(), db_.library());
+  } catch (const std::exception& e) {
+    record(report, {Invariant::kDefRoundTrip, "DEF text",
+                    "parseable by def_parser", std::string("throws: ") +
+                                                   e.what()});
+    return;
+  }
+  db::Database redb(db_.tech(), db_.library(), std::move(reparsed));
+  std::ostringstream second;
+  lefdef::writeDef(second, redb);
+  if (first.str() != second.str()) {
+    record(report, {Invariant::kDefRoundTrip, "DEF text",
+                    "write(parse(write)) byte-identical",
+                    firstTextDivergence(first.str(), second.str())});
+  }
+}
+
+// ---- flow fingerprint -------------------------------------------------------
+
+namespace {
+
+struct Fnv1a {
+  std::uint64_t hash = 1469598103934665603ull;
+  void mix(std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (value >> (8 * i)) & 0xffu;
+      hash *= 1099511628211ull;
+    }
+  }
+  void mix(const groute::GPoint& p) {
+    mix(static_cast<std::uint64_t>(p.layer));
+    mix(static_cast<std::uint64_t>(p.x));
+    mix(static_cast<std::uint64_t>(p.y));
+  }
+};
+
+}  // namespace
+
+std::uint64_t flowFingerprint(const db::Database& db,
+                              const groute::GlobalRouter& router) {
+  Fnv1a fnv;
+  fnv.mix(static_cast<std::uint64_t>(db.numCells()));
+  for (db::CellId id = 0; id < db.numCells(); ++id) {
+    const db::Component& cell = db.cell(id);
+    fnv.mix(static_cast<std::uint64_t>(cell.pos.x));
+    fnv.mix(static_cast<std::uint64_t>(cell.pos.y));
+  }
+  fnv.mix(static_cast<std::uint64_t>(db.numNets()));
+  for (db::NetId net = 0; net < db.numNets(); ++net) {
+    const groute::NetRoute& route = router.route(net);
+    fnv.mix(route.routed ? 1u : 0u);
+    fnv.mix(static_cast<std::uint64_t>(route.segments.size()));
+    for (const groute::RouteSegment& seg : route.segments) {
+      const groute::RouteSegment n = groute::normalized(seg);
+      fnv.mix(n.a);
+      fnv.mix(n.b);
+    }
+  }
+  fnv.mix(static_cast<std::uint64_t>(router.graph().totalWireDbu()));
+  fnv.mix(static_cast<std::uint64_t>(router.graph().totalVias()));
+  return fnv.hash;
+}
+
+}  // namespace crp::check

@@ -1,0 +1,117 @@
+// Seeded differential fuzzing of the full CR&P pipeline.
+//
+// Each seed deterministically derives a bmgen benchmark spec, then runs
+// the complete flow (generate -> global route -> CR&P iterations) under
+// paired configurations that the determinism contract says are
+// value-exact:
+//
+//   serial        router threads 1, pricing cache on,  obs on   (reference)
+//   rt-N          router threads N, pricing cache on,  obs on
+//   cache-off     router threads 1, cache+delta off,   obs on
+//   obs-off       router threads 1, pricing cache on,  obs off
+//
+// Every leg runs with in-flow audits armed (CrpOptions::auditLevel,
+// paranoid by default here: after every phase, pricing-cache coherence
+// after ECC, I/O round-trips at iteration ends) plus a final
+// DbAuditor::auditAll().  The legs must then agree on the state
+// fingerprint (check::flowFingerprint — cell positions, routes, totals;
+// obs-independent by construction), and the obs-on legs must agree on
+// the RunReport fingerprint as well.
+//
+// A failing seed is minimized down a fixed ladder of (cells, k)
+// shrinks, reported as a one-line replay command for tools/crp_fuzz
+// (--replay SEED --cells N --k K), and dumped as a JSON artifact when
+// an artifact directory is configured — the seed-replay workflow in
+// docs/checking.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bmgen/generator.hpp"
+#include "check/audit.hpp"
+
+namespace crp::check {
+
+struct FuzzOptions {
+  std::uint64_t seedStart = 1;
+  int seedCount = 25;
+  int iterations = 2;  ///< CR&P k per leg
+  /// Design-size band the per-seed RNG draws from.
+  int minCells = 80;
+  int maxCells = 220;
+  /// In-flow audit level armed on every leg.
+  AuditLevel auditLevel = AuditLevel::kParanoid;
+  /// N of the rt-N leg.
+  int routerThreadsVariant = 4;
+  /// Shrink failing seeds down the (cells, k) ladder before reporting.
+  bool minimize = true;
+  /// When non-empty, failing seeds are written here as
+  /// fuzz_seed_<seed>.json artifacts (directory is created on demand).
+  std::string artifactDir;
+};
+
+/// Deterministic spec derivation: same (seed, options) -> same design.
+bmgen::BenchmarkSpec specForSeed(std::uint64_t seed,
+                                 const FuzzOptions& options);
+
+/// Outcome of one flow leg of one seed.
+struct LegResult {
+  std::string name;
+  bool ok = false;
+  std::string error;  ///< audit summary / exception text when !ok
+  std::uint64_t stateFingerprint = 0;
+  std::string reportFingerprint;  ///< RunReport JSON; empty on obs-off
+};
+
+struct SeedResult {
+  std::uint64_t seed = 0;
+  bool passed = false;
+  std::string failure;  ///< first divergence / audit failure
+  std::vector<LegResult> legs;
+  /// Filled for failures: the smallest reproducing configuration and
+  /// the command that replays it.
+  int minimizedCells = 0;
+  int minimizedIterations = 0;
+  std::string replayCommand;
+  std::string artifactPath;  ///< written artifact, when configured
+};
+
+struct CampaignReport {
+  std::vector<SeedResult> seeds;
+  int seedsRun = 0;
+  int seedsFailed = 0;
+  bool clean() const { return seedsFailed == 0; }
+  std::string summary() const;
+};
+
+class FuzzCampaign {
+ public:
+  explicit FuzzCampaign(FuzzOptions options = {});
+
+  /// Runs [seedStart, seedStart + seedCount) and reports per-seed
+  /// results; failures are minimized and written as artifacts.
+  CampaignReport run();
+
+  /// Replays one seed at an explicit size — the --replay entry point.
+  /// Zero/negative cells or iterations fall back to the seed's derived
+  /// spec / options default.
+  SeedResult replaySeed(std::uint64_t seed, int targetCells = 0,
+                        int iterations = 0);
+
+  const FuzzOptions& options() const { return options_; }
+
+ private:
+  /// One seed, all four legs, at an explicit (cells, k); no
+  /// minimization or artifact output.
+  SeedResult runSeedAt(std::uint64_t seed, int targetCells, int iterations);
+
+  /// Shrinks a failing seed down the ladder and fills the replay
+  /// fields + artifact.
+  void minimizeAndRecord(SeedResult& result);
+
+  FuzzOptions options_;
+};
+
+}  // namespace crp::check

@@ -260,6 +260,7 @@ class CandidatePricer {
   }
 
   PricingStats stats() const { return cache_.stats(); }
+  auto cacheEntries() const { return cache_.entries(); }
 
  private:
   /// GCell terminal of one net pin, with its cell optionally relocated.
@@ -449,6 +450,9 @@ void priceCandidates(const db::Database& db,
     for (std::size_t i = 0; i < candidates.size(); ++i) priceFor(i);
   }
   if (stats != nullptr) *stats += pricer.stats();
+  if (pricing.cacheEntriesOut != nullptr) {
+    *pricing.cacheEntriesOut = pricer.cacheEntries();
+  }
 }
 
 void priceCandidates(const db::Database& db,

@@ -50,6 +50,11 @@ struct PricingOptions {
   bool cacheEnabled = true;  ///< memoize priceTree by terminal set
   bool deltaEnabled = true;  ///< skip nets whose terminals are unchanged
   int cacheShards = 64;      ///< mutex stripes of the shared cache
+  /// When non-null, priceCandidates snapshots the phase cache's
+  /// (terminal set, price) entries here before the cache dies with the
+  /// pricer.  Consumed by the paranoid-level pricing-coherence audit,
+  /// which must replay the entries while demand is still frozen.
+  PricingCacheEntries* cacheEntriesOut = nullptr;
 };
 
 /// Pin terminals of `net` with some cells hypothetically relocated.

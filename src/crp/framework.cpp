@@ -84,6 +84,41 @@ CommitPlan planMoveCommits(const std::vector<CellCandidates>& candidates,
   return plan;
 }
 
+void CrpFramework::maybeAudit(const char* phase, bool iterationEnd,
+                              const PricingCacheEntries* cacheEntries) {
+  const check::AuditLevel level = options_.auditLevel;
+  if (level == check::AuditLevel::kOff) return;
+  if (level == check::AuditLevel::kPhaseBoundary && !iterationEnd) return;
+
+  CRP_OBS_SPAN("check", "check.audit");
+  check::AuditReport report;
+  const check::DbAuditor auditor(db_, &router_);
+  auditor.auditPlacement(report);
+  auditor.auditRoutes(report);
+  auditor.auditDemand(report);
+  if (cacheEntries != nullptr && !cacheEntries->empty()) {
+    ++report.invariantsChecked;
+    const groute::PatternRouter pattern(router_.graph(),
+                                        router_.options().maxZCandidates);
+    check::auditCachedPrices(pattern, *cacheEntries, report);
+  }
+  if (iterationEnd && level == check::AuditLevel::kParanoid) {
+    auditor.auditGuideRoundTrip(report);
+    auditor.auditDefRoundTrip(report);
+  }
+
+  CRP_OBS_COUNT("check.audits", 1);
+  CRP_OBS_COUNT("check.invariants_checked", report.invariantsChecked);
+  CRP_OBS_COUNT("check.failures", report.failures.size());
+  if (!report.clean()) {
+    throw check::AuditError("invariant audit failed after phase " +
+                                std::string(phase) + " (level " +
+                                check::auditLevelName(level) + "):\n" +
+                                report.summary(),
+                            std::move(report));
+  }
+}
+
 void CrpFramework::chargePhase(const char* phase, double seconds) {
   for (obs::RunReport::PhaseStat& stat : runReport_.phases) {
     if (stat.name == phase) {
@@ -109,9 +144,11 @@ IterationReport CrpFramework::runIteration() {
   report.criticalCells = static_cast<int>(criticalSet.size());
   CRP_OBS_COUNT("crp.critical_cells", criticalSet.size());
   if (criticalSet.empty()) {
+    maybeAudit(kPhaseLcc, /*iterationEnd=*/true);
     runReport_.iterationStats.push_back(obs::RunReport::IterationStat{});
     return report;
   }
+  maybeAudit(kPhaseLcc, /*iterationEnd=*/false);
 
   // ---- GCP + ECC: Alg. 2 / Alg. 3 ---------------------------------------------
   std::vector<CellCandidates> candidates;
@@ -124,6 +161,8 @@ IterationReport CrpFramework::runIteration() {
     candidates = buildCandidates(db_, legalizer, criticalSet, &pool_);
     chargePhase(kPhaseGcp, watch.seconds());
   }
+  maybeAudit(kPhaseGcp, /*iterationEnd=*/false);
+  PricingCacheEntries cacheEntries;
   {
     CRP_OBS_SPAN("crp", "phase.ECC");
     util::Stopwatch watch;
@@ -131,6 +170,12 @@ IterationReport CrpFramework::runIteration() {
     pricing.cacheEnabled = options_.pricingCache;
     pricing.deltaEnabled = options_.deltaPricing;
     pricing.cacheShards = options_.pricingShards;
+    // The coherence replay needs the phase cache's contents, which die
+    // with the pricer; snapshot them only when paranoid will look.
+    if (options_.auditLevel == check::AuditLevel::kParanoid &&
+        pricing.cacheEnabled) {
+      pricing.cacheEntriesOut = &cacheEntries;
+    }
     priceCandidates(db_, router_, candidates, &pool_, pricing,
                     &report.pricing);
     report.eccSeconds = watch.seconds();
@@ -142,6 +187,9 @@ IterationReport CrpFramework::runIteration() {
     CRP_OBS_COUNT("pricing.delta_skips", report.pricing.deltaSkips);
     CRP_OBS_COUNT("pricing.nets_priced", report.pricing.netsPriced());
   }
+  // Coherence is only checkable here: the UD phase unfreezes demand,
+  // after which recomputed prices legitimately diverge from the cache.
+  maybeAudit(kPhaseEcc, /*iterationEnd=*/false, &cacheEntries);
 
   // ---- SEL: Eq. 12 -----------------------------------------------------------
   SelectionResult selection;
@@ -151,6 +199,7 @@ IterationReport CrpFramework::runIteration() {
     selection = selectCandidates(db_, candidates);
     chargePhase(kPhaseSel, watch.seconds());
   }
+  maybeAudit(kPhaseSel, /*iterationEnd=*/false);
   report.selectedCost = selection.totalCost;
 
   // ---- UD: §IV.B.5 -----------------------------------------------------------
@@ -194,6 +243,7 @@ IterationReport CrpFramework::runIteration() {
     movesUsed_ += report.movedCells + report.displacedCells;
     chargePhase(kPhaseUd, watch.seconds());
   }
+  maybeAudit(kPhaseUd, /*iterationEnd=*/true);
 
   for (const db::CellId c : criticalSet) criticalHistory_.insert(c);
   CRP_OBS_COUNT("crp.moves", report.movedCells + report.displacedCells);

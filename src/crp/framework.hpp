@@ -107,6 +107,16 @@ class CrpFramework {
   /// Adds `seconds` to the named phase's RunReport bucket.
   void chargePhase(const char* phase, double seconds);
 
+  /// The options.auditLevel hook, called at the end of each phase.
+  /// `iterationEnd` marks the post-UD boundary (the only point the
+  /// phase-boundary level audits; paranoid adds the I/O round-trips
+  /// there).  `cacheEntries` carries the ECC cache snapshot for the
+  /// pricing-coherence replay — meaningful only right after ECC, while
+  /// the demand maps are still frozen.  Read-only on all flow state;
+  /// throws check::AuditError when a report comes back dirty.
+  void maybeAudit(const char* phase, bool iterationEnd,
+                  const PricingCacheEntries* cacheEntries = nullptr);
+
   db::Database& db_;
   groute::GlobalRouter& router_;
   CrpOptions options_;

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <limits>
 
+#include "check/audit.hpp"
 #include "legalizer/ilp_legalizer.hpp"
 
 namespace crp::core {
@@ -40,6 +41,16 @@ struct CrpOptions {
   bool pricingCache = true;  ///< memoize priceTree by terminal set
   bool deltaPricing = true;  ///< re-price only nets whose GCells changed
   int pricingShards = 64;    ///< mutex stripes of the shared cache
+
+  /// In-flow invariant auditing (src/check, docs/checking.md).  Off is
+  /// free (a single enum compare per phase); phase-boundary audits
+  /// placement/routes/demand once per iteration after the UD commit;
+  /// paranoid audits after every phase, replays the ECC pricing cache
+  /// against from-scratch prices, and round-trips the guide/DEF
+  /// writers at iteration ends.  A dirty audit throws check::AuditError.
+  /// Value-exact: no level mutates any flow state, so the run
+  /// fingerprint is identical at every setting.
+  check::AuditLevel auditLevel = check::AuditLevel::kOff;
 
   /// Safety cap on critical cells per iteration on top of gamma.
   int maxCriticalCells = std::numeric_limits<int>::max();

@@ -92,4 +92,20 @@ std::size_t PricingCache::size() const {
   return total;
 }
 
+PricingCacheEntries PricingCache::entries() const {
+  PricingCacheEntries out;
+  out.reserve(size());
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    for (const auto& [key, price] : shard.get()->entries) {
+      out.emplace_back(key.terminals, price);
+    }
+  }
+  // Hash-map iteration order is schedule-dependent; sorting keeps audit
+  // reports and artifacts deterministic.
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
 }  // namespace crp::core

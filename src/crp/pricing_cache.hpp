@@ -24,6 +24,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "groute/pattern_route.hpp"
@@ -62,6 +63,13 @@ struct PricingStats {
   }
 };
 
+/// Snapshot of cache contents: (canonical terminal set, price) pairs in
+/// deterministic (sorted) order.  Produced by PricingCache::entries(),
+/// carried out of the ECC phase through PricingOptions::cacheEntriesOut
+/// and replayed by the pricing-coherence audit.
+using PricingCacheEntries =
+    std::vector<std::pair<std::vector<groute::GPoint>, double>>;
+
 class PricingCache {
  public:
   /// `shards` mutex stripes (clamped to >= 1, rounded to a power of 2).
@@ -86,6 +94,13 @@ class PricingCache {
 
   PricingStats stats() const;
   std::size_t size() const;  ///< resident entries across all shards
+
+  /// Snapshot of every (canonical terminal set, cached price) entry, in
+  /// a deterministic order (sorted by terminal set).  The cache itself
+  /// dies with the ECC phase; the snapshot is what the pricing-coherence
+  /// audit (check::auditCachedPrices) replays against a from-scratch
+  /// priceTree while the demand maps are still frozen.
+  PricingCacheEntries entries() const;
 
  private:
   struct Key {

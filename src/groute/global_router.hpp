@@ -110,6 +110,11 @@ class GlobalRouter {
   double netRouteCost(db::NetId net) const;
 
   const NetRoute& route(db::NetId net) const { return routes_.at(net); }
+  /// Mutable route access for corruption-injection tests (the audit
+  /// mutation tests break one invariant at a time).  Callers editing
+  /// segments are responsible for the demand maps (applyRoute) — the
+  /// router itself never leaves them inconsistent.
+  NetRoute& mutableRoute(db::NetId net) { return routes_.at(net); }
   RoutingGraph& graph() { return graph_; }
   const RoutingGraph& graph() const { return graph_; }
   const db::Database& database() const { return db_; }

@@ -1,0 +1,282 @@
+// Tests for the invariant-audit subsystem (src/check): clean flows
+// audit clean, and seeded corruptions of a known-good database are each
+// caught by exactly the invariant that owns the broken contract — the
+// audit catalog's precision guarantee (docs/checking.md).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/audit.hpp"
+#include "check/fuzz.hpp"
+#include "crp/pricing_cache.hpp"
+#include "groute/global_router.hpp"
+#include "groute/route.hpp"
+#include "test_helpers.hpp"
+
+namespace crp {
+namespace {
+
+using check::AuditReport;
+using check::DbAuditor;
+using check::Invariant;
+using groute::GPoint;
+using groute::NetRoute;
+
+// ---- catalog plumbing -------------------------------------------------------
+
+TEST(AuditLevel, ParsesCliSpellings) {
+  EXPECT_EQ(check::auditLevelFromString("off"), check::AuditLevel::kOff);
+  EXPECT_EQ(check::auditLevelFromString("none"), check::AuditLevel::kOff);
+  EXPECT_EQ(check::auditLevelFromString("phase"),
+            check::AuditLevel::kPhaseBoundary);
+  EXPECT_EQ(check::auditLevelFromString("phase-boundary"),
+            check::AuditLevel::kPhaseBoundary);
+  EXPECT_EQ(check::auditLevelFromString("paranoid"),
+            check::AuditLevel::kParanoid);
+  EXPECT_EQ(check::auditLevelFromString("full"), check::AuditLevel::kParanoid);
+  EXPECT_FALSE(check::auditLevelFromString("bogus").has_value());
+  EXPECT_STREQ(check::auditLevelName(check::AuditLevel::kParanoid), "paranoid");
+}
+
+TEST(AuditReportApi, OnlyFailureAndCountSemantics) {
+  AuditReport report;
+  EXPECT_TRUE(report.clean());
+  EXPECT_FALSE(report.onlyFailure(Invariant::kRouteValidity));  // empty != only
+
+  report.failures.push_back(
+      {Invariant::kRouteValidity, "net n0", "connected", "disconnected"});
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(report.onlyFailure(Invariant::kRouteValidity));
+  EXPECT_EQ(report.countFor(Invariant::kRouteValidity), 1);
+  EXPECT_EQ(report.countFor(Invariant::kDemandExactness), 0);
+
+  report.failures.push_back(
+      {Invariant::kDemandExactness, "wire edge L0 (1,1)", "1", "2"});
+  EXPECT_FALSE(report.onlyFailure(Invariant::kRouteValidity));
+  EXPECT_NE(report.summary().find("route-validity"), std::string::npos);
+  EXPECT_NE(report.summary().find("demand-exactness"), std::string::npos);
+}
+
+// ---- clean baseline ---------------------------------------------------------
+
+TEST(DbAuditorTest, CleanFlowAuditsClean) {
+  const auto db = crp::testing::makeGridDatabase(12, 6);
+  groute::GlobalRouter router(db);
+  router.run();
+  const AuditReport report = DbAuditor(db, &router).auditAll();
+  EXPECT_CLEAN_AUDIT(report);
+  // placement + DEF round trip + routes + demand + guide round trip.
+  EXPECT_EQ(report.invariantsChecked, 5);
+
+  // Without a router only the router-free invariants run.
+  const AuditReport dbOnly = DbAuditor(db).auditAll();
+  EXPECT_CLEAN_AUDIT(dbOnly);
+  EXPECT_EQ(dbOnly.invariantsChecked, 2);
+}
+
+// ---- seeded corruptions: each caught by exactly its invariant ---------------
+
+// Shifting a cell off its site grid breaks placement legality and
+// nothing else (the 3-dbu shift stays inside the cell's gcell, so
+// terminals, routes and demand are untouched).
+TEST(DbAuditorMutation, OffSiteCellCaughtByPlacementLegalityOnly) {
+  auto db = crp::testing::makeGridDatabase(12, 6);
+  groute::GlobalRouter router(db);
+  router.run();
+
+  const geom::Point pos = db.cell(0).pos;
+  db.moveCell(0, geom::Point{pos.x + 3, pos.y});
+
+  const AuditReport report = DbAuditor(db, &router).auditAll();
+  EXPECT_TRUE(report.onlyFailure(Invariant::kPlacementLegality))
+      << report.summary();
+  EXPECT_GE(report.countFor(Invariant::kPlacementLegality), 1);
+}
+
+// Dropping a load-bearing segment from a committed route (with the
+// demand maps compensated, as a buggy rip-up would) is a route-validity
+// failure and nothing else.
+TEST(DbAuditorMutation, DroppedSegmentCaughtByRouteValidityOnly) {
+  const auto db = crp::testing::makeGridDatabase(12, 6);
+  groute::GlobalRouter router(db);
+  router.run();
+
+  // Find a segment whose removal disconnects its net.
+  db::NetId targetNet = db::kInvalidId;
+  std::size_t targetSeg = 0;
+  for (db::NetId net = 0; net < db.numNets() && targetNet == db::kInvalidId;
+       ++net) {
+    const std::vector<GPoint> terminals = router.netTerminals(net);
+    const NetRoute& route = router.route(net);
+    if (terminals.size() < 2 || !route.routed || route.segments.size() < 2) {
+      continue;
+    }
+    for (std::size_t i = 0; i < route.segments.size(); ++i) {
+      NetRoute pruned = route;
+      pruned.segments.erase(pruned.segments.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+      if (!groute::routeConnectsTerminals(pruned, terminals)) {
+        targetNet = net;
+        targetSeg = i;
+        break;
+      }
+    }
+  }
+  ASSERT_NE(targetNet, db::kInvalidId);
+
+  NetRoute& route = router.mutableRoute(targetNet);
+  NetRoute removed;
+  removed.routed = true;
+  removed.segments = {route.segments[targetSeg]};
+  route.segments.erase(route.segments.begin() +
+                       static_cast<std::ptrdiff_t>(targetSeg));
+  router.graph().applyRoute(removed, -1);  // keep demand == routes
+
+  const AuditReport report = DbAuditor(db, &router).auditAll();
+  EXPECT_TRUE(report.onlyFailure(Invariant::kRouteValidity))
+      << report.summary();
+}
+
+// Charging the demand maps for a phantom route that belongs to no net
+// is a demand-exactness failure and nothing else (routes themselves
+// are untouched and still valid).
+TEST(DbAuditorMutation, SkewedDemandCaughtByDemandExactnessOnly) {
+  const auto db = crp::testing::makeGridDatabase(12, 6);
+  groute::GlobalRouter router(db);
+  router.run();
+
+  NetRoute phantom;
+  phantom.routed = true;
+  if (router.graph().layerDir(0) == db::LayerDir::kHorizontal) {
+    phantom.segments.push_back({GPoint{0, 0, 0}, GPoint{0, 1, 0}});
+  } else {
+    phantom.segments.push_back({GPoint{0, 0, 0}, GPoint{0, 0, 1}});
+  }
+  router.graph().applyRoute(phantom, +1);
+
+  const AuditReport report = DbAuditor(db, &router).auditAll();
+  EXPECT_TRUE(report.onlyFailure(Invariant::kDemandExactness))
+      << report.summary();
+  // The skewed edge and the wirelength total both diverge.
+  EXPECT_GE(report.countFor(Invariant::kDemandExactness), 2);
+}
+
+// A cached price that predates a demand change is stale: replaying the
+// entries against the live graph is a pricing-coherence failure and
+// nothing else.
+TEST(DbAuditorMutation, StaleCacheEntryCaughtByPricingCoherenceOnly) {
+  const auto db = crp::testing::makeGridDatabase(12, 6);
+  groute::GlobalRouter router(db);
+  router.run();
+  const groute::PatternRouter pattern(router.graph());
+  groute::PatternRouter::Scratch scratch;
+
+  // Price one real net through the production cache.
+  db::NetId net = db::kInvalidId;
+  for (db::NetId n = 0; n < db.numNets(); ++n) {
+    if (router.netTerminals(n).size() >= 2) {
+      net = n;
+      break;
+    }
+  }
+  ASSERT_NE(net, db::kInvalidId);
+  std::vector<GPoint> terminals = router.netTerminals(net);
+  core::canonicalizeTerminals(terminals);
+  core::PricingCache cache;
+  cache.price(terminals, pattern, scratch);
+
+  // While the graph is unchanged the snapshot replays clean.
+  AuditReport fresh;
+  check::auditCachedPrices(pattern, cache.entries(), fresh);
+  EXPECT_CLEAN_AUDIT(fresh);
+
+  // Saturate every wire edge: any tree over distinct gcells crosses at
+  // least one, and the Eq. 10 logistic penalty is strictly increasing
+  // in demand, so every cached price is now provably stale.
+  for (int layer = 0; layer < router.graph().numLayers(); ++layer) {
+    const bool horizontal =
+        router.graph().layerDir(layer) == db::LayerDir::kHorizontal;
+    const int lines = horizontal ? router.graph().grid().countY()
+                                 : router.graph().grid().countX();
+    const int span = horizontal ? router.graph().grid().countX()
+                                : router.graph().grid().countY();
+    for (int line = 0; line < lines; ++line) {
+      NetRoute jam;
+      jam.routed = true;
+      jam.segments.push_back(
+          horizontal
+              ? groute::RouteSegment{GPoint{layer, 0, line},
+                                     GPoint{layer, span - 1, line}}
+              : groute::RouteSegment{GPoint{layer, line, 0},
+                                     GPoint{layer, line, span - 1}});
+      for (int i = 0; i < 16; ++i) router.graph().applyRoute(jam, +1);
+    }
+  }
+
+  AuditReport stale;
+  check::auditCachedPrices(pattern, cache.entries(), stale);
+  EXPECT_TRUE(stale.onlyFailure(Invariant::kPricingCoherence))
+      << stale.summary();
+}
+
+// ---- flow fingerprint -------------------------------------------------------
+
+TEST(FlowFingerprint, DeterministicAndStateSensitive) {
+  auto db = crp::testing::makeGridDatabase(12, 6);
+  groute::GlobalRouter router(db);
+  router.run();
+
+  const std::uint64_t fp = check::flowFingerprint(db, router);
+  EXPECT_EQ(fp, check::flowFingerprint(db, router));
+
+  const geom::Point pos = db.cell(0).pos;
+  db.moveCell(0, geom::Point{pos.x + 40, pos.y});
+  EXPECT_NE(fp, check::flowFingerprint(db, router));
+}
+
+// ---- fuzz harness plumbing --------------------------------------------------
+
+TEST(FuzzSpec, SeedFullyDeterminesDesign) {
+  const check::FuzzOptions options;
+  const auto a = check::specForSeed(7, options);
+  const auto b = check::specForSeed(7, options);
+  EXPECT_EQ(a.targetCells, b.targetCells);
+  EXPECT_EQ(a.utilization, b.utilization);
+  EXPECT_EQ(a.netsPerCell, b.netsPerCell);
+  EXPECT_EQ(a.localityBias, b.localityBias);
+  EXPECT_EQ(a.hotspots, b.hotspots);
+  EXPECT_EQ(a.hotspotStrength, b.hotspotStrength);
+  EXPECT_EQ(a.seed, 7u);
+  EXPECT_GE(a.targetCells, options.minCells);
+  EXPECT_LE(a.targetCells, options.maxCells);
+
+  const auto c = check::specForSeed(8, options);
+  EXPECT_TRUE(a.targetCells != c.targetCells ||
+              a.utilization != c.utilization ||
+              a.netsPerCell != c.netsPerCell);
+}
+
+TEST(FuzzCampaignTest, SingleSeedPassesAllLegs) {
+  check::FuzzOptions options;
+  options.seedStart = 3;
+  options.seedCount = 1;
+  options.iterations = 1;
+  options.minCells = 60;
+  options.maxCells = 90;
+  check::FuzzCampaign campaign(options);
+  const check::CampaignReport report = campaign.run();
+  EXPECT_TRUE(report.clean()) << report.summary();
+  ASSERT_EQ(report.seeds.size(), 1u);
+  ASSERT_EQ(report.seeds.front().legs.size(), 4u);
+  for (const check::LegResult& leg : report.seeds.front().legs) {
+    EXPECT_TRUE(leg.ok) << leg.name << ": " << leg.error;
+    EXPECT_EQ(leg.stateFingerprint,
+              report.seeds.front().legs.front().stateFingerprint)
+        << leg.name;
+  }
+}
+
+}  // namespace
+}  // namespace crp

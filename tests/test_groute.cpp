@@ -377,8 +377,14 @@ TEST(GlobalRouter, RoutesTinyDesignWithNoOpens) {
     const auto terminals = router.netTerminals(n);
     if (terminals.size() < 2) continue;
     EXPECT_TRUE(router.route(n).routed);
-    EXPECT_TRUE(routeConnectsTerminals(router.route(n), terminals));
   }
+  // Per-net validity (geometry, connectivity, terminal coverage) plus
+  // demand exactness against the committed routes.
+  check::AuditReport report;
+  const check::DbAuditor auditor(db, &router);
+  auditor.auditRoutes(report);
+  auditor.auditDemand(report);
+  EXPECT_CLEAN_AUDIT(report);
 }
 
 TEST(GlobalRouter, RoutesGridDesign) {
@@ -386,13 +392,10 @@ TEST(GlobalRouter, RoutesGridDesign) {
   GlobalRouter router(db);
   const auto stats = router.run();
   EXPECT_EQ(stats.openNets, 0);
-  // Every multi-terminal net connected.
-  for (db::NetId n = 0; n < db.numNets(); ++n) {
-    const auto terminals = router.netTerminals(n);
-    if (terminals.size() < 2) continue;
-    EXPECT_TRUE(routeConnectsTerminals(router.route(n), terminals))
-        << db.net(n).name;
-  }
+  // Every multi-terminal net connected, every route geometry-legal.
+  check::AuditReport report;
+  check::DbAuditor(db, &router).auditRoutes(report);
+  EXPECT_CLEAN_AUDIT(report);
 }
 
 TEST(GlobalRouter, RipUpRemovesDemandExactly) {
@@ -401,10 +404,13 @@ TEST(GlobalRouter, RipUpRemovesDemandExactly) {
   router.run();
   const auto wireBefore = router.graph().totalWireDbu();
   const auto viasBefore = router.graph().totalVias();
-  // Rip up and restore every net; totals must return exactly.
+  // Rip up and restore every net; totals must return exactly.  After
+  // the rip-up, the graph must diff clean against an empty route set
+  // (not just the totals — every per-edge and per-node counter).
   for (db::NetId n = 0; n < db.numNets(); ++n) router.ripUp(n);
-  EXPECT_EQ(router.graph().totalWireDbu(), 0);
-  EXPECT_EQ(router.graph().totalVias(), 0);
+  check::AuditReport ripped;
+  check::auditDemandAgainstRoutes(db, router.graph(), {}, ripped);
+  EXPECT_CLEAN_AUDIT(ripped);
   for (db::NetId n = 0; n < db.numNets(); ++n) router.rerouteNet(n);
   EXPECT_GT(router.graph().totalWireDbu(), 0);
   // Not necessarily equal (order effects), but same magnitude.

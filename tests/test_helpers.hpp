@@ -5,7 +5,17 @@
 #include <string>
 #include <vector>
 
+#include "check/audit.hpp"
 #include "db/database.hpp"
+
+/// Asserts that a check::AuditReport is clean; on failure the full
+/// structured failure list (invariant, object, expected vs actual) is
+/// attached to the gtest message.
+#define EXPECT_CLEAN_AUDIT(report)                                          \
+  do {                                                                      \
+    const ::crp::check::AuditReport& crpCleanAuditReport_ = (report);       \
+    EXPECT_TRUE(crpCleanAuditReport_.clean()) << crpCleanAuditReport_.summary(); \
+  } while (0)
 
 namespace crp::testing {
 

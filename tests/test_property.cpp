@@ -67,22 +67,12 @@ TEST(PropertyDemand, ApplyRemoveConservation) {
   }
   for (const NetRoute& route : routes) graph.applyRoute(route, -1);
 
-  EXPECT_EQ(graph.totalWireDbu(), 0);
-  EXPECT_EQ(graph.totalVias(), 0);
-  for (int l = 0; l < graph.numLayers(); ++l) {
-    for (int y = 0; y < graph.wireEdgeCountY(l); ++y) {
-      for (int x = 0; x < graph.wireEdgeCountX(l); ++x) {
-        EXPECT_DOUBLE_EQ(graph.wireUsage(groute::WireEdge{l, x, y}), 0.0);
-      }
-    }
-  }
-  for (int l = 0; l < graph.numLayers(); ++l) {
-    for (int y = 0; y < graph.grid().countY(); ++y) {
-      for (int x = 0; x < graph.grid().countX(); ++x) {
-        EXPECT_EQ(graph.viaCount(GPoint{l, x, y}), 0);
-      }
-    }
-  }
+  // Zero residual demand == the graph diffs clean against an empty
+  // route set (every edge/node counter plus the totals, via DbAuditor's
+  // demand-exactness building block).
+  check::AuditReport report;
+  check::auditDemandAgainstRoutes(db, graph, {}, report);
+  EXPECT_CLEAN_AUDIT(report);
 }
 
 // ---- router output validity -------------------------------------------------
@@ -111,10 +101,12 @@ TEST_P(RouterOutputProperty, PatternAndMazeAlwaysValidAndConnected) {
       NetRoute route;
       route.routed = true;
       route.segments = result.segments;
-      EXPECT_TRUE(graph.routeInBounds(route))
-          << (useMaze ? "maze" : "pattern") << " trial " << trial;
-      EXPECT_TRUE(routeConnectsTerminals(route, terminals))
-          << (useMaze ? "maze" : "pattern") << " trial " << trial;
+      check::AuditReport report;
+      check::auditRoute(graph, route, terminals,
+                        std::string(useMaze ? "maze" : "pattern") +
+                            " trial " + std::to_string(trial),
+                        report);
+      EXPECT_CLEAN_AUDIT(report);
       EXPECT_GE(result.cost, 0.0);
     }
   }

@@ -179,7 +179,9 @@ int cmdRun(const Args& args) {
     std::cerr << "usage: crp run in.lef in.def out.def out.guide [--k N] "
                  "[--gamma G] [--seed S] [--threads N] "
                  "[--router-threads N] [--cache 0|1] "
-                 "[--delta 0|1] [--obs 0|1] [--trace-out trace.json] "
+                 "[--delta 0|1] [--obs 0|1] "
+                 "[--audit off|phase|paranoid] "
+                 "[--trace-out trace.json] "
                  "[--report-out report.json]\n";
     return 2;
   }
@@ -205,6 +207,17 @@ int cmdRun(const Args& args) {
   options.routerThreads = routerThreads;
   options.pricingCache = args.number("cache", 1) > 0;
   options.deltaPricing = args.number("delta", 1) > 0;
+  // --audit arms the in-flow invariant audits (docs/checking.md); a
+  // violation aborts the run with the structured failure list.
+  if (args.flags.count("audit") != 0) {
+    const auto level = check::auditLevelFromString(args.flags.at("audit"));
+    if (!level) {
+      std::cerr << "unknown --audit level '" << args.flags.at("audit")
+                << "' (want off|phase|paranoid)\n";
+      return 2;
+    }
+    options.auditLevel = *level;
+  }
   core::CrpFramework framework(db, router, options);
   const auto report = framework.run();
   std::cout << "CR&P: " << options.iterations << " iterations, "
