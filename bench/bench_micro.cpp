@@ -9,6 +9,7 @@
 
 #include "bmgen/generator.hpp"
 #include "crp/candidate_generation.hpp"
+#include "crp/framework.hpp"
 #include "groute/global_router.hpp"
 #include "groute/maze_route.hpp"
 #include "groute/pattern_route.hpp"
@@ -18,6 +19,7 @@
 #include "lefdef/lef_parser.hpp"
 #include "lefdef/lef_writer.hpp"
 #include "legalizer/ilp_legalizer.hpp"
+#include "obs/obs.hpp"
 #include "rsmt/steiner.hpp"
 #include "util/rng.hpp"
 
@@ -281,6 +283,47 @@ BENCHMARK(BM_UdBatchReroute)
     ->ArgName("threads")
     ->Arg(1)
     ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// ---- spatial observability overhead ----------------------------------------
+
+// One full CR&P iteration (k=1) on the 600-cell benchmark with the
+// spatial tier off vs on.  The timed region covers framework
+// construction (which captures the post-GR snapshot when armed)
+// through run(), so the snapshots:1 row pays for two heatmap captures,
+// the delta encoding, and the timeline bookkeeping; snapshots:0 is the
+// PR-2 era hot path and must stay within noise of it.
+// scripts/run_bench.sh distills both rows into BENCH_obs_spatial.json.
+void BM_CrpIterationSpatial(benchmark::State& state) {
+  obs::EnabledScope enabled(true);
+  const bool snapshots = state.range(0) != 0;
+  std::size_t heatmaps = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    obs::resetAll();
+    bmgen::BenchmarkSpec spec;
+    spec.name = "micro";
+    spec.targetCells = 600;
+    spec.hotspots = 2;
+    spec.seed = 7;
+    db::Database db = bmgen::generateBenchmark(spec);
+    groute::GlobalRouter router(db);
+    router.run();
+    core::CrpOptions options;
+    options.iterations = 1;
+    options.snapshots = snapshots;
+    state.ResumeTiming();
+    core::CrpFramework framework(db, router, options);
+    benchmark::DoNotOptimize(framework.run());
+    heatmaps = framework.heatmaps().size();
+  }
+  state.counters["heatmaps"] =
+      benchmark::Counter(static_cast<double>(heatmaps));
+}
+BENCHMARK(BM_CrpIterationSpatial)
+    ->ArgName("snapshots")
+    ->Arg(0)
+    ->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
 // ---- legalizer -------------------------------------------------------------

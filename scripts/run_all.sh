@@ -9,17 +9,21 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
 
-# Observability smoke: run the CLI flow on a tiny generated design and
-# validate that the emitted trace and report files load as JSON (the
-# trace must also be Chrome trace_event-shaped).
+# Observability smoke: run the CLI flow on a tiny generated design with
+# the spatial tier armed and validate every emitted artifact — the
+# Chrome trace, the v2 RunReport (with its k-entry timeline), the
+# delta-encoded heatmap series (k+1 snapshots), and the flight-recorder
+# dump — then render each through crp_report.
 OBS_TMP=$(mktemp -d)
 trap 'rm -rf "$OBS_TMP"' EXIT
 build/tools/crp generate "$OBS_TMP/tiny.lef" "$OBS_TMP/tiny.def" \
   --cells 200 --seed 3
 build/tools/crp run "$OBS_TMP/tiny.lef" "$OBS_TMP/tiny.def" \
-  "$OBS_TMP/out.def" "$OBS_TMP/out.guide" --k 2 \
-  --trace-out "$OBS_TMP/trace.json" --report-out "$OBS_TMP/report.json"
-python3 - "$OBS_TMP/trace.json" "$OBS_TMP/report.json" <<'EOF'
+  "$OBS_TMP/out.def" "$OBS_TMP/out.guide" --k 2 --snapshots 1 \
+  --trace-out "$OBS_TMP/trace.json" --report-out "$OBS_TMP/report.json" \
+  --heatmaps-out "$OBS_TMP/heatmaps.json" --flight-out "$OBS_TMP/flight.json"
+python3 - "$OBS_TMP/trace.json" "$OBS_TMP/report.json" \
+  "$OBS_TMP/heatmaps.json" "$OBS_TMP/flight.json" <<'EOF'
 import json, sys
 
 with open(sys.argv[1]) as f:
@@ -30,11 +34,43 @@ assert all(e["ph"] == "X" for e in trace["traceEvents"])
 
 with open(sys.argv[2]) as f:
     report = json.load(f)
-assert report["schemaVersion"] == 1, report.get("schemaVersion")
+assert report["schemaVersion"] == 2, report.get("schemaVersion")
 assert len(report["phases"]) == 5, report["phases"]
+assert len(report["timeline"]) == 2, "expected a k-entry timeline"
+for record in report["timeline"]:
+    assert "overflowBefore" in record and "overflowAfter" in record, record
+
+with open(sys.argv[3]) as f:
+    heatmaps = json.load(f)
+assert heatmaps["count"] == 3, "expected k+1 heatmap snapshots"
+assert heatmaps["base"]["label"] == "post-gr", heatmaps["base"]["label"]
+assert len(heatmaps["deltas"]) == 2, "one delta per iteration"
+# The timeline's overflow bracket must agree with the snapshots.
+assert report["timeline"][-1]["overflowAfter"] == \
+    heatmaps["deltas"][-1]["totalOverflow"]
+
+with open(sys.argv[4]) as f:
+    flight = json.load(f)
+assert flight["schemaVersion"] == 1, flight.get("schemaVersion")
+assert flight["events"], "flight recorder captured no events"
+assert flight["latestHeatmap"]["label"] == "iter1", \
+    "flight dump lost the latest heatmap"
+
 print(f"obs smoke ok: {len(trace['traceEvents'])} trace events, "
-      f"{len(report['phases'])} phases")
+      f"{len(report['phases'])} phases, {len(report['timeline'])} timeline "
+      f"records, {heatmaps['count']} heatmaps, "
+      f"{len(flight['events'])} flight events")
 EOF
+
+# The offline renderer must be able to display every artifact.
+build/tools/crp_report heatmap "$OBS_TMP/heatmaps.json" \
+  --ppm "$OBS_TMP/heatmap.ppm" > /dev/null
+head -c 2 "$OBS_TMP/heatmap.ppm" | grep -q P3
+build/tools/crp_report timeline "$OBS_TMP/report.json" \
+  --csv "$OBS_TMP/timeline.csv" > /dev/null
+grep -q overflowBefore "$OBS_TMP/timeline.csv"
+build/tools/crp_report flight "$OBS_TMP/flight.json" > /dev/null
+echo "crp_report render ok"
 
 for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt
 

@@ -14,8 +14,9 @@
 #   3. ThreadPool + pricing + observability + parallel-reroute tests
 #      under ThreadSanitizer (CRP_SANITIZE=thread, separate build
 #      tree), guarding the sharded cache, the dynamic parallelFor
-#      scheduling, the metrics registry / span tracer, and the
-#      concurrent rerouteNet batches.  Skip with CRP_SKIP_TSAN=1.
+#      scheduling, the metrics registry / span tracer / flight-recorder
+#      ring, and the concurrent rerouteNet batches.  Skip with
+#      CRP_SKIP_TSAN=1.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -128,6 +129,59 @@ else:
 EOF
 rm -f rrr_bench_raw.json
 
+# ---- spatial-observability overhead ----------------------------------------
+# One CR&P iteration with heatmap snapshots off vs on.  The off row is
+# the PR-2 era hot path and must stay within noise of it (the ECC/RRR
+# medians above already run snapshot-free); the on row records what the
+# spatial tier costs so regressions in capture/delta-encoding show up
+# here rather than in user flows.
+"$BUILD"/bench/bench_micro \
+  --benchmark_filter='BM_CrpIterationSpatial' \
+  --benchmark_repetitions=5 \
+  --benchmark_enable_random_interleaving=true \
+  --benchmark_format=json \
+  --benchmark_out=obs_bench_raw.json \
+  --benchmark_out_format=json
+
+python3 - <<'EOF'
+import json
+
+with open("obs_bench_raw.json") as f:
+    raw = json.load(f)
+
+rows = {b["name"]: b for b in raw["benchmarks"]
+        if b.get("aggregate_name") == "median"}
+off = rows["BM_CrpIterationSpatial/snapshots:0_median"]
+on = rows["BM_CrpIterationSpatial/snapshots:1_median"]
+
+def ms(row):
+    assert row["time_unit"] == "ms", row["time_unit"]
+    return row["real_time"]
+
+summary = {
+    "benchmark": "BM_CrpIterationSpatial",
+    "suite": "bmgen micro (600 cells), one CR&P iteration",
+    "iteration_snapshots_off_ms": round(ms(off), 3),
+    "iteration_snapshots_on_ms": round(ms(on), 3),
+    "snapshot_overhead_percent": round(100.0 * (ms(on) - ms(off)) / ms(off), 2),
+    "heatmaps_per_run": int(on["heatmaps"]),
+    "context": raw["context"],
+}
+with open("BENCH_obs_spatial.json", "w") as f:
+    json.dump(summary, f, indent=2)
+    f.write("\n")
+
+print("BENCH_obs_spatial.json:")
+print(json.dumps({k: v for k, v in summary.items() if k != "context"},
+                 indent=2))
+assert summary["heatmaps_per_run"] == 2, summary["heatmaps_per_run"]
+# Guard rail, not a target: capture + delta encoding must stay a small
+# fraction of an iteration (the grids are a few thousand doubles).
+assert summary["snapshot_overhead_percent"] < 50.0, \
+    f"spatial tier costs {summary['snapshot_overhead_percent']}% per iteration"
+EOF
+rm -f obs_bench_raw.json
+
 "$BUILD"/bench/bench_fig2
 
 if [[ "${CRP_SKIP_TSAN:-0}" != "1" ]]; then
@@ -137,5 +191,5 @@ if [[ "${CRP_SKIP_TSAN:-0}" != "1" ]]; then
   cmake --build "$TSAN_BUILD" -j "$(nproc)" \
     --target test_util test_pricing test_obs test_groute
   ctest --test-dir "$TSAN_BUILD" --output-on-failure \
-    -R 'ThreadPool|PricingCache|PricingEngine|Metrics|Tracer|ObsMacros|ParallelReroute'
+    -R 'ThreadPool|PricingCache|PricingEngine|Metrics|Tracer|ObsMacros|FlightRecorder|ParallelReroute'
 fi

@@ -1,11 +1,14 @@
 #include "check/audit.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
+#include <filesystem>
 #include <sstream>
 #include <string>
 
 #include "db/legality.hpp"
+#include "obs/flight_recorder.hpp"
 #include "lefdef/def_parser.hpp"
 #include "lefdef/def_writer.hpp"
 #include "lefdef/guide_io.hpp"
@@ -503,6 +506,50 @@ struct Fnv1a {
 };
 
 }  // namespace
+
+obs::Json auditReportToJson(const AuditReport& report) {
+  obs::Json doc = obs::Json::object();
+  doc.set("invariantsChecked", report.invariantsChecked);
+  obs::Json failures = obs::Json::array();
+  for (const AuditFailure& failure : report.failures) {
+    obs::Json f = obs::Json::object();
+    f.set("invariant", invariantName(failure.invariant));
+    f.set("object", failure.object);
+    f.set("expected", failure.expected);
+    f.set("actual", failure.actual);
+    failures.append(std::move(f));
+  }
+  doc.set("failures", std::move(failures));
+  return doc;
+}
+
+std::string writeFlightRecorderDump(const AuditReport& report,
+                                    const std::string& dir,
+                                    const std::string& context) {
+  std::string slug;
+  for (const char c : context) {
+    slug += (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '-' ||
+             c == '_')
+                ? c
+                : '-';
+  }
+  if (slug.empty()) slug = "audit";
+  try {
+    std::filesystem::create_directories(dir);
+    const std::string path = dir + "/flight_" + slug + ".json";
+    obs::Json trigger = obs::Json::object();
+    trigger.set("source", "audit");
+    trigger.set("context", context);
+    trigger.set("audit", auditReportToJson(report));
+    if (!obs::FlightRecorder::instance().dumpToFile(path,
+                                                    std::move(trigger))) {
+      return {};
+    }
+    return path;
+  } catch (const std::exception&) {
+    return {};
+  }
+}
 
 std::uint64_t flowFingerprint(const db::Database& db,
                               const groute::GlobalRouter& router) {

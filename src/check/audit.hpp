@@ -42,6 +42,7 @@
 #include "groute/pattern_route.hpp"
 #include "groute/route.hpp"
 #include "groute/routing_graph.hpp"
+#include "obs/json.hpp"
 
 namespace crp::check {
 
@@ -172,6 +173,21 @@ void auditCachedPrices(
     const groute::PatternRouter& pattern,
     const std::vector<std::pair<std::vector<groute::GPoint>, double>>& entries,
     AuditReport& report);
+
+// ---- flight-recorder dumps --------------------------------------------------
+
+/// Structured JSON form of an audit report (the failures array plus
+/// invariantsChecked) — the trigger payload of flight-recorder dumps.
+obs::Json auditReportToJson(const AuditReport& report);
+
+/// Dumps the process-wide obs::FlightRecorder (recent events + latest
+/// heatmap) triggered by `report`'s failures into
+/// `dir/flight_<context>.json`, creating `dir` on demand.  Returns the
+/// written path, or an empty string when the write fails (the caller's
+/// failure handling must not die on a diagnostic I/O error).
+std::string writeFlightRecorderDump(const AuditReport& report,
+                                    const std::string& dir,
+                                    const std::string& context);
 
 // ---- run fingerprint --------------------------------------------------------
 

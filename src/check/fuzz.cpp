@@ -9,6 +9,7 @@
 #include "crp/framework.hpp"
 #include "db/database.hpp"
 #include "groute/global_router.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/json.hpp"
 #include "obs/obs.hpp"
 #include "obs/run_report.hpp"
@@ -62,6 +63,12 @@ LegResult runLeg(const bmgen::BenchmarkSpec& spec, const LegConfig& config,
     options.pricingCache = config.cache;
     options.deltaPricing = config.cache;
     options.auditLevel = auditLevel;
+    // Spatial tier on: the obs-on legs then exercise snapshot capture
+    // and the timeline joins their report fingerprints (value-exact
+    // across the paired configs), and a failure's flight-recorder dump
+    // carries the last heatmap.  The runtime obs gate keeps this a
+    // no-op on the obs-off leg.
+    options.snapshots = true;
     core::CrpFramework framework(db, router, options);
     framework.run();  // in-flow audits throw AuditError on violation
 
@@ -112,6 +119,9 @@ std::string CampaignReport::summary() const {
     os << "\n  seed " << seed.seed << ": " << seed.failure;
     if (!seed.replayCommand.empty()) os << "\n    replay: " << seed.replayCommand;
     if (!seed.artifactPath.empty()) os << "\n    artifact: " << seed.artifactPath;
+    if (!seed.flightRecorderPath.empty()) {
+      os << "\n    flight recorder: " << seed.flightRecorderPath;
+    }
   }
   return os.str();
 }
@@ -203,11 +213,34 @@ void FuzzCampaign::minimizeAndRecord(SeedResult& result) {
   if (options_.artifactDir.empty()) return;
   try {
     std::filesystem::create_directories(options_.artifactDir);
+
+    // Flight-recorder dump first: the ring still holds the events of
+    // the minimized repro (the last legs run), and the obs-on legs'
+    // snapshot capture left the latest heatmap with the recorder.
+    {
+      obs::Json trigger = obs::Json::object();
+      trigger.set("source", "crp_fuzz");
+      trigger.set("seed", seed);
+      trigger.set("failure", result.failure);
+      trigger.set("replay", result.replayCommand);
+      const std::string flightPath = options_.artifactDir + "/fuzz_seed_" +
+                                     std::to_string(seed) + "_flight.json";
+      if (obs::FlightRecorder::instance().dumpToFile(flightPath,
+                                                     std::move(trigger))) {
+        result.flightRecorderPath = flightPath;
+      } else {
+        CRP_LOG_WARN("fuzz: cannot write flight dump {}", flightPath);
+      }
+    }
+
     obs::Json doc = obs::Json::object();
     doc.set("schema", 1);
     doc.set("seed", seed);
     doc.set("failure", result.failure);
     doc.set("replay", result.replayCommand);
+    if (!result.flightRecorderPath.empty()) {
+      doc.set("flightRecorder", result.flightRecorderPath);
+    }
     doc.set("cells", result.minimizedCells);
     doc.set("iterations", result.minimizedIterations);
     const bmgen::BenchmarkSpec spec = specForSeed(seed, options_);

@@ -22,7 +22,10 @@
 // shrinks, reported as a one-line replay command for tools/crp_fuzz
 // (--replay SEED --cells N --k K), and dumped as a JSON artifact when
 // an artifact directory is configured — the seed-replay workflow in
-// docs/checking.md.
+// docs/checking.md.  The obs-on legs run with spatial snapshots armed,
+// so a failure's flight-recorder dump (written next to the artifact)
+// carries the recent event ring plus the last congestion heatmap of
+// the minimized repro.
 #pragma once
 
 #include <cstdint>
@@ -76,6 +79,9 @@ struct SeedResult {
   int minimizedIterations = 0;
   std::string replayCommand;
   std::string artifactPath;  ///< written artifact, when configured
+  /// Flight-recorder dump (event ring + latest heatmap) written next
+  /// to the artifact; empty when no artifact directory is configured.
+  std::string flightRecorderPath;
 };
 
 struct CampaignReport {

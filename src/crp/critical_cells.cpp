@@ -26,7 +26,8 @@ std::vector<db::CellId> labelCriticalCells(
     const db::Database& db, const groute::GlobalRouter& router,
     const std::unordered_set<db::CellId>& historyCritical,
     const std::unordered_set<db::CellId>& historyMoved, util::Rng& rng,
-    const CrpOptions& options) {
+    const CrpOptions& options, int* dampedOut) {
+  if (dampedOut != nullptr) *dampedOut = 0;
   const std::vector<double> cost = cellRouteCosts(db, router);
 
   std::vector<db::CellId> order(db.numCells());
@@ -71,7 +72,10 @@ std::vector<db::CellId> labelCriticalCells(
       const int histM = historyMoved.count(c) > 0 ? 1 : 0;
       const double acceptance =
           std::exp(-(histC + histM) / options.temperature);
-      if (!(acceptance > rng.uniform())) continue;
+      if (!(acceptance > rng.uniform())) {
+        if (dampedOut != nullptr) ++*dampedOut;
+        continue;
+      }
     }
 
     selected.insert(c);

@@ -24,10 +24,14 @@ namespace crp::core {
 std::vector<double> cellRouteCosts(const db::Database& db,
                                    const groute::GlobalRouter& router);
 
+/// `dampedOut` (optional) receives the number of otherwise-eligible
+/// cells the annealing history draw rejected (Alg. 1 lines 9-12) — the
+/// flow timeline's labeled/damped split.  Counting never consumes an
+/// extra RNG draw, so passing it cannot change the selection.
 std::vector<db::CellId> labelCriticalCells(
     const db::Database& db, const groute::GlobalRouter& router,
     const std::unordered_set<db::CellId>& historyCritical,
     const std::unordered_set<db::CellId>& historyMoved, util::Rng& rng,
-    const CrpOptions& options);
+    const CrpOptions& options, int* dampedOut = nullptr);
 
 }  // namespace crp::core

@@ -1,9 +1,12 @@
 #include "crp/framework.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <set>
+#include <string>
 #include <utility>
 
+#include "groute/heatmap_capture.hpp"
 #include "obs/obs.hpp"
 #include "util/logger.hpp"
 
@@ -22,6 +25,21 @@ CrpFramework::CrpFramework(db::Database& db, groute::GlobalRouter& router,
   for (const char* phase : kPhases) {
     runReport_.phases.push_back(obs::RunReport::PhaseStat{phase, 0.0});
   }
+  if (spatialEnabled()) captureSnapshot("post-gr", -1);
+}
+
+bool CrpFramework::spatialEnabled() const {
+  return options_.snapshots && obs::enabled();
+}
+
+const obs::HeatmapSnapshot& CrpFramework::captureSnapshot(std::string label,
+                                                          int iteration) {
+  heatmaps_.add(
+      groute::captureHeatmap(router_.graph(), std::move(label), iteration));
+  const obs::HeatmapSnapshot& snapshot = heatmaps_.latest();
+  obs::FlightRecorder::instance().setLatestHeatmap(snapshot.toJson());
+  CRP_OBS_COUNT("obs.heatmap_snapshots", 1);
+  return snapshot;
 }
 
 CommitPlan planMoveCommits(const std::vector<CellCandidates>& candidates,
@@ -91,6 +109,7 @@ void CrpFramework::maybeAudit(const char* phase, bool iterationEnd,
   if (level == check::AuditLevel::kPhaseBoundary && !iterationEnd) return;
 
   CRP_OBS_SPAN("check", "check.audit");
+  CRP_OBS_EVENT("check", std::string("audit.arm/") + phase, iterationEnd);
   check::AuditReport report;
   const check::DbAuditor auditor(db_, &router_);
   auditor.auditPlacement(report);
@@ -111,11 +130,20 @@ void CrpFramework::maybeAudit(const char* phase, bool iterationEnd,
   CRP_OBS_COUNT("check.invariants_checked", report.invariantsChecked);
   CRP_OBS_COUNT("check.failures", report.failures.size());
   if (!report.clean()) {
-    throw check::AuditError("invariant audit failed after phase " +
-                                std::string(phase) + " (level " +
-                                check::auditLevelName(level) + "):\n" +
-                                report.summary(),
-                            std::move(report));
+    std::string message = "invariant audit failed after phase " +
+                          std::string(phase) + " (level " +
+                          check::auditLevelName(level) + "):\n" +
+                          report.summary();
+    // Black-box moment: preserve the recent event trail + latest
+    // heatmap next to the failure before the throw unwinds the flow.
+    if (!options_.flightRecorderDir.empty()) {
+      const std::string dumpPath = check::writeFlightRecorderDump(
+          report, options_.flightRecorderDir, phase);
+      if (!dumpPath.empty()) {
+        message += "\nflight recorder dump: " + dumpPath;
+      }
+    }
+    throw check::AuditError(std::move(message), std::move(report));
   }
 }
 
@@ -130,22 +158,45 @@ void CrpFramework::chargePhase(const char* phase, double seconds) {
 
 IterationReport CrpFramework::runIteration() {
   IterationReport report;
-  CRP_OBS_SPAN_ARG("crp", "crp.iteration", runReport_.iterationStats.size());
+  const int iterIndex = static_cast<int>(runReport_.iterationStats.size());
+  CRP_OBS_SPAN_ARG("crp", "crp.iteration", iterIndex);
+
+  // Spatial tier: the baseline snapshot normally exists from
+  // construction; recapture here if observability was enabled later.
+  const bool spatial = spatialEnabled();
+  if (spatial && heatmaps_.empty()) captureSnapshot("post-gr", -1);
+  obs::TimelineRecord timeline;
+  timeline.iteration = iterIndex;
+  if (spatial) {
+    timeline.overflowBefore = heatmaps_.latest().totalOverflow;
+    timeline.overflowedEdgesBefore = heatmaps_.latest().overflowedEdges;
+  }
 
   // ---- LCC: Alg. 1 -----------------------------------------------------------
   std::vector<db::CellId> criticalSet;
   {
     CRP_OBS_SPAN("crp", "phase.LCC");
+    CRP_OBS_EVENT("crp", "phase.LCC", iterIndex);
     util::Stopwatch watch;
     criticalSet = labelCriticalCells(db_, router_, criticalHistory_, moved_,
-                                     rng_, options_);
+                                     rng_, options_, &timeline.dampedCells);
     chargePhase(kPhaseLcc, watch.seconds());
   }
   report.criticalCells = static_cast<int>(criticalSet.size());
+  timeline.criticalCells = report.criticalCells;
   CRP_OBS_COUNT("crp.critical_cells", criticalSet.size());
   if (criticalSet.empty()) {
     maybeAudit(kPhaseLcc, /*iterationEnd=*/true);
     runReport_.iterationStats.push_back(obs::RunReport::IterationStat{});
+    if (spatial) {
+      // Nothing moved: the capture yields an empty delta, and the
+      // timeline keeps its k-entries-per-k-iterations shape.
+      const obs::HeatmapSnapshot& after =
+          captureSnapshot("iter" + std::to_string(iterIndex), iterIndex);
+      timeline.overflowAfter = after.totalOverflow;
+      timeline.overflowedEdgesAfter = after.overflowedEdges;
+      runReport_.timeline.push_back(timeline);
+    }
     return report;
   }
   maybeAudit(kPhaseLcc, /*iterationEnd=*/false);
@@ -156,15 +207,20 @@ IterationReport CrpFramework::runIteration() {
     // The legalizer snapshot reads current positions; a fresh instance
     // per iteration keeps it consistent after the previous UD phase.
     CRP_OBS_SPAN("crp", "phase.GCP");
+    CRP_OBS_EVENT("crp", "phase.GCP", iterIndex);
     util::Stopwatch watch;
     const legalizer::IlpLegalizer legalizer(db_, options_.legalizer);
     candidates = buildCandidates(db_, legalizer, criticalSet, &pool_);
     chargePhase(kPhaseGcp, watch.seconds());
   }
+  for (const CellCandidates& cc : candidates) {
+    timeline.candidatesGenerated += static_cast<int>(cc.candidates.size());
+  }
   maybeAudit(kPhaseGcp, /*iterationEnd=*/false);
   PricingCacheEntries cacheEntries;
   {
     CRP_OBS_SPAN("crp", "phase.ECC");
+    CRP_OBS_EVENT("crp", "phase.ECC", iterIndex);
     util::Stopwatch watch;
     PricingOptions pricing;
     pricing.cacheEnabled = options_.pricingCache;
@@ -195,16 +251,23 @@ IterationReport CrpFramework::runIteration() {
   SelectionResult selection;
   {
     CRP_OBS_SPAN("crp", "phase.SEL");
+    CRP_OBS_EVENT("crp", "phase.SEL", iterIndex);
     util::Stopwatch watch;
     selection = selectCandidates(db_, candidates);
     chargePhase(kPhaseSel, watch.seconds());
   }
   maybeAudit(kPhaseSel, /*iterationEnd=*/false);
   report.selectedCost = selection.totalCost;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (!candidates[i].candidates[selection.chosen[i]].isCurrent) {
+      ++timeline.movesSelected;
+    }
+  }
 
   // ---- UD: §IV.B.5 -----------------------------------------------------------
   {
     CRP_OBS_SPAN("crp", "phase.UD");
+    CRP_OBS_EVENT("crp", "phase.UD", iterIndex);
     util::Stopwatch watch;
 
     // Plan the commit: gain-ranked moves, conflict claims (no
@@ -213,12 +276,22 @@ IterationReport CrpFramework::runIteration() {
     const CommitPlan plan = planMoveCommits(
         candidates, selection.chosen, options_.maxMovesTotal - movesUsed_);
     CRP_OBS_COUNT("crp.commit_conflicts", plan.conflictSkips);
+    CRP_OBS_EVENT("crp", "commit", plan.movesNeeded);
 
+    auto trackDisplacement = [&timeline](const geom::Point& from,
+                                         const geom::Point& to) {
+      const std::int64_t dist = std::llabs(to.x - from.x) +
+                                std::llabs(to.y - from.y);
+      timeline.totalDisplacementDbu += dist;
+      timeline.maxDisplacementDbu =
+          std::max(timeline.maxDisplacementDbu, dist);
+    };
     std::vector<db::NetId> affectedNets;
     for (const std::size_t i : plan.committed) {
       const Candidate& chosen =
           candidates[i].candidates[selection.chosen[i]];
       const db::CellId cell = candidates[i].cell;
+      trackDisplacement(db_.cell(cell).pos, chosen.position);
       db_.moveCell(cell, chosen.position);
       moved_.insert(cell);
       ++report.movedCells;
@@ -226,6 +299,7 @@ IterationReport CrpFramework::runIteration() {
         affectedNets.push_back(n);
       }
       for (const auto& [id, pos] : chosen.displaced) {
+        trackDisplacement(db_.cell(id).pos, pos);
         db_.moveCell(id, pos);
         moved_.insert(id);
         ++report.displacedCells;
@@ -240,8 +314,15 @@ IterationReport CrpFramework::runIteration() {
         affectedNets.end());
     router_.rerouteNets(affectedNets);
     report.reroutedNets = static_cast<int>(affectedNets.size());
+    CRP_OBS_EVENT("crp", "reroute", report.reroutedNets);
     movesUsed_ += report.movedCells + report.displacedCells;
     chargePhase(kPhaseUd, watch.seconds());
+  }
+  if (spatial) {
+    const obs::HeatmapSnapshot& after =
+        captureSnapshot("iter" + std::to_string(iterIndex), iterIndex);
+    timeline.overflowAfter = after.totalOverflow;
+    timeline.overflowedEdgesAfter = after.overflowedEdges;
   }
   maybeAudit(kPhaseUd, /*iterationEnd=*/true);
 
@@ -258,6 +339,14 @@ IterationReport CrpFramework::runIteration() {
   stat.selectedCost = report.selectedCost;
   stat.netsPriced = report.pricing.netsPriced();
   runReport_.iterationStats.push_back(stat);
+  if (spatial) {
+    timeline.netsPriced = report.pricing.netsPriced();
+    timeline.selectedCost = report.selectedCost;
+    timeline.movedCells = report.movedCells;
+    timeline.displacedCells = report.displacedCells;
+    timeline.reroutedNets = report.reroutedNets;
+    runReport_.timeline.push_back(timeline);
+  }
   runReport_.pricing.cacheHits += report.pricing.cacheHits;
   runReport_.pricing.cacheMisses += report.pricing.cacheMisses;
   runReport_.pricing.deltaSkips += report.pricing.deltaSkips;

@@ -18,6 +18,7 @@
 #include "crp/selection.hpp"
 #include "db/database.hpp"
 #include "groute/global_router.hpp"
+#include "obs/heatmap.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_report.hpp"
 #include "util/rng.hpp"
@@ -103,9 +104,24 @@ class CrpFramework {
     return criticalHistory_;
   }
 
+  /// Delta-encoded congestion snapshots captured this run (empty
+  /// unless options.snapshots and the obs gate are on): one "post-gr"
+  /// baseline plus one per iteration — the k+1 heatmaps bracketing the
+  /// RunReport timeline.
+  const obs::HeatmapSeries& heatmaps() const { return heatmaps_; }
+
  private:
   /// Adds `seconds` to the named phase's RunReport bucket.
   void chargePhase(const char* phase, double seconds);
+
+  /// True when the spatial tier records this run (options.snapshots
+  /// and the runtime obs gate both on).
+  bool spatialEnabled() const;
+
+  /// Captures a heatmap into heatmaps_ and hands a copy to the flight
+  /// recorder as "latest"; returns the series' newest snapshot.
+  const obs::HeatmapSnapshot& captureSnapshot(std::string label,
+                                              int iteration);
 
   /// The options.auditLevel hook, called at the end of each phase.
   /// `iterationEnd` marks the post-UD boundary (the only point the
@@ -124,6 +140,7 @@ class CrpFramework {
   util::ThreadPool pool_;
   obs::RunReport runReport_;
   obs::MetricsSnapshot baseline_;  ///< registry state at construction
+  obs::HeatmapSeries heatmaps_;    ///< spatial tier (options.snapshots)
   std::unordered_set<db::CellId> criticalHistory_;  ///< db.critical_hist
   std::unordered_set<db::CellId> moved_;            ///< db.moved_set
   int movesUsed_ = 0;  ///< against options.maxMovesTotal

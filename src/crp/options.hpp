@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <string>
 
 #include "check/audit.hpp"
 #include "legalizer/ilp_legalizer.hpp"
@@ -51,6 +52,21 @@ struct CrpOptions {
   /// Value-exact: no level mutates any flow state, so the run
   /// fingerprint is identical at every setting.
   check::AuditLevel auditLevel = check::AuditLevel::kOff;
+
+  /// Spatial observability tier (docs/observability.md): when true and
+  /// the obs runtime gate is on, the framework captures a congestion
+  /// HeatmapSnapshot after global routing and after every UD commit
+  /// (k+1 snapshots, delta-encoded in CrpFramework::heatmaps()) and
+  /// fills RunReport::timeline with one record per iteration.
+  /// Value-exact and schedule-independent: captures read committed
+  /// state only, so no flow decision changes and the grids are
+  /// bit-identical across --threads / --router-threads.
+  bool snapshots = false;
+
+  /// When non-empty, a dirty in-flow audit dumps the flight recorder
+  /// (recent events + latest heatmap + the audit failures) into this
+  /// directory before AuditError propagates (docs/observability.md).
+  std::string flightRecorderDir;
 
   /// Safety cap on critical cells per iteration on top of gamma.
   int maxCriticalCells = std::numeric_limits<int>::max();

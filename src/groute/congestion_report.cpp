@@ -1,6 +1,9 @@
 #include "groute/congestion_report.hpp"
 
 #include <algorithm>
+#include <utility>
+
+#include "groute/heatmap_capture.hpp"
 
 namespace crp::groute {
 
@@ -26,50 +29,23 @@ double CongestionMap::mean() const {
 }
 
 CongestionMap buildCongestionMap(const RoutingGraph& graph, int layer) {
-  CongestionMap map;
-  map.width = graph.grid().countX();
-  map.height = graph.grid().countY();
-  map.utilisation.assign(static_cast<std::size_t>(map.width) * map.height,
-                         0.0);
-  std::vector<int> samples(map.utilisation.size(), 0);
+  return buildCongestionMap(captureHeatmap(graph, "adhoc", -1), layer);
+}
 
-  const int layerLo = layer >= 0 ? layer : 0;
-  const int layerHi = layer >= 0 ? layer : graph.numLayers() - 1;
-  for (int l = layerLo; l <= layerHi; ++l) {
-    for (int y = 0; y < graph.wireEdgeCountY(l); ++y) {
-      for (int x = 0; x < graph.wireEdgeCountX(l); ++x) {
-        const WireEdge e{l, x, y};
-        const double cap = graph.capacity(e);
-        if (cap <= 0.0) continue;
-        const double ratio = graph.demand(e) / cap;
-        // Charge both touching gcells.
-        const bool horizontal =
-            graph.layerDir(l) == db::LayerDir::kHorizontal;
-        const int x2 = horizontal ? x + 1 : x;
-        const int y2 = horizontal ? y : y + 1;
-        for (const auto& [gx, gy] : {std::pair{x, y}, std::pair{x2, y2}}) {
-          const std::size_t idx =
-              static_cast<std::size_t>(gy) * map.width + gx;
-          map.utilisation[idx] += ratio;
-          ++samples[idx];
-        }
-      }
-    }
-  }
-  for (std::size_t i = 0; i < map.utilisation.size(); ++i) {
-    if (samples[i] > 0) map.utilisation[i] /= samples[i];
-  }
+CongestionMap buildCongestionMap(const obs::HeatmapSnapshot& snapshot,
+                                 int layer) {
+  obs::UtilisationGrid grid = obs::utilisationGrid(snapshot, layer);
+  CongestionMap map;
+  map.width = grid.width;
+  map.height = grid.height;
+  map.utilisation = std::move(grid.values);
   return map;
 }
 
 void printHeatmap(std::ostream& os, const CongestionMap& map) {
-  static constexpr char kScale[] = ".:-=+*%#";
   for (int y = map.height - 1; y >= 0; --y) {
     for (int x = 0; x < map.width; ++x) {
-      const double u = map.at(x, y);
-      const int bucket = std::min<int>(
-          7, static_cast<int>(u * 7.0));  // >= 1.0 saturates at '#'
-      os << kScale[std::max(0, bucket)];
+      os << obs::utilisationGlyph(map.at(x, y));
     }
     os << '\n';
   }

@@ -2,6 +2,12 @@
 // text heatmap of the GCell grid.  Used by the examples for flow
 // introspection and by CR&P users to locate the hotspots the framework
 // is expected to relieve.
+//
+// Since the spatial observability tier landed, these are thin views
+// over obs::HeatmapSnapshot: buildCongestionMap captures a snapshot
+// (heatmap_capture.hpp) and derives the per-gcell utilisation through
+// obs::utilisationGrid — one congestion source of truth shared with
+// the snapshot artifacts and the crp_report renderers.
 #pragma once
 
 #include <ostream>
@@ -9,6 +15,7 @@
 #include <vector>
 
 #include "groute/routing_graph.hpp"
+#include "obs/heatmap.hpp"
 
 namespace crp::groute {
 
@@ -31,8 +38,14 @@ struct CongestionMap {
   double mean() const;
 };
 
-/// Builds the congestion map from the live demand state.
+/// Builds the congestion map from the live demand state (captures a
+/// HeatmapSnapshot internally).
 CongestionMap buildCongestionMap(const RoutingGraph& graph, int layer = -1);
+
+/// Builds the congestion map from an already-captured snapshot (e.g. a
+/// heatmap artifact loaded from disk).
+CongestionMap buildCongestionMap(const obs::HeatmapSnapshot& snapshot,
+                                 int layer = -1);
 
 /// Renders the map as an ASCII heatmap ('.' empty .. '#' overflowed);
 /// one character per gcell, top row = highest y.

@@ -113,6 +113,7 @@ bool GlobalRouter::rerouteNet(db::NetId net, bool mazeFirst) {
       graph_.applyRoute(route, +1);
     }
     CRP_OBS_COUNT("gr.reroute_failures", 1);
+    CRP_OBS_EVENT("gr", "reroute.fail", net);
     return false;
   }
   route.segments = std::move(result.segments);

@@ -1,0 +1,67 @@
+#include "groute/heatmap_capture.hpp"
+
+#include <utility>
+
+namespace crp::groute {
+
+obs::HeatmapSnapshot captureHeatmap(const RoutingGraph& graph,
+                                    std::string label, int iteration) {
+  obs::HeatmapSnapshot snap;
+  snap.label = std::move(label);
+  snap.iteration = iteration;
+  snap.width = graph.grid().countX();
+  snap.height = graph.grid().countY();
+  snap.numLayers = graph.numLayers();
+  const std::size_t cells =
+      static_cast<std::size_t>(snap.width) * snap.height;
+
+  for (int l = 0; l < graph.numLayers(); ++l) {
+    const bool horizontal = graph.layerDir(l) == db::LayerDir::kHorizontal;
+    obs::HeatmapSnapshot::Plane demand;
+    demand.kind = obs::HeatmapSnapshot::kWireDemand;
+    demand.layer = l;
+    demand.horizontal = horizontal;
+    demand.values.assign(cells, 0.0);
+    obs::HeatmapSnapshot::Plane capacity = demand;
+    capacity.kind = obs::HeatmapSnapshot::kWireCapacity;
+    for (int y = 0; y < graph.wireEdgeCountY(l); ++y) {
+      for (int x = 0; x < graph.wireEdgeCountX(l); ++x) {
+        const WireEdge e{l, x, y};
+        const std::size_t idx =
+            static_cast<std::size_t>(y) * snap.width + x;
+        demand.values[idx] = graph.demand(e);
+        capacity.values[idx] = graph.capacity(e);
+      }
+    }
+    snap.planes.push_back(std::move(demand));
+    snap.planes.push_back(std::move(capacity));
+  }
+
+  for (int l = 0; l + 1 < graph.numLayers(); ++l) {
+    obs::HeatmapSnapshot::Plane demand;
+    demand.kind = obs::HeatmapSnapshot::kViaDemand;
+    demand.layer = l;
+    demand.values.assign(cells, 0.0);
+    obs::HeatmapSnapshot::Plane capacity = demand;
+    capacity.kind = obs::HeatmapSnapshot::kViaCapacity;
+    for (int y = 0; y < snap.height; ++y) {
+      for (int x = 0; x < snap.width; ++x) {
+        const ViaEdge e{l, x, y};
+        const std::size_t idx =
+            static_cast<std::size_t>(y) * snap.width + x;
+        demand.values[idx] = graph.viaUsage(e);
+        capacity.values[idx] = graph.viaCapacity(e);
+      }
+    }
+    snap.planes.push_back(std::move(demand));
+    snap.planes.push_back(std::move(capacity));
+  }
+
+  const RoutingGraph::CongestionStats stats = graph.congestionStats();
+  snap.totalOverflow = stats.totalOverflow;
+  snap.maxOverflow = stats.maxOverflow;
+  snap.overflowedEdges = stats.overflowedEdges;
+  return snap;
+}
+
+}  // namespace crp::groute

@@ -1,0 +1,24 @@
+// Captures an obs::HeatmapSnapshot from the live RoutingGraph — the
+// bridge between the routing layer (which owns the demand state) and
+// the spatial observability tier (pure data + rendering, obs/heatmap).
+//
+// Captured content is schedule-independent: wire demand is Eq. 9 over
+// committed per-edge usage (exact sums — conflict-free reroute batches
+// write disjoint edges), so two captures of the same flow state are
+// bit-identical regardless of --threads / --router-threads.
+#pragma once
+
+#include <string>
+
+#include "groute/routing_graph.hpp"
+#include "obs/heatmap.hpp"
+
+namespace crp::groute {
+
+/// Reads every wire demand/capacity plane (full Eq. 9 demand, so the
+/// snapshot's overflow totals equal congestionStats()) and every via
+/// usage/capacity plane from `graph`.
+obs::HeatmapSnapshot captureHeatmap(const RoutingGraph& graph,
+                                    std::string label, int iteration);
+
+}  // namespace crp::groute

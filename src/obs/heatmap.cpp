@@ -1,0 +1,287 @@
+#include "obs/heatmap.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace crp::obs {
+
+namespace {
+
+Json planeToJson(const HeatmapSnapshot::Plane& plane) {
+  Json p = Json::object();
+  p.set("kind", plane.kind);
+  p.set("layer", plane.layer);
+  p.set("horizontal", plane.horizontal);
+  Json values = Json::array();
+  for (const double v : plane.values) values.append(v);
+  p.set("values", std::move(values));
+  return p;
+}
+
+HeatmapSnapshot::Plane planeFromJson(const Json& json) {
+  HeatmapSnapshot::Plane plane;
+  plane.kind = json.at("kind").asString();
+  plane.layer = static_cast<int>(json.at("layer").asInt());
+  plane.horizontal = json.at("horizontal").asBool();
+  for (const Json& v : json.at("values").asArray()) {
+    plane.values.push_back(v.asDouble());
+  }
+  return plane;
+}
+
+/// True when both snapshots carry the same grid/plane structure (the
+/// HeatmapSeries delta-encoding precondition).
+bool sameStructure(const HeatmapSnapshot& a, const HeatmapSnapshot& b) {
+  if (a.width != b.width || a.height != b.height ||
+      a.numLayers != b.numLayers || a.planes.size() != b.planes.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.planes.size(); ++i) {
+    if (a.planes[i].kind != b.planes[i].kind ||
+        a.planes[i].layer != b.planes[i].layer ||
+        a.planes[i].values.size() != b.planes[i].values.size()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+const HeatmapSnapshot::Plane* HeatmapSnapshot::findPlane(std::string_view kind,
+                                                         int layer) const {
+  for (const Plane& plane : planes) {
+    if (plane.kind == kind && plane.layer == layer) return &plane;
+  }
+  return nullptr;
+}
+
+Json HeatmapSnapshot::toJson() const {
+  Json root = Json::object();
+  root.set("schemaVersion", kSchemaVersion);
+  root.set("label", label);
+  root.set("iteration", iteration);
+  root.set("width", width);
+  root.set("height", height);
+  root.set("numLayers", numLayers);
+  root.set("totalOverflow", totalOverflow);
+  root.set("maxOverflow", maxOverflow);
+  root.set("overflowedEdges", overflowedEdges);
+  Json planeArr = Json::array();
+  for (const Plane& plane : planes) planeArr.append(planeToJson(plane));
+  root.set("planes", std::move(planeArr));
+  return root;
+}
+
+HeatmapSnapshot HeatmapSnapshot::fromJson(const Json& json) {
+  const std::int64_t version = json.at("schemaVersion").asInt();
+  if (version != kSchemaVersion) {
+    throw JsonError("unsupported HeatmapSnapshot schemaVersion " +
+                        std::to_string(version) + " (expected " +
+                        std::to_string(kSchemaVersion) + ")",
+                    0);
+  }
+  HeatmapSnapshot snap;
+  snap.label = json.at("label").asString();
+  snap.iteration = static_cast<int>(json.at("iteration").asInt());
+  snap.width = static_cast<int>(json.at("width").asInt());
+  snap.height = static_cast<int>(json.at("height").asInt());
+  snap.numLayers = static_cast<int>(json.at("numLayers").asInt());
+  snap.totalOverflow = json.at("totalOverflow").asDouble();
+  snap.maxOverflow = json.at("maxOverflow").asDouble();
+  snap.overflowedEdges = static_cast<int>(json.at("overflowedEdges").asInt());
+  for (const Json& p : json.at("planes").asArray()) {
+    snap.planes.push_back(planeFromJson(p));
+  }
+  return snap;
+}
+
+UtilisationGrid utilisationGrid(const HeatmapSnapshot& snapshot, int layer) {
+  UtilisationGrid grid;
+  grid.width = snapshot.width;
+  grid.height = snapshot.height;
+  grid.values.assign(static_cast<std::size_t>(grid.width) * grid.height, 0.0);
+  std::vector<int> samples(grid.values.size(), 0);
+
+  for (const HeatmapSnapshot::Plane& demand : snapshot.planes) {
+    if (demand.kind != HeatmapSnapshot::kWireDemand) continue;
+    if (layer >= 0 && demand.layer != layer) continue;
+    const HeatmapSnapshot::Plane* cap =
+        snapshot.findPlane(HeatmapSnapshot::kWireCapacity, demand.layer);
+    if (cap == nullptr) continue;
+    for (int y = 0; y < grid.height; ++y) {
+      for (int x = 0; x < grid.width; ++x) {
+        const std::size_t e = static_cast<std::size_t>(y) * grid.width + x;
+        if (cap->values[e] <= 0.0) continue;  // no edge / no capacity
+        const double ratio = demand.values[e] / cap->values[e];
+        // Charge both gcells the edge touches.
+        const int x2 = demand.horizontal ? x + 1 : x;
+        const int y2 = demand.horizontal ? y : y + 1;
+        for (const auto& [gx, gy] : {std::pair{x, y}, std::pair{x2, y2}}) {
+          const std::size_t idx =
+              static_cast<std::size_t>(gy) * grid.width + gx;
+          grid.values[idx] += ratio;
+          ++samples[idx];
+        }
+      }
+    }
+  }
+  for (std::size_t i = 0; i < grid.values.size(); ++i) {
+    if (samples[i] > 0) grid.values[i] /= samples[i];
+  }
+  return grid;
+}
+
+char utilisationGlyph(double utilisation) {
+  static constexpr char kScale[] = ".:-=+*%#";
+  const int bucket =
+      std::min<int>(7, static_cast<int>(utilisation * 7.0));
+  return kScale[std::max(0, bucket)];
+}
+
+void renderHeatmapAscii(std::ostream& os, const HeatmapSnapshot& snapshot,
+                        int layer) {
+  const UtilisationGrid grid = utilisationGrid(snapshot, layer);
+  for (int y = grid.height - 1; y >= 0; --y) {
+    for (int x = 0; x < grid.width; ++x) {
+      os << utilisationGlyph(grid.at(x, y));
+    }
+    os << '\n';
+  }
+}
+
+void writeHeatmapPpm(std::ostream& os, const HeatmapSnapshot& snapshot,
+                     int layer) {
+  const UtilisationGrid grid = utilisationGrid(snapshot, layer);
+  os << "P3\n" << grid.width << ' ' << grid.height << "\n255\n";
+  for (int y = grid.height - 1; y >= 0; --y) {
+    for (int x = 0; x < grid.width; ++x) {
+      const double u = grid.at(x, y);
+      const double t = std::min(1.0, u);
+      const int r = static_cast<int>(std::lround(255.0 * t));
+      const int g = static_cast<int>(std::lround(255.0 * (1.0 - t)));
+      const int b =
+          u > 1.0 ? std::min(255L, std::lround(128.0 * (u - 1.0))) : 0;
+      os << r << ' ' << g << ' ' << static_cast<int>(b);
+      os << (x + 1 == grid.width ? '\n' : ' ');
+    }
+  }
+}
+
+void HeatmapSeries::add(HeatmapSnapshot snapshot) {
+  if (!hasBase_) {
+    base_ = snapshot;
+    latest_ = std::move(snapshot);
+    hasBase_ = true;
+    return;
+  }
+  assert(sameStructure(latest_, snapshot) &&
+         "HeatmapSeries: all snapshots must share one grid structure");
+  Delta delta;
+  delta.label = snapshot.label;
+  delta.iteration = snapshot.iteration;
+  delta.totalOverflow = snapshot.totalOverflow;
+  delta.maxOverflow = snapshot.maxOverflow;
+  delta.overflowedEdges = snapshot.overflowedEdges;
+  for (std::size_t p = 0; p < snapshot.planes.size(); ++p) {
+    const std::vector<double>& now = snapshot.planes[p].values;
+    const std::vector<double>& then = latest_.planes[p].values;
+    for (std::size_t c = 0; c < now.size(); ++c) {
+      if (now[c] != then[c]) {
+        delta.changes.push_back(
+            {static_cast<int>(p), static_cast<int>(c), now[c]});
+      }
+    }
+  }
+  deltas_.push_back(std::move(delta));
+  latest_ = std::move(snapshot);
+}
+
+HeatmapSnapshot HeatmapSeries::snapshot(std::size_t i) const {
+  assert(i < size() && "HeatmapSeries::snapshot: index out of range");
+  HeatmapSnapshot snap = base_;
+  for (std::size_t d = 0; d < i; ++d) {
+    const Delta& delta = deltas_[d];
+    snap.label = delta.label;
+    snap.iteration = delta.iteration;
+    snap.totalOverflow = delta.totalOverflow;
+    snap.maxOverflow = delta.maxOverflow;
+    snap.overflowedEdges = delta.overflowedEdges;
+    for (const Delta::Change& change : delta.changes) {
+      snap.planes[static_cast<std::size_t>(change.plane)]
+          .values[static_cast<std::size_t>(change.cell)] = change.value;
+    }
+  }
+  return snap;
+}
+
+Json HeatmapSeries::toJson() const {
+  Json root = Json::object();
+  root.set("schemaVersion", kSchemaVersion);
+  root.set("count", static_cast<std::int64_t>(size()));
+  if (hasBase_) root.set("base", base_.toJson());
+  Json deltaArr = Json::array();
+  for (const Delta& delta : deltas_) {
+    Json d = Json::object();
+    d.set("label", delta.label);
+    d.set("iteration", delta.iteration);
+    d.set("totalOverflow", delta.totalOverflow);
+    d.set("maxOverflow", delta.maxOverflow);
+    d.set("overflowedEdges", delta.overflowedEdges);
+    Json changes = Json::array();
+    for (const Delta::Change& change : delta.changes) {
+      Json c = Json::array();
+      c.append(change.plane);
+      c.append(change.cell);
+      c.append(change.value);
+      changes.append(std::move(c));
+    }
+    d.set("changes", std::move(changes));
+    deltaArr.append(std::move(d));
+  }
+  root.set("deltas", std::move(deltaArr));
+  return root;
+}
+
+HeatmapSeries HeatmapSeries::fromJson(const Json& json) {
+  const std::int64_t version = json.at("schemaVersion").asInt();
+  if (version != kSchemaVersion) {
+    throw JsonError("unsupported HeatmapSeries schemaVersion " +
+                        std::to_string(version) + " (expected " +
+                        std::to_string(kSchemaVersion) + ")",
+                    0);
+  }
+  HeatmapSeries series;
+  if (const Json* base = json.find("base")) {
+    series.base_ = HeatmapSnapshot::fromJson(*base);
+    series.latest_ = series.base_;
+    series.hasBase_ = true;
+  }
+  for (const Json& d : json.at("deltas").asArray()) {
+    Delta delta;
+    delta.label = d.at("label").asString();
+    delta.iteration = static_cast<int>(d.at("iteration").asInt());
+    delta.totalOverflow = d.at("totalOverflow").asDouble();
+    delta.maxOverflow = d.at("maxOverflow").asDouble();
+    delta.overflowedEdges = static_cast<int>(d.at("overflowedEdges").asInt());
+    for (const Json& c : d.at("changes").asArray()) {
+      const Json::Array& triple = c.asArray();
+      if (triple.size() != 3) {
+        throw JsonError("HeatmapSeries delta change is not a triple", 0);
+      }
+      delta.changes.push_back({static_cast<int>(triple[0].asInt()),
+                               static_cast<int>(triple[1].asInt()),
+                               triple[2].asDouble()});
+    }
+    series.deltas_.push_back(std::move(delta));
+  }
+  // Rebuild the decoded latest_ copy so add() can keep delta-encoding
+  // against it after a round-trip.
+  if (series.hasBase_ && !series.deltas_.empty()) {
+    series.latest_ = series.snapshot(series.size() - 1);
+  }
+  return series;
+}
+
+}  // namespace crp::obs

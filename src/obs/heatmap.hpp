@@ -1,0 +1,140 @@
+// Spatial observability: compact per-layer GCell congestion grids.
+//
+// A HeatmapSnapshot is a point-in-time copy of the routing graph's
+// congestion state — per-layer wire demand/capacity planes plus
+// per-boundary via demand/capacity planes — captured at flow phase
+// boundaries (groute/heatmap_capture.hpp reads the live RoutingGraph;
+// this header is pure data + JSON + rendering so tools can work from
+// artifacts alone).  Snapshot content is schedule-independent: demand
+// values are exact sums over committed routes, so grids captured at 1
+// and N router threads are bit-identical (the golden test asserts it).
+//
+// A HeatmapSeries stores a run's snapshots delta-encoded: the first
+// snapshot is kept whole, every later one as a sparse list of changed
+// cells against its predecessor.  Capacity planes never change and the
+// UD phase only touches edges near moved cells, so the per-iteration
+// cost is proportional to what actually moved, not the grid size.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace crp::obs {
+
+/// One captured congestion state of the GCell grid.
+struct HeatmapSnapshot {
+  static constexpr int kSchemaVersion = 1;
+
+  /// Plane kinds (the `kind` strings below).
+  static constexpr const char* kWireDemand = "wire.demand";
+  static constexpr const char* kWireCapacity = "wire.capacity";
+  static constexpr const char* kViaDemand = "via.demand";
+  static constexpr const char* kViaCapacity = "via.capacity";
+
+  std::string label;   ///< "post-gr", "iter0", ... (capture point)
+  int iteration = -1;  ///< CR&P iteration index; -1 = before iteration 0
+  int width = 0;       ///< gcells along x
+  int height = 0;      ///< gcells along y
+  int numLayers = 0;
+
+  /// One dense width*height grid per metric per layer, row-major
+  /// [y * width + x].  Wire planes describe the edge whose *lower*
+  /// endpoint is the gcell (RoutingGraph's WireEdge indexing); grid
+  /// positions past the last edge of the layer stay 0.  Via planes
+  /// (layers 0..numLayers-2) describe the via edge between `layer` and
+  /// `layer + 1` at the gcell.
+  struct Plane {
+    std::string kind;        ///< one of the kind constants above
+    int layer = 0;
+    bool horizontal = false; ///< wire planes: layer direction
+    std::vector<double> values;
+  };
+  std::vector<Plane> planes;
+
+  // Aggregates over wire edges (RoutingGraph::congestionStats).
+  double totalOverflow = 0.0;
+  double maxOverflow = 0.0;
+  int overflowedEdges = 0;
+
+  /// nullptr when the (kind, layer) plane is absent.
+  const Plane* findPlane(std::string_view kind, int layer) const;
+
+  Json toJson() const;
+  /// Throws JsonError on malformed payloads or version mismatch.
+  static HeatmapSnapshot fromJson(const Json& json);
+};
+
+/// Demand / capacity ratio per gcell, aggregated over the wire edges
+/// incident to it on one layer (or all layers when layer < 0) — the
+/// single source of truth for congestion-map derivation (the groute
+/// CongestionMap and the renderers below all build on this).
+struct UtilisationGrid {
+  int width = 0;
+  int height = 0;
+  std::vector<double> values;  ///< row-major [y * width + x]
+
+  double at(int x, int y) const { return values[y * width + x]; }
+};
+UtilisationGrid utilisationGrid(const HeatmapSnapshot& snapshot,
+                                int layer = -1);
+
+/// Maps a utilisation ratio to the 8-step ASCII scale ".:-=+*%#"
+/// (>= 1.0 saturates at '#') — shared by every text heatmap renderer.
+char utilisationGlyph(double utilisation);
+
+/// One character per gcell, top row = highest y (the orientation the
+/// groute heatmap always used).
+void renderHeatmapAscii(std::ostream& os, const HeatmapSnapshot& snapshot,
+                        int layer = -1);
+
+/// Plain-text PPM (P3): green (idle) -> red (full) -> magenta-tinged
+/// (overflowed), one pixel per gcell, top row = highest y.
+void writeHeatmapPpm(std::ostream& os, const HeatmapSnapshot& snapshot,
+                     int layer = -1);
+
+/// Delta-encoded snapshot sequence for one run.  All snapshots added to
+/// a series must share one grid/plane structure (one RoutingGraph) —
+/// the per-run invariant the framework guarantees.
+class HeatmapSeries {
+ public:
+  static constexpr int kSchemaVersion = 1;
+
+  void add(HeatmapSnapshot snapshot);
+
+  std::size_t size() const { return deltas_.size() + (hasBase_ ? 1 : 0); }
+  bool empty() const { return size() == 0; }
+
+  /// Reconstructs snapshot i (0 = base) by replaying deltas.
+  HeatmapSnapshot snapshot(std::size_t i) const;
+  /// The most recently added snapshot (undecoded copy).
+  const HeatmapSnapshot& latest() const { return latest_; }
+
+  Json toJson() const;
+  static HeatmapSeries fromJson(const Json& json);
+
+ private:
+  struct Delta {
+    std::string label;
+    int iteration = -1;
+    double totalOverflow = 0.0;
+    double maxOverflow = 0.0;
+    int overflowedEdges = 0;
+    struct Change {
+      int plane = 0;
+      int cell = 0;
+      double value = 0.0;
+    };
+    std::vector<Change> changes;
+  };
+
+  bool hasBase_ = false;
+  HeatmapSnapshot base_;
+  std::vector<Delta> deltas_;
+  HeatmapSnapshot latest_;  ///< full copy of the last add()
+};
+
+}  // namespace crp::obs

@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 namespace crp::obs {
 
@@ -114,6 +115,14 @@ Histogram* MetricsRegistry::histogram(const std::string& name,
   if (slot == nullptr) {
     if (bounds.empty()) bounds = Histogram::defaultBounds();
     slot = std::make_unique<Histogram>(std::move(bounds));
+  } else if (!bounds.empty() && bounds != slot->bounds()) {
+    // First registration wins, but two call sites disagreeing on the
+    // bucket layout is a bug: make it loud instead of silent.  The
+    // counter is touched directly — counter() would re-take mutex_.
+    auto& mismatch = counters_[kBoundMismatchCounter];
+    if (mismatch == nullptr) mismatch = std::make_unique<Counter>();
+    mismatch->add(1);
+    assert(false && "Histogram re-registered with different bounds");
   }
   return slot.get();
 }

@@ -118,9 +118,17 @@ class MetricsRegistry {
   Counter* counter(const std::string& name);
   Gauge* gauge(const std::string& name);
   /// `bounds` applies only on first registration; later calls return
-  /// the existing histogram regardless.
+  /// the existing histogram regardless.  Re-registering with different
+  /// non-empty bounds is a call-site bug (the two sites would silently
+  /// disagree about the bucket layout): it debug-asserts and bumps the
+  /// "obs.registry.bound_mismatch" counter so release builds surface
+  /// the divergence in every snapshot.
   Histogram* histogram(const std::string& name,
                        std::vector<std::uint64_t> bounds = {});
+
+  /// Counter bumped by histogram() bound mismatches (see above).
+  static constexpr const char* kBoundMismatchCounter =
+      "obs.registry.bound_mismatch";
 
   MetricsSnapshot snapshot() const;
 

@@ -19,6 +19,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -37,11 +38,13 @@ inline void setEnabled(bool on) {
   detail::gEnabled.store(on, std::memory_order_relaxed);
 }
 
-/// Clears the default registry and tracer (test isolation; per-run
-/// reports use snapshot deltas instead and never need this).
+/// Clears the default registry, tracer and flight recorder (test
+/// isolation; per-run reports use snapshot deltas instead and never
+/// need this).
 inline void resetAll() {
   MetricsRegistry::instance().reset();
   Tracer::instance().clear();
+  FlightRecorder::instance().clear();
 }
 
 /// RAII scope: enables observability for its lifetime, restoring the
@@ -77,6 +80,9 @@ class EnabledScope {
   } while (0)
 #define CRP_OBS_HISTOGRAM(histName, value) \
   do {                                     \
+  } while (0)
+#define CRP_OBS_EVENT(category, label, value) \
+  do {                                        \
   } while (0)
 
 #else  // observability compiled in
@@ -120,6 +126,16 @@ class EnabledScope {
       static ::crp::obs::Histogram* const crpObsHistogram =                \
           ::crp::obs::MetricsRegistry::instance().histogram(histName);     \
       crpObsHistogram->record(static_cast<std::uint64_t>(value));          \
+    }                                                                      \
+  } while (0)
+
+/// Appends a structured event to the flight-recorder ring (phase
+/// granularity only — never per-net/per-edge loops).
+#define CRP_OBS_EVENT(category, label, value)                              \
+  do {                                                                     \
+    if (::crp::obs::enabled()) {                                           \
+      ::crp::obs::FlightRecorder::instance().record(                       \
+          (category), (label), static_cast<std::int64_t>(value));          \
     }                                                                      \
   } while (0)
 

@@ -67,6 +67,14 @@ Json RunReport::toJson() const {
   }
   root.set("iterations_detail", std::move(iterArr));
 
+  if (!timeline.empty()) {
+    Json timelineArr = Json::array();
+    for (const TimelineRecord& record : timeline) {
+      timelineArr.append(record.toJson());
+    }
+    root.set("timeline", std::move(timelineArr));
+  }
+
   Json pricingObj = Json::object();
   pricingObj.set("cacheHits", pricing.cacheHits);
   pricingObj.set("cacheMisses", pricing.cacheMisses);
@@ -135,6 +143,12 @@ RunReport RunReport::fromJson(const Json& json) {
     report.iterationStats.push_back(it);
   }
 
+  if (const Json* timelineArr = json.find("timeline")) {
+    for (const Json& record : timelineArr->asArray()) {
+      report.timeline.push_back(TimelineRecord::fromJson(record));
+    }
+  }
+
   const Json& pricingObj = json.at("pricing");
   report.pricing.cacheHits = uintField(pricingObj, "cacheHits");
   report.pricing.cacheMisses = uintField(pricingObj, "cacheMisses");
@@ -173,7 +187,7 @@ Json RunReport::fingerprint() const {
   // Excluded: wall-clock seconds, cache hit/miss split (races),
   // thread count itself (the fingerprint must match across --threads).
   Json fp = Json::object();
-  fp.set("schemaVersion", kSchemaVersion);
+  fp.set("schemaVersion", kFingerprintVersion);
   fp.set("iterations", iterations);
   fp.set("seed", seed);
 
@@ -189,6 +203,19 @@ Json RunReport::fingerprint() const {
     iterArr.append(std::move(i));
   }
   fp.set("iterations_detail", std::move(iterArr));
+
+  // Timeline records are deterministic end to end (damping draws come
+  // from the seeded serial RNG; overflow/displacement are value-exact
+  // across thread counts), so they join the fingerprint whenever
+  // present.  Absent when snapshots are off, which keeps pre-spatial
+  // golden fingerprints byte-identical.
+  if (!timeline.empty()) {
+    Json timelineArr = Json::array();
+    for (const TimelineRecord& record : timeline) {
+      timelineArr.append(record.toJson());
+    }
+    fp.set("timeline", std::move(timelineArr));
+  }
 
   fp.set("netsPriced", pricing.netsPriced());
   fp.set("ilpSolves", ilp.solves);

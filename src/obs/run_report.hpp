@@ -24,11 +24,19 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "obs/timeline.hpp"
 
 namespace crp::obs {
 
 struct RunReport {
-  static constexpr int kSchemaVersion = 1;
+  /// v2: adds the optional "timeline" array (spatial observability
+  /// tier, one TimelineRecord per iteration when snapshots are on).
+  static constexpr int kSchemaVersion = 2;
+  /// Version stamp inside fingerprint() documents.  Deliberately
+  /// decoupled from kSchemaVersion: the fingerprint only changes when
+  /// the *deterministic subset* changes shape, so additive schema bumps
+  /// do not invalidate checked-in golden fingerprints.
+  static constexpr int kFingerprintVersion = 1;
 
   // ---- flow configuration ---------------------------------------------------
   int iterations = 0;  ///< the paper's k
@@ -52,6 +60,12 @@ struct RunReport {
     std::uint64_t netsPriced = 0;  ///< hits + misses + delta skips
   };
   std::vector<IterationStat> iterationStats;
+
+  /// Spatial-tier per-iteration records (timeline.hpp); filled only
+  /// when CrpOptions::snapshots is on.  Serialized under "timeline"
+  /// when non-empty; absent otherwise (and optional on parse), so
+  /// snapshot-off reports are unchanged apart from the version field.
+  std::vector<TimelineRecord> timeline;
 
   // ---- ECC pricing-cache totals (summed over iterations) --------------------
   struct PricingTotals {

@@ -4,15 +4,21 @@
 // audit catalog's precision guarantee (docs/checking.md).
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "check/audit.hpp"
 #include "check/fuzz.hpp"
+#include "crp/framework.hpp"
 #include "crp/pricing_cache.hpp"
 #include "groute/global_router.hpp"
 #include "groute/route.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/heatmap.hpp"
+#include "obs/obs.hpp"
 #include "test_helpers.hpp"
 
 namespace crp {
@@ -257,6 +263,102 @@ TEST(FuzzSpec, SeedFullyDeterminesDesign) {
               a.utilization != c.utilization ||
               a.netsPerCell != c.netsPerCell);
 }
+
+// ---- audit-triggered flight-recorder dumps ----------------------------------
+
+#ifndef CRP_OBS_DISABLED
+// The whole diagnostic loop: run a spatially-instrumented flow (fills
+// the event ring and the latest heatmap), inject the off-site-cell
+// corruption from the mutation tests above, and let the dirty audit
+// dump the flight recorder.  The artifact must carry the triggering
+// failure, the recent events, and a decodable heatmap.
+TEST(FlightDump, DirtyAuditWritesRenderableArtifact) {
+  obs::EnabledScope enabled(true);
+  obs::resetAll();
+
+  auto db = crp::testing::makeGridDatabase(12, 6);
+  groute::GlobalRouter router(db);
+  router.run();
+  core::CrpOptions options;
+  options.iterations = 1;
+  options.snapshots = true;
+  core::CrpFramework framework(db, router, options);
+  framework.run();
+  ASSERT_GT(obs::FlightRecorder::instance().totalRecorded(), 0u);
+
+  // Inject the corruption, audit, and dump on the dirty report.  The
+  // context string's '/' must be sanitized away in the filename.
+  const geom::Point pos = db.cell(0).pos;
+  db.moveCell(0, geom::Point{pos.x + 3, pos.y});
+  const AuditReport report = DbAuditor(db, &router).auditAll();
+  ASSERT_FALSE(report.clean());
+
+  const std::string dir = ::testing::TempDir() + "crp_flight_dump_test";
+  const std::string path =
+      check::writeFlightRecorderDump(report, dir, "UD/iter0");
+  ASSERT_FALSE(path.empty());
+  EXPECT_NE(path.find("flight_UD-iter0.json"), std::string::npos) << path;
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "dump not written to " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const obs::Json dump = obs::Json::parse(buffer.str());
+
+  EXPECT_EQ(dump.at("schemaVersion").asInt(),
+            obs::FlightRecorder::kSchemaVersion);
+  EXPECT_EQ(dump.at("trigger").at("source").asString(), "audit");
+  EXPECT_EQ(dump.at("trigger").at("context").asString(), "UD/iter0");
+
+  // The trigger embeds the structured audit report, including the
+  // placement-legality failure the mutation caused.
+  const obs::Json& audit = dump.at("trigger").at("audit");
+  EXPECT_GT(audit.at("invariantsChecked").asInt(), 0);
+  bool sawPlacementFailure = false;
+  for (const obs::Json& failure : audit.at("failures").asArray()) {
+    if (failure.at("invariant").asString() ==
+        check::invariantName(Invariant::kPlacementLegality)) {
+      sawPlacementFailure = true;
+      EXPECT_FALSE(failure.at("object").asString().empty());
+    }
+  }
+  EXPECT_TRUE(sawPlacementFailure) << audit.dump(2);
+
+  // The event ring holds at most `capacity` events, ending with the
+  // flow's most recent ones.
+  const auto& events = dump.at("events").asArray();
+  ASSERT_FALSE(events.empty());
+  EXPECT_LE(events.size(),
+            static_cast<std::size_t>(dump.at("capacity").asInt()));
+  bool sawPhaseEvent = false;
+  for (const obs::Json& event : events) {
+    if (event.at("category").asString() == "crp") sawPhaseEvent = true;
+  }
+  EXPECT_TRUE(sawPhaseEvent);
+
+  // The attached heatmap is the flow's latest snapshot and decodes.
+  const obs::HeatmapSnapshot heatmap =
+      obs::HeatmapSnapshot::fromJson(dump.at("latestHeatmap"));
+  EXPECT_EQ(heatmap.toJson(), framework.heatmaps().latest().toJson());
+  obs::resetAll();
+}
+
+TEST(FlightDump, AuditReportJsonMirrorsFailures) {
+  AuditReport report;
+  report.invariantsChecked = 3;
+  report.failures.push_back(check::AuditFailure{
+      Invariant::kDemandExactness, "wire edge L2 (4,1)", "2", "3"});
+  const obs::Json j = check::auditReportToJson(report);
+  EXPECT_EQ(j.at("invariantsChecked").asInt(), 3);
+  const auto& failures = j.at("failures").asArray();
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0].at("invariant").asString(),
+            check::invariantName(Invariant::kDemandExactness));
+  EXPECT_EQ(failures[0].at("object").asString(), "wire edge L2 (4,1)");
+  EXPECT_EQ(failures[0].at("expected").asString(), "2");
+  EXPECT_EQ(failures[0].at("actual").asString(), "3");
+}
+#endif  // CRP_OBS_DISABLED
 
 TEST(FuzzCampaignTest, SingleSeedPassesAllLegs) {
   check::FuzzOptions options;

@@ -11,6 +11,7 @@
 #include "crp/framework.hpp"
 #include "crp/selection.hpp"
 #include "db/legality.hpp"
+#include "obs/obs.hpp"
 #include "test_helpers.hpp"
 
 namespace crp::core {
@@ -555,6 +556,87 @@ TEST(Framework, MoveBudgetCarriesOverAcrossIterations) {
   EXPECT_LE(cumulative, 4);
   EXPECT_TRUE(db::isPlacementLegal(f.db));
 }
+
+// ---- spatial observability tier ---------------------------------------------
+
+#ifndef CRP_OBS_DISABLED
+TEST(FrameworkSpatial, SnapshotsBracketEveryIteration) {
+  obs::EnabledScope enabled(true);
+  obs::resetAll();
+  Fixture f;
+  CrpOptions options;
+  options.iterations = 3;
+  options.snapshots = true;
+  CrpFramework framework(f.db, f.router, options);
+  framework.run();
+
+  // k+1 snapshots: one post-GR baseline plus one per iteration, and a
+  // k-entry timeline between them.
+  const obs::HeatmapSeries& series = framework.heatmaps();
+  ASSERT_EQ(series.size(), 4u);
+  EXPECT_EQ(series.snapshot(0).label, "post-gr");
+  EXPECT_EQ(series.snapshot(0).iteration, -1);
+  EXPECT_EQ(series.snapshot(3).label, "iter2");
+
+  const obs::RunReport& report = framework.runReport();
+  ASSERT_EQ(report.timeline.size(), 3u);
+  for (std::size_t i = 0; i < report.timeline.size(); ++i) {
+    const obs::TimelineRecord& record = report.timeline[i];
+    EXPECT_EQ(record.iteration, static_cast<int>(i));
+    // Each record's overflow bracket matches the bracketing snapshots.
+    EXPECT_DOUBLE_EQ(record.overflowBefore,
+                     series.snapshot(i).totalOverflow);
+    EXPECT_DOUBLE_EQ(record.overflowAfter,
+                     series.snapshot(i + 1).totalOverflow);
+    EXPECT_EQ(record.overflowedEdgesAfter,
+              series.snapshot(i + 1).overflowedEdges);
+    EXPECT_GE(record.criticalCells, 0);
+    EXPECT_GE(record.totalDisplacementDbu, record.maxDisplacementDbu);
+  }
+  obs::resetAll();
+}
+
+TEST(FrameworkSpatial, TimelineOverflowMatchesAuditedDemand) {
+  obs::EnabledScope enabled(true);
+  obs::resetAll();
+  Fixture f;
+  CrpOptions options;
+  options.iterations = 2;
+  options.snapshots = true;
+  // Phase-boundary audits prove the incremental demand maps equal a
+  // from-scratch recompute after every UD commit; the timeline's
+  // overflow-after therefore equals the audited ground truth, not just
+  // the live incremental counters.
+  options.auditLevel = check::AuditLevel::kPhaseBoundary;
+  CrpFramework framework(f.db, f.router, options);
+  framework.run();  // throws AuditError if the demand maps drifted
+
+  const auto stats = f.router.graph().congestionStats();
+  const obs::RunReport& report = framework.runReport();
+  ASSERT_FALSE(report.timeline.empty());
+  EXPECT_DOUBLE_EQ(report.timeline.back().overflowAfter,
+                   stats.totalOverflow);
+  EXPECT_EQ(report.timeline.back().overflowedEdgesAfter,
+            stats.overflowedEdges);
+  EXPECT_DOUBLE_EQ(framework.heatmaps().latest().totalOverflow,
+                   stats.totalOverflow);
+  obs::resetAll();
+}
+
+TEST(FrameworkSpatial, SnapshotsOffLeavesReportAndRecorderUntouched) {
+  obs::EnabledScope enabled(true);
+  obs::resetAll();
+  Fixture f;
+  CrpOptions options;
+  options.iterations = 1;
+  CrpFramework framework(f.db, f.router, options);  // snapshots default off
+  framework.run();
+  EXPECT_TRUE(framework.heatmaps().empty());
+  EXPECT_TRUE(framework.runReport().timeline.empty());
+  EXPECT_EQ(framework.runReport().toJson().find("timeline"), nullptr);
+  obs::resetAll();
+}
+#endif  // CRP_OBS_DISABLED
 
 TEST(Framework, ZeroMoveBudgetFreezesPlacement) {
   Fixture f;

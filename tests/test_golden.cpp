@@ -134,5 +134,59 @@ TEST(Golden, RouterThreadCountIndependence) {
       << parallel.dump(2);
 }
 
+// The spatial tier obeys the same contract: heatmap snapshots are
+// exact sums over committed routes, so the delta-encoded series (and
+// the timeline-bearing report fingerprint) captured at 1 vs 8 router
+// threads must be byte-identical.  The snapshot-free fingerprint is
+// covered above; this test proves turning snapshots ON adds no
+// schedule dependence.
+TEST(Golden, SpatialSnapshotsAreRouterThreadIndependent) {
+#ifdef CRP_OBS_DISABLED
+  GTEST_SKIP() << "spatial snapshots need the observability tier "
+                  "(-DCRP_OBS=ON)";
+#else
+  struct SpatialRun {
+    std::string heatmaps;
+    obs::Json fingerprint;
+    std::size_t snapshots = 0;
+  };
+  const auto runSpatial = [](int routerThreads) {
+    obs::EnabledScope enabled(true);
+    obs::resetAll();
+    auto db = bmgen::generateBenchmark(goldenSpec());
+    groute::GlobalRouterOptions routerOptions;
+    routerOptions.routerThreads = routerThreads;
+    groute::GlobalRouter router(db, routerOptions);
+    router.run();
+    core::CrpOptions options;
+    options.iterations = 2;
+    options.seed = 11;
+    options.routerThreads = routerThreads;
+    options.snapshots = true;
+    core::CrpFramework framework(db, router, options);
+    framework.run();
+    SpatialRun run;
+    run.heatmaps = framework.heatmaps().toJson().dump(2);
+    run.fingerprint = framework.runReport().fingerprint();
+    run.snapshots = framework.heatmaps().size();
+    obs::resetAll();
+    return run;
+  };
+
+  const SpatialRun serial = runSpatial(1);
+  const SpatialRun parallel = runSpatial(8);
+  EXPECT_EQ(serial.snapshots, 3u);  // post-gr + one per iteration (k=2)
+  EXPECT_EQ(serial.heatmaps, parallel.heatmaps)
+      << "heatmap series diverge between 1 and 8 router threads";
+  ASSERT_EQ(serial.fingerprint, parallel.fingerprint)
+      << "timeline-bearing fingerprints diverge:\n"
+      << serial.fingerprint.dump(2) << "\nvs\n"
+      << parallel.fingerprint.dump(2);
+  // The timeline joined the fingerprint (spatial tier on), so it must
+  // differ from the timeline-free golden — additive, not silent.
+  EXPECT_NE(serial.fingerprint.find("timeline"), nullptr);
+#endif
+}
+
 }  // namespace
 }  // namespace crp

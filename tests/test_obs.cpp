@@ -11,10 +11,13 @@
 #include <vector>
 
 #include "crp/framework.hpp"  // core::kPhases for the schema test
+#include "obs/flight_recorder.hpp"
+#include "obs/heatmap.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/run_report.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
@@ -395,6 +398,367 @@ TEST(RunReportSchema, FormatUsesReportPhaseNames) {
     EXPECT_NE(text.find(phase), std::string::npos) << phase;
   }
   EXPECT_NE(text.find("nets priced"), std::string::npos);
+}
+
+// ---- histogram re-registration policy --------------------------------------
+
+TEST(Metrics, HistogramBoundMismatchIsCounted) {
+#ifndef NDEBUG
+  GTEST_SKIP() << "debug builds assert on the mismatch instead of counting";
+#else
+  MetricsRegistry registry;
+  Histogram* first = registry.histogram("policy.hist", {10, 100});
+  // Same name, different bounds: first registration wins, but the
+  // conflict is surfaced through the mismatch counter instead of being
+  // silently ignored.
+  Histogram* second = registry.histogram("policy.hist", {1, 2, 3});
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(second->bounds(), (std::vector<std::uint64_t>{10, 100}));
+  EXPECT_EQ(registry.counter(MetricsRegistry::kBoundMismatchCounter)->value(),
+            1u);
+  // Re-registering with identical (or omitted) bounds is the supported
+  // lookup path and must not count as a mismatch.
+  registry.histogram("policy.hist", {10, 100});
+  registry.histogram("policy.hist");
+  EXPECT_EQ(registry.counter(MetricsRegistry::kBoundMismatchCounter)->value(),
+            1u);
+#endif
+}
+
+// ---- heatmap snapshots -----------------------------------------------------
+
+/// 3x2 grid, one horizontal layer: wire edges live at x=0,1 (lower
+/// endpoint indexing), the x=2 column carries no edge.
+HeatmapSnapshot sampleSnapshot() {
+  HeatmapSnapshot snap;
+  snap.label = "post-gr";
+  snap.iteration = -1;
+  snap.width = 3;
+  snap.height = 2;
+  snap.numLayers = 1;
+  HeatmapSnapshot::Plane demand;
+  demand.kind = HeatmapSnapshot::kWireDemand;
+  demand.layer = 0;
+  demand.horizontal = true;
+  demand.values = {1.0, 2.0, 0.0, 0.5, 3.0, 0.0};
+  HeatmapSnapshot::Plane cap = demand;
+  cap.kind = HeatmapSnapshot::kWireCapacity;
+  cap.values = {2.0, 2.0, 0.0, 2.0, 2.0, 0.0};
+  snap.planes = {std::move(demand), std::move(cap)};
+  snap.totalOverflow = 1.0;
+  snap.maxOverflow = 1.0;
+  snap.overflowedEdges = 1;
+  return snap;
+}
+
+TEST(Heatmap, JsonRoundTripIsExact) {
+  const HeatmapSnapshot snap = sampleSnapshot();
+  const HeatmapSnapshot parsed =
+      HeatmapSnapshot::fromJson(Json::parse(snap.toJson().dump(2)));
+  EXPECT_EQ(parsed.toJson(), snap.toJson());
+  ASSERT_NE(parsed.findPlane(HeatmapSnapshot::kWireDemand, 0), nullptr);
+  EXPECT_EQ(parsed.findPlane(HeatmapSnapshot::kWireDemand, 0)->values,
+            snap.planes[0].values);
+  EXPECT_EQ(parsed.findPlane("via.demand", 0), nullptr);
+}
+
+TEST(Heatmap, RejectsUnknownSchemaVersion) {
+  Json j = sampleSnapshot().toJson();
+  j.set("schemaVersion", HeatmapSnapshot::kSchemaVersion + 1);
+  EXPECT_THROW(HeatmapSnapshot::fromJson(j), JsonError);
+}
+
+TEST(Heatmap, UtilisationGridAveragesTouchingEdges) {
+  // Each edge charges demand/cap to both gcells it touches; gcells
+  // average over their incident edges (the groute CongestionMap math).
+  const UtilisationGrid grid = utilisationGrid(sampleSnapshot());
+  ASSERT_EQ(grid.width, 3);
+  ASSERT_EQ(grid.height, 2);
+  EXPECT_DOUBLE_EQ(grid.at(0, 0), 0.5);            // edge (0,0) only
+  EXPECT_DOUBLE_EQ(grid.at(1, 0), (0.5 + 1.0) / 2);
+  EXPECT_DOUBLE_EQ(grid.at(2, 0), 1.0);            // edge (1,0) only
+  EXPECT_DOUBLE_EQ(grid.at(0, 1), 0.25);
+  EXPECT_DOUBLE_EQ(grid.at(1, 1), (0.25 + 1.5) / 2);
+  EXPECT_DOUBLE_EQ(grid.at(2, 1), 1.5);            // overflowed edge
+}
+
+TEST(Heatmap, GlyphScaleSaturates) {
+  EXPECT_EQ(utilisationGlyph(0.0), '.');
+  EXPECT_EQ(utilisationGlyph(1.0), '#');
+  EXPECT_EQ(utilisationGlyph(25.0), '#');  // overflow clamps to '#'
+  EXPECT_EQ(utilisationGlyph(-0.5), '.');
+}
+
+TEST(Heatmap, AsciiRenderPutsHighestYOnTop) {
+  std::ostringstream os;
+  renderHeatmapAscii(os, sampleSnapshot());
+  std::istringstream lines(os.str());
+  std::string top, bottom;
+  ASSERT_TRUE(std::getline(lines, top));
+  ASSERT_TRUE(std::getline(lines, bottom));
+  ASSERT_EQ(top.size(), 3u);
+  // y=1 row: (2,1) is overflowed -> '#'; y=0 row: (2,0) = 1.0 -> '#',
+  // (0,0) = 0.5 sits mid-scale.
+  EXPECT_EQ(top[2], '#');
+  EXPECT_EQ(bottom[0], utilisationGlyph(0.5));
+}
+
+TEST(Heatmap, PpmWriterEmitsOnePixelPerGcell) {
+  std::ostringstream os;
+  writeHeatmapPpm(os, sampleSnapshot());
+  std::istringstream in(os.str());
+  std::string magic;
+  int width = 0, height = 0, maxVal = 0;
+  in >> magic >> width >> height >> maxVal;
+  EXPECT_EQ(magic, "P3");
+  EXPECT_EQ(width, 3);
+  EXPECT_EQ(height, 2);
+  EXPECT_EQ(maxVal, 255);
+  int samples = 0, value = 0;
+  while (in >> value) {
+    EXPECT_GE(value, 0);
+    EXPECT_LE(value, 255);
+    ++samples;
+  }
+  EXPECT_EQ(samples, 3 * 2 * 3);  // rgb per gcell
+}
+
+// ---- heatmap series (delta encoding) ---------------------------------------
+
+TEST(HeatmapSeries, ReconstructsEverySnapshotExactly) {
+  HeatmapSnapshot s0 = sampleSnapshot();
+  HeatmapSnapshot s1 = s0;
+  s1.label = "iter0";
+  s1.iteration = 0;
+  s1.planes[0].values[4] = 2.0;  // the rerouted edge
+  s1.totalOverflow = 0.0;
+  s1.maxOverflow = 0.0;
+  s1.overflowedEdges = 0;
+  HeatmapSnapshot s2 = s1;
+  s2.label = "iter1";
+  s2.iteration = 1;
+  s2.planes[0].values[0] = 1.5;
+
+  HeatmapSeries series;
+  series.add(s0);
+  series.add(s1);
+  series.add(s2);
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_EQ(series.snapshot(0).toJson(), s0.toJson());
+  EXPECT_EQ(series.snapshot(1).toJson(), s1.toJson());
+  EXPECT_EQ(series.snapshot(2).toJson(), s2.toJson());
+  EXPECT_EQ(series.latest().toJson(), s2.toJson());
+}
+
+TEST(HeatmapSeries, DeltaEncodingStoresOnlyChangedCells) {
+  HeatmapSnapshot s0 = sampleSnapshot();
+  HeatmapSnapshot s1 = s0;
+  s1.iteration = 0;
+  s1.planes[0].values[4] = 2.0;  // exactly one cell changes
+
+  HeatmapSeries series;
+  series.add(s0);
+  series.add(s1);
+  const Json j = series.toJson();
+  const auto& deltas = j.at("deltas").asArray();
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas[0].at("changes").asArray().size(), 1u);
+}
+
+TEST(HeatmapSeries, JsonRoundTripPreservesReconstruction) {
+  HeatmapSnapshot s0 = sampleSnapshot();
+  HeatmapSnapshot s1 = s0;
+  s1.iteration = 0;
+  s1.planes[0].values[1] = 0.5;
+
+  HeatmapSeries series;
+  series.add(s0);
+  series.add(s1);
+  const HeatmapSeries parsed =
+      HeatmapSeries::fromJson(Json::parse(series.toJson().dump(2)));
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed.snapshot(0).toJson(), s0.toJson());
+  EXPECT_EQ(parsed.snapshot(1).toJson(), s1.toJson());
+  EXPECT_EQ(parsed.latest().toJson(), s1.toJson());
+  EXPECT_EQ(parsed.toJson(), series.toJson());
+}
+
+TEST(HeatmapSeries, EmptySeriesRoundTrips) {
+  const HeatmapSeries series;
+  EXPECT_TRUE(series.empty());
+  const HeatmapSeries parsed =
+      HeatmapSeries::fromJson(Json::parse(series.toJson().dump()));
+  EXPECT_TRUE(parsed.empty());
+}
+
+// ---- flight recorder -------------------------------------------------------
+
+TEST(FlightRecorder, RingKeepsMostRecentEventsInOrder) {
+  FlightRecorder recorder(4);
+  for (int i = 0; i < 10; ++i) {
+    recorder.record("test", "event" + std::to_string(i), i);
+  }
+  EXPECT_EQ(recorder.totalRecorded(), 10u);
+  const std::vector<FlightEvent> events = recorder.events();
+  ASSERT_EQ(events.size(), 4u);  // bounded by capacity
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 6u + i);  // oldest-first, newest retained
+    EXPECT_EQ(events[i].value, static_cast<std::int64_t>(6 + i));
+  }
+}
+
+TEST(FlightRecorder, DumpCarriesTriggerEventsAndHeatmap) {
+  FlightRecorder recorder(8);
+  recorder.record("crp", "phase.LCC", 0);
+  recorder.record("crp", "commit", 3);
+  recorder.setLatestHeatmap(sampleSnapshot().toJson());
+
+  Json trigger = Json::object();
+  trigger.set("source", "test");
+  const Json dump = Json::parse(recorder.dump(std::move(trigger)).dump(2));
+  EXPECT_EQ(dump.at("schemaVersion").asInt(), FlightRecorder::kSchemaVersion);
+  EXPECT_EQ(dump.at("trigger").at("source").asString(), "test");
+  EXPECT_EQ(dump.at("eventsRecorded").asUint(), 2u);
+  const auto& events = dump.at("events").asArray();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].at("label").asString(), "phase.LCC");
+  EXPECT_EQ(events[1].at("value").asInt(), 3);
+  // The attached heatmap decodes back into a snapshot.
+  const HeatmapSnapshot heatmap =
+      HeatmapSnapshot::fromJson(dump.at("latestHeatmap"));
+  EXPECT_EQ(heatmap.toJson(), sampleSnapshot().toJson());
+}
+
+TEST(FlightRecorder, ClearDropsEventsAndHeatmap) {
+  FlightRecorder recorder(4);
+  recorder.record("a", "b", 1);
+  recorder.setLatestHeatmap(sampleSnapshot().toJson());
+  recorder.clear();
+  EXPECT_EQ(recorder.totalRecorded(), 0u);
+  EXPECT_TRUE(recorder.events().empty());
+  EXPECT_TRUE(recorder.dump(Json::object()).at("latestHeatmap").isNull());
+}
+
+TEST(FlightRecorder, ConcurrentAppendsStayBoundedAndWellFormed) {
+  // The TSan leg runs this case: many threads hammering record() while
+  // a reader snapshots the ring must stay race-free.
+  FlightRecorder recorder(64);
+  util::ThreadPool pool(8);
+  constexpr int kTasks = 4000;
+  pool.parallelFor(kTasks, [&](std::size_t i) {
+    recorder.record("stress", "append", static_cast<std::int64_t>(i));
+    if (i % 128 == 0) (void)recorder.events();
+  });
+  EXPECT_EQ(recorder.totalRecorded(), static_cast<std::uint64_t>(kTasks));
+  const std::vector<FlightEvent> events = recorder.events();
+  ASSERT_EQ(events.size(), 64u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    // The retained window is the last `capacity` sequence numbers, in
+    // order, regardless of which thread produced each.
+    EXPECT_EQ(events[i].seq, static_cast<std::uint64_t>(kTasks - 64 + i));
+  }
+}
+
+#ifndef CRP_OBS_DISABLED
+TEST(FlightRecorder, EventMacroHonoursRuntimeGate) {
+  resetAll();
+  {
+    EnabledScope disabled(false);
+    CRP_OBS_EVENT("test", "gated", 1);
+    EXPECT_EQ(FlightRecorder::instance().totalRecorded(), 0u);
+  }
+  {
+    EnabledScope enabled(true);
+    CRP_OBS_EVENT("test", "gated", 2);
+    EXPECT_EQ(FlightRecorder::instance().totalRecorded(), 1u);
+    EXPECT_EQ(FlightRecorder::instance().events().back().value, 2);
+  }
+  resetAll();
+}
+#endif  // CRP_OBS_DISABLED
+
+// ---- flow timeline ---------------------------------------------------------
+
+TimelineRecord sampleTimelineRecord(int iteration) {
+  TimelineRecord record;
+  record.iteration = iteration;
+  record.criticalCells = 12;
+  record.dampedCells = 3;
+  record.candidatesGenerated = 60;
+  record.netsPriced = 480;
+  record.movesSelected = 7;
+  record.selectedCost = 815.25;
+  record.movedCells = 6;
+  record.displacedCells = 2;
+  record.totalDisplacementDbu = 5400;
+  record.maxDisplacementDbu = 1200;
+  record.reroutedNets = 19;
+  record.overflowBefore = 14.0;
+  record.overflowAfter = 9.5;
+  record.overflowedEdgesBefore = 8;
+  record.overflowedEdgesAfter = 5;
+  return record;
+}
+
+TEST(Timeline, RecordRoundTripsThroughJson) {
+  const TimelineRecord record = sampleTimelineRecord(0);
+  const TimelineRecord parsed =
+      TimelineRecord::fromJson(Json::parse(record.toJson().dump()));
+  EXPECT_EQ(parsed.toJson(), record.toJson());
+  EXPECT_EQ(parsed.totalDisplacementDbu, record.totalDisplacementDbu);
+  EXPECT_DOUBLE_EQ(parsed.overflowAfter, record.overflowAfter);
+}
+
+TEST(Timeline, FormatAndCsvCoverEveryRecord) {
+  const std::vector<TimelineRecord> timeline = {sampleTimelineRecord(0),
+                                                sampleTimelineRecord(1)};
+  const std::string table = formatTimeline(timeline);
+  EXPECT_NE(table.find("iter"), std::string::npos);
+  EXPECT_NE(table.find("ovfl"), std::string::npos);
+
+  const std::string csv = timelineCsv(timeline);
+  int lines = 0;
+  for (const char c : csv) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 3);  // header + one line per record
+  EXPECT_NE(csv.find("overflowBefore"), std::string::npos);
+}
+
+TEST(RunReportSchema, TimelineIsOptionalAndRoundTrips) {
+  // Absent timeline (snapshots off): no "timeline" key at all, so
+  // pre-spatial consumers and goldens see byte-identical output.
+  const RunReport bare = sampleReport();
+  EXPECT_EQ(bare.toJson().find("timeline"), nullptr);
+  EXPECT_TRUE(RunReport::fromJson(bare.toJson()).timeline.empty());
+
+  // Present timeline: serialized under the v2 schema and recovered
+  // field-for-field.
+  RunReport spatial = sampleReport();
+  spatial.timeline = {sampleTimelineRecord(0), sampleTimelineRecord(1)};
+  const RunReport parsed =
+      RunReport::fromJson(Json::parse(spatial.toJson().dump(2)));
+  ASSERT_EQ(parsed.timeline.size(), 2u);
+  EXPECT_EQ(parsed.toJson(), spatial.toJson());
+  EXPECT_EQ(parsed.timeline[1].toJson(), spatial.timeline[1].toJson());
+}
+
+TEST(RunReportSchema, FingerprintVersionIsDecoupledFromSchemaVersion) {
+  // The v1->v2 schema bump is additive; fingerprints of timeline-free
+  // reports must stay pinned to the golden-era version so existing
+  // golden files remain valid.
+  EXPECT_EQ(RunReport::kSchemaVersion, 2);
+  const Json fp = sampleReport().fingerprint();
+  EXPECT_EQ(fp.at("schemaVersion").asInt(), RunReport::kFingerprintVersion);
+  EXPECT_EQ(fp.find("timeline"), nullptr);
+
+  // A timeline, when present, is part of the behavioural fingerprint.
+  RunReport spatial = sampleReport();
+  spatial.timeline = {sampleTimelineRecord(0)};
+  EXPECT_NE(spatial.fingerprint(), sampleReport().fingerprint());
+  RunReport changed = spatial;
+  changed.timeline[0].reroutedNets += 1;
+  EXPECT_NE(changed.fingerprint(), spatial.fingerprint());
 }
 
 }  // namespace

@@ -11,13 +11,20 @@
 //       Global-route and write the route guides.
 //
 //   crp run in.lef in.def out.def out.guide [--k N] [--gamma G]
-//           [--router-threads N]
+//           [--router-threads N] [--snapshots 0|1]
 //           [--trace-out trace.json] [--report-out report.json]
+//           [--heatmaps-out series.json] [--flight-out dump.json]
+//           [--flight-dir DIR]
 //       Global route + CR&P iterations; writes the improved placement
 //       and guides (the paper's Fig. 1 interface).  --trace-out dumps
 //       a Chrome trace_event file (load in chrome://tracing or
 //       https://ui.perfetto.dev); --report-out dumps the versioned
-//       RunReport JSON (docs/observability.md).
+//       RunReport JSON (docs/observability.md).  --snapshots 1 arms the
+//       spatial tier (k+1 congestion heatmaps + the RunReport
+//       timeline); --heatmaps-out writes the delta-encoded series,
+//       --flight-out dumps the flight-recorder event ring, and
+//       --flight-dir makes a dirty in-flow audit dump the ring there
+//       before aborting.  Render any of these with crp_report.
 //
 //   crp detail in.lef in.def in.guide
 //       Detailed-route against existing guides and print the ISPD-2018
@@ -171,6 +178,29 @@ int writeObsArtifacts(const Args& args, core::CrpFramework& framework) {
     out << framework.runReport().toJson().dump(2) << "\n";
     std::cout << "report -> " << reportIt->second << "\n";
   }
+  const auto heatmapsIt = args.flags.find("heatmaps-out");
+  if (heatmapsIt != args.flags.end()) {
+    std::ofstream out(heatmapsIt->second);
+    if (!out) {
+      std::cerr << "error: cannot write " << heatmapsIt->second << "\n";
+      return 1;
+    }
+    out << framework.heatmaps().toJson().dump(2) << "\n";
+    std::cout << "heatmaps -> " << heatmapsIt->second << " ("
+              << framework.heatmaps().size() << " snapshot(s))\n";
+  }
+  const auto flightIt = args.flags.find("flight-out");
+  if (flightIt != args.flags.end()) {
+    obs::Json trigger = obs::Json::object();
+    trigger.set("source", "crp_cli");
+    trigger.set("context", "flight-out");
+    if (!obs::FlightRecorder::instance().dumpToFile(flightIt->second,
+                                                    std::move(trigger))) {
+      std::cerr << "error: cannot write " << flightIt->second << "\n";
+      return 1;
+    }
+    std::cout << "flight recorder -> " << flightIt->second << "\n";
+  }
   return 0;
 }
 
@@ -181,8 +211,11 @@ int cmdRun(const Args& args) {
                  "[--router-threads N] [--cache 0|1] "
                  "[--delta 0|1] [--obs 0|1] "
                  "[--audit off|phase|paranoid] "
+                 "[--snapshots 0|1] "
                  "[--trace-out trace.json] "
-                 "[--report-out report.json]\n";
+                 "[--report-out report.json] "
+                 "[--heatmaps-out series.json] "
+                 "[--flight-out dump.json] [--flight-dir DIR]\n";
     return 2;
   }
   obs::setEnabled(args.number("obs", 1) > 0);
@@ -217,6 +250,12 @@ int cmdRun(const Args& args) {
       return 2;
     }
     options.auditLevel = *level;
+  }
+  // --snapshots arms the spatial observability tier: one heatmap after
+  // GR plus one per iteration, and the RunReport timeline.
+  options.snapshots = args.number("snapshots", 0) > 0;
+  if (args.flags.count("flight-dir") != 0) {
+    options.flightRecorderDir = args.flags.at("flight-dir");
   }
   core::CrpFramework framework(db, router, options);
   const auto report = framework.run();

@@ -65,6 +65,9 @@ void printSeedFailure(const check::SeedResult& result) {
   if (!result.artifactPath.empty()) {
     std::cerr << "  artifact: " << result.artifactPath << "\n";
   }
+  if (!result.flightRecorderPath.empty()) {
+    std::cerr << "  flight recorder: " << result.flightRecorderPath << "\n";
+  }
 }
 
 }  // namespace

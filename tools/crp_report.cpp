@@ -1,0 +1,205 @@
+// crp_report — render the spatial-observability artifacts the flow
+// emits (docs/observability.md) without re-running anything.
+//
+//   crp_report heatmap series.json [--index I] [--layer L]
+//              [--ppm out.ppm]
+//       Load a delta-encoded HeatmapSeries (crp run --heatmaps-out),
+//       reconstruct snapshot I (default: the latest) and print its
+//       totals plus the ASCII utilisation map; --ppm additionally
+//       writes a P3 image.  --layer restricts to one routing layer.
+//
+//   crp_report timeline report.json [--csv out.csv]
+//       Load a RunReport JSON (crp run --report-out with --snapshots 1)
+//       and print the per-iteration flow timeline as an aligned table;
+//       --csv writes the machine-readable form.
+//
+//   crp_report flight dump.json [--layer L]
+//       Load a flight-recorder dump (crp run --flight-out, a dirty
+//       audit's --flight-dir artifact, or a crp_fuzz *_flight.json) and
+//       print the trigger, the recent event ring, and the attached
+//       heatmap when one was captured.
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/heatmap.hpp"
+#include "obs/json.hpp"
+#include "obs/run_report.hpp"
+#include "obs/timeline.hpp"
+
+namespace {
+
+using namespace crp;
+
+/// Minimal --flag value parser (same shape as crp_cli's).
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  static Args parse(int argc, char** argv, int firstArg) {
+    Args args;
+    for (int i = firstArg; i < argc; ++i) {
+      const std::string token = argv[i];
+      if (token.rfind("--", 0) == 0 && i + 1 < argc) {
+        args.flags[token.substr(2)] = argv[++i];
+      } else {
+        args.positional.push_back(token);
+      }
+    }
+    return args;
+  }
+
+  double number(const std::string& key, double fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atof(it->second.c_str());
+  }
+};
+
+obs::Json loadJsonFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return obs::Json::parse(buffer.str());
+}
+
+void printSnapshotSummary(const obs::HeatmapSnapshot& snapshot) {
+  std::cout << "snapshot '" << snapshot.label << "' (iteration "
+            << snapshot.iteration << "): " << snapshot.width << "x"
+            << snapshot.height << " gcells, " << snapshot.numLayers
+            << " layers, " << snapshot.planes.size() << " planes\n"
+            << "  overflow: total=" << std::fixed << std::setprecision(2)
+            << snapshot.totalOverflow << ", max=" << snapshot.maxOverflow
+            << ", edges=" << snapshot.overflowedEdges << "\n";
+}
+
+int cmdHeatmap(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "usage: crp_report heatmap series.json [--index I] "
+                 "[--layer L] [--ppm out.ppm]\n";
+    return 2;
+  }
+  const obs::HeatmapSeries series =
+      obs::HeatmapSeries::fromJson(loadJsonFile(args.positional[0]));
+  if (series.empty()) {
+    std::cerr << "error: series holds no snapshots (was the run made with "
+                 "--snapshots 1 and --obs 1?)\n";
+    return 1;
+  }
+  const int layer = static_cast<int>(args.number("layer", -1));
+  const auto index = static_cast<std::size_t>(args.number(
+      "index", static_cast<double>(series.size() - 1)));
+  if (index >= series.size()) {
+    std::cerr << "error: --index " << index << " out of range (series has "
+              << series.size() << " snapshot(s))\n";
+    return 1;
+  }
+  const obs::HeatmapSnapshot snapshot = series.snapshot(index);
+  std::cout << "series: " << series.size() << " snapshot(s)\n";
+  printSnapshotSummary(snapshot);
+  obs::renderHeatmapAscii(std::cout, snapshot, layer);
+
+  const auto ppmIt = args.flags.find("ppm");
+  if (ppmIt != args.flags.end()) {
+    std::ofstream out(ppmIt->second);
+    if (!out) {
+      std::cerr << "error: cannot write " << ppmIt->second << "\n";
+      return 1;
+    }
+    obs::writeHeatmapPpm(out, snapshot, layer);
+    std::cout << "ppm -> " << ppmIt->second << "\n";
+  }
+  return 0;
+}
+
+int cmdTimeline(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "usage: crp_report timeline report.json [--csv out.csv]\n";
+    return 2;
+  }
+  const obs::RunReport report =
+      obs::RunReport::fromJson(loadJsonFile(args.positional[0]));
+  if (report.timeline.empty()) {
+    std::cerr << "error: report carries no timeline (was the run made with "
+                 "--snapshots 1 and --obs 1?)\n";
+    return 1;
+  }
+  std::cout << obs::formatTimeline(report.timeline);
+
+  const auto csvIt = args.flags.find("csv");
+  if (csvIt != args.flags.end()) {
+    std::ofstream out(csvIt->second);
+    if (!out) {
+      std::cerr << "error: cannot write " << csvIt->second << "\n";
+      return 1;
+    }
+    out << obs::timelineCsv(report.timeline);
+    std::cout << "csv -> " << csvIt->second << "\n";
+  }
+  return 0;
+}
+
+int cmdFlight(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "usage: crp_report flight dump.json [--layer L]\n";
+    return 2;
+  }
+  const obs::Json dump = loadJsonFile(args.positional[0]);
+  const std::int64_t version = dump.at("schemaVersion").asInt();
+  if (version != obs::FlightRecorder::kSchemaVersion) {
+    std::cerr << "error: unsupported flight dump schemaVersion " << version
+              << "\n";
+    return 1;
+  }
+
+  std::cout << "trigger: " << dump.at("trigger").dump() << "\n";
+  const obs::Json& events = dump.at("events");
+  std::cout << "events: " << events.asArray().size() << " held of "
+            << dump.at("eventsRecorded").asUint() << " recorded (capacity "
+            << dump.at("capacity").asInt() << ")\n";
+  for (const obs::Json& event : events.asArray()) {
+    std::cout << "  " << std::setw(6) << event.at("seq").asUint() << "  "
+              << event.at("category").asString() << "/"
+              << event.at("label").asString() << "  "
+              << event.at("value").asInt() << "\n";
+  }
+
+  const obs::Json* heatmap = dump.find("latestHeatmap");
+  if (heatmap == nullptr || !heatmap->isObject()) {
+    std::cout << "no heatmap attached\n";
+    return 0;
+  }
+  const obs::HeatmapSnapshot snapshot = obs::HeatmapSnapshot::fromJson(*heatmap);
+  printSnapshotSummary(snapshot);
+  obs::renderHeatmapAscii(std::cout, snapshot,
+                          static_cast<int>(args.number("layer", -1)));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: crp_report <heatmap|timeline|flight> ...\n";
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Args args = Args::parse(argc, argv, 2);
+  try {
+    if (command == "heatmap") return cmdHeatmap(args);
+    if (command == "timeline") return cmdTimeline(args);
+    if (command == "flight") return cmdFlight(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  std::cerr << "unknown command '" << command << "'\n";
+  return 2;
+}
