@@ -1,0 +1,129 @@
+// BENCH_eco.json: incremental ECO vs from-scratch rebuild over the
+// crp_test1..10 suite (ISSUE "Incremental ECO engine").
+//
+// For every suite entry the paired runner (check::runEcoVsScratch)
+// takes one base flow to convergence, derives a clustered
+// 0.5%-of-cells EcoDelta from the result, and then finishes the job
+// twice from identical copies of that state: once through
+// CrpFramework::runEco (dirty-region patch) and once through a full
+// global route + CR&P re-run.  Both sides must audit clean and agree
+// within the parity bounds; the numbers recorded here are the wall
+// clocks of the two finishing paths and their ratio.  Target: >= 10x
+// median speedup for deltas touching <= 1% of cells (in-flow audits
+// are off so the timing measures the engines, not the checkers; the
+// fuzz harness runs the same pairing with paranoid audits).
+//
+// Each pair is repeated CRP_ECO_REPS times and the per-side minimum
+// wall clock is kept: the work on both sides is deterministic for a
+// fixed seed, so min-of-N is a pure scheduler-noise filter, not
+// cherry-picking — every rep must still audit clean.
+//
+// Env knobs: CRP_SCALE (suite divisor, default 40), CRP_ECO_BASE_K,
+// CRP_ECO_K, CRP_ECO_FRAC (delta size as a cell fraction),
+// CRP_ECO_REPS (timing repetitions per design, default 3).
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "bmgen/suite.hpp"
+#include "check/eco_equivalence.hpp"
+#include "flow_common.hpp"
+#include "obs/json.hpp"
+
+int main() {
+  using namespace crp;
+
+  const double scale = bench::envDouble("CRP_SCALE", 40.0);
+  const int baseK = bench::envInt("CRP_ECO_BASE_K", 2);
+  const int ecoK = bench::envInt("CRP_ECO_K", 1);
+  const double frac = bench::envDouble("CRP_ECO_FRAC", 0.005);
+  const int reps = std::max(1, bench::envInt("CRP_ECO_REPS", 3));
+
+  const std::vector<bmgen::SuiteEntry> suite = bmgen::ispdLikeSuite(scale);
+
+  std::printf("bench_eco: scale 1/%g, base k=%d, eco k=%d, frac=%g, reps=%d\n\n",
+              scale, baseK, ecoK, frac, reps);
+  std::printf("%-10s %6s %6s %6s %6s %9s %8s %10s %8s  %s\n", "design",
+              "cells", "edits", "dirty", "scope", "patch_ms", "eco_ms",
+              "scratch_ms", "speedup", "status");
+
+  obs::Json designs = obs::Json::array();
+  std::vector<double> speedups;
+  int failures = 0;
+  for (const bmgen::SuiteEntry& entry : suite) {
+    check::EcoPairOptions options;
+    options.baseIterations = baseK;
+    options.ecoIterations = ecoK;
+    options.auditLevel = check::AuditLevel::kOff;  // timing run
+    options.routerThreads = 1;
+    options.perturbSeed = entry.spec.seed;
+    options.perturbFrac = frac;
+    check::EcoPairResult r = check::runEcoVsScratch(entry.spec, options);
+    for (int rep = 1; rep < reps && r.ok; ++rep) {
+      const check::EcoPairResult again =
+          check::runEcoVsScratch(entry.spec, options);
+      if (!again.ok) {
+        r = again;  // a failing rep fails the design
+        break;
+      }
+      r.ecoSeconds = std::min(r.ecoSeconds, again.ecoSeconds);
+      r.ecoPatchSeconds = std::min(r.ecoPatchSeconds, again.ecoPatchSeconds);
+      r.scratchSeconds = std::min(r.scratchSeconds, again.scratchSeconds);
+    }
+
+    if (!r.ok) ++failures;
+    if (r.ok) speedups.push_back(r.speedup());
+    std::printf("%-10s %6d %6zu %6d %6d %9.1f %8.1f %10.1f %7.1fx  %s\n",
+                entry.name.c_str(), entry.spec.targetCells, r.deltaEdits,
+                r.dirtyNets, r.scopeCells, r.ecoPatchSeconds * 1e3,
+                r.ecoSeconds * 1e3, r.scratchSeconds * 1e3, r.speedup(),
+                r.ok ? "ok" : r.error.c_str());
+
+    obs::Json row = obs::Json::object();
+    row.set("design", entry.name);
+    row.set("cells", entry.spec.targetCells);
+    row.set("delta_edits", static_cast<long long>(r.deltaEdits));
+    row.set("dirty_nets", r.dirtyNets);
+    row.set("scope_cells", r.scopeCells);
+    row.set("cache_evictions", static_cast<long long>(r.cacheEvictions));
+    row.set("eco_patch_seconds", r.ecoPatchSeconds);
+    row.set("eco_seconds", r.ecoSeconds);
+    row.set("scratch_seconds", r.scratchSeconds);
+    row.set("speedup", r.speedup());
+    row.set("eco_wirelength_dbu", static_cast<long long>(r.ecoWirelength));
+    row.set("scratch_wirelength_dbu",
+            static_cast<long long>(r.scratchWirelength));
+    row.set("ok", r.ok);
+    if (!r.ok) row.set("error", r.error);
+    designs.append(std::move(row));
+  }
+
+  double median = 0.0;
+  if (!speedups.empty()) {
+    std::sort(speedups.begin(), speedups.end());
+    const std::size_t n = speedups.size();
+    median = n % 2 == 1 ? speedups[n / 2]
+                        : 0.5 * (speedups[n / 2 - 1] + speedups[n / 2]);
+  }
+
+  obs::Json summary = obs::Json::object();
+  summary.set("benchmark", "bench_eco");
+  summary.set("suite", "crp_test1..10, scale 1/" + std::to_string(scale));
+  summary.set("base_iterations", baseK);
+  summary.set("eco_iterations", ecoK);
+  summary.set("perturb_frac", frac);
+  summary.set("timing_reps", reps);
+  summary.set("median_speedup", median);
+  summary.set("failures", failures);
+  summary.set("designs", std::move(designs));
+
+  std::ofstream out("BENCH_eco.json");
+  out << summary.dump(2) << "\n";
+
+  std::printf("\nmedian speedup: %.1fx over %zu clean designs", median,
+              speedups.size());
+  if (failures > 0) std::printf("  (%d FAILED)", failures);
+  std::printf("\nwrote BENCH_eco.json\n");
+  return failures == 0 ? 0 : 1;
+}

@@ -11,7 +11,13 @@
 #      when the machine exposes >= 4 CPUs — on fewer cores the wall
 #      clock is recorded honestly (parallelism cannot help there; the
 #      batch plan and routes are identical either way).
-#   3. ThreadPool + pricing + observability + parallel-reroute tests
+#   3. Incremental-ECO vs from-scratch over the crp_test1..10 suite
+#      (bench_eco), distilled into BENCH_eco.json with a >= 10x
+#      median-speedup gate for the recorded 0.5%-of-cells deltas.
+#   4. Every BENCH_*.json is stamped with the host CPU count and the
+#      git SHA of the tree that produced it, so recorded numbers stay
+#      attributable.
+#   5. ThreadPool + pricing + observability + parallel-reroute tests
 #      under ThreadSanitizer (CRP_SANITIZE=thread, separate build
 #      tree), guarding the sharded cache, the dynamic parallelFor
 #      scheduling, the metrics registry / span tracer / flight-recorder
@@ -183,6 +189,51 @@ EOF
 rm -f obs_bench_raw.json
 
 "$BUILD"/bench/bench_fig2
+
+# ---- incremental ECO vs from-scratch ---------------------------------------
+# Paired runs over the 10-design suite (check::runEcoVsScratch): every
+# design must audit clean on both sides and hold the parity bounds; the
+# gate is the median wall-clock speedup of the recorded configuration
+# (0.5%-of-cells clustered deltas, min-of-3 timing).
+"$BUILD"/bench/bench_eco
+
+python3 - <<'EOF'
+import json
+
+with open("BENCH_eco.json") as f:
+    summary = json.load(f)
+
+print("BENCH_eco.json:")
+print(json.dumps({k: v for k, v in summary.items() if k != "designs"},
+                 indent=2))
+assert summary["failures"] == 0, \
+    f"{summary['failures']} design(s) failed the eco-vs-scratch pairing"
+assert summary["median_speedup"] >= 10.0, \
+    f"eco median speedup {summary['median_speedup']}x below the 10x target"
+EOF
+
+# ---- provenance stamp ------------------------------------------------------
+python3 - <<'EOF'
+import glob
+import json
+import os
+import subprocess
+
+sha = subprocess.run(["git", "rev-parse", "HEAD"], capture_output=True,
+                     text=True).stdout.strip() or "unknown"
+dirty = subprocess.run(["git", "status", "--porcelain"], capture_output=True,
+                       text=True).stdout.strip() != ""
+host = {"cpus": os.cpu_count() or 1,
+        "git_sha": sha + ("-dirty" if dirty else "")}
+for path in sorted(glob.glob("BENCH_*.json")):
+    with open(path) as f:
+        data = json.load(f)
+    data["host"] = host
+    with open(path, "w") as f:
+        json.dump(data, f, indent=2)
+        f.write("\n")
+    print(f"stamped {path} with {host}")
+EOF
 
 if [[ "${CRP_SKIP_TSAN:-0}" != "1" ]]; then
   TSAN_BUILD=build-tsan

@@ -5,7 +5,9 @@
 #      k=2 with paranoid in-flow audits.  Every seed runs four paired
 #      configurations (serial / rt-4 / cache-off / obs-off) that must
 #      all finish with clean audits and a bit-identical state
-#      fingerprint.  Failing seeds are minimized and dumped under
+#      fingerprint, plus the eco-vs-scratch paired leg (clean audits on
+#      both sides and WL/via/overflow parity; disable with
+#      CRP_FUZZ_ECO=0).  Failing seeds are minimized and dumped under
 #      fuzz-artifacts/ with a one-line replay command.
 #   2. A shorter campaign in a separate ASan+UBSan build tree
 #      (CRP_SANITIZE=address), so memory errors on the audited paths
@@ -20,13 +22,14 @@ cd "$(dirname "$0")/.."
 
 SEEDS="${CRP_FUZZ_SEEDS:-25}"
 SEED_START="${CRP_FUZZ_SEED_START:-1}"
+ECO="${CRP_FUZZ_ECO:-1}"
 
 BUILD=build
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD" -j "$(nproc)" --target crp_fuzz
 
 "$BUILD"/tools/crp_fuzz --seeds "$SEEDS" --seed-start "$SEED_START" --k 2 \
-  --artifacts fuzz-artifacts
+  --eco "$ECO" --artifacts fuzz-artifacts
 
 if [[ "${CRP_SKIP_ASAN:-0}" != "1" ]]; then
   ASAN_BUILD=build-asan

@@ -1,0 +1,154 @@
+#include "bmgen/perturb.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/rng.hpp"
+
+namespace crp::bmgen {
+namespace {
+
+/// Squared partner distance (fits easily in 64 bits for DBU coords).
+long long dist2(const geom::Point& a, const geom::Point& b) {
+  const long long dx = a.x - b.x;
+  const long long dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+}  // namespace
+
+db::EcoDelta perturbDesign(const db::Database& db,
+                           const PerturbOptions& options) {
+  db::EcoDelta delta;
+
+  std::vector<db::CellId> movable;
+  for (db::CellId c = 0; c < db.numCells(); ++c) {
+    if (!db.cell(c).fixed) movable.push_back(c);
+  }
+  if (movable.size() < 2) return delta;
+
+  const int wantSwaps = static_cast<int>(std::min<long long>(
+      std::max<long long>(1, std::llround(options.frac * db.numCells())),
+      static_cast<long long>(movable.size() / 2)));
+  geom::Coord radius =
+      options.radiusDbu > 0 ? options.radiusDbu : 8 * db.rowHeight();
+
+  util::Rng rng(options.seed ^ 0x65636f7065727455ULL);
+
+  // Cluster: one anchor cell, candidates restricted to its
+  // neighborhood.  This is what makes the delta's dirty region a small
+  // fraction of the die — the property the ECO engine's speedup feeds
+  // on — and it mirrors how real ECOs edit one functional block.
+  const db::CellId anchor = movable[static_cast<std::size_t>(
+      rng.uniformInt(0, static_cast<long long>(movable.size()) - 1))];
+  const geom::Point anchorPos = db.cell(anchor).pos;
+  geom::Coord cluster = options.clusterRadiusDbu > 0
+                            ? options.clusterRadiusDbu
+                            : 16 * db.rowHeight();
+  std::vector<db::CellId> pool;
+  const std::size_t wantPool =
+      std::min(movable.size(), static_cast<std::size_t>(4 * wantSwaps + 4));
+  for (;;) {
+    pool.clear();
+    const long long c2 = static_cast<long long>(cluster) * cluster;
+    for (const db::CellId c : movable) {
+      if (dist2(anchorPos, db.cell(c).pos) <= c2) pool.push_back(c);
+    }
+    if (pool.size() >= wantPool || pool.size() == movable.size()) break;
+    cluster *= 2;
+  }
+
+  std::unordered_set<db::CellId> used;
+  std::unordered_set<db::NetId> rewired;
+  int swaps = 0;
+  int rewires = 0;
+  // Each attempt draws one candidate cell; widen the radius whenever a
+  // draw finds no partner so dense/sparse designs both converge.
+  const int maxAttempts = 20 * wantSwaps + 20;
+  for (int attempt = 0; attempt < maxAttempts && swaps < wantSwaps;
+       ++attempt) {
+    const db::CellId a = pool[static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<long long>(pool.size()) - 1))];
+    if (used.count(a) > 0) continue;
+    const db::Component& compA = db.cell(a);
+    const geom::Coord widthA = db.macroOf(a).width;
+
+    // Nearest same-width partner within the radius (ties -> lower id),
+    // so the swap is legal by construction: each cell lands exactly on
+    // the footprint the other vacated.
+    db::CellId best = db::kInvalidId;
+    long long bestD = static_cast<long long>(radius) * radius;
+    for (const db::CellId b : pool) {
+      if (b == a || used.count(b) > 0) continue;
+      if (db.macroOf(b).width != widthA) continue;
+      const long long d = dist2(compA.pos, db.cell(b).pos);
+      if (d > 0 && (d < bestD || (d == bestD && (best == db::kInvalidId ||
+                                                b < best)))) {
+        best = b;
+        bestD = d;
+      }
+    }
+    if (best == db::kInvalidId) {
+      radius *= 2;  // nothing in range: widen and redraw
+      continue;
+    }
+
+    delta.moves.push_back({db.cell(a).name, db.cell(best).pos});
+    delta.moves.push_back({db.cell(best).name, compA.pos});
+    used.insert(a);
+    used.insert(best);
+    ++swaps;
+
+    // Roughly one netlist edit per four swaps: detach a non-driver pin
+    // of a >=3-pin net of the swapped cell and re-attach it to another
+    // of the cell's nets, so the rewire stays local to the dirty
+    // region.
+    if (!options.rewirePins || swaps % 4 != 1) continue;
+    const std::vector<db::NetId>& nets = db.netsOfCell(a);
+    if (nets.size() < 2) continue;
+    for (const db::NetId source : nets) {
+      if (rewired.count(source) > 0) continue;
+      const db::Net& net = db.net(source);
+      if (net.pins.size() < 3) continue;
+      // First comp pin is the driver under bmgen's single-driver
+      // convention — pick the last non-IO pin instead.
+      int pick = -1;
+      for (int p = static_cast<int>(net.pins.size()) - 1; p > 0; --p) {
+        if (!net.pins[static_cast<std::size_t>(p)].isIo()) {
+          pick = p;
+          break;
+        }
+      }
+      if (pick <= 0) continue;
+      const db::CompPinRef ref =
+          net.pins[static_cast<std::size_t>(pick)].compPin();
+      db::NetId target = db::kInvalidId;
+      for (const db::NetId t : nets) {
+        if (t == source || rewired.count(t) > 0) continue;
+        bool already = false;
+        for (const db::NetPin& pin : db.net(t).pins) {
+          if (!pin.isIo() && pin.compPin() == ref) already = true;
+        }
+        if (!already) {
+          target = t;
+          break;
+        }
+      }
+      if (target == db::kInvalidId) continue;
+      const std::string pinName =
+          db.macroOf(ref.cell).pins[static_cast<std::size_t>(ref.pin)].name;
+      const std::string cellName = db.cell(ref.cell).name;
+      delta.removePins.push_back({db.net(source).name, cellName, pinName});
+      delta.addPins.push_back({db.net(target).name, cellName, pinName});
+      rewired.insert(source);
+      rewired.insert(target);
+      ++rewires;
+      break;
+    }
+  }
+  (void)rewires;
+  return delta;
+}
+
+}  // namespace crp::bmgen

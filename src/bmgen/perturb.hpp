@@ -1,0 +1,45 @@
+// Deterministic design perturbation: derives a small EcoDelta from an
+// existing (placed, legal) design — the paired-benchmark half of the
+// ECO story.  bmgen --perturb emits the delta next to the base design,
+// the eco-vs-scratch fuzz leg replays it both incrementally and from
+// scratch, and bench_eco times the two paths against each other.
+//
+// The generator only proposes *legal-by-construction* edits so that
+// applyEcoDelta's post-apply legality check never fires on generated
+// deltas: cell moves are swaps between two movable cells of the same
+// macro width (both landing sites are exactly the footprint the partner
+// vacated), and pin rewires move a non-driver pin of a >=3-pin net onto
+// another existing net (pure netlist edit, no geometry).
+#pragma once
+
+#include <cstdint>
+
+#include "db/database.hpp"
+#include "db/eco.hpp"
+
+namespace crp::bmgen {
+
+struct PerturbOptions {
+  /// Fraction of cells touched by swap moves (>=1 move; capped at half
+  /// the movable cells since each swap consumes two).
+  double frac = 0.01;
+  std::uint64_t seed = 1;
+  /// Max partner distance for a swap in DBU; 0 = auto (8 row heights).
+  geom::Coord radiusDbu = 0;
+  /// ECOs are spatially local: every touched cell lies within this
+  /// distance of one randomly-drawn anchor cell (the radius widens
+  /// automatically when the cluster holds too few swap candidates).
+  /// 0 = auto (16 row heights).
+  geom::Coord clusterRadiusDbu = 0;
+  /// Also rewire roughly one pin per four swaps.
+  bool rewirePins = true;
+};
+
+/// Derives a delta from `db` (read-only).  Deterministic for a given
+/// (design, options); the delta applies cleanly to `db` in the state it
+/// was derived from.  Returns an empty delta only when the design has
+/// no swappable movable-cell pair.
+db::EcoDelta perturbDesign(const db::Database& db,
+                           const PerturbOptions& options = {});
+
+}  // namespace crp::bmgen

@@ -1,0 +1,88 @@
+// Paired-run ECO equivalence checking (docs/eco.md §equivalence).
+//
+// One run derives a base design from a bmgen spec, takes it through the
+// full flow (global route + base CR&P iterations), perturbs it into an
+// EcoDelta, and then finishes the job twice from identical copies of
+// the post-base state:
+//
+//   eco       CrpFramework::runEco — dirty-region patch + restricted
+//             iterations over the persistent pricing cache
+//   scratch   applyEcoDelta + a fresh full global route + full CR&P
+//             iterations (the ground-truth re-run)
+//
+// Both sides must come out of DbAuditor::auditAll() clean (legality,
+// demand maps, route invariants — including pricing-cache coherence
+// when in-flow audits are armed), and their quality metrics must agree
+// within the parity bounds below.  Exact state equality is *not*
+// required: the two sides legitimately explore different move sequences
+// (different RNG consumption, different candidate scope); the claim the
+// checker enforces is "incremental is as sound and as good as
+// from-scratch, at a fraction of the wall clock".
+//
+// The fuzz harness runs this as its fifth leg (crp_fuzz --eco 1) and
+// bench_eco reuses the timings for BENCH_eco.json.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bmgen/generator.hpp"
+#include "check/audit.hpp"
+
+namespace crp::check {
+
+struct EcoPairOptions {
+  int baseIterations = 2;  ///< CR&P k of the shared base flow
+  int ecoIterations = 1;   ///< k of both the eco patch and the scratch re-run
+  /// In-flow audit level armed on the base flow and both sides.
+  AuditLevel auditLevel = AuditLevel::kParanoid;
+  int routerThreads = 1;
+  /// Perturbation (applied to the post-base state).
+  std::uint64_t perturbSeed = 1;
+  double perturbFrac = 0.01;
+
+  // Parity bounds, relative to the scratch side.
+  double maxWirelengthRatio = 1.10;  ///< eco WL <= scratch WL * this
+  double maxViaRatio = 1.25;
+  /// eco overflow <= scratch * ratio + slack (absolute slack keeps the
+  /// bound meaningful when scratch lands at/near zero overflow).
+  double maxOverflowRatio = 1.5;
+  double overflowSlack = 10.0;
+};
+
+/// Outcome of one paired run.
+struct EcoPairResult {
+  bool ok = false;
+  std::string error;  ///< first failure (audit / parity / exception)
+
+  std::size_t deltaEdits = 0;
+  int dirtyNets = 0;
+  int scopeCells = 0;
+  std::size_t cacheEvictions = 0;
+
+  // Quality on each side (post-everything router stats).
+  geom::Coord ecoWirelength = 0;
+  geom::Coord scratchWirelength = 0;
+  long ecoVias = 0;
+  long scratchVias = 0;
+  double ecoOverflow = 0.0;
+  double scratchOverflow = 0.0;
+
+  // Wall clock of the *incremental-vs-rebuild* portion only (the shared
+  // base flow is excluded from both): runEco vs route+CR&P re-run.
+  double ecoSeconds = 0.0;
+  double ecoPatchSeconds = 0.0;  ///< rip-up/reroute share of ecoSeconds
+  double scratchSeconds = 0.0;
+  double speedup() const {
+    return ecoSeconds > 0.0 ? scratchSeconds / ecoSeconds : 0.0;
+  }
+
+  std::uint64_t ecoFingerprint = 0;  ///< flowFingerprint of the eco side
+};
+
+/// Runs the paired check for one spec.  Deterministic for a given
+/// (spec, options).
+EcoPairResult runEcoVsScratch(const bmgen::BenchmarkSpec& spec,
+                              const EcoPairOptions& options = {});
+
+}  // namespace crp::check

@@ -1,6 +1,8 @@
 #include "check/fuzz.hpp"
 
 #include <exception>
+
+#include "check/eco_equivalence.hpp"
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -172,6 +174,32 @@ SeedResult FuzzCampaign::runSeedAt(std::uint64_t seed, int targetCells,
       return result;
     }
   }
+
+  if (options_.ecoLeg) {
+    // Fifth leg, after the four differential legs agree: the same seed's
+    // design goes through the paired eco-vs-scratch check.  Its
+    // fingerprint is recorded for the artifact but not compared against
+    // the reference — the eco side legitimately diverges in state (the
+    // equivalence contract is audits + quality parity, docs/eco.md).
+    LegResult leg;
+    leg.name = "eco-vs-scratch";
+    EcoPairOptions pair;
+    pair.baseIterations = k;
+    pair.ecoIterations = 1;
+    pair.auditLevel = options_.auditLevel;
+    pair.routerThreads = 1;
+    pair.perturbSeed = seed;
+    const EcoPairResult paired = runEcoVsScratch(spec, pair);
+    leg.ok = paired.ok;
+    leg.error = paired.error;
+    leg.stateFingerprint = paired.ecoFingerprint;
+    result.legs.push_back(std::move(leg));
+    if (!paired.ok) {
+      result.failure = "leg eco-vs-scratch failed: " + paired.error;
+      return result;
+    }
+  }
+
   result.passed = true;
   return result;
 }

@@ -10,6 +10,12 @@
 //   cache-off     router threads 1, cache+delta off,   obs on
 //   obs-off       router threads 1, pricing cache on,  obs off
 //
+// With FuzzOptions::ecoLeg a fifth leg (eco-vs-scratch) follows once
+// the four differential legs agree: the seed's design is perturbed into
+// an EcoDelta and finished both via CrpFramework::runEco and via a full
+// rebuild, requiring clean audits on both sides plus quality parity
+// (check/eco_equivalence.hpp) — not state equality.
+//
 // Every leg runs with in-flow audits armed (CrpOptions::auditLevel,
 // paranoid by default here: after every phase, pricing-cache coherence
 // after ECC, I/O round-trips at iteration ends) plus a final
@@ -53,6 +59,12 @@ struct FuzzOptions {
   /// When non-empty, failing seeds are written here as
   /// fuzz_seed_<seed>.json artifacts (directory is created on demand).
   std::string artifactDir;
+  /// Fifth leg (eco-vs-scratch): perturb the post-base state into an
+  /// EcoDelta, finish the job both incrementally (runEco) and from
+  /// scratch, and require clean audits on both sides plus quality
+  /// parity (check/eco_equivalence.hpp).  Runs after the four
+  /// differential legs agree.
+  bool ecoLeg = false;
 };
 
 /// Deterministic spec derivation: same (seed, options) -> same design.

@@ -104,7 +104,10 @@ class CandidatePricer {
         graph_(router.graph()),
         pattern_(router.graph()),
         options_(options),
-        cache_(options.cacheShards) {
+        ownedCache_(options.sharedCache != nullptr ? 1 : options.cacheShards),
+        cache_(options.sharedCache != nullptr ? options.sharedCache
+                                              : &ownedCache_),
+        startStats_(cache_->stats()) {
     // Distinguishes this phase's entries in the per-thread baseline
     // tables (scratch outlives the pricer); 0 stays "never valid".
     static std::atomic<std::uint32_t> phaseCounter{0};
@@ -154,7 +157,7 @@ class CandidatePricer {
     for (std::size_t j = 0; j < numBase; ++j) {
       const db::NetId net = baseNets[j];
       if (options_.deltaEnabled && ts.baseEpoch[net] == epoch_) {
-        cache_.countDeltaSkip();
+        cache_->countDeltaSkip();
       } else {
         ts.basePriceTable[net] =
             priceTerminals(templates_[net].canonical, ts);
@@ -204,7 +207,7 @@ class CandidatePricer {
         const NetTemplate& tpl = templates_[baseNets[j]];
         const bool changed = computeMovedPins(tpl, ts.overrides, ts, cc.cell);
         if (options_.deltaEnabled && !changed) {
-          cache_.countDeltaSkip();
+          cache_->countDeltaSkip();
           cost += ts.basePrices[j];
           continue;
         }
@@ -215,7 +218,7 @@ class CandidatePricer {
           bool found = false;
           for (std::size_t m = 0; m < memo.used; ++m) {
             if (memo.entries[m].first == ts.movedPins) {
-              cache_.countDeltaSkip();
+              cache_->countDeltaSkip();
               cost += memo.entries[m].second;
               found = true;
               break;
@@ -259,8 +262,18 @@ class CandidatePricer {
     }
   }
 
-  PricingStats stats() const { return cache_.stats(); }
-  auto cacheEntries() const { return cache_.entries(); }
+  /// This phase's counters: deltas against the cache state at pricer
+  /// construction, so a shared (ECO-persistent) cache reports per-phase
+  /// numbers just like a phase-local one.
+  PricingStats stats() const {
+    const PricingStats now = cache_->stats();
+    PricingStats phase;
+    phase.cacheHits = now.cacheHits - startStats_.cacheHits;
+    phase.cacheMisses = now.cacheMisses - startStats_.cacheMisses;
+    phase.deltaSkips = now.deltaSkips - startStats_.deltaSkips;
+    return phase;
+  }
+  auto cacheEntries() const { return cache_->entries(); }
 
  private:
   /// GCell terminal of one net pin, with its cell optionally relocated.
@@ -338,9 +351,9 @@ class CandidatePricer {
   double priceTerminals(const std::vector<groute::GPoint>& terminals,
                         PricerScratch& ts) {
     if (options_.cacheEnabled) {
-      return cache_.price(terminals, pattern_, ts.pattern);
+      return cache_->price(terminals, pattern_, ts.pattern);
     }
-    cache_.countBypass();
+    cache_->countBypass();
     return pattern_.priceTree(terminals, ts.pattern);
   }
 
@@ -348,7 +361,11 @@ class CandidatePricer {
   const groute::RoutingGraph& graph_;
   const groute::PatternRouter pattern_;
   PricingOptions options_;
-  PricingCache cache_;
+  /// Phase-local store, used unless options_.sharedCache redirects
+  /// cache_ to a caller-owned, longer-lived cache.
+  PricingCache ownedCache_;
+  PricingCache* cache_;
+  PricingStats startStats_;
   std::vector<NetTemplate> templates_;
   std::uint32_t epoch_ = 0;  ///< tags per-thread baseline-table entries
 };

@@ -55,6 +55,15 @@ struct PricingOptions {
   /// pricer.  Consumed by the paranoid-level pricing-coherence audit,
   /// which must replay the entries while demand is still frozen.
   PricingCacheEntries* cacheEntriesOut = nullptr;
+  /// When non-null, the pricer memoizes into this caller-owned cache
+  /// instead of a phase-local one, so entries survive the phase.  The
+  /// caller owns coherence: it must evict (invalidateTerminals) every
+  /// entry whose terminal bbox saw a demand change before the next
+  /// phase prices against it.  This is how the ECO engine reuses
+  /// pricing work across its restricted iterations (docs/eco.md);
+  /// cacheShards is ignored when set.  Reported stats stay per-phase
+  /// (deltas against the cache's counters at pricer construction).
+  PricingCache* sharedCache = nullptr;
 };
 
 /// Pin terminals of `net` with some cells hypothetically relocated.

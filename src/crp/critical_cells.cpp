@@ -26,7 +26,8 @@ std::vector<db::CellId> labelCriticalCells(
     const db::Database& db, const groute::GlobalRouter& router,
     const std::unordered_set<db::CellId>& historyCritical,
     const std::unordered_set<db::CellId>& historyMoved, util::Rng& rng,
-    const CrpOptions& options, int* dampedOut) {
+    const CrpOptions& options, int* dampedOut,
+    const std::unordered_set<db::CellId>* restrictTo) {
   if (dampedOut != nullptr) *dampedOut = 0;
   const std::vector<double> cost = cellRouteCosts(db, router);
 
@@ -45,14 +46,24 @@ std::vector<db::CellId> labelCriticalCells(
     }
   }
 
+  // Line 15 cap: gamma over the population Alg. 1 actually ranks — the
+  // whole circuit, or the ECO scope when restricted (with a floor of
+  // one so tiny scopes still move).
+  const std::size_t population =
+      restrictTo != nullptr
+          ? std::max<std::size_t>(1, restrictTo->size())
+          : static_cast<std::size_t>(db.numCells());
   const std::size_t cap = std::min<std::size_t>(
-      static_cast<std::size_t>(options.gamma * db.numCells()),
+      std::max<std::size_t>(restrictTo != nullptr ? 1 : 0,
+                            static_cast<std::size_t>(options.gamma *
+                                                     population)),
       static_cast<std::size_t>(options.maxCriticalCells));
 
   std::unordered_set<db::CellId> selected;
   std::vector<db::CellId> criticalSet;
   for (const db::CellId c : order) {
     if (criticalSet.size() >= cap) break;  // line 15
+    if (restrictTo != nullptr && restrictTo->count(c) == 0) continue;
     if (db.cell(c).fixed) continue;
     if (cost[c] <= 0.0) continue;  // unconnected / unrouted cell
 

@@ -28,10 +28,17 @@ std::vector<double> cellRouteCosts(const db::Database& db,
 /// cells the annealing history draw rejected (Alg. 1 lines 9-12) — the
 /// flow timeline's labeled/damped split.  Counting never consumes an
 /// extra RNG draw, so passing it cannot change the selection.
+///
+/// `restrictTo` (optional) limits the selection to a cell subset — the
+/// ECO engine's "cells whose cost neighborhood intersects the delta".
+/// Out-of-scope cells are skipped before any RNG draw, and the line-15
+/// cap becomes gamma * |restrictTo| (floored at one), so a restricted
+/// run is deterministic given the scope and never starves a small one.
 std::vector<db::CellId> labelCriticalCells(
     const db::Database& db, const groute::GlobalRouter& router,
     const std::unordered_set<db::CellId>& historyCritical,
     const std::unordered_set<db::CellId>& historyMoved, util::Rng& rng,
-    const CrpOptions& options, int* dampedOut = nullptr);
+    const CrpOptions& options, int* dampedOut = nullptr,
+    const std::unordered_set<db::CellId>* restrictTo = nullptr);
 
 }  // namespace crp::core

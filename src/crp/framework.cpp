@@ -167,6 +167,7 @@ IterationReport CrpFramework::runIteration() {
   if (spatial && heatmaps_.empty()) captureSnapshot("post-gr", -1);
   obs::TimelineRecord timeline;
   timeline.iteration = iterIndex;
+  timeline.eco = ecoMode_;
   if (spatial) {
     timeline.overflowBefore = heatmaps_.latest().totalOverflow;
     timeline.overflowedEdgesBefore = heatmaps_.latest().overflowedEdges;
@@ -179,7 +180,8 @@ IterationReport CrpFramework::runIteration() {
     CRP_OBS_EVENT("crp", "phase.LCC", iterIndex);
     util::Stopwatch watch;
     criticalSet = labelCriticalCells(db_, router_, criticalHistory_, moved_,
-                                     rng_, options_, &timeline.dampedCells);
+                                     rng_, options_, &timeline.dampedCells,
+                                     ecoScope_);
     chargePhase(kPhaseLcc, watch.seconds());
   }
   report.criticalCells = static_cast<int>(criticalSet.size());
@@ -209,7 +211,13 @@ IterationReport CrpFramework::runIteration() {
     CRP_OBS_SPAN("crp", "phase.GCP");
     CRP_OBS_EVENT("crp", "phase.GCP", iterIndex);
     util::Stopwatch watch;
-    const legalizer::IlpLegalizer legalizer(db_, options_.legalizer);
+    legalizer::LegalizerOptions legalizerOptions = options_.legalizer;
+    if (ecoMode_ && ecoMaxCandidates_ > 0) {
+      // Restricted iterations explore a narrower, top-ranked candidate
+      // set (EcoOptions::maxCandidates).
+      legalizerOptions.maxCandidates = ecoMaxCandidates_;
+    }
+    const legalizer::IlpLegalizer legalizer(db_, legalizerOptions);
     candidates = buildCandidates(db_, legalizer, criticalSet, &pool_);
     chargePhase(kPhaseGcp, watch.seconds());
   }
@@ -226,6 +234,13 @@ IterationReport CrpFramework::runIteration() {
     pricing.cacheEnabled = options_.pricingCache;
     pricing.deltaEnabled = options_.deltaPricing;
     pricing.cacheShards = options_.pricingShards;
+    // All iterations price through the persistent cache so clean-region
+    // entries survive from one iteration (and run()/runEco call) to the
+    // next; the UD hook below evicts the dirty ones before demand
+    // changes.
+    if (pricing.cacheEnabled && ecoCache_) {
+      pricing.sharedCache = ecoCache_.get();
+    }
     // The coherence replay needs the phase cache's contents, which die
     // with the pricer; snapshot them only when paranoid will look.
     if (options_.auditLevel == check::AuditLevel::kParanoid &&
@@ -312,6 +327,11 @@ IterationReport CrpFramework::runIteration() {
     affectedNets.erase(
         std::unique(affectedNets.begin(), affectedNets.end()),
         affectedNets.end());
+    // Persistent-cache coherence: entries covering the about-to-change
+    // region go before the demand does (pre-reroute extents).  A moved
+    // cell's old-terminal entries sit inside its nets' old extents, so
+    // they are evicted here too rather than lingering as orphans.
+    invalidateEcoCache(affectedNets);
     router_.rerouteNets(affectedNets);
     report.reroutedNets = static_cast<int>(affectedNets.size());
     CRP_OBS_EVENT("crp", "reroute", report.reroutedNets);
@@ -362,6 +382,19 @@ IterationReport CrpFramework::runIteration() {
 
 CrpReport CrpFramework::run() {
   CRP_OBS_SPAN("crp", "crp.run");
+  // A run starts after a fresh GR, so entries from any earlier run are
+  // priced against dead demand — replace the cache wholesale.  The new
+  // cache then lives across this run's iterations AND into a later
+  // runEco: the UD hook evicts every entry whose bbox overlaps a
+  // rerouted net's write region before the demand changes, so the
+  // survivors are exact by the containment contract.  That is what
+  // lets the first ECO iteration price mostly from cache instead of
+  // re-paying ECC for the whole clean region.
+  if (options_.pricingCache) {
+    ecoCache_ = std::make_unique<PricingCache>(options_.pricingShards);
+  } else {
+    ecoCache_.reset();
+  }
   CrpReport report;
   for (int k = 0; k < options_.iterations; ++k) {
     const IterationReport iteration = runIteration();
@@ -370,6 +403,233 @@ CrpReport CrpFramework::run() {
     report.pricing += iteration.pricing;
     report.iterations.push_back(iteration);
   }
+  return report;
+}
+
+void CrpFramework::invalidateEcoCache(const std::vector<db::NetId>& nets) {
+  if (!ecoCache_ || ecoCache_->size() == 0 || nets.empty()) return;
+  // Each net's rip-up + reroute writes within its current extent (old
+  // route + terminals) grown by the maze margin; one extra gcell covers
+  // edge-endpoint reads, mirroring planRerouteBatches.  By the
+  // pattern-route containment contract an entry only ever reads inside
+  // its terminal bbox, so entries whose bbox misses every write region
+  // stay exact and survive.
+  const int margin = router_.options().mazeMargin + 1;
+  const auto& grid = router_.graph().grid();
+  const int maxX = grid.countX() - 1;
+  const int maxY = grid.countY() - 1;
+  std::vector<groute::GCellRect> regions;
+  regions.reserve(nets.size());
+  for (const db::NetId net : nets) {
+    groute::GCellRect rect = router_.netExtent(net);
+    if (rect.empty()) continue;
+    rect.expand(margin, maxX, maxY);
+    regions.push_back(rect);
+  }
+  if (regions.empty()) return;
+  ecoEvictions_ += ecoCache_->invalidateRegions(regions);
+}
+
+EcoReport CrpFramework::runEco(const db::EcoDelta& delta,
+                               const EcoOptions& eco) {
+  CRP_OBS_SPAN("crp", "crp.eco");
+  util::Stopwatch total;
+  util::Stopwatch patch;
+  EcoReport report;
+  ecoEvictions_ = 0;
+
+  // 1. Transactional delta application; throws with the database
+  //    untouched when the delta is invalid.
+  const db::EcoApplyResult applied = db::applyEcoDelta(db_, delta);
+  router_.syncNetCount();
+  report.movedCells = applied.movedCells;
+  report.addedCells = applied.addedCells;
+  report.removedCells = applied.removedCells;
+  report.addedNets = applied.addedNets;
+  report.rewiredPins = applied.rewiredPins;
+
+  // 2. Dirty region: one rect per touched cell (old + new gcell) and
+  //    per terminal-changed net (current pins + still-committed old
+  //    route), grown by the halo.
+  const auto& grid = router_.graph().grid();
+  const int maxX = grid.countX() - 1;
+  const int maxY = grid.countY() - 1;
+  // Three rect granularities, coarsest to finest:
+  //   touchedRects   the endpoint gcells a cell left and landed in —
+  //                  NOT the old->new spanning bbox.  A cell changes
+  //                  the demand under its source and destination (via
+  //                  its nets' reroutes), not along the corridor it
+  //                  notionally traveled; with clustered deltas the
+  //                  spanning bbox of one long swap admits every cell
+  //                  in between into the candidate scope and the
+  //                  restricted iteration stops scaling with the edit.
+  //   deltaFootprint the haloed spanning bboxes — the crossing /
+  //                  damage-detection region, where an over-
+  //                  approximation is cheap (it only gates which routes
+  //                  get *inspected*, not which cells get re-placed).
+  //   dirty          deltaFootprint plus rewired-net extents, the
+  //                  region reported as invalidated.
+  std::vector<groute::GCellRect> touchedRects;    // endpoint gcells only
+  std::vector<groute::GCellRect> deltaFootprint;  // haloed spanning bboxes
+  std::vector<groute::GCellRect> dirty;           // + rewired-net extents
+  for (const db::EcoTouchedCell& touched : applied.cells) {
+    const db::GCell oldG = grid.cellAt(touched.oldPos);
+    const db::GCell newG = grid.cellAt(db_.cell(touched.cell).pos);
+    groute::GCellRect oldPoint;
+    oldPoint.cover(oldG.x, oldG.y);
+    touchedRects.push_back(oldPoint);
+    groute::GCellRect newPoint;
+    newPoint.cover(newG.x, newG.y);
+    touchedRects.push_back(newPoint);
+    groute::GCellRect rect = oldPoint;
+    rect.cover(newG.x, newG.y);
+    rect.expand(eco.haloGCells, maxX, maxY);
+    deltaFootprint.push_back(rect);
+    dirty.push_back(rect);
+  }
+  for (const db::NetId net : applied.nets) {
+    groute::GCellRect rect = router_.netExtent(net);
+    if (rect.empty()) continue;
+    rect.expand(eco.haloGCells, maxX, maxY);
+    dirty.push_back(rect);
+  }
+  report.dirtyRects = static_cast<int>(dirty.size());
+
+  // 3. Region-scoped rip-up, two waves:
+  //      must    nets whose terminals changed — rewired nets plus every
+  //              net of a touched cell (its pins moved in space even
+  //              when the netlist did not change) — their routes may no
+  //              longer cover their terminals;
+  //      damage  after the must wave landed: routes crossing the haloed
+  //              touched-cell footprint that are overflowed *within it*
+  //              on an edge that was clean before the patch.  This is
+  //              the RRR-style response to congestion the patch itself
+  //              caused.  Overflow that predates the delta is
+  //              deliberately left alone — cell moves change no demand
+  //              until the must wave reroutes, so everything overflowed
+  //              at entry is inherited from the base flow, and "rip
+  //              every overflowed crosser" degenerates into a full RRR
+  //              round on a congested design — exactly the work ECO
+  //              exists to avoid (same contract as UD reroutes).
+  //    Both waves go through the PR-3 batch planner; before each wave
+  //    the persistent cache sheds its entries over that wave's nets,
+  //    while the extents still describe the old routes.
+  std::vector<db::NetId> ripSet = applied.nets;
+  for (const db::EcoTouchedCell& touched : applied.cells) {
+    const std::vector<db::NetId>& nets = db_.netsOfCell(touched.cell);
+    ripSet.insert(ripSet.end(), nets.begin(), nets.end());
+  }
+  std::sort(ripSet.begin(), ripSet.end());
+  ripSet.erase(std::unique(ripSet.begin(), ripSet.end()), ripSet.end());
+  const std::vector<db::NetId> crossers =
+      router_.netsTouchingRegion(deltaFootprint);
+  std::vector<char> crosserWasOverflowed(crossers.size(), 0);
+  for (std::size_t i = 0; i < crossers.size(); ++i) {
+    if (std::binary_search(ripSet.begin(), ripSet.end(), crossers[i])) {
+      continue;
+    }
+    crosserWasOverflowed[i] =
+        router_.routeOverflowed(crossers[i], &deltaFootprint) ? 1 : 0;
+  }
+  invalidateEcoCache(ripSet);
+  std::vector<db::NetId> pending;
+  pending.reserve(ripSet.size());
+  for (const db::NetId net : ripSet) {
+    if (router_.netTerminals(net).size() < 2) {
+      router_.ripUp(net);  // degenerate after a rewire: no route needed
+    } else {
+      pending.push_back(net);
+    }
+  }
+  const groute::RerouteBatchStats batch = router_.rerouteNets(pending);
+  std::vector<db::NetId> damaged;
+  for (std::size_t i = 0; i < crossers.size(); ++i) {
+    if (crosserWasOverflowed[i] != 0) continue;
+    if (std::binary_search(ripSet.begin(), ripSet.end(), crossers[i])) {
+      continue;
+    }
+    if (router_.routeOverflowed(crossers[i], &deltaFootprint)) {
+      damaged.push_back(crossers[i]);
+    }
+  }
+  invalidateEcoCache(damaged);
+  const groute::RerouteBatchStats damageBatch = router_.rerouteNets(damaged);
+  report.dirtyNets = static_cast<int>(ripSet.size() + damaged.size());
+  report.failedReroutes = batch.failed + damageBatch.failed;
+  report.patchSeconds = patch.seconds();
+
+  // 4. Candidate scope: cells whose cost neighborhood intersects the
+  //    *delta* — the touched cells, the cells of netlist-edited nets
+  //    (pricing changed structurally), and cells sharing a gcell with a
+  //    move endpoint (colocated with a departure or arrival, so the
+  //    demand under them changed).  Deliberately NOT every cell of
+  //    every ripped net and
+  //    NOT every netlist neighbor of a touched cell: a crosser or a
+  //    shared net can span the die, and with gamma at 0.6 every cell
+  //    admitted here is priced — scope is the knob that keeps the
+  //    restricted iteration scaling with the edit instead of the
+  //    design.  (Neighbors that sit near the edit are colocated and
+  //    enter through the footprint test; far endpoints saw one net
+  //    reroute, not a cost neighborhood shift.)
+  std::unordered_set<db::CellId> scope;
+  for (const db::EcoTouchedCell& touched : applied.cells) {
+    scope.insert(touched.cell);
+  }
+  for (const db::NetId net : applied.nets) {
+    for (const db::CellId cell : db_.cellsOfNet(net)) scope.insert(cell);
+  }
+  for (db::CellId cell = 0; cell < db_.numCells(); ++cell) {
+    const db::GCell g = grid.cellAt(db_.cell(cell).pos);
+    groute::GCellRect point;
+    point.cover(g.x, g.y);
+    if (groute::overlapsAny(point, touchedRects)) scope.insert(cell);
+  }
+  report.scopeCells = static_cast<int>(scope.size());
+
+  // 5. Restricted CR&P iterations with the persistent pricing cache.
+  if (!eco.reuseCache) {
+    ecoCache_.reset();
+  } else if (options_.pricingCache && !ecoCache_) {
+    ecoCache_ = std::make_unique<PricingCache>(options_.pricingShards);
+  }
+  ecoMode_ = true;
+  ecoScope_ = &scope;
+  ecoMaxCandidates_ = eco.maxCandidates;
+  try {
+    for (int k = 0; k < eco.iterations; ++k) {
+      const IterationReport iteration = runIteration();
+      report.crp.totalMoves +=
+          iteration.movedCells + iteration.displacedCells;
+      report.crp.totalReroutes += iteration.reroutedNets;
+      report.crp.pricing += iteration.pricing;
+      report.crp.iterations.push_back(iteration);
+    }
+  } catch (...) {
+    ecoMode_ = false;
+    ecoScope_ = nullptr;
+    ecoMaxCandidates_ = 0;
+    throw;
+  }
+  ecoMode_ = false;
+  ecoScope_ = nullptr;
+  ecoMaxCandidates_ = 0;
+
+  report.cacheEvictions = ecoEvictions_;
+  report.totalSeconds = total.seconds();
+  CRP_OBS_COUNT("eco.runs", 1);
+  CRP_OBS_COUNT("eco.delta_edits", delta.size());
+  CRP_OBS_COUNT("eco.dirty_nets", report.dirtyNets);
+  CRP_OBS_COUNT("eco.scope_cells", report.scopeCells);
+  CRP_OBS_COUNT("eco.failed_reroutes", report.failedReroutes);
+  CRP_OBS_COUNT("eco.moves",
+                report.crp.totalMoves);
+  CRP_OBS_GAUGE_SET("eco.patch_seconds", report.patchSeconds);
+  CRP_OBS_GAUGE_SET("eco.total_seconds", report.totalSeconds);
+  CRP_LOG_DEBUG(
+      "eco: {} edits -> {} dirty nets, {} scope cells, {} evictions, "
+      "{} moves",
+      delta.size(), report.dirtyNets, report.scopeCells,
+      report.cacheEvictions, report.crp.totalMoves);
   return report;
 }
 

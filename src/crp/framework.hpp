@@ -10,6 +10,7 @@
 // obs::RunReport (Fig. 2 / Fig. 3 and the --report-out JSON).
 #pragma once
 
+#include <memory>
 #include <unordered_set>
 
 #include "crp/candidate_generation.hpp"
@@ -17,6 +18,7 @@
 #include "crp/options.hpp"
 #include "crp/selection.hpp"
 #include "db/database.hpp"
+#include "db/eco.hpp"
 #include "groute/global_router.hpp"
 #include "obs/heatmap.hpp"
 #include "obs/metrics.hpp"
@@ -59,6 +61,50 @@ struct CrpReport {
   PricingStats pricing;  ///< summed over iterations
 };
 
+/// Knobs of one runEco call (CrpOptions still governs pricing, audit
+/// level, threads and the RNG stream).
+struct EcoOptions {
+  int iterations = 1;  ///< restricted CR&P iterations after the patch
+  /// Dirty-region halo in gcells: rip-up and the candidate scope use
+  /// the delta's footprint grown by this much, so cost neighborhoods
+  /// that merely border the change still participate.
+  int haloGCells = 2;
+  /// Keep the persistent pricing cache across runEco calls (entries in
+  /// clean regions carry over; dirty ones are evicted).  Off forces a
+  /// cold cache per call — the ablation/debug switch.
+  bool reuseCache = true;
+  /// Candidates proposed per critical cell during the restricted
+  /// iterations (full runs use LegalizerOptions::maxCandidates).  The
+  /// base placement already converged and the delta is small, so the
+  /// top-ranked Eq. 11 slots carry the gain; narrowing the exploration
+  /// cuts the dominant GCP/ECC per-cell cost on the eco side while the
+  /// eco-vs-scratch parity bounds guard the quality.  <= 0 keeps the
+  /// full-run width.
+  int maxCandidates = 4;
+};
+
+/// What one runEco call did (eco.* obs counters mirror this).
+struct EcoReport {
+  // Delta application (EcoApplyResult counts).
+  int movedCells = 0;
+  int addedCells = 0;
+  int removedCells = 0;
+  int addedNets = 0;
+  int rewiredPins = 0;
+
+  // Dirty-region patch.
+  int dirtyRects = 0;       ///< rects in the dirty region
+  int dirtyNets = 0;        ///< nets ripped up / rerouted by the patch
+  int failedReroutes = 0;   ///< patch reroutes that restored old routes
+  int scopeCells = 0;       ///< cells eligible for restricted iterations
+  std::size_t cacheEvictions = 0;  ///< pricing entries evicted this call
+
+  double patchSeconds = 0.0;  ///< apply + dirty tracking + patch reroute
+  double totalSeconds = 0.0;  ///< whole runEco call
+
+  CrpReport crp;  ///< the restricted iterations' report
+};
+
 /// The UD phase's move-commit plan: which selected moves to apply.
 struct CommitPlan {
   /// Indices into the candidates vector, in commit (gain) order.
@@ -87,11 +133,24 @@ class CrpFramework {
   CrpFramework(db::Database& db, groute::GlobalRouter& router,
                CrpOptions options = {});
 
-  /// Runs options.iterations iterations (the paper's k).
+  /// Runs options.iterations iterations (the paper's k).  Also drops
+  /// the persistent ECO pricing cache: a full run changes demand
+  /// everywhere, so nothing in it could survive.
   CrpReport run();
 
   /// Runs a single iteration (exposed for tests and custom loops).
   IterationReport runIteration();
+
+  /// The incremental entry point (docs/eco.md): applies `delta`
+  /// transactionally, invalidates only the dirty gcell region — routes
+  /// crossing it are ripped up and rerouted through the batch planner,
+  /// pricing-cache entries whose terminal bbox it touches are evicted —
+  /// and then runs eco.iterations CR&P iterations restricted to cells
+  /// whose nets intersect the region.  Throws db::EcoError (database
+  /// untouched) for an invalid delta; audit behavior and determinism
+  /// contracts match run().  Wall clock scales with the delta, not the
+  /// design: that is the ≥10x win BENCH_eco.json records.
+  EcoReport runEco(const db::EcoDelta& delta, const EcoOptions& eco = {});
 
   /// The observability run report.  Phase wall times and per-iteration
   /// stats accumulate as iterations execute; config, final router
@@ -133,6 +192,13 @@ class CrpFramework {
   void maybeAudit(const char* phase, bool iterationEnd,
                   const PricingCacheEntries* cacheEntries = nullptr);
 
+  /// Evicts persistent-cache entries whose terminal bbox overlaps the
+  /// about-to-change region of `nets` (each net's current extent plus
+  /// the maze margin and one halo gcell — the same write-region bound
+  /// the batch planner uses).  Call *before* the rip-up/reroute so the
+  /// extents still cover the old routes.  No-op without an ECO cache.
+  void invalidateEcoCache(const std::vector<db::NetId>& nets);
+
   db::Database& db_;
   groute::GlobalRouter& router_;
   CrpOptions options_;
@@ -144,6 +210,21 @@ class CrpFramework {
   std::unordered_set<db::CellId> criticalHistory_;  ///< db.critical_hist
   std::unordered_set<db::CellId> moved_;            ///< db.moved_set
   int movesUsed_ = 0;  ///< against options.maxMovesTotal
+
+  // ---- ECO mode (set for the span of runEco's iterations) ----------------
+  bool ecoMode_ = false;
+  /// Candidate scope of the current runEco call (null = unrestricted).
+  const std::unordered_set<db::CellId>* ecoScope_ = nullptr;
+  /// EcoOptions::maxCandidates for the current runEco call (<= 0 keeps
+  /// the full-run legalizer width).
+  int ecoMaxCandidates_ = 0;
+  /// Pricing cache that outlives individual ECC phases.  run() replaces
+  /// it wholesale (fresh GR invalidates everything) and then keeps it
+  /// across its iterations; runEco inherits the warm cache.  Cached
+  /// values are bit-identical to recomputed ones (pricing_cache.hpp),
+  /// so goldens are untouched.
+  std::unique_ptr<PricingCache> ecoCache_;
+  std::size_t ecoEvictions_ = 0;  ///< evictions within the current runEco
 };
 
 }  // namespace crp::core

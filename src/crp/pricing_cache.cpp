@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <bit>
 
+#include "groute/global_router.hpp"
+#include "obs/obs.hpp"
+
 namespace crp::core {
 
 namespace {
@@ -90,6 +93,60 @@ std::size_t PricingCache::size() const {
     total += shard->entries.size();
   }
   return total;
+}
+
+std::size_t PricingCache::invalidateTerminals(
+    const std::function<bool(const std::vector<groute::GPoint>&)>&
+        shouldEvict) {
+  std::size_t evicted = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    for (auto it = shard->entries.begin(); it != shard->entries.end();) {
+      if (shouldEvict(it->first.terminals)) {
+        it = shard->entries.erase(it);
+        ++evicted;
+      } else {
+        ++it;
+      }
+    }
+  }
+  CRP_OBS_COUNT("crp.cache.evictions", evicted);
+  return evicted;
+}
+
+std::size_t PricingCache::invalidateRegions(
+    const std::vector<groute::GCellRect>& regions) {
+  if (regions.empty()) return 0;
+  groute::GCellRect bound;
+  for (const groute::GCellRect& region : regions) bound.cover(region);
+  std::size_t evicted = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    for (auto it = shard->entries.begin(); it != shard->entries.end();) {
+      groute::GCellRect bbox;
+      for (const groute::GPoint& t : it->first.terminals) {
+        bbox.cover(t.x, t.y);
+      }
+      if (bbox.overlaps(bound) && overlapsAny(bbox, regions)) {
+        it = shard->entries.erase(it);
+        ++evicted;
+      } else {
+        ++it;
+      }
+    }
+  }
+  CRP_OBS_COUNT("crp.cache.evictions", evicted);
+  return evicted;
+}
+
+void PricingCache::clear() {
+  std::size_t evicted = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    evicted += shard->entries.size();
+    shard->entries.clear();
+  }
+  CRP_OBS_COUNT("crp.cache.evictions", evicted);
 }
 
 PricingCacheEntries PricingCache::entries() const {

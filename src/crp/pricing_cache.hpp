@@ -9,9 +9,12 @@
 // all ThreadPool workers share hits.
 //
 // Lifetime/invalidation: demand maps are frozen during Alg. 3 (pattern
-// routing is read-only on the RoutingGraph), so a cache is valid for
-// exactly one ECC phase.  The framework constructs a fresh cache per
-// iteration; there is no mid-phase invalidation (docs/pricing_cache.md).
+// routing is read-only on the RoutingGraph), so a cache is valid for at
+// least one ECC phase.  The batch framework constructs a fresh cache
+// per iteration (no mid-phase invalidation); the ECO engine instead
+// keeps one cache alive across iterations and evicts the entries whose
+// terminal bbox the rerouted region touches via invalidateTerminals()
+// (docs/pricing_cache.md, docs/eco.md).
 //
 // Determinism: priceTree is a pure function of the terminal set and
 // the frozen graph, and entries compare the full terminal vector (the
@@ -21,6 +24,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -28,6 +32,10 @@
 #include <vector>
 
 #include "groute/pattern_route.hpp"
+
+namespace crp::groute {
+struct GCellRect;  // global_router.hpp (kept out of this header)
+}
 
 namespace crp::core {
 
@@ -94,6 +102,35 @@ class PricingCache {
 
   PricingStats stats() const;
   std::size_t size() const;  ///< resident entries across all shards
+
+  /// Evicts every entry whose canonical terminal set `shouldEvict`
+  /// selects and returns the eviction count (also published as the
+  /// crp.cache.evictions obs counter).  This is the targeted
+  /// invalidation path for caches that outlive one ECC phase (the ECO
+  /// engine's persistent cache): after demand changes inside a region,
+  /// evict the entries whose terminal bbox the region touches — the
+  /// pattern-route containment contract (pattern_route.hpp) guarantees
+  /// every other entry priced against state that did not change.
+  /// Deterministic: the survivor set depends only on the entry keys and
+  /// the predicate, never on shard layout or thread schedule.
+  std::size_t invalidateTerminals(
+      const std::function<bool(const std::vector<groute::GPoint>&)>&
+          shouldEvict);
+
+  /// invalidateTerminals specialized to the bbox-overlap predicate every
+  /// caller actually uses: evicts entries whose terminal bbox overlaps
+  /// any of `regions`.  A persistent cache holds entries for the whole
+  /// die while a delta touches a sliver of it, so the scan
+  /// short-circuits on the union bound of `regions` first — entries far
+  /// from the dirty region cost four comparisons, not a scan of every
+  /// rect.  Same determinism guarantee as invalidateTerminals.
+  std::size_t invalidateRegions(
+      const std::vector<groute::GCellRect>& regions);
+
+  /// Drops every entry (counters are kept; they describe work done, not
+  /// residency).  Equivalent to invalidateTerminals(always-true) minus
+  /// the predicate calls.
+  void clear();
 
   /// Snapshot of every (canonical terminal set, cached price) entry, in
   /// a deterministic order (sorted by terminal set).  The cache itself

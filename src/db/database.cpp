@@ -186,6 +186,100 @@ void Database::moveCell(CellId id, Point newPos) {
   design_.components.at(id).pos = newPos;
 }
 
+namespace {
+
+/// Sorted-unique insert into a cell's net list.
+void indexInsert(std::vector<NetId>& nets, NetId net) {
+  const auto it = std::lower_bound(nets.begin(), nets.end(), net);
+  if (it == nets.end() || *it != net) nets.insert(it, net);
+}
+
+void indexErase(std::vector<NetId>& nets, NetId net) {
+  const auto it = std::lower_bound(nets.begin(), nets.end(), net);
+  if (it != nets.end() && *it == net) nets.erase(it);
+}
+
+}  // namespace
+
+CellId Database::addCell(Component comp) {
+  if (findCell(comp.name) != kInvalidId) {
+    throw std::invalid_argument("addCell: duplicate cell name " + comp.name);
+  }
+  library_.macro(comp.macro);  // throws for an out-of-range macro id
+  const CellId id = numCells();
+  cellByName_.emplace(comp.name, id);
+  design_.components.push_back(std::move(comp));
+  cellNets_.emplace_back();
+  return id;
+}
+
+NetId Database::addNet(Net net) {
+  if (findNet(net.name) != kInvalidId) {
+    throw std::invalid_argument("addNet: duplicate net name " + net.name);
+  }
+  const NetId id = numNets();
+  for (const NetPin& pin : net.pins) {
+    if (pin.isIo()) {
+      design_.ioPins.at(pin.ioPin());  // range check
+      continue;
+    }
+    const CompPinRef ref = pin.compPin();
+    const Component& comp = design_.components.at(ref.cell);
+    library_.macro(comp.macro).pins.at(ref.pin);  // range check
+    indexInsert(cellNets_.at(ref.cell), id);
+  }
+  netByName_.emplace(net.name, id);
+  design_.nets.push_back(std::move(net));
+  return id;
+}
+
+void Database::setNetPins(NetId id, std::vector<NetPin> pins) {
+  Net& n = design_.nets.at(id);
+  for (const NetPin& pin : n.pins) {
+    if (!pin.isIo()) indexErase(cellNets_.at(pin.compPin().cell), id);
+  }
+  for (const NetPin& pin : pins) {
+    if (pin.isIo()) {
+      design_.ioPins.at(pin.ioPin());  // range check
+      continue;
+    }
+    const CompPinRef ref = pin.compPin();
+    const Component& comp = design_.components.at(ref.cell);
+    library_.macro(comp.macro).pins.at(ref.pin);  // range check
+  }
+  n.pins = std::move(pins);
+  for (const NetPin& pin : n.pins) {
+    if (!pin.isIo()) indexInsert(cellNets_.at(pin.compPin().cell), id);
+  }
+}
+
+void Database::removeLastCell() {
+  if (design_.components.empty()) {
+    throw std::logic_error("removeLastCell: no cells");
+  }
+  const CellId id = numCells() - 1;
+  if (!cellNets_.at(id).empty()) {
+    throw std::logic_error("removeLastCell: cell still referenced by nets");
+  }
+  cellByName_.erase(design_.components.back().name);
+  design_.components.pop_back();
+  cellNets_.pop_back();
+}
+
+void Database::removeLastNet() {
+  if (design_.nets.empty()) throw std::logic_error("removeLastNet: no nets");
+  const NetId id = numNets() - 1;
+  for (const NetPin& pin : design_.nets.back().pins) {
+    if (!pin.isIo()) indexErase(cellNets_.at(pin.compPin().cell), id);
+  }
+  netByName_.erase(design_.nets.back().name);
+  design_.nets.pop_back();
+}
+
+void Database::setCellFixed(CellId id, bool fixed) {
+  design_.components.at(id).fixed = fixed;
+}
+
 double Database::utilization() const {
   Coord cellArea = 0;
   for (const Component& comp : design_.components) {

@@ -101,6 +101,37 @@ class Database {
   /// positional-independent.
   void moveCell(CellId id, Point newPos);
 
+  // ---- netlist mutators (the ECO delta primitives; see db/eco.hpp) --------
+  //
+  // Each call keeps the name and connectivity indices exact, so lookups
+  // stay valid without a full buildIndices() pass.  Ids are append-only:
+  // a cell or net, once created, keeps its id for the lifetime of the
+  // database (removal is modeled by detaching pins, never by erasing).
+  // applyEcoDelta() drives these transactionally; direct callers own
+  // validation (unique names, resolvable pins, placement legality).
+
+  /// Appends a component; its name must be unused.  Returns the new id.
+  CellId addCell(Component comp);
+
+  /// Appends a net; its name must be unused and every component pin must
+  /// reference an existing cell and macro pin.  Returns the new id.
+  NetId addNet(Net net);
+
+  /// Replaces a net's terminal list (the ECO rewire primitive); the
+  /// cell→nets index follows.
+  void setNetPins(NetId id, std::vector<NetPin> pins);
+
+  /// Pops the most recently added cell (rollback helper for addCell).
+  /// The cell must not be referenced by any net.
+  void removeLastCell();
+
+  /// Pops the most recently added net (rollback helper for addNet).
+  void removeLastNet();
+
+  /// Flips a cell's fixed flag (ECO removal tombstones the component as
+  /// an immovable blockage rather than erasing it; see docs/eco.md).
+  void setCellFixed(CellId id, bool fixed);
+
   /// Sum of cell areas / core row area (utilization in [0,1]).
   double utilization() const;
 

@@ -1,0 +1,351 @@
+#include "db/eco.hpp"
+
+#include <algorithm>
+
+#include "db/legality.hpp"
+#include "obs/json.hpp"
+
+namespace crp::db {
+
+namespace {
+
+/// Undo log for one applyEcoDelta call.  Entries are recorded before
+/// each mutation; rollback() replays them newest-first, which restores
+/// the database to its pre-call state in every failure path.
+struct Txn {
+  Database& db;
+  std::vector<std::pair<CellId, Point>> movedFrom;
+  std::vector<std::pair<CellId, bool>> fixedWas;
+  std::vector<std::pair<NetId, std::vector<NetPin>>> pinsWere;
+  int addedCells = 0;
+  int addedNets = 0;
+
+  void rollback() {
+    for (auto it = pinsWere.rbegin(); it != pinsWere.rend(); ++it) {
+      db.setNetPins(it->first, std::move(it->second));
+    }
+    for (auto it = fixedWas.rbegin(); it != fixedWas.rend(); ++it) {
+      db.setCellFixed(it->first, it->second);
+    }
+    for (auto it = movedFrom.rbegin(); it != movedFrom.rend(); ++it) {
+      db.moveCell(it->first, it->second);
+    }
+    // Added nets must go before added cells: removeLastCell insists the
+    // cell is no longer referenced.
+    for (int i = 0; i < addedNets; ++i) db.removeLastNet();
+    for (int i = 0; i < addedCells; ++i) db.removeLastCell();
+  }
+};
+
+CellId requireCell(const Database& db, const std::string& name,
+                   const char* what) {
+  const CellId id = db.findCell(name);
+  if (id == kInvalidId) {
+    throw EcoError(std::string(what) + ": unknown cell '" + name + "'");
+  }
+  return id;
+}
+
+NetId requireNet(const Database& db, const std::string& name,
+                 const char* what) {
+  const NetId id = db.findNet(name);
+  if (id == kInvalidId) {
+    throw EcoError(std::string(what) + ": unknown net '" + name + "'");
+  }
+  return id;
+}
+
+int requirePin(const Database& db, CellId cell, const std::string& pinName,
+               const char* what) {
+  const auto pin = db.macroOf(cell).findPin(pinName);
+  if (!pin) {
+    throw EcoError(std::string(what) + ": cell '" + db.cell(cell).name +
+                   "' (" + db.macroOf(cell).name + ") has no pin '" + pinName +
+                   "'");
+  }
+  return *pin;
+}
+
+Orientation orientationFromName(const std::string& name) {
+  if (name == "N") return Orientation::kN;
+  if (name == "S") return Orientation::kS;
+  if (name == "FN") return Orientation::kFN;
+  if (name == "FS") return Orientation::kFS;
+  throw EcoError("unknown orientation '" + name + "'");
+}
+
+}  // namespace
+
+EcoApplyResult applyEcoDelta(Database& db, const EcoDelta& delta) {
+  EcoApplyResult result;
+  Txn txn{db, {}, {}, {}, 0, 0};
+  // Touched nets collected as ids; sorted + deduped at the end.
+  std::vector<NetId> touchedNets;
+
+  try {
+    // 1. addCells — placed immediately; legality is checked after moves
+    //    so a swap-style delta is judged on its final state.
+    for (const EcoCellAdd& add : delta.addCells) {
+      const auto macro = db.library().findMacro(add.macro);
+      if (!macro) {
+        throw EcoError("addCells: unknown macro '" + add.macro + "'");
+      }
+      if (db.findCell(add.name) != kInvalidId) {
+        throw EcoError("addCells: cell name '" + add.name +
+                       "' already exists");
+      }
+      Component comp;
+      comp.name = add.name;
+      comp.macro = *macro;
+      comp.pos = add.pos;
+      comp.orient = add.orient;
+      const CellId id = db.addCell(std::move(comp));
+      ++txn.addedCells;
+      result.cells.push_back(EcoTouchedCell{id, add.pos, /*added=*/true});
+      ++result.addedCells;
+    }
+
+    // 2. moves
+    for (const EcoMove& move : delta.moves) {
+      const CellId id = requireCell(db, move.cell, "moves");
+      if (db.cell(id).fixed) {
+        throw EcoError("moves: cell '" + move.cell + "' is fixed");
+      }
+      txn.movedFrom.emplace_back(id, db.cell(id).pos);
+      result.cells.push_back(EcoTouchedCell{id, db.cell(id).pos});
+      db.moveCell(id, move.to);
+      ++result.movedCells;
+    }
+
+    // 3. removePins then addPins (rewires): a pin can hop nets within
+    //    one delta without ever being double-attached.
+    for (const EcoPinRef& ref : delta.removePins) {
+      const NetId net = requireNet(db, ref.net, "removePins");
+      const CellId cell = requireCell(db, ref.cell, "removePins");
+      const int pin = requirePin(db, cell, ref.pin, "removePins");
+      std::vector<NetPin> pins = db.net(net).pins;
+      const auto it = std::find_if(
+          pins.begin(), pins.end(), [&](const NetPin& p) {
+            return !p.isIo() && p.compPin() == CompPinRef{cell, pin};
+          });
+      if (it == pins.end()) {
+        throw EcoError("removePins: net '" + ref.net + "' has no pin " +
+                       ref.cell + "/" + ref.pin);
+      }
+      pins.erase(it);
+      txn.pinsWere.emplace_back(net, db.net(net).pins);
+      db.setNetPins(net, std::move(pins));
+      touchedNets.push_back(net);
+      ++result.rewiredPins;
+    }
+    for (const EcoPinRef& ref : delta.addPins) {
+      const NetId net = requireNet(db, ref.net, "addPins");
+      const CellId cell = requireCell(db, ref.cell, "addPins");
+      const int pin = requirePin(db, cell, ref.pin, "addPins");
+      std::vector<NetPin> pins = db.net(net).pins;
+      const bool present = std::any_of(
+          pins.begin(), pins.end(), [&](const NetPin& p) {
+            return !p.isIo() && p.compPin() == CompPinRef{cell, pin};
+          });
+      if (present) {
+        throw EcoError("addPins: net '" + ref.net + "' already has pin " +
+                       ref.cell + "/" + ref.pin);
+      }
+      pins.push_back(NetPin{CompPinRef{cell, pin}});
+      txn.pinsWere.emplace_back(net, db.net(net).pins);
+      db.setNetPins(net, std::move(pins));
+      touchedNets.push_back(net);
+      ++result.rewiredPins;
+    }
+
+    // 4. addNets
+    for (const EcoNetAdd& add : delta.addNets) {
+      if (db.findNet(add.name) != kInvalidId) {
+        throw EcoError("addNets: net name '" + add.name + "' already exists");
+      }
+      if (add.pins.size() < 2) {
+        throw EcoError("addNets: net '" + add.name +
+                       "' needs at least two pins");
+      }
+      Net net;
+      net.name = add.name;
+      for (const auto& [cellName, pinName] : add.pins) {
+        const CellId cell = requireCell(db, cellName, "addNets");
+        const int pin = requirePin(db, cell, pinName, "addNets");
+        net.pins.push_back(NetPin{CompPinRef{cell, pin}});
+      }
+      const NetId id = db.addNet(std::move(net));
+      ++txn.addedNets;
+      touchedNets.push_back(id);
+      ++result.addedNets;
+    }
+
+    // 5. removeCells — detach from every net and tombstone in place as
+    //    a fixed blockage (ids are append-only; see file comment).
+    for (const std::string& name : delta.removeCells) {
+      const CellId id = requireCell(db, name, "removeCells");
+      if (db.cell(id).fixed) {
+        throw EcoError("removeCells: cell '" + name +
+                       "' is fixed (already removed?)");
+      }
+      const std::vector<NetId> nets = db.netsOfCell(id);  // copy: we mutate
+      for (const NetId net : nets) {
+        std::vector<NetPin> pins;
+        for (const NetPin& p : db.net(net).pins) {
+          if (!p.isIo() && p.compPin().cell == id) continue;
+          pins.push_back(p);
+        }
+        txn.pinsWere.emplace_back(net, db.net(net).pins);
+        db.setNetPins(net, std::move(pins));
+        touchedNets.push_back(net);
+      }
+      txn.fixedWas.emplace_back(id, false);
+      db.setCellFixed(id, true);
+      result.cells.push_back(EcoTouchedCell{id, db.cell(id).pos});
+      ++result.removedCells;
+    }
+
+    // 6. Placement legality of every touched cell at the final state.
+    for (const EcoTouchedCell& touched : result.cells) {
+      const auto violations = checkCell(db, touched.cell);
+      if (!violations.empty()) {
+        throw EcoError("delta leaves placement illegal: " +
+                       violations.front().describe(db));
+      }
+    }
+  } catch (...) {
+    txn.rollback();
+    throw;
+  }
+
+  std::sort(touchedNets.begin(), touchedNets.end());
+  touchedNets.erase(std::unique(touchedNets.begin(), touchedNets.end()),
+                    touchedNets.end());
+  result.nets = std::move(touchedNets);
+  return result;
+}
+
+obs::Json ecoDeltaToJson(const EcoDelta& delta) {
+  obs::Json json = obs::Json::object();
+  json.set("schemaVersion", EcoDelta::kSchemaVersion);
+  obs::Json moves = obs::Json::array();
+  for (const EcoMove& move : delta.moves) {
+    obs::Json entry = obs::Json::object();
+    entry.set("cell", move.cell);
+    entry.set("x", move.to.x);
+    entry.set("y", move.to.y);
+    moves.append(std::move(entry));
+  }
+  json.set("moves", std::move(moves));
+
+  obs::Json addCells = obs::Json::array();
+  for (const EcoCellAdd& add : delta.addCells) {
+    obs::Json entry = obs::Json::object();
+    entry.set("name", add.name);
+    entry.set("macro", add.macro);
+    entry.set("x", add.pos.x);
+    entry.set("y", add.pos.y);
+    entry.set("orient", geom::orientationName(add.orient));
+    addCells.append(std::move(entry));
+  }
+  json.set("addCells", std::move(addCells));
+
+  obs::Json removeCells = obs::Json::array();
+  for (const std::string& name : delta.removeCells) removeCells.append(name);
+  json.set("removeCells", std::move(removeCells));
+
+  obs::Json addNets = obs::Json::array();
+  for (const EcoNetAdd& add : delta.addNets) {
+    obs::Json entry = obs::Json::object();
+    entry.set("name", add.name);
+    obs::Json pins = obs::Json::array();
+    for (const auto& [cell, pin] : add.pins) {
+      obs::Json p = obs::Json::object();
+      p.set("cell", cell);
+      p.set("pin", pin);
+      pins.append(std::move(p));
+    }
+    entry.set("pins", std::move(pins));
+    addNets.append(std::move(entry));
+  }
+  json.set("addNets", std::move(addNets));
+
+  const auto pinRefs = [](const std::vector<EcoPinRef>& refs) {
+    obs::Json array = obs::Json::array();
+    for (const EcoPinRef& ref : refs) {
+      obs::Json entry = obs::Json::object();
+      entry.set("net", ref.net);
+      entry.set("cell", ref.cell);
+      entry.set("pin", ref.pin);
+      array.append(std::move(entry));
+    }
+    return array;
+  };
+  json.set("addPins", pinRefs(delta.addPins));
+  json.set("removePins", pinRefs(delta.removePins));
+  return json;
+}
+
+EcoDelta ecoDeltaFromJson(const obs::Json& json) {
+  const std::int64_t version = json.at("schemaVersion").asInt();
+  if (version != EcoDelta::kSchemaVersion) {
+    throw EcoError("unsupported EcoDelta schemaVersion " +
+                   std::to_string(version));
+  }
+  EcoDelta delta;
+  if (const obs::Json* moves = json.find("moves")) {
+    for (const obs::Json& entry : moves->asArray()) {
+      EcoMove move;
+      move.cell = entry.at("cell").asString();
+      move.to = Point{static_cast<Coord>(entry.at("x").asInt()),
+                      static_cast<Coord>(entry.at("y").asInt())};
+      delta.moves.push_back(std::move(move));
+    }
+  }
+  if (const obs::Json* addCells = json.find("addCells")) {
+    for (const obs::Json& entry : addCells->asArray()) {
+      EcoCellAdd add;
+      add.name = entry.at("name").asString();
+      add.macro = entry.at("macro").asString();
+      add.pos = Point{static_cast<Coord>(entry.at("x").asInt()),
+                      static_cast<Coord>(entry.at("y").asInt())};
+      if (const obs::Json* orient = entry.find("orient")) {
+        add.orient = orientationFromName(orient->asString());
+      }
+      delta.addCells.push_back(std::move(add));
+    }
+  }
+  if (const obs::Json* removeCells = json.find("removeCells")) {
+    for (const obs::Json& entry : removeCells->asArray()) {
+      delta.removeCells.push_back(entry.asString());
+    }
+  }
+  if (const obs::Json* addNets = json.find("addNets")) {
+    for (const obs::Json& entry : addNets->asArray()) {
+      EcoNetAdd add;
+      add.name = entry.at("name").asString();
+      for (const obs::Json& pin : entry.at("pins").asArray()) {
+        add.pins.emplace_back(pin.at("cell").asString(),
+                              pin.at("pin").asString());
+      }
+      delta.addNets.push_back(std::move(add));
+    }
+  }
+  const auto readPinRefs = [&json](const char* key,
+                                   std::vector<EcoPinRef>& out) {
+    if (const obs::Json* refs = json.find(key)) {
+      for (const obs::Json& entry : refs->asArray()) {
+        EcoPinRef ref;
+        ref.net = entry.at("net").asString();
+        ref.cell = entry.at("cell").asString();
+        ref.pin = entry.at("pin").asString();
+        out.push_back(std::move(ref));
+      }
+    }
+  };
+  readPinRefs("addPins", delta.addPins);
+  readPinRefs("removePins", delta.removePins);
+  return delta;
+}
+
+}  // namespace crp::db

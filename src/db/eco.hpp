@@ -1,0 +1,119 @@
+// ECO (engineering change order) deltas: the incremental mutation
+// language of the flow (docs/eco.md).
+//
+// An EcoDelta names a small set of edits against a placed-and-routed
+// design — cells moved, cells added, cells removed, nets added, pins
+// rewired — by cell/net/pin *name*, so deltas survive serialization and
+// apply to any database holding the same design.  applyEcoDelta()
+// applies one transactionally: either every edit lands and the touched
+// cells are placement-legal, or the database is left byte-identical to
+// its pre-call state and an EcoError describes the first problem.
+//
+// Removal semantics: ids are append-only in Database, so a removed cell
+// is detached from every net and tombstoned in place as a fixed
+// blockage (its site stays occupied, like a filler cell).  This keeps
+// every CellId/NetId stable across any ECO history, which is what lets
+// the router and pricing caches patch state instead of rebuilding it.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "db/database.hpp"
+
+namespace crp::obs {
+class Json;
+}
+
+namespace crp::db {
+
+/// Move an existing cell's lower-left corner to `to` (DBU).
+struct EcoMove {
+  std::string cell;
+  Point to;
+};
+
+/// Create a new component (placed; pins get wired by addNets/addPins).
+struct EcoCellAdd {
+  std::string name;
+  std::string macro;  ///< library macro name
+  Point pos;
+  Orientation orient = Orientation::kN;
+};
+
+/// Names one (net, component pin) attachment for rewiring.
+struct EcoPinRef {
+  std::string net;
+  std::string cell;
+  std::string pin;  ///< macro pin name
+};
+
+/// Create a new net over existing (possibly just-added) cells.
+struct EcoNetAdd {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> pins;  ///< (cell, pin)
+};
+
+/// One engineering change order.  Application order: addCells, moves,
+/// removePins, addPins, addNets, removeCells — so moves and new nets
+/// may reference cells added by the same delta.
+struct EcoDelta {
+  static constexpr int kSchemaVersion = 1;
+
+  std::vector<EcoMove> moves;
+  std::vector<EcoCellAdd> addCells;
+  std::vector<std::string> removeCells;
+  std::vector<EcoNetAdd> addNets;
+  std::vector<EcoPinRef> addPins;
+  std::vector<EcoPinRef> removePins;
+
+  bool empty() const {
+    return moves.empty() && addCells.empty() && removeCells.empty() &&
+           addNets.empty() && addPins.empty() && removePins.empty();
+  }
+
+  /// Number of atomic edits (the "delta size" of bench/fuzz reports).
+  std::size_t size() const {
+    return moves.size() + addCells.size() + removeCells.size() +
+           addNets.size() + addPins.size() + removePins.size();
+  }
+};
+
+/// Thrown by applyEcoDelta / ecoDeltaFromJson on an invalid delta; the
+/// database is untouched when application throws.
+class EcoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One cell touched by a delta: its id plus the pre-delta position (the
+/// post-delta position is readable from the database).
+struct EcoTouchedCell {
+  CellId cell = kInvalidId;
+  Point oldPos;
+  bool added = false;
+};
+
+/// What a successful applyEcoDelta changed — the input to the ECO
+/// engine's dirty-region computation.
+struct EcoApplyResult {
+  std::vector<EcoTouchedCell> cells;  ///< moved + added + tombstoned cells
+  std::vector<NetId> nets;  ///< nets whose terminal set changed (sorted)
+  int movedCells = 0;
+  int addedCells = 0;
+  int removedCells = 0;
+  int addedNets = 0;
+  int rewiredPins = 0;
+};
+
+/// Applies `delta` transactionally (all-or-nothing; see file comment).
+EcoApplyResult applyEcoDelta(Database& db, const EcoDelta& delta);
+
+/// JSON codec (schema v1, docs/eco.md).  ecoDeltaFromJson throws
+/// EcoError on an unknown schemaVersion or malformed field.
+obs::Json ecoDeltaToJson(const EcoDelta& delta);
+EcoDelta ecoDeltaFromJson(const obs::Json& json);
+
+}  // namespace crp::db

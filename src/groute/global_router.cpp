@@ -10,38 +10,12 @@
 
 namespace crp::groute {
 
-namespace {
-
-/// Inclusive gcell rectangle used for conflict planning.
-struct ConflictRect {
-  int xlo = 0, ylo = 0, xhi = -1, yhi = -1;  // empty by default
-
-  bool empty() const { return xhi < xlo || yhi < ylo; }
-
-  void cover(int x, int y) {
-    if (empty()) {
-      xlo = xhi = x;
-      ylo = yhi = y;
-      return;
-    }
-    xlo = std::min(xlo, x);
-    ylo = std::min(ylo, y);
-    xhi = std::max(xhi, x);
-    yhi = std::max(yhi, y);
+bool overlapsAny(const GCellRect& rect, const std::vector<GCellRect>& regions) {
+  for (const GCellRect& region : regions) {
+    if (rect.overlaps(region)) return true;
   }
-
-  bool overlaps(const ConflictRect& o) const {
-    if (empty() || o.empty()) return false;
-    return xlo <= o.xhi && o.xlo <= xhi && ylo <= o.yhi && o.ylo <= yhi;
-  }
-
-  long area() const {
-    if (empty()) return 0;
-    return static_cast<long>(xhi - xlo + 1) * (yhi - ylo + 1);
-  }
-};
-
-}  // namespace
+  return false;
+}
 
 GlobalRouter::GlobalRouter(const db::Database& db,
                            GlobalRouterOptions options)
@@ -74,6 +48,66 @@ std::vector<GPoint> GlobalRouter::netTerminals(db::NetId net) const {
   terminals.erase(std::unique(terminals.begin(), terminals.end()),
                   terminals.end());
   return terminals;
+}
+
+GCellRect GlobalRouter::netExtent(db::NetId net) const {
+  GCellRect rect;
+  for (const GPoint& t : netTerminals(net)) rect.cover(t.x, t.y);
+  for (const RouteSegment& seg : routes_.at(net).segments) {
+    rect.cover(seg.a.x, seg.a.y);
+    rect.cover(seg.b.x, seg.b.y);
+  }
+  return rect;
+}
+
+std::vector<db::NetId> GlobalRouter::netsTouchingRegion(
+    const std::vector<GCellRect>& regions) const {
+  std::vector<db::NetId> nets;
+  if (regions.empty()) return nets;
+  for (db::NetId net = 0; net < db_.numNets(); ++net) {
+    if (overlapsAny(netExtent(net), regions)) nets.push_back(net);
+  }
+  return nets;
+}
+
+void GlobalRouter::syncNetCount() {
+  while (routes_.size() < static_cast<std::size_t>(db_.numNets())) {
+    NetRoute route;
+    route.net = static_cast<db::NetId>(routes_.size());
+    routes_.push_back(std::move(route));
+  }
+}
+
+bool GlobalRouter::routeOverflowed(
+    db::NetId net, const std::vector<GCellRect>* within) const {
+  const NetRoute& route = routes_.at(net);
+  if (!route.routed) return false;
+  const auto counts = [&](int x, int y) {
+    if (within == nullptr) return true;
+    GCellRect point;
+    point.cover(x, y);
+    return overlapsAny(point, *within);
+  };
+  for (const RouteSegment& rawSeg : route.segments) {
+    const RouteSegment seg = normalized(rawSeg);
+    if (seg.isVia()) continue;
+    if (seg.a.x != seg.b.x) {
+      for (int x = seg.a.x; x < seg.b.x; ++x) {
+        if (counts(x, seg.a.y) &&
+            graph_.overflow(WireEdge{seg.a.layer, x, seg.a.y}) > 0.0) {
+          return true;
+        }
+      }
+    } else {
+      for (int y = seg.a.y; y < seg.b.y; ++y) {
+        if (counts(seg.a.x, y) &&
+            graph_.overflow(WireEdge{seg.a.layer, seg.a.x, y}) > 0.0) {
+          return true;
+        }
+      }
+    }
+  }
+  return false;
 }
 
 void GlobalRouter::ripUp(db::NetId net) {
@@ -158,20 +192,10 @@ std::vector<std::vector<db::NetId>> GlobalRouter::planRerouteBatches(
   const int maxY = graph_.grid().countY() - 1;
   int rejections = 0;
 
-  std::vector<ConflictRect> rects(nets.size());
+  std::vector<GCellRect> rects(nets.size());
   for (std::size_t i = 0; i < nets.size(); ++i) {
-    ConflictRect& rect = rects[i];
-    for (const GPoint& t : netTerminals(nets[i])) rect.cover(t.x, t.y);
-    for (const RouteSegment& seg : routes_.at(nets[i]).segments) {
-      rect.cover(seg.a.x, seg.a.y);
-      rect.cover(seg.b.x, seg.b.y);
-    }
-    if (!rect.empty()) {
-      rect.xlo = std::max(0, rect.xlo - margin);
-      rect.ylo = std::max(0, rect.ylo - margin);
-      rect.xhi = std::min(maxX, rect.xhi + margin);
-      rect.yhi = std::min(maxY, rect.yhi + margin);
-    }
+    rects[i] = netExtent(nets[i]);
+    rects[i].expand(margin, maxX, maxY);
   }
   std::vector<std::size_t> order(nets.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
@@ -181,13 +205,13 @@ std::vector<std::vector<db::NetId>> GlobalRouter::planRerouteBatches(
                    });
 
   std::vector<std::vector<db::NetId>> batches;
-  std::vector<std::vector<ConflictRect>> batchRects;
+  std::vector<std::vector<GCellRect>> batchRects;
   for (const std::size_t i : order) {
-    const ConflictRect& rect = rects[i];
+    const GCellRect& rect = rects[i];
     std::size_t color = 0;
     for (; color < batches.size(); ++color) {
       bool clash = false;
-      for (const ConflictRect& other : batchRects[color]) {
+      for (const GCellRect& other : batchRects[color]) {
         if (rect.overlaps(other)) {
           clash = true;
           break;
@@ -303,24 +327,7 @@ GlobalRouteStats GlobalRouter::run() {
         victims.push_back(net);
         continue;
       }
-      bool overflowed = false;
-      for (const RouteSegment& rawSeg : route.segments) {
-        const RouteSegment seg = normalized(rawSeg);
-        if (seg.isVia()) continue;
-        if (seg.a.x != seg.b.x) {
-          for (int x = seg.a.x; x < seg.b.x && !overflowed; ++x) {
-            overflowed =
-                graph_.overflow(WireEdge{seg.a.layer, x, seg.a.y}) > 0.0;
-          }
-        } else {
-          for (int y = seg.a.y; y < seg.b.y && !overflowed; ++y) {
-            overflowed =
-                graph_.overflow(WireEdge{seg.a.layer, seg.a.x, y}) > 0.0;
-          }
-        }
-        if (overflowed) break;
-      }
-      if (overflowed) victims.push_back(net);
+      if (routeOverflowed(net)) victims.push_back(net);
     }
     if (victims.empty()) break;
     CRP_LOG_DEBUG("groute RRR round {}: {} overflowed nets", round,

@@ -42,6 +42,58 @@ struct GlobalRouterOptions {
   int routerThreads = 0;
 };
 
+/// Inclusive gcell rectangle (layer-agnostic).  The currency of the
+/// conflict-free batch planner and of the ECO engine's dirty-region
+/// bookkeeping: a net's extent, a delta's dirty footprint and a cache
+/// entry's terminal bbox are all GCellRects, and "does this net /
+/// cache entry need attention" is an overlap test.
+struct GCellRect {
+  int xlo = 0, ylo = 0, xhi = -1, yhi = -1;  // empty by default
+
+  bool empty() const { return xhi < xlo || yhi < ylo; }
+
+  void cover(int x, int y) {
+    if (empty()) {
+      xlo = xhi = x;
+      ylo = yhi = y;
+      return;
+    }
+    xlo = std::min(xlo, x);
+    ylo = std::min(ylo, y);
+    xhi = std::max(xhi, x);
+    yhi = std::max(yhi, y);
+  }
+
+  void cover(const GCellRect& o) {
+    if (o.empty()) return;
+    cover(o.xlo, o.ylo);
+    cover(o.xhi, o.yhi);
+  }
+
+  bool overlaps(const GCellRect& o) const {
+    if (empty() || o.empty()) return false;
+    return xlo <= o.xhi && o.xlo <= xhi && ylo <= o.yhi && o.ylo <= yhi;
+  }
+
+  /// Grows by `margin` gcells on every side, clamped to [0, max].
+  void expand(int margin, int maxX, int maxY) {
+    if (empty()) return;
+    xlo = std::max(0, xlo - margin);
+    ylo = std::max(0, ylo - margin);
+    xhi = std::min(maxX, xhi + margin);
+    yhi = std::min(maxY, yhi + margin);
+  }
+
+  long area() const {
+    if (empty()) return 0;
+    return static_cast<long>(xhi - xlo + 1) * (yhi - ylo + 1);
+  }
+};
+
+/// True when `rect` overlaps any rect of `regions` (the dirty-region
+/// membership test of the ECO engine).
+bool overlapsAny(const GCellRect& rect, const std::vector<GCellRect>& regions);
+
 struct GlobalRouteStats {
   geom::Coord wirelengthDbu = 0;
   long vias = 0;
@@ -70,6 +122,32 @@ class GlobalRouter {
 
   /// Pin terminals of a net at the current cell positions.
   std::vector<GPoint> netTerminals(db::NetId net) const;
+
+  /// Inclusive gcell extent of everything a net occupies or can be
+  /// asked to rip up: current terminals plus the committed route.
+  /// Empty for an unrouted net with fewer than one gcell of pins.
+  GCellRect netExtent(db::NetId net) const;
+
+  /// Nets whose extent overlaps any of `regions`, in net-id order
+  /// (deterministic).  The ECO engine's "routes crossing the dirty
+  /// region" query.
+  std::vector<db::NetId> netsTouchingRegion(
+      const std::vector<GCellRect>& regions) const;
+
+  /// Grows the route table after nets were appended to the database
+  /// (ECO net adds); existing routes are untouched.  The router never
+  /// observes net removals — ECO detaches pins instead (docs/eco.md).
+  void syncNetCount();
+
+  /// True when any wire edge of the net's committed route is currently
+  /// overflowed — the RRR victim test, exposed so the ECO engine can
+  /// restrict its congestion response to overflowed crossers instead of
+  /// every route near the delta.  With `within`, only overflowed edges
+  /// whose gcell lies inside one of those rects count: a crosser that
+  /// is congested solely at some far-away hotspot is not the ECO's
+  /// problem.  False for unrouted nets.
+  bool routeOverflowed(db::NetId net,
+                       const std::vector<GCellRect>* within = nullptr) const;
 
   /// Removes a net's route from the demand maps (no-op when unrouted).
   void ripUp(db::NetId net);

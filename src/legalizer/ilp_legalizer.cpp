@@ -71,6 +71,29 @@ bool spanFree(const std::vector<Rect>& obstacles, Coord x, Coord w,
 
 }  // namespace
 
+IlpLegalizer::IlpLegalizer(const db::Database& db, LegalizerOptions options)
+    : db_(db), options_(options) {
+  rowIndex_.resize(static_cast<std::size_t>(db_.numRows()));
+  for (CellId cell = 0; cell < db_.numCells(); ++cell) {
+    const Rect rect = db_.cellRect(cell);
+    maxCellWidth_ = std::max(maxCellWidth_, rect.width());
+    for (int r = 0; r < db_.numRows(); ++r) {
+      const Coord yStart = db_.row(r).origin.y;
+      if (rect.ylo < yStart + db_.rowHeight() && rect.yhi > yStart) {
+        rowIndex_[static_cast<std::size_t>(r)].push_back(
+            RowEntry{rect.xlo, cell});
+      }
+    }
+  }
+  for (std::vector<RowEntry>& bucket : rowIndex_) {
+    std::sort(bucket.begin(), bucket.end(),
+              [](const RowEntry& a, const RowEntry& b) {
+                if (a.xlo != b.xlo) return a.xlo < b.xlo;
+                return a.id < b.id;
+              });
+  }
+}
+
 std::vector<LegalizedCandidate> IlpLegalizer::generate(db::CellId cell) const {
   CRP_OBS_SPAN("gcp", "legalizer.window");
   CRP_OBS_COUNT("legalizer.windows", 1);
@@ -98,14 +121,34 @@ std::vector<LegalizedCandidate> IlpLegalizer::generate(db::CellId cell) const {
                         db_.row(rowHi).origin.y + rowH};
 
   // ---- window occupancy -----------------------------------------------------
+  // Row-bucket index query (see constructor).  Cells land in ascending
+  // id order after the sort, matching the full-scan order this replaced
+  // — the ILP sees an identical window, so flows are value-exact.
   std::vector<WindowCell> windowCells;
-  for (CellId other = 0; other < db_.numCells(); ++other) {
-    if (other == cell) continue;
-    const Rect rect = db_.cellRect(other);
-    if (!rect.overlaps(windowRect)) continue;
-    windowCells.push_back(
-        WindowCell{other, rect, !db_.cell(other).fixed});
+  for (int rowIdx = rowLo; rowIdx <= rowHi; ++rowIdx) {
+    const std::vector<RowEntry>& bucket =
+        rowIndex_[static_cast<std::size_t>(rowIdx)];
+    const Coord first = windowRect.xlo - maxCellWidth_;
+    auto it = std::lower_bound(bucket.begin(), bucket.end(), first,
+                               [](const RowEntry& entry, Coord x) {
+                                 return entry.xlo < x;
+                               });
+    for (; it != bucket.end() && it->xlo < windowRect.xhi; ++it) {
+      if (it->id == cell) continue;
+      const Rect rect = db_.cellRect(it->id);
+      if (!rect.overlaps(windowRect)) continue;
+      windowCells.push_back(WindowCell{it->id, rect, !db_.cell(it->id).fixed});
+    }
   }
+  std::sort(windowCells.begin(), windowCells.end(),
+            [](const WindowCell& a, const WindowCell& b) {
+              return a.id < b.id;
+            });
+  windowCells.erase(std::unique(windowCells.begin(), windowCells.end(),
+                                [](const WindowCell& a, const WindowCell& b) {
+                                  return a.id == b.id;
+                                }),
+                    windowCells.end());
 
   const Point median = db_.medianPosition(cell);
 

@@ -40,12 +40,20 @@ struct LegalizerOptions {
 
 class IlpLegalizer {
  public:
-  IlpLegalizer(const db::Database& db, LegalizerOptions options = {})
-      : db_(db), options_(options) {}
+  /// Snapshots a row-bucketed spatial index of the current cell
+  /// positions (every consumer — the GCP phase, tests, benches —
+  /// constructs a fresh legalizer after positions change; the framework
+  /// builds one per iteration).  The index turns the per-window
+  /// occupancy query from a full-database scan into a scan of the
+  /// window's rows, which is what keeps GCP cost proportional to the
+  /// critical set instead of critical-set x design size.
+  IlpLegalizer(const db::Database& db, LegalizerOptions options = {});
 
   /// Proposes legal candidates for `cell` (its current position is NOT
   /// included — the framework adds it separately per Alg. 2 line 2).
-  /// Thread-safe: reads the database, never mutates it.
+  /// Thread-safe: reads the database and the snapshot index, never
+  /// mutates either.  Positions must not have changed since
+  /// construction.
   std::vector<LegalizedCandidate> generate(db::CellId cell) const;
 
   const LegalizerOptions& options() const { return options_; }
@@ -53,8 +61,16 @@ class IlpLegalizer {
  private:
   struct Window;
 
+  /// One cell's x-span within a row bucket, sorted by xlo.
+  struct RowEntry {
+    geom::Coord xlo = 0;
+    db::CellId id = db::kInvalidId;
+  };
+
   const db::Database& db_;
   LegalizerOptions options_;
+  std::vector<std::vector<RowEntry>> rowIndex_;  ///< one bucket per row
+  geom::Coord maxCellWidth_ = 0;
 };
 
 /// Verifies that applying `candidate` for `cell` yields a placement

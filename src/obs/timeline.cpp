@@ -23,6 +23,7 @@ Json TimelineRecord::toJson() const {
   record.set("overflowAfter", overflowAfter);
   record.set("overflowedEdgesBefore", overflowedEdgesBefore);
   record.set("overflowedEdgesAfter", overflowedEdgesAfter);
+  if (eco) record.set("eco", true);
   return record;
 }
 
@@ -47,6 +48,7 @@ TimelineRecord TimelineRecord::fromJson(const Json& json) {
       static_cast<int>(json.at("overflowedEdgesBefore").asInt());
   record.overflowedEdgesAfter =
       static_cast<int>(json.at("overflowedEdgesAfter").asInt());
+  if (const Json* eco = json.find("eco")) record.eco = eco->asBool();
   return record;
 }
 
@@ -64,7 +66,7 @@ std::string formatTimeline(const std::vector<TimelineRecord>& timeline) {
        << "  " << std::setw(7) << r.reroutedNets << "  " << std::fixed
        << std::setprecision(2) << r.overflowBefore << " -> "
        << r.overflowAfter << " (" << r.overflowedEdgesBefore << " -> "
-       << r.overflowedEdgesAfter << ")\n";
+       << r.overflowedEdgesAfter << ")" << (r.eco ? "  [eco]" : "") << "\n";
   }
   return os.str();
 }
@@ -75,7 +77,7 @@ std::string timelineCsv(const std::vector<TimelineRecord>& timeline) {
         "movesSelected,selectedCost,movedCells,displacedCells,"
         "totalDisplacementDbu,maxDisplacementDbu,reroutedNets,"
         "overflowBefore,overflowAfter,overflowedEdgesBefore,"
-        "overflowedEdgesAfter\n";
+        "overflowedEdgesAfter,eco\n";
   for (const TimelineRecord& r : timeline) {
     os << r.iteration << ',' << r.criticalCells << ',' << r.dampedCells << ','
        << r.candidatesGenerated << ',' << r.netsPriced << ','
@@ -83,7 +85,8 @@ std::string timelineCsv(const std::vector<TimelineRecord>& timeline) {
        << ',' << r.displacedCells << ',' << r.totalDisplacementDbu << ','
        << r.maxDisplacementDbu << ',' << r.reroutedNets << ','
        << r.overflowBefore << ',' << r.overflowAfter << ','
-       << r.overflowedEdgesBefore << ',' << r.overflowedEdgesAfter << '\n';
+       << r.overflowedEdgesBefore << ',' << r.overflowedEdgesAfter << ','
+       << (r.eco ? 1 : 0) << '\n';
   }
   return os.str();
 }

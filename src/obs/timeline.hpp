@@ -45,6 +45,12 @@ struct TimelineRecord {
   int overflowedEdgesBefore = 0;
   int overflowedEdgesAfter = 0;
 
+  /// True for iterations driven by CrpFramework::runEco (restricted
+  /// scope, persistent pricing cache).  Serialized only when set, so
+  /// batch-run reports — and their fingerprints — stay byte-identical
+  /// to the pre-ECO format.
+  bool eco = false;
+
   Json toJson() const;
   static TimelineRecord fromJson(const Json& json);
 };

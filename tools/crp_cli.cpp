@@ -4,8 +4,22 @@
 // library reads and writes):
 //
 //   crp generate out.lef out.def [--cells N] [--util U] [--hotspots H]
-//                [--seed S]
-//       Generate a synthetic ISPD-2018-style benchmark.
+//                [--seed S] [--perturb SEED,FRAC]
+//       Generate a synthetic ISPD-2018-style benchmark.  --perturb also
+//       derives an EcoDelta touching FRAC of the cells and writes it
+//       next to out.def as <stem>.eco.json — the paired input for
+//       `crp eco`.
+//
+//   crp eco in.lef in.def delta.json out.def out.guide [--k N]
+//           [--base-k N] [--halo G] [--seed S] [--router-threads N]
+//           [--audit off|phase|paranoid] [--compare-scratch 1]
+//           [--report-out report.json]
+//       Incremental ECO (docs/eco.md): global-route the input, apply
+//       the JSON delta transactionally, patch only the dirty gcell
+//       region, and run --k restricted CR&P iterations.  --base-k runs
+//       full iterations before the delta (modelling an already-
+//       optimized input).  --compare-scratch re-runs the same delta
+//       from scratch and prints the wall-clock speedup.
 //
 //   crp route in.lef in.def out.guide
 //       Global-route and write the route guides.
@@ -43,12 +57,16 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bmgen/generator.hpp"
+#include "bmgen/perturb.hpp"
 #include "bmgen/suite.hpp"
 #include "crp/framework.hpp"
+#include "db/eco.hpp"
 #include "db/legality.hpp"
 #include "dplace/detailed_placer.hpp"
 #include "droute/detailed_router.hpp"
@@ -63,6 +81,7 @@
 #include "obs/obs.hpp"
 #include "obs/run_report.hpp"
 #include "util/string_util.hpp"
+#include "util/timer.hpp"
 #include "viz/svg_writer.hpp"
 
 namespace {
@@ -130,7 +149,128 @@ int cmdGenerate(const Args& args) {
   std::cout << "generated " << db.numCells() << " cells / " << db.numNets()
             << " nets -> " << args.positional[0] << ", "
             << args.positional[1] << "\n";
+  const auto perturbIt = args.flags.find("perturb");
+  if (perturbIt != args.flags.end()) {
+    // --perturb SEED,FRAC: the paired-benchmark emission (docs/eco.md).
+    bmgen::PerturbOptions perturb;
+    const std::string& value = perturbIt->second;
+    const std::size_t comma = value.find(',');
+    perturb.seed = static_cast<std::uint64_t>(
+        std::atof(value.substr(0, comma).c_str()));
+    if (comma != std::string::npos) {
+      perturb.frac = std::atof(value.substr(comma + 1).c_str());
+    }
+    const db::EcoDelta delta = bmgen::perturbDesign(db, perturb);
+    std::filesystem::path deltaPath(args.positional[1]);
+    deltaPath.replace_extension(".eco.json");
+    std::ofstream out(deltaPath);
+    if (!out) {
+      std::cerr << "error: cannot write " << deltaPath.string() << "\n";
+      return 1;
+    }
+    out << db::ecoDeltaToJson(delta).dump(2) << "\n";
+    std::cout << "eco delta (" << delta.size() << " edits, seed "
+              << perturb.seed << ", frac " << perturb.frac << ") -> "
+              << deltaPath.string() << "\n";
+  }
   return 0;
+}
+
+int writeObsArtifacts(const Args& args, core::CrpFramework& framework);
+
+int cmdEco(const Args& args) {
+  if (args.positional.size() < 5) {
+    std::cerr << "usage: crp eco in.lef in.def delta.json out.def out.guide "
+                 "[--k N] [--base-k N] [--halo G] [--seed S] "
+                 "[--router-threads N] [--audit off|phase|paranoid] "
+                 "[--compare-scratch 1] [--report-out report.json]\n";
+    return 2;
+  }
+  obs::setEnabled(args.number("obs", 1) > 0);
+  auto db = loadDesign(args.positional[0], args.positional[1]);
+  if (!db::isPlacementLegal(db)) {
+    std::cerr << "error: input placement is not legal\n";
+    return 1;
+  }
+  db::EcoDelta delta;
+  {
+    std::ifstream in(args.positional[2]);
+    if (!in) {
+      std::cerr << "error: cannot read " << args.positional[2] << "\n";
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    delta = db::ecoDeltaFromJson(obs::Json::parse(text.str()));
+  }
+
+  const int routerThreads =
+      static_cast<int>(args.number("router-threads", 0));
+  groute::GlobalRouterOptions routerOptions;
+  routerOptions.routerThreads = routerThreads;
+  groute::GlobalRouter router(db, routerOptions);
+  router.run();
+
+  core::CrpOptions options;
+  options.iterations = static_cast<int>(args.number("base-k", 0));
+  options.seed = static_cast<std::uint64_t>(args.number("seed", 1));
+  options.routerThreads = routerThreads;
+  if (args.flags.count("audit") != 0) {
+    const auto level = check::auditLevelFromString(args.flags.at("audit"));
+    if (!level) {
+      std::cerr << "unknown --audit level '" << args.flags.at("audit")
+                << "' (want off|phase|paranoid)\n";
+      return 2;
+    }
+    options.auditLevel = *level;
+  }
+  core::CrpFramework framework(db, router, options);
+  if (options.iterations > 0) framework.run();
+
+  // Fork the pre-delta state only when the scratch comparison needs it.
+  const bool compareScratch = args.number("compare-scratch", 0) > 0;
+  std::optional<db::Database> scratchDb;
+  if (compareScratch) scratchDb = db;
+
+  core::EcoOptions eco;
+  eco.iterations = static_cast<int>(args.number("k", 1));
+  eco.haloGCells = static_cast<int>(args.number("halo", eco.haloGCells));
+  const core::EcoReport report = framework.runEco(delta, eco);
+  std::cout << "eco: " << delta.size() << " edits -> " << report.dirtyNets
+            << " dirty nets, " << report.scopeCells << " scope cells, "
+            << report.cacheEvictions << " cache evictions, "
+            << report.crp.totalMoves << " moves, "
+            << report.crp.totalReroutes << " reroutes in "
+            << report.totalSeconds << " s; placement legal: "
+            << (db::isPlacementLegal(db) ? "yes" : "NO") << "\n";
+  lefdef::writeDefFile(args.positional[3], db);
+  lefdef::writeGuidesFile(args.positional[4], db, router.buildGuides());
+  std::cout << "outputs -> " << args.positional[3] << ", "
+            << args.positional[4] << "\n";
+
+  if (compareScratch) {
+    util::Stopwatch scratchTimer;
+    db::applyEcoDelta(*scratchDb, delta);
+    groute::GlobalRouter scratchRouter(*scratchDb, routerOptions);
+    scratchRouter.run();
+    core::CrpOptions scratchOptions = options;
+    scratchOptions.iterations = eco.iterations;
+    core::CrpFramework scratchFramework(*scratchDb, scratchRouter,
+                                        scratchOptions);
+    scratchFramework.run();
+    const double scratchSeconds = scratchTimer.seconds();
+    const auto ecoStats = router.stats();
+    const auto scratchStats = scratchRouter.stats();
+    std::cout << "scratch: " << scratchSeconds << " s ("
+              << (report.totalSeconds > 0.0
+                      ? scratchSeconds / report.totalSeconds
+                      : 0.0)
+              << "x speedup); wl eco=" << ecoStats.wirelengthDbu
+              << " scratch=" << scratchStats.wirelengthDbu
+              << ", vias eco=" << ecoStats.vias
+              << " scratch=" << scratchStats.vias << "\n";
+  }
+  return writeObsArtifacts(args, framework);
 }
 
 int cmdRoute(const Args& args) {
@@ -404,8 +544,8 @@ int cmdSuite(const Args& args) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: crp <generate|route|run|detail|flow|place|svg|congestion|"
-                 "suite> ...\n";
+    std::cerr << "usage: crp <generate|route|run|eco|detail|flow|place|svg|"
+                 "congestion|suite> ...\n";
     return 2;
   }
   const std::string command = argv[1];
@@ -414,6 +554,7 @@ int main(int argc, char** argv) {
     if (command == "generate") return cmdGenerate(args);
     if (command == "route") return cmdRoute(args);
     if (command == "run") return cmdRun(args);
+    if (command == "eco") return cmdEco(args);
     if (command == "detail") return cmdDetail(args);
     if (command == "flow") return cmdFlow(args);
     if (command == "congestion") return cmdCongestion(args);

@@ -4,10 +4,11 @@
 //   crp_fuzz [--seeds N] [--seed-start S] [--k K]
 //            [--min-cells N] [--max-cells N] [--router-threads N]
 //            [--level off|phase|paranoid] [--artifacts DIR]
-//            [--no-minimize]
+//            [--no-minimize] [--eco 1]
 //       Run a campaign over seeds [S, S+N).  Exit 0 when every seed
 //       passes (clean audits, bit-identical fingerprints across the
-//       paired configurations), 1 otherwise.
+//       paired configurations), 1 otherwise.  --eco 1 appends the
+//       eco-vs-scratch paired leg to every seed.
 //
 //   crp_fuzz --replay SEED [--cells N] [--k K] [...]
 //       Re-run one seed, optionally at a minimized size — the command
@@ -82,7 +83,7 @@ int main(int argc, char** argv) {
               << "                [--min-cells N] [--max-cells N]\n"
               << "                [--router-threads N] [--artifacts DIR]\n"
               << "                [--level off|phase|paranoid]\n"
-              << "                [--no-minimize 1] [--replay SEED "
+              << "                [--no-minimize 1] [--eco 1] [--replay SEED "
                  "[--cells N]]\n";
     return 2;
   }
@@ -96,6 +97,7 @@ int main(int argc, char** argv) {
   options.routerThreadsVariant =
       static_cast<int>(args.number("router-threads", 4));
   options.minimize = !args.has("no-minimize");
+  options.ecoLeg = args.number("eco", 0) != 0;
   if (args.has("artifacts")) options.artifactDir = args.flags.at("artifacts");
   if (args.has("level")) {
     const auto level = check::auditLevelFromString(args.flags.at("level"));

@@ -127,9 +127,18 @@ int cmdTimeline(const Args& args) {
   const obs::RunReport report =
       obs::RunReport::fromJson(loadJsonFile(args.positional[0]));
   if (report.timeline.empty()) {
-    std::cerr << "error: report carries no timeline (was the run made with "
-                 "--snapshots 1 and --obs 1?)\n";
-    return 1;
+    // Not an error: a report without the spatial tier is a normal
+    // artifact.  Explain what is (and is not) in it instead of failing
+    // or emitting a header-only CSV.
+    std::cout << "timeline: no records in this report ("
+              << report.iterationStats.size()
+              << " iteration(s) of scalar stats present)\n"
+              << "hint: the timeline is captured when the run is made "
+                 "with --snapshots 1 and --obs 1\n";
+    if (args.flags.count("csv") != 0) {
+      std::cout << "csv: skipped (no timeline records)\n";
+    }
+    return 0;
   }
   std::cout << obs::formatTimeline(report.timeline);
 
