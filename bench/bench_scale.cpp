@@ -1,0 +1,135 @@
+// BENCH_scale.json: the scale ladder (docs/scenarios.md).
+//
+// Runs the full in-process flow — generate -> global route -> CR&P
+// (k=1) -> final paranoid audit — at 10K, 30K and 100K cells, with
+// both scenario axes on (a handful of fixed macro blocks and 10%
+// double-height cells), and records the wall clock of every stage plus
+// the process peak RSS after each rung.  The point is not a speedup
+// gate but a growth curve: a superlinear blowup in any stage (or in
+// memory) between rungs is a regression even when every small-design
+// bench stays green.
+//
+// The final audit runs the full paranoid catalog (placement legality
+// incl. macro overlap and height alignment, demand exactness, blockage
+// demand, I/O round trips) and every rung must come back clean — the
+// ladder doubles as the "100K cells through the whole flow, audited"
+// acceptance check.
+//
+// Env knobs: CRP_SCALE_K (CR&P iterations, default 1),
+// CRP_SCALE_ROUTER_THREADS (default 1).
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bmgen/generator.hpp"
+#include "check/audit.hpp"
+#include "crp/framework.hpp"
+#include "flow_common.hpp"
+#include "groute/global_router.hpp"
+#include "obs/json.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+/// Peak resident set size of this process in MiB (ru_maxrss is KiB on
+/// Linux).  Monotone over the run, so per-rung deltas understate later
+/// rungs that fit inside an earlier peak — the absolute value is the
+/// honest number, and the ladder runs smallest-first so the 100K rung's
+/// reading is its own.
+double peakRssMib() {
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace crp;
+
+  const int k = bench::envInt("CRP_SCALE_K", 1);
+  const int routerThreads = bench::envInt("CRP_SCALE_ROUTER_THREADS", 1);
+  const std::vector<int> ladder = {10000, 30000, 100000};
+
+  std::printf("bench_scale: k=%d, router threads=%d\n\n", k, routerThreads);
+  std::printf("%8s %8s %8s %8s %9s %9s %10s  %s\n", "cells", "gen_s", "gr_s",
+              "crp_s", "audit_s", "total_s", "peak_mib", "audit");
+
+  obs::Json rungs = obs::Json::array();
+  int failures = 0;
+  for (const int cells : ladder) {
+    bmgen::BenchmarkSpec spec;
+    spec.name = "scale_" + std::to_string(cells);
+    spec.targetCells = cells;
+    spec.seed = 29;
+    spec.utilization = 0.75;
+    spec.hotspots = 2;
+    spec.macroCount = 4;
+    spec.multiRowFrac = 0.1;
+
+    util::Stopwatch watch;
+    auto db = bmgen::generateBenchmark(spec);
+    const double genSeconds = watch.seconds();
+
+    watch.restart();
+    groute::GlobalRouterOptions routerOptions;
+    routerOptions.routerThreads = routerThreads;
+    groute::GlobalRouter router(db, routerOptions);
+    router.run();
+    const double grSeconds = watch.seconds();
+
+    watch.restart();
+    core::CrpOptions options;
+    options.iterations = k;
+    options.routerThreads = routerThreads;
+    core::CrpFramework framework(db, router, options);
+    framework.run();
+    const double crpSeconds = watch.seconds();
+
+    watch.restart();
+    const check::DbAuditor auditor(db, &router);
+    const check::AuditReport report = auditor.auditAll();
+    const double auditSeconds = watch.seconds();
+    if (!report.clean()) {
+      ++failures;
+      std::printf("audit FAILED at %d cells:\n%s\n", cells,
+                  report.summary().c_str());
+    }
+
+    const double rssMib = peakRssMib();
+    const double totalSeconds =
+        genSeconds + grSeconds + crpSeconds + auditSeconds;
+    std::printf("%8d %8.2f %8.2f %8.2f %9.2f %9.2f %10.1f  %s\n", db.numCells(),
+                genSeconds, grSeconds, crpSeconds, auditSeconds, totalSeconds,
+                rssMib, report.clean() ? "clean" : "DIRTY");
+
+    obs::Json row = obs::Json::object();
+    row.set("target_cells", cells);
+    row.set("cells", db.numCells());
+    row.set("nets", db.numNets());
+    row.set("generate_seconds", genSeconds);
+    row.set("global_route_seconds", grSeconds);
+    row.set("crp_seconds", crpSeconds);
+    row.set("audit_seconds", auditSeconds);
+    row.set("total_seconds", totalSeconds);
+    row.set("peak_rss_mib", rssMib);
+    row.set("audit_clean", report.clean());
+    rungs.append(std::move(row));
+  }
+
+  obs::Json summary = obs::Json::object();
+  summary.set("benchmark", "bench_scale");
+  summary.set("suite", "bmgen scale ladder, macros + mixed heights");
+  summary.set("crp_iterations", k);
+  summary.set("router_threads", routerThreads);
+  summary.set("failures", failures);
+  summary.set("rungs", std::move(rungs));
+
+  std::ofstream out("BENCH_scale.json");
+  out << summary.dump(2) << "\n";
+  std::printf("\nwrote BENCH_scale.json\n");
+  return failures == 0 ? 0 : 1;
+}

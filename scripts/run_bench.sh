@@ -14,10 +14,14 @@
 #   3. Incremental-ECO vs from-scratch over the crp_test1..10 suite
 #      (bench_eco), distilled into BENCH_eco.json with a >= 10x
 #      median-speedup gate for the recorded 0.5%-of-cells deltas.
-#   4. Every BENCH_*.json is stamped with the host CPU count and the
+#   4. The scale ladder (bench_scale): the full flow at 10K/30K/100K
+#      cells with macros and mixed heights on, wall clock per stage and
+#      peak RSS per rung, every rung ending in a clean paranoid audit —
+#      distilled into BENCH_scale.json.  Skip with CRP_SKIP_SCALE=1.
+#   5. Every BENCH_*.json is stamped with the host CPU count and the
 #      git SHA of the tree that produced it, so recorded numbers stay
 #      attributable.
-#   5. ThreadPool + pricing + observability + parallel-reroute tests
+#   6. ThreadPool + pricing + observability + parallel-reroute tests
 #      under ThreadSanitizer (CRP_SANITIZE=thread, separate build
 #      tree), guarding the sharded cache, the dynamic parallelFor
 #      scheduling, the metrics registry / span tracer / flight-recorder
@@ -211,6 +215,14 @@ assert summary["failures"] == 0, \
 assert summary["median_speedup"] >= 10.0, \
     f"eco median speedup {summary['median_speedup']}x below the 10x target"
 EOF
+
+# ---- scale ladder -----------------------------------------------------------
+# Growth curve, not a speedup gate: wall clock per stage and peak RSS
+# at 10K/30K/100K cells (scenario axes on), each rung audited paranoid.
+# bench_scale exits nonzero when any rung's final audit is dirty.
+if [[ "${CRP_SKIP_SCALE:-0}" != "1" ]]; then
+  "$BUILD"/bench/bench_scale
+fi
 
 # ---- provenance stamp ------------------------------------------------------
 python3 - <<'EOF'

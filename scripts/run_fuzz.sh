@@ -9,7 +9,11 @@
 #      both sides and WL/via/overflow parity; disable with
 #      CRP_FUZZ_ECO=0).  Failing seeds are minimized and dumped under
 #      fuzz-artifacts/ with a one-line replay command.
-#   2. A shorter campaign in a separate ASan+UBSan build tree
+#   2. Scenario-axis campaigns (docs/scenarios.md): the same 25-seed
+#      window re-run with fixed macro blocks + routing blockages
+#      (--macros) and again with mixed cell heights (--multi-row),
+#      both at paranoid audit level.  Skip with CRP_SKIP_SCENARIOS=1.
+#   3. A shorter campaign in a separate ASan+UBSan build tree
 #      (CRP_SANITIZE=address), so memory errors on the audited paths
 #      surface even when every invariant holds.  Skip with
 #      CRP_SKIP_ASAN=1.
@@ -30,6 +34,16 @@ cmake --build "$BUILD" -j "$(nproc)" --target crp_fuzz
 
 "$BUILD"/tools/crp_fuzz --seeds "$SEEDS" --seed-start "$SEED_START" --k 2 \
   --eco "$ECO" --artifacts fuzz-artifacts
+
+if [[ "${CRP_SKIP_SCENARIOS:-0}" != "1" ]]; then
+  # Macro/blockage axis: up to 3 fixed macro blocks per seed, each with
+  # full lower-layer obstructions and a partial routing blockage.
+  "$BUILD"/tools/crp_fuzz --seeds "$SEEDS" --seed-start "$SEED_START" --k 2 \
+    --macros 3 --artifacts fuzz-artifacts-macro
+  # Mixed-height axis: per-seed multi-row cell fraction in [0.05, 0.3].
+  "$BUILD"/tools/crp_fuzz --seeds "$SEEDS" --seed-start "$SEED_START" --k 2 \
+    --multi-row 0.3 --artifacts fuzz-artifacts-multirow
+fi
 
 if [[ "${CRP_SKIP_ASAN:-0}" != "1" ]]; then
   ASAN_BUILD=build-asan

@@ -70,6 +70,46 @@ Macro makeBenchCell(const std::string& name, int widthSites, int nInputs,
   return macro;
 }
 
+/// Double-height register cell: same pin recipe as makeBenchCell but
+/// spanning two rows (the mixed-height axis).
+Macro makeDoubleHeightCell(const std::string& name, int widthSites,
+                           int nInputs, Coord siteWidth, Coord rowHeight,
+                           int pinLayer) {
+  Macro macro = makeBenchCell(name, widthSites, nInputs, siteWidth,
+                              2 * rowHeight, pinLayer);
+  return macro;
+}
+
+/// Fixed macro block: full-footprint obstructions on layers 0 and 1
+/// (so its interior is impassable on the cell layers while layers >= 2
+/// stay open for over-the-block routing), plus boundary pins on layer
+/// 2 the netlist builder wires like any other cell's pins.
+Macro makeMacroBlock(const std::string& name, int widthSites, int rowSpan,
+                     Coord siteWidth, Coord rowHeight, int pinLayer) {
+  Macro macro;
+  macro.name = name;
+  macro.width = widthSites * siteWidth;
+  macro.height = rowSpan * rowHeight;
+  const Coord ps = std::max<Coord>(2, siteWidth / 2);
+  auto addPin = [&](const std::string& pinName, db::PinDir dir, Coord cx,
+                    Coord cy) {
+    db::MacroPin pin;
+    pin.name = pinName;
+    pin.dir = dir;
+    pin.shapes.push_back(db::PinShape{
+        pinLayer, Rect{cx - ps, cy - ps, cx + ps, cy + ps}});
+    macro.pins.push_back(std::move(pin));
+  };
+  addPin("A", db::PinDir::kInput, ps, macro.height / 3);
+  addPin("B", db::PinDir::kInput, ps, 2 * macro.height / 3);
+  addPin("Y", db::PinDir::kOutput, macro.width - ps, macro.height / 2);
+  macro.obstructions.push_back(
+      db::Obstruction{0, Rect{0, 0, macro.width, macro.height}});
+  macro.obstructions.push_back(
+      db::Obstruction{1, Rect{0, 0, macro.width, macro.height}});
+  return macro;
+}
+
 Library makeBenchLibrary(Coord siteWidth, Coord rowHeight, int pinLayer) {
   Library lib;
   lib.addMacro(makeBenchCell("INV_X1", 2, 1, siteWidth, rowHeight, pinLayer));
@@ -87,6 +127,10 @@ Library makeBenchLibrary(Coord siteWidth, Coord rowHeight, int pinLayer) {
   lib.addMacro(makeBenchCell("DFF_X1", 6, 2, siteWidth, rowHeight, pinLayer));
   lib.addMacro(
       makeBenchCell("DFFR_X2", 8, 3, siteWidth, rowHeight, pinLayer));
+  // Mixed-height / macro-block axes (appended so the classic macro ids
+  // above stay stable).
+  lib.addMacro(makeDoubleHeightCell("DFF2_X2", 4, 2, siteWidth, rowHeight,
+                                    pinLayer));
   return lib;
 }
 
@@ -102,9 +146,11 @@ db::Database generateBenchmark(const BenchmarkSpec& spec) {
                                  /*pinLayer=*/0);
 
   // ---- pick macros for every cell -------------------------------------------
-  // Weighted toward small cells, like real standard-cell mixes.
+  // Weighted toward small cells, like real standard-cell mixes.  The
+  // multi-row draw is guarded so the classic single-height spec
+  // consumes the exact historical RNG stream.
   std::vector<int> macroOf(spec.targetCells);
-  Coord totalCellWidth = 0;
+  Coord totalCellWidth = 0;  // row-width equivalent: width * row span
   for (int i = 0; i < spec.targetCells; ++i) {
     const double draw = rng.uniform();
     const char* name = draw < 0.30   ? "INV_X1"
@@ -115,19 +161,41 @@ db::Database generateBenchmark(const BenchmarkSpec& spec) {
                        : draw < 0.92 ? "MUX2_X1"
                        : draw < 0.97 ? "DFF_X1"
                                      : "DFFR_X2";
+    if (spec.multiRowFrac > 0.0 && rng.bernoulli(spec.multiRowFrac)) {
+      name = "DFF2_X2";
+    }
     macroOf[i] = *lib.findMacro(name);
-    totalCellWidth += lib.macro(macroOf[i]).width;
+    const auto& m = lib.macro(macroOf[i]);
+    totalCellWidth += m.width * (m.height / spec.rowHeight);
   }
 
   // ---- floorplan: near-square core at the target utilization ----------------
+  const int blockId =
+      spec.macroCount > 0
+          ? lib.addMacro(makeMacroBlock("MACRO_BLK", spec.macroWidthSites,
+                                        spec.macroRowSpan, spec.siteWidth,
+                                        spec.rowHeight, /*pinLayer=*/2))
+          : -1;
+  const double macroArea =
+      static_cast<double>(spec.macroCount) *
+      (static_cast<double>(spec.macroWidthSites) * spec.siteWidth) *
+      (static_cast<double>(spec.macroRowSpan) * spec.rowHeight);
   const double cellArea =
       static_cast<double>(totalCellWidth) * spec.rowHeight;
-  const double coreArea = cellArea / std::max(0.05, spec.utilization);
+  const double coreArea =
+      cellArea / std::max(0.05, spec.utilization) + macroArea;
   int numRows = std::max(
       2, static_cast<int>(std::lround(std::sqrt(coreArea) / spec.rowHeight)));
+  if (spec.macroCount > 0) {
+    numRows = std::max(numRows, spec.macroRowSpan + 2);
+  }
   Coord rowWidth = static_cast<Coord>(coreArea / numRows / spec.rowHeight);
   rowWidth = ((rowWidth + spec.siteWidth - 1) / spec.siteWidth) *
              spec.siteWidth;
+  if (spec.macroCount > 0) {
+    rowWidth = std::max<Coord>(
+        rowWidth, (spec.macroWidthSites + 4) * spec.siteWidth);
+  }
   const int sitesPerRow = static_cast<int>(rowWidth / spec.siteWidth);
 
   Design design;
@@ -144,9 +212,76 @@ db::Database generateBenchmark(const BenchmarkSpec& spec) {
       3, static_cast<int>(design.dieArea.height() / spec.gcellSize));
   addTracks(design, tech);
 
+  // ---- fixed macro blocks ----------------------------------------------------
+  // Placed on the row/site grid before the cell fill; every footprint
+  // becomes an obstacle span the fill deals around.  Per-row obstacle
+  // intervals (sorted, site-aligned) also carry the upper-strip
+  // reservations of double-height cells below.
+  std::vector<std::vector<std::pair<Coord, Coord>>> rowObstacles(numRows);
+  auto addObstacle = [&](int row, Coord lo, Coord hi) {
+    auto& spans = rowObstacles[row];
+    spans.insert(std::upper_bound(spans.begin(), spans.end(),
+                                  std::make_pair(lo, hi)),
+                 {lo, hi});
+  };
+  // Smallest site-aligned x >= pos where [x, x+w) avoids the row's
+  // obstacles (assumes spans are disjoint, which macro non-overlap and
+  // left-to-right reservation guarantee).
+  auto nextFree = [&](int row, Coord pos, Coord w) {
+    for (const auto& [lo, hi] : rowObstacles[row]) {
+      if (hi <= pos) continue;
+      if (lo < pos + w) pos = hi;
+    }
+    return pos;
+  };
+  Coord macroRowWidth = 0;  // row-width equivalent consumed by macros
+  if (spec.macroCount > 0) {
+    const auto& block = lib.macro(blockId);
+    std::vector<Rect> placedBlocks;
+    const Coord marginX = 2 * spec.siteWidth;
+    for (int m = 0; m < spec.macroCount; ++m) {
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const int row = static_cast<int>(
+            rng.uniformInt(0, numRows - spec.macroRowSpan));
+        const int site = static_cast<int>(
+            rng.uniformInt(0, sitesPerRow - spec.macroWidthSites));
+        const Coord mx = static_cast<Coord>(site) * spec.siteWidth;
+        const Coord my = static_cast<Coord>(row) * spec.rowHeight;
+        const Rect rect{mx, my, mx + block.width, my + block.height};
+        const Rect inflated{rect.xlo - marginX, rect.ylo - spec.rowHeight,
+                            rect.xhi + marginX, rect.yhi + spec.rowHeight};
+        const bool clash =
+            std::any_of(placedBlocks.begin(), placedBlocks.end(),
+                        [&](const Rect& b) { return inflated.overlaps(b); });
+        if (clash) continue;
+        placedBlocks.push_back(rect);
+        Component comp;
+        comp.name = "macro_" + std::to_string(m);
+        comp.macro = blockId;
+        comp.pos = Point{mx, my};
+        comp.fixed = true;
+        design.components.push_back(comp);
+        for (int s = 0; s < spec.macroRowSpan; ++s) {
+          addObstacle(row + s, mx, mx + block.width);
+        }
+        macroRowWidth += block.width * spec.macroRowSpan;
+        // Partial layer-2 routing blockage over the block: capacity
+        // above a macro is reduced (power straps, pin shields) but not
+        // hard-blocked, so detours over the top stay possible.
+        design.blockages.push_back(db::Blockage{
+            2, Rect{rect.xlo, rect.ylo, (rect.xlo + rect.xhi) / 2,
+                    rect.yhi}});
+        break;
+      }
+    }
+  }
+  const int placedMacros = static_cast<int>(design.components.size());
+
   // ---- placement: row-fill with randomized gaps ------------------------------
   // Shuffle the cell order, then deal cells into rows left to right,
-  // inserting gap sites so the total fill matches the utilization.
+  // dealing around macro footprints and reserving the upper strips of
+  // double-height cells, inserting gap sites so the total fill matches
+  // the utilization.
   std::vector<int> order(spec.targetCells);
   std::iota(order.begin(), order.end(), 0);
   for (std::size_t i = order.size(); i > 1; --i) {
@@ -154,39 +289,70 @@ db::Database generateBenchmark(const BenchmarkSpec& spec) {
               order[static_cast<std::size_t>(rng.uniformInt(0, i - 1))]);
   }
   const Coord totalRowWidth = static_cast<Coord>(numRows) * rowWidth;
-  const Coord totalGap = std::max<Coord>(0, totalRowWidth - totalCellWidth);
+  const Coord totalGap = std::max<Coord>(
+      0, totalRowWidth - totalCellWidth - macroRowWidth);
   const double gapPerCell =
       static_cast<double>(totalGap) / std::max(1, spec.targetCells);
 
   int rowIdx = 0;
   Coord x = 0;
   double gapCredit = 0.0;
-  design.components.reserve(spec.targetCells);
+  design.components.reserve(placedMacros + spec.targetCells);
   for (const int cellIdx : order) {
     const auto& macro = lib.macro(macroOf[cellIdx]);
+    const int span = static_cast<int>(macro.height / spec.rowHeight);
     // Random gap (exponential-ish around the average).
     gapCredit += gapPerCell * rng.uniform(0.0, 2.0);
     Coord gap = (static_cast<Coord>(gapCredit) / spec.siteWidth) *
                 spec.siteWidth;
     gapCredit -= static_cast<double>(gap);
-    while (rowIdx < numRows && x + gap + macro.width > rowWidth) {
+    if (rowIdx + span > numRows) {
+      if (span > 1) continue;  // no full span left near the top: skip
+      break;
+    }
+    Coord slot = 0;
+    bool found = false;
+    while (rowIdx < numRows) {
+      if (rowIdx + span > numRows) break;
+      // Push the candidate right past obstacles in every spanned row
+      // until it stabilizes or overflows the row.
+      Coord cand = x + gap;
+      bool moved = true;
+      while (moved && cand + macro.width <= rowWidth) {
+        moved = false;
+        for (int s = 0; s < span; ++s) {
+          const Coord adv = nextFree(rowIdx + s, cand, macro.width);
+          if (adv != cand) {
+            cand = adv;
+            moved = true;
+          }
+        }
+      }
+      if (cand + macro.width <= rowWidth) {
+        slot = cand;
+        found = true;
+        break;
+      }
       // Close this row; spill remaining gap.
       ++rowIdx;
       x = 0;
       gap = 0;
     }
-    if (rowIdx >= numRows) {
+    if (!found) {
+      if (rowIdx + 1 < numRows || span > 1) continue;
       // Extremely unlikely (rounding): place in the last row flush left
       // is impossible, so grow rows pessimistically instead of failing.
       break;
     }
-    x += gap;
     Component comp;
     comp.name = "inst_" + std::to_string(cellIdx);
     comp.macro = macroOf[cellIdx];
-    comp.pos = Point{x, static_cast<Coord>(rowIdx) * spec.rowHeight};
+    comp.pos = Point{slot, static_cast<Coord>(rowIdx) * spec.rowHeight};
     design.components.push_back(comp);
-    x += macro.width;
+    for (int s = 1; s < span; ++s) {
+      addObstacle(rowIdx + s, slot, slot + macro.width);
+    }
+    x = slot + macro.width;
   }
   const int placedCells = static_cast<int>(design.components.size());
 

@@ -30,6 +30,21 @@ struct BenchmarkSpec {
   int hotspots = 0;
   /// Fraction of each hotspot's gcell capacity removed.
   double hotspotStrength = 0.5;
+  /// Fixed macro blocks placed before row fill.  Each macro carries
+  /// full-footprint obstructions on layers 0-1 (hard-blocking those
+  /// layers' interior edges while keeping upper layers free for
+  /// detours), boundary pins on layer 2 wired into the netlist, and a
+  /// partial layer-2 routing blockage over its footprint.
+  int macroCount = 0;
+  /// Macro block dimensions (sites wide x rows tall).  At 40x4 with the
+  /// default geometry a block spans ~2 gcells per axis; 60x6 spans 3,
+  /// which guarantees interior hard-blocked edges at any alignment.
+  int macroWidthSites = 40;
+  int macroRowSpan = 4;
+  /// Fraction of standard cells emitted as the double-height DFF2_X2
+  /// variant (mixed-height designs; 0 keeps the classic single-height
+  /// mix and the historical RNG stream).
+  double multiRowFrac = 0.0;
   /// Run an HPWL refinement pass (global swap + local reordering) on
   /// the generated placement, mirroring the contest benchmarks whose
   /// placements are already optimized — without it, a pure median-move

@@ -73,15 +73,21 @@ db::EcoDelta perturbDesign(const db::Database& db,
     if (used.count(a) > 0) continue;
     const db::Component& compA = db.cell(a);
     const geom::Coord widthA = db.macroOf(a).width;
+    const geom::Coord heightA = db.macroOf(a).height;
 
-    // Nearest same-width partner within the radius (ties -> lower id),
-    // so the swap is legal by construction: each cell lands exactly on
-    // the footprint the other vacated.
+    // Nearest same-footprint partner within the radius (ties -> lower
+    // id), so the swap is legal by construction: each cell lands
+    // exactly on the footprint the other vacated.  Height must match
+    // too — on mixed-height designs a single-row cell moved onto a
+    // double-row slot (or vice versa) would overlap its neighbours.
     db::CellId best = db::kInvalidId;
     long long bestD = static_cast<long long>(radius) * radius;
     for (const db::CellId b : pool) {
       if (b == a || used.count(b) > 0) continue;
-      if (db.macroOf(b).width != widthA) continue;
+      if (db.macroOf(b).width != widthA ||
+          db.macroOf(b).height != heightA) {
+        continue;
+      }
       const long long d = dist2(compA.pos, db.cell(b).pos);
       if (d > 0 && (d < bestD || (d == bestD && (best == db::kInvalidId ||
                                                 b < best)))) {

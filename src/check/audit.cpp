@@ -132,6 +132,12 @@ const char* invariantName(Invariant invariant) {
       return "guide-round-trip";
     case Invariant::kDefRoundTrip:
       return "def-round-trip";
+    case Invariant::kBlockageDemand:
+      return "blockage-demand-exactness";
+    case Invariant::kMacroLegality:
+      return "macro-overlap-legality";
+    case Invariant::kHeightAlignment:
+      return "height-row-alignment";
   }
   return "unknown";
 }
@@ -381,17 +387,90 @@ AuditReport DbAuditor::auditAll() const {
     auditRoutes(report);
     auditDemand(report);
     auditGuideRoundTrip(report);
+    auditBlockages(report);
   }
   return report;
 }
 
 void DbAuditor::auditPlacement(AuditReport& report) const {
-  ++report.invariantsChecked;
+  // One checkPlacement scan covers three catalog entries; each
+  // violation is classified to the invariant it breaks so the mutation
+  // tests can pin "caught by exactly the named invariant".
+  report.invariantsChecked += 3;
   for (const db::PlacementViolation& v : db::checkPlacement(db_)) {
     const std::string object =
         v.cell != db::kInvalidId ? "cell " + db_.cell(v.cell).name : "die";
-    record(report, {Invariant::kPlacementLegality, object, "legal placement",
-                    v.describe(db_)});
+    Invariant invariant = Invariant::kPlacementLegality;
+    switch (v.kind) {
+      case db::ViolationKind::kBadRowSpan:
+        invariant = Invariant::kHeightAlignment;
+        break;
+      case db::ViolationKind::kMacroOverlap:
+        invariant = Invariant::kMacroLegality;
+        break;
+      case db::ViolationKind::kOutsideDie:
+        if (v.cell != db::kInvalidId && db_.cell(v.cell).fixed) {
+          invariant = Invariant::kMacroLegality;
+        }
+        break;
+      default:
+        break;
+    }
+    record(report, {invariant, object, "legal placement", v.describe(db_)});
+  }
+}
+
+void DbAuditor::auditBlockages(AuditReport& report) const {
+  if (router_ == nullptr) return;
+  ++report.invariantsChecked;
+  const groute::RoutingGraph& graph = router_->graph();
+  // The fixed-usage and hard-blocked maps are construction-time
+  // snapshots; rebuilding from the current db must reproduce them
+  // exactly (fixed cells never move, so any diff means the snapshot
+  // contract was broken or the charge arithmetic diverged).
+  groute::RoutingGraph fresh(db_, graph.config());
+  for (int layer = 0; layer < graph.numLayers(); ++layer) {
+    for (int y = 0; y < graph.wireEdgeCountY(layer); ++y) {
+      for (int x = 0; x < graph.wireEdgeCountX(layer); ++x) {
+        const groute::WireEdge e{layer, x, y};
+        if (graph.fixedUsage(e) != fresh.fixedUsage(e)) {
+          record(report, {Invariant::kBlockageDemand, wireEdgeName(e),
+                          "U_f " + formatDouble(fresh.fixedUsage(e)),
+                          "U_f " + formatDouble(graph.fixedUsage(e))});
+        }
+        if (graph.blockedFraction(e) != fresh.blockedFraction(e)) {
+          record(report,
+                 {Invariant::kBlockageDemand, wireEdgeName(e),
+                  "blocked fraction " + formatDouble(fresh.blockedFraction(e)),
+                  "blocked fraction " +
+                      formatDouble(graph.blockedFraction(e))});
+        }
+      }
+    }
+  }
+  // No committed route may cross a hard-blocked edge: infinite-cost
+  // edges are impassable, so a route over one means a router bypassed
+  // the cost model (or demand was edited behind the router's back).
+  for (db::NetId net = 0; net < db_.numNets(); ++net) {
+    const groute::NetRoute& route = router_->route(net);
+    if (!route.routed) continue;
+    const std::string object = "net " + db_.net(net).name;
+    for (const groute::RouteSegment& rawSeg : route.segments) {
+      const groute::RouteSegment seg = groute::normalized(rawSeg);
+      if (seg.isVia()) continue;
+      const bool horizontal = seg.a.y == seg.b.y && seg.a.x != seg.b.x;
+      for (int x = seg.a.x, y = seg.a.y; x < seg.b.x || y < seg.b.y;
+           horizontal ? ++x : ++y) {
+        const groute::WireEdge e{seg.a.layer, x, y};
+        if (graph.validWireEdge(e) && graph.hardBlocked(e)) {
+          record(report, {Invariant::kBlockageDemand, object,
+                          "route avoids hard-blocked edges",
+                          segmentName(seg) + " crosses blocked " +
+                              wireEdgeName(e)});
+          break;
+        }
+      }
+    }
   }
 }
 

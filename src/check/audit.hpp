@@ -71,8 +71,12 @@ enum class Invariant {
   kPricingCoherence,   ///< cached price == from-scratch priceTree
   kGuideRoundTrip,     ///< guide write -> parse reproduces the guides
   kDefRoundTrip,       ///< DEF write -> parse -> write is byte-identical
+  kBlockageDemand,     ///< U_f/blocked-map snapshot still matches the db;
+                       ///< no route crosses a hard-blocked edge
+  kMacroLegality,      ///< no cell overlaps a fixed macro; macros in-die
+  kHeightAlignment,    ///< multi-row cells aligned to whole row spans
 };
-inline constexpr int kNumInvariants = 6;
+inline constexpr int kNumInvariants = 9;
 
 const char* invariantName(Invariant invariant);
 
@@ -135,11 +139,20 @@ class DbAuditor {
 
   // Individual invariants (appended into an existing report so callers
   // can compose a custom pass).
+  /// Covers three catalog entries (placement-legality, macro-overlap
+  /// legality, height/row alignment) from one db::checkPlacement scan,
+  /// classifying each violation to its invariant.
   void auditPlacement(AuditReport& report) const;
   void auditDemand(AuditReport& report) const;         ///< needs router
   void auditRoutes(AuditReport& report) const;         ///< needs router
   void auditGuideRoundTrip(AuditReport& report) const; ///< needs router
   void auditDefRoundTrip(AuditReport& report) const;
+  /// Blockage-demand exactness: the router graph's fixed-usage and
+  /// hard-blocked maps must equal a from-scratch rebuild (they are
+  /// construction-time snapshots, valid only while obstructed cells
+  /// stay put — exactly what fixed-only hard blocking guarantees), and
+  /// no committed route may cross a hard-blocked edge.  Needs router.
+  void auditBlockages(AuditReport& report) const;
 
  private:
   const db::Database& db_;

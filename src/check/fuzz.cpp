@@ -109,6 +109,15 @@ bmgen::BenchmarkSpec specForSeed(std::uint64_t seed,
   spec.localityBias = rng.uniform(0.6, 0.9);
   spec.hotspots = static_cast<int>(rng.uniformInt(0, 2));
   spec.hotspotStrength = rng.uniform(0.3, 0.7);
+  // Scenario-axis draws come AFTER the base draws and are guarded, so a
+  // campaign with the axes off consumes the exact RNG stream of older
+  // campaigns — seed N keeps meaning the same base design forever.
+  if (options.macroCount > 0) {
+    spec.macroCount = static_cast<int>(rng.uniformInt(1, options.macroCount));
+  }
+  if (options.multiRowFrac > 0.0) {
+    spec.multiRowFrac = rng.uniform(0.05, options.multiRowFrac);
+  }
   spec.seed = seed;
   return spec;
 }
@@ -204,6 +213,20 @@ SeedResult FuzzCampaign::runSeedAt(std::uint64_t seed, int targetCells,
   return result;
 }
 
+std::string replayCommandFor(const FuzzOptions& options, std::uint64_t seed,
+                             int cells, int iterations) {
+  std::ostringstream replay;
+  replay << "crp_fuzz --replay " << seed << " --cells " << cells << " --k "
+         << iterations << " --router-threads " << options.routerThreadsVariant;
+  // The scenario axes change the seed's spec draw, so a replay must
+  // carry them to reproduce the same design.
+  if (options.macroCount > 0) replay << " --macros " << options.macroCount;
+  if (options.multiRowFrac > 0.0) {
+    replay << " --multi-row " << options.multiRowFrac;
+  }
+  return replay.str();
+}
+
 void FuzzCampaign::minimizeAndRecord(SeedResult& result) {
   const std::uint64_t seed = result.seed;
   const int fullCells = result.minimizedCells;
@@ -232,11 +255,9 @@ void FuzzCampaign::minimizeAndRecord(SeedResult& result) {
     }
   }
 
-  std::ostringstream replay;
-  replay << "crp_fuzz --replay " << seed << " --cells "
-         << result.minimizedCells << " --k " << result.minimizedIterations
-         << " --router-threads " << options_.routerThreadsVariant;
-  result.replayCommand = replay.str();
+  result.replayCommand =
+      replayCommandFor(options_, seed, result.minimizedCells,
+                       result.minimizedIterations);
 
   if (options_.artifactDir.empty()) return;
   try {
@@ -280,6 +301,10 @@ void FuzzCampaign::minimizeAndRecord(SeedResult& result) {
     specObj.set("localityBias", spec.localityBias);
     specObj.set("hotspots", spec.hotspots);
     specObj.set("hotspotStrength", spec.hotspotStrength);
+    if (spec.macroCount > 0) specObj.set("macroCount", spec.macroCount);
+    if (spec.multiRowFrac > 0.0) {
+      specObj.set("multiRowFrac", spec.multiRowFrac);
+    }
     doc.set("spec", std::move(specObj));
     obs::Json legsArr = obs::Json::array();
     for (const LegResult& leg : result.legs) {

@@ -52,6 +52,16 @@ struct FuzzOptions {
   int maxCells = 220;
   /// In-flow audit level armed on every leg.
   AuditLevel auditLevel = AuditLevel::kParanoid;
+  /// Macro/blockage campaign axis: when > 0, every seed's design gets
+  /// a per-seed draw of [1, macroCount] fixed macro blocks (full
+  /// obstructions on the lower wire layers plus a partial layer-2
+  /// routing blockage each — bmgen/generator.hpp).  0 keeps the spec
+  /// RNG stream bit-identical to campaigns that predate the axis.
+  int macroCount = 0;
+  /// Mixed-height campaign axis: when > 0, the per-seed multi-row cell
+  /// fraction is drawn from [0.05, multiRowFrac].  0 disables the draw
+  /// (stream-compatible, as above).
+  double multiRowFrac = 0.0;
   /// N of the rt-N leg.
   int routerThreadsVariant = 4;
   /// Shrink failing seeds down the (cells, k) ladder before reporting.
@@ -103,6 +113,13 @@ struct CampaignReport {
   bool clean() const { return seedsFailed == 0; }
   std::string summary() const;
 };
+
+/// The copy-pasteable repro for a (possibly minimized) failing seed.
+/// Scenario axes change the seed's spec draw, so the command carries
+/// --macros/--multi-row whenever the campaign armed them — a replay
+/// without the flags would rebuild the base design instead.
+std::string replayCommandFor(const FuzzOptions& options, std::uint64_t seed,
+                             int cells, int iterations);
 
 class FuzzCampaign {
  public:

@@ -37,6 +37,14 @@ void Database::buildIndices() {
     std::sort(nets.begin(), nets.end());
     nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
   }
+  rowsByY_.clear();
+  rowsByY_.reserve(design_.rows.size());
+  maxRowTop_ = 0;
+  for (int i = 0; i < numRows(); ++i) {
+    rowsByY_.emplace_back(design_.rows[i].origin.y, i);
+    maxRowTop_ = std::max(maxRowTop_, design_.rows[i].origin.y + rowHeight());
+  }
+  std::sort(rowsByY_.begin(), rowsByY_.end());
 }
 
 CellId Database::findCell(const std::string& name) const {
@@ -156,26 +164,65 @@ Point Database::medianPosition(CellId id) const {
 }
 
 int Database::rowAt(Coord y) const {
-  for (int i = 0; i < numRows(); ++i) {
-    const Row& r = design_.rows[i];
-    if (y >= r.origin.y && y < r.origin.y + rowHeight()) return i;
+  // Last row whose origin.y <= y; a hit requires y inside its span.
+  auto it = std::upper_bound(
+      rowsByY_.begin(), rowsByY_.end(), y,
+      [](Coord value, const std::pair<Coord, int>& row) {
+        return value < row.first;
+      });
+  if (it == rowsByY_.begin()) return kInvalidId;
+  --it;
+  return y < it->first + rowHeight() ? it->second : kInvalidId;
+}
+
+int Database::rowAtOrigin(Coord y) const {
+  const auto it = std::lower_bound(
+      rowsByY_.begin(), rowsByY_.end(), y,
+      [](const std::pair<Coord, int>& row, Coord value) {
+        return row.first < value;
+      });
+  if (it == rowsByY_.end() || it->first != y) return kInvalidId;
+  return it->second;
+}
+
+std::vector<int> Database::rowsInSpan(Coord ylo, Coord yhi) const {
+  std::vector<int> rows;
+  // Rows intersect [ylo, yhi) iff origin.y in (ylo - rowHeight, yhi).
+  auto it = std::upper_bound(
+      rowsByY_.begin(), rowsByY_.end(), ylo - rowHeight(),
+      [](Coord value, const std::pair<Coord, int>& row) {
+        return value < row.first;
+      });
+  for (; it != rowsByY_.end() && it->first < yhi; ++it) {
+    rows.push_back(it->second);
   }
-  return kInvalidId;
+  return rows;
+}
+
+int Database::rowSpanOf(int macroId) const {
+  const Coord h = library_.macro(macroId).height;
+  const Coord rowH = rowHeight();
+  if (rowH <= 0) return 1;
+  return static_cast<int>(std::max<Coord>(1, (h + rowH - 1) / rowH));
 }
 
 Point Database::snapToSiteRow(Point p, int macroId) const {
   const Macro& macro = library_.macro(macroId);
   if (design_.rows.empty()) return p;
-  // Pick the nearest row by the y coordinate of the lower-left corner.
-  const Row* best = &design_.rows.front();
-  Coord bestDist = std::abs(p.y - best->origin.y);
-  for (const Row& r : design_.rows) {
-    const Coord dist = std::abs(p.y - r.origin.y);
-    if (dist < bestDist) {
-      best = &r;
+  // Pick the nearest row by the y coordinate of the lower-left corner;
+  // a taller-than-one-row cell must also fit below the topmost row top,
+  // so rows too high up are skipped.
+  const Row* best = nullptr;
+  Coord bestDist = 0;
+  for (const auto& [originY, index] : rowsByY_) {
+    if (originY + macro.height > maxRowTop_) continue;
+    const Coord dist = std::abs(p.y - originY);
+    if (best == nullptr || dist < bestDist) {
+      best = &design_.rows[index];
       bestDist = dist;
     }
   }
+  if (best == nullptr) best = &design_.rows.front();
   Coord x = geom::snapNearest(p.x, best->origin.x, siteWidth());
   const Coord rowEnd = best->origin.x + best->numSites * siteWidth();
   x = std::clamp(x, best->origin.x, rowEnd - macro.width);

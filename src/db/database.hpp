@@ -84,13 +84,35 @@ class Database {
 
   // ---- placement helpers / mutators ---------------------------------------
 
-  /// Row index whose y-span contains `y`, or kInvalidId.
+  /// Row index whose y-span contains `y`, or kInvalidId.  O(log rows)
+  /// via the sorted row index (rows never change after construction).
   int rowAt(Coord y) const;
+
+  /// Row index whose origin.y equals `y` exactly, or kInvalidId.  The
+  /// multi-row-height legality rules use this to require every spanned
+  /// strip to start on a real row origin.
+  int rowAtOrigin(Coord y) const;
+
+  /// Indices of every row whose y-span intersects [ylo, yhi), in
+  /// ascending y order.  O(log rows + hits); the legalizer's row
+  /// bucketing uses this instead of scanning all rows per cell.
+  std::vector<int> rowsInSpan(Coord ylo, Coord yhi) const;
+
   const Row& row(int index) const { return design_.rows.at(index); }
   int numRows() const { return static_cast<int>(design_.rows.size()); }
 
   Coord rowHeight() const { return tech_.site.height; }
   Coord siteWidth() const { return tech_.site.width; }
+
+  /// Number of row strips a cell of this macro occupies (>= 1; rounds
+  /// up for heights that are not an exact row multiple).
+  int rowSpanOf(int macroId) const;
+
+  /// True when the cell's macro is taller than one row (mixed-height
+  /// designs; such cells obey the kBadRowSpan legality rules).
+  bool isMultiRow(CellId id) const {
+    return macroOf(id).height != rowHeight();
+  }
 
   /// Snaps a point to the nearest legal (site, row) lower-left position
   /// clamped inside the die for a cell of macro `macroId`.
@@ -145,6 +167,11 @@ class Database {
   std::unordered_map<std::string, CellId> cellByName_;
   std::unordered_map<std::string, NetId> netByName_;
   std::vector<std::vector<NetId>> cellNets_;
+  /// (origin.y, row index) sorted by y — rowAt/rowAtOrigin binary
+  /// search this instead of scanning design_.rows (100K-cell designs
+  /// call rowAt in every legality sweep and legalizer window).
+  std::vector<std::pair<Coord, int>> rowsByY_;
+  Coord maxRowTop_ = 0;  ///< highest row origin.y + rowHeight()
 };
 
 }  // namespace crp::db

@@ -18,6 +18,14 @@ std::string PlacementViolation::describe(const Database& db) const {
       return "cell " + name + " not row-aligned";
     case ViolationKind::kRowOverflow:
       return "cell " + name + " extends past row end";
+    case ViolationKind::kBadRowSpan:
+      return "multi-row cell " + name + " breaks row-span alignment";
+    case ViolationKind::kMacroOverlap:
+      return "cell " + name + " overlaps fixed cell " +
+             (other == kInvalidId ? "?" : db.cell(other).name);
+    case ViolationKind::kBlockageOverlap:
+      return "cell " + name + " overlaps placement blockage #" +
+             std::to_string(blockage);
   }
   return "unknown violation";
 }
@@ -25,6 +33,13 @@ std::string PlacementViolation::describe(const Database& db) const {
 namespace {
 
 /// Checks everything about one cell except pairwise overlap.
+///
+/// Fixed cells (placed macro blocks, ECO tombstones) only need to sit
+/// inside the die: they are floorplan inputs, not legalizer outputs,
+/// and real macros rarely respect the site/row grid.  Movable cells
+/// split by height: single-row cells follow the classic site/row rules,
+/// multi-row cells must start on a row origin and find a compatible row
+/// at every spanned strip (one kBadRowSpan per bad cell).
 void checkSingleCellRules(const Database& db, CellId id,
                           std::vector<PlacementViolation>& out) {
   const auto rect = db.cellRect(id);
@@ -32,6 +47,36 @@ void checkSingleCellRules(const Database& db, CellId id,
   if (!die.contains(rect)) {
     out.push_back({ViolationKind::kOutsideDie, id, kInvalidId});
   }
+  if (db.cell(id).fixed) return;
+
+  const Coord rowH = db.rowHeight();
+  const Coord height = rect.yhi - rect.ylo;
+  if (height != rowH) {
+    // Multi-row cell: integral height, base on a row origin, and every
+    // spanned strip backed by a row that covers the cell's x extent on
+    // the site grid.
+    if (rowH <= 0 || height % rowH != 0) {
+      out.push_back({ViolationKind::kBadRowSpan, id, kInvalidId});
+      return;
+    }
+    const int strips = static_cast<int>(height / rowH);
+    for (int s = 0; s < strips; ++s) {
+      const int rowIdx = db.rowAtOrigin(rect.ylo + s * rowH);
+      if (rowIdx == kInvalidId) {
+        out.push_back({ViolationKind::kBadRowSpan, id, kInvalidId});
+        return;
+      }
+      const Row& row = db.row(rowIdx);
+      const Coord rowEnd = row.origin.x + row.numSites * db.siteWidth();
+      if (rect.xlo < row.origin.x || rect.xhi > rowEnd ||
+          (rect.xlo - row.origin.x) % db.siteWidth() != 0) {
+        out.push_back({ViolationKind::kBadRowSpan, id, kInvalidId});
+        return;
+      }
+    }
+    return;
+  }
+
   const int rowIdx = db.rowAt(rect.ylo);
   if (rowIdx == kInvalidId || db.row(rowIdx).origin.y != rect.ylo) {
     out.push_back({ViolationKind::kOffRow, id, kInvalidId});
@@ -47,6 +92,42 @@ void checkSingleCellRules(const Database& db, CellId id,
   }
 }
 
+/// Overlaps involving a fixed cell are macro-legality violations; the
+/// plain movable-vs-movable case stays kOverlap.
+ViolationKind overlapKind(const Database& db, CellId a, CellId b) {
+  return (db.cell(a).fixed || db.cell(b).fixed) ? ViolationKind::kMacroOverlap
+                                                : ViolationKind::kOverlap;
+}
+
+/// Checks movable cells against placement blockages (layer ==
+/// kInvalidId).  Fixed cells may legitimately coincide with blockage
+/// geometry (a blockage often shadows a macro footprint).
+void checkBlockageOverlaps(const Database& db, CellId only,
+                           std::vector<PlacementViolation>& out) {
+  const auto& blockages = db.design().blockages;
+  bool any = false;
+  for (const Blockage& b : blockages) {
+    if (b.layer == kInvalidId) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return;
+  const CellId lo = only == kInvalidId ? 0 : only;
+  const CellId hi = only == kInvalidId ? db.numCells() : only + 1;
+  for (CellId i = lo; i < hi; ++i) {
+    if (db.cell(i).fixed) continue;
+    const auto rect = db.cellRect(i);
+    for (int bi = 0; bi < static_cast<int>(blockages.size()); ++bi) {
+      const Blockage& b = blockages[bi];
+      if (b.layer != kInvalidId) continue;
+      if (rect.overlaps(b.rect)) {
+        out.push_back({ViolationKind::kBlockageOverlap, i, kInvalidId, bi});
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<PlacementViolation> checkPlacement(const Database& db) {
@@ -54,31 +135,71 @@ std::vector<PlacementViolation> checkPlacement(const Database& db) {
   const int n = db.numCells();
   for (CellId i = 0; i < n; ++i) checkSingleCellRules(db, i, out);
 
-  // Overlap detection: sort cells by row (ylo), sweep each row by xlo.
+  // Overlap detection: bucket every cell into each row strip its rect
+  // covers, then sweep each strip by xlo with exact rect tests.  Fixed
+  // macros and multi-row cells appear in several strips; a pair sharing
+  // more than one strip is reported once, in the lowest strip where
+  // both are present (max of the two first strips).
+  const Coord rowH = std::max<Coord>(1, db.rowHeight());
   struct Entry {
-    Coord xlo, xhi, ylo;
+    Coord xlo, xhi, ylo, yhi;
     CellId id;
+    int firstStrip;
   };
   std::vector<Entry> entries;
   entries.reserve(n);
+  int minStrip = 0, maxStrip = -1;
   for (CellId i = 0; i < n; ++i) {
     const auto rect = db.cellRect(i);
-    entries.push_back({rect.xlo, rect.xhi, rect.ylo, i});
-  }
-  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
-    if (a.ylo != b.ylo) return a.ylo < b.ylo;
-    if (a.xlo != b.xlo) return a.xlo < b.xlo;
-    return a.id < b.id;
-  });
-  for (std::size_t i = 0; i + 1 < entries.size(); ++i) {
-    const Entry& a = entries[i];
-    const Entry& b = entries[i + 1];
-    // Cells are single-row-height, so only same-row neighbours can
-    // overlap; the sweep need only compare adjacent entries.
-    if (a.ylo == b.ylo && b.xlo < a.xhi) {
-      out.push_back({ViolationKind::kOverlap, a.id, b.id});
+    if (rect.xhi <= rect.xlo || rect.yhi <= rect.ylo) continue;
+    const int first = static_cast<int>(
+        rect.ylo >= 0 ? rect.ylo / rowH : (rect.ylo - rowH + 1) / rowH);
+    const int last = static_cast<int>((rect.yhi - 1) >= 0
+                                          ? (rect.yhi - 1) / rowH
+                                          : (rect.yhi - 1 - rowH + 1) / rowH);
+    entries.push_back({rect.xlo, rect.xhi, rect.ylo, rect.yhi, i, first});
+    if (entries.size() == 1) {
+      minStrip = first;
+      maxStrip = last;
+    } else {
+      minStrip = std::min(minStrip, first);
+      maxStrip = std::max(maxStrip, last);
     }
   }
+  if (maxStrip >= minStrip) {
+    std::vector<std::vector<const Entry*>> strips(maxStrip - minStrip + 1);
+    for (const Entry& e : entries) {
+      const int last = static_cast<int>((e.yhi - 1) >= 0
+                                            ? (e.yhi - 1) / rowH
+                                            : (e.yhi - 1 - rowH + 1) / rowH);
+      for (int s = e.firstStrip; s <= last; ++s) {
+        strips[s - minStrip].push_back(&e);
+      }
+    }
+    for (int s = minStrip; s <= maxStrip; ++s) {
+      auto& strip = strips[s - minStrip];
+      std::sort(strip.begin(), strip.end(),
+                [](const Entry* a, const Entry* b) {
+                  if (a->xlo != b->xlo) return a->xlo < b->xlo;
+                  return a->id < b->id;
+                });
+      for (std::size_t i = 0; i < strip.size(); ++i) {
+        const Entry& a = *strip[i];
+        for (std::size_t j = i + 1;
+             j < strip.size() && strip[j]->xlo < a.xhi; ++j) {
+          const Entry& b = *strip[j];
+          if (std::max(a.firstStrip, b.firstStrip) != s) continue;
+          if (a.ylo < b.yhi && b.ylo < a.yhi) {
+            const CellId lo = std::min(a.id, b.id);
+            const CellId hi = std::max(a.id, b.id);
+            out.push_back({overlapKind(db, lo, hi), lo, hi});
+          }
+        }
+      }
+    }
+  }
+
+  checkBlockageOverlaps(db, kInvalidId, out);
   return out;
 }
 
@@ -91,9 +212,12 @@ std::vector<PlacementViolation> checkCell(const Database& db, CellId id) {
   for (CellId other = 0; other < db.numCells(); ++other) {
     if (other == id) continue;
     if (rect.overlaps(db.cellRect(other))) {
-      out.push_back({ViolationKind::kOverlap, id, other});
+      const CellId lo = std::min(id, other);
+      const CellId hi = std::max(id, other);
+      out.push_back({overlapKind(db, lo, hi), lo, hi});
     }
   }
+  checkBlockageOverlaps(db, id, out);
   return out;
 }
 

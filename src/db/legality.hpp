@@ -19,12 +19,24 @@ enum class ViolationKind {
   kOffSite,
   kOffRow,
   kRowOverflow,  ///< cell extends past the end of its row
+  /// A multi-row-height cell whose span breaks the row-alignment
+  /// rules: height not a whole number of rows, base not on a row
+  /// origin, or some spanned strip missing a row / overflowing it /
+  /// off the site grid.  One violation per bad cell.
+  kBadRowSpan,
+  /// An overlap where at least one participant is a fixed cell (a
+  /// placed macro block or an ECO tombstone).
+  kMacroOverlap,
+  /// A movable cell overlapping a placement blockage
+  /// (db::Blockage with layer == kInvalidId).
+  kBlockageOverlap,
 };
 
 struct PlacementViolation {
   ViolationKind kind;
   CellId cell = kInvalidId;
   CellId other = kInvalidId;  ///< second cell for overlaps
+  int blockage = kInvalidId;  ///< blockage index for kBlockageOverlap
   std::string describe(const Database& db) const;
 };
 

@@ -16,8 +16,14 @@ using geom::Point;
 void DetailedPlacer::buildRowLists() {
   rowCells_.assign(db_.numRows(), {});
   for (CellId c = 0; c < db_.numCells(); ++c) {
-    const int row = db_.rowAt(db_.cell(c).pos.y);
-    if (row != db::kInvalidId) rowCells_[row].push_back(c);
+    // Register fixed macros and multi-row cells in every row they
+    // cross, so gap scans and overlap checks in those rows see them.
+    // Such cells are never moved (see the mover/partner filters), so
+    // the single-row incremental list maintenance stays valid.
+    const auto rect = db_.cellRect(c);
+    for (const int row : db_.rowsInSpan(rect.ylo, rect.yhi)) {
+      rowCells_[row].push_back(c);
+    }
   }
   for (auto& row : rowCells_) {
     std::sort(row.begin(), row.end(), [&](CellId a, CellId b) {
@@ -41,7 +47,12 @@ geom::Coord DetailedPlacer::localHpwl(
 
 bool DetailedPlacer::tryGlobalSwap(CellId cell,
                                    DetailedPlacerReport& report) {
-  if (db_.cell(cell).fixed || db_.netsOfCell(cell).empty()) return false;
+  // Multi-row cells sit out: their moves need multi-row gap/overlap
+  // reasoning the single-row scan below does not model.
+  if (db_.cell(cell).fixed || db_.isMultiRow(cell) ||
+      db_.netsOfCell(cell).empty()) {
+    return false;
+  }
   const auto& macro = db_.macroOf(cell);
   const Point target = db_.medianPosition(cell);
   const Point current = db_.cell(cell).pos;
@@ -100,7 +111,9 @@ bool DetailedPlacer::tryGlobalSwap(CellId cell,
     }
     // Equal-width swap partners near the target.
     for (const CellId other : cellsInRow) {
-      if (other == cell || db_.cell(other).fixed) continue;
+      if (other == cell || db_.cell(other).fixed || db_.isMultiRow(other)) {
+        continue;
+      }
       if (db_.macroOf(other).width != macro.width) continue;
       if (rowIdx == homeRow && other == cell) continue;
       const Point otherPos = db_.cell(other).pos;
@@ -186,8 +199,15 @@ bool DetailedPlacer::tryReorder(int rowIdx, std::size_t windowStart,
   if (k < 2) return false;
   std::vector<CellId> window(cellsInRow.begin() + windowStart,
                              cellsInRow.begin() + windowStart + k);
+  const Coord rowY = db_.row(rowIdx).origin.y;
   for (const CellId c : window) {
-    if (db_.cell(c).fixed) return false;
+    // Skip windows touching fixed cells, multi-row cells, or cells
+    // registered here from another base row (a macro crossing this
+    // row): re-packing them at single-row height would be illegal.
+    if (db_.cell(c).fixed || db_.isMultiRow(c) ||
+        db_.cell(c).pos.y != rowY) {
+      return false;
+    }
   }
   const Coord x0 = db_.cell(window.front()).pos.x;
   const Coord y = db_.cell(window.front()).pos.y;

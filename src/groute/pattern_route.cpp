@@ -402,7 +402,11 @@ double PatternRouter::priceTree(const std::vector<GPoint>& terminals) const {
 double PatternRouter::priceTree(const std::vector<GPoint>& terminals,
                                 Scratch& scratch) const {
   double cost = 0.0;
-  if (!routeTreeInto(terminals, scratch, cost)) return 0.0;
+  // An unroutable tree (every candidate path crosses a hard-blocked
+  // edge) must price as prohibitively expensive, never as free: the
+  // selection ILP consumes these prices as finite objective
+  // coefficients, so return a huge sentinel instead of infinity.
+  if (!routeTreeInto(terminals, scratch, cost)) return kUnroutablePrice;
   return cost;
 }
 

@@ -106,9 +106,16 @@ class PatternRouter {
   PatternResult routeTree(const std::vector<GPoint>& terminals,
                           Scratch& scratch) const;
 
+  /// Price returned by priceTree when no pattern route exists (every
+  /// candidate path crosses a hard-blocked edge).  Huge but finite:
+  /// selection-ILP objective coefficients must stay finite, and any
+  /// candidate priced at this level loses to every routable one.
+  static constexpr double kUnroutablePrice = 1e12;
+
   /// Price of routeTree without building a result (same value, cheaper
   /// call used in hot loops).  The Scratch overload is allocation-free
-  /// in steady state.
+  /// in steady state.  Returns kUnroutablePrice when the tree cannot
+  /// be pattern-routed.
   double priceTree(const std::vector<GPoint>& terminals) const;
   double priceTree(const std::vector<GPoint>& terminals,
                    Scratch& scratch) const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace crp::groute {
@@ -53,6 +54,7 @@ RoutingGraph::RoutingGraph(const db::Database& db, CostConfig config)
   wireCap_.assign(wireLayerOffset_.back(), 0.0);
   wireUse_.assign(wireLayerOffset_.back(), 0.0);
   wireFixed_.assign(wireLayerOffset_.back(), 0.0);
+  wireBlockedFrac_.assign(wireLayerOffset_.back(), 0.0);
 
   const std::size_t viaEdges =
       static_cast<std::size_t>(std::max(0, numLayers_ - 1)) * nx * ny;
@@ -177,7 +179,16 @@ void RoutingGraph::buildCapacities(const db::Database& db) {
 void RoutingGraph::chargeFixedUsage(const db::Database& db) {
   // Routing blockages consume capacity in proportion to the fraction of
   // the gcell they cover on that layer (U_f of Eq. 9).
-  auto chargeRect = [&](int layer, const geom::Rect& rect) {
+  // `hard` marks obstructions of fixed cells (macro blocks): besides
+  // the proportional U_f charge, they accumulate a coverage fraction
+  // per edge.  An edge whose two adjacent gcells are both fully covered
+  // reaches 0.5 + 0.5 = 1.0 and becomes hard-blocked (infinite cost);
+  // a boundary edge only collects 0.5 and stays routable, so nets can
+  // reach pins on the macro rim but never tunnel through its interior.
+  // Only fixed cells contribute: movable cells' obstructions would make
+  // the blocked map position-dependent, and the incremental demand
+  // audit treats U_f (and this map) as a construction-time snapshot.
+  auto chargeRect = [&](int layer, const geom::Rect& rect, bool hard) {
     if (layer < 0 || layer >= numLayers_) return;
     const db::GCell lo = grid_.cellAt({rect.xlo, rect.ylo});
     const db::GCell hi = grid_.cellAt({rect.xhi - 1, rect.yhi - 1});
@@ -197,6 +208,7 @@ void RoutingGraph::chargeFixedUsage(const db::Database& db) {
             if (validWireEdge(e)) {
               wireFixed_[wireIndex(e)] +=
                   0.5 * fraction * wireCap_[wireIndex(e)];
+              if (hard) wireBlockedFrac_[wireIndex(e)] += 0.5 * fraction;
             }
           }
         } else {
@@ -205,6 +217,7 @@ void RoutingGraph::chargeFixedUsage(const db::Database& db) {
             if (validWireEdge(e)) {
               wireFixed_[wireIndex(e)] +=
                   0.5 * fraction * wireCap_[wireIndex(e)];
+              if (hard) wireBlockedFrac_[wireIndex(e)] += 0.5 * fraction;
             }
           }
         }
@@ -214,7 +227,7 @@ void RoutingGraph::chargeFixedUsage(const db::Database& db) {
 
   for (const db::Blockage& blockage : db.design().blockages) {
     if (blockage.layer != db::kInvalidId) {
-      chargeRect(blockage.layer, blockage.rect);
+      chargeRect(blockage.layer, blockage.rect, /*hard=*/false);
     }
   }
   // Macro obstructions of placed cells.
@@ -224,7 +237,8 @@ void RoutingGraph::chargeFixedUsage(const db::Database& db) {
     for (const db::Obstruction& obs : macro.obstructions) {
       chargeRect(obs.layer,
                  geom::transformRect(obs.rect, comp.pos, macro.width,
-                                     macro.height, comp.orient));
+                                     macro.height, comp.orient),
+                 /*hard=*/comp.fixed);
     }
   }
 }
@@ -250,6 +264,10 @@ double logisticPenalty(double demand, double capacity, double slope) {
 }  // namespace
 
 double RoutingGraph::wireEdgeCost(const WireEdge& e) const {
+  // Edges inside a fixed macro's obstruction are impassable, not merely
+  // expensive: the pattern DP and the maze router both treat infinity
+  // as "no edge" and detour or fail cleanly.
+  if (hardBlocked(e)) return std::numeric_limits<double>::infinity();
   // Dist(e) in wire units (pitches), so wireUnit/viaUnit carry the
   // contest's relative weighting.
   const double dist = static_cast<double>(wireEdgeDist(e)) /

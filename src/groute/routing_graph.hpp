@@ -75,6 +75,23 @@ class RoutingGraph {
   double viaCapacity(const ViaEdge& e) const { return viaCap_[viaIndex(e)]; }
   double viaUsage(const ViaEdge& e) const { return viaUse_[viaIndex(e)]; }
 
+  /// Fraction of the edge's two adjacent gcells covered by obstructions
+  /// of *fixed* cells (macro blocks).  1.0 means both gcells are fully
+  /// inside macro metal on this layer.
+  double blockedFraction(const WireEdge& e) const {
+    return wireBlockedFrac_[wireIndex(e)];
+  }
+
+  /// True when the edge runs through the interior of a fixed macro's
+  /// obstruction on its layer: both adjacent gcells fully covered.
+  /// Hard-blocked edges cost infinity, so the pattern DP and the maze
+  /// router never cross them — routes must detour around the macro or
+  /// hop to an unobstructed layer.  Edges merely touching a macro
+  /// boundary accumulate only 0.5 and stay soft (priced via U_f).
+  bool hardBlocked(const WireEdge& e) const {
+    return wireBlockedFrac_[wireIndex(e)] >= 0.999;
+  }
+
   /// D_e per Eq. 9: U_w + U_f + beta * sqrt((V_src + V_dst) / 2).
   double demand(const WireEdge& e) const;
 
@@ -153,6 +170,7 @@ class RoutingGraph {
   std::vector<double> wireCap_;
   std::vector<double> wireUse_;
   std::vector<double> wireFixed_;
+  std::vector<double> wireBlockedFrac_;  ///< fixed-macro coverage fraction
   std::vector<double> viaCap_;
   std::vector<double> viaUse_;
   std::vector<int> viaCount_;

@@ -77,12 +77,11 @@ IlpLegalizer::IlpLegalizer(const db::Database& db, LegalizerOptions options)
   for (CellId cell = 0; cell < db_.numCells(); ++cell) {
     const Rect rect = db_.cellRect(cell);
     maxCellWidth_ = std::max(maxCellWidth_, rect.width());
-    for (int r = 0; r < db_.numRows(); ++r) {
-      const Coord yStart = db_.row(r).origin.y;
-      if (rect.ylo < yStart + db_.rowHeight() && rect.yhi > yStart) {
-        rowIndex_[static_cast<std::size_t>(r)].push_back(
-            RowEntry{rect.xlo, cell});
-      }
+    // rowsInSpan is O(log rows + hits); the all-rows scan this replaced
+    // made construction O(cells x rows), which dominated at 100K cells.
+    for (const int r : db_.rowsInSpan(rect.ylo, rect.yhi)) {
+      rowIndex_[static_cast<std::size_t>(r)].push_back(
+          RowEntry{rect.xlo, cell});
     }
   }
   for (std::vector<RowEntry>& bucket : rowIndex_) {
@@ -103,6 +102,10 @@ std::vector<LegalizedCandidate> IlpLegalizer::generate(db::CellId cell) const {
   const Coord siteW = db_.siteWidth();
   const Coord rowH = db_.rowHeight();
   const Coord w = macro.width;
+  // Rows the critical cell occupies (1 for classic cells; multi-row
+  // cells need that many consecutive rows free at every slot).
+  const int span = std::max(
+      1, static_cast<int>(rowH > 0 ? macro.height / rowH : 1));
 
   // ---- window geometry ------------------------------------------------------
   const int centerRow = db_.rowAt(comp.pos.y);
@@ -119,13 +122,18 @@ std::vector<LegalizedCandidate> IlpLegalizer::generate(db::CellId cell) const {
   Coord xhi = std::min(xlo + windowWidth, db_.design().dieArea.xhi);
   const Rect windowRect{xlo, db_.row(rowLo).origin.y, xhi,
                         db_.row(rowHi).origin.y + rowH};
+  // Occupancy must also see cells in the extra rows a multi-row
+  // critical cell's slots reach above the window.
+  const int occRowHi = std::min(rowHi + span - 1, db_.numRows() - 1);
+  const Rect occRect{windowRect.xlo, windowRect.ylo, windowRect.xhi,
+                     db_.row(occRowHi).origin.y + rowH};
 
   // ---- window occupancy -----------------------------------------------------
   // Row-bucket index query (see constructor).  Cells land in ascending
   // id order after the sort, matching the full-scan order this replaced
   // — the ILP sees an identical window, so flows are value-exact.
   std::vector<WindowCell> windowCells;
-  for (int rowIdx = rowLo; rowIdx <= rowHi; ++rowIdx) {
+  for (int rowIdx = rowLo; rowIdx <= occRowHi; ++rowIdx) {
     const std::vector<RowEntry>& bucket =
         rowIndex_[static_cast<std::size_t>(rowIdx)];
     const Coord first = windowRect.xlo - maxCellWidth_;
@@ -133,11 +141,16 @@ std::vector<LegalizedCandidate> IlpLegalizer::generate(db::CellId cell) const {
                                [](const RowEntry& entry, Coord x) {
                                  return entry.xlo < x;
                                });
-    for (; it != bucket.end() && it->xlo < windowRect.xhi; ++it) {
+    for (; it != bucket.end() && it->xlo < occRect.xhi; ++it) {
       if (it->id == cell) continue;
       const Rect rect = db_.cellRect(it->id);
-      if (!rect.overlaps(windowRect)) continue;
-      windowCells.push_back(WindowCell{it->id, rect, !db_.cell(it->id).fixed});
+      if (!rect.overlaps(occRect)) continue;
+      // Fixed cells (macro blocks) and multi-row cells are immovable
+      // blockers here: the conflict ILP only relocates classic
+      // single-row cells, whose slot/packing model matches rows 1:1.
+      const bool movable =
+          !db_.cell(it->id).fixed && !db_.isMultiRow(it->id);
+      windowCells.push_back(WindowCell{it->id, rect, movable});
     }
   }
   std::sort(windowCells.begin(), windowCells.end(),
@@ -161,10 +174,32 @@ std::vector<LegalizedCandidate> IlpLegalizer::generate(db::CellId cell) const {
   std::vector<Slot> slots;
   for (int rowIdx = rowLo; rowIdx <= rowHi; ++rowIdx) {
     const db::Row& row = db_.row(rowIdx);
+    // A multi-row cell's base row must have `span` contiguous rows
+    // stacked above it, each covering the slot's x range on the site
+    // grid (the kBadRowSpan legality rules).
+    bool rowsOk = true;
+    for (int s = 1; s < span; ++s) {
+      const int upper = db_.rowAtOrigin(row.origin.y + s * rowH);
+      if (upper == db::kInvalidId) {
+        rowsOk = false;
+        break;
+      }
+    }
+    if (!rowsOk) continue;
     for (const Coord x : slotPositions(db_, windowRect, rowIdx, w)) {
       const Point pos{x, row.origin.y};
       if (pos == comp.pos) continue;  // current position added by caller
-      const Rect target{x, row.origin.y, x + w, row.origin.y + rowH};
+      bool xOk = true;
+      for (int s = 1; s < span && xOk; ++s) {
+        const db::Row& upper =
+            db_.row(db_.rowAtOrigin(row.origin.y + s * rowH));
+        const Coord upperEnd = upper.origin.x + upper.numSites * siteW;
+        xOk = x >= upper.origin.x && x + w <= upperEnd &&
+              (x - upper.origin.x) % siteW == 0;
+      }
+      if (!xOk) continue;
+      const Rect target{x, row.origin.y, x + w,
+                        row.origin.y + macro.height};
       std::vector<CellId> conflicts;
       bool blocked = false;
       for (const WindowCell& wc : windowCells) {
@@ -193,7 +228,7 @@ std::vector<LegalizedCandidate> IlpLegalizer::generate(db::CellId cell) const {
   for (const Slot& slot : slots) {
     if (static_cast<int>(candidates.size()) >= options_.maxCandidates) break;
     const Rect target{slot.pos.x, slot.pos.y, slot.pos.x + w,
-                      slot.pos.y + rowH};
+                      slot.pos.y + macro.height};
     if (slot.conflicts.empty()) {
       candidates.push_back(LegalizedCandidate{slot.pos, {}, slot.cost});
       continue;
@@ -297,14 +332,21 @@ bool candidateIsLegal(const db::Database& db, db::CellId cell,
   }
 
   const auto& die = db.design().dieArea;
+  const Coord rowH = db.rowHeight();
   for (const auto& [id, rect] : moved) {
     if (!die.contains(rect)) return false;
-    const int rowIdx = db.rowAt(rect.ylo);
-    if (rowIdx == db::kInvalidId) return false;
-    const db::Row& row = db.row(rowIdx);
-    if (row.origin.y != rect.ylo) return false;
-    if ((rect.xlo - row.origin.x) % db.siteWidth() != 0) return false;
-    if (rect.xhi > row.origin.x + row.numSites * db.siteWidth()) return false;
+    if (rowH <= 0 || (rect.yhi - rect.ylo) % rowH != 0) return false;
+    const int span = static_cast<int>((rect.yhi - rect.ylo) / rowH);
+    for (int s = 0; s < span; ++s) {
+      const int rowIdx = db.rowAtOrigin(rect.ylo + s * rowH);
+      if (rowIdx == db::kInvalidId) return false;
+      const db::Row& row = db.row(rowIdx);
+      if ((rect.xlo - row.origin.x) % db.siteWidth() != 0) return false;
+      if (rect.xlo < row.origin.x ||
+          rect.xhi > row.origin.x + row.numSites * db.siteWidth()) {
+        return false;
+      }
+    }
   }
   // Pairwise among moved.
   for (std::size_t i = 0; i < moved.size(); ++i) {

@@ -73,13 +73,83 @@ TEST(DbAuditorTest, CleanFlowAuditsClean) {
   router.run();
   const AuditReport report = DbAuditor(db, &router).auditAll();
   EXPECT_CLEAN_AUDIT(report);
-  // placement + DEF round trip + routes + demand + guide round trip.
-  EXPECT_EQ(report.invariantsChecked, 5);
+  // placement (3 catalog entries: single-row legality, macro legality,
+  // height alignment) + DEF round trip + routes + demand + guide round
+  // trip + blockage demand.
+  EXPECT_EQ(report.invariantsChecked, 8);
 
   // Without a router only the router-free invariants run.
   const AuditReport dbOnly = DbAuditor(db).auditAll();
   EXPECT_CLEAN_AUDIT(dbOnly);
-  EXPECT_EQ(dbOnly.invariantsChecked, 2);
+  EXPECT_EQ(dbOnly.invariantsChecked, 4);
+}
+
+// ---- scenario fixture: fixed macro + double-height cell ---------------------
+
+// Hand-built design exercising the scenario axes with geometry small
+// enough to reason about by hand: die 1000x500 over 10x5 gcells of
+// 100x100, a 200x200 fixed macro block at (300,100) whose obstructions
+// fully cover gcells (3..4, 1..2) on layers 0-1 (so the layer-0 H edge
+// (3,1)->(4,1) is interior to the macro and hard-blocked), one 2-pin
+// net whose terminals sit in gcells (2,1) and (5,1) on either side of
+// the macro, and a legally-placed double-height cell spanning rows 1-2.
+inline db::Database makeMacroFixtureDatabase() {
+  using namespace crp::db;
+  using geom::Point;
+  using geom::Rect;
+
+  Tech tech = Tech::makeDefault(/*numLayers=*/4, /*pitch=*/20, /*width=*/6,
+                                /*spacing=*/8, /*minArea=*/120,
+                                /*siteWidth=*/10, /*rowHeight=*/100);
+  Library lib = Library::makeDefault(10, 100, /*pinLayer=*/0);
+  const int inv = *lib.findMacro("INV_X1");
+
+  Macro blk;
+  blk.name = "BLK";
+  blk.width = 200;
+  blk.height = 200;
+  blk.obstructions.push_back(Obstruction{0, Rect{0, 0, 200, 200}});
+  blk.obstructions.push_back(Obstruction{1, Rect{0, 0, 200, 200}});
+  const int blkId = lib.addMacro(std::move(blk));
+
+  Macro dh;  // double-height movable cell, two sites wide
+  dh.name = "DH2";
+  dh.width = 20;
+  dh.height = 200;
+  const int dhId = lib.addMacro(std::move(dh));
+
+  Design design;
+  design.name = "macro_fixture";
+  design.dieArea = Rect{0, 0, 1000, 500};
+  for (int r = 0; r < 5; ++r) {
+    design.rows.push_back(Row{"row" + std::to_string(r), Point{0, 100 * r},
+                              100, geom::Orientation::kN});
+  }
+  design.gcellCountX = 10;
+  design.gcellCountY = 5;
+  crp::testing::addDefaultTracks(design, tech);
+
+  auto addCell = [&](const std::string& name, int macro, Point pos,
+                     bool fixed) {
+    Component c;
+    c.name = name;
+    c.macro = macro;
+    c.pos = pos;
+    c.fixed = fixed;
+    design.components.push_back(c);
+  };
+  addCell("blk", blkId, Point{300, 100}, true);
+  addCell("c0", inv, Point{250, 100}, false);   // gcell (2,1)
+  addCell("c1", inv, Point{550, 100}, false);   // gcell (5,1)
+  addCell("d0", dhId, Point{700, 100}, false);  // rows 1-2, aligned
+
+  // INV_X1 pins: 0 = A (input), 1 = Y (output).
+  Net net;
+  net.name = "n0";
+  net.pins = {NetPin{CompPinRef{1, 1}}, NetPin{CompPinRef{2, 0}}};
+  design.nets.push_back(std::move(net));
+
+  return Database(std::move(tech), std::move(lib), std::move(design));
 }
 
 // ---- seeded corruptions: each caught by exactly its invariant ---------------
@@ -167,6 +237,65 @@ TEST(DbAuditorMutation, SkewedDemandCaughtByDemandExactnessOnly) {
       << report.summary();
   // The skewed edge and the wirelength total both diverge.
   EXPECT_GE(report.countFor(Invariant::kDemandExactness), 2);
+}
+
+// Swapping a committed route for a straight shot through the macro's
+// interior (demand maps compensated, so the route/demand contracts
+// still hold and the route still connects its terminals) is a
+// blockage-demand failure and nothing else.  Exactly one of the three
+// crossed edges — (3,1)->(4,1), interior to the macro — is hard.
+TEST(DbAuditorMutation, RouteOverHardBlockedEdgeCaughtByBlockageDemandOnly) {
+  const auto db = makeMacroFixtureDatabase();
+  groute::GlobalRouter router(db);
+  router.run();
+  ASSERT_TRUE(router.graph().hardBlocked(groute::WireEdge{0, 3, 1}));
+  ASSERT_FALSE(router.graph().hardBlocked(groute::WireEdge{0, 2, 1}));
+  EXPECT_CLEAN_AUDIT(DbAuditor(db, &router).auditAll());
+
+  const db::NetId net = db.findNet("n0");
+  ASSERT_NE(net, db::kInvalidId);
+  NetRoute& route = router.mutableRoute(net);
+  router.graph().applyRoute(route, -1);
+  route.segments = {{GPoint{0, 2, 1}, GPoint{0, 5, 1}}};
+  router.graph().applyRoute(route, +1);  // keep demand == routes
+
+  const AuditReport report = DbAuditor(db, &router).auditAll();
+  EXPECT_TRUE(report.onlyFailure(Invariant::kBlockageDemand))
+      << report.summary();
+  EXPECT_EQ(report.countFor(Invariant::kBlockageDemand), 1);
+}
+
+// Moving a movable cell onto the fixed macro's footprint is a
+// macro-legality failure and nothing else.  Router-free audit: moving
+// the cell moves its net terminal, so a router-attached audit would
+// legitimately also flag the stale route — the macro invariant is
+// isolated on the placement-only side.
+TEST(DbAuditorMutation, CellOnMacroFootprintCaughtByMacroLegalityOnly) {
+  auto db = makeMacroFixtureDatabase();
+  EXPECT_CLEAN_AUDIT(DbAuditor(db).auditAll());
+
+  db.moveCell(db.findCell("c0"), geom::Point{350, 100});
+
+  const AuditReport report = DbAuditor(db).auditAll();
+  EXPECT_TRUE(report.onlyFailure(Invariant::kMacroLegality))
+      << report.summary();
+  EXPECT_GE(report.countFor(Invariant::kMacroLegality), 1);
+}
+
+// Shifting the double-height cell half a row down leaves it site- and
+// die-legal but starts it off every row origin: a height-alignment
+// failure and nothing else (the cell has no nets, so even routes stay
+// coherent; db-only audit for symmetry with the macro mutation).
+TEST(DbAuditorMutation, MisalignedMultiRowCellCaughtByHeightAlignmentOnly) {
+  auto db = makeMacroFixtureDatabase();
+  ASSERT_TRUE(db.isMultiRow(db.findCell("d0")));
+
+  db.moveCell(db.findCell("d0"), geom::Point{700, 150});
+
+  const AuditReport report = DbAuditor(db).auditAll();
+  EXPECT_TRUE(report.onlyFailure(Invariant::kHeightAlignment))
+      << report.summary();
+  EXPECT_GE(report.countFor(Invariant::kHeightAlignment), 1);
 }
 
 // A cached price that predates a demand change is stale: replaying the
@@ -262,6 +391,49 @@ TEST(FuzzSpec, SeedFullyDeterminesDesign) {
   EXPECT_TRUE(a.targetCells != c.targetCells ||
               a.utilization != c.utilization ||
               a.netsPerCell != c.netsPerCell);
+}
+
+// Turning a scenario axis on must not disturb the base draws: the axis
+// draws are appended after them in the RNG stream, so seed N keeps
+// meaning the same base design in every campaign, old or new.
+TEST(FuzzSpec, ScenarioAxesPreserveBaseDraws) {
+  const check::FuzzOptions base;
+  check::FuzzOptions scenario;
+  scenario.macroCount = 3;
+  scenario.multiRowFrac = 0.3;
+
+  const auto a = check::specForSeed(7, base);
+  const auto b = check::specForSeed(7, scenario);
+  EXPECT_EQ(a.targetCells, b.targetCells);
+  EXPECT_EQ(a.utilization, b.utilization);
+  EXPECT_EQ(a.netsPerCell, b.netsPerCell);
+  EXPECT_EQ(a.localityBias, b.localityBias);
+  EXPECT_EQ(a.hotspots, b.hotspots);
+  EXPECT_EQ(a.hotspotStrength, b.hotspotStrength);
+
+  EXPECT_EQ(a.macroCount, 0);
+  EXPECT_EQ(a.multiRowFrac, 0.0);
+  EXPECT_GE(b.macroCount, 1);
+  EXPECT_LE(b.macroCount, 3);
+  EXPECT_GE(b.multiRowFrac, 0.05);
+  EXPECT_LE(b.multiRowFrac, 0.3);
+}
+
+// A minimized repro must carry the scenario flags: the axes change the
+// seed's spec draw, so `crp_fuzz --replay N` without them rebuilds the
+// base design and the failure silently stops reproducing.
+TEST(FuzzSpec, ReplayCommandCarriesScenarioAxes) {
+  check::FuzzOptions base;
+  base.routerThreadsVariant = 4;
+  EXPECT_EQ(check::replayCommandFor(base, 7, 80, 2),
+            "crp_fuzz --replay 7 --cells 80 --k 2 --router-threads 4");
+
+  check::FuzzOptions scenario = base;
+  scenario.macroCount = 3;
+  scenario.multiRowFrac = 0.3;
+  EXPECT_EQ(check::replayCommandFor(scenario, 7, 80, 2),
+            "crp_fuzz --replay 7 --cells 80 --k 2 --router-threads 4"
+            " --macros 3 --multi-row 0.3");
 }
 
 // ---- audit-triggered flight-recorder dumps ----------------------------------

@@ -16,6 +16,7 @@
 #include "crp/framework.hpp"
 #include "crp/pricing_cache.hpp"
 #include "db/eco.hpp"
+#include "db/legality.hpp"
 #include "obs/json.hpp"
 #include "obs/timeline.hpp"
 #include "test_helpers.hpp"
@@ -179,6 +180,27 @@ TEST(Perturb, DeterministicAndApplicable) {
   // Applies cleanly to the design it was derived from (legal by
   // construction, so no EcoError).
   EXPECT_NO_THROW(db::applyEcoDelta(db, a));
+}
+
+// On a mixed-height design the generator must only pair cells of equal
+// footprint (width AND height): a single-row cell swapped onto a
+// double-row slot would overlap its upper-strip neighbours.  The delta
+// must stay legal by construction.
+TEST(Perturb, MixedHeightSwapsStayLegal) {
+  bmgen::BenchmarkSpec spec;
+  spec.name = "perturb_multirow";
+  spec.targetCells = 150;
+  spec.seed = 5;
+  spec.multiRowFrac = 0.3;
+  db::Database db = bmgen::generateBenchmark(spec);
+
+  bmgen::PerturbOptions options;
+  options.frac = 0.05;
+  options.seed = 7;
+  const db::EcoDelta delta = bmgen::perturbDesign(db, options);
+  ASSERT_FALSE(delta.empty());
+  EXPECT_NO_THROW(db::applyEcoDelta(db, delta));
+  EXPECT_TRUE(db::isPlacementLegal(db));
 }
 
 TEST(Perturb, DifferentSeedsDiffer) {
@@ -425,6 +447,28 @@ TEST(EcoEquivalence, PairedRunClean) {
   EXPECT_GT(result.dirtyNets, 0);
   EXPECT_GT(result.ecoSeconds, 0.0);
   EXPECT_GT(result.scratchSeconds, 0.0);
+}
+
+// The eco-vs-scratch contract must hold on macro designs too: the
+// dirty-region patch has to respect hard-blocked edges and fixed-cell
+// footprints exactly like the scratch rebuild, or the paired audits
+// diverge.  This is the scenario-axis coverage for the ECO engine
+// (docs/scenarios.md).
+TEST(EcoEquivalence, PairedRunCleanOnMacroDesign) {
+  bmgen::BenchmarkSpec spec;
+  spec.name = "eco_macro_pair";
+  spec.targetCells = 120;
+  spec.utilization = 0.75;
+  spec.seed = 9;
+  spec.macroCount = 2;
+  check::EcoPairOptions options;
+  options.baseIterations = 1;
+  options.ecoIterations = 1;
+  options.perturbSeed = 9;
+  const check::EcoPairResult result = check::runEcoVsScratch(spec, options);
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_GT(result.deltaEdits, 0u);
+  EXPECT_GT(result.dirtyNets, 0);
 }
 
 // ---- timeline eco flag ------------------------------------------------------

@@ -42,13 +42,42 @@ bmgen::BenchmarkSpec goldenSpec() {
   return spec;
 }
 
+/// Scenario goldens (docs/scenarios.md): the same flow over a design
+/// with fixed macro blocks + routing blockages, and one with a quarter
+/// of the cells double-height.  60x6-site macros guarantee interior
+/// hard-blocked edges at any placement, so routes provably detour.
+bmgen::BenchmarkSpec macroSpec() {
+  bmgen::BenchmarkSpec spec;
+  spec.name = "golden_macro";
+  spec.targetCells = 300;
+  spec.seed = 13;
+  spec.utilization = 0.75;
+  spec.hotspots = 1;
+  spec.macroCount = 3;
+  spec.macroWidthSites = 60;
+  spec.macroRowSpan = 6;
+  return spec;
+}
+
+bmgen::BenchmarkSpec multiRowSpec() {
+  bmgen::BenchmarkSpec spec;
+  spec.name = "golden_multirow";
+  spec.targetCells = 300;
+  spec.seed = 17;
+  spec.utilization = 0.75;
+  spec.hotspots = 1;
+  spec.multiRowFrac = 0.25;
+  return spec;
+}
+
 /// Runs the full flow (generate -> GR -> CR&P k=2) and returns the
 /// deterministic fingerprint of the run report.  `routerThreads`
 /// drives the conflict-free batch reroute engine (GR RRR rounds and
 /// the UD phase); the determinism contract says it is value-exact.
-obs::Json runFingerprint(int threads, int routerThreads = 1) {
+obs::Json runFingerprint(const bmgen::BenchmarkSpec& spec, int threads,
+                         int routerThreads = 1) {
   obs::EnabledScope enabled(true);
-  auto db = bmgen::generateBenchmark(goldenSpec());
+  auto db = bmgen::generateBenchmark(spec);
   groute::GlobalRouterOptions routerOptions;
   routerOptions.routerThreads = routerThreads;
   groute::GlobalRouter router(db, routerOptions);
@@ -68,13 +97,45 @@ std::string goldenPath() {
   return std::string(CRP_GOLDEN_DIR) + "/crp_small_fingerprint.json";
 }
 
+/// Shared body of the scenario goldens: router-thread independence
+/// asserted first, then update-or-compare against `goldenFile`.
+void checkScenarioGolden(const bmgen::BenchmarkSpec& spec,
+                         const std::string& goldenFile) {
+  const obs::Json serial = runFingerprint(spec, 1, /*routerThreads=*/1);
+  const obs::Json parallel = runFingerprint(spec, 1, /*routerThreads=*/8);
+  ASSERT_EQ(serial, parallel)
+      << spec.name << ": --router-threads 1 vs 8 fingerprints diverge:\n"
+      << serial.dump(2) << "\nvs\n"
+      << parallel.dump(2);
+
+  const std::string path = std::string(CRP_GOLDEN_DIR) + "/" + goldenFile;
+  if (std::getenv("CRP_UPDATE_GOLDENS") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << serial.dump(2) << "\n";
+    GTEST_SKIP() << "golden regenerated at " << path;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " — run scripts/update_goldens.sh";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const obs::Json golden = obs::Json::parse(buffer.str());
+  EXPECT_EQ(serial, golden)
+      << spec.name << " fingerprint drifted from golden.\ngolden:\n"
+      << golden.dump(2) << "\ncurrent:\n"
+      << serial.dump(2)
+      << "\nIf the change is intentional, run scripts/update_goldens.sh";
+}
+
 TEST(Golden, CrpFlowFingerprintMatchesGolden) {
 #ifdef CRP_OBS_DISABLED
   GTEST_SKIP() << "golden fingerprints need the observability counters "
                   "(-DCRP_OBS=ON)";
 #endif
-  const obs::Json single = runFingerprint(1);
-  const obs::Json parallel = runFingerprint(8);
+  const obs::Json single = runFingerprint(goldenSpec(), 1);
+  const obs::Json parallel = runFingerprint(goldenSpec(), 8);
   // Thread-count independence first: a scheduling leak would otherwise
   // masquerade as a golden mismatch (or worse, get baked into one).
   ASSERT_EQ(single, parallel)
@@ -112,8 +173,9 @@ TEST(Golden, RouterThreadCountIndependence) {
   GTEST_SKIP() << "golden fingerprints need the observability counters "
                   "(-DCRP_OBS=ON)";
 #endif
-  const obs::Json serial = runFingerprint(1, /*routerThreads=*/1);
-  const obs::Json parallel = runFingerprint(1, /*routerThreads=*/8);
+  const obs::Json serial = runFingerprint(goldenSpec(), 1, /*routerThreads=*/1);
+  const obs::Json parallel =
+      runFingerprint(goldenSpec(), 1, /*routerThreads=*/8);
   ASSERT_EQ(serial, parallel)
       << "--router-threads 1 vs 8 fingerprints diverge:\n"
       << serial.dump(2) << "\nvs\n"
@@ -132,6 +194,27 @@ TEST(Golden, RouterThreadCountIndependence) {
       << "parallel-reroute fingerprint drifted from golden.\ngolden:\n"
       << golden.dump(2) << "\ncurrent:\n"
       << parallel.dump(2);
+}
+
+// Scenario goldens: the macro-heavy design (fixed blocks, hard-blocked
+// interiors, routing blockages) and the mixed-height design each pin
+// their own end-to-end fingerprint, with router-thread independence
+// asserted before any golden comparison — exactly the protocol of the
+// base golden, extended along the workload axes of docs/scenarios.md.
+TEST(Golden, MacroHeavyFlowMatchesGoldenAndIsThreadIndependent) {
+#ifdef CRP_OBS_DISABLED
+  GTEST_SKIP() << "golden fingerprints need the observability counters "
+                  "(-DCRP_OBS=ON)";
+#endif
+  checkScenarioGolden(macroSpec(), "crp_macro_fingerprint.json");
+}
+
+TEST(Golden, MixedHeightFlowMatchesGoldenAndIsThreadIndependent) {
+#ifdef CRP_OBS_DISABLED
+  GTEST_SKIP() << "golden fingerprints need the observability counters "
+                  "(-DCRP_OBS=ON)";
+#endif
+  checkScenarioGolden(multiRowSpec(), "crp_multirow_fingerprint.json");
 }
 
 // The spatial tier obeys the same contract: heatmap snapshots are

@@ -65,6 +65,7 @@
 #include "bmgen/generator.hpp"
 #include "bmgen/perturb.hpp"
 #include "bmgen/suite.hpp"
+#include "check/audit.hpp"
 #include "crp/framework.hpp"
 #include "db/eco.hpp"
 #include "db/legality.hpp"
@@ -532,6 +533,18 @@ int cmdSuite(const Args& args) {
   std::filesystem::create_directories(args.positional[0]);
   for (const auto& entry : bmgen::ispdLikeSuite(scale)) {
     const auto db = bmgen::generateBenchmark(entry.spec);
+    // The generator promises legal output; hold it to that before the
+    // files exist (a broken suite entry otherwise only surfaces when a
+    // downstream run trips over it).  bmgen itself cannot link the
+    // audit library (check depends on bmgen's consumers), so the
+    // gatekeeping lives here in the exporter.
+    const check::DbAuditor auditor(db);
+    const check::AuditReport audit = auditor.auditAll();
+    if (!audit.clean()) {
+      std::cerr << entry.name << ": generated design fails its audit\n"
+                << audit.summary() << "\n";
+      return 1;
+    }
     lefdef::writeLefFile(args.positional[0] + "/" + entry.name + ".lef",
                          db.tech(), db.library());
     lefdef::writeDefFile(args.positional[0] + "/" + entry.name + ".def", db);

@@ -4,11 +4,13 @@
 //   crp_fuzz [--seeds N] [--seed-start S] [--k K]
 //            [--min-cells N] [--max-cells N] [--router-threads N]
 //            [--level off|phase|paranoid] [--artifacts DIR]
-//            [--no-minimize] [--eco 1]
+//            [--no-minimize] [--eco 1] [--macros N] [--multi-row F]
 //       Run a campaign over seeds [S, S+N).  Exit 0 when every seed
 //       passes (clean audits, bit-identical fingerprints across the
 //       paired configurations), 1 otherwise.  --eco 1 appends the
-//       eco-vs-scratch paired leg to every seed.
+//       eco-vs-scratch paired leg to every seed.  --macros N draws
+//       [1,N] fixed macro blocks per seed; --multi-row F draws a
+//       multi-row cell fraction from [0.05,F] (docs/scenarios.md).
 //
 //   crp_fuzz --replay SEED [--cells N] [--k K] [...]
 //       Re-run one seed, optionally at a minimized size — the command
@@ -83,6 +85,7 @@ int main(int argc, char** argv) {
               << "                [--min-cells N] [--max-cells N]\n"
               << "                [--router-threads N] [--artifacts DIR]\n"
               << "                [--level off|phase|paranoid]\n"
+              << "                [--macros N] [--multi-row F]\n"
               << "                [--no-minimize 1] [--eco 1] [--replay SEED "
                  "[--cells N]]\n";
     return 2;
@@ -98,6 +101,8 @@ int main(int argc, char** argv) {
       static_cast<int>(args.number("router-threads", 4));
   options.minimize = !args.has("no-minimize");
   options.ecoLeg = args.number("eco", 0) != 0;
+  options.macroCount = static_cast<int>(args.number("macros", 0));
+  options.multiRowFrac = args.number("multi-row", 0.0);
   if (args.has("artifacts")) options.artifactDir = args.flags.at("artifacts");
   if (args.has("level")) {
     const auto level = check::auditLevelFromString(args.flags.at("level"));
