@@ -72,6 +72,21 @@ grep -q overflowBefore "$OBS_TMP/timeline.csv"
 build/tools/crp_report flight "$OBS_TMP/flight.json" > /dev/null
 echo "crp_report render ok"
 
+# Serve smoke (docs/serve.md): boot the daemon on a private socket,
+# drive concurrent bmgen -> run -> eco -> report chains through the
+# wire protocol with crp_loadgen's validation mode (streamed iteration
+# events in order, timeline + heatmap delta per event, fingerprints on
+# every final frame, report fingerprint == eco fingerprint), then
+# require a clean SIGTERM shutdown (exit 0).
+SERVE_SOCK="$OBS_TMP/serve.sock"
+build/tools/crp serve --socket "$SERVE_SOCK" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [[ -S "$SERVE_SOCK" ]] && break; sleep 0.05; done
+build/tools/crp_loadgen --socket "$SERVE_SOCK" --chain 1 --jobs 4 --clients 2
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+echo "serve smoke ok"
+
 for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt
 
 # Differential fuzz campaign + ASan/UBSan leg (docs/checking.md): the

@@ -18,10 +18,14 @@
 #      cells with macros and mixed heights on, wall clock per stage and
 #      peak RSS per rung, every rung ending in a clean paranoid audit —
 #      distilled into BENCH_scale.json.  Skip with CRP_SKIP_SCALE=1.
-#   5. Every BENCH_*.json is stamped with the host CPU count and the
+#   5. The crp serve daemon under load (crp_loadgen): >= 1000 bmgen
+#      jobs over 8 concurrent client sessions, p50/p99 latency and
+#      jobs/sec distilled into BENCH_serve.json, and a clean SIGTERM
+#      shutdown required.
+#   6. Every BENCH_*.json is stamped with the host CPU count and the
 #      git SHA of the tree that produced it, so recorded numbers stay
 #      attributable.
-#   6. ThreadPool + pricing + observability + parallel-reroute tests
+#   7. ThreadPool + pricing + observability + parallel-reroute + serve tests
 #      under ThreadSanitizer (CRP_SANITIZE=thread, separate build
 #      tree), guarding the sharded cache, the dynamic parallelFor
 #      scheduling, the metrics registry / span tracer / flight-recorder
@@ -224,6 +228,35 @@ if [[ "${CRP_SKIP_SCALE:-0}" != "1" ]]; then
   "$BUILD"/bench/bench_scale
 fi
 
+# ---- serve daemon load test -------------------------------------------------
+# Boot the daemon on a private socket, flood it with >= 1000 bmgen jobs
+# over 8 client connections, and distill latency percentiles +
+# throughput into BENCH_serve.json (crp_loadgen writes it directly; the
+# provenance stamp below adds host CPUs + git SHA).  The daemon must
+# come down clean on SIGTERM — a hung or crashed shutdown fails the
+# `wait`.
+SERVE_SOCK="$(mktemp -u /tmp/crp-serve-bench.XXXXXX.sock)"
+"$BUILD"/tools/crp serve --socket "$SERVE_SOCK" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [[ -S "$SERVE_SOCK" ]] && break; sleep 0.05; done
+"$BUILD"/tools/crp_loadgen --socket "$SERVE_SOCK" \
+  --jobs 1000 --clients 8 --cells 150 --out BENCH_serve.json
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+
+python3 - <<'EOF'
+import json
+
+with open("BENCH_serve.json") as f:
+    summary = json.load(f)
+
+print("BENCH_serve.json:")
+print(json.dumps(summary, indent=2))
+assert summary["jobs"] >= 1000, summary["jobs"]
+assert 0 < summary["latencyMsP50"] <= summary["latencyMsP99"], summary
+assert summary["jobsPerSec"] > 0, summary
+EOF
+
 # ---- provenance stamp ------------------------------------------------------
 python3 - <<'EOF'
 import glob
@@ -252,7 +285,7 @@ if [[ "${CRP_SKIP_TSAN:-0}" != "1" ]]; then
   cmake -B "$TSAN_BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCRP_SANITIZE=thread
   cmake --build "$TSAN_BUILD" -j "$(nproc)" \
-    --target test_util test_pricing test_obs test_groute
+    --target test_util test_pricing test_obs test_groute test_serve
   ctest --test-dir "$TSAN_BUILD" --output-on-failure \
-    -R 'ThreadPool|PricingCache|PricingEngine|Metrics|Tracer|ObsMacros|FlightRecorder|ParallelReroute'
+    -R 'ThreadPool|PricingCache|PricingEngine|Metrics|Tracer|ObsMacros|FlightRecorder|ParallelReroute|ObsContext|Logger|Serve'
 fi

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "db/legality.hpp"
+#include "obs/context.hpp"
 #include "obs/flight_recorder.hpp"
 #include "lefdef/def_parser.hpp"
 #include "lefdef/def_writer.hpp"
@@ -620,8 +621,10 @@ std::string writeFlightRecorderDump(const AuditReport& report,
     trigger.set("source", "audit");
     trigger.set("context", context);
     trigger.set("audit", auditReportToJson(report));
-    if (!obs::FlightRecorder::instance().dumpToFile(path,
-                                                    std::move(trigger))) {
+    // Ambient context: a session's audit failure dumps that session's
+    // ring, not the process-default one.
+    if (!obs::currentContext().flightRecorder().dumpToFile(
+            path, std::move(trigger))) {
       return {};
     }
     return path;

@@ -274,8 +274,8 @@ void FuzzCampaign::minimizeAndRecord(SeedResult& result) {
       trigger.set("replay", result.replayCommand);
       const std::string flightPath = options_.artifactDir + "/fuzz_seed_" +
                                      std::to_string(seed) + "_flight.json";
-      if (obs::FlightRecorder::instance().dumpToFile(flightPath,
-                                                     std::move(trigger))) {
+      if (obs::currentContext().flightRecorder().dumpToFile(
+              flightPath, std::move(trigger))) {
         result.flightRecorderPath = flightPath;
       } else {
         CRP_LOG_WARN("fuzz: cannot write flight dump {}", flightPath);

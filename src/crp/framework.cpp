@@ -18,10 +18,22 @@ CrpFramework::CrpFramework(db::Database& db, groute::GlobalRouter& router,
       router_(router),
       options_(options),
       rng_(options.seed),
-      pool_(options.threads == 0 ? 0
-                                 : static_cast<std::size_t>(options.threads)),
-      baseline_(obs::MetricsRegistry::instance().snapshot()) {
+      obsCtx_(options.obsContext != nullptr ? options.obsContext
+                                            : &obs::currentContext()) {
+  if (options_.sharedPool != nullptr) {
+    pool_ = options_.sharedPool;
+  } else {
+    ownedPool_ = std::make_unique<util::ThreadPool>(
+        options.threads == 0 ? 0
+                             : static_cast<std::size_t>(options.threads));
+    pool_ = ownedPool_.get();
+  }
+  // From here on everything this framework does — including the
+  // snapshot below, whose delta feeds the RunReport counters — records
+  // into obsCtx_, not whatever context the constructing thread had.
+  obs::ObsContextScope scope(obsCtx_);
   router_.setRouterThreads(options.routerThreads);
+  baseline_ = obsCtx_->metrics().snapshot();
   for (const char* phase : kPhases) {
     runReport_.phases.push_back(obs::RunReport::PhaseStat{phase, 0.0});
   }
@@ -29,7 +41,7 @@ CrpFramework::CrpFramework(db::Database& db, groute::GlobalRouter& router,
 }
 
 bool CrpFramework::spatialEnabled() const {
-  return options_.snapshots && obs::enabled();
+  return options_.snapshots && obsCtx_->enabled();
 }
 
 const obs::HeatmapSnapshot& CrpFramework::captureSnapshot(std::string label,
@@ -37,7 +49,7 @@ const obs::HeatmapSnapshot& CrpFramework::captureSnapshot(std::string label,
   heatmaps_.add(
       groute::captureHeatmap(router_.graph(), std::move(label), iteration));
   const obs::HeatmapSnapshot& snapshot = heatmaps_.latest();
-  obs::FlightRecorder::instance().setLatestHeatmap(snapshot.toJson());
+  obsCtx_->flightRecorder().setLatestHeatmap(snapshot.toJson());
   CRP_OBS_COUNT("obs.heatmap_snapshots", 1);
   return snapshot;
 }
@@ -157,6 +169,7 @@ void CrpFramework::chargePhase(const char* phase, double seconds) {
 }
 
 IterationReport CrpFramework::runIteration() {
+  obs::ObsContextScope obsScope(obsCtx_);
   IterationReport report;
   const int iterIndex = static_cast<int>(runReport_.iterationStats.size());
   CRP_OBS_SPAN_ARG("crp", "crp.iteration", iterIndex);
@@ -199,6 +212,7 @@ IterationReport CrpFramework::runIteration() {
       timeline.overflowedEdgesAfter = after.overflowedEdges;
       runReport_.timeline.push_back(timeline);
     }
+    if (iterationCallback_) iterationCallback_(iterIndex, report);
     return report;
   }
   maybeAudit(kPhaseLcc, /*iterationEnd=*/false);
@@ -218,7 +232,7 @@ IterationReport CrpFramework::runIteration() {
       legalizerOptions.maxCandidates = ecoMaxCandidates_;
     }
     const legalizer::IlpLegalizer legalizer(db_, legalizerOptions);
-    candidates = buildCandidates(db_, legalizer, criticalSet, &pool_);
+    candidates = buildCandidates(db_, legalizer, criticalSet, pool_);
     chargePhase(kPhaseGcp, watch.seconds());
   }
   for (const CellCandidates& cc : candidates) {
@@ -247,7 +261,7 @@ IterationReport CrpFramework::runIteration() {
         pricing.cacheEnabled) {
       pricing.cacheEntriesOut = &cacheEntries;
     }
-    priceCandidates(db_, router_, candidates, &pool_, pricing,
+    priceCandidates(db_, router_, candidates, pool_, pricing,
                     &report.pricing);
     report.eccSeconds = watch.seconds();
     chargePhase(kPhaseEcc, report.eccSeconds);
@@ -377,10 +391,12 @@ IterationReport CrpFramework::runIteration() {
       "crp iteration: {} critical, {} moved (+{} displaced), {} rerouted",
       report.criticalCells, report.movedCells, report.displacedCells,
       report.reroutedNets);
+  if (iterationCallback_) iterationCallback_(iterIndex, report);
   return report;
 }
 
 CrpReport CrpFramework::run() {
+  obs::ObsContextScope obsScope(obsCtx_);
   CRP_OBS_SPAN("crp", "crp.run");
   // A run starts after a fresh GR, so entries from any earlier run are
   // priced against dead demand — replace the cache wholesale.  The new
@@ -432,6 +448,7 @@ void CrpFramework::invalidateEcoCache(const std::vector<db::NetId>& nets) {
 
 EcoReport CrpFramework::runEco(const db::EcoDelta& delta,
                                const EcoOptions& eco) {
+  obs::ObsContextScope obsScope(obsCtx_);
   CRP_OBS_SPAN("crp", "crp.eco");
   util::Stopwatch total;
   util::Stopwatch patch;
@@ -635,7 +652,7 @@ EcoReport CrpFramework::runEco(const db::EcoDelta& delta,
 
 const obs::RunReport& CrpFramework::runReport() {
   runReport_.iterations = static_cast<int>(runReport_.iterationStats.size());
-  runReport_.threads = static_cast<int>(pool_.threadCount());
+  runReport_.threads = static_cast<int>(pool_->threadCount());
   runReport_.seed = options_.seed;
 
   const groute::GlobalRouteStats stats = router_.stats();
@@ -646,7 +663,11 @@ const obs::RunReport& CrpFramework::runReport() {
   runReport_.router.openNets = stats.openNets;
   runReport_.router.reroutedNets = stats.reroutedNets;
 
-  const obs::MetricsSnapshot now = obs::MetricsRegistry::instance().snapshot();
+  // Deltas against the construction-time snapshot of *this* context's
+  // registry: concurrent sessions can no longer perturb each other's
+  // ILP counters (the fingerprint-isolation property test_serve
+  // asserts).
+  const obs::MetricsSnapshot now = obsCtx_->metrics().snapshot();
   const obs::MetricsSnapshot delta = now.deltaSince(baseline_);
   runReport_.counters = delta.counters;
   runReport_.ilp.solves = delta.counters.count("ilp.solves")

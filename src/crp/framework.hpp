@@ -20,6 +20,7 @@
 #include "db/database.hpp"
 #include "db/eco.hpp"
 #include "groute/global_router.hpp"
+#include "obs/context.hpp"
 #include "obs/heatmap.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_report.hpp"
@@ -129,7 +130,8 @@ CommitPlan planMoveCommits(const std::vector<CellCandidates>& candidates,
 class CrpFramework {
  public:
   /// The framework mutates `db` (cell positions) and `router` (routes
-  /// and demand maps); both must outlive it.
+  /// and demand maps); both must outlive it, as must
+  /// options.obsContext and options.sharedPool when set.
   CrpFramework(db::Database& db, groute::GlobalRouter& router,
                CrpOptions options = {});
 
@@ -157,6 +159,22 @@ class CrpFramework {
   /// stats, and metric-counter deltas (relative to the registry
   /// snapshot taken at construction) are refreshed on each call.
   const obs::RunReport& runReport();
+
+  /// Called after every completed iteration (run, runEco, or a manual
+  /// runIteration) with the iteration index and its report — while the
+  /// framework's ObsContext is still installed, so the callback can
+  /// read runReport().timeline / heatmaps() to stream progress (the
+  /// serve daemon's per-iteration events).  Keep it cheap; it runs on
+  /// the flow thread.
+  void setIterationCallback(
+      std::function<void(int, const IterationReport&)> callback) {
+    iterationCallback_ = std::move(callback);
+  }
+
+  /// The context this framework records into (never null after
+  /// construction; the ambient/default one unless options.obsContext
+  /// was set).
+  obs::ObsContext& obsContext() { return *obsCtx_; }
 
   const std::unordered_set<db::CellId>& movedSet() const { return moved_; }
   const std::unordered_set<db::CellId>& criticalHistory() const {
@@ -203,9 +221,15 @@ class CrpFramework {
   groute::GlobalRouter& router_;
   CrpOptions options_;
   util::Rng rng_;
-  util::ThreadPool pool_;
+  /// Resolved at construction: options.obsContext, else the ambient
+  /// context of the constructing thread.  Every entry point installs
+  /// it, so metrics/spans/events/log lines land per-session.
+  obs::ObsContext* obsCtx_ = nullptr;
+  std::unique_ptr<util::ThreadPool> ownedPool_;  ///< null on sharedPool
+  util::ThreadPool* pool_ = nullptr;
+  std::function<void(int, const IterationReport&)> iterationCallback_;
   obs::RunReport runReport_;
-  obs::MetricsSnapshot baseline_;  ///< registry state at construction
+  obs::MetricsSnapshot baseline_;  ///< context registry at construction
   obs::HeatmapSeries heatmaps_;    ///< spatial tier (options.snapshots)
   std::unordered_set<db::CellId> criticalHistory_;  ///< db.critical_hist
   std::unordered_set<db::CellId> moved_;            ///< db.moved_set

@@ -10,6 +10,13 @@
 #include "check/audit.hpp"
 #include "legalizer/ilp_legalizer.hpp"
 
+namespace crp::obs {
+class ObsContext;
+}
+namespace crp::util {
+class ThreadPool;
+}
+
 namespace crp::core {
 
 struct CrpOptions {
@@ -28,6 +35,23 @@ struct CrpOptions {
 
   std::uint64_t seed = 1;  ///< Alg. 1's annealing draw (reproducible)
   int threads = 0;         ///< worker threads for Alg. 2/3; 0 = hardware
+
+  /// Observability context this run records into (metrics, spans,
+  /// flight events, log lines).  Null resolves the ambient context at
+  /// framework construction — the process default outside any
+  /// ObsContextScope, i.e. the exact pre-daemon behavior.  A serve
+  /// session passes its own context here so concurrent runs never
+  /// interleave (see docs/serve.md).
+  obs::ObsContext* obsContext = nullptr;
+
+  /// Worker pool for Alg. 2/3 (and, via GlobalRouterOptions, the UD
+  /// batch reroute).  Null: the framework owns a private pool of
+  /// `threads` workers, as before.  Non-null: the framework submits to
+  /// this shared pool instead (the serve daemon runs every session on
+  /// one pool); `threads` is then ignored.  Safe because parallelFor
+  /// is reentrant and waits on per-call state, and workers inherit the
+  /// submitter's ObsContext through the submit-time task wrapper.
+  util::ThreadPool* sharedPool = nullptr;
 
   /// Worker threads for the UD phase's conflict-free batch reroute
   /// (applied to the GlobalRouter at framework construction): 1 =

@@ -158,6 +158,7 @@ bool GlobalRouter::rerouteNet(db::NetId net, bool mazeFirst) {
 
 util::ThreadPool* GlobalRouter::pool() {
   if (options_.routerThreads == 1) return nullptr;
+  if (options_.sharedPool != nullptr) return options_.sharedPool;
   const std::size_t want =
       options_.routerThreads == 0
           ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
@@ -233,6 +234,7 @@ std::vector<std::vector<db::NetId>> GlobalRouter::planRerouteBatches(
 
 RerouteBatchStats GlobalRouter::rerouteNets(const std::vector<db::NetId>& nets,
                                             bool mazeFirst) {
+  obs::ObsContextScope obsScope(options_.obsContext);
   RerouteBatchStats stats;
   stats.nets = static_cast<int>(nets.size());
   if (nets.empty()) return stats;
@@ -298,6 +300,7 @@ double GlobalRouter::netRouteCost(db::NetId net) const {
 }
 
 GlobalRouteStats GlobalRouter::run() {
+  obs::ObsContextScope obsScope(options_.obsContext);
   // Initial routing order: cheapest (smallest HPWL) nets first, so
   // large nets see the congestion the small ones created and detour.
   std::vector<db::NetId> order(db_.numNets());

@@ -3,11 +3,15 @@
 #include <fstream>
 #include <utility>
 
+#include "obs/context.hpp"
+#include "util/file_io.hpp"
+
 namespace crp::obs {
 
 FlightRecorder& FlightRecorder::instance() {
-  static FlightRecorder recorder;
-  return recorder;
+  // Deprecated shim: recorders are per-ObsContext now; the "process
+  // recorder" is the default context's.
+  return ObsContext::defaultContext().flightRecorder();
 }
 
 FlightRecorder::FlightRecorder(std::size_t capacity)
@@ -81,10 +85,9 @@ Json FlightRecorder::dump(Json trigger) const {
 }
 
 bool FlightRecorder::dumpToFile(const std::string& path, Json trigger) const {
-  std::ofstream out(path);
-  if (!out) return false;
-  out << dump(std::move(trigger)).dump(2) << '\n';
-  return static_cast<bool>(out);
+  // Atomic write: a crash-dump artifact that is itself truncated by a
+  // full disk would be worse than useless.
+  return util::writeFileAtomic(path, dump(std::move(trigger)).dump(2) + "\n");
 }
 
 }  // namespace crp::obs

@@ -223,25 +223,35 @@ Json HeatmapSeries::toJson() const {
   if (hasBase_) root.set("base", base_.toJson());
   Json deltaArr = Json::array();
   for (const Delta& delta : deltas_) {
-    Json d = Json::object();
-    d.set("label", delta.label);
-    d.set("iteration", delta.iteration);
-    d.set("totalOverflow", delta.totalOverflow);
-    d.set("maxOverflow", delta.maxOverflow);
-    d.set("overflowedEdges", delta.overflowedEdges);
-    Json changes = Json::array();
-    for (const Delta::Change& change : delta.changes) {
-      Json c = Json::array();
-      c.append(change.plane);
-      c.append(change.cell);
-      c.append(change.value);
-      changes.append(std::move(c));
-    }
-    d.set("changes", std::move(changes));
-    deltaArr.append(std::move(d));
+    deltaArr.append(deltaToJson(delta));
   }
   root.set("deltas", std::move(deltaArr));
   return root;
+}
+
+Json HeatmapSeries::deltaToJson(const Delta& delta) {
+  Json d = Json::object();
+  d.set("label", delta.label);
+  d.set("iteration", delta.iteration);
+  d.set("totalOverflow", delta.totalOverflow);
+  d.set("maxOverflow", delta.maxOverflow);
+  d.set("overflowedEdges", delta.overflowedEdges);
+  Json changes = Json::array();
+  for (const Delta::Change& change : delta.changes) {
+    Json c = Json::array();
+    c.append(change.plane);
+    c.append(change.cell);
+    c.append(change.value);
+    changes.append(std::move(c));
+  }
+  d.set("changes", std::move(changes));
+  return d;
+}
+
+Json HeatmapSeries::latestEntryJson() const {
+  if (!deltas_.empty()) return deltaToJson(deltas_.back());
+  if (hasBase_) return base_.toJson();
+  return Json();
 }
 
 HeatmapSeries HeatmapSeries::fromJson(const Json& json) {

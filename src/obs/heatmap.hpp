@@ -116,6 +116,14 @@ class HeatmapSeries {
   Json toJson() const;
   static HeatmapSeries fromJson(const Json& json);
 
+  /// JSON of the most recently added entry, in the same shape
+  /// toJson() uses: the full "base" snapshot document when only the
+  /// base exists, otherwise the newest sparse delta object (label,
+  /// iteration, overflow aggregates, [plane, cell, value] changes).
+  /// Null when empty.  The serve daemon streams this per iteration
+  /// instead of re-serializing the whole series each time.
+  Json latestEntryJson() const;
+
  private:
   struct Delta {
     std::string label;
@@ -130,6 +138,8 @@ class HeatmapSeries {
     };
     std::vector<Change> changes;
   };
+
+  static Json deltaToJson(const Delta& delta);
 
   bool hasBase_ = false;
   HeatmapSnapshot base_;

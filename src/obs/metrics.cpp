@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/context.hpp"
+
 namespace crp::obs {
 
 std::vector<std::uint64_t> Histogram::defaultBounds() {
@@ -90,8 +92,9 @@ Json MetricsSnapshot::toJson() const {
 }
 
 MetricsRegistry& MetricsRegistry::instance() {
-  static MetricsRegistry registry;
-  return registry;
+  // Deprecated shim: registries are per-ObsContext now; the "process
+  // registry" is the default context's.
+  return ObsContext::defaultContext().metrics();
 }
 
 Counter* MetricsRegistry::counter(const std::string& name) {

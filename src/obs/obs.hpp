@@ -1,64 +1,65 @@
-// Flow observability facade: global enable switch + no-op-able macros.
+// Flow observability facade: ambient-context gate + no-op-able macros.
 //
 // Instrumentation in hot paths (ILP solver, pricing, router) goes
 // through the CRP_OBS_* macros, which are
 //   * compile-time removable: building with -DCRP_OBS_DISABLED (CMake
 //     option CRP_OBS=OFF) expands every macro to nothing, and
-//   * runtime-gated: when compiled in, each macro first checks the
-//     process-wide enabled flag (one relaxed atomic load) and touches
-//     no instrument while observability is off.  This is the
+//   * runtime-gated: when compiled in, each macro first resolves the
+//     ambient ObsContext (one thread-local load) and checks its
+//     enabled flag (one relaxed atomic load), touching no instrument
+//     while observability is off.  This is the
 //     "zero-overhead-when-disabled" contract the benches rely on.
 //
-// Enabling is opt-in: the flag starts false; `crp run` and the
-// observability tests turn it on.  Counter macros cache the registry
-// pointer in a function-local static (instruments are never
-// deallocated, see metrics.hpp), so the steady-state cost of a counter
-// hit is one atomic load + one atomic add.
+// Instruments are *per-context* (see obs/context.hpp): outside any
+// ObsContextScope the macros hit the process-default context, which is
+// the exact pre-daemon behavior; inside a scope (a serve session, a
+// framework run with its own context) they hit that session's
+// registry/tracer/recorder, so concurrent flows never interleave.
+//
+// Enabling is opt-in: every context starts disabled; `crp run` and the
+// observability tests turn the ambient one on.  Counter macros cache
+// the instrument pointer in a per-site thread_local keyed by the
+// context id (ids are never reused, so one integer compare
+// revalidates the cache), making the steady-state cost of a counter
+// hit a TLS load + compare + one atomic add.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 
+#include "obs/context.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace crp::obs {
 
-namespace detail {
-inline std::atomic<bool> gEnabled{false};
-}  // namespace detail
+/// True when the *ambient* context should record (runtime switch).
+inline bool enabled() { return currentContext().enabled(); }
 
-/// True when instruments should record (runtime switch).
-inline bool enabled() {
-  return detail::gEnabled.load(std::memory_order_relaxed);
-}
+inline void setEnabled(bool on) { currentContext().setEnabled(on); }
 
-inline void setEnabled(bool on) {
-  detail::gEnabled.store(on, std::memory_order_relaxed);
-}
+/// Deprecated shim (pre-ObsContext name): clears the ambient context's
+/// registry, tracer and flight recorder.  Other contexts are never
+/// touched — a second in-process run can no longer clobber the first
+/// run's live instruments.  New code should call
+/// currentContext().reset() (or reset the context it owns) directly.
+inline void resetAll() { currentContext().reset(); }
 
-/// Clears the default registry, tracer and flight recorder (test
-/// isolation; per-run reports use snapshot deltas instead and never
-/// need this).
-inline void resetAll() {
-  MetricsRegistry::instance().reset();
-  Tracer::instance().clear();
-  FlightRecorder::instance().clear();
-}
-
-/// RAII scope: enables observability for its lifetime, restoring the
-/// previous state on exit (used by tests).
+/// RAII scope: enables the ambient context's observability for its
+/// lifetime, restoring the previous state on exit (used by tests).
 class EnabledScope {
  public:
-  explicit EnabledScope(bool on = true) : previous_(enabled()) {
-    setEnabled(on);
+  explicit EnabledScope(bool on = true)
+      : context_(&currentContext()), previous_(context_->enabled()) {
+    context_->setEnabled(on);
   }
-  ~EnabledScope() { setEnabled(previous_); }
+  ~EnabledScope() { context_->setEnabled(previous_); }
   EnabledScope(const EnabledScope&) = delete;
   EnabledScope& operator=(const EnabledScope&) = delete;
 
  private:
+  ObsContext* context_;
   bool previous_;
 };
 
@@ -90,53 +91,71 @@ class EnabledScope {
 #define CRP_OBS_CONCAT_IMPL(a, b) a##b
 #define CRP_OBS_CONCAT(a, b) CRP_OBS_CONCAT_IMPL(a, b)
 
-/// Opens a span covering the rest of the enclosing scope.
-#define CRP_OBS_SPAN(category, name)                             \
+/// Opens a span covering the rest of the enclosing scope (recorded
+/// into the ambient context's tracer; no-op while disabled).
+#define CRP_OBS_SPAN(category, name)                              \
   ::crp::obs::ScopedSpan CRP_OBS_CONCAT(crpObsSpan, __COUNTER__)( \
-      ::crp::obs::enabled() ? &::crp::obs::Tracer::instance() : nullptr, \
-      (name), (category))
+      ::crp::obs::detail::enabledTracer(), (name), (category))
 
 /// Span with a numeric payload (iteration index, net id, ...).
-#define CRP_OBS_SPAN_ARG(category, name, argValue)               \
+#define CRP_OBS_SPAN_ARG(category, name, argValue)                \
   ::crp::obs::ScopedSpan CRP_OBS_CONCAT(crpObsSpan, __COUNTER__)( \
-      ::crp::obs::enabled() ? &::crp::obs::Tracer::instance() : nullptr, \
-      (name), (category), static_cast<std::int64_t>(argValue))
+      ::crp::obs::detail::enabledTracer(), (name), (category),    \
+      static_cast<std::int64_t>(argValue))
 
-#define CRP_OBS_COUNT(counterName, delta)                                  \
-  do {                                                                     \
-    if (::crp::obs::enabled()) {                                           \
-      static ::crp::obs::Counter* const crpObsCounter =                    \
-          ::crp::obs::MetricsRegistry::instance().counter(counterName);    \
-      crpObsCounter->add(static_cast<std::uint64_t>(delta));               \
-    }                                                                      \
+// Instrument macros share one shape: resolve the enabled ambient
+// context, revalidate the per-site cache against its id (contexts are
+// never reused, so a mismatch can only mean "different context —
+// re-look-up"), then do the lock-free update.
+#define CRP_OBS_COUNT(counterName, delta)                                    \
+  do {                                                                       \
+    if (::crp::obs::ObsContext* crpObsCtx = ::crp::obs::enabledContext()) {  \
+      static thread_local ::crp::obs::detail::SiteCache<::crp::obs::Counter> \
+          crpObsSite;                                                        \
+      if (crpObsSite.ctxId != crpObsCtx->id()) {                             \
+        crpObsSite.ptr = crpObsCtx->metrics().counter(counterName);          \
+        crpObsSite.ctxId = crpObsCtx->id();                                  \
+      }                                                                      \
+      crpObsSite.ptr->add(static_cast<std::uint64_t>(delta));                \
+    }                                                                        \
   } while (0)
 
-#define CRP_OBS_GAUGE_SET(gaugeName, value)                                \
-  do {                                                                     \
-    if (::crp::obs::enabled()) {                                           \
-      static ::crp::obs::Gauge* const crpObsGauge =                        \
-          ::crp::obs::MetricsRegistry::instance().gauge(gaugeName);        \
-      crpObsGauge->set(static_cast<double>(value));                        \
-    }                                                                      \
+#define CRP_OBS_GAUGE_SET(gaugeName, value)                                  \
+  do {                                                                       \
+    if (::crp::obs::ObsContext* crpObsCtx = ::crp::obs::enabledContext()) {  \
+      static thread_local ::crp::obs::detail::SiteCache<::crp::obs::Gauge>   \
+          crpObsSite;                                                        \
+      if (crpObsSite.ctxId != crpObsCtx->id()) {                             \
+        crpObsSite.ptr = crpObsCtx->metrics().gauge(gaugeName);              \
+        crpObsSite.ctxId = crpObsCtx->id();                                  \
+      }                                                                      \
+      crpObsSite.ptr->set(static_cast<double>(value));                       \
+    }                                                                        \
   } while (0)
 
-#define CRP_OBS_HISTOGRAM(histName, value)                                 \
-  do {                                                                     \
-    if (::crp::obs::enabled()) {                                           \
-      static ::crp::obs::Histogram* const crpObsHistogram =                \
-          ::crp::obs::MetricsRegistry::instance().histogram(histName);     \
-      crpObsHistogram->record(static_cast<std::uint64_t>(value));          \
-    }                                                                      \
+#define CRP_OBS_HISTOGRAM(histName, value)                                   \
+  do {                                                                       \
+    if (::crp::obs::ObsContext* crpObsCtx = ::crp::obs::enabledContext()) {  \
+      static thread_local ::crp::obs::detail::SiteCache<                     \
+          ::crp::obs::Histogram>                                             \
+          crpObsSite;                                                        \
+      if (crpObsSite.ctxId != crpObsCtx->id()) {                             \
+        crpObsSite.ptr = crpObsCtx->metrics().histogram(histName);           \
+        crpObsSite.ctxId = crpObsCtx->id();                                  \
+      }                                                                      \
+      crpObsSite.ptr->record(static_cast<std::uint64_t>(value));             \
+    }                                                                        \
   } while (0)
 
-/// Appends a structured event to the flight-recorder ring (phase
-/// granularity only — never per-net/per-edge loops).
-#define CRP_OBS_EVENT(category, label, value)                              \
-  do {                                                                     \
-    if (::crp::obs::enabled()) {                                           \
-      ::crp::obs::FlightRecorder::instance().record(                       \
-          (category), (label), static_cast<std::int64_t>(value));          \
-    }                                                                      \
+/// Appends a structured event to the ambient flight-recorder ring
+/// (phase granularity only — never per-net/per-edge loops; record()
+/// takes the ring mutex, so no per-site cache is needed).
+#define CRP_OBS_EVENT(category, label, value)                               \
+  do {                                                                      \
+    if (::crp::obs::ObsContext* crpObsCtx = ::crp::obs::enabledContext()) { \
+      crpObsCtx->flightRecorder().record((category), (label),               \
+                                         static_cast<std::int64_t>(value)); \
+    }                                                                       \
   } while (0)
 
 #endif  // CRP_OBS_DISABLED

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/context.hpp"
 #include "obs/json.hpp"
 
 namespace crp::obs {
@@ -29,8 +30,9 @@ Tracer::Tracer()
 }
 
 Tracer& Tracer::instance() {
-  static Tracer tracer;
-  return tracer;
+  // Deprecated shim: tracers are per-ObsContext now; the "process
+  // tracer" is the default context's.
+  return ObsContext::defaultContext().tracer();
 }
 
 Tracer::ThreadLog& Tracer::threadLog() {

@@ -1,0 +1,148 @@
+#include "serve/protocol.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace crp::serve {
+
+namespace {
+
+[[noreturn]] void throwErrno(const char* what) {
+  throw ProtocolError(std::string(what) + ": " + std::strerror(errno));
+}
+
+/// Reads exactly `size` bytes.  Returns false on EOF before the first
+/// byte when `eofOk`; throws on EOF mid-buffer or error.
+bool readExact(int fd, char* data, std::size_t size, bool eofOk) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, data + got, size - got);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      if (got == 0 && eofOk) return false;
+      throw ProtocolError("connection closed mid-frame (got " +
+                          std::to_string(got) + " of " +
+                          std::to_string(size) + " bytes)");
+    }
+    if (errno == EINTR) continue;
+    throwErrno("read");
+  }
+  return true;
+}
+
+void writeExact(int fd, const char* data, std::size_t size) {
+  std::size_t put = 0;
+  while (put < size) {
+    const ssize_t n = ::write(fd, data + put, size - put);
+    if (n >= 0) {
+      put += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throwErrno("write");
+  }
+}
+
+}  // namespace
+
+bool readFrame(int fd, std::string& payload) {
+  unsigned char header[4];
+  if (!readExact(fd, reinterpret_cast<char*>(header), 4, /*eofOk=*/true)) {
+    return false;
+  }
+  const std::uint32_t length =
+      (static_cast<std::uint32_t>(header[0]) << 24) |
+      (static_cast<std::uint32_t>(header[1]) << 16) |
+      (static_cast<std::uint32_t>(header[2]) << 8) |
+      static_cast<std::uint32_t>(header[3]);
+  if (length > kMaxFrameBytes) {
+    throw ProtocolError("frame length " + std::to_string(length) +
+                        " exceeds limit " + std::to_string(kMaxFrameBytes));
+  }
+  payload.resize(length);
+  readExact(fd, payload.data(), length, /*eofOk=*/false);
+  return true;
+}
+
+void writeFrame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    throw ProtocolError("frame length " + std::to_string(payload.size()) +
+                        " exceeds limit " + std::to_string(kMaxFrameBytes));
+  }
+  const std::uint32_t length = static_cast<std::uint32_t>(payload.size());
+  const unsigned char header[4] = {
+      static_cast<unsigned char>((length >> 24) & 0xff),
+      static_cast<unsigned char>((length >> 16) & 0xff),
+      static_cast<unsigned char>((length >> 8) & 0xff),
+      static_cast<unsigned char>(length & 0xff)};
+  writeExact(fd, reinterpret_cast<const char*>(header), 4);
+  writeExact(fd, payload.data(), payload.size());
+}
+
+bool readMessage(int fd, obs::Json& message) {
+  std::string payload;
+  if (!readFrame(fd, payload)) return false;
+  try {
+    message = obs::Json::parse(payload);
+  } catch (const obs::JsonError& e) {
+    throw ProtocolError(std::string("malformed JSON frame: ") + e.what());
+  }
+  return true;
+}
+
+void writeMessage(int fd, const obs::Json& message) {
+  writeFrame(fd, message.dump());
+}
+
+Client::Client(const std::string& socketPath) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socketPath.size() >= sizeof(addr.sun_path)) {
+    throw ProtocolError("socket path too long: " + socketPath);
+  }
+  std::memcpy(addr.sun_path, socketPath.c_str(), socketPath.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throwErrno("socket");
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int savedErrno = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = savedErrno;
+    throwErrno(("connect " + socketPath).c_str());
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Client::send(const obs::Json& request) { writeMessage(fd_, request); }
+
+bool Client::receive(obs::Json& response) {
+  return readMessage(fd_, response);
+}
+
+std::vector<obs::Json> Client::call(const obs::Json& request) {
+  send(request);
+  std::vector<obs::Json> frames;
+  for (;;) {
+    obs::Json frame;
+    if (!receive(frame)) {
+      throw ProtocolError("server closed the connection mid-response");
+    }
+    const obs::Json* done = frame.find("done");
+    const bool isLast = done != nullptr && done->asBool();
+    frames.push_back(std::move(frame));
+    if (isLast) return frames;
+  }
+}
+
+}  // namespace crp::serve

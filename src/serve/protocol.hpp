@@ -1,0 +1,85 @@
+// Wire protocol of the crp serve daemon (docs/serve.md).
+//
+// Transport: a local stream socket carrying *frames*.  Each frame is a
+// 4-byte big-endian payload length followed by that many bytes of
+// UTF-8 JSON.  Requests are single frames; a request's response is a
+// stream of one or more frames on the same connection, in order, the
+// last of which carries `"done": true`.  Intermediate frames are
+// progress events (per-iteration timeline records, heatmap deltas).
+// The length prefix makes framing independent of JSON content, and the
+// kMaxFrameBytes guard bounds what a malformed or hostile peer can
+// make the daemon buffer.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace crp::serve {
+
+/// Protocol schema version, echoed by the hello op.  Bump when frame
+/// layout or the response contract (done-flag, error shape) changes.
+inline constexpr int kProtocolVersion = 1;
+
+/// Upper bound on a single frame's payload.  Generous: a full
+/// RunReport with timeline for the bench designs is well under 8 MiB.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Framing violation: truncated header/payload, oversized length, or
+/// an I/O error on the socket.  Clean EOF at a frame boundary is NOT
+/// an error (readFrame returns false for it).
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Reads one frame into `payload`.  Returns false on clean EOF (peer
+/// closed between frames); throws ProtocolError on a short read inside
+/// a frame, a length above kMaxFrameBytes, or a socket error.
+bool readFrame(int fd, std::string& payload);
+
+/// Writes one frame (header + payload, handling short writes).
+/// Throws ProtocolError on error or an over-long payload.
+void writeFrame(int fd, std::string_view payload);
+
+/// readFrame + Json::parse.  A frame that is not valid JSON throws
+/// ProtocolError (framing survives, but the stream is unusable).
+bool readMessage(int fd, obs::Json& message);
+
+/// Serializes compactly (no indent) and writes one frame.
+void writeMessage(int fd, const obs::Json& message);
+
+/// Minimal client: connect to the daemon's unix socket, exchange
+/// messages.  Used by crp_loadgen, the serve smoke leg, and the
+/// protocol tests; real clients in other languages only need the
+/// 4-byte framing above.
+class Client {
+ public:
+  /// Connects; throws ProtocolError when the socket is absent or
+  /// refuses.
+  explicit Client(const std::string& socketPath);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  void send(const obs::Json& request);
+  /// One response frame; false on clean EOF.
+  bool receive(obs::Json& response);
+
+  /// send() + receive() until a frame with `"done": true` arrives.
+  /// Returns all frames (events first, final frame last).  Throws
+  /// ProtocolError if the server closes mid-stream.
+  std::vector<obs::Json> call(const obs::Json& request);
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace crp::serve

@@ -1,0 +1,291 @@
+#include "serve/server.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <iostream>
+#include <stdexcept>
+
+#include "serve/protocol.hpp"
+
+namespace crp::serve {
+
+namespace {
+
+[[noreturn]] void throwErrno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+/// Copies the request's correlation tag (if any) into a response
+/// frame, so pipelined clients can match streams to requests.
+void stampTag(const obs::Json& request, obs::Json& response) {
+  if (const obs::Json* tag = request.find("tag")) {
+    response.set("tag", *tag);
+  }
+}
+
+obs::Json okFrame(const obs::Json& request, bool done) {
+  obs::Json frame = obs::Json::object();
+  frame.set("ok", true);
+  stampTag(request, frame);
+  if (done) frame.set("done", true);
+  return frame;
+}
+
+obs::Json errorFrame(const obs::Json& request, const std::string& message) {
+  obs::Json frame = obs::Json::object();
+  frame.set("ok", false);
+  frame.set("error", message);
+  stampTag(request, frame);
+  frame.set("done", true);
+  return frame;
+}
+
+/// Merges a job result document into an ok frame (keeps "ok"/"tag"
+/// first, "done" last — purely cosmetic, the protocol is key-based).
+obs::Json resultFrame(const obs::Json& request, const obs::Json& result) {
+  obs::Json frame = okFrame(request, /*done=*/false);
+  for (const auto& [key, value] : result.asObject()) {
+    if (key == "event") continue;  // implied by the done flag
+    frame.set(key, value);
+  }
+  frame.set("done", true);
+  return frame;
+}
+
+}  // namespace
+
+Server::Server(ServeOptions options)
+    : options_(std::move(options)),
+      pool_(static_cast<std::size_t>(std::max(0, options_.workers))),
+      sessions_(options_.maxSessions) {}
+
+Server::~Server() {
+  for (std::thread& handler : handlers_) {
+    if (handler.joinable()) handler.join();
+  }
+  if (listenFd_ >= 0) ::close(listenFd_);
+  if (wakeFds_[0] >= 0) ::close(wakeFds_[0]);
+  if (wakeFds_[1] >= 0) ::close(wakeFds_[1]);
+}
+
+void Server::start() {
+  if (options_.socketPath.empty()) {
+    throw std::runtime_error("serve: socket path is empty");
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socketPath.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("serve: socket path too long: " +
+                             options_.socketPath);
+  }
+  std::memcpy(addr.sun_path, options_.socketPath.c_str(),
+              options_.socketPath.size() + 1);
+
+  if (::pipe2(wakeFds_, O_CLOEXEC | O_NONBLOCK) != 0) throwErrno("pipe2");
+  listenFd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listenFd_ < 0) throwErrno("socket");
+  ::unlink(options_.socketPath.c_str());  // stale socket from a crash
+  if (::bind(listenFd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throwErrno("bind " + options_.socketPath);
+  }
+  if (::listen(listenFd_, 64) != 0) throwErrno("listen");
+  if (options_.verbose) {
+    std::cerr << "crp serve: listening on " << options_.socketPath << " ("
+              << pool_.threadCount() << " workers)\n";
+  }
+}
+
+void Server::serve() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd fds[2] = {{listenFd_, POLLIN, 0}, {wakeFds_[0], POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // requestStop woke us
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int client = ::accept4(listenFd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (client < 0) continue;
+    connectionsAccepted_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(connMutex_);
+    liveFds_.push_back(client);
+    handlers_.emplace_back(&Server::handleConnection, this, client);
+  }
+
+  // Teardown: stop accepting, wake blocked readers, join handlers.
+  ::close(listenFd_);
+  listenFd_ = -1;
+  ::unlink(options_.socketPath.c_str());
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard<std::mutex> lock(connMutex_);
+    for (const int fd : liveFds_) ::shutdown(fd, SHUT_RDWR);
+    handlers.swap(handlers_);
+  }
+  for (std::thread& handler : handlers) handler.join();
+  if (options_.verbose) {
+    std::cerr << "crp serve: stopped ("
+              << connectionsAccepted_.load(std::memory_order_relaxed)
+              << " connections, " << jobsCompleted() << " jobs)\n";
+  }
+}
+
+void Server::requestStop() {
+  stop_.store(true, std::memory_order_release);
+  if (wakeFds_[1] >= 0) {
+    const char byte = 'x';
+    // Best-effort; the pipe is non-blocking and one pending byte is
+    // enough to wake poll().
+    [[maybe_unused]] const ssize_t n = ::write(wakeFds_[1], &byte, 1);
+  }
+}
+
+void Server::handleConnection(int fd) {
+  for (;;) {
+    obs::Json request;
+    try {
+      if (!readMessage(fd, request)) break;  // clean EOF
+    } catch (const ProtocolError&) {
+      break;  // framing broken; nothing sane to reply with
+    }
+    try {
+      if (!dispatch(fd, request)) break;
+    } catch (const ProtocolError&) {
+      break;  // peer went away mid-response
+    }
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(connMutex_);
+  liveFds_.erase(std::remove(liveFds_.begin(), liveFds_.end(), fd),
+                 liveFds_.end());
+}
+
+std::shared_ptr<Session> Server::requireSession(const obs::Json& request) {
+  const obs::Json* id = request.find("session");
+  if (id == nullptr) {
+    throw std::runtime_error("request is missing 'session'");
+  }
+  std::shared_ptr<Session> session =
+      sessions_.find(static_cast<std::uint64_t>(id->asInt()));
+  if (session == nullptr) {
+    throw std::runtime_error("unknown session " + std::to_string(id->asInt()));
+  }
+  return session;
+}
+
+bool Server::dispatch(int fd, const obs::Json& request) {
+  std::string op;
+  try {
+    op = request.at("op").asString();
+  } catch (const std::exception&) {
+    writeMessage(fd, errorFrame(request, "request is missing 'op'"));
+    return true;
+  }
+  if (options_.verbose) std::cerr << "crp serve: op " << op << "\n";
+
+  try {
+    if (op == "hello") {
+      obs::Json frame = okFrame(request, /*done=*/false);
+      frame.set("server", "crp-serve");
+      frame.set("protocol", kProtocolVersion);
+      frame.set("pid", static_cast<std::int64_t>(::getpid()));
+      frame.set("workers",
+                static_cast<std::int64_t>(pool_.threadCount()));
+      frame.set("sessions", static_cast<std::int64_t>(sessions_.count()));
+      frame.set("done", true);
+      writeMessage(fd, frame);
+      return true;
+    }
+    if (op == "open_session") {
+      const std::shared_ptr<Session> session = sessions_.open(
+          request.find("name") != nullptr ? request.at("name").asString()
+                                          : std::string(),
+          pool_);
+      if (session == nullptr) {
+        writeMessage(fd, errorFrame(request, "session limit reached"));
+        return true;
+      }
+      obs::Json frame = okFrame(request, /*done=*/false);
+      frame.set("session", session->id);
+      frame.set("done", true);
+      writeMessage(fd, frame);
+      return true;
+    }
+    if (op == "close_session") {
+      const obs::Json* id = request.find("session");
+      const bool closed =
+          id != nullptr &&
+          sessions_.close(static_cast<std::uint64_t>(id->asInt()));
+      if (!closed) {
+        writeMessage(fd, errorFrame(request, "unknown session"));
+        return true;
+      }
+      writeMessage(fd, okFrame(request, /*done=*/true));
+      return true;
+    }
+    if (op == "stats") {
+      obs::Json frame = okFrame(request, /*done=*/false);
+      frame.set("sessions", static_cast<std::int64_t>(sessions_.count()));
+      frame.set("connections",
+                static_cast<std::int64_t>(
+                    connectionsAccepted_.load(std::memory_order_relaxed)));
+      frame.set("jobsCompleted", static_cast<std::int64_t>(jobsCompleted()));
+      frame.set("workers", static_cast<std::int64_t>(pool_.threadCount()));
+      frame.set("done", true);
+      writeMessage(fd, frame);
+      return true;
+    }
+    if (op == "shutdown") {
+      writeMessage(fd, okFrame(request, /*done=*/true));
+      requestStop();
+      return false;
+    }
+
+    // Job ops below need a session.
+    const std::shared_ptr<Session> session = requireSession(request);
+    if (op == "bmgen") {
+      const obs::Json result = runBmgenJob(*session, request);
+      jobsCompleted_.fetch_add(1, std::memory_order_relaxed);
+      writeMessage(fd, resultFrame(request, result));
+      return true;
+    }
+    if (op == "run" || op == "eco") {
+      const EventSink emit = [fd, &request](const obs::Json& event) {
+        obs::Json frame = event;
+        frame.set("ok", true);
+        stampTag(request, frame);
+        writeMessage(fd, frame);
+      };
+      const obs::Json result =
+          op == "run" ? runRunJob(*session, request, emit)
+                      : runEcoJob(*session, request, emit);
+      jobsCompleted_.fetch_add(1, std::memory_order_relaxed);
+      writeMessage(fd, resultFrame(request, result));
+      return true;
+    }
+    if (op == "report") {
+      const obs::Json result = runReportJob(*session);
+      jobsCompleted_.fetch_add(1, std::memory_order_relaxed);
+      writeMessage(fd, resultFrame(request, result));
+      return true;
+    }
+    writeMessage(fd, errorFrame(request, "unknown op '" + op + "'"));
+    return true;
+  } catch (const ProtocolError&) {
+    throw;  // socket-level failure: close the connection
+  } catch (const std::exception& e) {
+    writeMessage(fd, errorFrame(request, e.what()));
+    return true;
+  }
+}
+
+}  // namespace crp::serve

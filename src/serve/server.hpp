@@ -1,0 +1,94 @@
+// The crp serve daemon (docs/serve.md).
+//
+// One process, one AF_UNIX listening socket, one shared compute
+// ThreadPool.  Each accepted connection gets a handler thread that
+// reads request frames and executes jobs inline (session-level
+// parallelism comes from concurrent connections; intra-job
+// parallelism from the shared pool).  Per-session state — database,
+// router, framework, ObsContext — lives in the SessionManager and
+// survives across requests and connections until close_session.
+//
+// Shutdown is async-signal-safe: requestStop() only stores a flag and
+// writes one byte to a self-pipe, so the CLI's SIGTERM/SIGINT handler
+// can call it directly.  serve() then stops accepting, unlinks the
+// socket, shuts down live connections, and joins every handler.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "serve/session.hpp"
+#include "util/thread_pool.hpp"
+
+namespace crp::serve {
+
+struct ServeOptions {
+  /// AF_UNIX socket path (sun_path-limited, ~100 bytes).  An existing
+  /// socket file is replaced.
+  std::string socketPath;
+  /// Shared compute pool width; 0 = hardware concurrency.
+  int workers = 0;
+  std::size_t maxSessions = 64;
+  /// Log connection/job lifecycle to stderr.
+  bool verbose = false;
+};
+
+class Server {
+ public:
+  explicit Server(ServeOptions options);
+  /// Joins outstanding handlers if serve() already returned; the
+  /// caller must not destroy a Server while serve() runs.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Creates the socket and the wake pipe, binds, listens.  Throws
+  /// std::runtime_error on failure.  Call once, before serve().
+  void start();
+
+  /// The accept loop.  Blocks until requestStop(); on return the
+  /// socket is unlinked and every connection handler has been joined.
+  void serve();
+
+  /// Async-signal-safe stop request (atomic store + pipe write).
+  /// Callable from any thread or from a signal handler.
+  void requestStop();
+
+  const std::string& socketPath() const { return options_.socketPath; }
+  SessionManager& sessions() { return sessions_; }
+  util::ThreadPool& pool() { return pool_; }
+  std::uint64_t jobsCompleted() const {
+    return jobsCompleted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void handleConnection(int fd);
+  /// Executes one request; writes all response frames.  Returns false
+  /// when the connection should close (shutdown op).
+  bool dispatch(int fd, const obs::Json& request);
+  std::shared_ptr<Session> requireSession(const obs::Json& request);
+
+  ServeOptions options_;
+  util::ThreadPool pool_;
+  SessionManager sessions_;
+
+  std::atomic<bool> stop_{false};
+  int listenFd_ = -1;
+  int wakeFds_[2] = {-1, -1};
+
+  std::atomic<std::uint64_t> jobsCompleted_{0};
+  std::atomic<std::uint64_t> connectionsAccepted_{0};
+
+  std::mutex connMutex_;
+  std::vector<int> liveFds_;          ///< open client fds (for teardown)
+  std::vector<std::thread> handlers_; ///< joined at end of serve()
+};
+
+}  // namespace crp::serve

@@ -1,0 +1,92 @@
+#include "util/file_io.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include <unistd.h>
+
+namespace crp::util {
+
+namespace {
+
+void setError(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+// Distinct temp names per process and per call, so two writers racing
+// on the same destination never stream into each other's temp file
+// (last rename wins, each file is internally consistent).
+std::string tempPathFor(const std::string& path) {
+  static std::atomic<unsigned> sequence{0};
+  const unsigned seq = sequence.fetch_add(1, std::memory_order_relaxed);
+  return path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
+         std::to_string(seq);
+}
+
+}  // namespace
+
+bool writeFileAtomic(const std::string& path,
+                     const std::function<bool(std::ostream&)>& produce,
+                     std::string* error) {
+  const std::string tmp = tempPathFor(path);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) {
+      setError(error, "cannot open " + tmp + " for writing: " +
+                          std::strerror(errno));
+      return false;
+    }
+    bool produced = false;
+    try {
+      produced = produce(out);
+    } catch (const std::exception& e) {
+      out.close();
+      std::remove(tmp.c_str());
+      setError(error, std::string("writer threw: ") + e.what());
+      return false;
+    }
+    out.flush();
+    // `produced` is the producer's own verdict; the stream state is
+    // the OS's (covers ENOSPC surfacing at flush/close time).
+    if (!produced || !out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      setError(error, "write to " + tmp + " failed (disk full or I/O error)");
+      return false;
+    }
+    out.close();
+    if (out.fail()) {
+      std::remove(tmp.c_str());
+      setError(error, "closing " + tmp + " failed (disk full or I/O error)");
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    setError(error,
+             "rename " + tmp + " -> " + path + " failed: " + ec.message());
+    return false;
+  }
+  return true;
+}
+
+bool writeFileAtomic(const std::string& path, std::string_view content,
+                     std::string* error) {
+  return writeFileAtomic(
+      path,
+      [content](std::ostream& os) -> bool {
+        os.write(content.data(),
+                 static_cast<std::streamsize>(content.size()));
+        return os.good();
+      },
+      error);
+}
+
+}  // namespace crp::util

@@ -1,0 +1,37 @@
+// Atomic, error-checked artifact writing.
+//
+// The CLI and daemon persist JSON artifacts (reports, traces, heatmap
+// series, eco deltas) that downstream tooling parses.  A bare
+// `std::ofstream << ...` silently "succeeds" on a full disk or an
+// unwritable path, leaving a truncated or empty file behind.
+// writeFileAtomic closes that hole: the payload goes to a temporary
+// file in the destination directory, the stream state is checked
+// after an explicit flush, and only a fully written temp file is
+// renamed over the destination — readers never observe a partial
+// artifact, and every failure mode is reported to the caller.
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace crp::util {
+
+/// Writes `produce`'s output to `path` atomically: the producer
+/// streams into a temp file next to the destination; after a flush
+/// whose stream state is verified, the temp file is renamed into
+/// place.  On any failure (open, producer-reported stream failure,
+/// flush, rename) the temp file is removed, false is returned, and a
+/// one-line reason is stored in *error (when non-null).  The producer
+/// may itself return false to abort (e.g. after detecting its own
+/// serialization problem).
+bool writeFileAtomic(const std::string& path,
+                     const std::function<bool(std::ostream&)>& produce,
+                     std::string* error = nullptr);
+
+/// Convenience overload for ready-made content.
+bool writeFileAtomic(const std::string& path, std::string_view content,
+                     std::string* error = nullptr);
+
+}  // namespace crp::util

@@ -2,6 +2,11 @@
 
 namespace crp::util {
 
+namespace {
+// Innermost LoggerScope's logger for this thread; null = process default.
+thread_local Logger* tlsCurrentLogger = nullptr;
+}  // namespace
+
 std::string_view logLevelTag(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
@@ -23,15 +28,42 @@ Logger& Logger::instance() {
   return logger;
 }
 
-void Logger::setStream(std::ostream* os) {
+Logger& Logger::current() {
+  Logger* scoped = tlsCurrentLogger;
+  return scoped != nullptr ? *scoped : instance();
+}
+
+void Logger::setSink(std::shared_ptr<std::ostream> os) {
   std::lock_guard lock(mutex_);
-  os_ = os;
+  os_ = std::move(os);
+}
+
+std::shared_ptr<std::ostream> Logger::sink() const {
+  std::lock_guard lock(mutex_);
+  return os_;
+}
+
+void Logger::setStream(std::ostream* os) {
+  // Non-owning adoption: aliasing shared_ptr with a no-op deleter.
+  setSink(os != nullptr ? std::shared_ptr<std::ostream>(os, [](std::ostream*) {})
+                        : nullptr);
 }
 
 void Logger::write(LogLevel level, std::string_view message) {
   std::lock_guard lock(mutex_);
   std::ostream& os = os_ != nullptr ? *os_ : std::clog;
   os << logLevelTag(level) << ' ' << message << '\n';
+}
+
+LoggerScope::LoggerScope(Logger* logger) {
+  if (logger == nullptr) return;
+  previous_ = tlsCurrentLogger;
+  tlsCurrentLogger = logger;
+  installed_ = true;
+}
+
+LoggerScope::~LoggerScope() {
+  if (installed_) tlsCurrentLogger = previous_;
 }
 
 }  // namespace crp::util

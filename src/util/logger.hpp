@@ -1,16 +1,29 @@
 // Lightweight leveled logger for the CR&P toolkit.
 //
-// The logger is a process-wide singleton with a configurable severity
-// threshold.  Formatting uses iostreams under the hood but the public
-// interface is printf-like via a tiny variadic formatter, so call sites
-// stay compact:
+// Loggers are plain objects: the process keeps a default one
+// (Logger::instance()) and long-lived services create one per session
+// so concurrent flows never interleave their lines (the serve daemon's
+// ObsContext owns one per session; see obs/context.hpp).  Call sites
+// resolve the *ambient* logger — the innermost LoggerScope on this
+// thread, falling back to the process default — so library code never
+// names a session explicitly:
 //
 //   CRP_LOG_INFO("routed {} nets, {} overflows", nNets, nOv);
 //
-// Placeholders are positional "{}"; any printable type works.
+// Formatting uses iostreams under the hood but the public interface is
+// printf-like via a tiny variadic formatter; placeholders are
+// positional "{}" and any printable type works.
+//
+// Sink ownership: the logger holds its sink as a shared_ptr, so a
+// stream handed over with setSink() stays alive for as long as any
+// write could still reach it — swapping sinks while other threads log
+// is safe.  setStream() remains as a deprecated non-owning shim for
+// legacy callers with static-lifetime streams.
 #pragma once
 
+#include <atomic>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -30,31 +43,71 @@ enum class LogLevel : int {
 /// Converts a level to its fixed-width display tag.
 std::string_view logLevelTag(LogLevel level);
 
-/// Process-wide logger.  Thread-safe: each emitted record is written
-/// under a mutex so concurrent messages never interleave.
+/// Thread-safe leveled logger: each emitted record is written under a
+/// mutex so concurrent messages never interleave, and the sink is
+/// owned (shared_ptr), so replacing it cannot dangle a writer that is
+/// mid-record on another thread.
 class Logger {
  public:
+  Logger() = default;
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  /// The process-default logger (what CRP_LOG_* uses outside any
+  /// LoggerScope).
   static Logger& instance();
 
-  void setLevel(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
+  /// The ambient logger: the innermost LoggerScope's logger on this
+  /// thread, instance() otherwise.
+  static Logger& current();
 
-  /// Redirects output (default: std::clog).  The stream must outlive
-  /// all logging calls; pass nullptr to restore the default.
+  void setLevel(LogLevel level) {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  LogLevel level() const {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+
+  /// Redirects output to an owned sink (default: std::clog).  The
+  /// logger keeps the stream alive until no write can reach it any
+  /// more; pass nullptr to restore the default.
+  void setSink(std::shared_ptr<std::ostream> os);
+  std::shared_ptr<std::ostream> sink() const;
+
+  /// Deprecated: non-owning setSink().  The caller must guarantee *os
+  /// outlives every logging call that could still observe it — with
+  /// concurrent writers that is exactly the dangling-sink bug setSink()
+  /// exists to prevent.  Kept so existing single-threaded callers with
+  /// static/stack streams keep compiling; prefer setSink().
   void setStream(std::ostream* os);
 
   bool enabled(LogLevel level) const {
-    return static_cast<int>(level) >= static_cast<int>(level_);
+    return static_cast<int>(level) >=
+           level_.load(std::memory_order_relaxed);
   }
 
   void write(LogLevel level, std::string_view message);
 
  private:
-  Logger() = default;
+  std::atomic<int> level_{static_cast<int>(LogLevel::kInfo)};
+  std::shared_ptr<std::ostream> os_;  ///< null = std::clog
+  mutable std::mutex mutex_;
+};
 
-  LogLevel level_ = LogLevel::kInfo;
-  std::ostream* os_ = nullptr;
-  std::mutex mutex_;
+/// RAII ambient-logger override for the current thread (installed by
+/// obs::ObsContextScope so a session's log lines go to the session's
+/// sink).  Null logger = no-op scope.
+class LoggerScope {
+ public:
+  explicit LoggerScope(Logger* logger);
+  explicit LoggerScope(Logger& logger) : LoggerScope(&logger) {}
+  ~LoggerScope();
+  LoggerScope(const LoggerScope&) = delete;
+  LoggerScope& operator=(const LoggerScope&) = delete;
+
+ private:
+  Logger* previous_ = nullptr;
+  bool installed_ = false;
 };
 
 namespace detail {
@@ -90,7 +143,7 @@ std::string formatMessage(std::string_view fmt, Args&&... args) {
 
 template <typename... Args>
 void log(LogLevel level, std::string_view fmt, Args&&... args) {
-  Logger& logger = Logger::instance();
+  Logger& logger = Logger::current();
   if (!logger.enabled(level)) return;
   logger.write(level, formatMessage(fmt, std::forward<Args>(args)...));
 }

@@ -1,7 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
+#include <memory>
 #include <utility>
 
 namespace crp::util {
@@ -25,7 +25,10 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+void ThreadPool::submit(Task task) {
+  if (TaskWrapper wrapper = taskWrapper()) {
+    task = wrapper(std::move(task));
+  }
   {
     std::lock_guard lock(mutex_);
     tasks_.push(std::move(task));
@@ -53,40 +56,68 @@ void ThreadPool::parallelFor(std::size_t n,
       std::max<std::size_t>(1, n / (workers * 16 + 1));
   const std::size_t grains = (n + grain - 1) / grain;
 
-  // All state lives on this frame: waitIdle() below guarantees every
-  // puller finished before the frame unwinds.
-  std::atomic<std::size_t> cursor{0};
-  std::atomic<bool> aborted{false};
-  std::exception_ptr error;
-  std::mutex errorMutex;
+  // Shared by value (shared_ptr) with the helpers: a helper that only
+  // gets scheduled after this frame returned (possible when every
+  // worker is busy with other sessions' tasks) must still be able to
+  // touch the cursor safely — it will find it exhausted and leave.
+  struct ForState {
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<bool> aborted{false};
+    std::exception_ptr error;
+    std::mutex mutex;
+    std::condition_variable idle;
+    std::size_t active = 0;  ///< helpers between enter and exit
+  };
+  auto state = std::make_shared<ForState>();
 
-  auto puller = [&] {
+  const auto drain = [state, &body, n, grain] {
     for (;;) {
-      if (aborted.load(std::memory_order_relaxed)) return;
+      if (state->aborted.load(std::memory_order_relaxed)) return;
       const std::size_t begin =
-          cursor.fetch_add(grain, std::memory_order_relaxed);
+          state->cursor.fetch_add(grain, std::memory_order_relaxed);
       if (begin >= n) return;
       const std::size_t end = std::min(n, begin + grain);
       try {
         for (std::size_t i = begin; i < end; ++i) body(i);
       } catch (...) {
-        std::lock_guard lock(errorMutex);
-        if (!error) error = std::current_exception();
-        aborted.store(true, std::memory_order_relaxed);
+        std::lock_guard lock(state->mutex);
+        if (!state->error) state->error = std::current_exception();
+        state->aborted.store(true, std::memory_order_relaxed);
         return;
       }
     }
   };
-  for (std::size_t t = 0; t < std::min(workers, grains); ++t) {
-    submit(puller);
+
+  // The caller drains too, so helpers only help with grains beyond the
+  // caller's first.  A helper registers (active++) *before* touching
+  // the cursor: once the caller's own drain finds the cursor
+  // exhausted, any helper not yet registered can never claim work, so
+  // waiting for active == 0 covers exactly the helpers that might
+  // still be running `body` (and is a no-wait when none started —
+  // the reentrant case where the pool has no free worker).
+  const std::size_t helpers = std::min(workers, grains - 1);
+  for (std::size_t t = 0; t < helpers; ++t) {
+    submit([state, drain] {
+      {
+        std::lock_guard lock(state->mutex);
+        ++state->active;
+      }
+      drain();
+      std::lock_guard lock(state->mutex);
+      if (--state->active == 0) state->idle.notify_all();
+    });
   }
-  waitIdle();
-  if (error) std::rethrow_exception(error);
+  drain();
+  {
+    std::unique_lock lock(state->mutex);
+    state->idle.wait(lock, [&] { return state->active == 0; });
+  }
+  if (state->error) std::rethrow_exception(state->error);
 }
 
 void ThreadPool::workerLoop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock lock(mutex_);
       taskReady_.wait(lock, [this] { return stop_ || !tasks_.empty(); });

@@ -13,13 +13,24 @@
 // costs (candidate pricing varies heavily with net degree) cannot
 // leave the pool idle behind one fat statically-assigned chunk.
 //
+// The calling thread participates in its own loop: it drains grains
+// alongside the helpers it enqueued and then waits only for helpers
+// that actually started.  Two consequences matter for the serve
+// daemon, where many sessions share one pool:
+//   * parallelFor is reentrant — a task running *on* the pool can call
+//     parallelFor on the same pool without deadlocking (its helpers
+//     may never be scheduled; the caller completes the loop alone),
+//     and
+//   * one session's loop never blocks on another session's unrelated
+//     queued tasks (it waits on per-call state, not pool-wide
+//     idleness).
+//
 // Exceptions thrown by a task are captured and rethrown on the calling
 // thread: parallelFor rethrows the first exception its body threw;
-// waitIdle rethrows the first exception of a plain submit() task.  The
-// worker's active count is decremented on the throw path, so waitIdle
-// never hangs after a failure.
+// waitIdle rethrows the first exception of a plain submit() task.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
@@ -33,6 +44,23 @@ namespace crp::util {
 
 class ThreadPool {
  public:
+  using Task = std::function<void()>;
+
+  /// Process-wide hook applied to every task at submit() time, so an
+  /// upper layer can capture the submitter's thread-ambient state and
+  /// re-install it on the worker (obs::ObsContext registers one that
+  /// propagates the current observability context; see
+  /// obs/context.cpp).  Must be a stateless function pointer: it is
+  /// stored in a constant-initialized atomic, so registration has no
+  /// static-init-order hazard.  Pass nullptr to clear.
+  using TaskWrapper = Task (*)(Task);
+  static void setTaskWrapper(TaskWrapper wrapper) {
+    taskWrapper_.store(wrapper, std::memory_order_release);
+  }
+  static TaskWrapper taskWrapper() {
+    return taskWrapper_.load(std::memory_order_acquire);
+  }
+
   /// Creates `threads` workers; 0 means hardware concurrency (min 1).
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
@@ -44,24 +72,29 @@ class ThreadPool {
 
   /// Enqueues a task for asynchronous execution.  If the task throws,
   /// the first such exception is rethrown by the next waitIdle().
-  void submit(std::function<void()> task);
+  void submit(Task task);
 
   /// Blocks until all submitted tasks have finished, then rethrows the
-  /// first exception any of them threw (if any).
+  /// first exception any of them threw (if any).  Do not call from
+  /// inside a pool task (it would wait on itself); parallelFor does
+  /// not use it and is safe to nest.
   void waitIdle();
 
   /// Runs body(i) for i in [0, n); blocks until complete.  Indices are
   /// handed out in contiguous grains through a shared atomic cursor
-  /// (dynamic load balancing).  The first exception thrown by `body`
-  /// is rethrown here on the calling thread; remaining grains are
-  /// abandoned (already-started ones still finish their grain).
+  /// (dynamic load balancing); the calling thread drains grains too.
+  /// The first exception thrown by `body` is rethrown here on the
+  /// calling thread; remaining grains are abandoned (already-started
+  /// ones still finish their grain).
   void parallelFor(std::size_t n, const std::function<void(std::size_t)>& body);
 
  private:
   void workerLoop();
 
+  inline static std::atomic<TaskWrapper> taskWrapper_{nullptr};
+
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<Task> tasks_;
   std::mutex mutex_;
   std::condition_variable taskReady_;
   std::condition_variable idle_;

@@ -8,6 +8,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "crp/framework.hpp"  // core::kPhases for the schema test
@@ -295,6 +296,138 @@ TEST(ObsMacros, ConcurrentMacroCountsAreExact) {
   EXPECT_EQ(snap.counters.at("macro.concurrent"),
             static_cast<std::uint64_t>(kTasks));
   resetAll();
+}
+#endif  // CRP_OBS_DISABLED
+
+// ---- per-session contexts --------------------------------------------------
+
+TEST(ObsContext, IdsAreUniqueAndNeverZero) {
+  ObsContext a;
+  ObsContext b;
+  EXPECT_NE(a.id(), 0u);
+  EXPECT_NE(b.id(), 0u);
+  EXPECT_NE(a.id(), b.id());
+  EXPECT_NE(a.id(), ObsContext::defaultContext().id());
+}
+
+TEST(ObsContext, AmbientResolutionFallsBackToDefault) {
+  EXPECT_EQ(&currentContext(), &ObsContext::defaultContext());
+  ObsContext session;
+  {
+    ObsContextScope scope(session);
+    EXPECT_EQ(&currentContext(), &session);
+    ObsContext inner;
+    {
+      ObsContextScope nested(inner);
+      EXPECT_EQ(&currentContext(), &inner);
+    }
+    EXPECT_EQ(&currentContext(), &session);
+  }
+  EXPECT_EQ(&currentContext(), &ObsContext::defaultContext());
+}
+
+TEST(ObsContext, NullScopeIsANoOp) {
+  ObsContext session;
+  ObsContextScope outer(session);
+  ObsContextScope noop(static_cast<ObsContext*>(nullptr));
+  EXPECT_EQ(&currentContext(), &session);
+}
+
+TEST(ObsContext, ResetIsScopedToOneContext) {
+  ObsContext a;
+  ObsContext b;
+  a.metrics().counter("ctx.reset")->add(3);
+  b.metrics().counter("ctx.reset")->add(5);
+  a.reset();
+  EXPECT_EQ(a.metrics().counter("ctx.reset")->value(), 0u);
+  EXPECT_EQ(b.metrics().counter("ctx.reset")->value(), 5u);
+}
+
+TEST(ObsContext, DeprecatedResetAllOnlyClearsCurrentContext) {
+  ObsContext session;
+  ObsContext bystander;
+  bystander.metrics().counter("ctx.bystander")->add(7);
+  {
+    ObsContextScope scope(session);
+    session.metrics().counter("ctx.bystander")->add(1);
+    resetAll();  // the legacy shim: scoped, not process-global
+    EXPECT_EQ(session.metrics().counter("ctx.bystander")->value(), 0u);
+  }
+  EXPECT_EQ(bystander.metrics().counter("ctx.bystander")->value(), 7u);
+}
+
+#ifndef CRP_OBS_DISABLED
+TEST(ObsContext, MacrosRecordIntoTheAmbientContext) {
+  ObsContext a;
+  ObsContext b;
+  a.setEnabled(true);
+  b.setEnabled(true);
+  // One lambda = one macro call site: its thread-local instrument
+  // cache must re-resolve when the ambient context changes.
+  const auto hit = [] { CRP_OBS_COUNT("ctx.macro", 1); };
+  {
+    ObsContextScope scope(a);
+    hit();
+    hit();
+  }
+  {
+    ObsContextScope scope(b);
+    hit();
+  }
+  EXPECT_EQ(a.metrics().counter("ctx.macro")->value(), 2u);
+  EXPECT_EQ(b.metrics().counter("ctx.macro")->value(), 1u);
+}
+
+TEST(ObsContext, DisabledContextSuppressesMacros) {
+  ObsContext session;  // enabled() defaults to false
+  {
+    ObsContextScope scope(session);
+    CRP_OBS_COUNT("ctx.disabled", 1);
+  }
+  const MetricsSnapshot snap = session.metrics().snapshot();
+  const auto it = snap.counters.find("ctx.disabled");
+  EXPECT_TRUE(it == snap.counters.end() || it->second == 0);
+}
+
+TEST(ObsContext, PoolWorkersInheritTheSubmittersContext) {
+  ObsContext session;
+  session.setEnabled(true);
+  util::ThreadPool pool(4);
+  constexpr int kTasks = 2000;
+  {
+    ObsContextScope scope(session);
+    pool.parallelFor(kTasks, [](std::size_t) {
+      CRP_OBS_COUNT("ctx.pool", 1);
+    });
+  }
+  EXPECT_EQ(session.metrics().counter("ctx.pool")->value(),
+            static_cast<std::uint64_t>(kTasks));
+  const MetricsSnapshot defaults =
+      ObsContext::defaultContext().metrics().snapshot();
+  const auto it = defaults.counters.find("ctx.pool");
+  EXPECT_TRUE(it == defaults.counters.end() || it->second == 0);
+}
+
+TEST(ObsContext, ConcurrentScopedCountsStayIsolated) {
+  ObsContext a;
+  ObsContext b;
+  a.setEnabled(true);
+  b.setEnabled(true);
+  constexpr int kPerThread = 5000;
+  const auto worker = [](ObsContext& ctx) {
+    ObsContextScope scope(ctx);
+    for (int i = 0; i < kPerThread; ++i) {
+      CRP_OBS_COUNT("ctx.race", 1);
+    }
+  };
+  std::thread ta(worker, std::ref(a));
+  std::thread tb(worker, std::ref(b));
+  ta.join();
+  tb.join();
+  EXPECT_EQ(a.metrics().counter("ctx.race")->value(),
+            static_cast<std::uint64_t>(kPerThread));
+  EXPECT_EQ(b.metrics().counter("ctx.race")->value(),
+            static_cast<std::uint64_t>(kPerThread));
 }
 #endif  // CRP_OBS_DISABLED
 

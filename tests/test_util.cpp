@@ -2,13 +2,19 @@
 // and distribution sanity, timers, thread pool, string helpers.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "util/file_io.hpp"
 #include "util/logger.hpp"
 #include "util/rng.hpp"
 #include "util/string_util.hpp"
@@ -341,6 +347,173 @@ TEST(StringUtil, Padding) {
   EXPECT_EQ(padLeft("ab", 4), "  ab");
   EXPECT_EQ(padRight("ab", 4), "ab  ");
   EXPECT_EQ(padLeft("abcdef", 4), "abcdef");
+}
+
+// ---- Logger sinks ----------------------------------------------------------
+
+TEST(Logger, SetSinkOwnsTheStream) {
+  Logger logger;
+  auto sink = std::make_shared<std::ostringstream>();
+  logger.setSink(sink);
+  logger.write(LogLevel::kInfo, formatMessage("owned {}", 1));
+  EXPECT_NE(sink->str().find("owned 1"), std::string::npos);
+  EXPECT_EQ(logger.sink(), sink);
+}
+
+TEST(Logger, SetStreamShimAliasesWithoutOwning) {
+  Logger logger;
+  std::ostringstream sink;
+  logger.setStream(&sink);
+  logger.write(LogLevel::kWarn, "aliased");
+  EXPECT_NE(sink.str().find("aliased"), std::string::npos);
+  logger.setStream(nullptr);
+}
+
+TEST(Logger, ScopeRoutesCurrentLogger) {
+  Logger scoped;
+  auto sink = std::make_shared<std::ostringstream>();
+  scoped.setSink(sink);
+  EXPECT_EQ(&Logger::current(), &Logger::instance());
+  {
+    LoggerScope scope(&scoped);
+    EXPECT_EQ(&Logger::current(), &scoped);
+    CRP_LOG_WARN("scoped {}", 9);
+  }
+  EXPECT_EQ(&Logger::current(), &Logger::instance());
+  EXPECT_NE(sink->str().find("scoped 9"), std::string::npos);
+}
+
+// The PR-8 dangling-sink regression (run under TSan in the bench
+// script's sanitizer leg): one thread logs while another swaps the
+// sink.  With the old raw-pointer setStream the writer could keep
+// using a destroyed stream; shared_ptr sinks swapped under the write
+// mutex make every line land in a stream that is still alive.
+TEST(Logger, SinkSwapWhileLoggingIsSafe) {
+  Logger logger;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      logger.write(LogLevel::kWarn, formatMessage("swap race {}", 1));
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    logger.setSink(std::make_shared<std::ostringstream>());
+  }
+  stop.store(true, std::memory_order_release);
+  writer.join();
+  logger.setSink(nullptr);
+}
+
+// ---- writeFileAtomic -------------------------------------------------------
+
+namespace fs = std::filesystem;
+
+std::string tempDirFor(const char* name) {
+  const fs::path dir = fs::temp_directory_path() /
+                       ("crp_test_util_" + std::to_string(::getpid())) / name;
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+TEST(FileIo, WriteFileAtomicWritesContent) {
+  const std::string path = tempDirFor("write") + "/out.txt";
+  std::string error;
+  ASSERT_TRUE(writeFileAtomic(path, "payload\n", &error)) << error;
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "payload\n");
+}
+
+TEST(FileIo, WriteFileAtomicReplacesExisting) {
+  const std::string path = tempDirFor("replace") + "/out.txt";
+  ASSERT_TRUE(writeFileAtomic(path, "old"));
+  ASSERT_TRUE(writeFileAtomic(path, "new"));
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "new");
+}
+
+TEST(FileIo, WriteFileAtomicFailsOnMissingDirectory) {
+  const std::string path =
+      tempDirFor("missing") + "/no/such/dir/out.txt";
+  std::string error;
+  EXPECT_FALSE(writeFileAtomic(path, "x", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(fs::exists(path));
+}
+
+TEST(FileIo, ProducerFailureLeavesNoFileBehind) {
+  const std::string dir = tempDirFor("producer");
+  const std::string path = dir + "/out.txt";
+  std::string error;
+  EXPECT_FALSE(writeFileAtomic(
+      path, [](std::ostream& os) -> bool { os << "partial"; return false; },
+      &error));
+  EXPECT_FALSE(fs::exists(path));
+  // No temp droppings either — the half-written file must be cleaned up.
+  EXPECT_TRUE(fs::is_empty(dir));
+}
+
+// ---- shared-pool reentrancy ------------------------------------------------
+
+// A parallelFor body that itself calls parallelFor on the same pool
+// must complete (per-call completion state, caller participates) — the
+// serve daemon runs framework phases and router batches of several
+// sessions on one pool, so outer/inner nesting is the steady state.
+TEST(ThreadPool, NestedParallelForOnOnePoolCompletes) {
+  ThreadPool pool(2);
+  constexpr int kOuter = 8;
+  constexpr int kInner = 64;
+  std::atomic<int> total{0};
+  pool.parallelFor(kOuter, [&](std::size_t) {
+    pool.parallelFor(kInner, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), kOuter * kInner);
+}
+
+TEST(ThreadPool, ConcurrentParallelForCallersDoNotCrossWait) {
+  ThreadPool pool(4);
+  constexpr int kIterations = 2000;
+  std::atomic<int> a{0};
+  std::atomic<int> b{0};
+  std::thread ta([&] {
+    pool.parallelFor(kIterations,
+                     [&](std::size_t) { a.fetch_add(1); });
+  });
+  std::thread tb([&] {
+    pool.parallelFor(kIterations,
+                     [&](std::size_t) { b.fetch_add(1); });
+  });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(a.load(), kIterations);
+  EXPECT_EQ(b.load(), kIterations);
+}
+
+TEST(ThreadPool, TaskWrapperAppliesAtSubmitTime) {
+  const ThreadPool::TaskWrapper previous = ThreadPool::taskWrapper();
+  static std::atomic<int> wrapped{0};
+  ThreadPool::setTaskWrapper([](ThreadPool::Task task) -> ThreadPool::Task {
+    return [task = std::move(task)] {
+      wrapped.fetch_add(1, std::memory_order_relaxed);
+      task();
+    };
+  });
+  {
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 5; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.waitIdle();
+    EXPECT_EQ(ran.load(), 5);
+  }
+  EXPECT_EQ(wrapped.load(), 5);
+  ThreadPool::setTaskWrapper(previous);
 }
 
 }  // namespace

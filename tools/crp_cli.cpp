@@ -53,6 +53,13 @@
 //
 //   crp suite outdir [--scale S]
 //       Export the crp_test1..10 suite as LEF/DEF pairs.
+//
+//   crp serve --socket PATH [--workers N] [--max-sessions N]
+//             [--verbose 1]
+//       Run the CR&P daemon (docs/serve.md): a unix-socket job server
+//       with resident per-session state.  Stops cleanly on SIGTERM /
+//       SIGINT or a client shutdown op.
+#include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -81,6 +88,8 @@
 #include "lefdef/lef_writer.hpp"
 #include "obs/obs.hpp"
 #include "obs/run_report.hpp"
+#include "serve/server.hpp"
+#include "util/file_io.hpp"
 #include "util/string_util.hpp"
 #include "util/timer.hpp"
 #include "viz/svg_writer.hpp"
@@ -164,12 +173,14 @@ int cmdGenerate(const Args& args) {
     const db::EcoDelta delta = bmgen::perturbDesign(db, perturb);
     std::filesystem::path deltaPath(args.positional[1]);
     deltaPath.replace_extension(".eco.json");
-    std::ofstream out(deltaPath);
-    if (!out) {
-      std::cerr << "error: cannot write " << deltaPath.string() << "\n";
+    std::string writeError;
+    if (!util::writeFileAtomic(deltaPath.string(),
+                               db::ecoDeltaToJson(delta).dump(2) + "\n",
+                               &writeError)) {
+      std::cerr << "error: cannot write " << deltaPath.string() << ": "
+                << writeError << "\n";
       return 1;
     }
-    out << db::ecoDeltaToJson(delta).dump(2) << "\n";
     std::cout << "eco delta (" << delta.size() << " edits, seed "
               << perturb.seed << ", frac " << perturb.frac << ") -> "
               << deltaPath.string() << "\n";
@@ -299,34 +310,46 @@ void printCrpTelemetry(core::CrpFramework& framework) {
 /// Writes the Chrome trace and/or RunReport JSON files when the
 /// corresponding --trace-out / --report-out flags were given.
 int writeObsArtifacts(const Args& args, core::CrpFramework& framework) {
+  // Every artifact goes through writeFileAtomic: a full disk or bad
+  // path exits nonzero instead of leaving a truncated JSON that
+  // downstream tooling would half-parse.
+  std::string writeError;
   const auto traceIt = args.flags.find("trace-out");
   if (traceIt != args.flags.end()) {
-    std::ofstream out(traceIt->second);
-    if (!out) {
-      std::cerr << "error: cannot write " << traceIt->second << "\n";
+    const bool ok = util::writeFileAtomic(
+        traceIt->second,
+        [&framework](std::ostream& os) -> bool {
+          framework.obsContext().tracer().writeChromeTrace(os);
+          return os.good();
+        },
+        &writeError);
+    if (!ok) {
+      std::cerr << "error: cannot write " << traceIt->second << ": "
+                << writeError << "\n";
       return 1;
     }
-    obs::Tracer::instance().writeChromeTrace(out);
     std::cout << "trace -> " << traceIt->second << "\n";
   }
   const auto reportIt = args.flags.find("report-out");
   if (reportIt != args.flags.end()) {
-    std::ofstream out(reportIt->second);
-    if (!out) {
-      std::cerr << "error: cannot write " << reportIt->second << "\n";
+    if (!util::writeFileAtomic(reportIt->second,
+                               framework.runReport().toJson().dump(2) + "\n",
+                               &writeError)) {
+      std::cerr << "error: cannot write " << reportIt->second << ": "
+                << writeError << "\n";
       return 1;
     }
-    out << framework.runReport().toJson().dump(2) << "\n";
     std::cout << "report -> " << reportIt->second << "\n";
   }
   const auto heatmapsIt = args.flags.find("heatmaps-out");
   if (heatmapsIt != args.flags.end()) {
-    std::ofstream out(heatmapsIt->second);
-    if (!out) {
-      std::cerr << "error: cannot write " << heatmapsIt->second << "\n";
+    if (!util::writeFileAtomic(heatmapsIt->second,
+                               framework.heatmaps().toJson().dump(2) + "\n",
+                               &writeError)) {
+      std::cerr << "error: cannot write " << heatmapsIt->second << ": "
+                << writeError << "\n";
       return 1;
     }
-    out << framework.heatmaps().toJson().dump(2) << "\n";
     std::cout << "heatmaps -> " << heatmapsIt->second << " ("
               << framework.heatmaps().size() << " snapshot(s))\n";
   }
@@ -335,8 +358,8 @@ int writeObsArtifacts(const Args& args, core::CrpFramework& framework) {
     obs::Json trigger = obs::Json::object();
     trigger.set("source", "crp_cli");
     trigger.set("context", "flight-out");
-    if (!obs::FlightRecorder::instance().dumpToFile(flightIt->second,
-                                                    std::move(trigger))) {
+    if (!framework.obsContext().flightRecorder().dumpToFile(
+            flightIt->second, std::move(trigger))) {
       std::cerr << "error: cannot write " << flightIt->second << "\n";
       return 1;
     }
@@ -553,12 +576,50 @@ int cmdSuite(const Args& args) {
   return 0;
 }
 
+/// The daemon under SIGTERM/SIGINT: the handler may only call the
+/// async-signal-safe requestStop(), so the live server is published
+/// through a plain pointer the handler reads.
+serve::Server* g_server = nullptr;
+
+void handleStopSignal(int) {
+  if (g_server != nullptr) g_server->requestStop();
+}
+
+int cmdServe(const Args& args) {
+  const auto socketIt = args.flags.find("socket");
+  if (socketIt == args.flags.end()) {
+    std::cerr << "usage: crp serve --socket PATH [--workers N] "
+                 "[--max-sessions N] [--verbose 1]\n";
+    return 2;
+  }
+  serve::ServeOptions options;
+  options.socketPath = socketIt->second;
+  options.workers = static_cast<int>(args.number("workers", 0));
+  options.maxSessions =
+      static_cast<std::size_t>(args.number("max-sessions", 64));
+  options.verbose = args.number("verbose", 0) > 0;
+
+  serve::Server server(options);
+  server.start();
+  g_server = &server;
+  struct sigaction action {};
+  action.sa_handler = handleStopSignal;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+  std::cout << "crp serve: ready on " << server.socketPath() << std::endl;
+  server.serve();
+  g_server = nullptr;
+  std::cout << "crp serve: clean shutdown (" << server.jobsCompleted()
+            << " jobs)" << std::endl;
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: crp <generate|route|run|eco|detail|flow|place|svg|"
-                 "congestion|suite> ...\n";
+                 "congestion|suite|serve> ...\n";
     return 2;
   }
   const std::string command = argv[1];
@@ -574,6 +635,7 @@ int main(int argc, char** argv) {
     if (command == "place") return cmdPlace(args);
     if (command == "svg") return cmdSvg(args);
     if (command == "suite") return cmdSuite(args);
+    if (command == "serve") return cmdServe(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -1,0 +1,328 @@
+// crp_loadgen — load-test harness for the crp serve daemon.
+//
+// Two modes against a running daemon (boot one with `crp serve
+// --socket PATH`):
+//
+//   crp_loadgen --socket PATH [--jobs N] [--clients C] [--cells K]
+//               [--out bench.json] [--shutdown 1]
+//       Throughput mode (default): C client connections, each with its
+//       own session, together submitting N bmgen jobs; records per-job
+//       latency and writes {jobs, jobsPerSec, latencyMsP50,
+//       latencyMsP99, ...} — the BENCH_serve.json payload.
+//
+//   crp_loadgen --socket PATH --chain 1 [--jobs N] [--clients C]
+//       Validation mode (the CI smoke leg): each chain runs
+//       bmgen(+perturb) -> run (streamed) -> eco (streamed) -> report
+//       and checks the streamed events and final documents — iteration
+//       events arrive in order with timeline + heatmap deltas, the
+//       final frames carry fingerprints, and report's fingerprint is
+//       bit-identical to eco's.  Exits nonzero on the first violation.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "util/file_io.hpp"
+
+namespace {
+
+using namespace crp;
+
+struct Args {
+  std::map<std::string, std::string> flags;
+
+  static Args parse(int argc, char** argv) {
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+      const std::string token = argv[i];
+      if (token.rfind("--", 0) == 0 && i + 1 < argc) {
+        args.flags[token.substr(2)] = argv[++i];
+      }
+    }
+    return args;
+  }
+
+  double number(const std::string& key, double fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atof(it->second.c_str());
+  }
+};
+
+double elapsedMs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+/// The final frame of a call stream must be ok; returns it.
+const obs::Json& requireOk(const std::vector<obs::Json>& frames,
+                           const char* op) {
+  const obs::Json& last = frames.back();
+  if (!last.at("ok").asBool()) {
+    throw std::runtime_error(std::string(op) + " failed: " +
+                             last.at("error").asString());
+  }
+  return last;
+}
+
+std::uint64_t openSession(serve::Client& client, const std::string& name) {
+  obs::Json request = obs::Json::object();
+  request.set("op", "open_session");
+  request.set("name", name);
+  const auto frames = client.call(request);
+  return static_cast<std::uint64_t>(
+      requireOk(frames, "open_session").at("session").asInt());
+}
+
+obs::Json bmgenRequest(std::uint64_t session, int cells,
+                       std::uint64_t seed, bool perturb) {
+  obs::Json request = obs::Json::object();
+  request.set("op", "bmgen");
+  request.set("session", session);
+  request.set("cells", cells);
+  request.set("seed", seed);
+  if (perturb) {
+    obs::Json p = obs::Json::object();
+    p.set("seed", 7);
+    p.set("frac", 0.05);
+    request.set("perturb", std::move(p));
+  }
+  return request;
+}
+
+// ---- throughput mode ------------------------------------------------------
+
+struct ClientResult {
+  std::vector<double> latenciesMs;
+  std::string error;
+};
+
+void throughputClient(const std::string& socketPath, int clientIndex,
+                      int jobs, int cells, ClientResult& out) {
+  try {
+    serve::Client client(socketPath);
+    const std::uint64_t session =
+        openSession(client, "load" + std::to_string(clientIndex));
+    out.latenciesMs.reserve(static_cast<std::size_t>(jobs));
+    for (int j = 0; j < jobs; ++j) {
+      const auto start = std::chrono::steady_clock::now();
+      const std::uint64_t seed =
+          static_cast<std::uint64_t>(clientIndex) * 100003u + j + 1;
+      const auto frames =
+          client.call(bmgenRequest(session, cells, seed, false));
+      requireOk(frames, "bmgen");
+      out.latenciesMs.push_back(elapsedMs(start));
+    }
+    obs::Json closeReq = obs::Json::object();
+    closeReq.set("op", "close_session");
+    closeReq.set("session", session);
+    requireOk(client.call(closeReq), "close_session");
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  }
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+int runThroughput(const Args& args, const std::string& socketPath) {
+  const int jobs = static_cast<int>(args.number("jobs", 1000));
+  const int clients =
+      std::max(1, static_cast<int>(args.number("clients", 8)));
+  const int cells = static_cast<int>(args.number("cells", 150));
+
+  std::vector<ClientResult> results(static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  const auto wallStart = std::chrono::steady_clock::now();
+  for (int c = 0; c < clients; ++c) {
+    // Spread the job count so the totals add up to `jobs` exactly.
+    const int share = jobs / clients + (c < jobs % clients ? 1 : 0);
+    threads.emplace_back(throughputClient, socketPath, c, share, cells,
+                         std::ref(results[static_cast<std::size_t>(c)]));
+  }
+  for (std::thread& t : threads) t.join();
+  const double wallSeconds = elapsedMs(wallStart) / 1000.0;
+
+  std::vector<double> all;
+  for (const ClientResult& result : results) {
+    if (!result.error.empty()) {
+      std::cerr << "client error: " << result.error << "\n";
+      return 1;
+    }
+    all.insert(all.end(), result.latenciesMs.begin(),
+               result.latenciesMs.end());
+  }
+  std::sort(all.begin(), all.end());
+  double sum = 0.0;
+  for (const double ms : all) sum += ms;
+
+  obs::Json doc = obs::Json::object();
+  doc.set("schemaVersion", 1);
+  doc.set("bench", "serve");
+  doc.set("mode", "throughput");
+  doc.set("jobs", static_cast<std::int64_t>(all.size()));
+  doc.set("clients", clients);
+  doc.set("cellsPerJob", cells);
+  doc.set("wallSeconds", wallSeconds);
+  doc.set("jobsPerSec",
+          wallSeconds > 0.0 ? static_cast<double>(all.size()) / wallSeconds
+                            : 0.0);
+  doc.set("latencyMsP50", percentile(all, 0.50));
+  doc.set("latencyMsP99", percentile(all, 0.99));
+  doc.set("latencyMsMean",
+          all.empty() ? 0.0 : sum / static_cast<double>(all.size()));
+  doc.set("latencyMsMax", all.empty() ? 0.0 : all.back());
+
+  const auto outIt = args.flags.find("out");
+  if (outIt != args.flags.end()) {
+    std::string error;
+    if (!util::writeFileAtomic(outIt->second, doc.dump(2) + "\n", &error)) {
+      std::cerr << "error: cannot write " << outIt->second << ": " << error
+                << "\n";
+      return 1;
+    }
+  }
+  std::cout << doc.dump(2) << "\n";
+  return 0;
+}
+
+// ---- chain (validation) mode ----------------------------------------------
+
+void expect(bool condition, const std::string& what) {
+  if (!condition) throw std::runtime_error("validation failed: " + what);
+}
+
+/// One bmgen -> run -> eco -> report chain with event validation.
+void validateChain(serve::Client& client, std::uint64_t session,
+                   std::uint64_t seed) {
+  const auto bmgenFrames =
+      client.call(bmgenRequest(session, 220, seed, /*perturb=*/false));
+  const obs::Json& bmgenResult = requireOk(bmgenFrames, "bmgen");
+  expect(bmgenResult.at("cells").asInt() > 0, "bmgen reported no cells");
+
+  const int k = 2;
+  obs::Json runReq = obs::Json::object();
+  runReq.set("op", "run");
+  runReq.set("session", session);
+  runReq.set("k", k);
+  runReq.set("snapshots", 1);
+  {
+    // The eco job needs a delta valid against the post-run placement.
+    obs::Json p = obs::Json::object();
+    p.set("seed", 7);
+    p.set("frac", 0.05);
+    runReq.set("perturb", std::move(p));
+  }
+  const auto runFrames = client.call(runReq);
+  const obs::Json& runResult = requireOk(runFrames, "run");
+  expect(static_cast<int>(runFrames.size()) == k + 1,
+         "run streamed " + std::to_string(runFrames.size() - 1) +
+             " iteration events, wanted " + std::to_string(k));
+  for (int i = 0; i < k; ++i) {
+    const obs::Json& event = runFrames[static_cast<std::size_t>(i)];
+    expect(event.at("event").asString() == "iteration",
+           "frame " + std::to_string(i) + " is not an iteration event");
+    expect(static_cast<int>(event.at("iteration").asInt()) == i,
+           "iteration events out of order");
+    expect(event.find("timeline") != nullptr,
+           "iteration event lacks its timeline record");
+    expect(event.find("heatmapDelta") != nullptr,
+           "iteration event lacks its heatmap delta");
+  }
+  expect(runResult.find("fingerprint") != nullptr,
+         "run result lacks a fingerprint");
+  expect(runResult.find("report") != nullptr, "run result lacks the report");
+  expect(runResult.find("ecoDelta") != nullptr,
+         "run result lacks the requested eco delta");
+
+  obs::Json ecoReq = obs::Json::object();
+  ecoReq.set("op", "eco");
+  ecoReq.set("session", session);
+  ecoReq.set("delta", runResult.at("ecoDelta"));
+  ecoReq.set("k", 1);
+  const auto ecoFrames = client.call(ecoReq);
+  const obs::Json& ecoResult = requireOk(ecoFrames, "eco");
+  expect(ecoResult.find("eco") != nullptr, "eco result lacks eco stats");
+  expect(ecoResult.find("fingerprint") != nullptr,
+         "eco result lacks a fingerprint");
+
+  obs::Json reportReq = obs::Json::object();
+  reportReq.set("op", "report");
+  reportReq.set("session", session);
+  const auto reportFrames = client.call(reportReq);
+  const obs::Json& reportResult = requireOk(reportFrames, "report");
+  expect(reportResult.at("fingerprint") == ecoResult.at("fingerprint"),
+         "report fingerprint drifted from the eco result's");
+}
+
+int runChains(const Args& args, const std::string& socketPath) {
+  const int chains = static_cast<int>(args.number("jobs", 2));
+  const int clients =
+      std::max(1, static_cast<int>(args.number("clients", 2)));
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    const int share = chains / clients + (c < chains % clients ? 1 : 0);
+    threads.emplace_back([&, c, share] {
+      try {
+        serve::Client client(socketPath);
+        const std::uint64_t session =
+            openSession(client, "chain" + std::to_string(c));
+        for (int j = 0; j < share; ++j) {
+          validateChain(client, session,
+                        static_cast<std::uint64_t>(c) * 1000u + j + 1);
+        }
+      } catch (const std::exception& e) {
+        std::cerr << "chain client " << c << ": " << e.what() << "\n";
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (failures.load() != 0) return 1;
+  std::cout << "chain validation: " << chains << " chains over " << clients
+            << " clients OK\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = Args::parse(argc, argv);
+  const auto socketIt = args.flags.find("socket");
+  if (socketIt == args.flags.end()) {
+    std::cerr << "usage: crp_loadgen --socket PATH [--jobs N] [--clients C] "
+                 "[--cells K] [--out bench.json] [--chain 1] "
+                 "[--shutdown 1]\n";
+    return 2;
+  }
+  try {
+    const int status = args.number("chain", 0) > 0
+                           ? runChains(args, socketIt->second)
+                           : runThroughput(args, socketIt->second);
+    if (args.number("shutdown", 0) > 0) {
+      serve::Client client(socketIt->second);
+      obs::Json request = obs::Json::object();
+      request.set("op", "shutdown");
+      client.call(request);
+    }
+    return status;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
