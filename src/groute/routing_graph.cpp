@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "groute/tile.hpp"
+
 namespace crp::groute {
 
 namespace {
@@ -244,14 +246,27 @@ void RoutingGraph::chargeFixedUsage(const db::Database& db) {
 }
 
 double RoutingGraph::demand(const WireEdge& e) const {
-  const std::size_t idx = wireIndex(e);
   const GPoint src{e.layer, e.x, e.y};
   const GPoint dst = layerDir(e.layer) == LayerDir::kHorizontal
                          ? GPoint{e.layer, e.x + 1, e.y}
                          : GPoint{e.layer, e.x, e.y + 1};
-  const double viaEstimate = std::sqrt(
-      (viaCount_[nodeIndex(src)] + viaCount_[nodeIndex(dst)]) / 2.0);
-  return wireUse_[idx] + wireFixed_[idx] + config_.beta * viaEstimate;
+  // Through the accessors, not the raw arrays: a thread routing a tile
+  // group reads the shared state plus its view's deltas (OverlayScope).
+  const double viaEstimate =
+      std::sqrt((viaCount(src) + viaCount(dst)) / 2.0);
+  return wireUsage(e) + fixedUsage(e) + config_.beta * viaEstimate;
+}
+
+double RoutingGraph::overlayWireDelta(const WireEdge& e) const {
+  return tlOverlayView_->wireDelta(e);
+}
+
+double RoutingGraph::overlayViaDelta(const ViaEdge& e) const {
+  return tlOverlayView_->viaDelta(e);
+}
+
+int RoutingGraph::overlayViaCountDelta(const GPoint& p) const {
+  return tlOverlayView_->viaCountDelta(p);
 }
 
 namespace {
@@ -280,10 +295,9 @@ double RoutingGraph::wireEdgeCost(const WireEdge& e) const {
 }
 
 double RoutingGraph::viaEdgeCost(const ViaEdge& e) const {
-  const std::size_t idx = viaIndex(e);
   double penalty = 0.0;
   if (config_.congestionPenalty) {
-    penalty = logisticPenalty(viaUse_[idx], viaCap_[idx], config_.slope);
+    penalty = logisticPenalty(viaUsage(e), viaCapacity(e), config_.slope);
   }
   return config_.viaUnit * (1.0 + penalty);
 }

@@ -1,0 +1,176 @@
+#include "groute/tile.hpp"
+
+#include <cassert>
+
+namespace crp::groute {
+
+bool overlapsAny(const GCellRect& rect, const std::vector<GCellRect>& regions) {
+  for (const GCellRect& region : regions) {
+    if (rect.overlaps(region)) return true;
+  }
+  return false;
+}
+
+TileGrid::TileGrid(int countX, int countY, const TileGridSpec& spec,
+                   int conflictMargin)
+    : rows_(std::max(1, spec.rows)),
+      cols_(std::max(1, spec.cols)),
+      halo_(spec.haloGcells >= 0 ? spec.haloGcells
+                                 : std::max(0, conflictMargin)),
+      countX_(std::max(1, countX)),
+      countY_(std::max(1, countY)) {
+  // Integer partition: column c spans [c*W/C, (c+1)*W/C).  When C > W
+  // some columns are empty (lo == next lo); tileRect reports them as
+  // empty rects and tileAt never returns them.
+  colLo_.resize(cols_ + 1);
+  for (int c = 0; c <= cols_; ++c) {
+    colLo_[c] = static_cast<int>(static_cast<long>(c) * countX_ / cols_);
+  }
+  rowLo_.resize(rows_ + 1);
+  for (int r = 0; r <= rows_; ++r) {
+    rowLo_[r] = static_cast<int>(static_cast<long>(r) * countY_ / rows_);
+  }
+}
+
+GCellRect TileGrid::tileRect(int tile) const {
+  const int r = tile / cols_;
+  const int c = tile % cols_;
+  GCellRect rect;
+  rect.xlo = colLo_[c];
+  rect.xhi = colLo_[c + 1] - 1;
+  rect.ylo = rowLo_[r];
+  rect.yhi = rowLo_[r + 1] - 1;
+  return rect;  // empty when the partition is degenerate
+}
+
+GCellRect TileGrid::haloedRect(int tile) const {
+  GCellRect rect = tileRect(tile);
+  rect.expand(halo_, countX_ - 1, countY_ - 1);
+  return rect;
+}
+
+int TileGrid::tileAt(int x, int y) const {
+  x = std::clamp(x, 0, countX_ - 1);
+  y = std::clamp(y, 0, countY_ - 1);
+  // Last boundary <= coordinate.  With empty tiles the boundary list
+  // has repeated values; picking the *last* match selects the
+  // non-empty tile that actually owns the gcell.
+  const auto colIt =
+      std::upper_bound(colLo_.begin(), colLo_.begin() + cols_, x);
+  const auto rowIt =
+      std::upper_bound(rowLo_.begin(), rowLo_.begin() + rows_, y);
+  const int c = static_cast<int>(colIt - colLo_.begin()) - 1;
+  const int r = static_cast<int>(rowIt - rowLo_.begin()) - 1;
+  return r * cols_ + c;
+}
+
+int TileGrid::assign(const GCellRect& conflictRect) const {
+  if (conflictRect.empty()) return -1;
+  const int cx = (conflictRect.xlo + conflictRect.xhi) / 2;
+  const int cy = (conflictRect.ylo + conflictRect.yhi) / 2;
+  const int tile = tileAt(cx, cy);
+  return haloedRect(tile).contains(conflictRect) ? tile : -1;
+}
+
+TileDemandView::TileDemandView(int numLayers, int tile,
+                               const GCellRect& coverage)
+    : numLayers_(numLayers), tile_(tile), coverage_(coverage) {}
+
+void TileDemandView::ensureStorage() {
+  if (!wireDelta_.empty() || coverage_.empty()) return;
+  const std::size_t cells =
+      static_cast<std::size_t>(coverage_.width()) * coverage_.height();
+  wireDelta_.assign(static_cast<std::size_t>(numLayers_) * cells, 0.0);
+  viaDelta_.assign(
+      static_cast<std::size_t>(std::max(0, numLayers_ - 1)) * cells, 0.0);
+  viaCountDelta_.assign(static_cast<std::size_t>(numLayers_) * cells, 0);
+}
+
+void TileDemandView::applyRouteLocal(const NetRoute& route, int sign) {
+  ensureStorage();
+  // Mirror of RoutingGraph::applyRoute over the local slots.  The
+  // wire/via scalar totals are NOT tracked here — mergeInto replays
+  // the ops through the graph, which owns them.
+  for (const RouteSegment& rawSeg : route.segments) {
+    const RouteSegment seg = normalized(rawSeg);
+    if (seg.isVia()) {
+      if (coverage_.contains(seg.a.x, seg.a.y)) {
+        for (int l = seg.a.layer; l < seg.b.layer; ++l) {
+          viaDelta_[slot(l, seg.a.x, seg.a.y)] += sign;
+        }
+        for (int l = seg.a.layer; l <= seg.b.layer; ++l) {
+          viaCountDelta_[slot(l, seg.a.x, seg.a.y)] += sign;
+        }
+      }
+    } else if (seg.a.x != seg.b.x) {
+      for (int x = seg.a.x; x < seg.b.x; ++x) {
+        if (coverage_.contains(x, seg.a.y)) {
+          wireDelta_[slot(seg.a.layer, x, seg.a.y)] += sign;
+        }
+      }
+    } else if (seg.a.y != seg.b.y) {
+      for (int y = seg.a.y; y < seg.b.y; ++y) {
+        if (coverage_.contains(seg.a.x, y)) {
+          wireDelta_[slot(seg.a.layer, seg.a.x, y)] += sign;
+        }
+      }
+    }
+  }
+  PendingOp op;
+  op.route.net = route.net;
+  op.route.segments = route.segments;
+  op.route.routed = true;
+  op.sign = sign;
+  pending_.push_back(std::move(op));
+}
+
+double TileDemandView::wireDelta(const WireEdge& e) const {
+  if (wireDelta_.empty() || !coverage_.contains(e.x, e.y)) return 0.0;
+  return wireDelta_[slot(e.layer, e.x, e.y)];
+}
+
+double TileDemandView::viaDelta(const ViaEdge& e) const {
+  if (viaDelta_.empty() || !coverage_.contains(e.x, e.y)) return 0.0;
+  return viaDelta_[slot(e.layer, e.x, e.y)];
+}
+
+int TileDemandView::viaCountDelta(const GPoint& p) const {
+  if (viaCountDelta_.empty() || !coverage_.contains(p.x, p.y)) return 0;
+  return viaCountDelta_[slot(p.layer, p.x, p.y)];
+}
+
+void TileDemandView::mergeInto(RoutingGraph& graph) {
+  for (const PendingOp& op : pending_) {
+    graph.applyRoute(op.route, op.sign);
+    // Zero the local slots the op touched (assignment, not
+    // subtraction: rip-up and commit of one net may share edges and a
+    // slot must end at exactly 0 either way).
+    for (const RouteSegment& rawSeg : op.route.segments) {
+      const RouteSegment seg = normalized(rawSeg);
+      if (seg.isVia()) {
+        if (!coverage_.contains(seg.a.x, seg.a.y)) continue;
+        for (int l = seg.a.layer; l < seg.b.layer; ++l) {
+          viaDelta_[slot(l, seg.a.x, seg.a.y)] = 0.0;
+        }
+        for (int l = seg.a.layer; l <= seg.b.layer; ++l) {
+          viaCountDelta_[slot(l, seg.a.x, seg.a.y)] = 0;
+        }
+      } else if (seg.a.x != seg.b.x) {
+        for (int x = seg.a.x; x < seg.b.x; ++x) {
+          if (coverage_.contains(x, seg.a.y)) {
+            wireDelta_[slot(seg.a.layer, x, seg.a.y)] = 0.0;
+          }
+        }
+      } else if (seg.a.y != seg.b.y) {
+        for (int y = seg.a.y; y < seg.b.y; ++y) {
+          if (coverage_.contains(seg.a.x, y)) {
+            wireDelta_[slot(seg.a.layer, seg.a.x, y)] = 0.0;
+          }
+        }
+      }
+    }
+  }
+  pending_.clear();
+}
+
+}  // namespace crp::groute

@@ -1,0 +1,226 @@
+// Chip-tile spatial domain decomposition (docs/tiling.md).
+//
+// The GCell grid is cut into an R x C grid of tiles, each with a halo
+// of surrounding gcells.  A batch-reroute work item whose conflict
+// bbox fits inside one tile's haloed rect is "tile-local": it executes
+// on that tile's worker with its demand writes captured in a
+// region-local TileDemandView instead of the shared RoutingGraph, and
+// the views are merged back in fixed tile-index order at each batch
+// boundary.  Items spanning tiles fall back to the global path.
+//
+// Determinism contract: tiling is a scheduling/locality refinement of
+// the conflict-free batch plan, never a change to it.  Within a batch
+// every edge is touched by at most one net (the planner guarantees
+// pairwise-disjoint conflict bboxes), so the per-edge demand update
+// sequences — and therefore routes, demand maps and fingerprints — are
+// bit-identical for every tile grid at every thread count, including
+// the untiled 1x1 configuration.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "groute/route.hpp"
+#include "groute/routing_graph.hpp"
+
+namespace crp::groute {
+
+/// Inclusive gcell rectangle (layer-agnostic).  The currency of the
+/// conflict-free batch planner, the tile decomposition and the ECO
+/// engine's dirty-region bookkeeping: a net's extent, a tile's haloed
+/// footprint, a delta's dirty region and a cache entry's terminal bbox
+/// are all GCellRects, and "does this need attention" is an overlap or
+/// containment test.
+struct GCellRect {
+  int xlo = 0, ylo = 0, xhi = -1, yhi = -1;  // empty by default
+
+  bool empty() const { return xhi < xlo || yhi < ylo; }
+
+  void cover(int x, int y) {
+    if (empty()) {
+      xlo = xhi = x;
+      ylo = yhi = y;
+      return;
+    }
+    xlo = std::min(xlo, x);
+    ylo = std::min(ylo, y);
+    xhi = std::max(xhi, x);
+    yhi = std::max(yhi, y);
+  }
+
+  void cover(const GCellRect& o) {
+    if (o.empty()) return;
+    cover(o.xlo, o.ylo);
+    cover(o.xhi, o.yhi);
+  }
+
+  bool overlaps(const GCellRect& o) const {
+    if (empty() || o.empty()) return false;
+    return xlo <= o.xhi && o.xlo <= xhi && ylo <= o.yhi && o.ylo <= yhi;
+  }
+
+  /// True when `o` lies entirely inside this rect.
+  bool contains(const GCellRect& o) const {
+    if (o.empty()) return false;
+    return xlo <= o.xlo && o.xhi <= xhi && ylo <= o.ylo && o.yhi <= yhi;
+  }
+
+  bool contains(int x, int y) const {
+    return !empty() && xlo <= x && x <= xhi && ylo <= y && y <= yhi;
+  }
+
+  /// Grows by `margin` gcells on every side, clamped to [0, max].
+  void expand(int margin, int maxX, int maxY) {
+    if (empty()) return;
+    xlo = std::max(0, xlo - margin);
+    ylo = std::max(0, ylo - margin);
+    xhi = std::min(maxX, xhi + margin);
+    yhi = std::min(maxY, yhi + margin);
+  }
+
+  long area() const {
+    if (empty()) return 0;
+    return static_cast<long>(xhi - xlo + 1) * (yhi - ylo + 1);
+  }
+
+  int width() const { return empty() ? 0 : xhi - xlo + 1; }
+  int height() const { return empty() ? 0 : yhi - ylo + 1; }
+};
+
+/// True when `rect` overlaps any rect of `regions` (the dirty-region
+/// membership test of the ECO engine).
+bool overlapsAny(const GCellRect& rect, const std::vector<GCellRect>& regions);
+
+/// Tile decomposition knobs, threaded through GlobalRouterOptions and
+/// CrpOptions.  rows == cols == 1 disables tiling entirely (the legacy
+/// single-domain path).
+struct TileGridSpec {
+  int rows = 1;
+  int cols = 1;
+  /// Halo width in gcells around each tile's core rect.  -1 picks the
+  /// conflict margin of the batch planner (maze margin + 1 cost-read
+  /// gcell), the smallest halo that admits every net whose search box
+  /// stays inside the tile.  Any value >= 0 is also correct — smaller
+  /// halos only classify more nets as boundary.
+  int haloGcells = -1;
+
+  bool enabled() const { return rows > 1 || cols > 1; }
+};
+
+/// The R x C integer partition of a countX x countY GCell grid, plus
+/// the deterministic net-to-tile assignment used by the batch engine.
+/// Tiles are indexed row-major: tile = row * cols + col.  When rows or
+/// cols exceed the grid dimensions some tiles are empty — they own no
+/// gcells and never receive work.
+class TileGrid {
+ public:
+  /// `conflictMargin` is the batch planner's conflict-bbox margin; it
+  /// resolves spec.haloGcells == -1 (see TileGridSpec).
+  TileGrid(int countX, int countY, const TileGridSpec& spec,
+           int conflictMargin);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int numTiles() const { return rows_ * cols_; }
+  int halo() const { return halo_; }
+  int countX() const { return countX_; }
+  int countY() const { return countY_; }
+
+  /// The tile's core rect (empty when the partition is degenerate —
+  /// more rows/cols than gcells).  Core rects partition the grid
+  /// exactly: no gaps, no overlaps.
+  GCellRect tileRect(int tile) const;
+
+  /// Core rect grown by the halo, clamped to the grid.  This is the
+  /// coverage of the tile's demand view and the containment target of
+  /// assign(); neighboring haloed rects overlap by construction, which
+  /// is safe because a batch never routes two nets into one overlap.
+  GCellRect haloedRect(int tile) const;
+
+  /// The (never empty) tile whose core rect contains gcell (x, y).
+  /// x/y are clamped to the grid.
+  int tileAt(int x, int y) const;
+
+  /// Deterministic work-to-tile assignment: the tile whose core rect
+  /// contains the conflict rect's center gcell, provided its haloed
+  /// rect contains the whole conflict rect; -1 ("boundary" — run on
+  /// the global path) otherwise.  Depends only on geometry, never on
+  /// schedule.
+  int assign(const GCellRect& conflictRect) const;
+
+ private:
+  int rows_ = 1;
+  int cols_ = 1;
+  int halo_ = 0;
+  int countX_ = 1;
+  int countY_ = 1;
+  std::vector<int> colLo_;  ///< cols_+1 column boundaries (x of col c)
+  std::vector<int> rowLo_;  ///< rows_+1 row boundaries
+};
+
+/// Region-local demand delta of one tile: the write sink for rip-up
+/// (sign -1) and commit (sign +1) while a tile group executes.  Reads
+/// during the group go through the RoutingGraph overlay (global state
+/// plus this view's deltas — exactly what the untiled path would
+/// read); at the batch boundary mergeInto() replays the recorded ops
+/// into the shared graph and resets the view.
+///
+/// The dense delta arrays cover the tile's haloed rect only, addressed
+/// by the same lower-endpoint convention as RoutingGraph (one wire
+/// slot per (layer, x, y), one via slot per (layer, x, y) between
+/// layer and layer+1, one via-count slot per node).
+class TileDemandView {
+ public:
+  TileDemandView(int numLayers, int tile, const GCellRect& coverage);
+
+  int tile() const { return tile_; }
+  const GCellRect& coverage() const { return coverage_; }
+
+  /// Records a route's demand delta locally (the view-side mirror of
+  /// RoutingGraph::applyRoute).  Segments outside the coverage rect
+  /// are skipped in the local arrays — they cannot be read through the
+  /// overlay — but the full route is kept in the pending op list, so
+  /// the merge replay is always exact.
+  void applyRouteLocal(const NetRoute& route, int sign);
+
+  /// Overlay read hooks: the local delta for an edge / node, 0.0 when
+  /// outside coverage or untouched.
+  double wireDelta(const WireEdge& e) const;
+  double viaDelta(const ViaEdge& e) const;
+  int viaCountDelta(const GPoint& p) const;
+
+  /// Replays the pending ops into the shared graph (in recorded order)
+  /// and zeroes the touched local slots.  Called at batch boundaries
+  /// in fixed tile-index order; because batch members are disjoint the
+  /// merged state is independent of that order — the fixed order is
+  /// belt and braces, not load-bearing.
+  void mergeInto(RoutingGraph& graph);
+
+  bool hasPending() const { return !pending_.empty(); }
+  std::size_t pendingOps() const { return pending_.size(); }
+
+ private:
+  struct PendingOp {
+    NetRoute route;
+    int sign = 0;
+  };
+
+  void ensureStorage();
+  std::size_t slot(int layer, int x, int y) const {
+    return (static_cast<std::size_t>(layer) * coverage_.height() +
+            (y - coverage_.ylo)) *
+               coverage_.width() +
+           (x - coverage_.xlo);
+  }
+
+  int numLayers_ = 0;
+  int tile_ = 0;
+  GCellRect coverage_;
+  std::vector<double> wireDelta_;     ///< numLayers * w * h
+  std::vector<double> viaDelta_;      ///< (numLayers-1) * w * h
+  std::vector<int> viaCountDelta_;    ///< numLayers * w * h
+  std::vector<PendingOp> pending_;
+};
+
+}  // namespace crp::groute

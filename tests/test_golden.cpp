@@ -75,7 +75,8 @@ bmgen::BenchmarkSpec multiRowSpec() {
 /// drives the conflict-free batch reroute engine (GR RRR rounds and
 /// the UD phase); the determinism contract says it is value-exact.
 obs::Json runFingerprint(const bmgen::BenchmarkSpec& spec, int threads,
-                         int routerThreads = 1) {
+                         int routerThreads = 1, int tileRows = 1,
+                         int tileCols = 1) {
   obs::EnabledScope enabled(true);
   auto db = bmgen::generateBenchmark(spec);
   groute::GlobalRouterOptions routerOptions;
@@ -87,6 +88,8 @@ obs::Json runFingerprint(const bmgen::BenchmarkSpec& spec, int threads,
   options.seed = 11;
   options.threads = threads;
   options.routerThreads = routerThreads;
+  options.tileRows = tileRows;
+  options.tileCols = tileCols;
   core::CrpFramework framework(db, router, options);
   framework.run();
   EXPECT_TRUE(db::isPlacementLegal(db));
@@ -194,6 +197,40 @@ TEST(Golden, RouterThreadCountIndependence) {
       << "parallel-reroute fingerprint drifted from golden.\ngolden:\n"
       << golden.dump(2) << "\ncurrent:\n"
       << parallel.dump(2);
+}
+
+// The chip-tile decomposition (docs/tiling.md) must also be value-
+// exact against the same golden: tiling the UD reroutes, GCP windows
+// and ECC pricing over a 2x2 (and 1x8) grid at 8 router threads is a
+// scheduling refinement, so the seed fingerprint stays byte-identical
+// with tiling on.
+TEST(Golden, TileGridIndependence) {
+#ifdef CRP_OBS_DISABLED
+  GTEST_SKIP() << "golden fingerprints need the observability counters "
+                  "(-DCRP_OBS=ON)";
+#endif
+  const obs::Json tiled2x2 =
+      runFingerprint(goldenSpec(), 1, /*routerThreads=*/8, 2, 2);
+  const obs::Json tiled1x8 =
+      runFingerprint(goldenSpec(), 1, /*routerThreads=*/8, 1, 8);
+  ASSERT_EQ(tiled2x2, tiled1x8)
+      << "2x2 vs 1x8 tile grids diverge:\n"
+      << tiled2x2.dump(2) << "\nvs\n"
+      << tiled1x8.dump(2);
+
+  if (std::getenv("CRP_UPDATE_GOLDENS") != nullptr) {
+    GTEST_SKIP() << "golden handled by CrpFlowFingerprintMatchesGolden";
+  }
+  std::ifstream in(goldenPath());
+  ASSERT_TRUE(in) << "missing golden file " << goldenPath()
+                  << " — run scripts/update_goldens.sh";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const obs::Json golden = obs::Json::parse(buffer.str());
+  EXPECT_EQ(tiled2x2, golden)
+      << "tiled fingerprint drifted from the untiled golden.\ngolden:\n"
+      << golden.dump(2) << "\ncurrent:\n"
+      << tiled2x2.dump(2);
 }
 
 // Scenario goldens: the macro-heavy design (fixed blocks, hard-blocked

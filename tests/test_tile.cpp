@@ -1,0 +1,383 @@
+// Chip-tile spatial domain decomposition tests (docs/tiling.md).
+//
+// Two layers of coverage:
+//
+//  * Unit: TileGrid partition geometry — core rects partition the
+//    GCell grid exactly for arbitrary R x C (including degenerate
+//    grids with empty tiles, single-gcell tiles, and halos larger than
+//    the tile) — and TileDemandView delta capture: overlay reads see
+//    exactly what the untiled path would, and mergeInto reproduces a
+//    direct applyRoute and leaves the view quiescent.
+//
+//  * Equivalence battery: the full CR&P flow on plain, macro-heavy and
+//    mixed-height bmgen designs under tile grids {1x1, 2x2, 4x4, 1x8}
+//    x router threads {1, 8} must produce bit-identical state
+//    fingerprints, run-report fingerprints and heatmap series — the
+//    determinism contract that makes tiling a pure scheduling
+//    refinement.  Every tiled run also passes a full DbAuditor pass
+//    (demand maps exact, tile partition exact, views quiescent).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bmgen/generator.hpp"
+#include "check/audit.hpp"
+#include "crp/framework.hpp"
+#include "db/legality.hpp"
+#include "groute/global_router.hpp"
+#include "groute/tile.hpp"
+#include "obs/obs.hpp"
+#include "obs/run_report.hpp"
+#include "test_helpers.hpp"
+
+namespace crp {
+namespace {
+
+using groute::GCellRect;
+using groute::TileDemandView;
+using groute::TileGrid;
+using groute::TileGridSpec;
+
+TileGrid makeGrid(int countX, int countY, int rows, int cols, int halo = -1) {
+  TileGridSpec spec;
+  spec.rows = rows;
+  spec.cols = cols;
+  spec.haloGcells = halo;
+  return TileGrid(countX, countY, spec, /*conflictMargin=*/2);
+}
+
+// ---- TileGrid geometry ------------------------------------------------------
+
+/// The partition-exactness core: every gcell belongs to exactly one
+/// core rect, and tileAt agrees with containment.
+void expectExactPartition(const TileGrid& tiles) {
+  long coreArea = 0;
+  for (int t = 0; t < tiles.numTiles(); ++t) {
+    coreArea += tiles.tileRect(t).area();
+  }
+  EXPECT_EQ(coreArea, static_cast<long>(tiles.countX()) * tiles.countY());
+  for (int y = 0; y < tiles.countY(); ++y) {
+    for (int x = 0; x < tiles.countX(); ++x) {
+      const int t = tiles.tileAt(x, y);
+      ASSERT_GE(t, 0);
+      ASSERT_LT(t, tiles.numTiles());
+      EXPECT_TRUE(tiles.tileRect(t).contains(x, y))
+          << "gcell (" << x << "," << y << ") not in core of tile " << t;
+    }
+  }
+}
+
+TEST(TileGridGeometry, CoreRectsPartitionTheGrid) {
+  const int grids[][2] = {{12, 6}, {16, 16}, {7, 5}};
+  const int parts[][2] = {{1, 1}, {2, 2}, {4, 4}, {1, 8}, {3, 5}};
+  for (const auto& g : grids) {
+    for (const auto& p : parts) {
+      SCOPED_TRACE(std::to_string(g[0]) + "x" + std::to_string(g[1]) +
+                   " grid, " + std::to_string(p[0]) + "x" +
+                   std::to_string(p[1]) + " tiles");
+      expectExactPartition(makeGrid(g[0], g[1], p[0], p[1]));
+    }
+  }
+}
+
+TEST(TileGridGeometry, EmptyTilesWhenPartitionExceedsGrid) {
+  // 8 rows over 2 gcell rows: most tiles own no gcells.  The partition
+  // stays exact, empty tiles never receive gcells or work.
+  const TileGrid tiles = makeGrid(4, 2, 8, 2);
+  expectExactPartition(tiles);
+  int empties = 0;
+  for (int t = 0; t < tiles.numTiles(); ++t) {
+    if (tiles.tileRect(t).empty()) {
+      ++empties;
+      EXPECT_TRUE(tiles.haloedRect(t).empty());
+      GCellRect rect;
+      rect.cover(0, 0);
+      EXPECT_NE(tiles.assign(rect), t);
+    }
+  }
+  EXPECT_GT(empties, 0);
+  // An empty conflict rect is never assigned anywhere.
+  EXPECT_EQ(tiles.assign(GCellRect{}), -1);
+}
+
+TEST(TileGridGeometry, SingleGcellTiles) {
+  // cols == countX and rows == countY: every core rect is one gcell.
+  const TileGrid tiles = makeGrid(4, 4, 4, 4, /*halo=*/0);
+  expectExactPartition(tiles);
+  for (int t = 0; t < tiles.numTiles(); ++t) {
+    EXPECT_EQ(tiles.tileRect(t).area(), 1);
+    // halo 0: the haloed rect IS the core rect.
+    const GCellRect core = tiles.tileRect(t);
+    const GCellRect haloed = tiles.haloedRect(t);
+    EXPECT_EQ(core.xlo, haloed.xlo);
+    EXPECT_EQ(core.yhi, haloed.yhi);
+  }
+  GCellRect one;
+  one.cover(2, 3);
+  EXPECT_EQ(tiles.assign(one), tiles.tileAt(2, 3));
+  GCellRect two = one;
+  two.cover(3, 3);  // spans two single-gcell tiles -> boundary
+  EXPECT_EQ(tiles.assign(two), -1);
+}
+
+TEST(TileGridGeometry, HaloLargerThanTileCoversWholeGrid) {
+  const TileGrid tiles = makeGrid(8, 8, 2, 2, /*halo=*/100);
+  expectExactPartition(tiles);
+  for (int t = 0; t < tiles.numTiles(); ++t) {
+    const GCellRect haloed = tiles.haloedRect(t);
+    EXPECT_EQ(haloed.xlo, 0);
+    EXPECT_EQ(haloed.ylo, 0);
+    EXPECT_EQ(haloed.xhi, 7);
+    EXPECT_EQ(haloed.yhi, 7);
+  }
+  // With full-grid halos nothing is ever boundary: every rect lands on
+  // the tile owning its center gcell.
+  GCellRect wide;
+  wide.cover(0, 0);
+  wide.cover(7, 7);
+  const int t = tiles.assign(wide);
+  EXPECT_EQ(t, tiles.tileAt(3, 3));
+}
+
+TEST(TileGridGeometry, AssignDependsOnGeometryOnly) {
+  const TileGrid tiles = makeGrid(12, 6, 2, 2);  // halo = margin = 2
+  // Deep inside tile 0's core: local.
+  GCellRect inner;
+  inner.cover(1, 1);
+  inner.cover(2, 2);
+  EXPECT_EQ(tiles.assign(inner), 0);
+  // Center in tile 0 but reaching past its haloed rect: boundary.
+  GCellRect spanning;
+  spanning.cover(0, 0);
+  spanning.cover(11, 1);
+  EXPECT_EQ(tiles.assign(spanning), -1);
+  // Same answer on every query — a pure function of the rect.
+  EXPECT_EQ(tiles.assign(inner), 0);
+}
+
+// ---- TileDemandView ---------------------------------------------------------
+
+TEST(TileDemandViewTest, OverlayReadsAndMergeMatchDirectApply) {
+  const auto db = crp::testing::makeGridDatabase(12, 6);
+  groute::RoutingGraph graph(db);
+  groute::RoutingGraph direct(db);
+
+  const bool l0Horizontal =
+      graph.layerDir(0) == db::LayerDir::kHorizontal;
+  groute::NetRoute route;
+  route.routed = true;
+  route.segments.push_back(
+      l0Horizontal
+          ? groute::RouteSegment{groute::GPoint{0, 1, 1},
+                                 groute::GPoint{0, 3, 1}}
+          : groute::RouteSegment{groute::GPoint{0, 1, 1},
+                                 groute::GPoint{0, 1, 3}});
+  route.segments.push_back(
+      {groute::GPoint{0, 1, 1}, groute::GPoint{1, 1, 1}});  // via
+
+  GCellRect coverage;
+  coverage.cover(0, 0);
+  coverage.cover(5, 5);
+  TileDemandView view(graph.numLayers(), /*tile=*/0, coverage);
+  view.applyRouteLocal(route, +1);
+
+  const groute::WireEdge wire{0, 1, 1};
+  const groute::ViaEdge via{0, 1, 1};
+  const groute::GPoint node{0, 1, 1};
+
+  // The shared graph is untouched...
+  EXPECT_EQ(graph.wireUsage(wire), 0.0);
+  EXPECT_EQ(graph.viaCount(node), 0);
+  {
+    // ...but through the overlay the view's deltas are visible, which
+    // is exactly what the untiled path would read after applyRoute.
+    groute::RoutingGraph::OverlayScope overlay(graph, view);
+    EXPECT_EQ(graph.wireUsage(wire), 1.0);
+    EXPECT_EQ(graph.viaUsage(via), 1.0);
+    EXPECT_EQ(graph.viaCount(node), 1);
+    // The overlay binds to one graph: `direct` reads stay raw.
+    EXPECT_EQ(direct.wireUsage(wire), 0.0);
+  }
+  EXPECT_EQ(graph.wireUsage(wire), 0.0);  // scope ended
+
+  direct.applyRoute(route, +1);
+  EXPECT_TRUE(view.hasPending());
+  view.mergeInto(graph);
+
+  // Merge == direct apply, slot by slot, totals included.
+  EXPECT_EQ(graph.wireUsage(wire), direct.wireUsage(wire));
+  EXPECT_EQ(graph.viaUsage(via), direct.viaUsage(via));
+  EXPECT_EQ(graph.viaCount(node), direct.viaCount(node));
+  EXPECT_EQ(graph.totalWireDbu(), direct.totalWireDbu());
+  EXPECT_EQ(graph.totalVias(), direct.totalVias());
+
+  // Quiescent after the merge: no pending ops, no delta residue.
+  EXPECT_FALSE(view.hasPending());
+  EXPECT_EQ(view.wireDelta(wire), 0.0);
+  EXPECT_EQ(view.viaDelta(via), 0.0);
+  EXPECT_EQ(view.viaCountDelta(node), 0);
+}
+
+TEST(TileDemandViewTest, RipUpAndRecommitCancelExactly) {
+  const auto db = crp::testing::makeGridDatabase(12, 6);
+  groute::RoutingGraph graph(db);
+
+  groute::NetRoute route;
+  route.routed = true;
+  route.segments.push_back(
+      graph.layerDir(0) == db::LayerDir::kHorizontal
+          ? groute::RouteSegment{groute::GPoint{0, 0, 0},
+                                 groute::GPoint{0, 2, 0}}
+          : groute::RouteSegment{groute::GPoint{0, 0, 0},
+                                 groute::GPoint{0, 0, 2}});
+  graph.applyRoute(route, +1);
+  const double before = graph.wireUsage(groute::WireEdge{0, 0, 0});
+
+  GCellRect coverage;
+  coverage.cover(0, 0);
+  coverage.cover(4, 4);
+  TileDemandView view(graph.numLayers(), 0, coverage);
+  // Rip-up then recommit of the same route inside the view: the merged
+  // graph must land exactly where it started (a net's rip-up and new
+  // route may share edges; slots must end exact, not approximate).
+  view.applyRouteLocal(route, -1);
+  view.applyRouteLocal(route, +1);
+  {
+    groute::RoutingGraph::OverlayScope overlay(graph, view);
+    EXPECT_EQ(graph.wireUsage(groute::WireEdge{0, 0, 0}), before);
+  }
+  view.mergeInto(graph);
+  EXPECT_EQ(graph.wireUsage(groute::WireEdge{0, 0, 0}), before);
+  EXPECT_FALSE(view.hasPending());
+}
+
+// ---- full-flow equivalence battery ------------------------------------------
+
+bmgen::BenchmarkSpec plainSpec() {
+  bmgen::BenchmarkSpec spec;
+  spec.name = "tile_plain";
+  spec.targetCells = 220;
+  spec.hotspots = 2;
+  spec.seed = 7;
+  spec.utilization = 0.8;
+  return spec;
+}
+
+bmgen::BenchmarkSpec macroSpec() {
+  bmgen::BenchmarkSpec spec;
+  spec.name = "tile_macro";
+  spec.targetCells = 240;
+  spec.seed = 13;
+  spec.utilization = 0.75;
+  spec.hotspots = 1;
+  spec.macroCount = 2;
+  spec.macroWidthSites = 60;
+  spec.macroRowSpan = 6;
+  return spec;
+}
+
+bmgen::BenchmarkSpec multiRowSpec() {
+  bmgen::BenchmarkSpec spec;
+  spec.name = "tile_multirow";
+  spec.targetCells = 240;
+  spec.seed = 17;
+  spec.utilization = 0.75;
+  spec.hotspots = 1;
+  spec.multiRowFrac = 0.25;
+  return spec;
+}
+
+struct FlowResult {
+  std::uint64_t state = 0;    ///< check::flowFingerprint
+  std::string report;         ///< RunReport::fingerprint JSON
+  std::string heatmaps;       ///< full delta-encoded snapshot series
+};
+
+/// One full flow (generate -> GR -> CR&P k=2, snapshots on) under the
+/// given tile grid and router thread count; audited end-state.
+FlowResult runTiledFlow(const bmgen::BenchmarkSpec& spec, int tileRows,
+                        int tileCols, int routerThreads, int haloGcells = -1) {
+  obs::EnabledScope enabled(true);
+  obs::resetAll();
+  auto db = bmgen::generateBenchmark(spec);
+  groute::GlobalRouterOptions routerOptions;
+  routerOptions.routerThreads = routerThreads;
+  groute::GlobalRouter router(db, routerOptions);
+  router.run();
+  core::CrpOptions options;
+  options.iterations = 2;
+  options.seed = 11;
+  options.routerThreads = routerThreads;
+  options.snapshots = true;
+  options.tileRows = tileRows;
+  options.tileCols = tileCols;
+  options.haloGcells = haloGcells;
+  core::CrpFramework framework(db, router, options);
+  framework.run();
+  EXPECT_TRUE(db::isPlacementLegal(db));
+
+  // Demand maps exact, routes valid, tile views quiescent.
+  const check::AuditReport audit =
+      check::DbAuditor(db, &router).auditAll();
+  EXPECT_TRUE(audit.clean()) << audit.summary();
+
+  FlowResult result;
+  result.state = check::flowFingerprint(db, router);
+  result.report = framework.runReport().fingerprint().dump();
+  result.heatmaps = framework.heatmaps().toJson().dump();
+  obs::resetAll();
+  return result;
+}
+
+/// The battery: grids {2x2, 4x4, 1x8} x router threads {1, 8} against
+/// the untiled serial reference — state fingerprint, report
+/// fingerprint and heatmap series all bit-identical.
+void expectTileEquivalence(const bmgen::BenchmarkSpec& spec) {
+  const FlowResult reference = runTiledFlow(spec, 1, 1, 1);
+  const int grids[][2] = {{2, 2}, {4, 4}, {1, 8}};
+  for (const auto& g : grids) {
+    for (const int threads : {1, 8}) {
+      SCOPED_TRACE(spec.name + ": " + std::to_string(g[0]) + "x" +
+                   std::to_string(g[1]) + " tiles, " +
+                   std::to_string(threads) + " router thread(s)");
+      const FlowResult tiled = runTiledFlow(spec, g[0], g[1], threads);
+      EXPECT_EQ(tiled.state, reference.state)
+          << "state fingerprint diverges from untiled serial reference";
+      EXPECT_EQ(tiled.report, reference.report)
+          << "run-report fingerprint diverges";
+      EXPECT_EQ(tiled.heatmaps, reference.heatmaps)
+          << "heatmap series diverges";
+    }
+  }
+}
+
+TEST(TileEquivalence, PlainDesignBitIdenticalAcrossGridsAndThreads) {
+  expectTileEquivalence(plainSpec());
+}
+
+TEST(TileEquivalence, MacroHeavyDesignBitIdenticalAcrossGridsAndThreads) {
+  expectTileEquivalence(macroSpec());
+}
+
+TEST(TileEquivalence, MixedHeightDesignBitIdenticalAcrossGridsAndThreads) {
+  expectTileEquivalence(multiRowSpec());
+}
+
+// Halo width is a pure locality knob: zero halo (everything near a
+// boundary runs on the global path) and an oversized halo (everything
+// is tile-local) both reproduce the reference bit-for-bit.
+TEST(TileEquivalence, HaloWidthIsValueExact) {
+  const bmgen::BenchmarkSpec spec = plainSpec();
+  const FlowResult reference = runTiledFlow(spec, 1, 1, 1);
+  for (const int halo : {0, 64}) {
+    SCOPED_TRACE("halo " + std::to_string(halo));
+    const FlowResult tiled = runTiledFlow(spec, 2, 2, 8, halo);
+    EXPECT_EQ(tiled.state, reference.state);
+    EXPECT_EQ(tiled.report, reference.report);
+    EXPECT_EQ(tiled.heatmaps, reference.heatmaps);
+  }
+}
+
+}  // namespace
+}  // namespace crp
