@@ -72,6 +72,22 @@ grep -q overflowBefore "$OBS_TMP/timeline.csv"
 build/tools/crp_report flight "$OBS_TMP/flight.json" > /dev/null
 echo "crp_report render ok"
 
+# Determinism attestation (docs/observability.md): a second run with the
+# same design and seed must produce a bit-identical fingerprint, which
+# crp_report --diff certifies with exit 0 (exit 3 means divergence).
+# Both runs also land in a ledger, and --check must find no regression.
+build/tools/crp run "$OBS_TMP/tiny.lef" "$OBS_TMP/tiny.def" \
+  "$OBS_TMP/out2.def" "$OBS_TMP/out2.guide" --k 2 --snapshots 1 \
+  --report-out "$OBS_TMP/report2.json" \
+  --metrics-out "$OBS_TMP/metrics.prom" --ledger "$OBS_TMP/ledger.jsonl"
+build/tools/crp run "$OBS_TMP/tiny.lef" "$OBS_TMP/tiny.def" \
+  "$OBS_TMP/out3.def" "$OBS_TMP/out3.guide" --k 2 --snapshots 1 \
+  --report-out "$OBS_TMP/report3.json" --ledger "$OBS_TMP/ledger.jsonl"
+build/tools/crp_report --diff "$OBS_TMP/report2.json" "$OBS_TMP/report3.json"
+grep -q "# TYPE" "$OBS_TMP/metrics.prom"
+build/tools/crp_report ledger "$OBS_TMP/ledger.jsonl" --check 1
+echo "determinism diff ok"
+
 # Serve smoke (docs/serve.md): boot the daemon on a private socket,
 # drive concurrent bmgen -> run -> eco -> report chains through the
 # wire protocol with crp_loadgen's validation mode (streamed iteration
@@ -83,6 +99,72 @@ build/tools/crp serve --socket "$SERVE_SOCK" &
 SERVE_PID=$!
 for _ in $(seq 1 100); do [[ -S "$SERVE_SOCK" ]] && break; sleep 0.05; done
 build/tools/crp_loadgen --socket "$SERVE_SOCK" --chain 1 --jobs 4 --clients 2
+
+# Telemetry scrape (docs/serve.md): pull the server-wide Prometheus
+# payload through the `metrics` op and the self-instrumentation stats,
+# then validate the exposition format line by line — every sample must
+# match the text-format grammar and every histogram's cumulative
+# buckets must be monotone and agree with its _count.
+python3 - "$SERVE_SOCK" <<'EOF'
+import json, re, socket, struct, sys
+
+def call(sock_path, request):
+    s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    s.connect(sock_path)
+    payload = json.dumps(request).encode()
+    s.sendall(struct.pack(">I", len(payload)) + payload)
+    header = b""
+    while len(header) < 4:
+        header += s.recv(4 - len(header))
+    (length,) = struct.unpack(">I", header)
+    body = b""
+    while len(body) < length:
+        body += s.recv(length - len(body))
+    s.close()
+    return json.loads(body)
+
+stats = call(sys.argv[1], {"op": "stats"})
+assert stats["ok"], stats
+assert stats["uptimeSeconds"] >= 0, stats
+assert stats["bytesIn"] > 0 and stats["bytesOut"] > 0, stats
+ops = stats["ops"]
+assert ops["run"]["requests"] >= 1, "loadgen chains should have run jobs"
+assert ops["run"]["latencyP50Micros"] <= ops["run"]["latencyP99Micros"]
+
+reply = call(sys.argv[1], {"op": "metrics"})
+assert reply["ok"], reply
+assert reply["contentType"].startswith("text/plain"), reply["contentType"]
+text = reply["metrics"]
+
+sample_re = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? -?[0-9][0-9eE.+-]*$')
+type_re = re.compile(
+    r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$")
+buckets, counts = {}, {}
+samples = 0
+for line in text.splitlines():
+    if line.startswith("#"):
+        assert type_re.match(line), f"bad TYPE line: {line!r}"
+        continue
+    assert sample_re.match(line), f"bad sample line: {line!r}"
+    samples += 1
+    name, value = line.split(" ", 1)
+    if "_bucket{" in name:
+        buckets.setdefault(name.split("_bucket{")[0], []).append(int(value))
+    elif name.endswith("_count"):
+        counts[name[: -len("_count")]] = int(value)
+assert samples > 0, "metrics payload is empty"
+assert buckets, "expected serve latency histograms in the payload"
+for metric, series in buckets.items():
+    assert all(a <= b for a, b in zip(series, series[1:])), \
+        f"{metric} buckets are not cumulative: {series}"
+    assert series[-1] == counts[metric], \
+        f"{metric} +Inf bucket disagrees with _count"
+print(f"metrics scrape ok: {samples} samples, "
+      f"{len(buckets)} histograms, {sum(v['requests'] for v in ops.values())} "
+      f"requests across {len(ops)} ops")
+EOF
+
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"
 echo "serve smoke ok"

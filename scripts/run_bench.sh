@@ -327,6 +327,10 @@ assert summary["jobsPerSec"] > 0, summary
 EOF
 
 # ---- provenance stamp ------------------------------------------------------
+# Machine-checkable dirty state: an explicit boolean plus the changed-
+# path count, not just a "-dirty" sha suffix a consumer would have to
+# string-match for (crp_report ledger --skip-dirty keys off the same
+# facts).
 python3 - <<'EOF'
 import glob
 import json
@@ -335,10 +339,13 @@ import subprocess
 
 sha = subprocess.run(["git", "rev-parse", "HEAD"], capture_output=True,
                      text=True).stdout.strip() or "unknown"
-dirty = subprocess.run(["git", "status", "--porcelain"], capture_output=True,
-                       text=True).stdout.strip() != ""
+status = subprocess.run(["git", "status", "--porcelain"],
+                        capture_output=True, text=True).stdout.strip()
+dirty_files = len(status.splitlines()) if status else 0
 host = {"cpus": os.cpu_count() or 1,
-        "git_sha": sha + ("-dirty" if dirty else "")}
+        "git_sha": sha + ("-dirty" if dirty_files else ""),
+        "dirty": dirty_files > 0,
+        "dirty_files": dirty_files}
 for path in sorted(glob.glob("BENCH_*.json")):
     with open(path) as f:
         data = json.load(f)
@@ -348,6 +355,20 @@ for path in sorted(glob.glob("BENCH_*.json")):
         f.write("\n")
     print(f"stamped {path} with {host}")
 EOF
+
+# ---- run ledger -------------------------------------------------------------
+# Fold every bench artifact into the persistent run ledger (one bench
+# entry per BENCH_*.json, numeric fields only), then gate the newest
+# entry of every series against its predecessor.  The first run of a
+# fresh ledger passes trivially (nothing to gate against); later runs
+# fail here when a latency/seconds metric grows or a speedup/throughput
+# metric shrinks past the tolerance band (docs/observability.md).
+LEDGER="${CRP_LEDGER:-crp_ledger.jsonl}"
+for bench in BENCH_*.json; do
+  [[ -e "$bench" ]] || continue
+  "$BUILD"/tools/crp_report ledger "$LEDGER" --add-bench "$bench"
+done
+"$BUILD"/tools/crp_report ledger "$LEDGER" --check 1
 
 if [[ "${CRP_SKIP_TSAN:-0}" != "1" ]]; then
   TSAN_BUILD=build-tsan

@@ -56,6 +56,25 @@ const obs::HeatmapSnapshot& CrpFramework::captureSnapshot(std::string label,
   return snapshot;
 }
 
+obs::Json optionsFingerprintJson(const CrpOptions& options) {
+  obs::Json json = obs::Json::object();
+  json.set("iterations", options.iterations);
+  json.set("gamma", options.gamma);
+  json.set("temperature", options.temperature);
+  json.set("prioritizeByCost", options.prioritizeByCost);
+  json.set("historyDamping", options.historyDamping);
+  json.set("seed", options.seed);
+  json.set("tileRows", options.tileRows);
+  json.set("tileCols", options.tileCols);
+  json.set("haloGcells", options.haloGcells);
+  json.set("pricingCache", options.pricingCache);
+  json.set("deltaPricing", options.deltaPricing);
+  json.set("maxCriticalCells", options.maxCriticalCells);
+  json.set("maxMovesTotal", options.maxMovesTotal);
+  json.set("maxCandidates", options.legalizer.maxCandidates);
+  return json;
+}
+
 CommitPlan planMoveCommits(const std::vector<CellCandidates>& candidates,
                            const std::vector<int>& chosen, int budget) {
   CommitPlan plan;

@@ -115,6 +115,15 @@ struct CommitPlan {
   int budgetSkips = 0;    ///< moves dropped: over the remaining budget
 };
 
+/// The deterministic configuration surface of a run as an ordered JSON
+/// object: every CrpOptions knob that can change flow decisions or
+/// QoR (iterations, gamma, seed, tiling, pricing switches, budgets) —
+/// not the engine-placement knobs (threads, pools, contexts) that are
+/// value-exact by contract.  The run ledger digests this document
+/// (obs::fnv1a64Hex) so "same options" is checkable across runs and
+/// hosts without storing the whole option set.
+obs::Json optionsFingerprintJson(const CrpOptions& options);
+
 /// Plans the UD commit for one iteration (§IV.B.5 plus the ICCAD-style
 /// move budget).  Ranks the non-current selected moves by estimated
 /// gain — the cost of the cell's *current* candidate (isCurrent entry)

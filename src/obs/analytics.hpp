@@ -1,0 +1,103 @@
+// Run-history analytics over RunReports and the run ledger
+// (docs/observability.md "Operational telemetry").
+//
+// Two consumers:
+//
+//   diffReports(a, b) — structural comparison of two RunReport
+//   documents: fingerprint identity, QoR deltas, per-phase wall-time
+//   attribution, and per-iteration attribution (scalar iteration stats
+//   always; the timeline's overflow bracket when both runs captured
+//   it).  `crp_report --diff A B` renders this and exits 0 only when
+//   the fingerprints are identical, so two runs of the same
+//   design/seed make a usable determinism gate.
+//
+//   checkLedger(entries, tolerances) — the regression gate over a
+//   loaded ledger: for every (kind, design) series the newest entry is
+//   compared against its predecessor under tolerance bands.  Flow
+//   entries gate QoR (wirelength/vias within a relative band, overflow
+//   within rel+abs slack, open nets never up) and wall time (a loose
+//   relative band — wall clock is noisy); bench entries gate the
+//   numeric BENCH_*.json metrics by name-derived direction
+//   (latency/seconds fields must not grow past the perf band, speedup/
+//   throughput/hit-rate fields must not shrink past it).  A series
+//   with no predecessor passes with a note — the first run of a fresh
+//   ledger gates nothing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/run_ledger.hpp"
+#include "obs/run_report.hpp"
+
+namespace crp::obs {
+
+struct ReportDiff {
+  bool fingerprintsIdentical = false;
+  bool qorIdentical = false;
+  bool configsMatch = false;  ///< iterations + seed agree
+
+  struct Delta {
+    std::string name;
+    double a = 0.0;
+    double b = 0.0;
+    double delta() const { return b - a; }
+  };
+  std::vector<Delta> qor;     ///< wirelength, vias, overflow, ...
+  std::vector<Delta> phases;  ///< per-phase wall seconds (flow order)
+
+  /// Per-iteration attribution, index-aligned (missing side = 0).
+  struct IterationDelta {
+    int iteration = 0;
+    int movedCells = 0;      ///< b - a
+    int reroutedNets = 0;    ///< b - a
+    double selectedCost = 0.0;
+    std::int64_t netsPriced = 0;
+    /// Timeline overflow bracket (only when both runs captured one).
+    bool hasOverflow = false;
+    double overflowAfterA = 0.0;
+    double overflowAfterB = 0.0;
+  };
+  std::vector<IterationDelta> iterations;
+
+  Json toJson() const;
+};
+
+ReportDiff diffReports(const RunReport& a, const RunReport& b);
+
+/// Human-readable rendering (what `crp_report --diff` prints).
+std::string formatReportDiff(const ReportDiff& diff,
+                             const std::string& labelA,
+                             const std::string& labelB);
+
+/// Tolerance bands for checkLedger.  Relative bands are fractions
+/// (0.02 == 2%); a candidate fails when it is *worse* than the
+/// baseline by more than the band — improvements never fail.
+struct LedgerCheckOptions {
+  double tolQorRel = 0.02;       ///< wirelength + via growth band
+  double tolOverflowRel = 0.5;   ///< overflow growth band...
+  double tolOverflowAbs = 10.0;  ///< ...plus this absolute slack
+  double tolPerfRel = 1.0;       ///< wall-clock / bench-metric band
+  bool skipDirty = false;        ///< ignore entries from dirty trees
+};
+
+struct LedgerCheckResult {
+  struct SeriesResult {
+    std::string kind;
+    std::string design;
+    bool checked = false;  ///< false: no predecessor to gate against
+    bool ok = true;
+    std::vector<std::string> notes;     ///< informational lines
+    std::vector<std::string> failures;  ///< band violations
+  };
+  std::vector<SeriesResult> series;
+  int skippedLines = 0;  ///< from RunLedger::load
+  bool ok = true;        ///< no series failed
+
+  std::string format() const;
+};
+
+LedgerCheckResult checkLedger(const RunLedger::LoadResult& loaded,
+                              const LedgerCheckOptions& options = {});
+
+}  // namespace crp::obs

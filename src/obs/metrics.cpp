@@ -40,6 +40,37 @@ std::vector<std::uint64_t> Histogram::bucketCounts() const {
   return counts;
 }
 
+double Histogram::quantileFromBuckets(
+    const std::vector<std::uint64_t>& bounds,
+    const std::vector<std::uint64_t>& buckets, double q) {
+  if (bounds.empty() || buckets.size() != bounds.size() + 1) return 0.0;
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : buckets) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Prometheus histogram_quantile semantics: the target rank falls in
+  // the first bucket whose cumulative count reaches it; interpolate
+  // linearly between the bucket's lower and upper bound.
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    const std::uint64_t inBucket = buckets[i];
+    if (static_cast<double>(cumulative + inBucket) >= rank && inBucket > 0) {
+      const double lower = i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+      const double upper = static_cast<double>(bounds[i]);
+      const double within =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(inBucket);
+      return lower + (upper - lower) * std::clamp(within, 0.0, 1.0);
+    }
+    cumulative += inBucket;
+  }
+  // Rank lands in the overflow bucket: no finite upper bound to
+  // interpolate toward, so report the highest finite bound (what
+  // histogram_quantile does for +Inf).
+  return static_cast<double>(bounds.back());
+}
+
 void Histogram::reset() {
   for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);

@@ -73,6 +73,23 @@ class Histogram {
     return count_.load(std::memory_order_relaxed);
   }
   std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Quantile estimate from the bucket counts (q in [0, 1]), linearly
+  /// interpolated inside the containing bucket — the same estimator
+  /// Prometheus' histogram_quantile() applies to the exported _bucket
+  /// series, so loadgen, serve and offline exposition all agree on one
+  /// implementation.  A quantile landing in the overflow bucket
+  /// reports the highest finite bound; an empty histogram reports 0.
+  double quantile(double q) const {
+    return quantileFromBuckets(bounds_, bucketCounts(), q);
+  }
+  /// The estimator itself, usable on snapshot data (see
+  /// MetricsSnapshot::HistogramData::quantile).  `buckets` holds one
+  /// count per bound plus the trailing overflow bucket.
+  static double quantileFromBuckets(const std::vector<std::uint64_t>& bounds,
+                                    const std::vector<std::uint64_t>& buckets,
+                                    double q);
+
   void reset();
 
  private:
@@ -92,6 +109,11 @@ struct MetricsSnapshot {
     std::vector<std::uint64_t> buckets;
     std::uint64_t count = 0;
     std::uint64_t sum = 0;
+
+    /// Histogram::quantileFromBuckets over this snapshot's buckets.
+    double quantile(double q) const {
+      return Histogram::quantileFromBuckets(bounds, buckets, q);
+    }
   };
   std::map<std::string, HistogramData> histograms;
 

@@ -1,0 +1,93 @@
+#include "obs/prometheus.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace crp::obs {
+
+namespace {
+
+bool legalNameChar(char c, bool first) {
+  const bool alpha =
+      (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+  if (first) return alpha;
+  return alpha || (c >= '0' && c <= '9');
+}
+
+/// Shortest-round-trip double formatting, matching the JSON writer so
+/// gauge values survive a parse-and-compare without float drift.
+std::string formatDouble(double value) {
+  char buffer[32];
+  const auto result =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  return std::string(buffer, result.ptr);
+}
+
+void writeHelp(std::ostream& os, const std::string& name,
+               const char* type) {
+  os << "# TYPE " << name << ' ' << type << '\n';
+}
+
+}  // namespace
+
+std::string sanitizeMetricName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    out.push_back(legalNameChar(c, /*first=*/false) ? c : '_');
+  }
+  if (out.empty() || !legalNameChar(out.front(), /*first=*/true)) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string renderPrometheus(const MetricsSnapshot& snapshot,
+                             const std::string& prefix) {
+  const std::string sanitizedPrefix =
+      prefix.empty() ? std::string() : sanitizeMetricName(prefix) + "_";
+  const auto qualify = [&sanitizedPrefix](const std::string& name) {
+    std::string sanitized = sanitizeMetricName(name);
+    // Avoid stuttered names like crp_crp_moves when the metric is
+    // already namespaced the same way as the requested prefix.
+    if (sanitized.compare(0, sanitizedPrefix.size(), sanitizedPrefix) == 0) {
+      return sanitized;
+    }
+    return sanitizedPrefix + sanitized;
+  };
+
+  std::ostringstream os;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string metric = qualify(name);
+    writeHelp(os, metric, "counter");
+    os << metric << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string metric = qualify(name);
+    writeHelp(os, metric, "gauge");
+    os << metric << ' ' << formatDouble(value) << '\n';
+  }
+  for (const auto& [name, data] : snapshot.histograms) {
+    const std::string metric = qualify(name);
+    writeHelp(os, metric, "histogram");
+    // Buckets are cumulative in the exposition format; the registry
+    // stores them disjoint, so accumulate while emitting.
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < data.bounds.size(); ++i) {
+      if (i < data.buckets.size()) cumulative += data.buckets[i];
+      os << metric << "_bucket{le=\"" << data.bounds[i] << "\"} "
+         << cumulative << '\n';
+    }
+    os << metric << "_bucket{le=\"+Inf\"} " << data.count << '\n';
+    os << metric << "_sum " << data.sum << '\n';
+    os << metric << "_count " << data.count << '\n';
+  }
+  return os.str();
+}
+
+std::string renderPrometheus(const MetricsRegistry& registry,
+                             const std::string& prefix) {
+  return renderPrometheus(registry.snapshot(), prefix);
+}
+
+}  // namespace crp::obs

@@ -86,9 +86,10 @@ void writeFrame(int fd, std::string_view payload) {
   writeExact(fd, payload.data(), payload.size());
 }
 
-bool readMessage(int fd, obs::Json& message) {
+bool readMessage(int fd, obs::Json& message, std::size_t* wireBytes) {
   std::string payload;
   if (!readFrame(fd, payload)) return false;
+  if (wireBytes != nullptr) *wireBytes = payload.size() + 4;
   try {
     message = obs::Json::parse(payload);
   } catch (const obs::JsonError& e) {
@@ -97,8 +98,10 @@ bool readMessage(int fd, obs::Json& message) {
   return true;
 }
 
-void writeMessage(int fd, const obs::Json& message) {
-  writeFrame(fd, message.dump());
+void writeMessage(int fd, const obs::Json& message, std::size_t* wireBytes) {
+  const std::string payload = message.dump();
+  if (wireBytes != nullptr) *wireBytes = payload.size() + 4;
+  writeFrame(fd, payload);
 }
 
 Client::Client(const std::string& socketPath) {

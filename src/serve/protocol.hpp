@@ -48,10 +48,15 @@ void writeFrame(int fd, std::string_view payload);
 
 /// readFrame + Json::parse.  A frame that is not valid JSON throws
 /// ProtocolError (framing survives, but the stream is unusable).
-bool readMessage(int fd, obs::Json& message);
+/// `wireBytes`, when non-null, receives the on-wire size of the frame
+/// (payload + 4-byte header) so the server can meter traffic without
+/// re-serializing.
+bool readMessage(int fd, obs::Json& message, std::size_t* wireBytes = nullptr);
 
-/// Serializes compactly (no indent) and writes one frame.
-void writeMessage(int fd, const obs::Json& message);
+/// Serializes compactly (no indent) and writes one frame.  `wireBytes`
+/// as for readMessage.
+void writeMessage(int fd, const obs::Json& message,
+                  std::size_t* wireBytes = nullptr);
 
 /// Minimal client: connect to the daemon's unix socket, exchange
 /// messages.  Used by crp_loadgen, the serve smoke leg, and the

@@ -8,15 +8,28 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <iostream>
 #include <stdexcept>
 
+#include "obs/prometheus.hpp"
+#include "obs/run_ledger.hpp"
 #include "serve/protocol.hpp"
 
 namespace crp::serve {
 
 namespace {
+
+/// Microsecond latency buckets for the per-op histograms: powers of
+/// two from 1 us to ~16.8 s.  Wide enough that a full run job lands in
+/// a finite bucket, fine enough that p50/p99 of cheap ops (hello,
+/// stats) stay meaningful.
+std::vector<std::uint64_t> latencyBoundsMicros() {
+  std::vector<std::uint64_t> bounds;
+  for (std::uint64_t b = 1; b <= (1ull << 24); b <<= 1) bounds.push_back(b);
+  return bounds;
+}
 
 [[noreturn]] void throwErrno(const std::string& what) {
   throw std::runtime_error(what + ": " + std::strerror(errno));
@@ -97,6 +110,7 @@ void Server::start() {
     throwErrno("bind " + options_.socketPath);
   }
   if (::listen(listenFd_, 64) != 0) throwErrno("listen");
+  startTime_ = std::chrono::steady_clock::now();
   if (options_.verbose) {
     std::cerr << "crp serve: listening on " << options_.socketPath << " ("
               << pool_.threadCount() << " workers)\n";
@@ -118,6 +132,8 @@ void Server::serve() {
     connectionsAccepted_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(connMutex_);
     liveFds_.push_back(client);
+    obs_.metrics().gauge("serve.connections.active")
+        ->set(static_cast<double>(liveFds_.size()));
     handlers_.emplace_back(&Server::handleConnection, this, client);
   }
 
@@ -152,14 +168,18 @@ void Server::requestStop() {
 void Server::handleConnection(int fd) {
   for (;;) {
     obs::Json request;
+    std::size_t wireBytes = 0;
     try {
-      if (!readMessage(fd, request)) break;  // clean EOF
+      if (!readMessage(fd, request, &wireBytes)) break;  // clean EOF
     } catch (const ProtocolError&) {
+      obs_.metrics().counter("serve.errors.protocol")->add(1);
       break;  // framing broken; nothing sane to reply with
     }
+    obs_.metrics().counter("serve.bytes.in")->add(wireBytes);
     try {
       if (!dispatch(fd, request)) break;
     } catch (const ProtocolError&) {
+      obs_.metrics().counter("serve.errors.protocol")->add(1);
       break;  // peer went away mid-response
     }
   }
@@ -167,6 +187,64 @@ void Server::handleConnection(int fd) {
   std::lock_guard<std::mutex> lock(connMutex_);
   liveFds_.erase(std::remove(liveFds_.begin(), liveFds_.end(), fd),
                  liveFds_.end());
+  obs_.metrics().gauge("serve.connections.active")
+      ->set(static_cast<double>(liveFds_.size()));
+}
+
+double Server::uptimeSeconds() const {
+  if (startTime_ == std::chrono::steady_clock::time_point{}) return 0.0;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       startTime_)
+      .count();
+}
+
+void Server::send(int fd, const obs::Json& frame) {
+  std::size_t wireBytes = 0;
+  writeMessage(fd, frame, &wireBytes);
+  obs_.metrics().counter("serve.bytes.out")->add(wireBytes);
+  const obs::Json* ok = frame.find("ok");
+  if (ok != nullptr && !ok->asBool()) {
+    obs_.metrics().counter("serve.errors.request")->add(1);
+  }
+}
+
+void Server::appendLedgerEntry(const std::string& op, Session& session,
+                               const obs::Json& request) {
+  if (options_.ledgerPath.empty()) return;
+  obs::RunLedgerEntry entry;
+  {
+    // The job released jobMutex when it returned; retake it so the
+    // report cannot change shape under us if another connection races
+    // a new job onto this session.
+    std::lock_guard<std::mutex> lock(session.jobMutex);
+    if (session.framework == nullptr) return;
+    entry = obs::makeRunLedgerEntry(session.framework->runReport());
+    entry.design = session.db != nullptr ? session.db->design().name
+                                         : session.name;
+  }
+  entry.kind = "serve-" + op;
+  // Digest of the request's configuration surface: everything except
+  // transport plumbing and bulk payloads.  Stable across sessions and
+  // connections for identical job parameters.
+  obs::Json optionsJson = obs::Json::object();
+  for (const auto& [key, value] : request.asObject()) {
+    if (key == "op" || key == "tag" || key == "session" || key == "delta") {
+      continue;
+    }
+    optionsJson.set(key, value);
+  }
+  entry.optionsDigest = obs::fnv1a64Hex(optionsJson.dump());
+  if (const obs::Json* tileRows = request.find("tileRows")) {
+    entry.tileRows = static_cast<int>(tileRows->asInt());
+  }
+  if (const obs::Json* tileCols = request.find("tileCols")) {
+    entry.tileCols = static_cast<int>(tileCols->asInt());
+  }
+  std::string error;
+  obs::RunLedger ledger(options_.ledgerPath);
+  if (!ledger.append(entry, &error) && options_.verbose) {
+    std::cerr << "crp serve: ledger append failed: " << error << "\n";
+  }
 }
 
 std::shared_ptr<Session> Server::requireSession(const obs::Json& request) {
@@ -187,11 +265,27 @@ bool Server::dispatch(int fd, const obs::Json& request) {
   try {
     op = request.at("op").asString();
   } catch (const std::exception&) {
-    writeMessage(fd, errorFrame(request, "request is missing 'op'"));
+    send(fd, errorFrame(request, "request is missing 'op'"));
     return true;
   }
   if (options_.verbose) std::cerr << "crp serve: op " << op << "\n";
 
+  // Self-instrumentation: request count + wall latency per op, into
+  // the server-owned context (never a session's).
+  obs_.metrics().counter("serve.op." + op + ".requests")->add(1);
+  const auto started = std::chrono::steady_clock::now();
+  const bool keepOpen = dispatchOp(fd, request, op);
+  const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - started)
+                          .count();
+  obs_.metrics()
+      .histogram("serve.op." + op + ".latency", latencyBoundsMicros())
+      ->record(static_cast<std::uint64_t>(micros));
+  return keepOpen;
+}
+
+bool Server::dispatchOp(int fd, const obs::Json& request,
+                        const std::string& op) {
   try {
     if (op == "hello") {
       obs::Json frame = okFrame(request, /*done=*/false);
@@ -202,7 +296,7 @@ bool Server::dispatch(int fd, const obs::Json& request) {
                 static_cast<std::int64_t>(pool_.threadCount()));
       frame.set("sessions", static_cast<std::int64_t>(sessions_.count()));
       frame.set("done", true);
-      writeMessage(fd, frame);
+      send(fd, frame);
       return true;
     }
     if (op == "open_session") {
@@ -211,13 +305,15 @@ bool Server::dispatch(int fd, const obs::Json& request) {
                                           : std::string(),
           pool_);
       if (session == nullptr) {
-        writeMessage(fd, errorFrame(request, "session limit reached"));
+        send(fd, errorFrame(request, "session limit reached"));
         return true;
       }
+      obs_.metrics().gauge("serve.sessions.active")
+          ->set(static_cast<double>(sessions_.count()));
       obs::Json frame = okFrame(request, /*done=*/false);
       frame.set("session", session->id);
       frame.set("done", true);
-      writeMessage(fd, frame);
+      send(fd, frame);
       return true;
     }
     if (op == "close_session") {
@@ -226,13 +322,16 @@ bool Server::dispatch(int fd, const obs::Json& request) {
           id != nullptr &&
           sessions_.close(static_cast<std::uint64_t>(id->asInt()));
       if (!closed) {
-        writeMessage(fd, errorFrame(request, "unknown session"));
+        send(fd, errorFrame(request, "unknown session"));
         return true;
       }
-      writeMessage(fd, okFrame(request, /*done=*/true));
+      obs_.metrics().gauge("serve.sessions.active")
+          ->set(static_cast<double>(sessions_.count()));
+      send(fd, okFrame(request, /*done=*/true));
       return true;
     }
     if (op == "stats") {
+      const obs::MetricsSnapshot snapshot = obs_.metrics().snapshot();
       obs::Json frame = okFrame(request, /*done=*/false);
       frame.set("sessions", static_cast<std::int64_t>(sessions_.count()));
       frame.set("connections",
@@ -240,12 +339,66 @@ bool Server::dispatch(int fd, const obs::Json& request) {
                     connectionsAccepted_.load(std::memory_order_relaxed)));
       frame.set("jobsCompleted", static_cast<std::int64_t>(jobsCompleted()));
       frame.set("workers", static_cast<std::int64_t>(pool_.threadCount()));
+      frame.set("uptimeSeconds", uptimeSeconds());
+      const auto counterOr = [&snapshot](const char* name) -> std::int64_t {
+        const auto it = snapshot.counters.find(name);
+        return it != snapshot.counters.end()
+                   ? static_cast<std::int64_t>(it->second)
+                   : 0;
+      };
+      frame.set("bytesIn", counterOr("serve.bytes.in"));
+      frame.set("bytesOut", counterOr("serve.bytes.out"));
+      frame.set("requestErrors", counterOr("serve.errors.request"));
+      frame.set("protocolErrors", counterOr("serve.errors.protocol"));
+      // Per-op breakdown: request count plus p50/p99 latency (micros)
+      // from the server's own histograms.
+      obs::Json ops = obs::Json::object();
+      for (const auto& [name, value] : snapshot.counters) {
+        constexpr std::string_view prefix = "serve.op.";
+        constexpr std::string_view suffix = ".requests";
+        if (name.size() <= prefix.size() + suffix.size() ||
+            name.compare(0, prefix.size(), prefix) != 0 ||
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) != 0) {
+          continue;
+        }
+        const std::string opName = name.substr(
+            prefix.size(), name.size() - prefix.size() - suffix.size());
+        obs::Json entry = obs::Json::object();
+        entry.set("requests", value);
+        const auto hist = snapshot.histograms.find(
+            std::string(prefix) + opName + ".latency");
+        if (hist != snapshot.histograms.end()) {
+          entry.set("latencyP50Micros", hist->second.quantile(0.50));
+          entry.set("latencyP99Micros", hist->second.quantile(0.99));
+        }
+        ops.set(opName, std::move(entry));
+      }
+      frame.set("ops", std::move(ops));
       frame.set("done", true);
-      writeMessage(fd, frame);
+      send(fd, frame);
+      return true;
+    }
+    if (op == "metrics") {
+      // Prometheus exposition.  Server-wide by default; with a
+      // "session" id, that session's instruments instead (the design's
+      // counters/heatmaps, not the daemon's).
+      std::string text;
+      if (request.find("session") != nullptr) {
+        const std::shared_ptr<Session> session = requireSession(request);
+        text = obs::renderPrometheus(session->context.metrics(), "crp");
+      } else {
+        text = obs::renderPrometheus(obs_.metrics(), "crp");
+      }
+      obs::Json frame = okFrame(request, /*done=*/false);
+      frame.set("contentType", "text/plain; version=0.0.4");
+      frame.set("metrics", text);
+      frame.set("done", true);
+      send(fd, frame);
       return true;
     }
     if (op == "shutdown") {
-      writeMessage(fd, okFrame(request, /*done=*/true));
+      send(fd, okFrame(request, /*done=*/true));
       requestStop();
       return false;
     }
@@ -255,35 +408,36 @@ bool Server::dispatch(int fd, const obs::Json& request) {
     if (op == "bmgen") {
       const obs::Json result = runBmgenJob(*session, request);
       jobsCompleted_.fetch_add(1, std::memory_order_relaxed);
-      writeMessage(fd, resultFrame(request, result));
+      send(fd, resultFrame(request, result));
       return true;
     }
     if (op == "run" || op == "eco") {
-      const EventSink emit = [fd, &request](const obs::Json& event) {
+      const EventSink emit = [this, fd, &request](const obs::Json& event) {
         obs::Json frame = event;
         frame.set("ok", true);
         stampTag(request, frame);
-        writeMessage(fd, frame);
+        send(fd, frame);
       };
       const obs::Json result =
           op == "run" ? runRunJob(*session, request, emit)
                       : runEcoJob(*session, request, emit);
       jobsCompleted_.fetch_add(1, std::memory_order_relaxed);
-      writeMessage(fd, resultFrame(request, result));
+      appendLedgerEntry(op, *session, request);
+      send(fd, resultFrame(request, result));
       return true;
     }
     if (op == "report") {
       const obs::Json result = runReportJob(*session);
       jobsCompleted_.fetch_add(1, std::memory_order_relaxed);
-      writeMessage(fd, resultFrame(request, result));
+      send(fd, resultFrame(request, result));
       return true;
     }
-    writeMessage(fd, errorFrame(request, "unknown op '" + op + "'"));
+    send(fd, errorFrame(request, "unknown op '" + op + "'"));
     return true;
   } catch (const ProtocolError&) {
     throw;  // socket-level failure: close the connection
   } catch (const std::exception& e) {
-    writeMessage(fd, errorFrame(request, e.what()));
+    send(fd, errorFrame(request, e.what()));
     return true;
   }
 }

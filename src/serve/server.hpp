@@ -15,6 +15,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -22,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/context.hpp"
 #include "obs/json.hpp"
 #include "serve/session.hpp"
 #include "util/thread_pool.hpp"
@@ -37,6 +39,9 @@ struct ServeOptions {
   std::size_t maxSessions = 64;
   /// Log connection/job lifecycle to stderr.
   bool verbose = false;
+  /// Run-ledger JSONL path; every completed run/eco job appends one
+  /// entry (kind serve-run / serve-eco).  Empty = no ledger.
+  std::string ledgerPath;
 };
 
 class Server {
@@ -68,16 +73,39 @@ class Server {
     return jobsCompleted_.load(std::memory_order_relaxed);
   }
 
+  /// Server-owned instruments: per-op request counters and latency
+  /// histograms (serve.op.<name>.requests / .latency), traffic and
+  /// error counters, active-session/connection gauges.  Deliberately
+  /// separate from every session's ObsContext so self-instrumentation
+  /// can never perturb a session's RunReport counter deltas (and
+  /// therefore its fingerprint).  The `stats` and `metrics` ops read
+  /// from here.
+  obs::ObsContext& serverObs() { return obs_; }
+
+  /// Seconds since start(); 0 before start().
+  double uptimeSeconds() const;
+
  private:
   void handleConnection(int fd);
   /// Executes one request; writes all response frames.  Returns false
   /// when the connection should close (shutdown op).
   bool dispatch(int fd, const obs::Json& request);
+  /// The per-op body of dispatch (instrumentation lives in dispatch).
+  bool dispatchOp(int fd, const obs::Json& request, const std::string& op);
   std::shared_ptr<Session> requireSession(const obs::Json& request);
+  /// writeMessage + bytes-out/error accounting in one place.
+  void send(int fd, const obs::Json& frame);
+  /// Appends a serve-run/serve-eco ledger entry for a finished flow
+  /// job (no-op unless options_.ledgerPath is set; append failures are
+  /// logged, never fatal to the job).
+  void appendLedgerEntry(const std::string& op, Session& session,
+                         const obs::Json& request);
 
   ServeOptions options_;
   util::ThreadPool pool_;
   SessionManager sessions_;
+  obs::ObsContext obs_;
+  std::chrono::steady_clock::time_point startTime_{};
 
   std::atomic<bool> stop_{false};
   int listenFd_ = -1;

@@ -8,6 +8,8 @@
 #include <fstream>
 #include <system_error>
 
+#include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 namespace crp::util {
@@ -87,6 +89,51 @@ bool writeFileAtomic(const std::string& path, std::string_view content,
         return os.good();
       },
       error);
+}
+
+bool appendLineAtomic(const std::string& path, std::string_view line,
+                      std::string* error) {
+  // O_RDWR, not O_WRONLY: the torn-tail probe below pread()s the last
+  // byte, which a write-only descriptor would refuse (EBADF).
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND | O_CLOEXEC,
+                        0644);
+  if (fd < 0) {
+    setError(error, "cannot open " + path + " for append: " +
+                        std::strerror(errno));
+    return false;
+  }
+  // Repair a torn tail from a crashed earlier append: if the last byte
+  // is not a newline, lead with one so the previous partial record
+  // stays isolated on its own (unparseable, skipped) line.
+  std::string payload;
+  struct stat st {};
+  if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+    char last = '\n';
+    if (::pread(fd, &last, 1, st.st_size - 1) == 1 && last != '\n') {
+      payload.push_back('\n');
+    }
+  }
+  payload.append(line);
+  payload.push_back('\n');
+
+  // One write() call: O_APPEND makes the position+write atomic against
+  // concurrent appenders, and a crash mid-call can only leave a prefix
+  // of this single record behind.
+  bool ok = true;
+  ssize_t n;
+  do {
+    n = ::write(fd, payload.data(), payload.size());
+  } while (n < 0 && errno == EINTR);
+  if (n < 0 || static_cast<std::size_t>(n) != payload.size()) {
+    setError(error, "append to " + path + " failed: " +
+                        (n < 0 ? std::strerror(errno) : "short write"));
+    ok = false;
+  }
+  if (::close(fd) != 0 && ok) {
+    setError(error, "closing " + path + " failed: " + std::strerror(errno));
+    ok = false;
+  }
+  return ok;
 }
 
 }  // namespace crp::util

@@ -34,4 +34,20 @@ bool writeFileAtomic(const std::string& path,
 bool writeFileAtomic(const std::string& path, std::string_view content,
                      std::string* error = nullptr);
 
+/// Appends one record line to an append-only file (the run-ledger
+/// JSONL, docs/observability.md).  writeFileAtomic's temp+rename is
+/// wrong for logs — it would race concurrent appenders and rewrite the
+/// whole history per entry — so this uses the POSIX append contract
+/// instead: the file is opened O_APPEND and `line` plus its
+/// terminating '\n' go out in a single write(), which the kernel
+/// applies at end-of-file atomically with respect to other O_APPEND
+/// writers.  A crash can only ever truncate the final line (readers
+/// skip it); a previous crash's torn tail is repaired by prefixing a
+/// newline when the file does not end in one, so the next record never
+/// glues onto half a line.  Returns false with *error set on any
+/// failure; the file is never left with a record half-applied by a
+/// *successful* call.
+bool appendLineAtomic(const std::string& path, std::string_view line,
+                      std::string* error = nullptr);
+
 }  // namespace crp::util

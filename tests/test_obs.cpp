@@ -3,7 +3,11 @@
 // the versioned RunReport schema.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <set>
 #include <sstream>
@@ -12,11 +16,14 @@
 #include <vector>
 
 #include "crp/framework.hpp"  // core::kPhases for the schema test
+#include "obs/analytics.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/heatmap.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/run_ledger.hpp"
 #include "obs/run_report.hpp"
 #include "obs/timeline.hpp"
 #include "obs/trace.hpp"
@@ -892,6 +899,398 @@ TEST(RunReportSchema, FingerprintVersionIsDecoupledFromSchemaVersion) {
   RunReport changed = spatial;
   changed.timeline[0].reroutedNets += 1;
   EXPECT_NE(changed.fingerprint(), spatial.fingerprint());
+}
+
+// ---- Histogram quantiles ---------------------------------------------------
+
+TEST(Metrics, HistogramQuantileInterpolatesHandBuiltDistribution) {
+  // 5 samples in (0, 10], 5 in (10, 20]: the cumulative counts are
+  // known exactly, so every quantile is computable by hand with the
+  // Prometheus estimator (linear interpolation inside the bucket).
+  Histogram h({10, 20, 30});
+  for (int i = 0; i < 5; ++i) h.record(10);
+  for (int i = 0; i < 5; ++i) h.record(20);
+
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);    // rank 5 closes bucket 0
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 15.0);   // midway through (10, 20]
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);    // rank 10 closes bucket 1
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 5.0);    // midway through (0, 10]
+  // Out-of-range q clamps rather than extrapolating.
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+}
+
+TEST(Metrics, HistogramQuantileEmptyAndOverflow) {
+  Histogram empty({1, 2, 4});
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+
+  // Every sample past the highest bound: no finite upper edge to
+  // interpolate toward, so the estimator reports the highest bound —
+  // the same convention histogram_quantile uses for the +Inf bucket.
+  Histogram overflow({1, 2, 4});
+  for (int i = 0; i < 3; ++i) overflow.record(1000);
+  EXPECT_DOUBLE_EQ(overflow.quantile(0.5), 4.0);
+  EXPECT_DOUBLE_EQ(overflow.quantile(0.99), 4.0);
+}
+
+TEST(Metrics, HistogramQuantileAgreesBetweenLiveAndSnapshotPaths) {
+  // loadgen uses Histogram::quantile, the exposition consumers use
+  // MetricsSnapshot::HistogramData::quantile; both must be the same
+  // estimator over the same buckets.
+  MetricsRegistry registry;
+  Histogram* h = registry.histogram("lat", {1, 2, 4, 8, 16});
+  for (std::uint64_t v : {1u, 1u, 3u, 5u, 9u, 17u, 100u}) h->record(v);
+  const MetricsSnapshot snap = registry.snapshot();
+  const auto& data = snap.histograms.at("lat");
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(data.quantile(q), h->quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(Metrics, HistogramQuantileConcurrentRecordThenSnapshot) {
+  // TSan leg: concurrent record() against quantile()/snapshot readers
+  // must be race-free, and after the join the distribution is exact.
+  Histogram h(Histogram::defaultBounds());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(static_cast<std::uint64_t>(i % 64 + 1));
+        if (i % 512 == 0) (void)h.quantile(0.5);  // concurrent reader
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  // Quantiles are monotone in q over the settled distribution.
+  double previous = 0.0;
+  for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double value = h.quantile(q);
+    EXPECT_GE(value, previous) << "q=" << q;
+    previous = value;
+  }
+  // Samples span 1..64, so the extremes are pinned.
+  EXPECT_GE(h.quantile(1.0), 64.0);
+  EXPECT_LE(h.quantile(0.0), 1.0);
+}
+
+// ---- Prometheus exposition -------------------------------------------------
+
+TEST(Prometheus, SanitizeMetricNameReplacesIllegalChars) {
+  EXPECT_EQ(sanitizeMetricName("serve.op.run.latency"),
+            "serve_op_run_latency");
+  EXPECT_EQ(sanitizeMetricName("already_legal:name"), "already_legal:name");
+  EXPECT_EQ(sanitizeMetricName("spaces and-dashes"), "spaces_and_dashes");
+  // A leading digit is legal mid-name but not first.
+  EXPECT_EQ(sanitizeMetricName("9lives"), "_9lives");
+  EXPECT_EQ(sanitizeMetricName(""), "_");
+}
+
+TEST(Prometheus, GoldenExposition) {
+  // One instrument of each kind with hand-set values; the rendered
+  // payload must match the text exposition format byte for byte
+  // (cumulative buckets, +Inf closing bucket, _sum/_count).
+  MetricsRegistry registry;
+  registry.counter("crp.moves")->add(3);
+  registry.gauge("temp")->set(1.5);
+  Histogram* h = registry.histogram("lat", {1, 2});
+  h->record(1);
+  h->record(2);
+  h->record(5);  // overflow
+
+  const std::string expected =
+      "# TYPE crp_moves counter\n"
+      "crp_moves 3\n"
+      "# TYPE temp gauge\n"
+      "temp 1.5\n"
+      "# TYPE lat histogram\n"
+      "lat_bucket{le=\"1\"} 1\n"
+      "lat_bucket{le=\"2\"} 2\n"
+      "lat_bucket{le=\"+Inf\"} 3\n"
+      "lat_sum 8\n"
+      "lat_count 3\n";
+  EXPECT_EQ(renderPrometheus(registry), expected);
+}
+
+TEST(Prometheus, PrefixQualifiesWithoutStutter) {
+  // Metrics already namespaced like the prefix must not double up
+  // (crp.moves with prefix "crp" is crp_moves, not crp_crp_moves).
+  MetricsRegistry registry;
+  registry.counter("crp.moves")->add(1);
+  registry.counter("other")->add(2);
+  const std::string text = renderPrometheus(registry, "crp");
+  EXPECT_NE(text.find("crp_moves 1\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("crp_other 2\n"), std::string::npos) << text;
+  EXPECT_EQ(text.find("crp_crp"), std::string::npos) << text;
+}
+
+TEST(Prometheus, BucketsAreCumulativeAndCloseAtCount) {
+  MetricsRegistry registry;
+  Histogram* h = registry.histogram("d", {1, 2, 4, 8});
+  for (std::uint64_t v : {1u, 2u, 2u, 3u, 9u}) h->record(v);
+  const std::string text = renderPrometheus(registry);
+  // Disjoint counts are 1,2,1,0,overflow 1 -> cumulative 1,3,4,4 and
+  // the +Inf bucket equals _count.
+  EXPECT_NE(text.find("d_bucket{le=\"1\"} 1\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("d_bucket{le=\"2\"} 3\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("d_bucket{le=\"4\"} 4\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("d_bucket{le=\"8\"} 4\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("d_bucket{le=\"+Inf\"} 5\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("d_count 5\n"), std::string::npos) << text;
+}
+
+// ---- Run ledger ------------------------------------------------------------
+
+namespace fs = std::filesystem;
+
+std::string ledgerTempDir(const char* name) {
+  const fs::path dir = fs::temp_directory_path() /
+                       ("crp_test_obs_" + std::to_string(::getpid())) / name;
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+TEST(RunLedger, Fnv1a64HexMatchesKnownVectors) {
+  // Published FNV-1a 64 test vectors — the digest must be
+  // platform-independent because ledgers compare across hosts.
+  EXPECT_EQ(fnv1a64Hex(""), "cbf29ce484222325");
+  EXPECT_EQ(fnv1a64Hex("a"), "af63dc4c8601ec8c");
+  EXPECT_EQ(fnv1a64Hex("foobar"), "85944171f73967e8");
+}
+
+RunLedgerEntry sampleLedgerEntry(const char* kind, const char* design) {
+  RunLedgerEntry entry = makeRunLedgerEntry(sampleReport());
+  entry.kind = kind;
+  entry.design = design;
+  entry.optionsDigest = fnv1a64Hex("options");
+  entry.tileRows = 2;
+  entry.tileCols = 3;
+  return entry;
+}
+
+TEST(RunLedger, EntryJsonRoundTrips) {
+  const RunLedgerEntry entry = sampleLedgerEntry("run", "tiny");
+  const RunLedgerEntry parsed =
+      RunLedgerEntry::fromJson(Json::parse(entry.toJson().dump()));
+  EXPECT_EQ(parsed.kind, entry.kind);
+  EXPECT_EQ(parsed.design, entry.design);
+  EXPECT_EQ(parsed.gitSha, entry.gitSha);
+  EXPECT_EQ(parsed.dirty, entry.dirty);
+  EXPECT_EQ(parsed.dirtyFiles, entry.dirtyFiles);
+  EXPECT_EQ(parsed.seed, entry.seed);
+  EXPECT_EQ(parsed.fingerprintDigest, entry.fingerprintDigest);
+  EXPECT_EQ(parsed.qor.wirelengthDbu, entry.qor.wirelengthDbu);
+  EXPECT_EQ(parsed.qor.openNets, entry.qor.openNets);
+  ASSERT_EQ(parsed.phases.size(), entry.phases.size());
+  EXPECT_EQ(parsed.phases.front().name, entry.phases.front().name);
+  EXPECT_EQ(parsed.tileRows, 2);
+  EXPECT_EQ(parsed.tileCols, 3);
+  EXPECT_DOUBLE_EQ(parsed.wallSeconds, entry.wallSeconds);
+}
+
+TEST(RunLedger, FromJsonRejectsWrongSchemaVersion) {
+  Json doc = sampleLedgerEntry("run", "tiny").toJson();
+  doc.set("schemaVersion", RunLedgerEntry::kSchemaVersion + 1);
+  EXPECT_THROW(RunLedgerEntry::fromJson(doc), JsonError);
+}
+
+TEST(RunLedger, MakeEntryCapturesReportDeterministically) {
+  const RunReport report = sampleReport();
+  const RunLedgerEntry entry = makeRunLedgerEntry(report);
+  EXPECT_EQ(entry.fingerprintDigest, fnv1a64Hex(report.fingerprint().dump()));
+  EXPECT_EQ(entry.seed, report.seed);
+  EXPECT_EQ(entry.qor.wirelengthDbu, report.router.wirelengthDbu);
+  EXPECT_DOUBLE_EQ(entry.cacheHitRate, report.pricing.hitRate());
+  EXPECT_DOUBLE_EQ(entry.wallSeconds, report.totalPhaseSeconds());
+  // Two entries from the same report digest identically (provenance
+  // aside, the ledger is a function of the report).
+  EXPECT_EQ(makeRunLedgerEntry(report).fingerprintDigest,
+            entry.fingerprintDigest);
+}
+
+TEST(RunLedger, LoadMissingFileIsEmpty) {
+  const RunLedger::LoadResult loaded =
+      RunLedger::load(ledgerTempDir("missing") + "/never_written.jsonl");
+  EXPECT_TRUE(loaded.entries.empty());
+  EXPECT_EQ(loaded.skippedLines, 0);
+}
+
+TEST(RunLedger, AppendLoadRoundTripSurvivesTornTail) {
+  const std::string path = ledgerTempDir("torn") + "/ledger.jsonl";
+  RunLedger ledger(path);
+  std::string error;
+  ASSERT_TRUE(ledger.append(sampleLedgerEntry("run", "a"), &error)) << error;
+  ASSERT_TRUE(ledger.append(sampleLedgerEntry("run", "b"), &error)) << error;
+
+  // Simulate a crash mid-append: a torn, unterminated JSON fragment at
+  // the tail of the file.
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "{\"kind\":\"run\",\"des";
+  }
+  RunLedger::LoadResult loaded = RunLedger::load(path);
+  ASSERT_EQ(loaded.entries.size(), 2u);
+  EXPECT_EQ(loaded.skippedLines, 1);
+
+  // The next append must repair the torn tail (newline first) so the
+  // new entry lands on its own line and stays parseable.
+  ASSERT_TRUE(ledger.append(sampleLedgerEntry("eco", "c"), &error)) << error;
+  loaded = RunLedger::load(path);
+  ASSERT_EQ(loaded.entries.size(), 3u);
+  EXPECT_EQ(loaded.skippedLines, 1);
+  EXPECT_EQ(loaded.entries.back().kind, "eco");
+  EXPECT_EQ(loaded.entries.back().design, "c");
+}
+
+// ---- Analytics: report diff ------------------------------------------------
+
+TEST(Analytics, DiffOfIdenticalReportsIsClean) {
+  const RunReport report = sampleReport();
+  const ReportDiff diff = diffReports(report, report);
+  EXPECT_TRUE(diff.fingerprintsIdentical);
+  EXPECT_TRUE(diff.qorIdentical);
+  EXPECT_TRUE(diff.configsMatch);
+  for (const ReportDiff::Delta& d : diff.qor) {
+    EXPECT_DOUBLE_EQ(d.delta(), 0.0) << d.name;
+  }
+  for (const ReportDiff::Delta& d : diff.phases) {
+    EXPECT_DOUBLE_EQ(d.delta(), 0.0) << d.name;
+  }
+  const std::string text = formatReportDiff(diff, "a.json", "b.json");
+  EXPECT_NE(text.find("fingerprints: identical"), std::string::npos) << text;
+}
+
+TEST(Analytics, DiffDetectsQorDivergence) {
+  const RunReport a = sampleReport();
+  RunReport b = sampleReport();
+  b.router.vias += 7;
+  const ReportDiff diff = diffReports(a, b);
+  EXPECT_FALSE(diff.fingerprintsIdentical);
+  EXPECT_FALSE(diff.qorIdentical);
+  const auto vias = std::find_if(
+      diff.qor.begin(), diff.qor.end(),
+      [](const ReportDiff::Delta& d) { return d.name == "vias"; });
+  ASSERT_NE(vias, diff.qor.end());
+  EXPECT_DOUBLE_EQ(vias->delta(), 7.0);
+  EXPECT_NE(formatReportDiff(diff, "a", "b").find("DIFFER"),
+            std::string::npos);
+}
+
+TEST(Analytics, DiffAlignsIterationsAndTimelineBrackets) {
+  RunReport a = sampleReport();
+  RunReport b = sampleReport();
+  // b ran one extra iteration; a's missing side counts from zero.
+  RunReport::IterationStat extra;
+  extra.movedCells = 6;
+  extra.reroutedNets = 2;
+  b.iterationStats.push_back(extra);
+  // Only the first iteration has a timeline record on both sides.
+  a.timeline = {sampleTimelineRecord(0)};
+  b.timeline = {sampleTimelineRecord(0), sampleTimelineRecord(1)};
+
+  const ReportDiff diff = diffReports(a, b);
+  ASSERT_EQ(diff.iterations.size(), 2u);
+  EXPECT_EQ(diff.iterations[0].movedCells, 0);
+  EXPECT_EQ(diff.iterations[1].movedCells, 6);
+  EXPECT_TRUE(diff.iterations[0].hasOverflow);
+  EXPECT_FALSE(diff.iterations[1].hasOverflow);
+  // The structured JSON mirrors the struct.
+  const Json json = diff.toJson();
+  EXPECT_EQ(json.at("iterations").size(), 2u);
+}
+
+// ---- Analytics: ledger check -----------------------------------------------
+
+TEST(Analytics, CheckLedgerFirstEntrySkips) {
+  RunLedger::LoadResult loaded;
+  loaded.entries.push_back(sampleLedgerEntry("run", "tiny"));
+  const LedgerCheckResult result = checkLedger(loaded);
+  EXPECT_TRUE(result.ok);
+  ASSERT_EQ(result.series.size(), 1u);
+  EXPECT_FALSE(result.series[0].checked);
+  EXPECT_NE(result.format().find("SKIP"), std::string::npos);
+}
+
+TEST(Analytics, CheckLedgerGatesQorGrowthWorseOnly) {
+  RunLedger::LoadResult loaded;
+  RunLedgerEntry prev = sampleLedgerEntry("run", "tiny");
+  prev.qor.wirelengthDbu = 1000;
+  RunLedgerEntry improved = prev;
+  improved.qor.wirelengthDbu = 900;  // improvements never fail
+  loaded.entries = {prev, improved};
+  EXPECT_TRUE(checkLedger(loaded).ok);
+
+  RunLedgerEntry regressed = prev;
+  regressed.qor.wirelengthDbu = 1030;  // +3% > the 2% band
+  loaded.entries = {prev, regressed};
+  const LedgerCheckResult result = checkLedger(loaded);
+  EXPECT_FALSE(result.ok);
+  ASSERT_EQ(result.series.size(), 1u);
+  EXPECT_FALSE(result.series[0].failures.empty());
+  EXPECT_NE(result.format().find("wirelength regressed"), std::string::npos);
+}
+
+TEST(Analytics, CheckLedgerNeverAllowsNewOpenNets) {
+  RunLedger::LoadResult loaded;
+  RunLedgerEntry prev = sampleLedgerEntry("run", "tiny");
+  prev.qor.openNets = 0;
+  RunLedgerEntry last = prev;
+  last.qor.openNets = 1;
+  loaded.entries = {prev, last};
+  const LedgerCheckResult result = checkLedger(loaded);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.format().find("open nets regressed"), std::string::npos);
+}
+
+TEST(Analytics, CheckLedgerBenchDirectionHeuristic) {
+  const auto benchEntry = [](double runMs, double speedup) {
+    RunLedgerEntry entry = sampleLedgerEntry("bench", "BENCH_x");
+    entry.metrics = Json::object();
+    entry.metrics.set("run_ms", runMs);
+    entry.metrics.set("speedup", speedup);
+    entry.metrics.set("jobs", 100.0);  // undirected: never gated
+    return entry;
+  };
+  // Latency more than doubled (tolPerfRel = 1.0) -> fail.
+  RunLedger::LoadResult loaded;
+  loaded.entries = {benchEntry(100.0, 2.0), benchEntry(250.0, 2.0)};
+  EXPECT_FALSE(checkLedger(loaded).ok);
+  // Speedup less than halved -> fail.
+  loaded.entries = {benchEntry(100.0, 2.0), benchEntry(100.0, 0.9)};
+  EXPECT_FALSE(checkLedger(loaded).ok);
+  // Within both bands (and the undirected count swinging wildly) -> ok.
+  loaded.entries = {benchEntry(100.0, 2.0), benchEntry(150.0, 1.5)};
+  RunLedgerEntry noisy = benchEntry(150.0, 1.5);
+  noisy.metrics.set("jobs", 1.0);
+  loaded.entries.back() = noisy;
+  EXPECT_TRUE(checkLedger(loaded).ok);
+}
+
+TEST(Analytics, CheckLedgerSkipDirtyFiltersEntries) {
+  RunLedger::LoadResult loaded;
+  RunLedgerEntry clean = sampleLedgerEntry("run", "tiny");
+  clean.dirty = false;
+  clean.qor.wirelengthDbu = 1000;
+  RunLedgerEntry dirty = clean;
+  dirty.dirty = true;
+  dirty.qor.wirelengthDbu = 5000;  // would fail the band if compared
+  loaded.entries = {clean, dirty};
+
+  LedgerCheckOptions options;
+  options.skipDirty = true;
+  const LedgerCheckResult filtered = checkLedger(loaded, options);
+  EXPECT_TRUE(filtered.ok);
+  ASSERT_EQ(filtered.series.size(), 1u);
+  EXPECT_FALSE(filtered.series[0].checked);  // dirty entry filtered out
+
+  // Without the filter the regression is caught (with a dirty note).
+  const LedgerCheckResult unfiltered = checkLedger(loaded);
+  EXPECT_FALSE(unfiltered.ok);
+  EXPECT_NE(unfiltered.format().find("dirty"), std::string::npos);
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/run_ledger.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "serve/session.hpp"
@@ -330,6 +331,86 @@ TEST(ServeDaemon, BadRequestsGetErrorFramesNotDisconnects) {
   }
   server.requestStop();
   loop.join();
+}
+
+TEST(ServeDaemon, TelemetryOpsExposeMetricsStatsAndLedger) {
+  ServeOptions options;
+  options.socketPath = tempSocketPath() + ".telemetry";
+  options.workers = 1;
+  options.ledgerPath =
+      "/tmp/crp_serve_ledger_" + std::to_string(::getpid()) + ".jsonl";
+  ::unlink(options.ledgerPath.c_str());
+  Server server(options);
+  server.start();
+  std::thread loop([&] { server.serve(); });
+
+  {
+    Client client(options.socketPath);
+
+    obs::Json open = obs::Json::object();
+    open.set("op", "open_session");
+    const std::int64_t session =
+        lastFrame(client.call(open)).at("session").asInt();
+    obs::Json bmgen = obs::Json::object();
+    bmgen.set("op", "bmgen");
+    bmgen.set("session", session);
+    bmgen.set("cells", 150);
+    bmgen.set("seed", 2);
+    ASSERT_TRUE(lastFrame(client.call(bmgen)).at("ok").asBool());
+    obs::Json run = obs::Json::object();
+    run.set("op", "run");
+    run.set("session", session);
+    run.set("k", 1);
+    ASSERT_TRUE(lastFrame(client.call(run)).at("ok").asBool());
+
+    // stats: uptime, traffic counters, and the per-op breakdown fed by
+    // the server's own latency histograms.
+    obs::Json statsReq = obs::Json::object();
+    statsReq.set("op", "stats");
+    const obs::Json stats = lastFrame(client.call(statsReq));
+    EXPECT_GE(stats.at("uptimeSeconds").asDouble(), 0.0);
+    EXPECT_GT(stats.at("bytesIn").asInt(), 0);
+    EXPECT_GT(stats.at("bytesOut").asInt(), 0);
+    EXPECT_EQ(stats.at("protocolErrors").asInt(), 0);
+    const obs::Json& ops = stats.at("ops");
+    ASSERT_NE(ops.find("run"), nullptr);
+    EXPECT_EQ(ops.at("run").at("requests").asInt(), 1);
+    EXPECT_LE(ops.at("run").at("latencyP50Micros").asDouble(),
+              ops.at("run").at("latencyP99Micros").asDouble());
+
+    // Server-wide Prometheus exposition carries the daemon's own
+    // instruments; the per-session flavour carries the flow's.
+    obs::Json metricsReq = obs::Json::object();
+    metricsReq.set("op", "metrics");
+    const obs::Json metrics = lastFrame(client.call(metricsReq));
+    EXPECT_EQ(metrics.at("contentType").asString(),
+              "text/plain; version=0.0.4");
+    const std::string text = metrics.at("metrics").asString();
+    EXPECT_NE(text.find("# TYPE crp_serve_op_run_latency histogram"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("crp_serve_bytes_in"), std::string::npos);
+
+    metricsReq.set("session", session);
+    const std::string sessionText =
+        lastFrame(client.call(metricsReq)).at("metrics").asString();
+    EXPECT_EQ(sessionText.find("serve_op"), std::string::npos)
+        << "session scrape leaked daemon instruments";
+
+    obs::Json shutdown = obs::Json::object();
+    shutdown.set("op", "shutdown");
+    EXPECT_TRUE(lastFrame(client.call(shutdown)).at("ok").asBool());
+  }
+  loop.join();
+
+  // The run job landed in the ledger as a serve-run entry.
+  const obs::RunLedger::LoadResult loaded =
+      obs::RunLedger::load(options.ledgerPath);
+  EXPECT_EQ(loaded.skippedLines, 0);
+  ASSERT_EQ(loaded.entries.size(), 1u);
+  EXPECT_EQ(loaded.entries[0].kind, "serve-run");
+  EXPECT_EQ(loaded.entries[0].fingerprintDigest.size(), 16u);
+  ::unlink(options.ledgerPath.c_str());
 }
 
 }  // namespace

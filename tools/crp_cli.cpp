@@ -28,7 +28,8 @@
 //           [--router-threads N] [--snapshots 0|1]
 //           [--trace-out trace.json] [--report-out report.json]
 //           [--heatmaps-out series.json] [--flight-out dump.json]
-//           [--flight-dir DIR]
+//           [--flight-dir DIR] [--metrics-out metrics.prom]
+//           [--ledger ledger.jsonl]
 //       Global route + CR&P iterations; writes the improved placement
 //       and guides (the paper's Fig. 1 interface).  --trace-out dumps
 //       a Chrome trace_event file (load in chrome://tracing or
@@ -39,6 +40,10 @@
 //       --flight-out dumps the flight-recorder event ring, and
 //       --flight-dir makes a dirty in-flow audit dump the ring there
 //       before aborting.  Render any of these with crp_report.
+//       --metrics-out writes the run's metric registry as Prometheus
+//       text exposition; --ledger appends a run-ledger entry (QoR,
+//       phase times, provenance) to the given JSONL file — gate it
+//       later with `crp_report ledger --check`.
 //
 //   crp detail in.lef in.def in.guide
 //       Detailed-route against existing guides and print the ISPD-2018
@@ -55,10 +60,11 @@
 //       Export the crp_test1..10 suite as LEF/DEF pairs.
 //
 //   crp serve --socket PATH [--workers N] [--max-sessions N]
-//             [--verbose 1]
+//             [--verbose 1] [--ledger ledger.jsonl]
 //       Run the CR&P daemon (docs/serve.md): a unix-socket job server
 //       with resident per-session state.  Stops cleanly on SIGTERM /
-//       SIGINT or a client shutdown op.
+//       SIGINT or a client shutdown op.  --ledger appends one run-
+//       ledger entry per completed run/eco job.
 #include <csignal>
 #include <filesystem>
 #include <fstream>
@@ -87,6 +93,8 @@
 #include "lefdef/lef_parser.hpp"
 #include "lefdef/lef_writer.hpp"
 #include "obs/obs.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/run_ledger.hpp"
 #include "obs/run_report.hpp"
 #include "serve/server.hpp"
 #include "util/file_io.hpp"
@@ -189,13 +197,18 @@ int cmdGenerate(const Args& args) {
 }
 
 int writeObsArtifacts(const Args& args, core::CrpFramework& framework);
+int appendLedgerFromCli(const Args& args, const std::string& kind,
+                        const db::Database& db,
+                        core::CrpFramework& framework,
+                        const core::CrpOptions& options);
 
 int cmdEco(const Args& args) {
   if (args.positional.size() < 5) {
     std::cerr << "usage: crp eco in.lef in.def delta.json out.def out.guide "
                  "[--k N] [--base-k N] [--halo G] [--seed S] "
                  "[--router-threads N] [--audit off|phase|paranoid] "
-                 "[--compare-scratch 1] [--report-out report.json]\n";
+                 "[--compare-scratch 1] [--report-out report.json] "
+                 "[--metrics-out metrics.prom] [--ledger ledger.jsonl]\n";
     return 2;
   }
   obs::setEnabled(args.number("obs", 1) > 0);
@@ -282,6 +295,10 @@ int cmdEco(const Args& args) {
               << ", vias eco=" << ecoStats.vias
               << " scratch=" << scratchStats.vias << "\n";
   }
+  if (const int rc = appendLedgerFromCli(args, "eco", db, framework, options);
+      rc != 0) {
+    return rc;
+  }
   return writeObsArtifacts(args, framework);
 }
 
@@ -365,6 +382,46 @@ int writeObsArtifacts(const Args& args, core::CrpFramework& framework) {
     }
     std::cout << "flight recorder -> " << flightIt->second << "\n";
   }
+  const auto metricsIt = args.flags.find("metrics-out");
+  if (metricsIt != args.flags.end()) {
+    // Prometheus text exposition of the run's metrics registry
+    // (docs/observability.md "Operational telemetry").
+    const std::string text = obs::renderPrometheus(
+        framework.obsContext().metrics().snapshot(), "crp");
+    if (!util::writeFileAtomic(metricsIt->second, text, &writeError)) {
+      std::cerr << "error: cannot write " << metricsIt->second << ": "
+                << writeError << "\n";
+      return 1;
+    }
+    std::cout << "metrics -> " << metricsIt->second << "\n";
+  }
+  return 0;
+}
+
+/// --ledger FILE: appends one run-ledger entry (docs/observability.md)
+/// for the finished flow.  `kind` is "run" or "eco".
+int appendLedgerFromCli(const Args& args, const std::string& kind,
+                        const db::Database& db,
+                        core::CrpFramework& framework,
+                        const core::CrpOptions& options) {
+  const auto ledgerIt = args.flags.find("ledger");
+  if (ledgerIt == args.flags.end()) return 0;
+  obs::RunLedgerEntry entry = obs::makeRunLedgerEntry(framework.runReport());
+  entry.kind = kind;
+  entry.design = db.design().name;
+  entry.optionsDigest =
+      obs::fnv1a64Hex(core::optionsFingerprintJson(options).dump());
+  entry.tileRows = options.tileRows;
+  entry.tileCols = options.tileCols;
+  obs::RunLedger ledger(ledgerIt->second);
+  std::string error;
+  if (!ledger.append(entry, &error)) {
+    std::cerr << "error: ledger append to " << ledgerIt->second
+              << " failed: " << error << "\n";
+    return 1;
+  }
+  std::cout << "ledger += " << kind << " entry (" << entry.design << ", "
+            << entry.fingerprintDigest << ") -> " << ledgerIt->second << "\n";
   return 0;
 }
 
@@ -380,7 +437,8 @@ int cmdRun(const Args& args) {
                  "[--trace-out trace.json] "
                  "[--report-out report.json] "
                  "[--heatmaps-out series.json] "
-                 "[--flight-out dump.json] [--flight-dir DIR]\n";
+                 "[--flight-out dump.json] [--flight-dir DIR] "
+                 "[--metrics-out metrics.prom] [--ledger ledger.jsonl]\n";
     return 2;
   }
   obs::setEnabled(args.number("obs", 1) > 0);
@@ -449,6 +507,10 @@ int cmdRun(const Args& args) {
   lefdef::writeGuidesFile(args.positional[3], db, router.buildGuides());
   std::cout << "outputs -> " << args.positional[2] << ", "
             << args.positional[3] << "\n";
+  if (const int rc = appendLedgerFromCli(args, "run", db, framework, options);
+      rc != 0) {
+    return rc;
+  }
   return writeObsArtifacts(args, framework);
 }
 
@@ -606,7 +668,7 @@ int cmdServe(const Args& args) {
   const auto socketIt = args.flags.find("socket");
   if (socketIt == args.flags.end()) {
     std::cerr << "usage: crp serve --socket PATH [--workers N] "
-                 "[--max-sessions N] [--verbose 1]\n";
+                 "[--max-sessions N] [--verbose 1] [--ledger FILE]\n";
     return 2;
   }
   serve::ServeOptions options;
@@ -615,6 +677,8 @@ int cmdServe(const Args& args) {
   options.maxSessions =
       static_cast<std::size_t>(args.number("max-sessions", 64));
   options.verbose = args.number("verbose", 0) > 0;
+  const auto ledgerIt = args.flags.find("ledger");
+  if (ledgerIt != args.flags.end()) options.ledgerPath = ledgerIt->second;
 
   serve::Server server(options);
   server.start();

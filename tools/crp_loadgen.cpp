@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "serve/protocol.hpp"
 #include "util/file_io.hpp"
 
@@ -130,13 +131,15 @@ void throughputClient(const std::string& socketPath, int clientIndex,
   }
 }
 
-double percentile(std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  const double rank = p * static_cast<double>(sorted.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+/// Microsecond bucket layout for the latency histogram: powers of two
+/// from 1 us to ~16.8 s — the same shape the serve daemon uses for its
+/// per-op histograms, so loadgen percentiles and server-side
+/// percentiles come from one estimator (obs::Histogram::quantile)
+/// instead of two ad-hoc implementations.
+std::vector<std::uint64_t> latencyBoundsMicros() {
+  std::vector<std::uint64_t> bounds;
+  for (std::uint64_t b = 1; b <= (1ull << 24); b <<= 1) bounds.push_back(b);
+  return bounds;
 }
 
 int runThroughput(const Args& args, const std::string& socketPath) {
@@ -157,35 +160,41 @@ int runThroughput(const Args& args, const std::string& socketPath) {
   for (std::thread& t : threads) t.join();
   const double wallSeconds = elapsedMs(wallStart) / 1000.0;
 
-  std::vector<double> all;
+  obs::Histogram latency(latencyBoundsMicros());
+  double sum = 0.0;
+  double maxMs = 0.0;
+  std::size_t count = 0;
   for (const ClientResult& result : results) {
     if (!result.error.empty()) {
       std::cerr << "client error: " << result.error << "\n";
       return 1;
     }
-    all.insert(all.end(), result.latenciesMs.begin(),
-               result.latenciesMs.end());
+    for (const double ms : result.latenciesMs) {
+      latency.record(static_cast<std::uint64_t>(ms * 1000.0 + 0.5));
+      sum += ms;
+      maxMs = std::max(maxMs, ms);
+      ++count;
+    }
   }
-  std::sort(all.begin(), all.end());
-  double sum = 0.0;
-  for (const double ms : all) sum += ms;
 
   obs::Json doc = obs::Json::object();
   doc.set("schemaVersion", 1);
   doc.set("bench", "serve");
   doc.set("mode", "throughput");
-  doc.set("jobs", static_cast<std::int64_t>(all.size()));
+  doc.set("jobs", static_cast<std::int64_t>(count));
   doc.set("clients", clients);
   doc.set("cellsPerJob", cells);
   doc.set("wallSeconds", wallSeconds);
   doc.set("jobsPerSec",
-          wallSeconds > 0.0 ? static_cast<double>(all.size()) / wallSeconds
+          wallSeconds > 0.0 ? static_cast<double>(count) / wallSeconds
                             : 0.0);
-  doc.set("latencyMsP50", percentile(all, 0.50));
-  doc.set("latencyMsP99", percentile(all, 0.99));
+  // Bucket-interpolated percentiles (micros -> ms); mean and max stay
+  // exact from the raw samples.
+  doc.set("latencyMsP50", latency.quantile(0.50) / 1000.0);
+  doc.set("latencyMsP99", latency.quantile(0.99) / 1000.0);
   doc.set("latencyMsMean",
-          all.empty() ? 0.0 : sum / static_cast<double>(all.size()));
-  doc.set("latencyMsMax", all.empty() ? 0.0 : all.back());
+          count == 0 ? 0.0 : sum / static_cast<double>(count));
+  doc.set("latencyMsMax", maxMs);
 
   const auto outIt = args.flags.find("out");
   if (outIt != args.flags.end()) {

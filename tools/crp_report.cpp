@@ -18,7 +18,27 @@
 //       audit's --flight-dir artifact, or a crp_fuzz *_flight.json) and
 //       print the trigger, the recent event ring, and the attached
 //       heatmap when one was captured.
+//
+//   crp_report diff a.json b.json [--json out.json]
+//       Structural diff of two RunReport documents (crp run
+//       --report-out): fingerprint identity, QoR deltas, per-phase
+//       wall-time attribution, per-iteration attribution.  Exit 0 when
+//       the fingerprints are identical, 3 when they differ — so two
+//       same-design/same-seed runs make a determinism gate.  (Also
+//       reachable as `crp_report --diff a.json b.json`.)
+//
+//   crp_report ledger file.jsonl [--check 1] [--add-bench BENCH.json]
+//              [--skip-dirty 1] [--tol-qor F] [--tol-perf F]
+//       Operate on the run ledger (docs/observability.md).  Default:
+//       list the entries.  --add-bench folds one BENCH_*.json artifact
+//       in as a bench entry (numeric fields only).  --check gates the
+//       newest entry of every (kind, design) series against its
+//       predecessor under tolerance bands and exits nonzero on a
+//       regression.  (Also reachable as `crp_report --ledger file
+//       --check 1`.)
 #include <cstdlib>
+#include <ctime>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -28,11 +48,14 @@
 #include <string>
 #include <vector>
 
+#include "obs/analytics.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/heatmap.hpp"
 #include "obs/json.hpp"
+#include "obs/run_ledger.hpp"
 #include "obs/run_report.hpp"
 #include "obs/timeline.hpp"
+#include "util/file_io.hpp"
 
 namespace {
 
@@ -192,19 +215,141 @@ int cmdFlight(const Args& args) {
   return 0;
 }
 
+int cmdDiff(const Args& args) {
+  if (args.positional.size() < 2) {
+    std::cerr << "usage: crp_report diff a.json b.json [--json out.json]\n";
+    return 2;
+  }
+  const obs::RunReport a =
+      obs::RunReport::fromJson(loadJsonFile(args.positional[0]));
+  const obs::RunReport b =
+      obs::RunReport::fromJson(loadJsonFile(args.positional[1]));
+  const obs::ReportDiff diff = obs::diffReports(a, b);
+  std::cout << obs::formatReportDiff(diff, args.positional[0],
+                                     args.positional[1]);
+  const auto jsonIt = args.flags.find("json");
+  if (jsonIt != args.flags.end()) {
+    std::string error;
+    if (!util::writeFileAtomic(jsonIt->second, diff.toJson().dump(2) + "\n",
+                               &error)) {
+      std::cerr << "error: cannot write " << jsonIt->second << ": " << error
+                << "\n";
+      return 1;
+    }
+    std::cout << "diff json -> " << jsonIt->second << "\n";
+  }
+  // Exit-code contract (docs/observability.md): identical fingerprints
+  // exit 0, so `crp_report diff` doubles as a determinism gate in CI.
+  return diff.fingerprintsIdentical ? 0 : 3;
+}
+
+/// True when the switch was given either as "--name 1" (the Args flag
+/// form) or as a bare trailing "--name" token (which the minimal
+/// parser files under positionals).
+bool hasSwitch(const Args& args, const std::string& name) {
+  const auto it = args.flags.find(name);
+  if (it != args.flags.end()) return std::atof(it->second.c_str()) > 0;
+  for (const std::string& token : args.positional) {
+    if (token == "--" + name) return true;
+  }
+  return false;
+}
+
+int cmdLedger(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "usage: crp_report ledger file.jsonl [--check 1] "
+                 "[--add-bench BENCH.json] [--skip-dirty 1] "
+                 "[--tol-qor F] [--tol-perf F]\n";
+    return 2;
+  }
+  const std::string& path = args.positional[0];
+
+  const auto benchIt = args.flags.find("add-bench");
+  if (benchIt != args.flags.end()) {
+    const obs::Json doc = loadJsonFile(benchIt->second);
+    obs::RunLedgerEntry entry;
+    const obs::Provenance& prov = obs::collectProvenance();
+    entry.kind = "bench";
+    entry.design = std::filesystem::path(benchIt->second).stem().string();
+    entry.unixTime = static_cast<std::uint64_t>(std::time(nullptr));
+    entry.gitSha = prov.gitSha;
+    entry.dirty = prov.dirty;
+    entry.dirtyFiles = prov.dirtyFiles;
+    entry.host = prov.host;
+    entry.cpus = prov.cpus;
+    // Only the flat numeric fields: nested blocks ("context", "host",
+    // per-design arrays) are descriptive, not gateable.
+    obs::Json metrics = obs::Json::object();
+    for (const auto& [key, value] : doc.asObject()) {
+      if (value.isNumber()) metrics.set(key, value);
+    }
+    entry.metrics = std::move(metrics);
+    obs::RunLedger ledger(path);
+    std::string error;
+    if (!ledger.append(entry, &error)) {
+      std::cerr << "error: ledger append failed: " << error << "\n";
+      return 1;
+    }
+    std::cout << "ledger += bench entry (" << entry.design << ", "
+              << entry.metrics.size() << " metric(s)) -> " << path << "\n";
+    return 0;
+  }
+
+  const obs::RunLedger::LoadResult loaded = obs::RunLedger::load(path);
+  if (hasSwitch(args, "check")) {
+    obs::LedgerCheckOptions options;
+    options.tolQorRel = args.number("tol-qor", options.tolQorRel);
+    options.tolPerfRel = args.number("tol-perf", options.tolPerfRel);
+    options.skipDirty = hasSwitch(args, "skip-dirty");
+    const obs::LedgerCheckResult result = obs::checkLedger(loaded, options);
+    std::cout << result.format();
+    return result.ok ? 0 : 4;
+  }
+
+  // Default: list the entries.
+  std::cout << "ledger " << path << ": " << loaded.entries.size()
+            << " entr(ies)";
+  if (loaded.skippedLines > 0) {
+    std::cout << ", " << loaded.skippedLines << " unparseable line(s)";
+  }
+  std::cout << "\n";
+  for (const obs::RunLedgerEntry& entry : loaded.entries) {
+    std::cout << "  [" << entry.kind << "] " << entry.design << "  sha "
+              << entry.gitSha.substr(0, 12)
+              << (entry.dirty ? "-dirty" : "") << "  t=" << entry.unixTime;
+    if (entry.kind == "bench") {
+      std::cout << "  " << entry.metrics.size() << " metric(s)";
+    } else {
+      std::cout << "  wl=" << entry.qor.wirelengthDbu
+                << " vias=" << entry.qor.vias
+                << " ovf=" << entry.qor.totalOverflow << "  fp "
+                << entry.fingerprintDigest;
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: crp_report <heatmap|timeline|flight> ...\n";
+    std::cerr << "usage: crp_report <heatmap|timeline|flight|diff|ledger> "
+                 "...\n";
     return 2;
   }
-  const std::string command = argv[1];
+  // `--diff` / `--ledger` aliases: the flag forms named in
+  // docs/observability.md map onto the subcommands.
+  std::string command = argv[1];
+  if (command == "--diff") command = "diff";
+  if (command == "--ledger") command = "ledger";
   const Args args = Args::parse(argc, argv, 2);
   try {
     if (command == "heatmap") return cmdHeatmap(args);
     if (command == "timeline") return cmdTimeline(args);
     if (command == "flight") return cmdFlight(args);
+    if (command == "diff") return cmdDiff(args);
+    if (command == "ledger") return cmdLedger(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
